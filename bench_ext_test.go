@@ -1,0 +1,248 @@
+package splitexec_test
+
+// Extension benchmarks: ablations for the subsystems beyond the paper's
+// explicit evaluation (annealing schedules, control precision, parallel
+// pre-processing, annealer-backed graph isomorphism, design-space
+// exploration). Each maps to a DESIGN.md inventory row.
+//
+//	BenchmarkScheduleTTS         anneal-duration sweep: default vs optimal TTS
+//	BenchmarkControlProgramming  DAC-precision programming cycle
+//	BenchmarkParallelEmbedding   multi-seed CMR speed/quality vs workers
+//	BenchmarkPipelineOverlap     batch stage-overlap vs serial makespan
+//	BenchmarkGraphIsomorphism    annealer GI decision vs classical baseline
+//	BenchmarkDesignSpaceSweep    DSE sweep + sensitivity over the stage-1 model
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/aspen"
+	"github.com/splitexec/splitexec/internal/control"
+	"github.com/splitexec/splitexec/internal/core"
+	"github.com/splitexec/splitexec/internal/dse"
+	"github.com/splitexec/splitexec/internal/gi"
+	"github.com/splitexec/splitexec/internal/graph"
+	"github.com/splitexec/splitexec/internal/machine"
+	"github.com/splitexec/splitexec/internal/parallel"
+	"github.com/splitexec/splitexec/internal/qubo"
+	"github.com/splitexec/splitexec/internal/schedule"
+)
+
+// BenchmarkScheduleTTS compares the hardware-default 20 µs anneal against
+// the TTS-optimal duration for the default gap model — the schedule ablation
+// of §2.2. The reported metrics are modeled QPU time, not wall clock.
+func BenchmarkScheduleTTS(b *testing.B) {
+	gap := schedule.DefaultGap()
+	perRead := 325 * time.Microsecond // readout + thermalization
+	b.Run("default20us", func(b *testing.B) {
+		var tts time.Duration
+		for i := 0; i < b.N; i++ {
+			ps, err := schedule.SuccessProbability(schedule.Linear(20*time.Microsecond), gap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tts, err = schedule.TTS(20*time.Microsecond, ps, 0.99, perRead)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(tts.Microseconds()), "tts_µs")
+	})
+	b.Run("optimal", func(b *testing.B) {
+		var tts time.Duration
+		for i := 0; i < b.N; i++ {
+			var err error
+			_, tts, err = schedule.OptimalAnnealTime(gap, 0.99, schedule.DW2Limits(), perRead)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(tts.Microseconds()), "tts_µs")
+	})
+}
+
+// BenchmarkControlProgramming measures the electronic-control programming
+// cycle (rescale + quantize + ledger) across DAC precisions and reports the
+// worst parameter drift each precision introduces.
+func BenchmarkControlProgramming(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	model := qubo.RandomIsing(graph.Vesuvius().Graph(), 1, 1, rng)
+	for _, bits := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			ctl := control.NewController()
+			ctl.DAC.Bits = bits
+			var maxErr float64
+			for i := 0; i < b.N; i++ {
+				res, err := ctl.Program(model, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				maxErr = res.MaxQuantErr
+			}
+			b.ReportMetric(maxErr, "max_quant_err")
+		})
+	}
+}
+
+// BenchmarkParallelEmbedding races the CMR heuristic across worker counts
+// (the §4 "parallel strategies" ablation): same 8 seeds, 1 vs 4 workers.
+func BenchmarkParallelEmbedding(b *testing.B) {
+	hw := graph.Vesuvius().Graph()
+	g := graph.Complete(10)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var quality float64
+			for i := 0; i < b.N; i++ {
+				res, err := parallel.FindEmbedding(g, hw, parallel.EmbedOptions{
+					Workers: workers, Seeds: 8, Seed: int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				quality = res.Quality
+			}
+			b.ReportMetric(quality, "qubits")
+		})
+	}
+}
+
+// BenchmarkPipelineOverlap evaluates the stage-overlap executor on the
+// paper's regime (stage 1 dominant) and on balanced stages, reporting the
+// modeled speedup over serial execution.
+func BenchmarkPipelineOverlap(b *testing.B) {
+	mk := func(pre, qpu, post time.Duration, n int) []parallel.StageCost {
+		jobs := make([]parallel.StageCost, n)
+		for i := range jobs {
+			jobs[i] = parallel.StageCost{Pre: pre, QPU: qpu, Post: post}
+		}
+		return jobs
+	}
+	cases := []struct {
+		name string
+		jobs []parallel.StageCost
+	}{
+		{"stage1-dominant", mk(100*time.Millisecond, 333*time.Microsecond, 10*time.Microsecond, 32)},
+		{"balanced", mk(time.Millisecond, time.Millisecond, 100*time.Microsecond, 32)},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var sp float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				sp, err = parallel.Speedup(c.jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(sp, "speedup")
+		})
+	}
+}
+
+// BenchmarkGraphIsomorphism compares the annealer-backed GI decision (the
+// §3.3 "QPU programs the QPU" path) against the classical backtracking
+// baseline on a relabeled C6.
+func BenchmarkGraphIsomorphism(b *testing.B) {
+	g := graph.Cycle(6)
+	h, err := gi.Relabel(g, []int{3, 5, 1, 0, 4, 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("annealer", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(3))
+		found := 0
+		for i := 0; i < b.N; i++ {
+			res, err := gi.AreIsomorphic(g, h, gi.Options{Reads: 400}, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Isomorphic {
+				found++
+			}
+		}
+		b.ReportMetric(float64(found)/float64(b.N), "success_rate")
+	})
+	b.Run("classical", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !graph.Isomorphic(g, h) {
+				b.Fatal("baseline missed isomorphism")
+			}
+		}
+	})
+}
+
+// BenchmarkDesignSpaceSweep runs the DSE layer over the paper's stage-1
+// model: a 32-point LPS sweep plus the sensitivity ranking at LPS=50.
+func BenchmarkDesignSpaceSweep(b *testing.B) {
+	node := machine.SimpleNode()
+	f, err := aspen.Parse(node.ToAspen())
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := aspen.BuildMachine(f, node.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s1, _, _, err := core.ParseStageModels()
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj := dse.ModelObjective(s1, spec, aspen.EvalOptions{
+		HostSocket: node.CPU.Name,
+		Params:     map[string]float64{"M": 12, "N": 12},
+	})
+	b.Run("sweep32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dse.Sweep(obj, []dse.Axis{{Name: "LPS", Values: dse.LinSpace(1, 100, 32)}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sensitivity", func(b *testing.B) {
+		var top float64
+		for i := 0; i < b.N; i++ {
+			sens, err := dse.Sensitivities(obj, map[string]float64{"LPS": 50, "M": 12, "N": 12}, 0.02)
+			if err != nil {
+				b.Fatal(err)
+			}
+			top = sens[0].Elasticity
+		}
+		b.ReportMetric(top, "lps_elasticity")
+	})
+}
+
+// BenchmarkQuadratization measures the k-local → 2-local lowering on random
+// 3-SAT penalty polynomials, reporting how many Rosenberg auxiliaries the
+// recursive substitution introduces.
+func BenchmarkQuadratization(b *testing.B) {
+	for _, nClauses := range []int{10, 50, 200} {
+		b.Run(fmt.Sprintf("clauses=%d", nClauses), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(17))
+			nVars := 4 + nClauses/4
+			clauses := make([]qubo.Clause3, nClauses)
+			for i := range clauses {
+				p := rng.Perm(nVars)
+				clauses[i] = qubo.Clause3{
+					Var: [3]int{p[0], p[1], p[2]},
+					Neg: [3]bool{rng.Intn(2) == 0, rng.Intn(2) == 0, rng.Intn(2) == 0},
+				}
+			}
+			poly, err := qubo.Max3SAT(nVars, clauses)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var aux int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				qz, err := poly.Quadratize(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				aux = qz.Aux
+			}
+			b.ReportMetric(float64(aux), "aux_vars")
+		})
+	}
+}

@@ -1,0 +1,170 @@
+// Command aspeneval parses and evaluates ASPEN performance models: either
+// one of the paper's built-in stage listings (Figs. 6–8) or a model file,
+// against either the paper's Fig. 5 machine (SimpleNode) or a machine
+// declared in the same file.
+//
+// Usage:
+//
+//	aspeneval -stage 1 -param LPS=30
+//	aspeneval -stage 2 -param Accuracy=99 -param Success=0.7
+//	aspeneval -file model.aspen -machine MyMachine -param N=64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/splitexec/splitexec/internal/aspen"
+	"github.com/splitexec/splitexec/internal/core"
+	"github.com/splitexec/splitexec/internal/machine"
+)
+
+// paramList collects repeated -param NAME=VALUE flags.
+type paramList map[string]float64
+
+func (p paramList) String() string { return fmt.Sprint(map[string]float64(p)) }
+
+func (p paramList) Set(s string) error {
+	parts := strings.SplitN(s, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("want NAME=VALUE, got %q", s)
+	}
+	v, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return fmt.Errorf("bad value in %q: %v", s, err)
+	}
+	p[parts[0]] = v
+	return nil
+}
+
+func main() {
+	params := paramList{}
+	var (
+		stage       = flag.Int("stage", 0, "evaluate the paper's stage listing (1, 2 or 3)")
+		file        = flag.String("file", "", "evaluate a model from this ASPEN file")
+		modelName   = flag.String("model", "", "model name when the file has several")
+		machineName = flag.String("machine", "", "machine declared in the file (default: paper's SimpleNode)")
+		host        = flag.String("host", "", "socket servicing flops/loads/stores (default: first)")
+		overlap     = flag.Bool("overlap", false, "assume perfect overlap within execute blocks (max instead of sum)")
+	)
+	flag.Var(params, "param", "parameter override NAME=VALUE (repeatable)")
+	flag.Parse()
+
+	model, spec := loadModelAndMachine(*stage, *file, *modelName, *machineName)
+
+	opts := aspen.EvalOptions{Params: params, HostSocket: *host}
+	if *host == "" && spec.Socket(machine.XeonE5_2680().Name) != nil {
+		opts.HostSocket = machine.XeonE5_2680().Name
+	}
+	if *overlap {
+		opts.Policy = aspen.Overlap
+	}
+	res, err := aspen.Evaluate(model, spec, opts)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("model %s on machine %s\n\n", res.Model, res.Machine)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "  kernel\tblock\tresource\tamount\tseconds")
+	for _, k := range res.Kernels {
+		for _, b := range k.Blocks {
+			for _, r := range b.Resources {
+				fmt.Fprintf(w, "  %s\t%s\t%s\t%.6g\t%.6g\n", k.Name, b.Label, r.Verb, r.Amount, r.Seconds*b.Count)
+			}
+		}
+		fmt.Fprintf(w, "  %s\t\t= subtotal\t\t%.6g\n", k.Name, k.Seconds)
+	}
+	w.Flush()
+
+	fmt.Printf("\ntotal predicted runtime: %.6g s (%v)\n", res.TotalSeconds(), res.Total())
+	by := res.ByVerb()
+	verbs := make([]string, 0, len(by))
+	for v := range by {
+		verbs = append(verbs, v)
+	}
+	sort.Strings(verbs)
+	fmt.Println("by resource class:")
+	for _, v := range verbs {
+		fmt.Printf("  %-14s %.6g s\n", v, by[v])
+	}
+}
+
+func loadModelAndMachine(stage int, file, modelName, machineName string) (*aspen.ModelDecl, *aspen.MachineSpec) {
+	var f *aspen.File
+	switch {
+	case stage >= 1 && stage <= 3:
+		s1, s2, s3, err := core.ParseStageModels()
+		if err != nil {
+			fail(err)
+		}
+		spec := defaultMachine()
+		switch stage {
+		case 1:
+			return s1, spec
+		case 2:
+			return s2, spec
+		default:
+			return s3, spec
+		}
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fail(err)
+		}
+		f, err = aspen.ParseWithIncludes(string(src), aspen.StdLoader)
+		if err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("need -stage 1..3 or -file model.aspen"))
+	}
+
+	var model *aspen.ModelDecl
+	switch {
+	case modelName != "":
+		for _, m := range f.Models {
+			if m.Name == modelName {
+				model = m
+			}
+		}
+		if model == nil {
+			fail(fmt.Errorf("model %q not found in file", modelName))
+		}
+	case len(f.Models) == 1:
+		model = f.Models[0]
+	default:
+		fail(fmt.Errorf("file declares %d models; use -model", len(f.Models)))
+	}
+
+	if machineName != "" {
+		spec, err := aspen.BuildMachine(f, machineName)
+		if err != nil {
+			fail(err)
+		}
+		return model, spec
+	}
+	return model, defaultMachine()
+}
+
+func defaultMachine() *aspen.MachineSpec {
+	f, err := aspen.Parse(machine.SimpleNode().ToAspen())
+	if err != nil {
+		fail(err)
+	}
+	spec, err := aspen.BuildMachine(f, "SimpleNode")
+	if err != nil {
+		fail(err)
+	}
+	return spec
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "aspeneval: %v\n", err)
+	os.Exit(1)
+}

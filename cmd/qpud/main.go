@@ -1,0 +1,48 @@
+// Command qpud serves a simulated quantum processing unit over TCP — the
+// "quantum server" of the paper's client-server deployment (Fig. 1a).
+// Clients program hardware Ising models and request annealing reads; the
+// server enforces the Chimera topology and accounts modeled QPU time.
+//
+// Usage:
+//
+//	qpud -addr :7447 -m 12 -ncols 12 -sweeps 256
+//
+// Pair it with `splitexec-remote` (examples/remoteqpu) or any
+// qpuserver.Client.
+package main
+
+import (
+	"flag"
+	"log"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/anneal"
+	"github.com/splitexec/splitexec/internal/graph"
+	"github.com/splitexec/splitexec/internal/qpuserver"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7447", "listen address")
+		m        = flag.Int("m", 12, "Chimera rows M")
+		ncols    = flag.Int("ncols", 12, "Chimera columns N")
+		sweeps   = flag.Int("sweeps", 256, "annealer sweeps per read")
+		validate = flag.Bool("validate", true, "reject programs that violate the topology")
+		annealUs = flag.Float64("anneal", 20, "per-read anneal duration in µs (the device's programmed waveform length)")
+	)
+	flag.Parse()
+
+	timings := anneal.DW2Timings()
+	if *annealUs > 0 {
+		timings.AnnealTime = time.Duration(*annealUs * float64(time.Microsecond))
+	}
+	srv := qpuserver.NewServer(timings, anneal.SamplerOptions{Sweeps: *sweeps})
+	srv.Logf = log.Printf
+	if *validate {
+		srv.Hardware = graph.Chimera{M: *m, N: *ncols, L: 4}.Graph()
+		log.Printf("qpud: enforcing topology C(%d,%d,4)", *m, *ncols)
+	}
+	if err := srv.ListenAndLog(*addr); err != nil {
+		log.Fatalf("qpud: %v", err)
+	}
+}

@@ -1,0 +1,57 @@
+// Architectures: compare the three split-execution deployments of the
+// paper's Fig. 1 on a workload derived from the stage models — (a) one host
+// and one QPU, (b) many hosts sharing a QPU, (c) a QPU on every node. The
+// punchline follows from the paper's own bottleneck analysis: because the
+// classical pre-processing dominates each job, adding hosts helps even when
+// the single QPU is shared.
+//
+//	go run ./examples/architectures
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	splitexec "github.com/splitexec/splitexec"
+)
+
+func main() {
+	pred := splitexec.NewPredictor(splitexec.SimpleNode())
+
+	fmt.Println("batch of 48 jobs, problem size n = 30, pa = 0.99, ps = 0.7")
+	fmt.Println()
+	for _, n := range []int{20, 30, 50} {
+		s, err := pred.Predict(n, 0.99, 0.7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		init := splitexec.DW2Timings().ProcessorInitialize()
+		profile := splitexec.JobProfile{
+			PreProcess:  durOf(s.Stage1) - init,
+			Network:     10 * time.Microsecond,
+			QPUService:  init + durOf(s.Stage2),
+			PostProcess: durOf(s.Stage3),
+		}
+		rows, err := splitexec.CompareArchitectures(profile, 48, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("n=%d (pre-process %v/job, QPU service %v/job):\n",
+			n, profile.PreProcess.Round(time.Millisecond), profile.QPUService.Round(time.Millisecond))
+		for _, r := range rows {
+			fmt.Printf("  %-40s makespan %-14v %.2fx\n",
+				r.System.Kind, r.Makespan.Round(time.Millisecond), r.Speedup)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Because stage 1 (classical embedding) dominates, the shared-resource")
+	fmt.Println("design (b) already recovers most of the dedicated design's (c) speedup:")
+	fmt.Println("the contended QPU is idle most of the time — the paper's bottleneck")
+	fmt.Println("conclusion, restated as an architecture decision.")
+}
+
+func durOf(seconds float64) time.Duration {
+	return time.Duration(seconds * float64(time.Second))
+}

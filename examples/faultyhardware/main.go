@@ -1,0 +1,57 @@
+// Faulty hardware: the paper (§2.2) notes that fabrication faults destroy
+// the Chimera symmetry and make minor embedding harder. This example solves
+// the same weighted MAX-CUT instance on a pristine and on a progressively
+// degraded processor, comparing embedding effort and chain growth.
+//
+//	go run ./examples/faultyhardware
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	splitexec "github.com/splitexec/splitexec"
+	"github.com/splitexec/splitexec/internal/graph"
+	"github.com/splitexec/splitexec/internal/machine"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	g := splitexec.Grid(3, 4) // 12 vertices, 17 edges
+	weight := func(u, v int) float64 { return float64((u+v)%3 + 1) }
+	problem := splitexec.MaxCut(g, weight)
+
+	fmt.Println("weighted MAX-CUT on a 3x4 grid, C(8,8,4) processor")
+	fmt.Printf("%-12s %-10s %-12s %-10s %-10s %s\n",
+		"fault rate", "yield", "phys qubits", "max chain", "cut", "embed time")
+
+	for _, rate := range []float64{0, 0.02, 0.05, 0.10} {
+		node := machine.SimpleNode()
+		node.QPU = machine.DW2Vesuvius()
+		hwGraph := node.QPU.Topology.Graph()
+		node.QPU.Faults = graph.RandomFaults(hwGraph, rate, rate/4, rng)
+
+		solver := splitexec.NewSolver(splitexec.Config{
+			Node: node,
+			Seed: 11,
+		})
+		sol, err := solver.SolveQUBO(problem)
+		if err != nil {
+			log.Fatalf("fault rate %v: %v", rate, err)
+		}
+		fmt.Printf("%-12.2f %-10.3f %-12d %-10d %-10.0f %v\n",
+			rate,
+			node.QPU.Faults.Yield(hwGraph.Order()),
+			sol.EmbedStats.PhysicalQubits,
+			sol.EmbedStats.MaxChainLength,
+			splitexec.CutValue(g, weight, sol.Binary),
+			sol.Timing.EmbedSearch,
+		)
+	}
+
+	fmt.Println()
+	fmt.Println("Dead qubits break the Chimera symmetry, so the embedder must route")
+	fmt.Println("around them (chains and search effort vary run to run), yet the")
+	fmt.Println("solution quality stays intact — the annealer still finds the same cut.")
+}

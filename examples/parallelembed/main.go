@@ -1,0 +1,89 @@
+// Parallel pre-processing: the paper's conclusion (§4) notes its models
+// "have not exploited more sophisticated host systems" and that "there may
+// be additional parallel strategies that can accelerate the pre-processing
+// stage." This example demonstrates two such strategies on a real host:
+// multi-seed embedding racing (best-of-K across cores) and stage-overlap
+// pipelining that hides quantum execution behind the embedding bottleneck.
+//
+//	go run ./examples/parallelembed
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	splitexec "github.com/splitexec/splitexec"
+)
+
+func main() {
+	hw := splitexec.Vesuvius().Graph()
+	g := splitexec.Complete(10)
+
+	fmt.Println("== strategy 1: multi-seed embedding race (best-of-K) ==")
+	for _, workers := range []int{1, 2, 4} {
+		start := time.Now()
+		res, err := splitexec.FindEmbeddingParallel(g, hw, splitexec.ParallelEmbedOptions{
+			Workers: workers, Seeds: 8, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("workers=%d: 8 restarts in %8v, best uses %d qubits (%d/%d restarts succeeded)\n",
+			workers, time.Since(start).Round(time.Millisecond), int(res.Quality), res.Succeeded, res.Succeeded+res.Failed)
+	}
+	fmt.Println("same seeds → same best embedding; more workers only shrink wall-clock time.")
+
+	fmt.Println("\n== strategy 2: stage-overlap pipelining ==")
+	// Per-job costs in the paper's regime: stage 1 (embedding + 0.32 s
+	// programming) dwarfs stage 2 (a few hundred µs of annealing).
+	jobs := make([]splitexec.StageCost, 16)
+	for i := range jobs {
+		jobs[i] = splitexec.StageCost{
+			Pre:  500 * time.Millisecond,
+			QPU:  413 * time.Microsecond, // 4 reads × 20 µs + readout + therm.
+			Post: 50 * time.Microsecond,
+		}
+	}
+	seq := splitexec.SequentialMakespan(jobs)
+	pip, _, err := splitexec.PipelinedMakespan(jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp, err := splitexec.PipelineSpeedup(jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("16-job batch, stage-1 dominant: serial %v → pipelined %v (speedup %.4f)\n",
+		seq.Round(time.Millisecond), pip.Round(time.Millisecond), sp)
+
+	balanced := make([]splitexec.StageCost, 16)
+	for i := range balanced {
+		balanced[i] = splitexec.StageCost{Pre: time.Millisecond, QPU: time.Millisecond, Post: 100 * time.Microsecond}
+	}
+	sp2, err := splitexec.PipelineSpeedup(balanced)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same batch with balanced stages:                              speedup %.4f\n", sp2)
+	fmt.Println("\npipelining pays exactly where the QPU time can hide behind classical work;")
+	fmt.Println("in the paper's regime stage 2 is already negligible, so overlap gains little —")
+	fmt.Println("the bottleneck must be attacked inside stage 1 (multi-seed racing, caching).")
+
+	fmt.Println("\n== live overlap with real goroutines ==")
+	counter := 0
+	live := make([]splitexec.PipelineJob, 8)
+	for i := range live {
+		live[i] = splitexec.PipelineJob{
+			Pre:    func() error { time.Sleep(2 * time.Millisecond); return nil },
+			Anneal: func() error { time.Sleep(2 * time.Millisecond); return nil },
+			Post:   func() error { counter++; return nil },
+		}
+	}
+	start := time.Now()
+	if err := splitexec.RunPipeline(live); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("8 jobs × (2 ms pre + 2 ms anneal) finished in %v (serial would be ≥32 ms), %d post-processed\n",
+		time.Since(start).Round(time.Millisecond), counter)
+}

@@ -1,0 +1,86 @@
+// Performance model: use the ASPEN-based analytic path directly — the
+// workflow of the paper itself. Evaluates the three stage models across
+// problem sizes, prints the Fig. 9 story, and demonstrates evaluating a
+// custom ASPEN model against the Fig. 5 machine.
+//
+//	go run ./examples/performancemodel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	splitexec "github.com/splitexec/splitexec"
+)
+
+func main() {
+	pred := splitexec.NewPredictor(splitexec.SimpleNode())
+
+	fmt.Println("analytic stage predictions, pa=0.99, ps=0.7 (paper Fig. 9):")
+	fmt.Printf("%-6s %-14s %-14s %-14s %s\n", "n", "stage1 (s)", "stage2 (s)", "stage3 (s)", "stage1 share")
+	for _, n := range []int{5, 10, 20, 30, 50, 100} {
+		s, err := pred.Predict(n, 0.99, 0.7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6d %-14.4g %-14.4g %-14.4g %.4f\n",
+			n, s.Stage1, s.Stage2, s.Stage3, s.Stage1/s.Total())
+	}
+
+	fmt.Println()
+	fmt.Println("custom ASPEN model on the Fig. 5 machine: a hybrid kernel that")
+	fmt.Println("interleaves host flops, PCIe transfers and quantum reads:")
+
+	const src = `
+model Hybrid {
+  param N = 0 // Input Parameter
+  param Reads = 100
+
+  kernel prepare {
+    execute [1] {
+      flops [N^2 * 50] as sp, simd
+      stores [N*8]
+    }
+  }
+  kernel offload {
+    execute [1] {
+      intracomm [N*8] as copyout
+      QuOps [Reads]
+      intracomm [Reads*N] as copyin
+    }
+  }
+  kernel main {
+    prepare
+    iterate [10] { offload }
+  }
+}
+`
+	f, err := splitexec.ParseAspen(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mach, err := splitexec.ParseAspenWithIncludes(splitexec.SimpleNode().ToAspen())
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := splitexec.BuildAspenMachine(mach, "SimpleNode")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := splitexec.EvaluateAspen(f.Models[0], spec, splitexec.AspenEvalOptions{
+		HostSocket: "intel_xeon_e5_2680",
+		Params:     map[string]float64{"N": 512},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, k := range res.Kernels {
+		fmt.Printf("  kernel %-10s %.6g s\n", k.Name, k.Seconds)
+	}
+	fmt.Printf("  total             %.6g s\n", res.TotalSeconds())
+	fmt.Println()
+	fmt.Println("per resource class:")
+	for verb, sec := range res.ByVerb() {
+		fmt.Printf("  %-12s %.6g s\n", verb, sec)
+	}
+}

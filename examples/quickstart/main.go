@@ -1,0 +1,37 @@
+// Quickstart: solve a small MAX-CUT problem on the simulated
+// split-execution system and inspect where the time went.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	splitexec "github.com/splitexec/splitexec"
+)
+
+func main() {
+	// An 8-cycle is bipartite, so the maximum cut severs all 8 edges.
+	g := splitexec.Cycle(8)
+	problem := splitexec.MaxCut(g, nil)
+
+	solver := splitexec.NewSolver(splitexec.Config{Seed: 42})
+	sol, err := solver.SolveQUBO(problem)
+	if err != nil {
+		log.Fatalf("solve: %v", err)
+	}
+
+	fmt.Printf("partition: %v\n", sol.Binary)
+	fmt.Printf("cut value: %.0f (energy %.0f)\n", splitexec.CutValue(g, nil, sol.Binary), sol.Energy)
+	fmt.Printf("QPU reads: %d (Eq. 6 with pa=0.99, ps=0.7)\n", sol.Reads)
+	fmt.Println()
+	fmt.Println("time-to-solution:")
+	fmt.Printf("  stage 1 (translate+embed+program): %v\n", sol.Timing.Stage1())
+	fmt.Printf("  stage 2 (quantum execution):       %v\n", sol.Timing.Stage2())
+	fmt.Printf("  stage 3 (post-processing):         %v\n", sol.Timing.Stage3())
+	fmt.Println()
+	fmt.Println("The paper's conclusion in one run: stage 1 — dominated by the classical")
+	fmt.Println("minor-embedding search and the 0.32 s processor-programming constant —")
+	fmt.Println("exceeds quantum execution time by orders of magnitude.")
+}

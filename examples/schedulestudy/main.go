@@ -1,0 +1,82 @@
+// Schedule study: how the annealing waveform and duration (§2.2's
+// "temporal waveform and duration") shape the single-run success
+// probability ps and the time-to-solution, and how the resulting ps feeds
+// the split-execution solver's Eq. 6 repetition count.
+//
+//	go run ./examples/schedulestudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	splitexec "github.com/splitexec/splitexec"
+)
+
+func main() {
+	gap := splitexec.DefaultGapModel()
+	lim := splitexec.DW2ScheduleLimits()
+	perRead := 325 * time.Microsecond // readout (320 µs) + thermalization (5 µs)
+
+	fmt.Println("== TTS vs anneal duration (linear ramps, pa = 0.99) ==")
+	curve, err := splitexec.SweepTTS(gap, 0.99, lim.MinDuration, lim.MaxDuration, 12, perRead)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%12s %8s %7s %12s\n", "anneal", "ps", "reads", "TTS")
+	for _, r := range curve {
+		fmt.Printf("%12v %8.4f %7d %12v\n", r.AnnealTime.Round(time.Microsecond), r.Ps, r.Reads, r.Total.Round(time.Microsecond))
+	}
+
+	best, tts, err := splitexec.OptimalAnnealTime(gap, 0.99, lim, perRead)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noptimal anneal duration: %v (TTS %v)\n", best.Round(time.Microsecond), tts.Round(time.Microsecond))
+	fmt.Println("the curve is the canonical U: short anneals repeat too often, long ones overpay per read")
+
+	fmt.Println("\n== waveform shaping at the default 20 µs ==")
+	linear := splitexec.LinearSchedule(20 * time.Microsecond)
+	psLin, _ := splitexec.SuccessProbability(linear, gap)
+	paused, err := splitexec.ScheduleWithPause(20*time.Microsecond, gap.Position, 100*time.Microsecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	psPause, _ := splitexec.SuccessProbability(paused, gap)
+	quench, err := splitexec.ScheduleWithQuench(20*time.Microsecond, 0.5, 200*time.Nanosecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	psQuench, _ := splitexec.SuccessProbability(quench, gap)
+	fmt.Printf("linear ramp:            ps = %.4f\n", psLin)
+	fmt.Printf("pause at the gap (s*):  ps = %.4f\n", psPause)
+	fmt.Printf("quench across the gap:  ps = %.4f\n", psQuench)
+	if err := quench.Validate(lim); err != nil {
+		fmt.Printf("(hardware would reject that quench: %v)\n", err)
+	}
+
+	fmt.Println("\n== programming the waveform into the split-execution solver ==")
+	g := splitexec.Cycle(10)
+	problem := splitexec.MaxCut(g, nil)
+	optimal := splitexec.LinearSchedule(best)
+	for _, cfg := range []struct {
+		name string
+		sc   splitexec.Schedule
+	}{
+		{"linear 20 µs", linear},
+		{"optimal duration", optimal},
+	} {
+		sc := cfg.sc
+		solver := splitexec.NewSolver(splitexec.Config{Seed: 7, Schedule: &sc})
+		sol, err := solver.SolveQUBO(problem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s derived ps=%.4f reads=%3d stage2=%v\n",
+			cfg.name, sol.SuccessProb, sol.Reads, sol.Timing.Stage2())
+	}
+	fmt.Println("\neven the worst schedule leaves stage 2 far below the stage-1 embedding cost —")
+	fmt.Println("the paper's conclusion is insensitive to the schedule, which is why its Fig. 9(b)")
+	fmt.Println("looks the same for every ps > 0.6.")
+}

@@ -1,0 +1,237 @@
+package splitexec_test
+
+// Smoke tests for the extension sections of the public facade: every new
+// re-export is exercised once through the splitexec import path, so a
+// downstream user of the package sees the same behaviour the internal
+// packages' own suites verify in depth.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	splitexec "github.com/splitexec/splitexec"
+)
+
+func TestFacadeScheduleExports(t *testing.T) {
+	sc := splitexec.LinearSchedule(20 * time.Microsecond)
+	if err := sc.Validate(splitexec.DW2ScheduleLimits()); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := splitexec.SuccessProbability(sc, splitexec.DefaultGapModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps < 0.65 || ps > 0.75 {
+		t.Fatalf("ps = %v, want ≈0.7", ps)
+	}
+	tts, err := splitexec.TTS(20*time.Microsecond, ps, 0.99, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tts <= 0 {
+		t.Fatal("non-positive TTS")
+	}
+	best, _, err := splitexec.OptimalAnnealTime(splitexec.DefaultGapModel(), 0.99,
+		splitexec.DW2ScheduleLimits(), 325*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best < splitexec.DW2ScheduleLimits().MinDuration {
+		t.Fatalf("optimal %v below hardware floor", best)
+	}
+	if _, err := splitexec.ScheduleWithPause(20*time.Microsecond, 0.5, time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := splitexec.ScheduleWithQuench(20*time.Microsecond, 0.5, time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := splitexec.CustomSchedule([]splitexec.SchedulePoint{{T: 0, S: 0}, {T: time.Microsecond, S: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := splitexec.SweepTTS(splitexec.DefaultGapModel(), 0.9, time.Microsecond, time.Millisecond, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	ring := splitexec.NewIsing(4)
+	for i := 0; i < 4; i++ {
+		ring.SetCoupling(i, (i+1)%4, -1)
+	}
+	gap, err := splitexec.EstimateGap(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap.MinGap <= 0 || gap.MinGap > 1 {
+		t.Fatalf("estimated gap %v outside (0,1]", gap.MinGap)
+	}
+}
+
+func TestFacadeControlExports(t *testing.T) {
+	ctl := splitexec.NewController()
+	if ctl.DAC != splitexec.DW2DAC() {
+		t.Fatal("controller not using DW2 DAC")
+	}
+	m := splitexec.NewIsing(4)
+	m.H[0] = 0.5
+	m.SetCoupling(0, 1, -0.8)
+	res, err := ctl.Program(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 319573*time.Microsecond {
+		t.Fatalf("programming total %v, want the paper's constant", res.Total)
+	}
+	if len(splitexec.ProgrammingSequence(splitexec.DW2Timings())) != 7 {
+		t.Fatal("phase ledger should have 7 entries")
+	}
+	rng := rand.New(rand.NewSource(1))
+	ice := splitexec.DW2ICE()
+	if got := ice.Perturb(m.Clone(), rng); got <= 0 {
+		t.Fatal("ICE produced no perturbation")
+	}
+	hw := splitexec.Vesuvius().Graph()
+	fm, rep, err := splitexec.Calibrate(hw, splitexec.DefaultCalibration(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.QubitsTested != hw.Order() || fm.Yield(hw.Order()) != rep.Yield {
+		t.Fatal("calibration report inconsistent")
+	}
+	bits, err := splitexec.RequiredBits(1, 0.1)
+	if err != nil || bits != 5 {
+		t.Fatalf("RequiredBits = %d, %v", bits, err)
+	}
+}
+
+func TestFacadeGIExports(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := splitexec.Cycle(5)
+	h, err := splitexec.RelabelGraph(g, []int{4, 2, 0, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := splitexec.AreIsomorphic(g, h, splitexec.GIOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Isomorphic {
+		t.Fatal("relabeled cycle not identified")
+	}
+	if err := splitexec.VerifyIsomorphism(g, h, res.Perm); err != nil {
+		t.Fatal(err)
+	}
+	idx, _, err := splitexec.MatchGraph(h, []*splitexec.Graph{splitexec.Star(5), g}, splitexec.GIOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Fatalf("MatchGraph = %d, want 1", idx)
+	}
+	red, err := splitexec.ReduceGI(g, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Q.Dim() != 25 {
+		t.Fatalf("reduction dim %d", red.Q.Dim())
+	}
+}
+
+func TestFacadeParallelExports(t *testing.T) {
+	hw := splitexec.Vesuvius().Graph()
+	res, err := splitexec.FindEmbeddingParallel(splitexec.Complete(5), hw,
+		splitexec.ParallelEmbedOptions{Workers: 2, Seeds: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := splitexec.ValidateMinor(splitexec.Complete(5), hw, res.VM, true); err != nil {
+		t.Fatal(err)
+	}
+	items, err := splitexec.EmbedBatch([]*splitexec.Graph{splitexec.Cycle(4)}, hw, 2, 1, splitexec.EmbedOptions{})
+	if err != nil || items[0].Err != nil {
+		t.Fatalf("EmbedBatch: %v / %v", err, items[0].Err)
+	}
+	jobs := []splitexec.StageCost{
+		{Pre: time.Millisecond, QPU: time.Millisecond, Post: time.Microsecond},
+		{Pre: time.Millisecond, QPU: time.Millisecond, Post: time.Microsecond},
+	}
+	seq := splitexec.SequentialMakespan(jobs)
+	pip, _, err := splitexec.PipelinedMakespan(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pip >= seq {
+		t.Fatalf("no overlap: %v >= %v", pip, seq)
+	}
+	if sp, err := splitexec.PipelineSpeedup(jobs); err != nil || sp <= 1 {
+		t.Fatalf("speedup %v, %v", sp, err)
+	}
+	ran := false
+	if err := splitexec.RunPipeline([]splitexec.PipelineJob{{Post: func() error { ran = true; return nil }}}); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("RunPipeline skipped the job")
+	}
+}
+
+func TestFacadeDSEExports(t *testing.T) {
+	obj := splitexec.DSEObjective(func(p map[string]float64) (float64, error) {
+		return p["x"] * p["x"], nil
+	})
+	tbl, err := splitexec.SweepModel(obj, []splitexec.DSEAxis{{Name: "x", Values: splitexec.LinSpace(1, 3, 3)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 || tbl.Rows[2].Value != 9 {
+		t.Fatalf("sweep rows %v", tbl.Rows)
+	}
+	sens, err := splitexec.Sensitivities(obj, map[string]float64{"x": 2}, 0.01)
+	if err != nil || len(sens) != 1 {
+		t.Fatalf("sensitivities: %v %v", sens, err)
+	}
+	if sens[0].Elasticity < 1.9 || sens[0].Elasticity > 2.1 {
+		t.Fatalf("elasticity %v, want ≈2", sens[0].Elasticity)
+	}
+	budget := splitexec.DSEObjective(func(map[string]float64) (float64, error) { return 4, nil })
+	x, err := splitexec.Crossover(obj, budget, "x", 0.1, 10, nil, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x < 1.99 || x > 2.01 {
+		t.Fatalf("crossover %v, want 2", x)
+	}
+	if vals := splitexec.LogSpace(1, 100, 3); len(vals) != 3 || vals[1] < 9.999 || vals[1] > 10.001 {
+		t.Fatalf("LogSpace %v", vals)
+	}
+}
+
+func TestFacadeWorkloadExports(t *testing.T) {
+	c := []float64{1, 2, 3}
+	p, err := splitexec.IntegerLinearProgram(c, [][]float64{{1, 1, 1}}, []float64{2}, splitexec.SafeILPPenalty(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := p.Q.BruteForce()
+	if x[0] != 1 || x[1] != 1 || x[2] != 0 {
+		t.Fatalf("ILP optimum %v", x)
+	}
+	H := [][]float64{{1, -1}, {-1, 1}}
+	y := []float64{1, -1}
+	e, err := splitexec.WeakClassifierEnsemble(H, y, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := e.Q.BruteForce()
+	if w[0] != 1 {
+		t.Fatalf("perfect classifier not selected: %v", w)
+	}
+	sets := [][]int{{0, 1}, {2}, {0, 1, 2}}
+	sc, err := splitexec.MinSetCover(3, sets, nil, splitexec.SafeSetCoverPenalty(sets, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := sc.Q.BruteForce()
+	chosen, valid := sc.Decode(b)
+	if !valid || !splitexec.IsSetCover(3, sets, chosen) {
+		t.Fatalf("facade set cover invalid: %v", chosen)
+	}
+}

@@ -1,0 +1,69 @@
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/splitexec/splitexec/internal/qubo"
+	"github.com/splitexec/splitexec/internal/schedule"
+)
+
+// EstimateGap builds a schedule.GapModel for an Ising instance from its
+// classical energy spectrum, by exhaustive enumeration (feasible to ~20
+// spins). The paper (§3.2) ties the single-run success probability to "the
+// internal energy structure of the Ising Hamiltonian"; the true quantity is
+// the minimum *quantum* gap of the interpolating Hamiltonian, which is
+// exponentially hard to compute, so this uses the standard classical proxy:
+// the spacing between the ground and first-excited classical levels,
+// normalized by the spectral width. Instances whose low-energy levels
+// crowd together (spin glasses) map to small model gaps and hence low ps;
+// well-separated spectra (ferromagnets, strongly-penalized encodings) map
+// to large gaps. The gap position is fixed at the late-anneal value of
+// schedule.DefaultGap, where hard instances bottleneck.
+func EstimateGap(m *qubo.Ising) (schedule.GapModel, error) {
+	n := m.Dim()
+	if n < 1 {
+		return schedule.GapModel{}, fmt.Errorf("anneal: empty model")
+	}
+	if n > 22 {
+		return schedule.GapModel{}, fmt.Errorf("anneal: %d spins too large for exhaustive gap estimation", n)
+	}
+	energies := make([]float64, 0, 1<<uint(n))
+	spins := make([]int8, n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for i := 0; i < n; i++ {
+			if mask>>uint(i)&1 == 1 {
+				spins[i] = 1
+			} else {
+				spins[i] = -1
+			}
+		}
+		energies = append(energies, m.Energy(spins))
+	}
+	sort.Float64s(energies)
+	e0 := energies[0]
+	width := energies[len(energies)-1] - e0
+	if width <= 0 {
+		return schedule.GapModel{}, fmt.Errorf("anneal: flat spectrum, gap undefined")
+	}
+	// First strictly higher level.
+	e1 := math.NaN()
+	const tol = 1e-12
+	for _, e := range energies[1:] {
+		if e > e0+tol*math.Max(1, math.Abs(e0)) {
+			e1 = e
+			break
+		}
+	}
+	if math.IsNaN(e1) {
+		return schedule.GapModel{}, fmt.Errorf("anneal: fully degenerate spectrum, gap undefined")
+	}
+	gap := (e1 - e0) / width
+	pos := schedule.DefaultGap().Position
+	g := schedule.GapModel{MinGap: gap, Position: pos}
+	if err := g.Validate(); err != nil {
+		return schedule.GapModel{}, err
+	}
+	return g, nil
+}

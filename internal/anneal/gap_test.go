@@ -1,0 +1,105 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/splitexec/splitexec/internal/qubo"
+	"github.com/splitexec/splitexec/internal/schedule"
+)
+
+func TestEstimateGapFerromagnetExact(t *testing.T) {
+	// 4-ring ferromagnet: E0 = -4 (aligned), E1 = 0 (one domain wall pair),
+	// Emax = +4 (odd... fully frustrated alternation violates all 4 edges).
+	m := qubo.NewIsing(4)
+	for i := 0; i < 4; i++ {
+		m.SetCoupling(i, (i+1)%4, -1)
+	}
+	g, err := EstimateGap(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.MinGap-0.5) > 1e-9 {
+		t.Fatalf("MinGap = %v, want (0-(-4))/(4-(-4)) = 0.5", g.MinGap)
+	}
+	if g.Position != schedule.DefaultGap().Position {
+		t.Fatalf("Position = %v", g.Position)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateGapGlassSmallerThanFerromagnet(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ferro := qubo.NewIsing(8)
+	for i := 0; i < 8; i++ {
+		ferro.SetCoupling(i, (i+1)%8, -1)
+	}
+	gF, err := EstimateGap(ferro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A random glass over the same ring: continuous couplings crowd the
+	// low-energy spectrum, shrinking the normalized gap.
+	glass := qubo.NewIsing(8)
+	for i := 0; i < 8; i++ {
+		glass.H[i] = rng.NormFloat64() * 0.3
+		glass.SetCoupling(i, (i+1)%8, rng.NormFloat64())
+	}
+	gG, err := EstimateGap(glass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gG.MinGap >= gF.MinGap {
+		t.Fatalf("glass gap %v not smaller than ferromagnet %v", gG.MinGap, gF.MinGap)
+	}
+}
+
+func TestEstimateGapDrivesSchedulePlanning(t *testing.T) {
+	// The whole point: instance → gap → ps → Eq. 6 reads. A harder instance
+	// must plan a longer optimal anneal.
+	easy := qubo.NewIsing(6)
+	for i := 0; i < 6; i++ {
+		easy.SetCoupling(i, (i+1)%6, -1)
+	}
+	// Near-degenerate by construction: a tiny field on one spin of the same
+	// ring splits the doubly-degenerate ground state by only 2·h, so the
+	// normalized gap collapses.
+	hard := easy.Clone()
+	hard.H[0] = 0.05
+	gEasy, err := EstimateGap(easy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gHard, err := EstimateGap(hard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := schedule.DW2Limits()
+	bestEasy, _, err := schedule.OptimalAnnealTime(gEasy, 0.99, lim, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestHard, _, err := schedule.OptimalAnnealTime(gHard, 0.99, lim, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestHard < bestEasy {
+		t.Fatalf("harder instance planned shorter anneal: %v < %v", bestHard, bestEasy)
+	}
+}
+
+func TestEstimateGapErrors(t *testing.T) {
+	if _, err := EstimateGap(qubo.NewIsing(0)); err == nil {
+		t.Fatal("empty model accepted")
+	}
+	if _, err := EstimateGap(qubo.NewIsing(23)); err == nil {
+		t.Fatal("oversized model accepted")
+	}
+	// All-zero model: flat spectrum.
+	if _, err := EstimateGap(qubo.NewIsing(3)); err == nil {
+		t.Fatal("flat spectrum accepted")
+	}
+}

@@ -1,0 +1,118 @@
+package anneal
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/splitexec/splitexec/internal/stats"
+)
+
+// Sample is one readout of the processor register: a classical spin
+// configuration and its program energy.
+type Sample struct {
+	Spins  []int8
+	Energy float64
+}
+
+// SampleSet accumulates readouts across repeated anneals, the "ensemble of
+// readout results gathered during multiple runs" the paper's stage 3 sorts.
+type SampleSet struct {
+	Dim     int
+	Samples []Sample
+	sorted  bool
+}
+
+// NewSampleSet returns an empty set over spin vectors of the given length.
+func NewSampleSet(dim int) *SampleSet {
+	return &SampleSet{Dim: dim}
+}
+
+// Add appends one readout (the spin slice is copied).
+func (ss *SampleSet) Add(spins []int8, energy float64) {
+	if len(spins) != ss.Dim {
+		panic(fmt.Sprintf("anneal: sample length %d != dim %d", len(spins), ss.Dim))
+	}
+	ss.Samples = append(ss.Samples, Sample{Spins: append([]int8(nil), spins...), Energy: energy})
+	ss.sorted = false
+}
+
+// Len returns the number of readouts.
+func (ss *SampleSet) Len() int { return len(ss.Samples) }
+
+// SortByEnergy heapsorts the readouts ascending by energy (paper stage 3)
+// and returns the number of comparisons performed.
+func (ss *SampleSet) SortByEnergy() int {
+	comps := stats.Heapsort(len(ss.Samples),
+		func(i, j int) bool { return ss.Samples[i].Energy < ss.Samples[j].Energy },
+		func(i, j int) { ss.Samples[i], ss.Samples[j] = ss.Samples[j], ss.Samples[i] })
+	ss.sorted = true
+	return comps
+}
+
+// Best returns the lowest-energy sample. It panics on an empty set.
+func (ss *SampleSet) Best() Sample {
+	if len(ss.Samples) == 0 {
+		panic("anneal: Best of empty sample set")
+	}
+	if ss.sorted {
+		return ss.Samples[0]
+	}
+	best := ss.Samples[0]
+	for _, s := range ss.Samples[1:] {
+		if s.Energy < best.Energy {
+			best = s
+		}
+	}
+	return best
+}
+
+// Energies returns the energy of every readout in collection order.
+func (ss *SampleSet) Energies() []float64 {
+	es := make([]float64, len(ss.Samples))
+	for i, s := range ss.Samples {
+		es[i] = s.Energy
+	}
+	return es
+}
+
+// Multiplicity returns how many readouts share the minimum energy (within
+// tol); the paper notes sorting "to identify the multiplicity for each value
+// and avoid redundant computation".
+func (ss *SampleSet) Multiplicity(tol float64) int {
+	if len(ss.Samples) == 0 {
+		return 0
+	}
+	best := ss.Best().Energy
+	n := 0
+	for _, s := range ss.Samples {
+		if math.Abs(s.Energy-best) <= tol {
+			n++
+		}
+	}
+	return n
+}
+
+// SuccessRate returns the fraction of readouts whose energy is within tol of
+// the reference ground energy — the empirical estimate of the paper's
+// characteristic single-run success probability ps.
+func (ss *SampleSet) SuccessRate(groundEnergy, tol float64) float64 {
+	if len(ss.Samples) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, s := range ss.Samples {
+		if s.Energy <= groundEnergy+tol {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(ss.Samples))
+}
+
+// Merge appends all samples from other into ss.
+func (ss *SampleSet) Merge(other *SampleSet) {
+	if other.Dim != ss.Dim {
+		panic(fmt.Sprintf("anneal: merging sets of dim %d and %d", other.Dim, ss.Dim))
+	}
+	ss.Samples = append(ss.Samples, other.Samples...)
+	ss.sorted = false
+}

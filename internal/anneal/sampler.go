@@ -1,0 +1,157 @@
+// Package anneal simulates the quantum processing unit of the
+// split-execution system. The real D-Wave device is unavailable, so the QPU
+// substrate is a classical annealer over the *hardware* Ising program (the
+// chain-coupled, Chimera-constrained model produced by parameter setting)
+// plus the paper's timing constants for annealing, readout, thermalization
+// and programming. This preserves the code path the paper models — program,
+// repeat anneal+readout, post-process — and its probabilistic behaviour: a
+// single anneal finds the ground state with some probability ps < 1, so the
+// host repeats until the target accuracy is met (Eq. 6).
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/splitexec/splitexec/internal/qubo"
+)
+
+// SamplerOptions configure the Metropolis simulated annealer.
+type SamplerOptions struct {
+	// Sweeps is the number of full Metropolis sweeps per anneal (default 64).
+	Sweeps int
+	// BetaStart and BetaEnd define the geometric inverse-temperature
+	// schedule (defaults 0.1 → 10, scaled by the largest coefficient).
+	BetaStart, BetaEnd float64
+}
+
+func (o SamplerOptions) withDefaults(m *qubo.Ising) SamplerOptions {
+	if o.Sweeps <= 0 {
+		o.Sweeps = 64
+	}
+	scale := m.MaxAbsCoefficient()
+	if scale == 0 {
+		scale = 1
+	}
+	if o.BetaStart <= 0 {
+		o.BetaStart = 0.1 / scale
+	}
+	if o.BetaEnd <= 0 {
+		o.BetaEnd = 10 / scale
+	}
+	return o
+}
+
+// Sampler draws low-energy spin configurations from an Ising model using
+// simulated annealing. It pre-compiles the model into adjacency lists, so a
+// single Sampler may be reused for many reads.
+type Sampler struct {
+	model  *qubo.Ising
+	active []int // spins that participate (nonzero bias or any coupling)
+	adjIdx [][]int32
+	adjJ   [][]float64
+	opts   SamplerOptions
+	betas  []float64
+}
+
+// NewSampler compiles the model for repeated annealing. Spins with zero bias
+// and no couplings are frozen at +1 and never touched, mirroring unused
+// physical qubits.
+func NewSampler(m *qubo.Ising, opts SamplerOptions) *Sampler {
+	opts = opts.withDefaults(m)
+	n := m.Dim()
+	s := &Sampler{
+		model:  m,
+		adjIdx: make([][]int32, n),
+		adjJ:   make([][]float64, n),
+		opts:   opts,
+	}
+	hasCoupling := make([]bool, n)
+	for _, e := range m.Edges() {
+		j := m.Coupling(e.U, e.V)
+		s.adjIdx[e.U] = append(s.adjIdx[e.U], int32(e.V))
+		s.adjJ[e.U] = append(s.adjJ[e.U], j)
+		s.adjIdx[e.V] = append(s.adjIdx[e.V], int32(e.U))
+		s.adjJ[e.V] = append(s.adjJ[e.V], j)
+		hasCoupling[e.U], hasCoupling[e.V] = true, true
+	}
+	for i := 0; i < n; i++ {
+		if m.H[i] != 0 || hasCoupling[i] {
+			s.active = append(s.active, i)
+		}
+	}
+	// Geometric β schedule.
+	s.betas = make([]float64, opts.Sweeps)
+	if opts.Sweeps == 1 {
+		s.betas[0] = opts.BetaEnd
+	} else {
+		ratio := math.Pow(opts.BetaEnd/opts.BetaStart, 1/float64(opts.Sweeps-1))
+		b := opts.BetaStart
+		for i := range s.betas {
+			s.betas[i] = b
+			b *= ratio
+		}
+	}
+	return s
+}
+
+// ActiveSpins returns the number of participating spins.
+func (s *Sampler) ActiveSpins() int { return len(s.active) }
+
+// Anneal performs one annealing run from a random initial state and returns
+// the resulting spin configuration and its energy (including the model
+// offset).
+func (s *Sampler) Anneal(rng *rand.Rand) ([]int8, float64) {
+	n := s.model.Dim()
+	spins := make([]int8, n)
+	for i := range spins {
+		spins[i] = 1
+	}
+	for _, i := range s.active {
+		if rng.Intn(2) == 0 {
+			spins[i] = -1
+		}
+	}
+	s.run(spins, rng)
+	return spins, s.model.Energy(spins)
+}
+
+// AnnealFrom performs one annealing run starting from the provided state
+// (mutated in place) and returns its final energy. The initial state must
+// have length Dim.
+func (s *Sampler) AnnealFrom(spins []int8, rng *rand.Rand) float64 {
+	if len(spins) != s.model.Dim() {
+		panic(fmt.Sprintf("anneal: state length %d != model dim %d", len(spins), s.model.Dim()))
+	}
+	s.run(spins, rng)
+	return s.model.Energy(spins)
+}
+
+func (s *Sampler) run(spins []int8, rng *rand.Rand) {
+	for _, beta := range s.betas {
+		for _, i := range s.active {
+			// ΔE for flipping spin i: -2·s_i·(h_i + Σ_j J_ij·s_j).
+			local := s.model.H[i]
+			idx := s.adjIdx[i]
+			js := s.adjJ[i]
+			for k, jn := range idx {
+				local += js[k] * float64(spins[jn])
+			}
+			dE := -2 * float64(spins[i]) * local
+			if dE <= 0 || rng.Float64() < math.Exp(-beta*dE) {
+				spins[i] = -spins[i]
+			}
+		}
+	}
+}
+
+// Sample runs reads independent anneals and collects the results.
+func (s *Sampler) Sample(reads int, rng *rand.Rand) *SampleSet {
+	set := NewSampleSet(s.model.Dim())
+	for r := 0; r < reads; r++ {
+		spins, e := s.Anneal(rng)
+		set.Add(spins, e)
+	}
+	return set
+}

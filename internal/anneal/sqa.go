@@ -1,0 +1,214 @@
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/splitexec/splitexec/internal/qubo"
+)
+
+// SQAOptions configure the simulated quantum annealing sampler.
+type SQAOptions struct {
+	// Replicas is the number of Trotter slices P (default 16).
+	Replicas int
+	// Sweeps is the number of annealing steps (default 64); the transverse
+	// field decays linearly from Gamma0 to GammaEnd across them.
+	Sweeps int
+	// Beta is the inverse temperature of the quantum system (default
+	// 10 / max|coefficient|).
+	Beta float64
+	// Gamma0 and GammaEnd bound the transverse-field schedule (defaults
+	// 3×max|coefficient| → 0.01×).
+	Gamma0, GammaEnd float64
+}
+
+func (o SQAOptions) withDefaults(m *qubo.Ising) SQAOptions {
+	scale := m.MaxAbsCoefficient()
+	if scale == 0 {
+		scale = 1
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 16
+	}
+	if o.Sweeps <= 0 {
+		o.Sweeps = 64
+	}
+	if o.Beta <= 0 {
+		o.Beta = 10 / scale
+	}
+	if o.Gamma0 <= 0 {
+		o.Gamma0 = 3 * scale
+	}
+	if o.GammaEnd <= 0 {
+		o.GammaEnd = 0.01 * scale
+	}
+	return o
+}
+
+// SQASampler approximates the adiabatic quantum dynamics of Eq. (1)/(2) by
+// path-integral Monte Carlo: the transverse-field Ising system at inverse
+// temperature β maps onto P coupled classical replicas ("Trotter slices"),
+// with an inter-replica ferromagnetic coupling
+//
+//	J⊥(Γ) = -(1/2β_P)·ln tanh(β_P·Γ),   β_P = β/P,
+//
+// that stiffens as the transverse field Γ anneals toward zero, collapsing
+// the world lines into a classical state. Compared to the plain Metropolis
+// Sampler this exercises the same programming/readout path but with the
+// quantum-annealing-style dynamics the D-Wave processor family implements.
+type SQASampler struct {
+	model  *qubo.Ising
+	active []int
+	adjIdx [][]int32
+	adjJ   [][]float64
+	opts   SQAOptions
+}
+
+// NewSQASampler compiles the hardware Ising model for repeated SQA runs.
+func NewSQASampler(m *qubo.Ising, opts SQAOptions) *SQASampler {
+	opts = opts.withDefaults(m)
+	n := m.Dim()
+	s := &SQASampler{
+		model:  m,
+		adjIdx: make([][]int32, n),
+		adjJ:   make([][]float64, n),
+		opts:   opts,
+	}
+	hasCoupling := make([]bool, n)
+	for _, e := range m.Edges() {
+		j := m.Coupling(e.U, e.V)
+		s.adjIdx[e.U] = append(s.adjIdx[e.U], int32(e.V))
+		s.adjJ[e.U] = append(s.adjJ[e.U], j)
+		s.adjIdx[e.V] = append(s.adjIdx[e.V], int32(e.U))
+		s.adjJ[e.V] = append(s.adjJ[e.V], j)
+		hasCoupling[e.U], hasCoupling[e.V] = true, true
+	}
+	for i := 0; i < n; i++ {
+		if m.H[i] != 0 || hasCoupling[i] {
+			s.active = append(s.active, i)
+		}
+	}
+	return s
+}
+
+// ActiveSpins returns the number of participating spins.
+func (s *SQASampler) ActiveSpins() int { return len(s.active) }
+
+// Replicas returns the Trotter slice count in use.
+func (s *SQASampler) Replicas() int { return s.opts.Replicas }
+
+// Anneal performs one simulated quantum annealing run and returns the best
+// replica's classical state and energy.
+func (s *SQASampler) Anneal(rng *rand.Rand) ([]int8, float64) {
+	n := s.model.Dim()
+	P := s.opts.Replicas
+	betaP := s.opts.Beta / float64(P)
+
+	// replica[k][i]: slice k of spin i. Inactive spins frozen at +1.
+	replicas := make([][]int8, P)
+	for k := range replicas {
+		replicas[k] = make([]int8, n)
+		for i := range replicas[k] {
+			replicas[k][i] = 1
+		}
+		for _, i := range s.active {
+			if rng.Intn(2) == 0 {
+				replicas[k][i] = -1
+			}
+		}
+	}
+
+	for sweep := 0; sweep < s.opts.Sweeps; sweep++ {
+		frac := float64(sweep) / float64(max(1, s.opts.Sweeps-1))
+		gamma := s.opts.Gamma0 + (s.opts.GammaEnd-s.opts.Gamma0)*frac
+		jPerp := -0.5 / betaP * math.Log(math.Tanh(betaP*gamma))
+
+		// Local moves: one Metropolis pass over every (spin, slice).
+		for _, i := range s.active {
+			for k := 0; k < P; k++ {
+				up := replicas[(k+1)%P][i]
+				down := replicas[(k-1+P)%P][i]
+				cur := replicas[k][i]
+				local := s.model.H[i]
+				idx, js := s.adjIdx[i], s.adjJ[i]
+				for t, jn := range idx {
+					local += js[t] * float64(replicas[k][jn])
+				}
+				// ΔE_eff = -2·s·[E_cl'/P − J⊥·(s_up + s_down)]
+				dE := -2 * float64(cur) * (local/float64(P) - jPerp*float64(up+down))
+				if dE <= 0 || rng.Float64() < math.Exp(-s.opts.Beta*dE) {
+					replicas[k][i] = -cur
+				}
+			}
+		}
+		// Global moves: flip a spin's entire world line (inter-replica
+		// terms cancel, so only the classical energy changes).
+		for _, i := range s.active {
+			dCl := 0.0
+			for k := 0; k < P; k++ {
+				local := s.model.H[i]
+				idx, js := s.adjIdx[i], s.adjJ[i]
+				for t, jn := range idx {
+					local += js[t] * float64(replicas[k][jn])
+				}
+				dCl += -2 * float64(replicas[k][i]) * local
+			}
+			dCl /= float64(P)
+			if dCl <= 0 || rng.Float64() < math.Exp(-s.opts.Beta*dCl) {
+				for k := 0; k < P; k++ {
+					replicas[k][i] = -replicas[k][i]
+				}
+			}
+		}
+	}
+
+	// Readout: the best replica (measurement collapses to one world line;
+	// taking the best is the standard SQA convention for optimization).
+	bestE := math.Inf(1)
+	var best []int8
+	for k := 0; k < P; k++ {
+		if e := s.model.Energy(replicas[k]); e < bestE {
+			bestE = e
+			best = replicas[k]
+		}
+	}
+	out := append([]int8(nil), best...)
+	return out, bestE
+}
+
+// Sample runs reads independent SQA anneals.
+func (s *SQASampler) Sample(reads int, rng *rand.Rand) *SampleSet {
+	set := NewSampleSet(s.model.Dim())
+	for r := 0; r < reads; r++ {
+		spins, e := s.Anneal(rng)
+		set.Add(spins, e)
+	}
+	return set
+}
+
+// Annealer is any single-shot sampler over an Ising program: the classical
+// Sampler and the quantum SQASampler both satisfy it.
+type Annealer interface {
+	Anneal(rng *rand.Rand) ([]int8, float64)
+}
+
+// Collect runs reads independent anneals of a on a model of dimension dim.
+func Collect(a Annealer, dim, reads int, rng *rand.Rand) (*SampleSet, error) {
+	if reads < 1 {
+		return nil, fmt.Errorf("anneal: reads = %d, need >= 1", reads)
+	}
+	set := NewSampleSet(dim)
+	for r := 0; r < reads; r++ {
+		spins, e := a.Anneal(rng)
+		set.Add(spins, e)
+	}
+	return set, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,135 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/splitexec/splitexec/internal/graph"
+	"github.com/splitexec/splitexec/internal/qubo"
+)
+
+func TestSQAFindsFerromagneticGround(t *testing.T) {
+	m := ferroChain(8)
+	s := NewSQASampler(m, SQAOptions{Sweeps: 128, Replicas: 8})
+	spins, e := s.Anneal(rand.New(rand.NewSource(1)))
+	if e != -7 {
+		t.Fatalf("energy = %v, want -7", e)
+	}
+	for i := 1; i < 8; i++ {
+		if spins[i] != spins[0] {
+			t.Fatalf("spins not aligned: %v", spins)
+		}
+	}
+}
+
+func TestSQAMatchesBruteForceSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 3; trial++ {
+		g := graph.GNP(7, 0.5, rng)
+		m := qubo.RandomIsing(g, 1, 1, rng)
+		_, want := m.BruteForce()
+		s := NewSQASampler(m, SQAOptions{Sweeps: 128, Replicas: 12})
+		best := math.Inf(1)
+		for r := 0; r < 15; r++ {
+			if _, e := s.Anneal(rng); e < best {
+				best = e
+			}
+		}
+		if math.Abs(best-want) > 1e-9 {
+			t.Errorf("trial %d: SQA best %v, exact %v", trial, best, want)
+		}
+	}
+}
+
+func TestSQARespectsInactiveSpins(t *testing.T) {
+	m := qubo.NewIsing(5)
+	m.SetCoupling(0, 1, -1)
+	s := NewSQASampler(m, SQAOptions{Sweeps: 16})
+	if s.ActiveSpins() != 2 {
+		t.Fatalf("active = %d", s.ActiveSpins())
+	}
+	spins, _ := s.Anneal(rand.New(rand.NewSource(3)))
+	for i := 2; i < 5; i++ {
+		if spins[i] != 1 {
+			t.Fatalf("inactive spin %d flipped", i)
+		}
+	}
+}
+
+func TestSQADeterministicBySeed(t *testing.T) {
+	m := ferroChain(6)
+	s := NewSQASampler(m, SQAOptions{Sweeps: 32, Replicas: 4})
+	_, e1 := s.Anneal(rand.New(rand.NewSource(7)))
+	_, e2 := s.Anneal(rand.New(rand.NewSource(7)))
+	if e1 != e2 {
+		t.Errorf("energies differ: %v vs %v", e1, e2)
+	}
+}
+
+func TestSQADefaults(t *testing.T) {
+	m := ferroChain(4)
+	s := NewSQASampler(m, SQAOptions{})
+	if s.Replicas() != 16 {
+		t.Errorf("default replicas = %d", s.Replicas())
+	}
+	if s.opts.Gamma0 <= s.opts.GammaEnd {
+		t.Error("default schedule not decreasing")
+	}
+}
+
+func TestSQASampleSetShape(t *testing.T) {
+	m := ferroChain(5)
+	s := NewSQASampler(m, SQAOptions{Sweeps: 16, Replicas: 4})
+	set := s.Sample(6, rand.New(rand.NewSource(4)))
+	if set.Len() != 6 || set.Dim != 5 {
+		t.Errorf("set = %d samples dim %d", set.Len(), set.Dim)
+	}
+}
+
+func TestQuantumDeviceLifecycle(t *testing.T) {
+	d := NewQuantumDevice(DW2Timings(), SQAOptions{Sweeps: 32, Replicas: 8})
+	d.Program(ferroChain(6))
+	set, err := d.Execute(8, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 8 {
+		t.Fatalf("reads = %d", set.Len())
+	}
+	if set.Best().Energy != -5 {
+		t.Errorf("best = %v, want -5", set.Best().Energy)
+	}
+	// Timing constants are the same regardless of substrate: the QPU model
+	// charges 20 µs per read either way.
+	_, exec := d.QPUTime()
+	if exec != DW2Timings().ExecutionTime(8) {
+		t.Errorf("exec time = %v", exec)
+	}
+}
+
+func TestCollectValidatesReads(t *testing.T) {
+	m := ferroChain(3)
+	s := NewSampler(m, SamplerOptions{})
+	if _, err := Collect(s, 3, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("reads=0 accepted")
+	}
+	set, err := Collect(s, 3, 2, rand.New(rand.NewSource(1)))
+	if err != nil || set.Len() != 2 {
+		t.Errorf("collect: %v, %d", err, set.Len())
+	}
+}
+
+// On a frustrated instance, SQA with enough replicas should at minimum be a
+// working optimizer: nonzero success probability at these sizes.
+func TestSQASuccessProbabilityNonzero(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.Complete(6)
+	m := qubo.RandomIsing(g, 1, 1, rng)
+	_, ground := m.BruteForce()
+	s := NewSQASampler(m, SQAOptions{Sweeps: 96, Replicas: 12})
+	set := s.Sample(40, rng)
+	if rate := set.SuccessRate(ground, 1e-9); rate == 0 {
+		t.Error("SQA never found the 6-spin ground state in 40 reads")
+	}
+}

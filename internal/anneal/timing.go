@@ -1,0 +1,87 @@
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Timings holds the hardware time constants of the QPU execution model. The
+// defaults are the DW2 "Vesuvius" values the paper embeds in its stage-1 and
+// stage-2 ASPEN listings (Figs. 6–7), in microseconds.
+type Timings struct {
+	// Programming (stage-1 InitializeProcessor constants).
+	StateCon time.Duration // electronic state-machine construction
+	PMMSW    time.Duration // programmable-magnetic-memory software setup
+	PMMElec  time.Duration // PMM electronics
+	PMMChip  time.Duration // PMM chip programming
+	PMMTherm time.Duration // post-programming thermalization
+	SWRun    time.Duration // software run overhead
+	ElecRun  time.Duration // electronics run overhead
+
+	// Per-call execution (stage-2 constants).
+	AnnealTime     time.Duration // single annealing sweep (QuOps: 20 µs)
+	ReadoutTime    time.Duration // register readout per call (320 µs)
+	Thermalization time.Duration // inter-sample thermalization (5 µs)
+}
+
+// DW2Timings returns the paper's DW2 Vesuvius constants: the
+// ProcessorInitialize components sum to 319,573 µs (≈0.32 s) and dominate
+// every stage-2 cost.
+func DW2Timings() Timings {
+	return Timings{
+		StateCon:       252162 * time.Microsecond,
+		PMMSW:          33095 * time.Microsecond,
+		PMMElec:        0,
+		PMMChip:        11264 * time.Microsecond,
+		PMMTherm:       10000 * time.Microsecond,
+		SWRun:          4000 * time.Microsecond,
+		ElecRun:        9052 * time.Microsecond,
+		AnnealTime:     20 * time.Microsecond,
+		ReadoutTime:    320 * time.Microsecond,
+		Thermalization: 5 * time.Microsecond,
+	}
+}
+
+// ProcessorInitialize returns the total one-time programming cost, the
+// paper's ProcessorInitialize parameter.
+func (t Timings) ProcessorInitialize() time.Duration {
+	return t.StateCon + t.PMMSW + t.PMMElec + t.PMMChip + t.PMMTherm + t.SWRun + t.ElecRun
+}
+
+// ExecutionTime returns the QPU time for one call performing the given
+// number of annealing repetitions: reads×anneal + readout + thermalization
+// (the structure of the paper's Stage2 model).
+func (t Timings) ExecutionTime(reads int) time.Duration {
+	return time.Duration(reads)*t.AnnealTime + t.ReadoutTime + t.Thermalization
+}
+
+// RequiredReads returns the number of annealing repetitions s needed so a
+// processor with single-run ground-state probability ps reaches the desired
+// solution accuracy pa (paper Eq. 6):
+//
+//	s ≥ log(1-pa) / log(1-ps).
+//
+// Both probabilities must lie in (0,1); pa may equal 0 (returns 0).
+func RequiredReads(pa, ps float64) (int, error) {
+	if ps <= 0 || ps >= 1 {
+		return 0, fmt.Errorf("anneal: single-run success probability %v outside (0,1)", ps)
+	}
+	if pa < 0 || pa >= 1 {
+		return 0, fmt.Errorf("anneal: target accuracy %v outside [0,1)", pa)
+	}
+	if pa == 0 {
+		return 0, nil
+	}
+	s := math.Log(1-pa) / math.Log(1-ps)
+	return int(math.Ceil(s)), nil
+}
+
+// AchievedAccuracy inverts Eq. 6: the probability that s independent runs
+// with per-run success ps contain at least one ground state.
+func AchievedAccuracy(s int, ps float64) float64 {
+	if s <= 0 {
+		return 0
+	}
+	return 1 - math.Pow(1-ps, float64(s))
+}

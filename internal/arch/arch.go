@@ -1,0 +1,238 @@
+// Package arch models the three split-execution architectures of the
+// paper's Fig. 1 and compares their batch throughput:
+//
+//	(a) asymmetric multi-processor — one host drives one QPU over a LAN;
+//	(b) shared-resource — H hosts contend for a single QPU;
+//	(c) dedicated — every node carries its own QPU on a local link.
+//
+// The paper restricts its analysis to (a); this package supplies the
+// comparison it cites (Britt & Humble, "High-performance computing with
+// quantum processing units") with two consistent accounting paths: a
+// closed-form makespan model and a discrete-event simulation that validates
+// it. Per-job phase times come from the same stage models as the rest of
+// the library.
+package arch
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind enumerates the Fig. 1 architectures.
+type Kind int
+
+// Architectures of Fig. 1.
+const (
+	// AsymmetricMultiprocessor is Fig. 1(a): one host, one QPU, LAN link.
+	AsymmetricMultiprocessor Kind = iota
+	// SharedResource is Fig. 1(b): many hosts sharing one QPU.
+	SharedResource
+	// DedicatedPerNode is Fig. 1(c): a QPU on every node.
+	DedicatedPerNode
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case AsymmetricMultiprocessor:
+		return "asymmetric multi-processor (Fig. 1a)"
+	case SharedResource:
+		return "shared-resource (Fig. 1b)"
+	case DedicatedPerNode:
+		return "dedicated QPU per node (Fig. 1c)"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// JobProfile is the per-job phase cost vector of one split-execution solve.
+type JobProfile struct {
+	// Classical pre-processing on the host (stage 1 minus programming).
+	PreProcess time.Duration
+	// Network is the one-way transfer time per QPU interaction (charged
+	// once for the request, once for the response); zero for
+	// DedicatedPerNode-style local links is allowed.
+	Network time.Duration
+	// QPUService is the serialized device occupancy per job: programming +
+	// annealing + readout.
+	QPUService time.Duration
+	// PostProcess is stage 3 on the host.
+	PostProcess time.Duration
+}
+
+// HostWork returns the per-job host occupancy (parallelizable part).
+func (p JobProfile) HostWork() time.Duration { return p.PreProcess + p.PostProcess }
+
+// Total returns the unqueued end-to-end latency of one job (network charged
+// in both directions).
+func (p JobProfile) Total() time.Duration {
+	return p.PreProcess + 2*p.Network + p.QPUService + p.PostProcess
+}
+
+// System describes a deployment to evaluate.
+type System struct {
+	Kind  Kind
+	Hosts int // parallel hosts (a: 1; b,c: H)
+}
+
+// Validate checks structural consistency.
+func (s System) Validate() error {
+	if s.Hosts < 1 {
+		return fmt.Errorf("arch: %v needs >= 1 host, got %d", s.Kind, s.Hosts)
+	}
+	if s.Kind == AsymmetricMultiprocessor && s.Hosts != 1 {
+		return fmt.Errorf("arch: Fig. 1(a) has exactly one host, got %d", s.Hosts)
+	}
+	return nil
+}
+
+// qpus returns the number of QPU service tokens in the system.
+func (s System) qpus() int {
+	if s.Kind == DedicatedPerNode {
+		return s.Hosts
+	}
+	return 1
+}
+
+// Makespan returns the closed-form completion time for jobs identical jobs
+// under the architecture: hosts pipeline their classical work while QPU
+// service serializes on the available devices. The bound is
+//
+//	max( ceil(J/H)·hostWork+net ,  ceil(J/Q)·service )  + remainder terms
+//
+// computed exactly for the deterministic case by simulating the pipeline
+// arithmetic (no stochastic queueing: all jobs are identical, as in the
+// paper's homogeneous workloads).
+func Makespan(sys System, p JobProfile, jobs int) (time.Duration, error) {
+	if err := sys.Validate(); err != nil {
+		return 0, err
+	}
+	if jobs < 0 {
+		return 0, fmt.Errorf("arch: negative job count %d", jobs)
+	}
+	if jobs == 0 {
+		return 0, nil
+	}
+	// The deterministic pipeline is exactly reproduced by the DES with
+	// zero-variance service times; using it as the single source of truth
+	// keeps the closed form honest.
+	return Simulate(sys, p, jobs)
+}
+
+// event-driven simulation ----------------------------------------------------
+
+// Simulate runs a discrete-event simulation of jobs identical jobs flowing
+// through the system: each host executes pre-process → (queue for a QPU:
+// network + service) → post-process per job, drawing the next job from a
+// shared backlog. It returns the completion time of the last job.
+func Simulate(sys System, p JobProfile, jobs int) (time.Duration, error) {
+	if err := sys.Validate(); err != nil {
+		return 0, err
+	}
+	if jobs < 0 {
+		return 0, fmt.Errorf("arch: negative job count %d", jobs)
+	}
+	if jobs == 0 {
+		return 0, nil
+	}
+	if p.PreProcess < 0 || p.Network < 0 || p.QPUService < 0 || p.PostProcess < 0 {
+		return 0, fmt.Errorf("arch: negative phase time in %+v", p)
+	}
+
+	hostFree := make([]time.Duration, sys.Hosts)
+	qpuFree := make([]time.Duration, sys.qpus())
+	var makespan time.Duration
+
+	for job := 0; job < jobs; job++ {
+		// Next job goes to the earliest-available host.
+		h := argminDur(hostFree)
+		t := hostFree[h]
+		t += p.PreProcess
+
+		// Acquire a QPU (dedicated systems use the host's own device).
+		var q int
+		if sys.Kind == DedicatedPerNode {
+			q = h
+		} else {
+			q = argminDur(qpuFree)
+		}
+		start := maxDur(t+p.Network, qpuFree[q]) // request travels, then waits
+		done := start + p.QPUService
+		qpuFree[q] = done
+		t = done + p.Network // response travels back
+
+		t += p.PostProcess
+		hostFree[h] = t
+		if t > makespan {
+			makespan = t
+		}
+	}
+	return makespan, nil
+}
+
+// Throughput returns jobs/second at the makespan for the batch size.
+func Throughput(sys System, p JobProfile, jobs int) (float64, error) {
+	ms, err := Makespan(sys, p, jobs)
+	if err != nil {
+		return 0, err
+	}
+	if ms == 0 {
+		return 0, nil
+	}
+	return float64(jobs) / ms.Seconds(), nil
+}
+
+// Comparison is one row of the architecture comparison table.
+type Comparison struct {
+	System     System
+	Makespan   time.Duration
+	Throughput float64 // jobs per second
+	Speedup    float64 // vs Fig. 1(a)
+}
+
+// Compare evaluates all three architectures on the same job profile and
+// batch, with H hosts for (b) and (c), reporting speedup relative to (a).
+func Compare(p JobProfile, jobs, hosts int) ([]Comparison, error) {
+	systems := []System{
+		{Kind: AsymmetricMultiprocessor, Hosts: 1},
+		{Kind: SharedResource, Hosts: hosts},
+		{Kind: DedicatedPerNode, Hosts: hosts},
+	}
+	out := make([]Comparison, 0, len(systems))
+	var base time.Duration
+	for i, sys := range systems {
+		ms, err := Makespan(sys, p, jobs)
+		if err != nil {
+			return nil, err
+		}
+		tp, err := Throughput(sys, p, jobs)
+		if err != nil {
+			return nil, err
+		}
+		c := Comparison{System: sys, Makespan: ms, Throughput: tp}
+		if i == 0 {
+			base = ms
+		}
+		if ms > 0 {
+			c.Speedup = float64(base) / float64(ms)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func argminDur(a []time.Duration) int {
+	best := 0
+	for i, v := range a {
+		if v < a[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,193 @@
+package arch
+
+import (
+	"testing"
+	"time"
+)
+
+func profile() JobProfile {
+	return JobProfile{
+		PreProcess:  400 * time.Millisecond, // stage-1 class: embedding etc.
+		Network:     1 * time.Millisecond,
+		QPUService:  320 * time.Millisecond, // programming + anneals
+		PostProcess: 1 * time.Millisecond,
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{AsymmetricMultiprocessor, SharedResource, DedicatedPerNode} {
+		if k.String() == "" {
+			t.Error("empty kind string")
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind unprintable")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (System{Kind: AsymmetricMultiprocessor, Hosts: 1}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (System{Kind: AsymmetricMultiprocessor, Hosts: 2}).Validate(); err == nil {
+		t.Error("Fig 1a with 2 hosts accepted")
+	}
+	if err := (System{Kind: SharedResource, Hosts: 0}).Validate(); err == nil {
+		t.Error("0 hosts accepted")
+	}
+}
+
+func TestSingleJobLatencyIdentical(t *testing.T) {
+	// One job: all architectures complete in the unqueued total.
+	p := profile()
+	want := p.Total()
+	for _, sys := range []System{
+		{Kind: AsymmetricMultiprocessor, Hosts: 1},
+		{Kind: SharedResource, Hosts: 4},
+		{Kind: DedicatedPerNode, Hosts: 4},
+	} {
+		ms, err := Makespan(sys, p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ms != want {
+			t.Errorf("%v: makespan %v, want %v", sys.Kind, ms, want)
+		}
+	}
+}
+
+func TestSerialBaselineScalesLinearly(t *testing.T) {
+	p := profile()
+	sys := System{Kind: AsymmetricMultiprocessor, Hosts: 1}
+	one, _ := Makespan(sys, p, 1)
+	ten, err := Makespan(sys, p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ten != 10*one {
+		t.Errorf("serial 10 jobs = %v, want %v", ten, 10*one)
+	}
+}
+
+func TestDedicatedScalesWithHosts(t *testing.T) {
+	p := profile()
+	jobs := 16
+	t4, _ := Makespan(System{Kind: DedicatedPerNode, Hosts: 4}, p, jobs)
+	t8, _ := Makespan(System{Kind: DedicatedPerNode, Hosts: 8}, p, jobs)
+	t16, _ := Makespan(System{Kind: DedicatedPerNode, Hosts: 16}, p, jobs)
+	if !(t16 < t8 && t8 < t4) {
+		t.Errorf("dedicated not scaling: %v %v %v", t4, t8, t16)
+	}
+	// With hosts == jobs, everything runs in one wave.
+	if t16 != p.Total() {
+		t.Errorf("one-wave makespan = %v, want %v", t16, p.Total())
+	}
+}
+
+func TestSharedResourceBoundedByQPUSerialization(t *testing.T) {
+	p := profile()
+	jobs := 12
+	// Plenty of hosts: the single QPU is the bottleneck. The last job
+	// cannot finish before jobs×service plus its own pre/net/post.
+	ms, err := Makespan(System{Kind: SharedResource, Hosts: 12}, p, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower := time.Duration(jobs) * p.QPUService
+	if ms < lower {
+		t.Errorf("shared makespan %v below QPU serialization bound %v", ms, lower)
+	}
+	// And dedicated beats shared at equal host count.
+	ded, _ := Makespan(System{Kind: DedicatedPerNode, Hosts: 12}, p, jobs)
+	if ded >= ms {
+		t.Errorf("dedicated (%v) not faster than shared (%v)", ded, ms)
+	}
+}
+
+func TestSharedBeatsSerialWhenHostWorkDominates(t *testing.T) {
+	// When classical pre-processing dominates (the paper's regime!),
+	// sharing one QPU among H hosts still helps: the CPU work parallelizes.
+	p := JobProfile{
+		PreProcess:  2 * time.Second, // embedding-dominated
+		Network:     time.Millisecond,
+		QPUService:  10 * time.Millisecond,
+		PostProcess: time.Millisecond,
+	}
+	jobs := 8
+	serial, _ := Makespan(System{Kind: AsymmetricMultiprocessor, Hosts: 1}, p, jobs)
+	shared, err := Makespan(System{Kind: SharedResource, Hosts: 8}, p, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(serial)/float64(shared) < 4 {
+		t.Errorf("shared speedup only %.2fx (serial %v, shared %v)",
+			float64(serial)/float64(shared), serial, shared)
+	}
+}
+
+func TestCompareTable(t *testing.T) {
+	rows, err := Compare(profile(), 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Speedup != 1 {
+		t.Errorf("baseline speedup = %v", rows[0].Speedup)
+	}
+	if rows[2].Speedup <= rows[1].Speedup {
+		t.Errorf("dedicated (%v) should beat shared (%v)", rows[2].Speedup, rows[1].Speedup)
+	}
+	for _, r := range rows {
+		if r.Throughput <= 0 {
+			t.Errorf("%v: throughput %v", r.System.Kind, r.Throughput)
+		}
+	}
+}
+
+func TestZeroJobs(t *testing.T) {
+	ms, err := Makespan(System{Kind: SharedResource, Hosts: 2}, profile(), 0)
+	if err != nil || ms != 0 {
+		t.Errorf("zero jobs: %v %v", ms, err)
+	}
+	tp, err := Throughput(System{Kind: SharedResource, Hosts: 2}, profile(), 0)
+	if err != nil || tp != 0 {
+		t.Errorf("zero throughput: %v %v", tp, err)
+	}
+}
+
+func TestNegativeInputsRejected(t *testing.T) {
+	if _, err := Makespan(System{Kind: SharedResource, Hosts: 2}, profile(), -1); err == nil {
+		t.Error("negative jobs accepted")
+	}
+	bad := profile()
+	bad.Network = -time.Second
+	if _, err := Simulate(System{Kind: SharedResource, Hosts: 2}, bad, 1); err == nil {
+		t.Error("negative phase accepted")
+	}
+}
+
+// Work conservation: makespan can never be shorter than total QPU work
+// divided by device count, nor shorter than total host work divided by
+// host count.
+func TestWorkConservationBounds(t *testing.T) {
+	p := profile()
+	for _, sys := range []System{
+		{Kind: SharedResource, Hosts: 3},
+		{Kind: DedicatedPerNode, Hosts: 3},
+	} {
+		for _, jobs := range []int{1, 5, 9, 20} {
+			ms, err := Simulate(sys, p, jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qpuBound := time.Duration(jobs) * p.QPUService / time.Duration(sys.qpus())
+			hostBound := time.Duration(jobs) * p.HostWork() / time.Duration(sys.Hosts)
+			if ms < qpuBound || ms < hostBound {
+				t.Errorf("%v jobs=%d: makespan %v below bounds (qpu %v, host %v)",
+					sys.Kind, jobs, ms, qpuBound, hostBound)
+			}
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package aspen
+
+import "fmt"
+
+// File is a parsed ASPEN source file: a sequence of top-level declarations.
+type File struct {
+	Includes []string
+	Models   []*ModelDecl
+	Machines []*MachineDecl
+	Nodes    []*ComponentDecl // node declarations
+	Sockets  []*ComponentDecl // socket declarations
+	Cores    []*ComponentDecl // core declarations
+	Memories []*ComponentDecl // memory declarations
+	Links    []*ComponentDecl // link declarations
+}
+
+// ModelDecl is an application model: parameters, data declarations and
+// kernels. Execution starts at the kernel named "main".
+type ModelDecl struct {
+	Name    string
+	Params  []*ParamDecl
+	Data    []*DataDecl
+	Kernels []*KernelDecl
+}
+
+// Kernel returns the kernel with the given name, or nil.
+func (m *ModelDecl) Kernel(name string) *KernelDecl {
+	for _, k := range m.Kernels {
+		if k.Name == name {
+			return k
+		}
+	}
+	return nil
+}
+
+// ParamDecl is `param NAME = expr`.
+type ParamDecl struct {
+	Name string
+	Expr Expr
+}
+
+// DataDecl is `data NAME as Array(count, elemBytes)`.
+type DataDecl struct {
+	Name      string
+	Count     Expr
+	ElemBytes Expr
+}
+
+// KernelDecl is `kernel NAME { stmt... }`.
+type KernelDecl struct {
+	Name string
+	Body []Stmt
+}
+
+// Stmt is a kernel-body statement: an execute block, a kernel call, or an
+// iterate loop.
+type Stmt interface{ stmtNode() }
+
+// ExecuteStmt is `execute [label] [count] { resource... }`.
+type ExecuteStmt struct {
+	Label     string // optional block label
+	Count     Expr   // repetition count (defaults to 1)
+	Resources []*ResourceStmt
+}
+
+// CallStmt invokes another kernel of the same model by name.
+type CallStmt struct {
+	Name string
+}
+
+// IterateStmt is `iterate [count] { stmt... }`, repeating its body.
+type IterateStmt struct {
+	Count Expr
+	Body  []Stmt
+}
+
+// ParStmt is `par { stmt... }`: its statements execute concurrently, so the
+// block costs the maximum of its branch times (each top-level statement is
+// one branch).
+type ParStmt struct {
+	Body []Stmt
+}
+
+func (*ExecuteStmt) stmtNode() {}
+func (*CallStmt) stmtNode()    {}
+func (*IterateStmt) stmtNode() {}
+func (*ParStmt) stmtNode()     {}
+
+// ResourceStmt is one resource consumption line inside an execute block:
+//
+//	verb [quantity] (as trait, trait...)? (to NAME)? (from NAME)? (of size [expr])?
+//
+// e.g. `flops [Ising] as sp, fmad, simd` or `loads [Results] of size [4*L]`.
+type ResourceStmt struct {
+	Verb     string
+	Quantity Expr
+	Traits   []string
+	To       string
+	From     string
+	ElemSize Expr // nil unless `of size [...]` present
+}
+
+// ComponentDecl is a hardware component declaration: node, socket, core,
+// memory or link. Its body may contain sub-component references, properties,
+// resource definitions and `linked with` clauses.
+type ComponentDecl struct {
+	Kind       string // "node", "socket", "core", "memory", "link"
+	Name       string
+	SubRefs    []*SubComponentRef
+	Properties []*PropertyDecl
+	Resources  []*ResourceDef
+	LinkedWith []string
+}
+
+// Property returns the named property expression, or nil.
+func (c *ComponentDecl) Property(name string) Expr {
+	for _, p := range c.Properties {
+		if p.Name == name {
+			return p.Expr
+		}
+	}
+	return nil
+}
+
+// SubComponentRef is `[count] TYPE kind` (e.g. `[1] Vesuvius cores`) or a
+// bare `TYPE kind` (e.g. `gddr5 memory`).
+type SubComponentRef struct {
+	Count Expr   // nil means 1
+	Type  string // referenced component name
+	Kind  string // "nodes", "sockets", "cores", "memory", "link"
+}
+
+// PropertyDecl is `property NAME [expr]`.
+type PropertyDecl struct {
+	Name string
+	Expr Expr
+}
+
+// ResourceDef is `resource NAME(arg,...) [expr]`: a custom resource whose
+// consumption converts to seconds by evaluating expr with the call-site
+// quantity bound to the first argument.
+type ResourceDef struct {
+	Name string
+	Args []string
+	Expr Expr
+}
+
+// MachineDecl is `machine NAME { [n] TYPE nodes ... }`.
+type MachineDecl struct {
+	Name    string
+	SubRefs []*SubComponentRef
+}
+
+// Expr is an arithmetic expression over numbers, parameters and calls.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// NumberLit is a numeric literal.
+type NumberLit struct{ Value float64 }
+
+// Ident references a parameter (or a resource-definition argument).
+type Ident struct{ Name string }
+
+// Unary is -x.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary is x OP y for OP in + - * / ^.
+type Binary struct {
+	Op   string
+	X, Y Expr
+}
+
+// Call is f(args...) for the built-in math functions.
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+func (*NumberLit) exprNode() {}
+func (*Ident) exprNode()     {}
+func (*Unary) exprNode()     {}
+func (*Binary) exprNode()    {}
+func (*Call) exprNode()      {}
+
+func (n *NumberLit) String() string { return trimFloat(n.Value) }
+func (i *Ident) String() string     { return i.Name }
+func (u *Unary) String() string     { return fmt.Sprintf("(%s%s)", u.Op, u.X) }
+func (b *Binary) String() string    { return fmt.Sprintf("(%s %s %s)", b.X, b.Op, b.Y) }
+func (c *Call) String() string {
+	s := c.Fn + "("
+	for i, a := range c.Args {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.String()
+	}
+	return s + ")"
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}

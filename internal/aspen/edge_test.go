@@ -1,0 +1,263 @@
+package aspen
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestResultHelpers(t *testing.T) {
+	src := `
+model H {
+  kernel work { execute [1] { seconds [2] milliseconds [500] } }
+  kernel main { work }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := LoadSimpleNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(f.Models[0], mach, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSeconds() != 2.5 {
+		t.Errorf("total = %v", res.TotalSeconds())
+	}
+	if res.Total() != 2500*time.Millisecond {
+		t.Errorf("duration = %v", res.Total())
+	}
+	if res.Kernel("work") == nil || res.Kernel("ghost") != nil {
+		t.Error("Kernel lookup wrong")
+	}
+}
+
+func TestTimeUnitVerbs(t *testing.T) {
+	src := `
+model U {
+  kernel main {
+    execute [1] {
+      seconds [1]
+      milliseconds [1]
+      microseconds [1]
+      nanoseconds [1]
+    }
+  }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := LoadSimpleNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(f.Models[0], mach, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + 1e-3 + 1e-6 + 1e-9
+	if math.Abs(res.TotalSeconds()-want) > 1e-15 {
+		t.Errorf("total = %v, want %v", res.TotalSeconds(), want)
+	}
+}
+
+func TestEnvClone(t *testing.T) {
+	e := Env{"a": 1}
+	c := e.Clone()
+	c["a"] = 2
+	if e["a"] != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	kinds := []TokenKind{TokEOF, TokIdent, TokNumber, TokString, TokLBrace, TokRBrace,
+		TokLBracket, TokRBracket, TokLParen, TokRParen, TokComma, TokAssign,
+		TokPlus, TokMinus, TokStar, TokSlash, TokCaret, TokPath, TokenKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty string", int(k))
+		}
+	}
+	tok := Token{Kind: TokIdent, Text: "x", Line: 1, Col: 2}
+	if !strings.Contains(tok.String(), "x") {
+		t.Errorf("token string %q", tok.String())
+	}
+	empty := Token{Kind: TokEOF, Line: 3, Col: 4}
+	if !strings.Contains(empty.String(), "EOF") {
+		t.Errorf("EOF token string %q", empty.String())
+	}
+}
+
+func TestExprStringForms(t *testing.T) {
+	e := mustParseExpr(t, "-min(a, 2) ^ (b + 1.5)")
+	s := e.String()
+	for _, frag := range []string{"min", "a", "2", "b", "1.5"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestMachineCapabilityErrors(t *testing.T) {
+	src := `
+core noclock { property issue_sp [2] }
+core badprop { property clock [1/0] }
+memory nobw { property capacity [1] }
+link nolink { property latency [1] }
+socket s1 { [1] noclock cores }
+socket s2 { [1] badprop cores nobw memory linked with nolink }
+machine M { [1] N nodes }
+node N {
+  [1] s1 sockets
+  [1] s2 sockets
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildMachine(f, "M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := m.Socket("s1")
+	if _, err := s1.FlopsRate([]string{"sp"}); err == nil {
+		t.Error("core without clock accepted")
+	}
+	if _, err := s1.MemoryBandwidth(); err == nil {
+		t.Error("socket without memory accepted")
+	}
+	if _, err := s1.LinkTime(1); err == nil {
+		t.Error("socket without link accepted")
+	}
+	s2 := m.Socket("s2")
+	if _, err := s2.FlopsRate(nil); err == nil {
+		t.Error("bad clock property accepted")
+	}
+	if _, err := s2.MemoryBandwidth(); err == nil {
+		t.Error("memory without bandwidth accepted")
+	}
+	if _, err := s2.LinkTime(1); err == nil {
+		t.Error("link without bandwidth accepted")
+	}
+}
+
+func TestSocketWithoutCoreForFlops(t *testing.T) {
+	src := `
+memory mem { property bandwidth [1e9] }
+socket memOnly { mem memory }
+machine M { [1] N nodes }
+node N { [1] memOnly sockets }
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildMachine(f, "M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Socket("memOnly").FlopsRate(nil); err == nil {
+		t.Error("flops on coreless socket accepted")
+	}
+	if m.Socket("memOnly").ResourceDef("QuOps") != nil {
+		t.Error("phantom resource def")
+	}
+	if _, err := m.Socket("memOnly").CustomResourceTime("QuOps", 1); err == nil {
+		t.Error("custom resource on coreless socket accepted")
+	}
+}
+
+func TestBuildSocketReferenceErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing core":   `machine M {[1] N nodes} node N {[1] S sockets} socket S {[1] ghost cores}`,
+		"missing memory": `machine M {[1] N nodes} node N {[1] S sockets} socket S {ghost memory}`,
+		"missing link":   `machine M {[1] N nodes} node N {[1] S sockets} socket S {linked with ghost}`,
+	}
+	for name, src := range cases {
+		f, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := BuildMachine(f, "M"); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestIntracommFallsBackToHostLink(t *testing.T) {
+	// Single socket with a link: intracomm must use the host's own link.
+	src := `
+link l { property bandwidth [1e9] }
+core c { property clock [1e9] }
+memory m { property bandwidth [1e9] }
+socket s { [1] c cores m memory linked with l }
+machine M { [1] N nodes }
+node N { [1] s sockets }
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := BuildMachine(f, "M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := `
+model X { kernel main { execute [1] { intracomm [1e9] as copyout } } }
+`
+	mf, err := Parse(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(mf.Models[0], mach, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TotalSeconds()-1) > 1e-12 {
+		t.Errorf("intracomm via host link = %v s", res.TotalSeconds())
+	}
+}
+
+func TestEvaluateElemSizeErrors(t *testing.T) {
+	mach, err := LoadSimpleNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"bad size expr": `model M { kernel main { execute [1] { loads [1] of size [nope] } } }`,
+		"bad quantity":  `model M { kernel main { execute [1] { flops [nope] } } }`,
+		"negative qty":  `model M { kernel main { execute [1] { microseconds [0-5] } } }`,
+	}
+	for name, src := range cases {
+		f, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := Evaluate(f.Models[0], mach, EvalOptions{}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseDataErrors(t *testing.T) {
+	cases := []string{
+		`model M { data D as Array(3) }`,   // missing elem size
+		`model M { data D as Array }`,      // missing parens
+		`model M { data as Array(1,2) }`,   // missing name
+		`model M { data D is Array(1,2) }`, // wrong keyword
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}

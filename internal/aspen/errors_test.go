@@ -1,0 +1,76 @@
+package aspen
+
+import "testing"
+
+// TestParseMalformedSources pins the parser's rejection of structurally
+// broken inputs across every declaration family — the error paths a user
+// hits when hand-editing model listings.
+func TestParseMalformedSources(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"resource missing bracket", "model M { kernel main { execute [1] { flops 8 } } }"},
+		{"resource unclosed bracket", "model M { kernel main { execute [1] { flops [8 } } }"},
+		{"resource bad trait list", "model M { kernel main { execute [1] { flops [8] as sp, } } }"},
+		{"resource missing to target", "model M { kernel main { execute [1] { stores [8] to } } }"},
+		{"resource missing from target", "model M { kernel main { execute [1] { loads [8] from } } }"},
+		{"execute unclosed block", "model M { kernel main { execute [1] { flops [8] as sp }"},
+		{"kernel missing name", "model M { kernel { } }"},
+		{"component missing name", "socket { }"},
+		{"component missing brace", "socket S property x [1] }"},
+		{"property missing bracket", "socket S { property x 1 }"},
+		{"property missing name", "socket S { property [1] }"},
+		{"resource def missing name", "core C { resource (n) [n] }"},
+		{"resource def unclosed params", "core C { resource R(n [n] }"},
+		{"resource def missing body", "core C { resource R(n) n }"},
+		{"machine missing count bracket", "machine M { 1] N nodes }"},
+		{"include missing path", "include\nmodel M { }"},
+		{"param missing equals", "model M { param x 3 }"},
+		{"expr unbalanced paren", "model M { param x = (1+2 }"},
+		{"expr trailing operator", "model M { param x = 1+ }"},
+		{"expr bad call", "model M { param x = log(1 }"},
+		{"data missing as", "model M { data D Array(1,4) }"},
+		{"truncated file", "model M { kernel main {"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: accepted %q", c.name, c.src)
+		}
+	}
+}
+
+// TestParseResourceTargets pins the accepted to/from/of/as clause grammar.
+func TestParseResourceTargets(t *testing.T) {
+	src := `model M {
+  data In as Array(4, 4)
+  data Out as Array(4, 4)
+  kernel main {
+    execute [1] {
+      loads [16] from In
+      stores [16] to Out
+      flops [32] as sp, simd
+      intracomm [16] as copyout
+    }
+  }
+}`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := f.Models[0]
+	block := m.Kernels[len(m.Kernels)-1].Body[0]
+	exec, ok := block.(*ExecuteStmt)
+	if !ok {
+		t.Fatalf("statement is %T", block)
+	}
+	if len(exec.Resources) != 4 {
+		t.Fatalf("resources = %d", len(exec.Resources))
+	}
+	if exec.Resources[0].From != "In" || exec.Resources[1].To != "Out" {
+		t.Fatalf("targets: %+v %+v", exec.Resources[0], exec.Resources[1])
+	}
+	if len(exec.Resources[2].Traits) != 2 {
+		t.Fatalf("traits: %v", exec.Resources[2].Traits)
+	}
+}

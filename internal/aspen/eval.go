@@ -1,0 +1,333 @@
+package aspen
+
+import (
+	"fmt"
+	"time"
+)
+
+// OverlapPolicy controls how resource times within one execute block
+// combine.
+type OverlapPolicy int
+
+const (
+	// Serial sums the resource times of a block (no overlap) — the
+	// conservative default matching the paper's stage models.
+	Serial OverlapPolicy = iota
+	// Overlap takes the maximum resource time of a block (perfect overlap
+	// of compute, memory and communication).
+	Overlap
+)
+
+// EvalOptions configure application-model evaluation.
+type EvalOptions struct {
+	// HostSocket names the socket servicing flops/loads/stores. Empty
+	// selects the first socket of the machine.
+	HostSocket string
+	// Policy selects Serial (default) or Overlap combination within blocks.
+	Policy OverlapPolicy
+	// Params override model parameters (the "Input Parameter" values).
+	Params map[string]float64
+}
+
+// ResourceTime is the cost of one resource statement.
+type ResourceTime struct {
+	Verb    string
+	Amount  float64 // quantity consumed (ops, bytes, µs, reads...)
+	Seconds float64
+	Socket  string // socket that serviced the request
+}
+
+// BlockTime is the cost of one execute block after count multiplication.
+type BlockTime struct {
+	Label     string
+	Count     float64
+	Resources []ResourceTime
+	Seconds   float64
+}
+
+// KernelTime aggregates the blocks executed by one kernel invocation
+// (including nested kernel calls).
+type KernelTime struct {
+	Name    string
+	Blocks  []BlockTime
+	Seconds float64
+}
+
+// Result is the evaluation of an application model on a machine.
+type Result struct {
+	Model   string
+	Machine string
+	Kernels []KernelTime // top-level kernels invoked from main, in order
+	Params  Env          // final parameter environment
+}
+
+// TotalSeconds returns the predicted runtime in seconds.
+func (r *Result) TotalSeconds() float64 {
+	t := 0.0
+	for _, k := range r.Kernels {
+		t += k.Seconds
+	}
+	return t
+}
+
+// Total returns the predicted runtime as a duration (saturating).
+func (r *Result) Total() time.Duration {
+	return time.Duration(r.TotalSeconds() * float64(time.Second))
+}
+
+// ByVerb aggregates total seconds per resource verb.
+func (r *Result) ByVerb() map[string]float64 {
+	out := map[string]float64{}
+	for _, k := range r.Kernels {
+		for _, b := range k.Blocks {
+			for _, res := range b.Resources {
+				out[res.Verb] += res.Seconds * b.Count
+			}
+		}
+	}
+	return out
+}
+
+// Kernel returns the timing entry for the named top-level kernel, or nil.
+func (r *Result) Kernel(name string) *KernelTime {
+	for i := range r.Kernels {
+		if r.Kernels[i].Name == name {
+			return &r.Kernels[i]
+		}
+	}
+	return nil
+}
+
+// Evaluate runs the application model against the machine. Execution starts
+// at kernel "main"; each top-level statement of main contributes one entry
+// to Result.Kernels (execute blocks in main appear as a kernel named
+// "main").
+func Evaluate(m *ModelDecl, machine *MachineSpec, opts EvalOptions) (*Result, error) {
+	env, err := EvalParams(m, opts.Params)
+	if err != nil {
+		return nil, err
+	}
+	host := machine.Sockets[0]
+	if opts.HostSocket != "" {
+		host = machine.Socket(opts.HostSocket)
+		if host == nil {
+			return nil, fmt.Errorf("aspen: host socket %q not in machine %s", opts.HostSocket, machine.Name)
+		}
+	}
+	ev := &evaluator{model: m, machine: machine, host: host, policy: opts.Policy, env: env}
+
+	main := m.Kernel("main")
+	if main == nil {
+		return nil, fmt.Errorf("aspen: model %s has no kernel main", m.Name)
+	}
+	res := &Result{Model: m.Name, Machine: machine.Name, Params: env}
+	for _, st := range main.Body {
+		switch s := st.(type) {
+		case *CallStmt:
+			kt, err := ev.evalKernelCall(s.Name, map[string]bool{"main": true})
+			if err != nil {
+				return nil, err
+			}
+			res.Kernels = append(res.Kernels, *kt)
+		default:
+			kt := KernelTime{Name: "main"}
+			if err := ev.evalStmt(st, &kt, map[string]bool{"main": true}); err != nil {
+				return nil, err
+			}
+			res.Kernels = append(res.Kernels, kt)
+		}
+	}
+	return res, nil
+}
+
+type evaluator struct {
+	model   *ModelDecl
+	machine *MachineSpec
+	host    *SocketSpec
+	policy  OverlapPolicy
+	env     Env
+}
+
+func (ev *evaluator) evalKernelCall(name string, inProgress map[string]bool) (*KernelTime, error) {
+	k := ev.model.Kernel(name)
+	if k == nil {
+		return nil, fmt.Errorf("aspen: model %s calls undefined kernel %q", ev.model.Name, name)
+	}
+	if inProgress[name] {
+		return nil, fmt.Errorf("aspen: recursive kernel call to %q", name)
+	}
+	inProgress[name] = true
+	defer delete(inProgress, name)
+
+	kt := &KernelTime{Name: name}
+	for _, st := range k.Body {
+		if err := ev.evalStmt(st, kt, inProgress); err != nil {
+			return nil, err
+		}
+	}
+	return kt, nil
+}
+
+func (ev *evaluator) evalStmt(st Stmt, kt *KernelTime, inProgress map[string]bool) error {
+	switch s := st.(type) {
+	case *ExecuteStmt:
+		bt, err := ev.evalExecute(s)
+		if err != nil {
+			return err
+		}
+		kt.Blocks = append(kt.Blocks, *bt)
+		kt.Seconds += bt.Seconds
+		return nil
+	case *CallStmt:
+		sub, err := ev.evalKernelCall(s.Name, inProgress)
+		if err != nil {
+			return err
+		}
+		kt.Blocks = append(kt.Blocks, sub.Blocks...)
+		kt.Seconds += sub.Seconds
+		return nil
+	case *IterateStmt:
+		count, err := EvalExpr(s.Count, ev.env)
+		if err != nil {
+			return err
+		}
+		if count < 0 {
+			return fmt.Errorf("aspen: negative iterate count %g", count)
+		}
+		inner := &KernelTime{}
+		for _, sub := range s.Body {
+			if err := ev.evalStmt(sub, inner, inProgress); err != nil {
+				return err
+			}
+		}
+		for i := range inner.Blocks {
+			inner.Blocks[i].Count *= count
+			inner.Blocks[i].Seconds *= count
+		}
+		kt.Blocks = append(kt.Blocks, inner.Blocks...)
+		kt.Seconds += inner.Seconds * count
+		return nil
+	case *ParStmt:
+		// Branches run concurrently: the block costs the slowest branch,
+		// but all resource consumption is recorded.
+		slowest := 0.0
+		for _, sub := range s.Body {
+			branch := &KernelTime{}
+			if err := ev.evalStmt(sub, branch, inProgress); err != nil {
+				return err
+			}
+			kt.Blocks = append(kt.Blocks, branch.Blocks...)
+			if branch.Seconds > slowest {
+				slowest = branch.Seconds
+			}
+		}
+		kt.Seconds += slowest
+		return nil
+	}
+	return fmt.Errorf("aspen: unknown statement %T", st)
+}
+
+func (ev *evaluator) evalExecute(s *ExecuteStmt) (*BlockTime, error) {
+	count, err := EvalExpr(s.Count, ev.env)
+	if err != nil {
+		return nil, err
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("aspen: negative execute count %g in block %q", count, s.Label)
+	}
+	bt := &BlockTime{Label: s.Label, Count: count}
+	blockSeconds := 0.0
+	maxSeconds := 0.0
+	for _, r := range s.Resources {
+		rt, err := ev.evalResource(r)
+		if err != nil {
+			return nil, err
+		}
+		bt.Resources = append(bt.Resources, rt)
+		blockSeconds += rt.Seconds
+		if rt.Seconds > maxSeconds {
+			maxSeconds = rt.Seconds
+		}
+	}
+	if ev.policy == Overlap {
+		bt.Seconds = maxSeconds * count
+	} else {
+		bt.Seconds = blockSeconds * count
+	}
+	return bt, nil
+}
+
+func (ev *evaluator) evalResource(r *ResourceStmt) (ResourceTime, error) {
+	amount, err := EvalExpr(r.Quantity, ev.env)
+	if err != nil {
+		return ResourceTime{}, fmt.Errorf("aspen: resource %s: %w", r.Verb, err)
+	}
+	if amount < 0 {
+		return ResourceTime{}, fmt.Errorf("aspen: negative %s amount %g", r.Verb, amount)
+	}
+	bytes := amount
+	if r.ElemSize != nil {
+		es, err := EvalExpr(r.ElemSize, ev.env)
+		if err != nil {
+			return ResourceTime{}, fmt.Errorf("aspen: resource %s size: %w", r.Verb, err)
+		}
+		bytes = amount * es
+	}
+
+	switch r.Verb {
+	case "flops":
+		rate, err := ev.host.FlopsRate(r.Traits)
+		if err != nil {
+			return ResourceTime{}, err
+		}
+		return ResourceTime{Verb: r.Verb, Amount: amount, Seconds: amount / rate, Socket: ev.host.Name}, nil
+	case "loads", "stores":
+		bw, err := ev.host.MemoryBandwidth()
+		if err != nil {
+			return ResourceTime{}, err
+		}
+		return ResourceTime{Verb: r.Verb, Amount: bytes, Seconds: bytes / bw, Socket: ev.host.Name}, nil
+	case "intracomm", "copyin", "copyout":
+		sock := ev.linkSocket()
+		if sock == nil {
+			return ResourceTime{}, fmt.Errorf("aspen: no socket with a link for %s", r.Verb)
+		}
+		t, err := sock.LinkTime(bytes)
+		if err != nil {
+			return ResourceTime{}, err
+		}
+		return ResourceTime{Verb: r.Verb, Amount: bytes, Seconds: t, Socket: sock.Name}, nil
+	case "seconds":
+		return ResourceTime{Verb: r.Verb, Amount: amount, Seconds: amount}, nil
+	case "milliseconds":
+		return ResourceTime{Verb: r.Verb, Amount: amount, Seconds: amount * 1e-3}, nil
+	case "microseconds":
+		return ResourceTime{Verb: r.Verb, Amount: amount, Seconds: amount * 1e-6}, nil
+	case "nanoseconds":
+		return ResourceTime{Verb: r.Verb, Amount: amount, Seconds: amount * 1e-9}, nil
+	}
+	// Custom resource: find the socket defining it.
+	sock := ev.machine.FindCustomResource(r.Verb)
+	if sock == nil {
+		return ResourceTime{}, fmt.Errorf("aspen: no socket defines resource %q", r.Verb)
+	}
+	t, err := sock.CustomResourceTime(r.Verb, amount)
+	if err != nil {
+		return ResourceTime{}, err
+	}
+	return ResourceTime{Verb: r.Verb, Amount: amount, Seconds: t, Socket: sock.Name}, nil
+}
+
+// linkSocket picks the socket whose link services intracomm: the first
+// non-host socket with a link (the accelerator), else the host itself.
+func (ev *evaluator) linkSocket() *SocketSpec {
+	for _, s := range ev.machine.Sockets {
+		if s != ev.host && s.Link != nil {
+			return s
+		}
+	}
+	if ev.host.Link != nil {
+		return ev.host
+	}
+	return nil
+}

@@ -1,0 +1,336 @@
+package aspen
+
+import (
+	"math"
+	"testing"
+)
+
+func simpleMachine(t *testing.T) *MachineSpec {
+	t.Helper()
+	m, err := LoadSimpleNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestLoadSimpleNode(t *testing.T) {
+	m := simpleMachine(t)
+	if m.Name != "SimpleNode" || m.NodeName != "SIMPLE" {
+		t.Errorf("machine = %+v", m)
+	}
+	if len(m.Sockets) != 3 {
+		t.Fatalf("sockets = %d, want 3 (CPU, GPU, QPU)", len(m.Sockets))
+	}
+	if m.Socket("intel_xeon_e5_2680") == nil || m.Socket("DwaveVesuvius20") == nil {
+		t.Error("expected sockets missing")
+	}
+	if m.FindCustomResource("QuOps") == nil {
+		t.Error("QuOps resource not found")
+	}
+	if m.FindCustomResource("FluxOps") != nil {
+		t.Error("phantom resource found")
+	}
+}
+
+func TestXeonFlopsRates(t *testing.T) {
+	cpu := simpleMachine(t).Socket("intel_xeon_e5_2680")
+	// Scalar SP: 8 cores × 2.7 GHz = 21.6 GF/s.
+	r, err := cpu.FlopsRate([]string{"sp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-21.6e9) > 1 {
+		t.Errorf("scalar sp = %v", r)
+	}
+	// SP SIMD: ×8 = 172.8 GF/s.
+	r, _ = cpu.FlopsRate([]string{"sp", "simd"})
+	if math.Abs(r-172.8e9) > 1 {
+		t.Errorf("sp simd = %v", r)
+	}
+	// SP SIMD FMA: ×2 = 345.6 GF/s (peak).
+	r, _ = cpu.FlopsRate([]string{"sp", "simd", "fmad"})
+	if math.Abs(r-345.6e9) > 1 {
+		t.Errorf("sp simd fmad = %v", r)
+	}
+	// DP SIMD: 4-wide = 86.4 GF/s.
+	r, _ = cpu.FlopsRate([]string{"dp", "simd"})
+	if math.Abs(r-86.4e9) > 1 {
+		t.Errorf("dp simd = %v", r)
+	}
+	// Default precision is dp.
+	rDefault, _ := cpu.FlopsRate(nil)
+	rDP, _ := cpu.FlopsRate([]string{"dp"})
+	if rDefault != rDP {
+		t.Errorf("default %v != dp %v", rDefault, rDP)
+	}
+}
+
+func TestQuOpsConversion(t *testing.T) {
+	qpu := simpleMachine(t).Socket("DwaveVesuvius20")
+	// Fig. 5: QuOps(number) = number × 20 µs.
+	sec, err := qpu.CustomResourceTime("QuOps", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sec-100*20e-6) > 1e-12 {
+		t.Errorf("100 QuOps = %v s, want 2 ms", sec)
+	}
+	if _, err := qpu.CustomResourceTime("NoOps", 1); err == nil {
+		t.Error("undefined resource accepted")
+	}
+}
+
+func TestEvaluateSimpleModel(t *testing.T) {
+	src := `
+model Tiny {
+  param Work = 172.8e9
+  kernel hot {
+    execute [1] {
+      flops [Work] as sp, simd
+    }
+  }
+  kernel main { hot }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(f.Models[0], simpleMachine(t), EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 172.8e9 flops at 172.8 GF/s = exactly 1 second.
+	if math.Abs(res.TotalSeconds()-1) > 1e-9 {
+		t.Errorf("total = %v s, want 1", res.TotalSeconds())
+	}
+	if len(res.Kernels) != 1 || res.Kernels[0].Name != "hot" {
+		t.Errorf("kernels: %+v", res.Kernels)
+	}
+}
+
+func TestEvaluateMemoryAndLink(t *testing.T) {
+	src := `
+model Move {
+  data Buf as Array(1000, 4)
+  kernel main {
+    execute [1] {
+      loads [34.1e9] from Buf
+      intracomm [8e9] as copyout
+    }
+  }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(f.Models[0], simpleMachine(t), EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 34.1 GB over DDR3 (1 s) + 8 GB over PCIe (1 s + 5 µs latency).
+	if math.Abs(res.TotalSeconds()-2.000005) > 1e-9 {
+		t.Errorf("total = %v", res.TotalSeconds())
+	}
+	by := res.ByVerb()
+	if math.Abs(by["loads"]-1) > 1e-9 || math.Abs(by["intracomm"]-1.000005) > 1e-9 {
+		t.Errorf("per-verb: %v", by)
+	}
+}
+
+func TestEvaluateQuOpsModel(t *testing.T) {
+	src := `
+model Q {
+  param Reads = 50
+  kernel main {
+    execute [1] { QuOps [Reads] }
+    execute [1] { microseconds [320] }
+  }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(f.Models[0], simpleMachine(t), EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 50*20e-6 + 320e-6
+	if math.Abs(res.TotalSeconds()-want) > 1e-12 {
+		t.Errorf("total = %v, want %v", res.TotalSeconds(), want)
+	}
+}
+
+func TestEvaluateCountAndIterate(t *testing.T) {
+	src := `
+model C {
+  kernel body { execute [2] { microseconds [10] } }
+  kernel main {
+    iterate [3] { body }
+    execute [4] { microseconds [1] }
+  }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(f.Models[0], simpleMachine(t), EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (3*2*10 + 4*1) * 1e-6
+	if math.Abs(res.TotalSeconds()-want) > 1e-15 {
+		t.Errorf("total = %v, want %v", res.TotalSeconds(), want)
+	}
+}
+
+func TestEvaluateOverlapPolicy(t *testing.T) {
+	src := `
+model O {
+  kernel main {
+    execute [1] {
+      microseconds [100]
+      microseconds [40]
+    }
+  }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Evaluate(f.Models[0], simpleMachine(t), EvalOptions{Policy: Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap, err := Evaluate(f.Models[0], simpleMachine(t), EvalOptions{Policy: Overlap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(serial.TotalSeconds()-140e-6) > 1e-15 {
+		t.Errorf("serial = %v", serial.TotalSeconds())
+	}
+	if math.Abs(overlap.TotalSeconds()-100e-6) > 1e-15 {
+		t.Errorf("overlap = %v", overlap.TotalSeconds())
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	mach := simpleMachine(t)
+	cases := map[string]string{
+		"no main":          `model M { kernel other { execute [1] { microseconds [1] } } }`,
+		"undefined kernel": `model M { kernel main { ghost } }`,
+		"recursion":        `model M { kernel a { b } kernel b { a } kernel main { a } }`,
+		"unknown resource": `model M { kernel main { execute [1] { blorps [5] } } }`,
+		"negative count":   `model M { kernel main { execute [0-2] { microseconds [1] } } }`,
+		"bad param":        `model M { param X = 1/0 kernel main { execute [1] { microseconds [X] } } }`,
+	}
+	for name, src := range cases {
+		f, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if _, err := Evaluate(f.Models[0], mach, EvalOptions{}); err == nil {
+			t.Errorf("%s: evaluation succeeded", name)
+		}
+	}
+}
+
+func TestEvaluateHostSocketOverride(t *testing.T) {
+	src := `model H { kernel main { execute [1] { flops [1.33e12] as sp, fmad } } }`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the GPU socket: 512 cores × 1.3 GHz × fmad 2 = 1.3312 TF/s → ~1 s.
+	res, err := Evaluate(f.Models[0], simpleMachine(t), EvalOptions{HostSocket: "nvidia_m2090"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TotalSeconds()-1.33e12/1.3312e12) > 1e-9 {
+		t.Errorf("gpu total = %v", res.TotalSeconds())
+	}
+	if _, err := Evaluate(f.Models[0], simpleMachine(t), EvalOptions{HostSocket: "nope"}); err == nil {
+		t.Error("bad socket accepted")
+	}
+}
+
+func TestBuildMachineErrors(t *testing.T) {
+	cases := map[string]string{
+		"no machine":     `node N { [1] s sockets } socket s { }`,
+		"missing node":   `machine M { [1] ghost nodes }`,
+		"missing socket": `machine M { [1] N nodes } node N { [1] ghost sockets }`,
+		"no sockets":     `machine M { [1] N nodes } node N { }`,
+		"no nodes":       `machine M { }`,
+	}
+	for name, src := range cases {
+		f, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := BuildMachine(f, ""); err == nil {
+			t.Errorf("%s: BuildMachine succeeded", name)
+		}
+	}
+}
+
+func TestBuildMachineByName(t *testing.T) {
+	src := `
+machine A { [1] N nodes }
+machine B { [2] N nodes }
+node N { [1] S sockets }
+socket S { [4] C cores }
+core C { property clock [1e9] }
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildMachine(f, ""); err == nil {
+		t.Error("ambiguous machine accepted")
+	}
+	b, err := BuildMachine(f, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NodeCount != 2 {
+		t.Errorf("node count = %v", b.NodeCount)
+	}
+	if b.Sockets[0].CoreCount != 4 {
+		t.Errorf("core count = %v", b.Sockets[0].CoreCount)
+	}
+}
+
+func TestParseWithIncludesDeduplicates(t *testing.T) {
+	// Both socket includes pull in links/pcie.aspen; the link must appear
+	// once.
+	f, err := ParseWithIncludes(SimpleNodeSource, StdLoader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, l := range f.Links {
+		if l.Name == "pcie" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("pcie declared %d times", count)
+	}
+}
+
+func TestStdLoaderUnknownPath(t *testing.T) {
+	if _, err := StdLoader("no/such.aspen"); err == nil {
+		t.Error("unknown include accepted")
+	}
+	if _, err := ParseWithIncludes("include no/such.aspen", StdLoader); err == nil {
+		t.Error("unknown include in source accepted")
+	}
+	if _, err := ParseWithIncludes("include x.aspen", nil); err == nil {
+		t.Error("nil loader with include accepted")
+	}
+}

@@ -1,0 +1,150 @@
+package aspen
+
+import (
+	"fmt"
+	"math"
+)
+
+// Env binds identifiers to values during expression evaluation.
+type Env map[string]float64
+
+// Clone copies the environment.
+func (e Env) Clone() Env {
+	c := make(Env, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+// EvalExpr evaluates an expression under env. Unknown identifiers and
+// malformed calls return errors rather than panicking, so model bugs surface
+// with source context.
+func EvalExpr(e Expr, env Env) (float64, error) {
+	switch x := e.(type) {
+	case *NumberLit:
+		return x.Value, nil
+	case *Ident:
+		v, ok := env[x.Name]
+		if !ok {
+			return 0, fmt.Errorf("aspen: undefined identifier %q", x.Name)
+		}
+		return v, nil
+	case *Unary:
+		v, err := EvalExpr(x.X, env)
+		if err != nil {
+			return 0, err
+		}
+		if x.Op != "-" {
+			return 0, fmt.Errorf("aspen: unknown unary operator %q", x.Op)
+		}
+		return -v, nil
+	case *Binary:
+		a, err := EvalExpr(x.X, env)
+		if err != nil {
+			return 0, err
+		}
+		b, err := EvalExpr(x.Y, env)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "+":
+			return a + b, nil
+		case "-":
+			return a - b, nil
+		case "*":
+			return a * b, nil
+		case "/":
+			if b == 0 {
+				return 0, fmt.Errorf("aspen: division by zero in %s", e)
+			}
+			return a / b, nil
+		case "^":
+			return math.Pow(a, b), nil
+		}
+		return 0, fmt.Errorf("aspen: unknown operator %q", x.Op)
+	case *Call:
+		args := make([]float64, len(x.Args))
+		for i, a := range x.Args {
+			v, err := EvalExpr(a, env)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		return evalCall(x.Fn, args)
+	}
+	return 0, fmt.Errorf("aspen: unknown expression node %T", e)
+}
+
+func evalCall(fn string, args []float64) (float64, error) {
+	unary := func(f func(float64) float64) (float64, error) {
+		if len(args) != 1 {
+			return 0, fmt.Errorf("aspen: %s expects 1 argument, got %d", fn, len(args))
+		}
+		return f(args[0]), nil
+	}
+	binary := func(f func(a, b float64) float64) (float64, error) {
+		if len(args) != 2 {
+			return 0, fmt.Errorf("aspen: %s expects 2 arguments, got %d", fn, len(args))
+		}
+		return f(args[0], args[1]), nil
+	}
+	switch fn {
+	case "log":
+		return unary(math.Log)
+	case "log2":
+		return unary(math.Log2)
+	case "log10":
+		return unary(math.Log10)
+	case "exp":
+		return unary(math.Exp)
+	case "sqrt":
+		return unary(math.Sqrt)
+	case "ceil":
+		return unary(math.Ceil)
+	case "floor":
+		return unary(math.Floor)
+	case "round":
+		return unary(math.Round)
+	case "abs":
+		return unary(math.Abs)
+	case "min":
+		return binary(math.Min)
+	case "max":
+		return binary(math.Max)
+	case "pow":
+		return binary(math.Pow)
+	}
+	return 0, fmt.Errorf("aspen: unknown function %q", fn)
+}
+
+// EvalParams evaluates a model's parameter declarations in order under the
+// given external overrides (the "Input Parameter" values). Each parameter
+// may reference previously defined ones. Overridden parameters keep the
+// override value; their declared expression is not evaluated.
+func EvalParams(m *ModelDecl, overrides map[string]float64) (Env, error) {
+	env := make(Env, len(m.Params)+len(overrides))
+	declared := make(map[string]bool, len(m.Params))
+	for _, p := range m.Params {
+		declared[p.Name] = true
+	}
+	for name := range overrides {
+		if !declared[name] {
+			return nil, fmt.Errorf("aspen: override for unknown parameter %q in model %s", name, m.Name)
+		}
+	}
+	for _, p := range m.Params {
+		if v, ok := overrides[p.Name]; ok {
+			env[p.Name] = v
+			continue
+		}
+		v, err := EvalExpr(p.Expr, env)
+		if err != nil {
+			return nil, fmt.Errorf("aspen: param %s of model %s: %w", p.Name, m.Name, err)
+		}
+		env[p.Name] = v
+	}
+	return env, nil
+}

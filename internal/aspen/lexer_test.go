@@ -1,0 +1,122 @@
+package aspen
+
+import "testing"
+
+func kinds(toks []Token) []TokenKind {
+	ks := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := Lex(`param x = 3.5 + foo(2) // comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokIdent, TokIdent, TokAssign, TokNumber, TokPlus, TokIdent, TokLParen, TokNumber, TokRParen, TokEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("a /* block\ncomment */ b // line\nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 { // a b c EOF
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[2].Text != "c" || toks[2].Line != 3 {
+		t.Errorf("line tracking wrong: %v", toks[2])
+	}
+}
+
+func TestLexUnterminatedBlockComment(t *testing.T) {
+	if _, err := Lex("a /* never ends"); err == nil {
+		t.Error("unterminated comment accepted")
+	}
+}
+
+func TestLexIncludePath(t *testing.T) {
+	toks, err := Lex("include memory/ddr3_1066.aspen\nmodel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokIdent || toks[0].Text != "include" {
+		t.Fatalf("first token %v", toks[0])
+	}
+	if toks[1].Kind != TokPath || toks[1].Text != "memory/ddr3_1066.aspen" {
+		t.Fatalf("path token %v", toks[1])
+	}
+	if toks[2].Text != "model" {
+		t.Fatalf("token after path: %v", toks[2])
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]string{
+		"42":     "42",
+		"3.14":   "3.14",
+		"2.5e9":  "2.5e9",
+		"1e-6":   "1e-6",
+		"252162": "252162",
+		".5":     ".5",
+	}
+	for src, want := range cases {
+		toks, err := Lex(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if toks[0].Kind != TokNumber || toks[0].Text != want {
+			t.Errorf("%q -> %v", src, toks[0])
+		}
+	}
+}
+
+func TestLexStrayDot(t *testing.T) {
+	if _, err := Lex("a . b"); err == nil {
+		t.Error("stray dot accepted")
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	if _, err := Lex("a @ b"); err == nil {
+		t.Error("'@' accepted")
+	}
+}
+
+func TestLexString(t *testing.T) {
+	toks, err := Lex(`"hello world"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokString || toks[0].Text != "hello world" {
+		t.Errorf("string token %v", toks[0])
+	}
+	if _, err := Lex(`"unterminated`); err == nil {
+		t.Error("unterminated string accepted")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("ab\n  cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("ab at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("cd at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}

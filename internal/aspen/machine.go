@@ -1,0 +1,339 @@
+package aspen
+
+import (
+	"fmt"
+)
+
+// MachineSpec is a resolved machine model: the socket inventory of one node
+// with capability lookup. It implements the resource→time conversion used by
+// the application-model evaluator.
+//
+// Conversion semantics (documented here because the original ASPEN tool is
+// closed; DESIGN.md summarizes the same rules):
+//
+//   - flops: rate = clock × cores × issue_<prec> [× simd_width_<prec> when
+//     the "simd" trait is present] [× fmad_factor when "fmad" is present],
+//     where <prec> is "sp" or "dp" (default "dp"). Properties live on the
+//     core declaration; missing issue/simd/fmad properties default to 1.
+//   - loads/stores: bytes / memory "bandwidth" property of the host
+//     socket's memory.
+//   - intracomm: bytes / link "bandwidth" + link "latency" (once per
+//     statement), using the link of the socket that declares it (the
+//     evaluator binds intracomm to the device socket's link when present).
+//   - microseconds/milliseconds/seconds/nanoseconds: direct time.
+//   - any other verb: a custom resource (e.g. QuOps) defined by a
+//     `resource NAME(arg) [expr]` on some core; expr evaluates with the
+//     consumed quantity bound to arg and yields seconds.
+type MachineSpec struct {
+	Name      string
+	NodeName  string
+	NodeCount float64
+	Sockets   []*SocketSpec
+}
+
+// SocketSpec is one socket of the node with resolved sub-components.
+type SocketSpec struct {
+	Name      string
+	CoreCount float64
+	CoreName  string
+	Core      *ComponentDecl // may be nil for memory-only sockets
+	Memory    *ComponentDecl // may be nil
+	Link      *ComponentDecl // may be nil
+}
+
+// numProperty evaluates a numeric property on decl, returning def when the
+// property (or decl) is absent.
+func numProperty(decl *ComponentDecl, name string, def float64) (float64, error) {
+	if decl == nil {
+		return def, nil
+	}
+	e := decl.Property(name)
+	if e == nil {
+		return def, nil
+	}
+	v, err := EvalExpr(e, nil)
+	if err != nil {
+		return 0, fmt.Errorf("aspen: property %s of %s %s: %w", name, decl.Kind, decl.Name, err)
+	}
+	return v, nil
+}
+
+// FlopsRate returns the socket's floating-point rate in flops/second for the
+// given traits.
+func (s *SocketSpec) FlopsRate(traits []string) (float64, error) {
+	if s.Core == nil {
+		return 0, fmt.Errorf("aspen: socket %s has no core for flops", s.Name)
+	}
+	clock, err := numProperty(s.Core, "clock", 0)
+	if err != nil {
+		return 0, err
+	}
+	if clock <= 0 {
+		return 0, fmt.Errorf("aspen: core %s of socket %s lacks a positive clock property", s.CoreName, s.Name)
+	}
+	prec := "dp"
+	simd, fmad := false, false
+	for _, t := range traits {
+		switch t {
+		case "sp":
+			prec = "sp"
+		case "dp":
+			prec = "dp"
+		case "simd":
+			simd = true
+		case "fmad":
+			fmad = true
+		}
+	}
+	issue, err := numProperty(s.Core, "issue_"+prec, 1)
+	if err != nil {
+		return 0, err
+	}
+	rate := clock * s.CoreCount * issue
+	if simd {
+		w, err := numProperty(s.Core, "simd_width_"+prec, 1)
+		if err != nil {
+			return 0, err
+		}
+		rate *= w
+	}
+	if fmad {
+		f, err := numProperty(s.Core, "fmad_factor", 1)
+		if err != nil {
+			return 0, err
+		}
+		rate *= f
+	}
+	return rate, nil
+}
+
+// MemoryBandwidth returns the socket memory bandwidth in bytes/second.
+func (s *SocketSpec) MemoryBandwidth() (float64, error) {
+	if s.Memory == nil {
+		return 0, fmt.Errorf("aspen: socket %s has no memory", s.Name)
+	}
+	bw, err := numProperty(s.Memory, "bandwidth", 0)
+	if err != nil {
+		return 0, err
+	}
+	if bw <= 0 {
+		return 0, fmt.Errorf("aspen: memory %s lacks a positive bandwidth property", s.Memory.Name)
+	}
+	return bw, nil
+}
+
+// LinkTime returns the transfer time for the given byte volume over the
+// socket's link, including one latency charge.
+func (s *SocketSpec) LinkTime(bytes float64) (float64, error) {
+	if s.Link == nil {
+		return 0, fmt.Errorf("aspen: socket %s has no link", s.Name)
+	}
+	bw, err := numProperty(s.Link, "bandwidth", 0)
+	if err != nil {
+		return 0, err
+	}
+	if bw <= 0 {
+		return 0, fmt.Errorf("aspen: link %s lacks a positive bandwidth property", s.Link.Name)
+	}
+	lat, err := numProperty(s.Link, "latency", 0)
+	if err != nil {
+		return 0, err
+	}
+	return lat + bytes/bw, nil
+}
+
+// ResourceDef looks up a custom resource definition by name across the
+// socket's core.
+func (s *SocketSpec) ResourceDef(name string) *ResourceDef {
+	if s.Core == nil {
+		return nil
+	}
+	for _, r := range s.Core.Resources {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// CustomResourceTime evaluates a custom resource consumption (e.g. QuOps) to
+// seconds: the definition expression runs with the quantity bound to the
+// first declared argument.
+func (s *SocketSpec) CustomResourceTime(name string, amount float64) (float64, error) {
+	def := s.ResourceDef(name)
+	if def == nil {
+		return 0, fmt.Errorf("aspen: socket %s does not define resource %q", s.Name, name)
+	}
+	env := Env{}
+	if len(def.Args) > 0 {
+		env[def.Args[0]] = amount
+	}
+	v, err := EvalExpr(def.Expr, env)
+	if err != nil {
+		return 0, fmt.Errorf("aspen: resource %s on socket %s: %w", name, s.Name, err)
+	}
+	return v, nil
+}
+
+// Socket returns the named socket spec, or nil.
+func (m *MachineSpec) Socket(name string) *SocketSpec {
+	for _, s := range m.Sockets {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// FindCustomResource returns the first socket defining the named custom
+// resource, or nil.
+func (m *MachineSpec) FindCustomResource(name string) *SocketSpec {
+	for _, s := range m.Sockets {
+		if s.ResourceDef(name) != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// index collects component declarations by kind and name for resolution.
+type declIndex struct {
+	nodes, sockets, cores, memories, links map[string]*ComponentDecl
+	machines                               map[string]*MachineDecl
+}
+
+func indexFile(f *File) *declIndex {
+	ix := &declIndex{
+		nodes:    map[string]*ComponentDecl{},
+		sockets:  map[string]*ComponentDecl{},
+		cores:    map[string]*ComponentDecl{},
+		memories: map[string]*ComponentDecl{},
+		links:    map[string]*ComponentDecl{},
+		machines: map[string]*MachineDecl{},
+	}
+	for _, d := range f.Nodes {
+		ix.nodes[d.Name] = d
+	}
+	for _, d := range f.Sockets {
+		ix.sockets[d.Name] = d
+	}
+	for _, d := range f.Cores {
+		ix.cores[d.Name] = d
+	}
+	for _, d := range f.Memories {
+		ix.memories[d.Name] = d
+	}
+	for _, d := range f.Links {
+		ix.links[d.Name] = d
+	}
+	for _, m := range f.Machines {
+		ix.machines[m.Name] = m
+	}
+	return ix
+}
+
+// BuildMachine resolves the named machine declaration of a fully-included
+// file into a MachineSpec. When name is empty the file's sole machine is
+// used.
+func BuildMachine(f *File, name string) (*MachineSpec, error) {
+	ix := indexFile(f)
+	var decl *MachineDecl
+	switch {
+	case name != "":
+		decl = ix.machines[name]
+		if decl == nil {
+			return nil, fmt.Errorf("aspen: machine %q not declared", name)
+		}
+	case len(f.Machines) == 1:
+		decl = f.Machines[0]
+	case len(f.Machines) == 0:
+		return nil, fmt.Errorf("aspen: no machine declaration in file")
+	default:
+		return nil, fmt.Errorf("aspen: %d machines declared, name required", len(f.Machines))
+	}
+
+	spec := &MachineSpec{Name: decl.Name, NodeCount: 1}
+	var nodeDecl *ComponentDecl
+	for _, ref := range decl.SubRefs {
+		if ref.Kind != "nodes" {
+			continue
+		}
+		nodeDecl = ix.nodes[ref.Type]
+		if nodeDecl == nil {
+			return nil, fmt.Errorf("aspen: machine %s references undeclared node %q", decl.Name, ref.Type)
+		}
+		if ref.Count != nil {
+			c, err := EvalExpr(ref.Count, nil)
+			if err != nil {
+				return nil, err
+			}
+			spec.NodeCount = c
+		}
+		break
+	}
+	if nodeDecl == nil {
+		return nil, fmt.Errorf("aspen: machine %s declares no nodes", decl.Name)
+	}
+	spec.NodeName = nodeDecl.Name
+
+	for _, ref := range nodeDecl.SubRefs {
+		if ref.Kind != "sockets" {
+			continue
+		}
+		sdecl := ix.sockets[ref.Type]
+		if sdecl == nil {
+			return nil, fmt.Errorf("aspen: node %s references undeclared socket %q", nodeDecl.Name, ref.Type)
+		}
+		sock, err := buildSocket(ix, sdecl)
+		if err != nil {
+			return nil, err
+		}
+		spec.Sockets = append(spec.Sockets, sock)
+	}
+	if len(spec.Sockets) == 0 {
+		return nil, fmt.Errorf("aspen: node %s declares no sockets", nodeDecl.Name)
+	}
+	return spec, nil
+}
+
+func buildSocket(ix *declIndex, sdecl *ComponentDecl) (*SocketSpec, error) {
+	sock := &SocketSpec{Name: sdecl.Name, CoreCount: 1}
+	for _, sub := range sdecl.SubRefs {
+		switch sub.Kind {
+		case "cores":
+			core := ix.cores[sub.Type]
+			if core == nil {
+				return nil, fmt.Errorf("aspen: socket %s references undeclared core %q", sdecl.Name, sub.Type)
+			}
+			sock.Core = core
+			sock.CoreName = core.Name
+			if sub.Count != nil {
+				c, err := EvalExpr(sub.Count, nil)
+				if err != nil {
+					return nil, err
+				}
+				sock.CoreCount = c
+			}
+		case "memory", "memories":
+			mem := ix.memories[sub.Type]
+			if mem == nil {
+				return nil, fmt.Errorf("aspen: socket %s references undeclared memory %q", sdecl.Name, sub.Type)
+			}
+			sock.Memory = mem
+		case "link", "links":
+			lnk := ix.links[sub.Type]
+			if lnk == nil {
+				return nil, fmt.Errorf("aspen: socket %s references undeclared link %q", sdecl.Name, sub.Type)
+			}
+			sock.Link = lnk
+		}
+	}
+	for _, ln := range sdecl.LinkedWith {
+		lnk := ix.links[ln]
+		if lnk == nil {
+			return nil, fmt.Errorf("aspen: socket %s linked with undeclared link %q", sdecl.Name, ln)
+		}
+		sock.Link = lnk
+	}
+	return sock, nil
+}

@@ -1,0 +1,659 @@
+package aspen
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a complete ASPEN source file.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseFile()
+}
+
+// ParseExpr parses a standalone arithmetic expression.
+func ParseExpr(src string) (Expr, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, p.errorf("trailing input after expression: %s", p.peek())
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) peek2() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if p.pos+1 < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	t := p.peek()
+	return fmt.Errorf("aspen: %d:%d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind TokenKind) (Token, error) {
+	if p.peek().Kind != kind {
+		return Token{}, p.errorf("expected %s, found %s", kind, p.peek())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) expectIdent(text string) error {
+	t := p.peek()
+	if t.Kind != TokIdent || t.Text != text {
+		return p.errorf("expected %q, found %s", text, t)
+	}
+	p.advance()
+	return nil
+}
+
+// componentKinds maps declaration keywords to ComponentDecl kinds.
+var componentKinds = map[string]bool{
+	"node": true, "socket": true, "core": true, "memory": true, "link": true, "cache": true,
+}
+
+// subComponentKinds are the trailing kind words of sub-component references.
+var subComponentKinds = map[string]bool{
+	"nodes": true, "sockets": true, "cores": true, "memory": true,
+	"memories": true, "link": true, "links": true, "caches": true,
+}
+
+func (p *parser) parseFile() (*File, error) {
+	f := &File{}
+	for {
+		t := p.peek()
+		if t.Kind == TokEOF {
+			return f, nil
+		}
+		if t.Kind != TokIdent {
+			return nil, p.errorf("expected declaration, found %s", t)
+		}
+		switch t.Text {
+		case "include":
+			p.advance()
+			path, err := p.expect(TokPath)
+			if err != nil {
+				return nil, err
+			}
+			f.Includes = append(f.Includes, path.Text)
+		case "model":
+			m, err := p.parseModel()
+			if err != nil {
+				return nil, err
+			}
+			f.Models = append(f.Models, m)
+		case "machine":
+			m, err := p.parseMachine()
+			if err != nil {
+				return nil, err
+			}
+			f.Machines = append(f.Machines, m)
+		default:
+			if !componentKinds[t.Text] {
+				return nil, p.errorf("unknown declaration %q", t.Text)
+			}
+			c, err := p.parseComponent()
+			if err != nil {
+				return nil, err
+			}
+			switch c.Kind {
+			case "node":
+				f.Nodes = append(f.Nodes, c)
+			case "socket":
+				f.Sockets = append(f.Sockets, c)
+			case "core":
+				f.Cores = append(f.Cores, c)
+			case "memory", "cache":
+				f.Memories = append(f.Memories, c)
+			case "link":
+				f.Links = append(f.Links, c)
+			}
+		}
+	}
+}
+
+func (p *parser) parseModel() (*ModelDecl, error) {
+	p.advance() // 'model'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	m := &ModelDecl{Name: name.Text}
+	for {
+		t := p.peek()
+		if t.Kind == TokRBrace {
+			p.advance()
+			return m, nil
+		}
+		if t.Kind != TokIdent {
+			return nil, p.errorf("expected model member, found %s", t)
+		}
+		switch t.Text {
+		case "param":
+			p.advance()
+			id, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokAssign); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			m.Params = append(m.Params, &ParamDecl{Name: id.Text, Expr: e})
+		case "data":
+			d, err := p.parseData()
+			if err != nil {
+				return nil, err
+			}
+			m.Data = append(m.Data, d)
+		case "kernel":
+			k, err := p.parseKernel()
+			if err != nil {
+				return nil, err
+			}
+			m.Kernels = append(m.Kernels, k)
+		default:
+			return nil, p.errorf("unknown model member %q", t.Text)
+		}
+	}
+}
+
+func (p *parser) parseData() (*DataDecl, error) {
+	p.advance() // 'data'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectIdent("as"); err != nil {
+		return nil, err
+	}
+	if err := p.expectIdent("Array"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	count, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokComma); err != nil {
+		return nil, err
+	}
+	elem, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return &DataDecl{Name: name.Text, Count: count, ElemBytes: elem}, nil
+}
+
+func (p *parser) parseKernel() (*KernelDecl, error) {
+	p.advance() // 'kernel'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmts()
+	if err != nil {
+		return nil, err
+	}
+	return &KernelDecl{Name: name.Text, Body: body}, nil
+}
+
+// parseStmts parses kernel-body statements up to (and consuming) '}'.
+func (p *parser) parseStmts() ([]Stmt, error) {
+	var body []Stmt
+	for {
+		t := p.peek()
+		if t.Kind == TokRBrace {
+			p.advance()
+			return body, nil
+		}
+		if t.Kind != TokIdent {
+			return nil, p.errorf("expected statement, found %s", t)
+		}
+		switch t.Text {
+		case "execute":
+			s, err := p.parseExecute()
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, s)
+		case "iterate":
+			p.advance()
+			if _, err := p.expect(TokLBracket); err != nil {
+				return nil, err
+			}
+			count, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokLBrace); err != nil {
+				return nil, err
+			}
+			inner, err := p.parseStmts()
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, &IterateStmt{Count: count, Body: inner})
+		case "par":
+			p.advance()
+			if _, err := p.expect(TokLBrace); err != nil {
+				return nil, err
+			}
+			inner, err := p.parseStmts()
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, &ParStmt{Body: inner})
+		default:
+			p.advance()
+			body = append(body, &CallStmt{Name: t.Text})
+		}
+	}
+}
+
+func (p *parser) parseExecute() (Stmt, error) {
+	p.advance() // 'execute'
+	st := &ExecuteStmt{Count: &NumberLit{Value: 1}}
+	if p.peek().Kind == TokIdent {
+		st.Label = p.advance().Text
+	}
+	if p.peek().Kind == TokLBracket {
+		p.advance()
+		count, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		st.Count = count
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokRBrace {
+			p.advance()
+			return st, nil
+		}
+		r, err := p.parseResource()
+		if err != nil {
+			return nil, err
+		}
+		st.Resources = append(st.Resources, r)
+	}
+}
+
+func (p *parser) parseResource() (*ResourceStmt, error) {
+	verb, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBracket); err != nil {
+		return nil, err
+	}
+	qty, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRBracket); err != nil {
+		return nil, err
+	}
+	r := &ResourceStmt{Verb: verb.Text, Quantity: qty}
+	for {
+		t := p.peek()
+		if t.Kind != TokIdent {
+			return r, nil
+		}
+		switch t.Text {
+		case "as":
+			p.advance()
+			for {
+				trait, err := p.expect(TokIdent)
+				if err != nil {
+					return nil, err
+				}
+				r.Traits = append(r.Traits, trait.Text)
+				if p.peek().Kind != TokComma {
+					break
+				}
+				p.advance()
+			}
+		case "to":
+			p.advance()
+			id, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			r.To = id.Text
+		case "from":
+			p.advance()
+			id, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			r.From = id.Text
+		case "of":
+			p.advance()
+			if err := p.expectIdent("size"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokLBracket); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			r.ElemSize = e
+		default:
+			return r, nil
+		}
+	}
+}
+
+func (p *parser) parseMachine() (*MachineDecl, error) {
+	p.advance() // 'machine'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	m := &MachineDecl{Name: name.Text}
+	for {
+		t := p.peek()
+		if t.Kind == TokRBrace {
+			p.advance()
+			return m, nil
+		}
+		ref, err := p.parseSubRef()
+		if err != nil {
+			return nil, err
+		}
+		m.SubRefs = append(m.SubRefs, ref)
+	}
+}
+
+func (p *parser) parseSubRef() (*SubComponentRef, error) {
+	ref := &SubComponentRef{}
+	if p.peek().Kind == TokLBracket {
+		p.advance()
+		count, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		ref.Count = count
+	}
+	typ, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	ref.Type = typ.Text
+	kind, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if !subComponentKinds[kind.Text] {
+		return nil, p.errorf("unknown sub-component kind %q", kind.Text)
+	}
+	ref.Kind = kind.Text
+	return ref, nil
+}
+
+func (p *parser) parseComponent() (*ComponentDecl, error) {
+	kind := p.advance().Text // node/socket/core/memory/link/cache
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	c := &ComponentDecl{Kind: kind, Name: name.Text}
+	for {
+		t := p.peek()
+		if t.Kind == TokRBrace {
+			p.advance()
+			return c, nil
+		}
+		switch {
+		case t.Kind == TokIdent && t.Text == "property":
+			p.advance()
+			id, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokLBracket); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			c.Properties = append(c.Properties, &PropertyDecl{Name: id.Text, Expr: e})
+		case t.Kind == TokIdent && t.Text == "resource":
+			p.advance()
+			id, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			def := &ResourceDef{Name: id.Text}
+			if p.peek().Kind == TokLParen {
+				p.advance()
+				for p.peek().Kind != TokRParen {
+					arg, err := p.expect(TokIdent)
+					if err != nil {
+						return nil, err
+					}
+					def.Args = append(def.Args, arg.Text)
+					if p.peek().Kind == TokComma {
+						p.advance()
+					}
+				}
+				p.advance() // ')'
+			}
+			if _, err := p.expect(TokLBracket); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			def.Expr = e
+			c.Resources = append(c.Resources, def)
+		case t.Kind == TokIdent && t.Text == "linked":
+			p.advance()
+			if err := p.expectIdent("with"); err != nil {
+				return nil, err
+			}
+			id, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			c.LinkedWith = append(c.LinkedWith, id.Text)
+		case t.Kind == TokLBracket || (t.Kind == TokIdent && p.peek2().Kind == TokIdent && subComponentKinds[p.peek2().Text]):
+			ref, err := p.parseSubRef()
+			if err != nil {
+				return nil, err
+			}
+			c.SubRefs = append(c.SubRefs, ref)
+		default:
+			return nil, p.errorf("unexpected token in %s %s: %s", kind, name.Text, t)
+		}
+	}
+}
+
+// --- expressions -----------------------------------------------------------
+
+// parseExpr parses additive expressions.
+func (p *parser) parseExpr() (Expr, error) {
+	x, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().Kind {
+		case TokPlus, TokMinus:
+			op := p.advance().Text
+			y, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			x = &Binary{Op: op, X: x, Y: y}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().Kind {
+		case TokStar, TokSlash:
+			op := p.advance().Text
+			y, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			x = &Binary{Op: op, X: x, Y: y}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.peek().Kind == TokMinus {
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.parsePower()
+}
+
+// parsePower parses right-associative exponentiation.
+func (p *parser) parsePower() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokCaret {
+		p.advance()
+		y, err := p.parseUnary() // right associative, allows -x exponents
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: "^", X: x, Y: y}, nil
+	}
+	return x, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.advance()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q: %v", t.Text, err)
+		}
+		return &NumberLit{Value: v}, nil
+	case TokIdent:
+		p.advance()
+		if p.peek().Kind == TokLParen {
+			p.advance()
+			call := &Call{Fn: t.Text}
+			for p.peek().Kind != TokRParen {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if p.peek().Kind == TokComma {
+					p.advance()
+				}
+			}
+			p.advance() // ')'
+			return call, nil
+		}
+		return &Ident{Name: t.Text}, nil
+	case TokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errorf("expected expression, found %s", t)
+}

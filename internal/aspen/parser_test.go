@@ -1,0 +1,301 @@
+package aspen
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustParseExpr(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return e
+}
+
+func evalIn(t *testing.T, src string, env Env) float64 {
+	t.Helper()
+	v, err := EvalExpr(mustParseExpr(t, src), env)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func TestExprPrecedence(t *testing.T) {
+	cases := map[string]float64{
+		"1 + 2 * 3":        7,
+		"(1 + 2) * 3":      9,
+		"2 ^ 3 ^ 2":        512, // right associative
+		"2 * 3 ^ 2":        18,
+		"-2 ^ 2":           -4, // unary minus binds looser than ^
+		"10 - 4 - 3":       3,  // left associative
+		"8 / 4 / 2":        1,
+		"ceil(1.2) + 1":    3,
+		"min(3, max(1,2))": 2,
+		"log(exp(2))":      2,
+		"pow(2, 10)":       1024,
+		"sqrt(9)":          3,
+		"floor(-1.5)":      -2,
+		"abs(-4)":          4,
+		"log2(8)":          3,
+		"log10(1000)":      3,
+		"round(2.5)":       3,
+	}
+	for src, want := range cases {
+		if got := evalIn(t, src, nil); math.Abs(got-want) > 1e-12 {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestExprIdentifiers(t *testing.T) {
+	env := Env{"LPS": 10}
+	if got := evalIn(t, "LPS^2 + LPS", env); got != 110 {
+		t.Errorf("got %v", got)
+	}
+	if _, err := EvalExpr(mustParseExpr(t, "missing + 1"), env); err == nil {
+		t.Error("undefined identifier accepted")
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	if _, err := ParseExpr("1 +"); err == nil {
+		t.Error("dangling operator accepted")
+	}
+	if _, err := ParseExpr("(1"); err == nil {
+		t.Error("unbalanced paren accepted")
+	}
+	if _, err := ParseExpr("1 2"); err == nil {
+		t.Error("trailing input accepted")
+	}
+	if _, err := EvalExpr(mustParseExpr(t, "1/0"), nil); err == nil {
+		t.Error("division by zero accepted")
+	}
+	if _, err := EvalExpr(mustParseExpr(t, "nosuch(1)"), nil); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if _, err := EvalExpr(mustParseExpr(t, "log(1,2)"), nil); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestParseModelStructure(t *testing.T) {
+	src := `
+model Demo {
+  param N = 4
+  param Work = N^2
+
+  data Buf as Array(N, 8)
+
+  kernel compute {
+    execute [2] {
+      flops [Work] as sp, simd
+      loads [N*8] from Buf
+    }
+  }
+
+  kernel main {
+    compute
+    iterate [3] { compute }
+  }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Models) != 1 {
+		t.Fatalf("models = %d", len(f.Models))
+	}
+	m := f.Models[0]
+	if m.Name != "Demo" || len(m.Params) != 2 || len(m.Data) != 1 || len(m.Kernels) != 2 {
+		t.Fatalf("model shape: %+v", m)
+	}
+	if m.Kernel("compute") == nil || m.Kernel("nope") != nil {
+		t.Error("Kernel lookup wrong")
+	}
+	ex, ok := m.Kernel("compute").Body[0].(*ExecuteStmt)
+	if !ok {
+		t.Fatalf("first stmt is %T", m.Kernel("compute").Body[0])
+	}
+	if len(ex.Resources) != 2 {
+		t.Fatalf("resources = %d", len(ex.Resources))
+	}
+	fl := ex.Resources[0]
+	if fl.Verb != "flops" || len(fl.Traits) != 2 || fl.Traits[0] != "sp" || fl.Traits[1] != "simd" {
+		t.Errorf("flops stmt: %+v", fl)
+	}
+	ld := ex.Resources[1]
+	if ld.Verb != "loads" || ld.From != "Buf" {
+		t.Errorf("loads stmt: %+v", ld)
+	}
+	if _, ok := m.Kernel("main").Body[1].(*IterateStmt); !ok {
+		t.Errorf("second main stmt is %T", m.Kernel("main").Body[1])
+	}
+}
+
+func TestParseExecuteLabelForms(t *testing.T) {
+	src := `
+model L {
+  kernel main {
+    execute [1] { microseconds [5] }
+    execute labeled [2] { microseconds [5] }
+    execute mainblock2[1] { microseconds [5] }
+  }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := f.Models[0].Kernel("main")
+	ex0 := main.Body[0].(*ExecuteStmt)
+	ex1 := main.Body[1].(*ExecuteStmt)
+	ex2 := main.Body[2].(*ExecuteStmt)
+	if ex0.Label != "" || ex1.Label != "labeled" || ex2.Label != "mainblock2" {
+		t.Errorf("labels: %q %q %q", ex0.Label, ex1.Label, ex2.Label)
+	}
+}
+
+func TestParseResourceClauses(t *testing.T) {
+	src := `
+model R {
+  data Out as Array(10, 4)
+  kernel main {
+    execute [1] {
+      loads [7] of size [4*3]
+      stores [7] to Out
+      intracomm [100] as copyout
+    }
+  }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := f.Models[0].Kernel("main").Body[0].(*ExecuteStmt).Resources
+	if res[0].ElemSize == nil {
+		t.Error("of size clause lost")
+	}
+	if res[1].To != "Out" {
+		t.Errorf("to clause: %q", res[1].To)
+	}
+	if len(res[2].Traits) != 1 || res[2].Traits[0] != "copyout" {
+		t.Errorf("intracomm traits: %v", res[2].Traits)
+	}
+}
+
+func TestParseMachineAndComponents(t *testing.T) {
+	f, err := Parse(SimpleNodeSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Machines) != 1 || f.Machines[0].Name != "SimpleNode" {
+		t.Fatalf("machines: %+v", f.Machines)
+	}
+	if len(f.Nodes) != 1 || len(f.Nodes[0].SubRefs) != 3 {
+		t.Fatalf("node decl: %+v", f.Nodes)
+	}
+	if len(f.Includes) != 4 {
+		t.Errorf("includes = %v", f.Includes)
+	}
+}
+
+func TestParseSocketWithResource(t *testing.T) {
+	src := `
+core Vesuvius20 {
+  resource QuOps(number) [number * 20/1000000]
+}
+socket DwaveVesuvius20 {
+  [1] Vesuvius20 cores
+  linked with pcie
+}
+link pcie { property bandwidth [8e9] }
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Cores) != 1 || len(f.Cores[0].Resources) != 1 {
+		t.Fatalf("cores: %+v", f.Cores)
+	}
+	rd := f.Cores[0].Resources[0]
+	if rd.Name != "QuOps" || len(rd.Args) != 1 || rd.Args[0] != "number" {
+		t.Errorf("resource def: %+v", rd)
+	}
+	if len(f.Sockets[0].LinkedWith) != 1 || f.Sockets[0].LinkedWith[0] != "pcie" {
+		t.Errorf("linked with: %v", f.Sockets[0].LinkedWith)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"model {",                             // missing name
+		"model M { param = 3 }",               // missing param name
+		"model M { kernel main { execute } }", // missing block
+		"model M { data D as List(3,4) }",     // not Array
+		"machine M { [1] N widgets }",         // unknown kind
+		"gadget G {}",                         // unknown decl
+		"model M { param x = }",               // empty expr
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted: %q", src)
+		}
+	}
+}
+
+func TestEvalParamsOrderAndOverrides(t *testing.T) {
+	src := `
+model P {
+  param A = 2
+  param B = A * 10
+  kernel main { execute [1] { microseconds [B] } }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := EvalParams(f.Models[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env["B"] != 20 {
+		t.Errorf("B = %v", env["B"])
+	}
+	env, err = EvalParams(f.Models[0], map[string]float64{"A": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env["B"] != 50 {
+		t.Errorf("override: B = %v", env["B"])
+	}
+	if _, err := EvalParams(f.Models[0], map[string]float64{"Zed": 1}); err == nil {
+		t.Error("unknown override accepted")
+	}
+}
+
+func TestExprStringRoundTrip(t *testing.T) {
+	e := mustParseExpr(t, "ceil(log(1-(A/100))/log(1-S))")
+	s := e.String()
+	for _, frag := range []string{"ceil", "log", "A", "100", "S"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+	// The printed form must re-parse to the same value.
+	env := Env{"A": 99.0, "S": 0.7}
+	v1, err := EvalExpr(e, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := evalIn(t, s, env)
+	if math.Abs(v1-v2) > 1e-12 {
+		t.Errorf("round trip: %v vs %v", v1, v2)
+	}
+}

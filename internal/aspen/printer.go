@@ -1,0 +1,158 @@
+package aspen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a parsed file back to canonical ASPEN source. The output
+// re-parses to a structurally identical file (round-trip property, tested),
+// which makes the package usable as a formatter and lets generated models
+// be inspected or stored.
+func Format(f *File) string {
+	var b strings.Builder
+	for _, inc := range f.Includes {
+		fmt.Fprintf(&b, "include %s\n", inc)
+	}
+	if len(f.Includes) > 0 {
+		b.WriteString("\n")
+	}
+	for _, m := range f.Memories {
+		formatComponent(&b, m)
+	}
+	for _, l := range f.Links {
+		formatComponent(&b, l)
+	}
+	for _, c := range f.Cores {
+		formatComponent(&b, c)
+	}
+	for _, s := range f.Sockets {
+		formatComponent(&b, s)
+	}
+	for _, n := range f.Nodes {
+		formatComponent(&b, n)
+	}
+	for _, m := range f.Machines {
+		fmt.Fprintf(&b, "machine %s {\n", m.Name)
+		for _, r := range m.SubRefs {
+			formatSubRef(&b, r)
+		}
+		b.WriteString("}\n\n")
+	}
+	for _, m := range f.Models {
+		formatModel(&b, m)
+	}
+	return strings.TrimRight(b.String(), "\n") + "\n"
+}
+
+func formatComponent(b *strings.Builder, c *ComponentDecl) {
+	fmt.Fprintf(b, "%s %s {\n", c.Kind, c.Name)
+	for _, r := range c.SubRefs {
+		formatSubRef(b, r)
+	}
+	for _, p := range c.Properties {
+		fmt.Fprintf(b, "  property %s [%s]\n", p.Name, exprSrc(p.Expr))
+	}
+	for _, r := range c.Resources {
+		if len(r.Args) > 0 {
+			fmt.Fprintf(b, "  resource %s(%s) [%s]\n", r.Name, strings.Join(r.Args, ", "), exprSrc(r.Expr))
+		} else {
+			fmt.Fprintf(b, "  resource %s [%s]\n", r.Name, exprSrc(r.Expr))
+		}
+	}
+	for _, l := range c.LinkedWith {
+		fmt.Fprintf(b, "  linked with %s\n", l)
+	}
+	b.WriteString("}\n\n")
+}
+
+func formatSubRef(b *strings.Builder, r *SubComponentRef) {
+	if r.Count != nil {
+		fmt.Fprintf(b, "  [%s] %s %s\n", exprSrc(r.Count), r.Type, r.Kind)
+	} else {
+		fmt.Fprintf(b, "  %s %s\n", r.Type, r.Kind)
+	}
+}
+
+func formatModel(b *strings.Builder, m *ModelDecl) {
+	fmt.Fprintf(b, "model %s {\n", m.Name)
+	for _, p := range m.Params {
+		fmt.Fprintf(b, "  param %s = %s\n", p.Name, exprSrc(p.Expr))
+	}
+	for _, d := range m.Data {
+		fmt.Fprintf(b, "  data %s as Array(%s, %s)\n", d.Name, exprSrc(d.Count), exprSrc(d.ElemBytes))
+	}
+	for _, k := range m.Kernels {
+		fmt.Fprintf(b, "  kernel %s {\n", k.Name)
+		formatStmts(b, k.Body, "    ")
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n\n")
+}
+
+func formatStmts(b *strings.Builder, stmts []Stmt, indent string) {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *CallStmt:
+			fmt.Fprintf(b, "%s%s\n", indent, s.Name)
+		case *IterateStmt:
+			fmt.Fprintf(b, "%siterate [%s] {\n", indent, exprSrc(s.Count))
+			formatStmts(b, s.Body, indent+"  ")
+			fmt.Fprintf(b, "%s}\n", indent)
+		case *ParStmt:
+			fmt.Fprintf(b, "%spar {\n", indent)
+			formatStmts(b, s.Body, indent+"  ")
+			fmt.Fprintf(b, "%s}\n", indent)
+		case *ExecuteStmt:
+			label := ""
+			if s.Label != "" {
+				label = s.Label + " "
+			}
+			fmt.Fprintf(b, "%sexecute %s[%s] {\n", indent, label, exprSrc(s.Count))
+			for _, r := range s.Resources {
+				fmt.Fprintf(b, "%s  %s\n", indent, formatResource(r))
+			}
+			fmt.Fprintf(b, "%s}\n", indent)
+		}
+	}
+}
+
+func formatResource(r *ResourceStmt) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%s]", r.Verb, exprSrc(r.Quantity))
+	if len(r.Traits) > 0 {
+		fmt.Fprintf(&b, " as %s", strings.Join(r.Traits, ", "))
+	}
+	if r.From != "" {
+		fmt.Fprintf(&b, " from %s", r.From)
+	}
+	if r.To != "" {
+		fmt.Fprintf(&b, " to %s", r.To)
+	}
+	if r.ElemSize != nil {
+		fmt.Fprintf(&b, " of size [%s]", exprSrc(r.ElemSize))
+	}
+	return b.String()
+}
+
+// exprSrc renders an expression as re-parseable source (fully
+// parenthesized for binary/unary nodes, so precedence survives).
+func exprSrc(e Expr) string {
+	switch x := e.(type) {
+	case *NumberLit:
+		return trimFloat(x.Value)
+	case *Ident:
+		return x.Name
+	case *Unary:
+		return fmt.Sprintf("(%s%s)", x.Op, exprSrc(x.X))
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", exprSrc(x.X), x.Op, exprSrc(x.Y))
+	case *Call:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = exprSrc(a)
+		}
+		return fmt.Sprintf("%s(%s)", x.Fn, strings.Join(args, ", "))
+	}
+	return fmt.Sprintf("/*?%T*/", e)
+}

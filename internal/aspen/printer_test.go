@@ -1,0 +1,179 @@
+package aspen
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Round-trip property: Format(Parse(src)) must re-parse and evaluate to the
+// same totals as the original for every shipped source.
+func TestFormatRoundTripShippedSources(t *testing.T) {
+	sources := map[string]string{"SimpleNode": SimpleNodeSource}
+	for name, src := range StdLib {
+		sources[name] = src
+	}
+	for name, src := range sources {
+		f, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		formatted := Format(f)
+		f2, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("%s: re-parse of formatted source: %v\n%s", name, err, formatted)
+		}
+		if len(f2.Sockets) != len(f.Sockets) || len(f2.Cores) != len(f.Cores) ||
+			len(f2.Machines) != len(f.Machines) || len(f2.Models) != len(f.Models) {
+			t.Errorf("%s: structure changed after format", name)
+		}
+	}
+}
+
+func TestFormatRoundTripModelEvaluation(t *testing.T) {
+	src := `
+model RT {
+  param N = 6
+  param Work = ceil(N^2 / 2) * log(N)
+  data D as Array(N, 8)
+  kernel k1 {
+    execute blk [2] {
+      flops [Work] as sp, simd
+      loads [N] of size [8] from D
+      stores [N*8] to D
+    }
+  }
+  kernel main {
+    k1
+    iterate [3] { k1 }
+    par {
+      k1
+      execute [1] { microseconds [50] }
+    }
+  }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := LoadSimpleNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := EvalOptions{HostSocket: "intel_xeon_e5_2680"}
+	r1, err := Evaluate(f.Models[0], mach, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Parse(Format(f))
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, Format(f))
+	}
+	r2, err := Evaluate(f2.Models[0], mach, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.TotalSeconds()-r2.TotalSeconds()) > 1e-15 {
+		t.Errorf("totals differ after round trip: %v vs %v", r1.TotalSeconds(), r2.TotalSeconds())
+	}
+}
+
+func TestParSemantics(t *testing.T) {
+	src := `
+model P {
+  kernel a { execute [1] { microseconds [100] } }
+  kernel b { execute [1] { microseconds [30] } }
+  kernel main {
+    par {
+      a
+      b
+      execute [1] { microseconds [70] }
+    }
+  }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := LoadSimpleNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(f.Models[0], mach, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parallel branches: max(100, 30, 70) = 100 µs.
+	if math.Abs(res.TotalSeconds()-100e-6) > 1e-15 {
+		t.Errorf("par total = %v, want 100 µs", res.TotalSeconds())
+	}
+	// All branch resources are still recorded.
+	if len(res.Kernels) != 1 || len(res.Kernels[0].Blocks) != 3 {
+		t.Errorf("blocks recorded: %+v", res.Kernels)
+	}
+}
+
+func TestParNested(t *testing.T) {
+	src := `
+model PN {
+  kernel main {
+    iterate [2] {
+      par {
+        execute [1] { microseconds [10] }
+        execute [1] { microseconds [40] }
+      }
+    }
+    par {
+      iterate [5] { execute [1] { microseconds [3] } }
+      execute [1] { microseconds [4] }
+    }
+  }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := LoadSimpleNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(f.Models[0], mach, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2×max(10,40) + max(15,4) = 80 + 15 = 95 µs.
+	if math.Abs(res.TotalSeconds()-95e-6) > 1e-15 {
+		t.Errorf("nested par total = %v, want 95 µs", res.TotalSeconds())
+	}
+}
+
+func TestFormatResourceClauses(t *testing.T) {
+	f, err := Parse(Stage3ish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(f)
+	for _, frag := range []string{"of size", "to R", "as sp", "from In"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("formatted output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// Stage3ish exercises every resource clause in one listing.
+const Stage3ish = `
+model S {
+  data R as Array(4, 10)
+  data In as Array(4, 10)
+  kernel main {
+    execute sort [1] {
+      loads [4] of size [40] from In
+      flops [8] as sp
+      stores [4] to R
+    }
+  }
+}
+`

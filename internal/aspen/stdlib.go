@@ -1,0 +1,214 @@
+package aspen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StdLib holds the machine-model include files referenced by the paper's
+// Fig. 5 listing (`include memory/ddr3_1066.aspen` etc.), shipped as
+// embedded sources so models evaluate offline. Capability numbers follow the
+// published hardware specifications:
+//
+//   - Intel Xeon E5-2680 (Sandy Bridge-EP): 8 cores @ 2.7 GHz, 256-bit AVX
+//     (8 SP lanes, 4 DP lanes), separate add+mul pipes (fmad_factor 2),
+//     giving 345.6 GF/s SP peak.
+//   - DDR3-1066 (quad channel): ~34.1 GB/s.
+//   - NVIDIA M2090 (Fermi): 512 CUDA cores @ 1.3 GHz, FMA (factor 2),
+//     1.33 TF/s SP peak; GDDR5 at 177 GB/s.
+//   - D-Wave Vesuvius QPU socket: a single "core" whose only resource is
+//     QuOps with a 20 µs anneal per operation (Fig. 5's
+//     `resource QuOps(number) [number * 20/1000000]`), attached over PCIe.
+//   - PCIe 2.0 x16: 8 GB/s, 5 µs latency.
+var StdLib = map[string]string{
+	"memory/ddr3_1066.aspen": `
+// DDR3-1066, quad-channel aggregate.
+memory ddr3_1066 {
+  property capacity  [32e9]
+  property bandwidth [34.1e9]
+}
+`,
+	"memory/gddr5.aspen": `
+// GDDR5 device memory (M2090-class board).
+memory gddr5 {
+  property capacity  [6e9]
+  property bandwidth [177e9]
+}
+`,
+	"links/pcie.aspen": `
+// PCIe 2.0 x16.
+link pcie {
+  property bandwidth [8e9]
+  property latency   [5e-6]
+}
+`,
+	"sockets/intel_xeon_e5_2680.aspen": `
+include memory/ddr3_1066.aspen
+include links/pcie.aspen
+
+core xeonE5Core {
+  property clock         [2.7e9]
+  property issue_sp      [1]
+  property issue_dp      [1]
+  property simd_width_sp [8]
+  property simd_width_dp [4]
+  property fmad_factor   [2]
+}
+
+socket intel_xeon_e5_2680 {
+  [8] xeonE5Core cores
+  ddr3_1066 memory
+  linked with pcie
+}
+`,
+	"sockets/nvidia_m2090.aspen": `
+include memory/gddr5.aspen
+include links/pcie.aspen
+
+core fermiCore {
+  property clock         [1.3e9]
+  property issue_sp      [1]
+  property issue_dp      [0.5]
+  property simd_width_sp [1]
+  property simd_width_dp [1]
+  property fmad_factor   [2]
+}
+
+socket nvidia_m2090 {
+  [512] fermiCore cores
+  gddr5 memory
+  linked with pcie
+}
+`,
+	"sockets/dwave_vesuvius_20.aspen": `
+include memory/gddr5.aspen
+include links/pcie.aspen
+
+// The D-Wave Vesuvius QPU socket: quantum operations convert to time at the
+// 20 microsecond default annealing duration.
+core Vesuvius20 {
+  resource QuOps(number) [number * 20/1000000]
+}
+
+socket DwaveVesuvius20 {
+  [1] Vesuvius20 cores
+  gddr5 memory
+  linked with pcie
+}
+`,
+}
+
+// SimpleNodeSource is the paper's Fig. 5 machine model: one node holding an
+// Intel Xeon CPU socket, an NVIDIA GPU socket and a D-Wave Vesuvius QPU
+// socket.
+const SimpleNodeSource = `
+include memory/ddr3_1066.aspen
+include sockets/intel_xeon_e5_2680.aspen
+include sockets/nvidia_m2090.aspen
+include sockets/dwave_vesuvius_20.aspen
+
+machine SimpleNode {
+  [1] SIMPLE nodes
+}
+
+node SIMPLE {
+  [1] intel_xeon_e5_2680 sockets
+  [1] nvidia_m2090 sockets
+  [1] DwaveVesuvius20 sockets
+}
+`
+
+// Loader resolves include paths to source text.
+type Loader func(path string) (string, error)
+
+// StdLoader resolves includes against StdLib.
+func StdLoader(path string) (string, error) {
+	src, ok := StdLib[path]
+	if !ok {
+		var known []string
+		for k := range StdLib {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return "", fmt.Errorf("aspen: unknown include %q (standard library has: %s)", path, strings.Join(known, ", "))
+	}
+	return src, nil
+}
+
+// ParseWithIncludes parses src and recursively resolves its includes with
+// the loader, merging all declarations into one file. Each include path
+// loads at most once; cycles are therefore harmless.
+func ParseWithIncludes(src string, load Loader) (*File, error) {
+	root, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	if err := resolveIncludes(root, root.Includes, load, seen); err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+func resolveIncludes(dst *File, paths []string, load Loader, seen map[string]bool) error {
+	for _, path := range paths {
+		if seen[path] {
+			continue
+		}
+		seen[path] = true
+		if load == nil {
+			return fmt.Errorf("aspen: include %q but no loader provided", path)
+		}
+		src, err := load(path)
+		if err != nil {
+			return err
+		}
+		inc, err := Parse(src)
+		if err != nil {
+			return fmt.Errorf("aspen: include %q: %w", path, err)
+		}
+		if err := resolveIncludes(dst, inc.Includes, load, seen); err != nil {
+			return err
+		}
+		mergeFile(dst, inc)
+	}
+	return nil
+}
+
+// mergeFile appends inc's declarations to dst, skipping duplicates by name
+// (first declaration wins, so outer files may override nothing — includes
+// are libraries).
+func mergeFile(dst, inc *File) {
+	dst.Models = append(dst.Models, inc.Models...)
+	dst.Machines = append(dst.Machines, inc.Machines...)
+	dst.Nodes = appendUniqueDecls(dst.Nodes, inc.Nodes)
+	dst.Sockets = appendUniqueDecls(dst.Sockets, inc.Sockets)
+	dst.Cores = appendUniqueDecls(dst.Cores, inc.Cores)
+	dst.Memories = appendUniqueDecls(dst.Memories, inc.Memories)
+	dst.Links = appendUniqueDecls(dst.Links, inc.Links)
+}
+
+func appendUniqueDecls(dst, src []*ComponentDecl) []*ComponentDecl {
+	have := make(map[string]bool, len(dst))
+	for _, d := range dst {
+		have[d.Name] = true
+	}
+	for _, d := range src {
+		if !have[d.Name] {
+			dst = append(dst, d)
+			have[d.Name] = true
+		}
+	}
+	return dst
+}
+
+// LoadSimpleNode parses and resolves the paper's Fig. 5 machine model into a
+// MachineSpec ready for evaluation.
+func LoadSimpleNode() (*MachineSpec, error) {
+	f, err := ParseWithIncludes(SimpleNodeSource, StdLoader)
+	if err != nil {
+		return nil, err
+	}
+	return BuildMachine(f, "SimpleNode")
+}

@@ -1,0 +1,302 @@
+// Package aspen implements a from-scratch interpreter for an
+// ASPEN-compatible performance-modeling language. ASPEN (Spafford & Vetter,
+// SC'12) is a domain-specific language for structured analytical performance
+// modeling: applications are expressed as kernels that consume abstract
+// resources (flops, loads, stores, communication, custom resources such as
+// quantum operations), and machines are expressed as hierarchies of nodes,
+// sockets, cores, memories and links with capability properties. Evaluating
+// an application model against a machine model yields predicted runtimes.
+//
+// The original ASPEN tool is closed; this package defines a documented
+// subset sufficient to parse and evaluate every model listing in the paper
+// (machine model Fig. 5, application models Figs. 6-8) plus the control
+// constructs (iterate, sequential kernel calls) needed for extensions. See
+// DESIGN.md for the exact semantics of resource-to-time conversion.
+package aspen
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind enumerates lexical token categories.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokLBrace   // {
+	TokRBrace   // }
+	TokLBracket // [
+	TokRBracket // ]
+	TokLParen   // (
+	TokRParen   // )
+	TokComma    // ,
+	TokAssign   // =
+	TokPlus     // +
+	TokMinus    // -
+	TokStar     // *
+	TokSlash    // /
+	TokCaret    // ^
+	TokPath     // include path like memory/ddr3_1066.aspen
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokLBrace:
+		return "'{'"
+	case TokRBrace:
+		return "'}'"
+	case TokLBracket:
+		return "'['"
+	case TokRBracket:
+		return "']'"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokComma:
+		return "','"
+	case TokAssign:
+		return "'='"
+	case TokPlus:
+		return "'+'"
+	case TokMinus:
+		return "'-'"
+	case TokStar:
+		return "'*'"
+	case TokSlash:
+		return "'/'"
+	case TokCaret:
+		return "'^'"
+	case TokPath:
+		return "path"
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Token is one lexical unit with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Text != "" {
+		return fmt.Sprintf("%s %q at %d:%d", t.Kind, t.Text, t.Line, t.Col)
+	}
+	return fmt.Sprintf("%s at %d:%d", t.Kind, t.Line, t.Col)
+}
+
+// lexer tokenizes ASPEN source.
+type lexer struct {
+	src        string
+	pos        int
+	line, col  int
+	includeArg bool // the token after 'include' is a raw path
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes an entire source string, primarily for tests.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("aspen: %d:%d: %s", lx.line, lx.col, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peekByte() (byte, bool) {
+	if lx.pos >= len(lx.src) {
+		return 0, false
+	}
+	return lx.src[lx.pos], true
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for {
+		c, ok := lx.peekByte()
+		if !ok {
+			return nil
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for {
+				c, ok := lx.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				lx.advance()
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			lx.advance()
+			lx.advance()
+			for {
+				c, ok := lx.peekByte()
+				if !ok {
+					return lx.errorf("unterminated block comment")
+				}
+				if c == '*' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := lx.line, lx.col
+	c, ok := lx.peekByte()
+	if !ok {
+		return Token{Kind: TokEOF, Line: line, Col: col}, nil
+	}
+
+	if lx.includeArg {
+		// Raw path token: everything up to whitespace.
+		lx.includeArg = false
+		start := lx.pos
+		for {
+			c, ok := lx.peekByte()
+			if !ok || c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+				break
+			}
+			lx.advance()
+		}
+		return Token{Kind: TokPath, Text: lx.src[start:lx.pos], Line: line, Col: col}, nil
+	}
+
+	switch {
+	case isIdentStart(rune(c)):
+		start := lx.pos
+		for {
+			c, ok := lx.peekByte()
+			if !ok || !isIdentPart(rune(c)) {
+				break
+			}
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		if text == "include" {
+			lx.includeArg = true
+		}
+		return Token{Kind: TokIdent, Text: text, Line: line, Col: col}, nil
+	case unicode.IsDigit(rune(c)) || c == '.':
+		start := lx.pos
+		seenDot, seenExp := false, false
+		for {
+			c, ok := lx.peekByte()
+			if !ok {
+				break
+			}
+			switch {
+			case unicode.IsDigit(rune(c)):
+				lx.advance()
+			case c == '.' && !seenDot && !seenExp:
+				seenDot = true
+				lx.advance()
+			case (c == 'e' || c == 'E') && !seenExp && lx.pos > start:
+				seenExp = true
+				lx.advance()
+				if n, ok := lx.peekByte(); ok && (n == '+' || n == '-') {
+					lx.advance()
+				}
+			default:
+				goto doneNumber
+			}
+		}
+	doneNumber:
+		text := lx.src[start:lx.pos]
+		if text == "." {
+			return Token{}, lx.errorf("stray '.'")
+		}
+		return Token{Kind: TokNumber, Text: text, Line: line, Col: col}, nil
+	case c == '"':
+		lx.advance()
+		var sb strings.Builder
+		for {
+			c, ok := lx.peekByte()
+			if !ok || c == '\n' {
+				return Token{}, lx.errorf("unterminated string")
+			}
+			lx.advance()
+			if c == '"' {
+				break
+			}
+			sb.WriteByte(c)
+		}
+		return Token{Kind: TokString, Text: sb.String(), Line: line, Col: col}, nil
+	}
+
+	lx.advance()
+	kind, ok := map[byte]TokenKind{
+		'{': TokLBrace, '}': TokRBrace,
+		'[': TokLBracket, ']': TokRBracket,
+		'(': TokLParen, ')': TokRParen,
+		',': TokComma, '=': TokAssign,
+		'+': TokPlus, '-': TokMinus,
+		'*': TokStar, '/': TokSlash,
+		'^': TokCaret,
+	}[c]
+	if !ok {
+		return Token{}, lx.errorf("unexpected character %q", c)
+	}
+	return Token{Kind: kind, Text: string(c), Line: line, Col: col}, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

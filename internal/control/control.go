@@ -1,0 +1,282 @@
+// Package control models the electronic control system that programs a
+// D-Wave-style QPU.
+//
+// The paper (§2.2) describes the pre-processing steps "to initialize the
+// electronic control system and construct the analog signals applied to the
+// quantum chip", including the programmable magnetic memory (PMM) used as
+// the control lines into the super-cooled processor, and notes two hardware
+// realities this package makes executable:
+//
+//   - the programming pipeline contributes a near-constant time cost, broken
+//     into the phases whose durations appear in the stage-1 ASPEN listing
+//     (state-machine construction, PMM software/electronics/chip programming,
+//     thermalization, run overheads);
+//   - "the ability to realize these exact parameter values is limited by the
+//     bits of precision expressed by the electronic control system and the
+//     hardware couplers", so "the final, programmed Ising model may be
+//     substantively different from the intended logical input."
+//
+// Controller.Program runs the whole cycle: range rescaling, DAC
+// quantization, integrated-control-error (ICE) perturbation, and the
+// per-phase time ledger.
+package control
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/anneal"
+	"github.com/splitexec/splitexec/internal/qubo"
+)
+
+// Phase identifies one step of the electronic programming pipeline.
+type Phase uint8
+
+// Programming phases, in execution order. The names mirror the constants of
+// the paper's stage-1 ASPEN model (Fig. 6).
+const (
+	PhaseStateCon Phase = iota // electronic state-machine construction
+	PhasePMMSW                 // PMM software setup
+	PhasePMMElec               // PMM electronics programming
+	PhasePMMChip               // PMM chip programming
+	PhasePMMTherm              // post-programming thermalization
+	PhaseSWRun                 // software run overhead
+	PhaseElecRun               // electronics run overhead
+	numPhases
+)
+
+var phaseNames = [...]string{
+	"StateCon", "PMMSW", "PMMElec", "PMMChip", "PMMTherm", "SWRun", "ElecRun",
+}
+
+// String returns the ASPEN constant name of the phase.
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("Phase(%d)", uint8(p))
+}
+
+// PhaseTime is one entry of the programming time ledger.
+type PhaseTime struct {
+	Phase    Phase
+	Duration time.Duration
+}
+
+// Sequence expands QPU timing constants into the ordered programming phase
+// ledger. The total equals Timings.ProcessorInitialize.
+func Sequence(t anneal.Timings) []PhaseTime {
+	return []PhaseTime{
+		{PhaseStateCon, t.StateCon},
+		{PhasePMMSW, t.PMMSW},
+		{PhasePMMElec, t.PMMElec},
+		{PhasePMMChip, t.PMMChip},
+		{PhasePMMTherm, t.PMMTherm},
+		{PhaseSWRun, t.SWRun},
+		{PhaseElecRun, t.ElecRun},
+	}
+}
+
+// DAC describes the digital-to-analog precision of the control lines: the
+// number of bits and the representable ranges for qubit biases (h) and
+// coupler strengths (J). DW2-generation hardware exposed roughly 4–5
+// effective bits over h ∈ [-2,2], J ∈ [-1,1].
+type DAC struct {
+	Bits   int
+	HRange float64
+	JRange float64
+}
+
+// DW2DAC returns a DW2-representative DAC: 5 bits, h ∈ [-2,2], J ∈ [-1,1].
+func DW2DAC() DAC { return DAC{Bits: 5, HRange: 2, JRange: 1} }
+
+// Validate reports whether the DAC description is usable.
+func (d DAC) Validate() error {
+	if d.Bits < 1 || d.Bits > 62 {
+		return fmt.Errorf("control: DAC bits %d outside [1,62]", d.Bits)
+	}
+	if d.HRange <= 0 || d.JRange <= 0 {
+		return fmt.Errorf("control: non-positive DAC range (h=%g, J=%g)", d.HRange, d.JRange)
+	}
+	return nil
+}
+
+// Step returns the quantization step over a symmetric range [-r, r].
+func (d DAC) Step(r float64) float64 {
+	levels := float64(int64(1)<<uint(d.Bits)) - 1
+	return 2 * r / levels
+}
+
+// quantizeInto rounds x onto the DAC grid over [-r, r], clamping first.
+func (d DAC) quantizeInto(x, r float64) float64 {
+	step := d.Step(r)
+	clamped := math.Max(-r, math.Min(r, x))
+	return math.Round((clamped+r)/step)*step - r
+}
+
+// Apply quantizes model m in place onto the DAC grid, using HRange for
+// biases and JRange for couplings, and returns the maximum absolute error
+// introduced across all coefficients.
+func (d DAC) Apply(m *qubo.Ising) (maxErr float64) {
+	for i, h := range m.H {
+		q := d.quantizeInto(h, d.HRange)
+		if e := math.Abs(q - h); e > maxErr {
+			maxErr = e
+		}
+		m.H[i] = q
+	}
+	for _, e := range m.Edges() {
+		j := m.Coupling(e.U, e.V)
+		q := d.quantizeInto(j, d.JRange)
+		if err := math.Abs(q - j); err > maxErr {
+			maxErr = err
+		}
+		m.SetCoupling(e.U, e.V, q)
+	}
+	return maxErr
+}
+
+// RequiredBits returns the fewest DAC bits resolving the symmetric range
+// [-rangeMax, rangeMax] with quantization error at most resolution/2, i.e.
+// grid step ≤ resolution. It answers "how much precision keeps chains
+// dominant": pass the gap between chain strength and the largest logical
+// coefficient as resolution.
+func RequiredBits(rangeMax, resolution float64) (int, error) {
+	if rangeMax <= 0 || resolution <= 0 {
+		return 0, fmt.Errorf("control: non-positive range %g or resolution %g", rangeMax, resolution)
+	}
+	if resolution >= 2*rangeMax {
+		return 1, nil
+	}
+	bits := int(math.Ceil(math.Log2(2*rangeMax/resolution + 1)))
+	if bits < 1 {
+		bits = 1
+	}
+	return bits, nil
+}
+
+// Controller is the host-side model of the electronic control system. It
+// turns an intended hardware Ising model into the realized (programmed)
+// model, charging the paper's per-phase programming costs along the way.
+type Controller struct {
+	Timings anneal.Timings
+	DAC     DAC
+	Noise   *ICE // optional integrated control errors; nil = noiseless
+}
+
+// NewController returns a controller with the paper's DW2 time constants
+// and a DW2-representative DAC.
+func NewController() *Controller {
+	return &Controller{Timings: anneal.DW2Timings(), DAC: DW2DAC()}
+}
+
+// ProgramResult reports one programming cycle: the realized model, how far
+// it drifted from the intent, and where the time went.
+type ProgramResult struct {
+	Realized     *qubo.Ising // what the hardware will anneal
+	Rescale      float64     // factor applied to fit the DAC ranges (1 = none)
+	MaxQuantErr  float64     // worst |realized - intended| from quantization alone
+	Phases       []PhaseTime // per-phase time ledger
+	Total        time.Duration
+	NoiseApplied bool
+}
+
+// Program runs the full programming cycle on a copy of the intended model:
+// rescale into DAC range if necessary, quantize, perturb with ICE noise when
+// configured, and account the per-phase programming time. rng is used only
+// for ICE and may be nil when the controller is noiseless.
+func (c *Controller) Program(intended *qubo.Ising, rng *rand.Rand) (*ProgramResult, error) {
+	if err := c.DAC.Validate(); err != nil {
+		return nil, err
+	}
+	if intended == nil || intended.Dim() == 0 {
+		return nil, fmt.Errorf("control: empty model")
+	}
+	m := intended.Clone()
+
+	// Rescale so the largest coefficient fits its DAC range. Energy scaling
+	// preserves the ground state, so this is safe — but it shrinks every
+	// other coefficient toward the quantization floor, which is exactly the
+	// precision problem the paper warns about.
+	scale := 1.0
+	maxH, maxJ := 0.0, 0.0
+	for _, h := range m.H {
+		if a := math.Abs(h); a > maxH {
+			maxH = a
+		}
+	}
+	for _, e := range m.Edges() {
+		if a := math.Abs(m.Coupling(e.U, e.V)); a > maxJ {
+			maxJ = a
+		}
+	}
+	if maxH > c.DAC.HRange || maxJ > c.DAC.JRange {
+		scale = math.Min(
+			safeDiv(c.DAC.HRange, maxH),
+			safeDiv(c.DAC.JRange, maxJ),
+		)
+		for i := range m.H {
+			m.H[i] *= scale
+		}
+		for _, e := range m.Edges() {
+			m.SetCoupling(e.U, e.V, m.Coupling(e.U, e.V)*scale)
+		}
+	}
+
+	maxErr := c.DAC.Apply(m)
+
+	res := &ProgramResult{
+		Realized:    m,
+		Rescale:     scale,
+		MaxQuantErr: maxErr,
+		Phases:      Sequence(c.Timings),
+	}
+	if c.Noise != nil {
+		if rng == nil {
+			return nil, fmt.Errorf("control: ICE noise configured but rng is nil")
+		}
+		c.Noise.Perturb(m, rng)
+		res.NoiseApplied = true
+	}
+	for _, p := range res.Phases {
+		res.Total += p.Duration
+	}
+	return res, nil
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// GroundStatePreserved reports whether the intended and realized models
+// share a ground state, by exhaustive enumeration. It is the oracle for
+// precision experiments and only feasible for small models (≤ ~20 spins).
+func GroundStatePreserved(intended, realized *qubo.Ising, tol float64) bool {
+	gsI, _ := intended.GroundStates(tol)
+	gsR, _ := realized.GroundStates(tol)
+	for _, a := range gsI {
+		for _, b := range gsR {
+			if sameSpins(a, b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func sameSpins(a, b []int8) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

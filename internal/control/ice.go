@@ -1,0 +1,92 @@
+package control
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/splitexec/splitexec/internal/qubo"
+)
+
+// ICE models integrated control errors: the residual analog disorder the
+// control system applies on top of quantization. Each programmed bias h_i
+// is realized as h_i + δh with δh ~ N(HOffset, HSigma²), and each coupling
+// J_ij as J_ij + δJ with δJ ~ N(JOffset, JSigma²). The paper flags this
+// drift — "the final, programmed Ising model may be substantively different
+// from the intended logical input. It is not yet clear what errors these
+// differences contribute to final solutions" — and this type makes the
+// question experimentally answerable in simulation.
+type ICE struct {
+	HSigma  float64 // std-dev of bias disorder
+	JSigma  float64 // std-dev of coupling disorder
+	HOffset float64 // systematic bias drift
+	JOffset float64 // systematic coupling drift
+}
+
+// DW2ICE returns disorder amplitudes representative of the DW2 generation:
+// about 5% of the unit coupling scale, zero systematic offset.
+func DW2ICE() ICE { return ICE{HSigma: 0.05, JSigma: 0.05} }
+
+// Perturb applies one disorder realization to m in place and returns the
+// largest absolute perturbation applied.
+func (n ICE) Perturb(m *qubo.Ising, rng *rand.Rand) float64 {
+	maxAbs := 0.0
+	for i := range m.H {
+		d := n.HOffset + n.HSigma*rng.NormFloat64()
+		m.H[i] += d
+		if a := math.Abs(d); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	for _, e := range m.Edges() {
+		d := n.JOffset + n.JSigma*rng.NormFloat64()
+		m.SetCoupling(e.U, e.V, m.Coupling(e.U, e.V)+d)
+		if a := math.Abs(d); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	return maxAbs
+}
+
+// DistortionStats summarizes a Monte-Carlo precision experiment: over many
+// disorder realizations, how often does the realized model keep the intended
+// ground state?
+type DistortionStats struct {
+	Trials    int
+	Preserved int     // realizations whose ground state matched the intent
+	MeanShift float64 // mean absolute ground-energy shift
+}
+
+// PreservationRate returns Preserved/Trials.
+func (d DistortionStats) PreservationRate() float64 {
+	if d.Trials == 0 {
+		return 0
+	}
+	return float64(d.Preserved) / float64(d.Trials)
+}
+
+// GroundStateStability measures, by exhaustive enumeration over the given
+// number of disorder realizations, how robust the intended model's ground
+// state is to this noise level. Only feasible for small models.
+func (n ICE) GroundStateStability(intended *qubo.Ising, trials int, tol float64, rng *rand.Rand) (DistortionStats, error) {
+	if intended.Dim() > 20 {
+		return DistortionStats{}, fmt.Errorf("control: %d spins too large for exhaustive stability check", intended.Dim())
+	}
+	if trials < 1 {
+		return DistortionStats{}, fmt.Errorf("control: trials %d < 1", trials)
+	}
+	_, e0 := intended.BruteForce()
+	st := DistortionStats{Trials: trials}
+	shiftSum := 0.0
+	for t := 0; t < trials; t++ {
+		m := intended.Clone()
+		n.Perturb(m, rng)
+		if GroundStatePreserved(intended, m, tol) {
+			st.Preserved++
+		}
+		_, e := m.BruteForce()
+		shiftSum += math.Abs(e - e0)
+	}
+	st.MeanShift = shiftSum / float64(trials)
+	return st, nil
+}

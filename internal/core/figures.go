@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/anneal"
+	"github.com/splitexec/splitexec/internal/embed"
+	"github.com/splitexec/splitexec/internal/graph"
+	"github.com/splitexec/splitexec/internal/machine"
+	"github.com/splitexec/splitexec/internal/stats"
+)
+
+// This file regenerates the data series behind every figure of the paper's
+// evaluation (Fig. 9a/9b/9c) plus the stage-dominance summary of §3.3.
+
+// Fig9aPoint is one point of Fig. 9(a): stage-1 time versus the size n of a
+// complete input graph. Model is the ASPEN worst-case prediction (solid
+// line); Measured is the wall-clock time of an actual Cai–Macready–Roy
+// embedding run on this host (the dashed, experimentally-observed line).
+// Measured is zero for n above the measurable range or when the heuristic
+// failed.
+type Fig9aPoint struct {
+	N              int
+	ModelSeconds   float64
+	MeasuredSecs   float64
+	MeasuredOK     bool
+	PhysicalQubits int
+	MaxChain       int
+}
+
+// Fig9aOptions bound the measured series.
+type Fig9aOptions struct {
+	// MeasureUpTo limits CMR wall-clock measurement to n <= this value
+	// (the paper's dashed line stops at 30). Zero means 30.
+	MeasureUpTo int
+	// Seed drives the randomized embedder.
+	Seed int64
+	// Embed configures the CMR heuristic.
+	Embed embed.Options
+}
+
+// Fig9a computes the Fig. 9(a) series for the given sizes on node.
+func Fig9a(ns []int, node machine.Node, opts Fig9aOptions) ([]Fig9aPoint, error) {
+	if opts.MeasureUpTo == 0 {
+		opts.MeasureUpTo = 30
+	}
+	pred := NewPredictor(node)
+	hw := node.QPU.WorkingGraph()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	out := make([]Fig9aPoint, 0, len(ns))
+	for _, n := range ns {
+		r, err := pred.Stage1(n)
+		if err != nil {
+			return nil, err
+		}
+		pt := Fig9aPoint{N: n, ModelSeconds: r.TotalSeconds()}
+		if n <= opts.MeasureUpTo {
+			g := graph.Complete(n)
+			start := time.Now()
+			vm, st, err := embed.FindEmbedding(g, hw, rng, opts.Embed)
+			elapsed := time.Since(start)
+			if err == nil {
+				pt.MeasuredSecs = elapsed.Seconds()
+				pt.MeasuredOK = true
+				pt.PhysicalQubits = st.PhysicalQubits
+				pt.MaxChain = vm.MaxChainLength()
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// Fig9bPoint is one point of Fig. 9(b): stage-2 time versus desired
+// accuracy pa at fixed single-run success ps. Model comes from the ASPEN
+// listing; Virtual is the device's virtual-clock time for the same read
+// count (they agree by construction and are reported separately as a
+// consistency check).
+type Fig9bPoint struct {
+	Accuracy     float64
+	Reads        int
+	ModelSeconds float64
+	VirtualSecs  float64
+}
+
+// Fig9b computes the Fig. 9(b) series.
+func Fig9b(accuracies []float64, ps float64, node machine.Node) ([]Fig9bPoint, error) {
+	pred := NewPredictor(node)
+	out := make([]Fig9bPoint, 0, len(accuracies))
+	for _, pa := range accuracies {
+		r, err := pred.Stage2(pa, ps)
+		if err != nil {
+			return nil, err
+		}
+		reads, err := anneal.RequiredReads(pa, ps)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig9bPoint{
+			Accuracy:     pa,
+			Reads:        reads,
+			ModelSeconds: r.TotalSeconds(),
+			VirtualSecs:  node.QPU.Timings.ExecutionTime(reads).Seconds(),
+		})
+	}
+	return out, nil
+}
+
+// Fig9cPoint is one point of Fig. 9(c): stage-3 time versus input size.
+// Model is the ASPEN prediction; Measured is the wall-clock heapsort of an
+// actual readout ensemble of that shape.
+type Fig9cPoint struct {
+	N            int
+	Results      int
+	ModelSeconds float64
+	MeasuredSecs float64
+	Comparisons  int
+}
+
+// Fig9c computes the Fig. 9(c) series using the listing's defaults
+// (ps = 0.75, pa = 0.99 → 4 results).
+func Fig9c(ns []int, node machine.Node, seed int64) ([]Fig9cPoint, error) {
+	pred := NewPredictor(node)
+	rng := rand.New(rand.NewSource(seed))
+	const pa, ps = 0.99, 0.75
+	results, err := anneal.RequiredReads(pa, ps)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig9cPoint, 0, len(ns))
+	for _, n := range ns {
+		r, err := pred.Stage3(n, pa, ps)
+		if err != nil {
+			return nil, err
+		}
+		// Build a synthetic readout ensemble of `results` samples of
+		// length n and heapsort it, as stage 3 does.
+		set := anneal.NewSampleSet(n)
+		spins := make([]int8, n)
+		for i := 0; i < results; i++ {
+			for j := range spins {
+				spins[j] = int8(2*rng.Intn(2) - 1)
+			}
+			set.Add(spins, rng.NormFloat64())
+		}
+		start := time.Now()
+		comps := set.SortByEnergy()
+		elapsed := time.Since(start)
+		out = append(out, Fig9cPoint{
+			N:            n,
+			Results:      results,
+			ModelSeconds: r.TotalSeconds(),
+			MeasuredSecs: elapsed.Seconds(),
+			Comparisons:  comps,
+		})
+	}
+	return out, nil
+}
+
+// DominanceRow summarizes the §3.3 conclusion for one problem size: the
+// stage-1 share of the predicted time-to-solution.
+type DominanceRow struct {
+	N           int
+	Stages      StageSeconds
+	Stage1Share float64 // fraction of total
+}
+
+// StageDominance computes the per-stage predictions across sizes and the
+// stage-1 share, demonstrating the paper's conclusion that the bottleneck is
+// the classical pre-processing stage.
+func StageDominance(ns []int, pa, ps float64, node machine.Node) ([]DominanceRow, error) {
+	pred := NewPredictor(node)
+	out := make([]DominanceRow, 0, len(ns))
+	for _, n := range ns {
+		s, err := pred.Predict(n, pa, ps)
+		if err != nil {
+			return nil, err
+		}
+		total := s.Total()
+		row := DominanceRow{N: n, Stages: s}
+		if total > 0 {
+			row.Stage1Share = s.Stage1 / total
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// ScalingExponent fits the model curve of a Fig. 9(a) series to a power law
+// t = c·n^k over points with positive model time, returning the exponent k
+// and R². At least two positive points are required.
+func ScalingExponent(pts []Fig9aPoint) (k, r2 float64, err error) {
+	var xs, ys []float64
+	for _, p := range pts {
+		if p.N > 0 && p.ModelSeconds > 0 {
+			xs = append(xs, float64(p.N))
+			ys = append(ys, p.ModelSeconds)
+		}
+	}
+	if len(xs) < 2 {
+		return 0, 0, fmt.Errorf("core: need >= 2 positive points, have %d", len(xs))
+	}
+	_, k, r2 = stats.PowerLawFit(xs, ys)
+	return k, r2, nil
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/splitexec/splitexec/internal/embed"
+	"github.com/splitexec/splitexec/internal/machine"
+)
+
+func TestFig9aSeries(t *testing.T) {
+	node := machine.SimpleNode()
+	pts, err := Fig9a([]int{1, 5, 10, 15, 20}, node, Fig9aOptions{
+		MeasureUpTo: 15,
+		Seed:        1,
+		Embed:       embed.Options{MaxTries: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Model series strictly increasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].ModelSeconds <= pts[i-1].ModelSeconds {
+			t.Errorf("model not increasing at n=%d", pts[i].N)
+		}
+	}
+	// Measured series present only within range.
+	for _, p := range pts {
+		if p.N <= 15 && !p.MeasuredOK {
+			t.Errorf("n=%d: measurement missing", p.N)
+		}
+		if p.N > 15 && p.MeasuredOK {
+			t.Errorf("n=%d: unexpected measurement", p.N)
+		}
+		if p.MeasuredOK && p.MeasuredSecs < 0 {
+			t.Errorf("n=%d: negative measurement", p.N)
+		}
+	}
+	// Shape check: measured embedding time grows from the smallest to the
+	// largest measured size (absolute values are host-dependent; the paper
+	// only claims the curves share their polynomial shape).
+	var first, last *Fig9aPoint
+	for i := range pts {
+		if pts[i].MeasuredOK {
+			if first == nil {
+				first = &pts[i]
+			}
+			last = &pts[i]
+		}
+	}
+	if first == nil || last == nil || first == last {
+		t.Fatal("too few measured points")
+	}
+	if last.MeasuredSecs <= first.MeasuredSecs {
+		t.Errorf("measured series not growing: n=%d %vs vs n=%d %vs",
+			first.N, first.MeasuredSecs, last.N, last.MeasuredSecs)
+	}
+	// Physical qubit usage grows with n for complete graphs.
+	if first.PhysicalQubits >= last.PhysicalQubits {
+		t.Errorf("qubit usage not growing: %+v", pts)
+	}
+}
+
+func TestFig9bSeries(t *testing.T) {
+	node := machine.SimpleNode()
+	accs := []float64{0.5, 0.9, 0.99, 0.999, 0.9999}
+	pts, err := Fig9b(accs, 0.7, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(accs) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, p := range pts {
+		// Model and virtual clock agree by construction.
+		if diff := p.ModelSeconds - p.VirtualSecs; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("pa=%v: model %v != virtual %v", p.Accuracy, p.ModelSeconds, p.VirtualSecs)
+		}
+		if i > 0 && p.Reads < pts[i-1].Reads {
+			t.Errorf("reads not monotone at pa=%v", p.Accuracy)
+		}
+		// Everything stays far below a millisecond — the basis for the
+		// stage-dominance conclusion.
+		if p.ModelSeconds > 1e-3 {
+			t.Errorf("pa=%v: stage2 = %v s, expected sub-ms", p.Accuracy, p.ModelSeconds)
+		}
+	}
+}
+
+func TestFig9cSeries(t *testing.T) {
+	node := machine.SimpleNode()
+	pts, err := Fig9c([]int{1, 10, 50, 100}, node, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if p.Results != 4 {
+			t.Errorf("n=%d: results = %d, want 4", p.N, p.Results)
+		}
+		if p.Comparisons <= 0 {
+			t.Errorf("n=%d: no sort comparisons", p.N)
+		}
+		if i > 0 && p.ModelSeconds <= pts[i-1].ModelSeconds {
+			t.Errorf("model not increasing at n=%d", p.N)
+		}
+		if p.MeasuredSecs < 0 {
+			t.Errorf("n=%d: negative measured time", p.N)
+		}
+	}
+	// Near-linear: n 10→100 grows by ≈10×.
+	ratio := pts[3].ModelSeconds / pts[1].ModelSeconds
+	if ratio < 5 || ratio > 15 {
+		t.Errorf("model scaling = ×%v, want ≈ ×10", ratio)
+	}
+}
+
+func TestScalingExponent(t *testing.T) {
+	node := machine.SimpleNode()
+	ns := []int{40, 60, 80, 100, 120}
+	pts, err := Fig9a(ns, node, Fig9aOptions{MeasureUpTo: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, r2, err := ScalingExponent(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over this range the init constant still flattens the curve slightly;
+	// the fitted exponent sits between quadratic and cubic.
+	if k < 2 || k > 3.3 {
+		t.Errorf("exponent = %v, want in [2, 3.3]", k)
+	}
+	if r2 < 0.95 {
+		t.Errorf("fit R² = %v", r2)
+	}
+	if _, _, err := ScalingExponent(nil); err == nil {
+		t.Error("empty series accepted")
+	}
+}

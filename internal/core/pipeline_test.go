@@ -1,0 +1,312 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/splitexec/splitexec/internal/anneal"
+	"github.com/splitexec/splitexec/internal/embed"
+	"github.com/splitexec/splitexec/internal/graph"
+	"github.com/splitexec/splitexec/internal/machine"
+	"github.com/splitexec/splitexec/internal/qubo"
+)
+
+// testConfig returns a solver config on a small Vesuvius-class QPU with a
+// strong sampler, suitable for exact comparisons on tiny problems.
+func testConfig(seed int64) Config {
+	node := machine.SimpleNode()
+	node.QPU = machine.DW2Vesuvius()
+	node.QPU.Topology = graph.Chimera{M: 3, N: 3, L: 4}
+	return Config{
+		Node:    node,
+		Seed:    seed,
+		Sampler: anneal.SamplerOptions{Sweeps: 256},
+		Embed:   embed.Options{MaxTries: 20},
+	}
+}
+
+func TestSolveQUBOMaxCutEndToEnd(t *testing.T) {
+	g := graph.Cycle(6)
+	q := qubo.MaxCut(g, nil)
+	s := NewSolver(testConfig(1))
+	sol, err := s.SolveQUBO(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C6 is bipartite: max cut = 6, optimal QUBO energy = -6.
+	if cut := qubo.CutValue(g, nil, sol.Binary); cut != 6 {
+		t.Errorf("cut = %v, want 6 (solution %v)", cut, sol.Binary)
+	}
+	if math.Abs(sol.Energy-(-6)) > 1e-9 {
+		t.Errorf("energy = %v, want -6", sol.Energy)
+	}
+	if sol.Reads != 4 { // pa=0.99, ps=0.7 → Eq. 6 gives 4
+		t.Errorf("reads = %d, want 4", sol.Reads)
+	}
+	if sol.Samples.Len() != sol.Reads {
+		t.Errorf("samples = %d", sol.Samples.Len())
+	}
+}
+
+func TestSolveIsingMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		cfg := testConfig(seed)
+		// Higher accuracy → more reads → near-certain ground state on
+		// these tiny instances.
+		cfg.Accuracy = 0.9999
+		s := NewSolver(cfg)
+		rngModel := qubo.RandomIsing(graph.Cycle(7), 1, 1, rand.New(rand.NewSource(seed)))
+		want, wantE := rngModel.BruteForce()
+		_ = want
+		sol, err := s.SolveIsing(rngModel)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if math.Abs(sol.Energy-wantE) > 1e-9 {
+			t.Errorf("seed %d: energy %v, exact %v", seed, sol.Energy, wantE)
+		}
+	}
+}
+
+func TestSolutionTimingAccounting(t *testing.T) {
+	q := qubo.MaxCut(graph.Cycle(5), nil)
+	s := NewSolver(testConfig(2))
+	sol, err := s.SolveQUBO(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := sol.Timing
+	if tm.Total() != tm.Stage1()+tm.Stage2()+tm.Stage3() {
+		t.Error("Total != sum of stages")
+	}
+	// Virtual QPU constants are exact.
+	wantProg := machine.DW2Vesuvius().Timings.ProcessorInitialize()
+	if tm.Program != wantProg {
+		t.Errorf("program time = %v, want %v", tm.Program, wantProg)
+	}
+	wantExec := machine.DW2Vesuvius().Timings.ExecutionTime(sol.Reads)
+	if tm.Execute != wantExec {
+		t.Errorf("execute time = %v, want %v", tm.Execute, wantExec)
+	}
+	if tm.EmbedSearch <= 0 {
+		t.Error("embed search time not measured")
+	}
+	// The paper's conclusion holds on the simulated path too: stage 1
+	// (including the 0.32 s programming constant) dwarfs stage 2.
+	if tm.Stage1() < tm.Stage2() {
+		t.Errorf("stage1 %v < stage2 %v", tm.Stage1(), tm.Stage2())
+	}
+}
+
+func TestSolverEmbeddingValid(t *testing.T) {
+	q := qubo.MaxCut(graph.Complete(5), nil)
+	s := NewSolver(testConfig(3))
+	sol, err := s.SolveQUBO(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical := qubo.ToIsing(q)
+	if err := graph.ValidateMinor(logical.Graph(), s.Hardware(), sol.Embedding, false); err != nil {
+		t.Errorf("returned embedding invalid: %v", err)
+	}
+	if sol.EmbedStats.Tries < 1 {
+		t.Error("embed stats missing")
+	}
+}
+
+func TestSolverDeterministicBySeed(t *testing.T) {
+	q := qubo.MaxCut(graph.Cycle(6), nil)
+	s1, err := NewSolver(testConfig(7)).SolveQUBO(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSolver(testConfig(7)).SolveQUBO(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Energy != s2.Energy || s1.Reads != s2.Reads {
+		t.Error("same seed produced different results")
+	}
+	for i := range s1.Spins {
+		if s1.Spins[i] != s2.Spins[i] {
+			t.Fatal("spin vectors differ")
+		}
+	}
+}
+
+func TestSolverRejectsUnembeddable(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Node.QPU.Topology = graph.Chimera{M: 1, N: 1, L: 4}
+	cfg.Embed = embed.Options{MaxTries: 2, MaxIterations: 3}
+	s := NewSolver(cfg)
+	// K9 cannot fit in one unit cell (8 qubits).
+	q := qubo.MaxCut(graph.Complete(9), nil)
+	if _, err := s.SolveQUBO(q); err == nil {
+		t.Error("unembeddable problem succeeded")
+	}
+}
+
+func TestSolverAccuracyControlsReads(t *testing.T) {
+	q := qubo.MaxCut(graph.Cycle(4), nil)
+	cfg := testConfig(5)
+	cfg.Accuracy = 0.5
+	low, err := NewSolver(cfg).SolveQUBO(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Accuracy = 0.9999
+	high, err := NewSolver(cfg).SolveQUBO(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Reads >= high.Reads {
+		t.Errorf("reads: %d (pa=0.5) >= %d (pa=0.9999)", low.Reads, high.Reads)
+	}
+	wantLow, _ := anneal.RequiredReads(0.5, 0.7)
+	if low.Reads != wantLow {
+		t.Errorf("low reads = %d, want %d", low.Reads, wantLow)
+	}
+}
+
+func TestSolverQuantizeControl(t *testing.T) {
+	cfg := testConfig(6)
+	cfg.QuantizeControl = true
+	cfg.Node.QPU.ControlBits = 4
+	s := NewSolver(cfg)
+	q := qubo.MaxCut(graph.Cycle(6), nil)
+	sol, err := s.SolveQUBO(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MAX-CUT on C6 has integral coefficients, so coarse quantization must
+	// still solve it exactly.
+	if cut := qubo.CutValue(graph.Cycle(6), nil, sol.Binary); cut != 6 {
+		t.Errorf("quantized solve cut = %v", cut)
+	}
+}
+
+func TestSolverDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Node.Name != "SimpleNode" {
+		t.Errorf("default node = %q", cfg.Node.Name)
+	}
+	if cfg.Accuracy != 0.99 || cfg.SuccessProb != 0.7 {
+		t.Errorf("defaults: pa=%v ps=%v", cfg.Accuracy, cfg.SuccessProb)
+	}
+}
+
+func TestEmbeddingCacheHitPath(t *testing.T) {
+	cache := NewEmbeddingCache()
+	cfg := testConfig(8)
+	cfg.Cache = cache
+	q := qubo.MaxCut(graph.Cycle(6), nil)
+
+	s := NewSolver(cfg)
+	first, err := s.SolveQUBO(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Timing.CacheHit {
+		t.Error("first solve claims cache hit")
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache size = %d", cache.Len())
+	}
+
+	// Second solve of an isomorphic problem (relabeled cycle) hits.
+	relabeled := graph.New(6)
+	perm := []int{3, 5, 1, 0, 4, 2}
+	for _, e := range graph.Cycle(6).Edges() {
+		relabeled.AddEdge(perm[e.U], perm[e.V])
+	}
+	q2 := qubo.MaxCut(relabeled, nil)
+	second, err := NewSolver(cfg).SolveQUBO(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Timing.CacheHit {
+		t.Error("isomorphic problem missed the cache")
+	}
+	if second.Timing.EmbedSearch >= first.Timing.EmbedSearch*10 {
+		t.Error("cache hit did not avoid embedding work")
+	}
+	if cut := qubo.CutValue(relabeled, nil, second.Binary); cut != 6 {
+		t.Errorf("cached-embedding solve cut = %v", cut)
+	}
+	hits, misses := cache.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("cache stats: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestEmbeddingCacheDirect(t *testing.T) {
+	cache := NewEmbeddingCache()
+	c := graph.Chimera{M: 1, N: 1, L: 4}
+	hw := c.Graph()
+	g := graph.Complete(2)
+	vm := graph.VertexModel{0: {c.Index(0, 0, 0, 0)}, 1: {c.Index(0, 0, 1, 0)}}
+	cache.Store(g, vm)
+	if got := cache.Lookup(graph.Complete(2)); got == nil {
+		t.Fatal("identical graph missed")
+	}
+	if got := cache.Lookup(graph.Complete(3)); got != nil {
+		t.Fatal("different graph hit")
+	}
+	// Mutating the stored vm must not affect the cache (clone-on-store).
+	vm[0][0] = 99
+	got := cache.Lookup(graph.Complete(2))
+	if got[0][0] == 99 {
+		t.Error("cache shares storage with caller")
+	}
+	if err := graph.ValidateMinor(g, hw, got, true); err != nil {
+		t.Errorf("cached embedding invalid: %v", err)
+	}
+}
+
+func TestSolverChainRepairOption(t *testing.T) {
+	cfg := testConfig(12)
+	cfg.ChainRepair = true
+	// Weak sampler on a denser problem to provoke broken chains sometimes;
+	// regardless, repair must never hurt the returned energy.
+	cfg.Sampler = anneal.SamplerOptions{Sweeps: 4}
+	g := graph.Complete(5)
+	q := qubo.MaxCut(g, nil)
+	logical := qubo.ToIsing(q)
+
+	plain := cfg
+	plain.ChainRepair = false
+	solPlain, err := NewSolver(plain).SolveQUBO(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solRepair, err := NewSolver(cfg).SolveQUBO(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = logical
+	if solRepair.Energy > solPlain.Energy+1e-9 {
+		t.Errorf("repair produced worse energy: %v vs %v", solRepair.Energy, solPlain.Energy)
+	}
+	if solRepair.BrokenChains == 0 && solRepair.RepairFlips != 0 {
+		t.Error("flips recorded without broken chains")
+	}
+}
+
+func TestSolverQuantumSubstrate(t *testing.T) {
+	cfg := testConfig(13)
+	cfg.SQA = &anneal.SQAOptions{Sweeps: 96, Replicas: 8}
+	cfg.Accuracy = 0.9999
+	g := graph.Cycle(6)
+	sol, err := NewSolver(cfg).SolveQUBO(qubo.MaxCut(g, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := qubo.CutValue(g, nil, sol.Binary); cut != 6 {
+		t.Errorf("SQA substrate cut = %v, want 6", cut)
+	}
+	// Timing model is substrate independent: same hardware constants.
+	if sol.Timing.Execute != cfg.Node.QPU.Timings.ExecutionTime(sol.Reads) {
+		t.Errorf("execute time = %v", sol.Timing.Execute)
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/splitexec/splitexec/internal/aspen"
+	"github.com/splitexec/splitexec/internal/machine"
+)
+
+// Predictor evaluates the paper's stage models analytically against a
+// machine model. It is safe for concurrent use.
+type Predictor struct {
+	node machine.Node
+
+	once    sync.Once
+	initErr error
+	spec    *aspen.MachineSpec
+	stage1  *aspen.ModelDecl
+	stage2  *aspen.ModelDecl
+	stage3  *aspen.ModelDecl
+}
+
+// NewPredictor returns a predictor for the given node (typically
+// machine.SimpleNode()).
+func NewPredictor(node machine.Node) *Predictor {
+	return &Predictor{node: node}
+}
+
+func (p *Predictor) init() error {
+	p.once.Do(func() {
+		f, err := aspen.Parse(p.node.ToAspen())
+		if err != nil {
+			p.initErr = fmt.Errorf("core: machine model: %w", err)
+			return
+		}
+		p.spec, err = aspen.BuildMachine(f, p.node.Name)
+		if err != nil {
+			p.initErr = fmt.Errorf("core: machine model: %w", err)
+			return
+		}
+		p.stage1, p.stage2, p.stage3, p.initErr = ParseStageModels()
+	})
+	return p.initErr
+}
+
+// hostOpts binds evaluation to the CPU socket.
+func (p *Predictor) hostOpts(params map[string]float64) aspen.EvalOptions {
+	return aspen.EvalOptions{HostSocket: p.node.CPU.Name, Params: params}
+}
+
+// Stage1 predicts the pre-processing time (problem generation, minor
+// embedding, processor initialization) for a logical problem of size n,
+// reproducing the solid curve of Fig. 9(a). The hardware-graph parameters
+// (M, N) follow the node's QPU topology rather than the listing's defaults.
+func (p *Predictor) Stage1(n int) (*aspen.Result, error) {
+	if err := p.init(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("core: negative problem size %d", n)
+	}
+	return aspen.Evaluate(p.stage1, p.spec, p.hostOpts(map[string]float64{
+		"LPS": float64(n),
+		"M":   float64(p.node.QPU.Topology.M),
+		"N":   float64(p.node.QPU.Topology.N),
+	}))
+}
+
+// Stage2 predicts the quantum execution time to reach accuracy pa (in
+// [0,1)) with single-run success probability ps, reproducing Fig. 9(b).
+func (p *Predictor) Stage2(pa, ps float64) (*aspen.Result, error) {
+	if err := p.init(); err != nil {
+		return nil, err
+	}
+	if pa < 0 || pa >= 1 {
+		return nil, fmt.Errorf("core: accuracy %v outside [0,1)", pa)
+	}
+	if ps <= 0 || ps >= 1 {
+		return nil, fmt.Errorf("core: success probability %v outside (0,1)", ps)
+	}
+	return aspen.Evaluate(p.stage2, p.spec, p.hostOpts(map[string]float64{
+		"Accuracy": pa * 100, // the listing divides by 100
+		"Success":  ps,
+	}))
+}
+
+// Stage3 predicts the post-processing time (heapsort of the readout
+// ensemble) for problem size n, accuracy pa and success probability ps,
+// reproducing Fig. 9(c).
+func (p *Predictor) Stage3(n int, pa, ps float64) (*aspen.Result, error) {
+	if err := p.init(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("core: negative problem size %d", n)
+	}
+	return aspen.Evaluate(p.stage3, p.spec, p.hostOpts(map[string]float64{
+		"LPS":      float64(n),
+		"Accuracy": pa,
+		"Success":  ps,
+	}))
+}
+
+// StageSeconds is the per-stage analytic prediction for one workload.
+type StageSeconds struct {
+	Stage1, Stage2, Stage3 float64
+}
+
+// Total returns the summed prediction.
+func (s StageSeconds) Total() float64 { return s.Stage1 + s.Stage2 + s.Stage3 }
+
+// Predict returns all three stage predictions for a problem of size n with
+// target accuracy pa and single-run success ps.
+func (p *Predictor) Predict(n int, pa, ps float64) (StageSeconds, error) {
+	var out StageSeconds
+	r1, err := p.Stage1(n)
+	if err != nil {
+		return out, err
+	}
+	r2, err := p.Stage2(pa, ps)
+	if err != nil {
+		return out, err
+	}
+	r3, err := p.Stage3(n, pa, ps)
+	if err != nil {
+		return out, err
+	}
+	out.Stage1 = r1.TotalSeconds()
+	out.Stage2 = r2.TotalSeconds()
+	out.Stage3 = r3.TotalSeconds()
+	return out, nil
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/splitexec/splitexec/internal/machine"
+)
+
+func TestParseStageModels(t *testing.T) {
+	s1, s2, s3, err := ParseStageModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Name != "Stage1" || s2.Name != "Stage2" || s3.Name != "Stage3" {
+		t.Errorf("names: %s %s %s", s1.Name, s2.Name, s3.Name)
+	}
+	// Fig. 6 structure: 3 kernels + main, 2 data decls, 17 params.
+	if len(s1.Kernels) != 4 {
+		t.Errorf("stage1 kernels = %d", len(s1.Kernels))
+	}
+	if len(s1.Data) != 2 {
+		t.Errorf("stage1 data = %d", len(s1.Data))
+	}
+	if s1.Kernel("EmbedData") == nil || s1.Kernel("InitializeProcessor") == nil {
+		t.Error("stage1 kernel names wrong")
+	}
+	if s2.Kernel("Stage2Processing") == nil {
+		t.Error("stage2 kernel missing")
+	}
+	if s3.Kernel("FindSolution") == nil {
+		t.Error("stage3 kernel missing")
+	}
+}
+
+func TestStage1PaperParameters(t *testing.T) {
+	p := NewPredictor(machine.SimpleNode())
+	r, err := p.Stage1(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The evaluated parameter environment must match Fig. 6's constants.
+	if r.Params["NG"] != 1152 {
+		t.Errorf("NG = %v, want 1152", r.Params["NG"])
+	}
+	if r.Params["EG"] != 3360 {
+		t.Errorf("EG = %v, want 3360", r.Params["EG"])
+	}
+	if r.Params["EH"] != 435 {
+		t.Errorf("EH = %v, want 435", r.Params["EH"])
+	}
+	if r.Params["ProcessorInitialize"] != 319573 {
+		t.Errorf("ProcessorInitialize = %v µs, want 319573", r.Params["ProcessorInitialize"])
+	}
+}
+
+func TestStage1SmallNDominatedByInit(t *testing.T) {
+	// Paper: the model overestimates for n < 10 because the 0.32 s
+	// processor-initialization constant dominates.
+	p := NewPredictor(machine.SimpleNode())
+	r, err := p.Stage1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := r.TotalSeconds()
+	if math.Abs(total-0.319573) > 0.01 {
+		t.Errorf("stage1(1) = %v s, want ≈ 0.3196 (init constant)", total)
+	}
+	init := r.Kernel("InitializeProcessor")
+	if init == nil {
+		t.Fatal("InitializeProcessor kernel missing from result")
+	}
+	if init.Seconds/total < 0.95 {
+		t.Errorf("init share = %v, want > 0.95 at n=1", init.Seconds/total)
+	}
+}
+
+func TestStage1GrowthDominatedByEmbedding(t *testing.T) {
+	p := NewPredictor(machine.SimpleNode())
+	r30, err := p.Stage1(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r100, err := p.Stage1(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r100.TotalSeconds() <= 10*r30.TotalSeconds() {
+		t.Errorf("stage1 growth too flat: %v -> %v", r30.TotalSeconds(), r100.TotalSeconds())
+	}
+	// At n=100 the embedding kernel dominates.
+	embedK := r100.Kernel("EmbedData")
+	if embedK == nil {
+		t.Fatal("EmbedData missing")
+	}
+	if embedK.Seconds/r100.TotalSeconds() < 0.9 {
+		t.Errorf("embed share at n=100 = %v, want > 0.9", embedK.Seconds/r100.TotalSeconds())
+	}
+}
+
+func TestStage1CubicScalingTail(t *testing.T) {
+	// EmbeddingOps ~ n^3 for complete graphs (EH ~ n², ×NH): the asymptotic
+	// log-log slope of the model (init constant subtracted) must approach 3.
+	p := NewPredictor(machine.SimpleNode())
+	t60, err := p.Stage1(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t120, err := p.Stage1(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const initSec = 0.319573
+	slope := math.Log((t120.TotalSeconds()-initSec)/(t60.TotalSeconds()-initSec)) / math.Log(2)
+	if slope < 2.7 || slope > 3.2 {
+		t.Errorf("asymptotic slope = %v, want ≈ 3", slope)
+	}
+}
+
+func TestStage2MatchesEq6Times(t *testing.T) {
+	p := NewPredictor(machine.SimpleNode())
+	// pa=0.99, ps=0.7: 4 reads → 4·20 + 320 + 5 = 405 µs.
+	r, err := p.Stage2(0.99, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.TotalSeconds()-405e-6) > 1e-9 {
+		t.Errorf("stage2 = %v s, want 405 µs", r.TotalSeconds())
+	}
+}
+
+func TestStage2InsensitiveToPSAbove0_6(t *testing.T) {
+	// Paper: "this performance curve is approximately the same for all
+	// values of ps > 0.6".
+	p := NewPredictor(machine.SimpleNode())
+	base, err := p.Stage2(0.99, 0.65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ps := range []float64{0.7, 0.8, 0.9, 0.99} {
+		r, err := p.Stage2(0.99, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(r.TotalSeconds() - base.TotalSeconds()); diff > 150e-6 {
+			t.Errorf("ps=%v: stage2 differs by %v s", ps, diff)
+		}
+	}
+}
+
+func TestStage3NearLinear(t *testing.T) {
+	p := NewPredictor(machine.SimpleNode())
+	r10, err := p.Stage3(10, 0.99, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r100, err := p.Stage3(100, 0.99, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := r100.TotalSeconds() / r10.TotalSeconds()
+	if ratio < 5 || ratio > 15 {
+		t.Errorf("stage3 scaling 10→100 = ×%v, want ≈ ×10 (near-linear)", ratio)
+	}
+	// Results parameter: ceil(log(0.01)/log(0.25)) = 4.
+	if r10.Params["Results"] != 4 {
+		t.Errorf("Results = %v, want 4", r10.Params["Results"])
+	}
+}
+
+// The headline conclusion of the paper: stage 1 dominates time-to-solution
+// by orders of magnitude at every problem size.
+func TestStageDominanceConclusion(t *testing.T) {
+	rows, err := StageDominance([]int{5, 20, 50, 100}, 0.99, 0.7, machine.SimpleNode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.Stage1Share < 0.99 {
+			t.Errorf("n=%d: stage-1 share %v, want > 0.99", row.N, row.Stage1Share)
+		}
+		if row.Stages.Stage2 <= row.Stages.Stage3 {
+			t.Errorf("n=%d: expected stage2 > stage3 (µs vs ns scale)", row.N)
+		}
+		if row.Stages.Stage1/row.Stages.Stage2 < 100 {
+			t.Errorf("n=%d: stage1/stage2 ratio %v, want ≥ 100×", row.N, row.Stages.Stage1/row.Stages.Stage2)
+		}
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	p := NewPredictor(machine.SimpleNode())
+	if _, err := p.Stage1(-1); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := p.Stage2(1.0, 0.7); err == nil {
+		t.Error("pa=1 accepted")
+	}
+	if _, err := p.Stage2(0.9, 0); err == nil {
+		t.Error("ps=0 accepted")
+	}
+	if _, err := p.Stage3(-2, 0.9, 0.7); err == nil {
+		t.Error("negative n accepted for stage3")
+	}
+}
+
+func TestPredictorUsesNodeTopology(t *testing.T) {
+	// A Vesuvius-sized node (M=N=8) must predict less embedding work than
+	// the DW2X default (M=N=12) at the same n.
+	small := machine.SimpleNode()
+	small.QPU = machine.DW2Vesuvius()
+	pSmall := NewPredictor(small)
+	pBig := NewPredictor(machine.SimpleNode())
+	rS, err := pSmall.Stage1(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rB, err := pBig.Stage1(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rS.Params["NG"] != 512 || rB.Params["NG"] != 1152 {
+		t.Fatalf("NG params: %v vs %v", rS.Params["NG"], rB.Params["NG"])
+	}
+	if rS.TotalSeconds() >= rB.TotalSeconds() {
+		t.Errorf("smaller hardware predicted more work: %v >= %v", rS.TotalSeconds(), rB.TotalSeconds())
+	}
+}
+
+func TestPredictAggregates(t *testing.T) {
+	p := NewPredictor(machine.SimpleNode())
+	s, err := p.Predict(30, 0.99, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Total() != s.Stage1+s.Stage2+s.Stage3 {
+		t.Error("Total() mismatch")
+	}
+	if s.Stage1 < 1 || s.Stage2 > 1e-3 || s.Stage3 > 1e-6 {
+		t.Errorf("stage magnitudes off: %+v", s)
+	}
+}

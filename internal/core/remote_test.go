@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/splitexec/splitexec/internal/anneal"
+	"github.com/splitexec/splitexec/internal/graph"
+	"github.com/splitexec/splitexec/internal/qpuserver"
+	"github.com/splitexec/splitexec/internal/qubo"
+)
+
+// The full split-execution pipeline against a QPU behind a real TCP
+// boundary — the client-server deployment of Fig. 1(a).
+func TestSolveOverNetwork(t *testing.T) {
+	srv := qpuserver.NewServer(anneal.DW2Timings(), anneal.SamplerOptions{Sweeps: 256})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := qpuserver.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	cfg := testConfig(1)
+	cfg.Device = cli
+	solver := NewSolver(cfg)
+
+	g := graph.Cycle(6)
+	sol, err := solver.SolveQUBO(qubo.MaxCut(g, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := qubo.CutValue(g, nil, sol.Binary); cut != 6 {
+		t.Errorf("remote solve cut = %v, want 6", cut)
+	}
+	// Modeled QPU times flow back over the wire unchanged.
+	if sol.Timing.Program != anneal.DW2Timings().ProcessorInitialize() {
+		t.Errorf("remote program time = %v", sol.Timing.Program)
+	}
+	if sol.Timing.Execute != anneal.DW2Timings().ExecutionTime(sol.Reads) {
+		t.Errorf("remote execute time = %v", sol.Timing.Execute)
+	}
+	// The measured network interface cost exists but, as the paper
+	// predicts, is not the dominant term compared to embedding+programming.
+	if cli.NetworkTime() <= 0 {
+		t.Error("network time not measured")
+	}
+	if cli.NetworkTime() > sol.Timing.Stage1() {
+		t.Errorf("network %v exceeds stage 1 %v — unexpected on loopback",
+			cli.NetworkTime(), sol.Timing.Stage1())
+	}
+}
+
+// Hardware validation on the server side must reject programs that ignore
+// the topology, end to end.
+func TestSolveOverNetworkHardwareEnforced(t *testing.T) {
+	srv := qpuserver.NewServer(anneal.DW2Timings(), anneal.SamplerOptions{Sweeps: 16})
+	srv.Hardware = graph.Chimera{M: 3, N: 3, L: 4}.Graph()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := qpuserver.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Solver embeds into the same topology the server enforces: accepted.
+	cfg := testConfig(2)
+	cfg.Device = cli
+	sol, err := NewSolver(cfg).SolveQUBO(qubo.MaxCut(graph.Cycle(5), nil))
+	if err != nil {
+		t.Fatalf("topology-respecting solve rejected: %v", err)
+	}
+	if sol.Energy > -4 {
+		t.Errorf("energy = %v", sol.Energy)
+	}
+
+	// A direct, unembedded program with a non-coupler edge is refused.
+	bad := qubo.NewIsing(2)
+	bad.SetCoupling(0, 1, -1) // same-shore pair: not a Chimera coupler
+	if err := cli.Program(bad); err == nil {
+		t.Error("server accepted a non-hardware program")
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/qubo"
+	"github.com/splitexec/splitexec/internal/schedule"
+)
+
+func ringQUBO(n int) *qubo.QUBO {
+	q := qubo.NewQUBO(n)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		q.Add(i, i, -1)
+		q.Add(j, j, -1)
+		q.Add(i, j, 2)
+	}
+	return q
+}
+
+func solveWith(t *testing.T, cfg Config) *Solution {
+	t.Helper()
+	s := NewSolver(cfg)
+	sol, err := s.SolveQUBO(ringQUBO(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func TestScheduleDrivenReadsMatchFixedPs(t *testing.T) {
+	// A 20 µs linear ramp across the default gap derives ps ≈ 0.7, so the
+	// planned reads must equal the fixed-ps default (4 at pa = 0.99).
+	sc := schedule.Linear(20 * time.Microsecond)
+	sol := solveWith(t, Config{Seed: 1, Schedule: &sc})
+	if math.Abs(sol.SuccessProb-0.7) > 0.01 {
+		t.Fatalf("derived ps = %v, want ≈0.7", sol.SuccessProb)
+	}
+	fixed := solveWith(t, Config{Seed: 1})
+	if sol.Reads != fixed.Reads {
+		t.Fatalf("schedule-driven reads %d != fixed-ps reads %d", sol.Reads, fixed.Reads)
+	}
+	if fixed.SuccessProb != 0.7 {
+		t.Fatalf("fixed path should record ps=0.7, got %v", fixed.SuccessProb)
+	}
+}
+
+func TestLongerScheduleFewerReadsCostlierReads(t *testing.T) {
+	short := schedule.Linear(20 * time.Microsecond)
+	long := schedule.Linear(500 * time.Microsecond)
+	sShort := solveWith(t, Config{Seed: 2, Schedule: &short})
+	sLong := solveWith(t, Config{Seed: 2, Schedule: &long})
+	if sLong.Reads >= sShort.Reads {
+		t.Fatalf("longer anneal should need fewer reads: %d >= %d", sLong.Reads, sShort.Reads)
+	}
+	if sLong.SuccessProb <= sShort.SuccessProb {
+		t.Fatalf("longer anneal should raise ps: %v <= %v", sLong.SuccessProb, sShort.SuccessProb)
+	}
+	// Per-read execute cost follows the waveform duration: reads×anneal +
+	// readout + thermalization.
+	perShort := (sShort.Timing.Execute - 325*time.Microsecond) / time.Duration(sShort.Reads)
+	perLong := (sLong.Timing.Execute - 325*time.Microsecond) / time.Duration(sLong.Reads)
+	if perShort != 20*time.Microsecond || perLong != 500*time.Microsecond {
+		t.Fatalf("per-read anneal times %v / %v, want 20µs / 500µs", perShort, perLong)
+	}
+}
+
+func TestPausedScheduleSingleRead(t *testing.T) {
+	gap := schedule.DefaultGap()
+	paused, err := schedule.WithPause(20*time.Microsecond, gap.Position, 200*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := solveWith(t, Config{Seed: 3, Schedule: &paused, Gap: &gap})
+	if sol.Reads != 1 {
+		t.Fatalf("adiabatic hold should plan 1 read, got %d", sol.Reads)
+	}
+	if sol.SuccessProb != 1 {
+		t.Fatalf("ps = %v, want 1", sol.SuccessProb)
+	}
+}
+
+func TestScheduleOutsideHardwareLimitsFails(t *testing.T) {
+	tooShort := schedule.Linear(time.Microsecond) // below the 5 µs DW2 floor
+	s := NewSolver(Config{Seed: 4, Schedule: &tooShort})
+	if _, err := s.SolveQUBO(ringQUBO(6)); err == nil {
+		t.Fatal("sub-minimum schedule accepted")
+	}
+	// Custom limits can admit it.
+	lim := schedule.ControlLimits{MinDuration: time.Nanosecond}
+	s = NewSolver(Config{Seed: 4, Schedule: &tooShort, ScheduleLimits: &lim})
+	if _, err := s.SolveQUBO(ringQUBO(6)); err != nil {
+		t.Fatalf("custom limits rejected: %v", err)
+	}
+}
+
+func TestScheduleWithCustomGap(t *testing.T) {
+	sc := schedule.Linear(20 * time.Microsecond)
+	hard := schedule.GapModel{MinGap: 0.02, Position: 0.5}
+	easy := schedule.GapModel{MinGap: 0.6, Position: 0.5}
+	sHard := solveWith(t, Config{Seed: 5, Schedule: &sc, Gap: &hard})
+	sEasy := solveWith(t, Config{Seed: 5, Schedule: &sc, Gap: &easy})
+	if sHard.Reads <= sEasy.Reads {
+		t.Fatalf("harder gap should need more reads: %d <= %d", sHard.Reads, sEasy.Reads)
+	}
+	bad := schedule.GapModel{MinGap: -1, Position: 0.5}
+	s := NewSolver(Config{Seed: 5, Schedule: &sc, Gap: &bad})
+	if _, err := s.SolveQUBO(ringQUBO(6)); err == nil {
+		t.Fatal("invalid gap model accepted")
+	}
+}
+
+func TestScheduleSolutionStillOptimal(t *testing.T) {
+	// The schedule path must not disturb correctness: the 8-ring MAX-CUT
+	// optimum cuts all 8 edges (QUBO energy -8 before offset bookkeeping).
+	sc := schedule.Linear(100 * time.Microsecond)
+	sol := solveWith(t, Config{Seed: 6, Schedule: &sc})
+	want, _ := ringQUBO(8).BruteForce()
+	got := sol.Binary
+	// Compare energies, not assignments (the cut is degenerate).
+	q := ringQUBO(8)
+	if math.Abs(q.Energy(got)-q.Energy(want)) > 1e-9 {
+		t.Fatalf("schedule path returned suboptimal cut: %v vs %v", q.Energy(got), q.Energy(want))
+	}
+}

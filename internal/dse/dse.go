@@ -1,0 +1,340 @@
+// Package dse performs automated design-space exploration over ASPEN
+// performance models.
+//
+// The paper builds its models in ASPEN precisely because the language
+// supports structured exploration (its reference [37] is "Automated design
+// space exploration with Aspen"). This package supplies that layer for the
+// split-execution models: parameter sweeps over any model inputs
+// (Sweep), local sensitivity analysis ranking which parameters the
+// predicted time actually responds to (Sensitivities), and crossover search
+// locating where one design overtakes another (Crossover) — e.g., at what
+// problem size stage-1 embedding time exceeds the total quantum execution
+// time, the paper's headline comparison.
+package dse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/splitexec/splitexec/internal/aspen"
+)
+
+// Objective maps a parameter assignment to a scalar cost (typically
+// predicted seconds). Implementations must treat the map as read-only.
+type Objective func(params map[string]float64) (float64, error)
+
+// ModelObjective adapts an ASPEN application model on a machine to an
+// Objective returning total predicted seconds. Sweep parameters are merged
+// over base.Params (sweep values win).
+func ModelObjective(m *aspen.ModelDecl, mach *aspen.MachineSpec, base aspen.EvalOptions) Objective {
+	return func(params map[string]float64) (float64, error) {
+		opts := base
+		merged := make(map[string]float64, len(base.Params)+len(params))
+		for k, v := range base.Params {
+			merged[k] = v
+		}
+		for k, v := range params {
+			merged[k] = v
+		}
+		opts.Params = merged
+		res, err := aspen.Evaluate(m, mach, opts)
+		if err != nil {
+			return 0, err
+		}
+		return res.TotalSeconds(), nil
+	}
+}
+
+// Axis is one swept parameter.
+type Axis struct {
+	Name   string
+	Values []float64
+}
+
+// LinSpace returns n evenly spaced values from lo to hi inclusive.
+func LinSpace(lo, hi float64, n int) []float64 {
+	if n <= 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+// LogSpace returns n logarithmically spaced values from lo to hi inclusive;
+// lo and hi must be positive.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi <= 0 {
+		return nil
+	}
+	if n <= 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	llo, lhi := math.Log(lo), math.Log(hi)
+	for i := range out {
+		out[i] = math.Exp(llo + (lhi-llo)*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// Row is one evaluated design point.
+type Row struct {
+	Params map[string]float64
+	Value  float64
+}
+
+// Table is the result of a sweep: the cartesian product of the axes, in
+// row-major order (last axis fastest).
+type Table struct {
+	Axes []Axis
+	Rows []Row
+}
+
+// MaxSweepPoints bounds the cartesian product size of one Sweep call.
+const MaxSweepPoints = 1 << 20
+
+// Sweep evaluates the objective over the full cartesian product of the
+// axes. Axis names must be unique and non-empty; every axis needs at least
+// one value.
+func Sweep(obj Objective, axes []Axis) (*Table, error) {
+	if obj == nil {
+		return nil, errors.New("dse: nil objective")
+	}
+	if len(axes) == 0 {
+		return nil, errors.New("dse: no axes")
+	}
+	total := 1
+	seen := map[string]bool{}
+	for _, ax := range axes {
+		if ax.Name == "" {
+			return nil, errors.New("dse: empty axis name")
+		}
+		if seen[ax.Name] {
+			return nil, fmt.Errorf("dse: duplicate axis %q", ax.Name)
+		}
+		seen[ax.Name] = true
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("dse: axis %q has no values", ax.Name)
+		}
+		if total > MaxSweepPoints/len(ax.Values) {
+			return nil, fmt.Errorf("dse: sweep exceeds %d points", MaxSweepPoints)
+		}
+		total *= len(ax.Values)
+	}
+	tbl := &Table{Axes: axes, Rows: make([]Row, 0, total)}
+	idx := make([]int, len(axes))
+	for {
+		params := make(map[string]float64, len(axes))
+		for d, ax := range axes {
+			params[ax.Name] = ax.Values[idx[d]]
+		}
+		v, err := obj(params)
+		if err != nil {
+			return nil, fmt.Errorf("dse: objective at %v: %w", params, err)
+		}
+		tbl.Rows = append(tbl.Rows, Row{Params: params, Value: v})
+		// Increment the mixed-radix counter, last axis fastest.
+		d := len(axes) - 1
+		for d >= 0 {
+			idx[d]++
+			if idx[d] < len(axes[d].Values) {
+				break
+			}
+			idx[d] = 0
+			d--
+		}
+		if d < 0 {
+			return tbl, nil
+		}
+	}
+}
+
+// ArgMin returns the row with the smallest value.
+func (t *Table) ArgMin() (Row, error) {
+	if len(t.Rows) == 0 {
+		return Row{}, errors.New("dse: empty table")
+	}
+	best := t.Rows[0]
+	for _, r := range t.Rows[1:] {
+		if r.Value < best.Value {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// Series extracts (x, value) pairs for a one-axis sweep, in axis order.
+func (t *Table) Series(axis string) (xs, ys []float64, err error) {
+	found := false
+	for _, ax := range t.Axes {
+		if ax.Name == axis {
+			found = true
+		}
+	}
+	if !found {
+		return nil, nil, fmt.Errorf("dse: unknown axis %q", axis)
+	}
+	for _, r := range t.Rows {
+		xs = append(xs, r.Params[axis])
+		ys = append(ys, r.Value)
+	}
+	return xs, ys, nil
+}
+
+// Format renders the table as aligned text for terminal inspection.
+func (t *Table) Format() string {
+	var b strings.Builder
+	for _, ax := range t.Axes {
+		fmt.Fprintf(&b, "%14s", ax.Name)
+	}
+	fmt.Fprintf(&b, "%16s\n", "value")
+	for _, r := range t.Rows {
+		for _, ax := range t.Axes {
+			fmt.Fprintf(&b, "%14.6g", r.Params[ax.Name])
+		}
+		fmt.Fprintf(&b, "%16.6g\n", r.Value)
+	}
+	return b.String()
+}
+
+// Sensitivity is the local elasticity of the objective to one parameter:
+// d(log T)/d(log p) estimated by a symmetric finite difference. Elasticity
+// 3 means "time grows as p³ here"; 0 means the parameter is irrelevant at
+// this design point.
+type Sensitivity struct {
+	Param      string
+	Elasticity float64
+	Base       float64 // parameter value at the expansion point
+}
+
+// Sensitivities ranks the parameters by |elasticity| at the base point,
+// using relative step eps (e.g. 0.05 for ±5%). Parameters with value 0 are
+// skipped (no log derivative exists there).
+func Sensitivities(obj Objective, base map[string]float64, eps float64) ([]Sensitivity, error) {
+	if obj == nil {
+		return nil, errors.New("dse: nil objective")
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("dse: eps %v outside (0,1)", eps)
+	}
+	center, err := obj(base)
+	if err != nil {
+		return nil, err
+	}
+	if center <= 0 {
+		return nil, fmt.Errorf("dse: objective %v at base not positive", center)
+	}
+	names := make([]string, 0, len(base))
+	for k := range base {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var out []Sensitivity
+	for _, name := range names {
+		p := base[name]
+		if p == 0 {
+			continue
+		}
+		probe := func(v float64) (float64, error) {
+			params := make(map[string]float64, len(base))
+			for k, val := range base {
+				params[k] = val
+			}
+			params[name] = v
+			return obj(params)
+		}
+		up, err := probe(p * (1 + eps))
+		if err != nil {
+			return nil, fmt.Errorf("dse: probing %s up: %w", name, err)
+		}
+		down, err := probe(p * (1 - eps))
+		if err != nil {
+			return nil, fmt.Errorf("dse: probing %s down: %w", name, err)
+		}
+		if up <= 0 || down <= 0 {
+			continue
+		}
+		el := (math.Log(up) - math.Log(down)) / (math.Log(1+eps) - math.Log(1-eps))
+		out = append(out, Sensitivity{Param: name, Elasticity: el, Base: p})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := math.Abs(out[i].Elasticity), math.Abs(out[j].Elasticity)
+		if ai != aj {
+			return ai > aj
+		}
+		return out[i].Param < out[j].Param
+	})
+	return out, nil
+}
+
+// Crossover finds the value of param in [lo, hi] at which objective a
+// overtakes objective b, i.e. the root of a-b, assuming a-b is monotone in
+// the parameter over the bracket (the typical scaling-comparison setting).
+// Both endpoints must bracket a sign change. Other parameters are fixed at
+// base. The root is located by bisection to relative tolerance tol.
+func Crossover(a, b Objective, param string, lo, hi float64, base map[string]float64, tol float64) (float64, error) {
+	if a == nil || b == nil {
+		return 0, errors.New("dse: nil objective")
+	}
+	if !(lo < hi) {
+		return 0, fmt.Errorf("dse: bad bracket [%v, %v]", lo, hi)
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	diff := func(v float64) (float64, error) {
+		params := make(map[string]float64, len(base)+1)
+		for k, val := range base {
+			params[k] = val
+		}
+		params[param] = v
+		av, err := a(params)
+		if err != nil {
+			return 0, err
+		}
+		bv, err := b(params)
+		if err != nil {
+			return 0, err
+		}
+		return av - bv, nil
+	}
+	flo, err := diff(lo)
+	if err != nil {
+		return 0, err
+	}
+	fhi, err := diff(hi)
+	if err != nil {
+		return 0, err
+	}
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, fmt.Errorf("dse: no sign change on [%v, %v] (f(lo)=%v, f(hi)=%v)", lo, hi, flo, fhi)
+	}
+	for i := 0; i < 200 && (hi-lo) > tol*math.Max(1, math.Abs(hi)); i++ {
+		mid := lo + (hi-lo)/2
+		fm, err := diff(mid)
+		if err != nil {
+			return 0, err
+		}
+		if fm == 0 {
+			return mid, nil
+		}
+		if (fm > 0) == (flo > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}

@@ -1,0 +1,279 @@
+package dse
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// polyObjective is T = c · x^a · y^b, a convenient closed form whose
+// elasticities are exactly a and b.
+func polyObjective(c, a, b float64) Objective {
+	return func(p map[string]float64) (float64, error) {
+		return c * math.Pow(p["x"], a) * math.Pow(p["y"], b), nil
+	}
+}
+
+func TestLinSpace(t *testing.T) {
+	xs := LinSpace(0, 10, 5)
+	want := []float64{0, 2.5, 5, 7.5, 10}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-12 {
+			t.Fatalf("LinSpace = %v", xs)
+		}
+	}
+	if got := LinSpace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("n=1: %v", got)
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	xs := LogSpace(1, 100, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if math.Abs(xs[i]-want[i])/want[i] > 1e-9 {
+			t.Fatalf("LogSpace = %v", xs)
+		}
+	}
+	if LogSpace(0, 10, 3) != nil {
+		t.Fatal("non-positive lo accepted")
+	}
+	if got := LogSpace(5, 50, 1); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("n=1: %v", got)
+	}
+}
+
+func TestSweepCartesianProduct(t *testing.T) {
+	obj := func(p map[string]float64) (float64, error) { return p["x"]*10 + p["y"], nil }
+	tbl, err := Sweep(obj, []Axis{
+		{Name: "x", Values: []float64{1, 2, 3}},
+		{Name: "y", Values: []float64{0, 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tbl.Rows))
+	}
+	// Row-major, last axis fastest: (1,0),(1,5),(2,0),(2,5),(3,0),(3,5).
+	wantVals := []float64{10, 15, 20, 25, 30, 35}
+	for i, w := range wantVals {
+		if tbl.Rows[i].Value != w {
+			t.Fatalf("row %d = %v, want %v", i, tbl.Rows[i].Value, w)
+		}
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	obj := func(map[string]float64) (float64, error) { return 0, nil }
+	if _, err := Sweep(nil, []Axis{{Name: "x", Values: []float64{1}}}); err == nil {
+		t.Fatal("nil objective accepted")
+	}
+	if _, err := Sweep(obj, nil); err == nil {
+		t.Fatal("no axes accepted")
+	}
+	if _, err := Sweep(obj, []Axis{{Name: "", Values: []float64{1}}}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := Sweep(obj, []Axis{{Name: "x", Values: []float64{1}}, {Name: "x", Values: []float64{2}}}); err == nil {
+		t.Fatal("duplicate axis accepted")
+	}
+	if _, err := Sweep(obj, []Axis{{Name: "x", Values: nil}}); err == nil {
+		t.Fatal("empty values accepted")
+	}
+	big := make([]float64, 2048)
+	if _, err := Sweep(obj, []Axis{
+		{Name: "a", Values: big}, {Name: "b", Values: big}, {Name: "c", Values: big},
+	}); err == nil {
+		t.Fatal("oversized sweep accepted")
+	}
+}
+
+func TestSweepPropagatesObjectiveError(t *testing.T) {
+	boom := errors.New("boom")
+	obj := func(p map[string]float64) (float64, error) {
+		if p["x"] == 2 {
+			return 0, boom
+		}
+		return 1, nil
+	}
+	_, err := Sweep(obj, []Axis{{Name: "x", Values: []float64{1, 2, 3}}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestArgMinAndSeries(t *testing.T) {
+	obj := func(p map[string]float64) (float64, error) {
+		x := p["x"]
+		return (x - 3) * (x - 3), nil
+	}
+	tbl, err := Sweep(obj, []Axis{{Name: "x", Values: LinSpace(0, 6, 13)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := tbl.ArgMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Params["x"] != 3 || best.Value != 0 {
+		t.Fatalf("ArgMin = %+v", best)
+	}
+	xs, ys, err := tbl.Series("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 13 || len(ys) != 13 || xs[0] != 0 || xs[12] != 6 {
+		t.Fatalf("Series: %v %v", xs, ys)
+	}
+	if _, _, err := tbl.Series("zzz"); err == nil {
+		t.Fatal("unknown axis accepted")
+	}
+	empty := &Table{}
+	if _, err := empty.ArgMin(); err == nil {
+		t.Fatal("empty ArgMin accepted")
+	}
+}
+
+func TestFormatContainsHeaderAndRows(t *testing.T) {
+	obj := func(p map[string]float64) (float64, error) { return p["x"], nil }
+	tbl, _ := Sweep(obj, []Axis{{Name: "x", Values: []float64{7}}})
+	s := tbl.Format()
+	if !strings.Contains(s, "x") || !strings.Contains(s, "value") || !strings.Contains(s, "7") {
+		t.Fatalf("Format = %q", s)
+	}
+}
+
+func TestSensitivitiesRecoverExponents(t *testing.T) {
+	// T = 2 · x³ · y⁰·⁵ → elasticities 3 and 0.5, ranked |3| > |0.5|.
+	obj := polyObjective(2, 3, 0.5)
+	sens, err := Sensitivities(obj, map[string]float64{"x": 10, "y": 4}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sens) != 2 {
+		t.Fatalf("got %d sensitivities", len(sens))
+	}
+	if sens[0].Param != "x" || math.Abs(sens[0].Elasticity-3) > 0.01 {
+		t.Fatalf("first = %+v, want x elasticity 3", sens[0])
+	}
+	if sens[1].Param != "y" || math.Abs(sens[1].Elasticity-0.5) > 0.01 {
+		t.Fatalf("second = %+v, want y elasticity 0.5", sens[1])
+	}
+}
+
+func TestSensitivitiesSkipsZeroParams(t *testing.T) {
+	obj := polyObjective(1, 2, 0)
+	sens, err := Sensitivities(obj, map[string]float64{"x": 5, "y": 0}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sens {
+		if s.Param == "y" {
+			t.Fatal("zero-valued parameter probed")
+		}
+	}
+}
+
+func TestSensitivitiesValidation(t *testing.T) {
+	obj := polyObjective(1, 1, 1)
+	base := map[string]float64{"x": 1, "y": 1}
+	if _, err := Sensitivities(nil, base, 0.05); err == nil {
+		t.Fatal("nil objective accepted")
+	}
+	if _, err := Sensitivities(obj, base, 0); err == nil {
+		t.Fatal("zero eps accepted")
+	}
+	if _, err := Sensitivities(obj, base, 1); err == nil {
+		t.Fatal("eps=1 accepted")
+	}
+	zero := func(map[string]float64) (float64, error) { return 0, nil }
+	if _, err := Sensitivities(zero, base, 0.05); err == nil {
+		t.Fatal("non-positive objective accepted")
+	}
+}
+
+func TestCrossoverFindsRoot(t *testing.T) {
+	// a = x², b = 100: cross at x = 10.
+	a := func(p map[string]float64) (float64, error) { return p["x"] * p["x"], nil }
+	b := func(p map[string]float64) (float64, error) { return 100, nil }
+	x, err := Crossover(a, b, "x", 1, 50, nil, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-10) > 1e-6 {
+		t.Fatalf("crossover at %v, want 10", x)
+	}
+}
+
+func TestCrossoverUsesBaseParams(t *testing.T) {
+	// a = k·x, b = 30; with k=3 cross at x=10.
+	a := func(p map[string]float64) (float64, error) { return p["k"] * p["x"], nil }
+	b := func(p map[string]float64) (float64, error) { return 30, nil }
+	x, err := Crossover(a, b, "x", 0.1, 100, map[string]float64{"k": 3}, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-10) > 1e-5 {
+		t.Fatalf("crossover at %v, want 10", x)
+	}
+}
+
+func TestCrossoverEndpointRoots(t *testing.T) {
+	a := func(p map[string]float64) (float64, error) { return p["x"], nil }
+	b := func(p map[string]float64) (float64, error) { return 5, nil }
+	x, err := Crossover(a, b, "x", 5, 50, nil, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 5 {
+		t.Fatalf("lo endpoint root: %v", x)
+	}
+	x, err = Crossover(a, b, "x", 0, 5, nil, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 5 {
+		t.Fatalf("hi endpoint root: %v", x)
+	}
+}
+
+func TestCrossoverValidation(t *testing.T) {
+	a := func(p map[string]float64) (float64, error) { return p["x"], nil }
+	b := func(p map[string]float64) (float64, error) { return 100, nil }
+	if _, err := Crossover(nil, b, "x", 0, 1, nil, 0); err == nil {
+		t.Fatal("nil objective accepted")
+	}
+	if _, err := Crossover(a, b, "x", 5, 5, nil, 0); err == nil {
+		t.Fatal("degenerate bracket accepted")
+	}
+	// No sign change: x stays below 100 on [0, 50].
+	if _, err := Crossover(a, b, "x", 0, 50, nil, 0); err == nil {
+		t.Fatal("bracket without sign change accepted")
+	}
+}
+
+// Property: for monotone objectives the crossover returned always lies in
+// the bracket and |a-b| at the root is small relative to scale.
+func TestQuickCrossoverInBracket(t *testing.T) {
+	f := func(slopeQ, levelQ uint8) bool {
+		slope := 0.5 + float64(slopeQ)/32
+		level := 10 + float64(levelQ)
+		a := func(p map[string]float64) (float64, error) { return slope * p["x"], nil }
+		b := func(p map[string]float64) (float64, error) { return level, nil }
+		hi := 2*level/slope + 1
+		x, err := Crossover(a, b, "x", 0, hi, nil, 1e-10)
+		if err != nil {
+			return false
+		}
+		if x < 0 || x > hi {
+			return false
+		}
+		return math.Abs(slope*x-level)/level < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

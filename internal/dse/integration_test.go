@@ -1,0 +1,99 @@
+package dse
+
+import (
+	"math"
+	"testing"
+
+	"github.com/splitexec/splitexec/internal/aspen"
+	"github.com/splitexec/splitexec/internal/core"
+	"github.com/splitexec/splitexec/internal/machine"
+)
+
+// stage1Objective builds the paper's stage-1 model as a DSE objective over
+// the SimpleNode machine, exactly as the Fig. 9(a) predictor does.
+func stage1Objective(t *testing.T) Objective {
+	t.Helper()
+	node := machine.SimpleNode()
+	f, err := aspen.Parse(node.ToAspen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := aspen.BuildMachine(f, node.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _, _, err := core.ParseStageModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ModelObjective(s1, spec, aspen.EvalOptions{
+		HostSocket: node.CPU.Name,
+		Params:     map[string]float64{"M": 12, "N": 12},
+	})
+}
+
+func TestStage1SweepIsMonotone(t *testing.T) {
+	obj := stage1Objective(t)
+	tbl, err := Sweep(obj, []Axis{{Name: "LPS", Values: LinSpace(10, 100, 10)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(tbl.Rows); i++ {
+		if tbl.Rows[i].Value <= tbl.Rows[i-1].Value {
+			t.Fatalf("stage-1 time not increasing at row %d: %v <= %v",
+				i, tbl.Rows[i].Value, tbl.Rows[i-1].Value)
+		}
+	}
+}
+
+func TestStage1SensitivityIsEmbeddingBound(t *testing.T) {
+	// At LPS=50 the embedding term dominates the constant processor
+	// initialization, so predicted time responds super-quadratically to
+	// problem size — the paper's central scaling claim as an elasticity.
+	obj := stage1Objective(t)
+	sens, err := Sensitivities(obj, map[string]float64{"LPS": 50, "M": 12, "N": 12}, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lps *Sensitivity
+	for i := range sens {
+		if sens[i].Param == "LPS" {
+			lps = &sens[i]
+		}
+	}
+	if lps == nil {
+		t.Fatal("no LPS sensitivity reported")
+	}
+	if lps.Elasticity < 2 {
+		t.Fatalf("LPS elasticity %v, want > 2 (embedding-dominated)", lps.Elasticity)
+	}
+	// Problem size must outrank the hardware-lattice axes at this point.
+	if sens[0].Param != "LPS" {
+		t.Fatalf("dominant parameter %q, want LPS", sens[0].Param)
+	}
+}
+
+func TestStage1CrossesOneSecondBudget(t *testing.T) {
+	// Design question: at what problem size does pre-processing exceed a
+	// 1-second budget? The root must be consistent with direct evaluation.
+	obj := stage1Objective(t)
+	budget := func(map[string]float64) (float64, error) { return 1.0, nil }
+	n, err := Crossover(obj, budget, "LPS", 1, 100, map[string]float64{"M": 12, "N": 12}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 1 || n >= 100 {
+		t.Fatalf("crossover at %v, want interior", n)
+	}
+	below, err := obj(map[string]float64{"LPS": math.Floor(n), "M": 12, "N": 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	above, err := obj(map[string]float64{"LPS": math.Ceil(n + 1), "M": 12, "N": 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(below <= 1.05 && above >= 0.95) {
+		t.Fatalf("crossover %v inconsistent: T(floor)=%v T(ceil+1)=%v", n, below, above)
+	}
+}

@@ -1,0 +1,59 @@
+package embed
+
+import (
+	"fmt"
+
+	"github.com/splitexec/splitexec/internal/graph"
+)
+
+// MaxCliqueSize returns the largest n for which CliqueEmbedding can embed
+// K_n into the square Chimera topology c: n = L·min(M,N).
+func MaxCliqueSize(c graph.Chimera) int {
+	m := c.M
+	if c.N < m {
+		m = c.N
+	}
+	return c.L * m
+}
+
+// CliqueEmbedding deterministically embeds the complete graph K_n into the
+// Chimera topology c using the cross-shaped layout of Choi's minor-universal
+// design (each logical vertex occupies one vertical line of left-shore
+// qubits and one horizontal line of right-shore qubits that meet in a
+// diagonal cell). Every chain has length M+N-ish (exactly c.M + c.N qubits
+// minus nothing: M vertical + N horizontal), so K_n consumes n·(M+N)
+// physical qubits — the ~n² growth the paper cites for complete-graph
+// embedding ("embedding of an input graph with n vertices requires a Chimera
+// hardware with n² qubits").
+//
+// It returns an error when n exceeds MaxCliqueSize(c).
+func CliqueEmbedding(n int, c graph.Chimera) (graph.VertexModel, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("embed: negative clique size %d", n)
+	}
+	if max := MaxCliqueSize(c); n > max {
+		return nil, fmt.Errorf("embed: K_%d does not fit in %v (max K_%d)", n, c, max)
+	}
+	vm := make(graph.VertexModel, n)
+	for i := 0; i < n; i++ {
+		band := i / c.L // diagonal cell index
+		k := i % c.L    // in-shore position
+		chain := make([]int, 0, c.M+c.N)
+		for r := 0; r < c.M; r++ {
+			chain = append(chain, c.Index(r, band, 0, k))
+		}
+		for col := 0; col < c.N; col++ {
+			chain = append(chain, c.Index(band, col, 1, k))
+		}
+		sortInts(chain)
+		vm[i] = chain
+	}
+	return vm, nil
+}
+
+// CliqueEmbeddingQubits returns the number of physical qubits the
+// deterministic clique layout uses for K_n on topology c, without building
+// the embedding.
+func CliqueEmbeddingQubits(n int, c graph.Chimera) int {
+	return n * (c.M + c.N)
+}

@@ -1,0 +1,86 @@
+package embed
+
+import (
+	"testing"
+
+	"github.com/splitexec/splitexec/internal/graph"
+)
+
+func TestCliqueEmbeddingValid(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8, 16} {
+		c := graph.Chimera{M: 4, N: 4, L: 4}
+		vm, err := CliqueEmbedding(n, c)
+		if err != nil {
+			t.Fatalf("K%d: %v", n, err)
+		}
+		g := graph.Complete(n)
+		if err := graph.ValidateMinor(g, c.Graph(), vm, true); err != nil {
+			t.Fatalf("K%d: invalid: %v", n, err)
+		}
+	}
+}
+
+func TestCliqueEmbeddingSize(t *testing.T) {
+	c := graph.Chimera{M: 4, N: 4, L: 4}
+	vm, err := CliqueEmbedding(10, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := vm.PhysicalQubits(), CliqueEmbeddingQubits(10, c); got != want {
+		t.Errorf("qubits = %d, want %d", got, want)
+	}
+	// Each chain uses M+N qubits.
+	if vm.MaxChainLength() != c.M+c.N {
+		t.Errorf("chain length = %d, want %d", vm.MaxChainLength(), c.M+c.N)
+	}
+}
+
+func TestCliqueEmbeddingLimits(t *testing.T) {
+	c := graph.Chimera{M: 4, N: 4, L: 4}
+	if max := MaxCliqueSize(c); max != 16 {
+		t.Errorf("MaxCliqueSize = %d, want 16", max)
+	}
+	if _, err := CliqueEmbedding(17, c); err == nil {
+		t.Error("oversize clique accepted")
+	}
+	if _, err := CliqueEmbedding(-1, c); err == nil {
+		t.Error("negative clique accepted")
+	}
+	if vm, err := CliqueEmbedding(0, c); err != nil || len(vm) != 0 {
+		t.Errorf("K0: vm=%v err=%v", vm, err)
+	}
+}
+
+func TestCliqueEmbeddingMaxOnDW2X(t *testing.T) {
+	// The full-width clique on the paper's 1152-qubit processor: K48.
+	c := graph.DW2X()
+	n := MaxCliqueSize(c)
+	if n != 48 {
+		t.Fatalf("DW2X max clique = %d, want 48", n)
+	}
+	vm, err := CliqueEmbedding(n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.ValidateMinor(graph.Complete(n), c.Graph(), vm, true); err != nil {
+		t.Fatal(err)
+	}
+	// ~n² scaling: K48 uses 48·24 = 1152 qubits = the whole processor.
+	if vm.PhysicalQubits() != 1152 {
+		t.Errorf("qubits = %d, want 1152", vm.PhysicalQubits())
+	}
+}
+
+func TestCliqueEmbeddingRectangular(t *testing.T) {
+	c := graph.Chimera{M: 2, N: 3, L: 4}
+	if max := MaxCliqueSize(c); max != 8 {
+		t.Errorf("MaxCliqueSize C(2,3,4) = %d, want 8 (L·min)", max)
+	}
+	vm, err := CliqueEmbedding(8, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.ValidateMinor(graph.Complete(8), c.Graph(), vm, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+package embed
+
+import "math"
+
+// WorstCaseCMROps returns the operation count the paper's stage-1 ASPEN
+// model charges for minor embedding (Fig. 6):
+//
+//	EmbeddingOps = (EG + NG·log NG) · (2·EH) · NH · NG
+//
+// where NH/EH are the vertex/edge counts of the logical input graph and
+// NG/EG those of the hardware graph. This is the worst-case bound of the
+// Cai–Macready–Roy heuristic: one Dijkstra run costs EG + NG·log NG, each
+// logical edge induces up to two chain reroutes, and up to NH·NG refinement
+// combinations are explored.
+func WorstCaseCMROps(nh, eh, ng, eg int) float64 {
+	dijkstra := float64(eg) + float64(ng)*math.Log(float64(ng))
+	return dijkstra * float64(2*eh) * float64(nh) * float64(ng)
+}
+
+// AverageCaseCMROps returns the empirical average-case scaling Cai et al.
+// observed for fixed hardware — linear in the input size with the Dijkstra
+// cost as the per-vertex constant (paper §2.2: "the average case complexity
+// was observed ... to be significantly less, i.e., O(n)").
+func AverageCaseCMROps(nh, ng, eg int) float64 {
+	dijkstra := float64(eg) + float64(ng)*math.Log(float64(ng))
+	return dijkstra * float64(nh)
+}
+
+// ObservedOps converts embedding run statistics into an effective operation
+// count comparable with the model's: relaxed edges plus the heap-log factor
+// per Dijkstra run.
+func ObservedOps(s Stats, ng int) float64 {
+	logN := math.Log(math.Max(2, float64(ng)))
+	return float64(s.RelaxedEdges) + float64(s.DijkstraRuns)*float64(ng)*logN
+}

@@ -1,0 +1,248 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/splitexec/splitexec/internal/graph"
+	"github.com/splitexec/splitexec/internal/qubo"
+)
+
+// buildEmbedded creates a small end-to-end fixture: random Ising on C5
+// embedded into C(2,2,4) with parameters set.
+func buildEmbedded(t *testing.T, seed int64) (*qubo.Ising, *Embedded, *graph.Graph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.Cycle(5)
+	logical := qubo.RandomIsing(g, 1, 1, rng)
+	hw := graph.Chimera{M: 2, N: 2, L: 4}.Graph()
+	vm, _, err := FindEmbedding(g, hw, rng, Options{MaxTries: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := SetParameters(logical, vm, hw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return logical, em, hw
+}
+
+func TestSetParametersChainStrengthDefault(t *testing.T) {
+	logical, em, _ := buildEmbedded(t, 1)
+	want := DefaultChainStrengthFactor * logical.MaxAbsCoefficient()
+	if em.ChainStrength != want {
+		t.Errorf("chain strength = %v, want %v", em.ChainStrength, want)
+	}
+}
+
+// Energy consistency: for any logical state s, the hardware energy of the
+// lifted state must equal the logical energy plus the constant chain bonus
+// -chainStrength × (total intra-chain couplers).
+func TestSetParametersEnergyConsistency(t *testing.T) {
+	logical, em, hw := buildEmbedded(t, 2)
+	chainCouplers := 0
+	for _, edges := range graph.ChainEdges(hw, em.VM) {
+		chainCouplers += len(edges)
+	}
+	bonus := -em.ChainStrength * float64(chainCouplers)
+	s := make([]int8, logical.Dim())
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		for i := range s {
+			s[i] = int8(2*rng.Intn(2) - 1)
+		}
+		eL := logical.Energy(s)
+		eP := em.Model.Energy(em.EmbedSpins(s))
+		if math.Abs(eP-(eL+bonus)) > 1e-9 {
+			t.Fatalf("trial %d: physical %v != logical %v + bonus %v", trial, eP, eL, bonus)
+		}
+	}
+}
+
+// Ground-state preservation: with sufficient chain strength, the hardware
+// ground state unembeds to a logical ground state.
+func TestSetParametersGroundStatePreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.Complete(4)
+	logical := qubo.RandomIsing(g, 1, 1, rng)
+	hw := graph.Chimera{M: 2, N: 2, L: 4}.Graph()
+	vm, _, err := FindEmbedding(g, hw, rng, Options{MaxTries: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := SetParameters(logical, vm, hw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restrict brute force to the used qubits: enumerate logical states and
+	// confirm the lifted logical ground state minimizes hardware energy over
+	// all lifted states (chains aligned).
+	_, eLBest := logical.BruteForce()
+	bestLifted := math.Inf(1)
+	s := make([]int8, logical.Dim())
+	for mask := 0; mask < 1<<4; mask++ {
+		for i := 0; i < 4; i++ {
+			if (mask>>uint(i))&1 == 1 {
+				s[i] = 1
+			} else {
+				s[i] = -1
+			}
+		}
+		eP := em.Model.Energy(em.EmbedSpins(s))
+		if eP < bestLifted {
+			bestLifted = eP
+		}
+		if math.Abs(logical.Energy(s)-eLBest) < 1e-9 {
+			// ground state: its lifted energy must equal the lifted minimum
+			// (checked after loop via bestLifted).
+			defer func(e float64) {
+				if math.Abs(e-bestLifted) > 1e-9 {
+					t.Errorf("lifted ground-state energy %v != lifted min %v", e, bestLifted)
+				}
+			}(eP)
+		}
+	}
+}
+
+func TestSetParametersBiasConservation(t *testing.T) {
+	logical, em, _ := buildEmbedded(t, 5)
+	// Sum of physical biases over a chain equals the logical bias.
+	for v := 0; v < logical.Dim(); v++ {
+		sum := 0.0
+		for _, q := range em.VM[v] {
+			sum += em.Model.H[q]
+		}
+		if math.Abs(sum-logical.H[v]) > 1e-9 {
+			t.Errorf("spin %d: chain bias sum %v != h %v", v, sum, logical.H[v])
+		}
+	}
+}
+
+func TestSetParametersCouplingConservation(t *testing.T) {
+	logical, em, hw := buildEmbedded(t, 6)
+	for _, e := range logical.Edges() {
+		sum := 0.0
+		for _, c := range couplersBetween(hw, em.VM[e.U], em.VM[e.V]) {
+			sum += em.Model.Coupling(c.U, c.V)
+		}
+		if math.Abs(sum-logical.Coupling(e.U, e.V)) > 1e-9 {
+			t.Errorf("edge %v: coupler sum %v != J %v", e, sum, logical.Coupling(e.U, e.V))
+		}
+	}
+}
+
+func TestSetParametersRejectsInvalidModel(t *testing.T) {
+	logical := qubo.NewIsing(2)
+	logical.SetCoupling(0, 1, 1)
+	hw := graph.Chimera{M: 1, N: 1, L: 4}.Graph()
+	// Chains not adjacent: {0} is left shore pos 0, {1} left shore pos 1.
+	vm := graph.VertexModel{0: {0}, 1: {1}}
+	if _, err := SetParameters(logical, vm, hw, 0); err == nil {
+		t.Error("invalid vertex model accepted")
+	}
+}
+
+func TestSetParametersAllZeroProblem(t *testing.T) {
+	logical := qubo.NewIsing(2)
+	logical.SetCoupling(0, 1, 0) // deleted; edgeless model
+	hw := graph.Chimera{M: 1, N: 1, L: 4}.Graph()
+	vm := graph.VertexModel{0: {0}, 1: {1}}
+	em, err := SetParameters(logical, vm, hw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em.ChainStrength != 1 {
+		t.Errorf("zero-problem chain strength = %v, want floor 1", em.ChainStrength)
+	}
+}
+
+func TestUnembedMajorityVote(t *testing.T) {
+	em := &Embedded{
+		Model:      qubo.NewIsing(6),
+		VM:         graph.VertexModel{0: {0, 1, 2}, 1: {3, 4}},
+		LogicalDim: 2,
+	}
+	phys := []int8{1, 1, -1, -1, -1, 1}
+	logical, broken := em.Unembed(phys)
+	if logical[0] != 1 || logical[1] != -1 {
+		t.Errorf("logical = %v, want [1 -1]", logical)
+	}
+	if broken != 1 {
+		t.Errorf("broken = %d, want 1 (chain 0 disagreed)", broken)
+	}
+	// Aligned chains: no breakage, tie impossible.
+	phys = []int8{-1, -1, -1, 1, 1, -1}
+	logical, broken = em.Unembed(phys)
+	if logical[0] != -1 || logical[1] != 1 || broken != 0 {
+		t.Errorf("logical = %v broken = %d", logical, broken)
+	}
+}
+
+func TestUnembedTieBreaksPositive(t *testing.T) {
+	em := &Embedded{
+		Model:      qubo.NewIsing(2),
+		VM:         graph.VertexModel{0: {0, 1}},
+		LogicalDim: 1,
+	}
+	logical, broken := em.Unembed([]int8{1, -1})
+	if logical[0] != 1 || broken != 1 {
+		t.Errorf("tie: logical=%v broken=%d", logical, broken)
+	}
+}
+
+func TestQuantizeReducesPrecision(t *testing.T) {
+	m := qubo.NewIsing(2)
+	m.H[0] = 0.123456789
+	m.H[1] = -0.987654321
+	m.SetCoupling(0, 1, 0.555555)
+	maxErr := Quantize(m, 4, 1) // 4 bits over [-1,1]: step = 2/15
+	if maxErr <= 0 {
+		t.Error("expected nonzero rounding error")
+	}
+	step := 2.0 / 15
+	for _, h := range m.H {
+		ratio := (h + 1) / step
+		if math.Abs(ratio-math.Round(ratio)) > 1e-9 {
+			t.Errorf("h = %v not on the quantization grid", h)
+		}
+	}
+	if maxErr > step/2+1e-12 {
+		t.Errorf("max error %v exceeds half step %v", maxErr, step/2)
+	}
+}
+
+func TestQuantizeClampsOutOfRange(t *testing.T) {
+	m := qubo.NewIsing(1)
+	m.H[0] = 5
+	Quantize(m, 8, 1)
+	if m.H[0] != 1 {
+		t.Errorf("out-of-range bias = %v, want clamp to 1", m.H[0])
+	}
+}
+
+func TestQuantizePanicsOnBadArgs(t *testing.T) {
+	m := qubo.NewIsing(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("bits=0 did not panic")
+		}
+	}()
+	Quantize(m, 0, 1)
+}
+
+func TestQuantizeHighPrecisionNearLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.Cycle(6)
+	m := qubo.RandomIsing(g, 0.5, 0.5, rng)
+	orig := m.Clone()
+	maxErr := Quantize(m, 24, 1)
+	if maxErr > 1e-6 {
+		t.Errorf("24-bit quantization error %v too large", maxErr)
+	}
+	for i := range orig.H {
+		if math.Abs(orig.H[i]-m.H[i]) > 1e-6 {
+			t.Fatal("bias drifted")
+		}
+	}
+}

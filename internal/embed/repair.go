@@ -1,0 +1,79 @@
+package embed
+
+import (
+	"github.com/splitexec/splitexec/internal/qubo"
+)
+
+// UnembedRepair decodes a hardware readout like Unembed, then repairs the
+// logical values of *broken* chains by greedy energy descent on the logical
+// model: a broken chain carries no reliable information, so its spin is
+// chosen to minimize the logical energy given its neighbors instead of by
+// majority vote. Intact chains are never altered. Returns the repaired
+// logical state, the number of broken chains and the number of repair flips
+// applied.
+//
+// This is the post-processing refinement the paper's stage 3 leaves open
+// ("the readout ... may undergo additional post-processing to construct a
+// solution to the original problem").
+func (em *Embedded) UnembedRepair(physical []int8, logical *qubo.Ising) (spins []int8, broken, flips int) {
+	spins, broken = em.Unembed(physical)
+	if broken == 0 {
+		return spins, 0, 0
+	}
+	// Identify broken chains.
+	brokenSpin := make([]bool, em.LogicalDim)
+	for i := 0; i < em.LogicalDim; i++ {
+		chain := em.VM[i]
+		if len(chain) < 2 {
+			continue
+		}
+		sum := 0
+		for _, q := range chain {
+			sum += int(physical[q])
+		}
+		if sum != len(chain) && sum != -len(chain) {
+			brokenSpin[i] = true
+		}
+	}
+	// Greedy descent restricted to broken spins: flip any that lowers the
+	// logical energy; repeat to a fixed point (bounded by dim² flips since
+	// energy strictly decreases and each pass flips at least one).
+	adj := logicalAdjacency(logical)
+	for pass := 0; pass < em.LogicalDim; pass++ {
+		improved := false
+		for i := 0; i < em.LogicalDim; i++ {
+			if !brokenSpin[i] {
+				continue
+			}
+			local := logical.H[i]
+			for _, nb := range adj[i] {
+				local += nb.j * float64(spins[nb.v])
+			}
+			// ΔE for flipping spin i is -2·s_i·local; flip when negative.
+			if -2*float64(spins[i])*local < 0 {
+				spins[i] = -spins[i]
+				flips++
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return spins, broken, flips
+}
+
+type logicalNeighbor struct {
+	v int
+	j float64
+}
+
+func logicalAdjacency(m *qubo.Ising) [][]logicalNeighbor {
+	adj := make([][]logicalNeighbor, m.Dim())
+	for _, e := range m.Edges() {
+		j := m.Coupling(e.U, e.V)
+		adj[e.U] = append(adj[e.U], logicalNeighbor{v: e.V, j: j})
+		adj[e.V] = append(adj[e.V], logicalNeighbor{v: e.U, j: j})
+	}
+	return adj
+}

@@ -1,0 +1,134 @@
+package embed
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/splitexec/splitexec/internal/graph"
+	"github.com/splitexec/splitexec/internal/qubo"
+)
+
+// repairFixture builds a 3-spin ferromagnetic triangle embedded with one
+// 2-qubit chain, so a broken chain can be constructed by hand.
+func repairFixture(t *testing.T) (*qubo.Ising, *Embedded) {
+	t.Helper()
+	c := graph.Chimera{M: 1, N: 1, L: 4}
+	hw := c.Graph()
+	logical := qubo.NewIsing(3)
+	logical.SetCoupling(0, 1, -1)
+	logical.SetCoupling(1, 2, -1)
+	logical.SetCoupling(0, 2, -1)
+	vm := graph.VertexModel{
+		0: {c.Index(0, 0, 0, 0)},
+		1: {c.Index(0, 0, 1, 0)},
+		2: {c.Index(0, 0, 0, 1), c.Index(0, 0, 1, 1)},
+	}
+	em, err := SetParameters(logical, vm, hw, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return logical, em
+}
+
+func TestUnembedRepairNoBreakIsIdentity(t *testing.T) {
+	logical, em := repairFixture(t)
+	phys := em.EmbedSpins([]int8{1, 1, 1})
+	spins, broken, flips := em.UnembedRepair(phys, logical)
+	if broken != 0 || flips != 0 {
+		t.Errorf("clean readout: broken=%d flips=%d", broken, flips)
+	}
+	for _, s := range spins {
+		if s != 1 {
+			t.Fatalf("spins = %v", spins)
+		}
+	}
+}
+
+func TestUnembedRepairFixesBrokenChain(t *testing.T) {
+	logical, em := repairFixture(t)
+	c := graph.Chimera{M: 1, N: 1, L: 4}
+	// Spins 0 and 1 read -1; chain of spin 2 is split (+1, -1). Majority
+	// vote ties toward +1, which is wrong for the ferromagnet; repair must
+	// flip it to -1 to align with its neighbors.
+	phys := make([]int8, 8)
+	for i := range phys {
+		phys[i] = 1
+	}
+	phys[c.Index(0, 0, 0, 0)] = -1 // spin 0
+	phys[c.Index(0, 0, 1, 0)] = -1 // spin 1
+	phys[c.Index(0, 0, 0, 1)] = 1  // spin 2 chain half
+	phys[c.Index(0, 0, 1, 1)] = -1 // spin 2 chain half
+
+	// Plain majority vote gets spin 2 wrong (tie → +1).
+	voted, broken := em.Unembed(phys)
+	if broken != 1 {
+		t.Fatalf("broken = %d, want 1", broken)
+	}
+	if voted[2] != 1 {
+		t.Skip("tie-break convention changed; fixture no longer exercises repair")
+	}
+
+	repaired, broken2, flips := em.UnembedRepair(phys, logical)
+	if broken2 != 1 {
+		t.Errorf("repair broken = %d", broken2)
+	}
+	if flips < 1 {
+		t.Error("no repair flips applied")
+	}
+	if repaired[2] != -1 {
+		t.Errorf("spin 2 = %d after repair, want -1", repaired[2])
+	}
+	if logical.Energy(repaired) >= logical.Energy(voted) {
+		t.Errorf("repair did not lower energy: %v -> %v",
+			logical.Energy(voted), logical.Energy(repaired))
+	}
+}
+
+func TestUnembedRepairNeverWorseThanVote(t *testing.T) {
+	// Random readouts: repair must never produce higher logical energy
+	// than plain majority vote.
+	rng := rand.New(rand.NewSource(9))
+	g := graph.Cycle(6)
+	logical := qubo.RandomIsing(g, 1, 1, rng)
+	hw := graph.Chimera{M: 2, N: 2, L: 4}.Graph()
+	vm, _, err := FindEmbedding(g, hw, rng, Options{MaxTries: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := SetParameters(logical, vm, hw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys := make([]int8, hw.Order())
+	for trial := 0; trial < 50; trial++ {
+		for i := range phys {
+			phys[i] = int8(2*rng.Intn(2) - 1)
+		}
+		voted, _ := em.Unembed(phys)
+		repaired, _, _ := em.UnembedRepair(phys, logical)
+		if logical.Energy(repaired) > logical.Energy(voted)+1e-9 {
+			t.Fatalf("trial %d: repair worsened energy %v -> %v",
+				trial, logical.Energy(voted), logical.Energy(repaired))
+		}
+	}
+}
+
+func TestUnembedRepairOnlyTouchesBrokenChains(t *testing.T) {
+	logical, em := repairFixture(t)
+	c := graph.Chimera{M: 1, N: 1, L: 4}
+	// All chains intact, but the global state is frustrated (spin 1
+	// misaligned). Repair must NOT fix intact chains even though flipping
+	// would lower energy.
+	phys := make([]int8, 8)
+	for i := range phys {
+		phys[i] = 1
+	}
+	phys[c.Index(0, 0, 1, 0)] = -1 // spin 1 intact but misaligned
+	spins, broken, flips := em.UnembedRepair(phys, logical)
+	if broken != 0 || flips != 0 {
+		t.Errorf("intact readout repaired: broken=%d flips=%d", broken, flips)
+	}
+	if spins[1] != -1 {
+		t.Errorf("intact chain altered: %v", spins)
+	}
+}

@@ -1,0 +1,108 @@
+package embed
+
+import (
+	"sort"
+
+	"github.com/splitexec/splitexec/internal/graph"
+)
+
+// SubgraphEmbedding searches for a one-to-one embedding of g into hw — every
+// chain is a single hardware vertex, so no chain couplings are needed. This
+// is the degenerate "smallest possible minor" found by the brute-force
+// subgraph-isomorphism approach the paper describes as suitable for offline
+// precomputation. It returns nil when g is not a subgraph of hw (which is
+// typical whenever g has a vertex of degree above hw's maximum degree, e.g.
+// 6 for Chimera).
+//
+// The search is exponential in the worst case; intended for small inputs.
+// maxNodes bounds the backtracking-node budget (<= 0 means a default of
+// 2,000,000 nodes); exceeding it returns nil.
+func SubgraphEmbedding(g, hw *graph.Graph, maxNodes int) graph.VertexModel {
+	if maxNodes <= 0 {
+		maxNodes = 2_000_000
+	}
+	n := g.Order()
+	if n == 0 {
+		return graph.VertexModel{}
+	}
+	if n > hw.Order() || g.MaxDegree() > hw.MaxDegree() {
+		return nil
+	}
+	// Order logical vertices: descending degree, ties broken by connectivity
+	// to already-placed vertices (simple static approximation).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return g.Degree(order[a]) > g.Degree(order[b]) })
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	used := make([]bool, hw.Order())
+	budget := maxNodes
+
+	var try func(idx int) bool
+	try = func(idx int) bool {
+		if idx == n {
+			return true
+		}
+		if budget <= 0 {
+			return false
+		}
+		v := order[idx]
+		// Candidate hardware vertices: if some neighbor of v is already
+		// placed, only the hardware neighbors of its image are candidates.
+		var candidates []int
+		for _, u := range g.Neighbors(v) {
+			if assign[u] != -1 {
+				candidates = hw.Neighbors(assign[u])
+				break
+			}
+		}
+		if candidates == nil {
+			candidates = allVertices(hw)
+		}
+		for _, w := range candidates {
+			if used[w] || hw.Degree(w) < g.Degree(v) {
+				continue
+			}
+			ok := true
+			for _, u := range g.Neighbors(v) {
+				if assign[u] != -1 && !hw.HasEdge(w, assign[u]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			budget--
+			assign[v] = w
+			used[w] = true
+			if try(idx + 1) {
+				return true
+			}
+			assign[v] = -1
+			used[w] = false
+		}
+		return false
+	}
+	if !try(0) {
+		return nil
+	}
+	vm := make(graph.VertexModel, n)
+	for v, w := range assign {
+		vm[v] = []int{w}
+	}
+	return vm
+}
+
+func allVertices(g *graph.Graph) []int {
+	vs := make([]int, g.Order())
+	for i := range vs {
+		vs[i] = i
+	}
+	return vs
+}

@@ -1,0 +1,104 @@
+package embed
+
+import (
+	"math"
+	"testing"
+
+	"github.com/splitexec/splitexec/internal/graph"
+)
+
+func TestSubgraphEmbeddingCycleIntoChimera(t *testing.T) {
+	g := graph.Cycle(8)
+	hw := graph.Chimera{M: 2, N: 2, L: 4}.Graph()
+	vm := SubgraphEmbedding(g, hw, 0)
+	if vm == nil {
+		t.Fatal("C8 should embed 1:1 into C(2,2,4)")
+	}
+	if err := graph.ValidateMinor(g, hw, vm, true); err != nil {
+		t.Fatal(err)
+	}
+	if vm.MaxChainLength() != 1 {
+		t.Errorf("subgraph embedding produced chains: %v", vm)
+	}
+}
+
+func TestSubgraphEmbeddingK44IntoCell(t *testing.T) {
+	// One Chimera unit cell IS K_{4,4}.
+	g := graph.CompleteBipartite(4, 4)
+	hw := graph.Chimera{M: 1, N: 1, L: 4}.Graph()
+	vm := SubgraphEmbedding(g, hw, 0)
+	if vm == nil {
+		t.Fatal("K44 should embed 1:1 into a unit cell")
+	}
+	if err := graph.ValidateMinor(g, hw, vm, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubgraphEmbeddingDegreeReject(t *testing.T) {
+	// K7 has degree 6 but also triangles; a unit cell (bipartite) has none.
+	g := graph.Complete(3)
+	hw := graph.Chimera{M: 1, N: 1, L: 4}.Graph()
+	if vm := SubgraphEmbedding(g, hw, 0); vm != nil {
+		t.Errorf("triangle embedded 1:1 into bipartite hardware: %v", vm)
+	}
+	// Degree pruning: star with hub degree 7 > max degree 6.
+	if vm := SubgraphEmbedding(graph.Star(8), hw, 0); vm != nil {
+		t.Error("degree-7 hub embedded into degree-6 hardware")
+	}
+}
+
+func TestSubgraphEmbeddingEmpty(t *testing.T) {
+	hw := graph.Chimera{M: 1, N: 1, L: 4}.Graph()
+	vm := SubgraphEmbedding(graph.New(0), hw, 0)
+	if vm == nil || len(vm) != 0 {
+		t.Errorf("empty graph: %v", vm)
+	}
+}
+
+func TestSubgraphEmbeddingBudgetExhaustion(t *testing.T) {
+	g := graph.Grid(3, 3)
+	hw := graph.Chimera{M: 3, N: 3, L: 4}.Graph()
+	if vm := SubgraphEmbedding(g, hw, 1); vm != nil {
+		t.Error("1-node budget should fail")
+	}
+}
+
+func TestWorstCaseCMROpsMatchesFig6(t *testing.T) {
+	// Fig. 6 constants for LPS = n: NH = n, EH = n(n-1)/2, M = N = 12,
+	// NG = 1152, EG = 4*(2*144-24) + 16*144 = 3360.
+	nh := 10
+	eh := nh * (nh - 1) / 2
+	ng, eg := 1152, 3360
+	got := WorstCaseCMROps(nh, eh, ng, eg)
+	// Compute the paper formula directly.
+	dijkstra := 3360.0 + 1152.0*math.Log(1152)
+	want := dijkstra * float64(2*eh) * float64(nh) * float64(ng)
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("ops = %v, want %v", got, want)
+	}
+	if got <= 0 {
+		t.Error("ops must be positive")
+	}
+}
+
+func TestOpsMonotonicity(t *testing.T) {
+	prev := 0.0
+	for n := 2; n <= 40; n += 2 {
+		ops := WorstCaseCMROps(n, n*(n-1)/2, 1152, 3360)
+		if ops <= prev {
+			t.Fatalf("worst-case ops not increasing at n=%d", n)
+		}
+		prev = ops
+	}
+	if AverageCaseCMROps(20, 1152, 3360) >= WorstCaseCMROps(20, 190, 1152, 3360) {
+		t.Error("average case should be far below worst case")
+	}
+}
+
+func TestObservedOpsPositive(t *testing.T) {
+	s := Stats{DijkstraRuns: 10, RelaxedEdges: 5000}
+	if ObservedOps(s, 512) <= 5000 {
+		t.Error("observed ops should include heap factor")
+	}
+}

@@ -1,0 +1,186 @@
+// Package gi reduces graph isomorphism to QUBO and solves it on the
+// annealer substrate.
+//
+// The paper closes §3.3 with the observation that off-line embedding lookup
+// "would require some variant of graph isomorphism to identify which
+// embedding to apply. The graph isomorphism problem has recently been shown
+// to be solvable using adiabatic quantum computing [11], [39], raising the
+// prospects the D-Wave processor could be used to program the D-Wave
+// processor!" This package makes that loop executable: a Hen–Young-style
+// permutation encoding of GI as a QUBO (Reduce), an annealer-backed decision
+// procedure with an exact verification step (AreIsomorphic), and a
+// lookup-table matcher (Match) that identifies which cached embedding
+// applies to an incoming input graph.
+package gi
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/splitexec/splitexec/internal/graph"
+	"github.com/splitexec/splitexec/internal/qubo"
+)
+
+// Reduction is a GI instance encoded as a QUBO over n² one-hot assignment
+// variables x[i*n+a] = 1 iff vertex i of G maps to vertex a of H.
+type Reduction struct {
+	Q      *qubo.QUBO
+	N      int     // vertex count of each graph
+	Offset float64 // constant energy: ground energy of Q is -Offset iff G ≅ H
+}
+
+// Reduce encodes "is G isomorphic to H?" as a QUBO. Both graphs must have
+// the same order n; the QUBO has n² variables. The energy decomposes as
+//
+//	E = P·Σ_i (Σ_a x_ia - 1)² + P·Σ_a (Σ_i x_ia - 1)² + P·Σ mismatch x_ia·x_jb,
+//
+// where the mismatch sum ranges over vertex pairs i<j of G and a≠b of H
+// whose adjacency disagrees between the graphs. Every term is non-negative,
+// and E = 0 exactly when x encodes a permutation mapping edges to edges and
+// non-edges to non-edges — an isomorphism. Since the two quadratic one-hot
+// penalties expand with constant 2nP, Reduce stores that constant in Offset
+// and the returned QUBO satisfies: min E_Q = -Offset iff G ≅ H.
+//
+// The penalty P must be positive; 1 is sufficient because all terms share
+// the same scale.
+func Reduce(g, h *graph.Graph, penalty float64) (*Reduction, error) {
+	if g == nil || h == nil {
+		return nil, errors.New("gi: nil graph")
+	}
+	n := g.Order()
+	if n != h.Order() {
+		return nil, fmt.Errorf("gi: order mismatch %d vs %d", n, h.Order())
+	}
+	if n == 0 {
+		return nil, errors.New("gi: empty graphs")
+	}
+	if penalty <= 0 {
+		return nil, fmt.Errorf("gi: penalty %g must be positive", penalty)
+	}
+	P := penalty
+	q := qubo.NewQUBO(n * n)
+	idx := func(i, a int) int { return i*n + a }
+
+	// Row one-hot: P·(Σ_a x_ia - 1)² = P·(Σ_a x_ia² - 2Σ_a x_ia + 2Σ_{a<b} x_ia x_ib + 1)
+	// with x²=x: diagonal -P, pair +2P, constant +P.
+	for i := 0; i < n; i++ {
+		for a := 0; a < n; a++ {
+			q.Add(idx(i, a), idx(i, a), -P)
+			for b := a + 1; b < n; b++ {
+				q.Add(idx(i, a), idx(i, b), 2*P)
+			}
+		}
+	}
+	// Column one-hot, symmetric in the first index.
+	for a := 0; a < n; a++ {
+		for i := 0; i < n; i++ {
+			q.Add(idx(i, a), idx(i, a), -P)
+			for j := i + 1; j < n; j++ {
+				q.Add(idx(i, a), idx(j, a), 2*P)
+			}
+		}
+	}
+	// Adjacency-consistency: penalize mapping a G-edge onto an H-non-edge or
+	// a G-non-edge onto an H-edge.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ge := g.HasEdge(i, j)
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					if a == b {
+						continue
+					}
+					if ge != h.HasEdge(a, b) {
+						q.Add(idx(i, a), idx(j, b), P)
+					}
+				}
+			}
+		}
+	}
+	return &Reduction{Q: q, N: n, Offset: 2 * float64(n) * P}, nil
+}
+
+// Energy returns the reduction energy of an assignment including the stored
+// constant, so 0 means "valid isomorphism".
+func (r *Reduction) Energy(b []int8) float64 {
+	return r.Q.Energy(b) + r.Offset
+}
+
+// DecodePermutation extracts the vertex mapping from an assignment of the
+// reduction's variables. It fails unless the assignment is an exact
+// permutation matrix (every row and column one-hot).
+func (r *Reduction) DecodePermutation(b []int8) ([]int, error) {
+	if len(b) != r.N*r.N {
+		return nil, fmt.Errorf("gi: assignment length %d, want %d", len(b), r.N*r.N)
+	}
+	perm := make([]int, r.N)
+	usedCol := make([]bool, r.N)
+	for i := 0; i < r.N; i++ {
+		found := -1
+		for a := 0; a < r.N; a++ {
+			if b[i*r.N+a] == 1 {
+				if found >= 0 {
+					return nil, fmt.Errorf("gi: row %d maps to both %d and %d", i, found, a)
+				}
+				found = a
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("gi: row %d unmapped", i)
+		}
+		if usedCol[found] {
+			return nil, fmt.Errorf("gi: column %d used twice", found)
+		}
+		usedCol[found] = true
+		perm[i] = found
+	}
+	return perm, nil
+}
+
+// VerifyMapping checks exactly (no annealer trust involved) that perm is an
+// isomorphism from g onto h: a bijection preserving adjacency both ways.
+func VerifyMapping(g, h *graph.Graph, perm []int) error {
+	n := g.Order()
+	if h.Order() != n || len(perm) != n {
+		return fmt.Errorf("gi: size mismatch (g=%d h=%d perm=%d)", n, h.Order(), len(perm))
+	}
+	seen := make([]bool, n)
+	for _, a := range perm {
+		if a < 0 || a >= n {
+			return fmt.Errorf("gi: image %d out of range", a)
+		}
+		if seen[a] {
+			return fmt.Errorf("gi: image %d repeated", a)
+		}
+		seen[a] = true
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if g.HasEdge(i, j) != h.HasEdge(perm[i], perm[j]) {
+				return fmt.Errorf("gi: adjacency of (%d,%d) not preserved", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Relabel returns the image of g under a permutation: vertex i of g becomes
+// perm[i]. It is the canonical generator of isomorphic test pairs.
+func Relabel(g *graph.Graph, perm []int) (*graph.Graph, error) {
+	n := g.Order()
+	if len(perm) != n {
+		return nil, fmt.Errorf("gi: permutation length %d, want %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, a := range perm {
+		if a < 0 || a >= n || seen[a] {
+			return nil, errors.New("gi: not a permutation")
+		}
+		seen[a] = true
+	}
+	h := graph.New(n)
+	for _, e := range g.Edges() {
+		h.AddEdge(perm[e.U], perm[e.V])
+	}
+	return h, nil
+}

@@ -1,0 +1,142 @@
+package gi
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/splitexec/splitexec/internal/anneal"
+	"github.com/splitexec/splitexec/internal/graph"
+	"github.com/splitexec/splitexec/internal/qubo"
+)
+
+// Options configure the annealer-backed GI decision procedure.
+type Options struct {
+	// Penalty is the QUBO constraint weight (default 1).
+	Penalty float64
+	// Reads is the number of annealing repetitions per attempt (default 200).
+	Reads int
+	// Sampler tunes the underlying annealer; the zero value uses its
+	// defaults scaled to the model.
+	Sampler anneal.SamplerOptions
+	// MaxN caps the instance size: the reduction has n² variables, so the
+	// annealer-backed path is intended for the small input graphs an
+	// embedding lookup table holds (default 12).
+	MaxN int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Penalty <= 0 {
+		o.Penalty = 1
+	}
+	if o.Reads <= 0 {
+		o.Reads = 200
+	}
+	if o.MaxN <= 0 {
+		o.MaxN = 12
+	}
+	if o.Sampler.Sweeps <= 0 {
+		o.Sampler.Sweeps = 256
+	}
+	return o
+}
+
+// Result reports one annealer-backed GI decision.
+type Result struct {
+	Isomorphic bool
+	Perm       []int // verified isomorphism when Isomorphic, else nil
+	Reads      int   // annealing repetitions consumed
+	Pruned     bool  // decided by classical invariants, no annealing needed
+}
+
+// AreIsomorphic decides whether g ≅ h with the annealer substrate. The
+// procedure mirrors how a split-execution host would use the QPU:
+//
+//  1. cheap classical invariants (order, size, degree sequence) prune
+//     obvious non-isomorphs without touching the QPU;
+//  2. otherwise the GI→QUBO reduction is annealed, and every readout whose
+//     energy reaches the reduction floor is decoded and *exactly verified*
+//     — the probabilistic device never gets the final word.
+//
+// A negative answer from the annealer is "no certificate found within
+// Reads" rather than a proof; callers wanting certainty on small graphs can
+// cross-check with graph.Isomorphic (the deterministic baseline). rng may
+// not be nil.
+func AreIsomorphic(g, h *graph.Graph, opts Options, rng *rand.Rand) (Result, error) {
+	if g == nil || h == nil {
+		return Result{}, errors.New("gi: nil graph")
+	}
+	if rng == nil {
+		return Result{}, errors.New("gi: nil rng")
+	}
+	o := opts.withDefaults()
+	if g.Order() != h.Order() || g.Size() != h.Size() || !sameDegrees(g, h) {
+		return Result{Isomorphic: false, Pruned: true}, nil
+	}
+	if g.Order() > o.MaxN {
+		return Result{}, fmt.Errorf("gi: order %d exceeds annealer cap %d", g.Order(), o.MaxN)
+	}
+	red, err := Reduce(g, h, o.Penalty)
+	if err != nil {
+		return Result{}, err
+	}
+	model := qubo.ToIsing(red.Q)
+	sampler := anneal.NewSampler(model, o.Sampler)
+	res := Result{}
+	for r := 0; r < o.Reads; r++ {
+		spins, _ := sampler.Anneal(rng)
+		res.Reads++
+		b := qubo.SpinsToBinary(spins)
+		perm, err := red.DecodePermutation(b)
+		if err != nil {
+			continue
+		}
+		if VerifyMapping(g, h, perm) == nil {
+			res.Isomorphic = true
+			res.Perm = perm
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+func sameDegrees(g, h *graph.Graph) bool {
+	n := g.Order()
+	dg := make([]int, n+1)
+	dh := make([]int, n+1)
+	for v := 0; v < n; v++ {
+		dg[g.Degree(v)]++
+		dh[h.Degree(v)]++
+	}
+	for i := range dg {
+		if dg[i] != dh[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Match finds which candidate graph an input is isomorphic to — the lookup
+// operation an off-line embedding table needs (paper §3.3/§4). Candidates
+// are first filtered by canonical hash; survivors are decided by the
+// annealer-backed procedure. It returns the index of the first match and
+// the verified mapping, or index -1 when no candidate matches.
+func Match(g *graph.Graph, candidates []*graph.Graph, opts Options, rng *rand.Rand) (int, []int, error) {
+	if g == nil {
+		return -1, nil, errors.New("gi: nil graph")
+	}
+	key := graph.CanonicalHash(g)
+	for i, c := range candidates {
+		if c == nil || c.Order() != g.Order() || graph.CanonicalHash(c) != key {
+			continue
+		}
+		res, err := AreIsomorphic(g, c, opts, rng)
+		if err != nil {
+			return -1, nil, err
+		}
+		if res.Isomorphic {
+			return i, res.Perm, nil
+		}
+	}
+	return -1, nil, nil
+}

@@ -1,0 +1,181 @@
+package gi
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/splitexec/splitexec/internal/graph"
+)
+
+func TestAreIsomorphicFindsCertificate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.Cycle(5)
+	h, err := Relabel(g, []int{3, 1, 4, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AreIsomorphic(g, h, Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Isomorphic {
+		t.Fatalf("annealer failed to certify C5 ≅ relabeled C5 in %d reads", res.Reads)
+	}
+	if res.Pruned {
+		t.Fatal("marked pruned despite annealing")
+	}
+	if err := VerifyMapping(g, h, res.Perm); err != nil {
+		t.Fatalf("returned certificate invalid: %v", err)
+	}
+}
+
+func TestAreIsomorphicPrunesByInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Different order.
+	res, err := AreIsomorphic(graph.Cycle(4), graph.Cycle(5), Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Isomorphic || !res.Pruned || res.Reads != 0 {
+		t.Fatalf("order mismatch not pruned: %+v", res)
+	}
+	// Same order, different size.
+	res, err = AreIsomorphic(graph.Cycle(5), graph.Path(5), Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Isomorphic || !res.Pruned {
+		t.Fatalf("size mismatch not pruned: %+v", res)
+	}
+	// Same order and size, different degree sequence.
+	res, err = AreIsomorphic(graph.Star(4), graph.Path(4), Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Isomorphic || !res.Pruned {
+		t.Fatalf("degree mismatch not pruned: %+v", res)
+	}
+}
+
+func TestAreIsomorphicHardNegative(t *testing.T) {
+	// C6 vs two triangles: same order, size, and degree sequence (all 2),
+	// so the invariants cannot prune and the annealer must fail to find a
+	// certificate.
+	rng := rand.New(rand.NewSource(8))
+	c6 := graph.Cycle(6)
+	twoTriangles := graph.New(6)
+	twoTriangles.AddEdge(0, 1)
+	twoTriangles.AddEdge(1, 2)
+	twoTriangles.AddEdge(2, 0)
+	twoTriangles.AddEdge(3, 4)
+	twoTriangles.AddEdge(4, 5)
+	twoTriangles.AddEdge(5, 3)
+	res, err := AreIsomorphic(c6, twoTriangles, Options{Reads: 80}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pruned {
+		t.Fatal("degree-regular pair should not prune")
+	}
+	if res.Isomorphic {
+		t.Fatal("found an isomorphism between C6 and 2×K3")
+	}
+	if res.Reads != 80 {
+		t.Fatalf("consumed %d reads, want all 80", res.Reads)
+	}
+}
+
+func TestAreIsomorphicErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := AreIsomorphic(nil, graph.Cycle(3), Options{}, rng); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := AreIsomorphic(graph.Cycle(3), graph.Cycle(3), Options{}, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	big := graph.Cycle(30)
+	if _, err := AreIsomorphic(big, big, Options{MaxN: 12}, rng); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+}
+
+func TestAreIsomorphicAgreesWithBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 8; trial++ {
+		n := 4 + rng.Intn(3)
+		g := graph.GNP(n, 0.5, rng)
+		var h *graph.Graph
+		if trial%2 == 0 {
+			var err error
+			h, err = Relabel(g, rng.Perm(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			h = graph.GNP(n, 0.5, rng)
+		}
+		want := graph.Isomorphic(g, h)
+		res, err := AreIsomorphic(g, h, Options{Reads: 400}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A positive from the annealer is always sound (verified); on true
+		// isomorphs the reads budget is generous enough at these sizes that
+		// a miss indicates a bug rather than bad luck.
+		if res.Isomorphic != want {
+			t.Fatalf("trial %d (n=%d): annealer=%v baseline=%v", trial, n, res.Isomorphic, want)
+		}
+	}
+}
+
+func TestMatchFindsCachedGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	library := []*graph.Graph{
+		graph.Cycle(6),
+		graph.Complete(5),
+		graph.Grid(2, 3),
+		graph.Star(6),
+	}
+	// Query: a relabeled grid.
+	query, err := Relabel(graph.Grid(2, 3), rng.Perm(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, perm, err := Match(query, library, Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 2 {
+		t.Fatalf("matched index %d, want 2", idx)
+	}
+	if err := VerifyMapping(query, library[2], perm); err != nil {
+		t.Fatalf("match certificate invalid: %v", err)
+	}
+}
+
+func TestMatchMiss(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	library := []*graph.Graph{graph.Cycle(6), graph.Complete(5)}
+	idx, perm, err := Match(graph.Star(7), library, Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != -1 || perm != nil {
+		t.Fatalf("unexpected match: %d %v", idx, perm)
+	}
+}
+
+func TestMatchSkipsNilAndErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	library := []*graph.Graph{nil, graph.Cycle(4)}
+	idx, _, err := Match(graph.Cycle(4), library, Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Fatalf("idx = %d, want 1", idx)
+	}
+	if _, _, err := Match(nil, library, Options{}, rng); err == nil {
+		t.Fatal("nil query accepted")
+	}
+}

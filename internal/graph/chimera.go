@@ -1,0 +1,97 @@
+package graph
+
+import "fmt"
+
+// Chimera describes the C(M,N,L) hardware topology used by the D-Wave
+// processor family: an M-by-N grid of unit cells, each a complete bipartite
+// K_{L,L} graph. Within a cell the "left" shore couples to the "right" shore;
+// left-shore qubits couple vertically to the cell below, right-shore qubits
+// couple horizontally to the cell to the right.
+//
+// The paper's Vesuvius-generation processor is C(8,8,4) (512 qubits); the
+// DW2X referenced in Fig. 6 is C(12,12,4) (1152 qubits).
+type Chimera struct {
+	M, N, L int
+}
+
+// Vesuvius is the 512-qubit C(8,8,4) topology shown in the paper's Fig. 3.
+func Vesuvius() Chimera { return Chimera{M: 8, N: 8, L: 4} }
+
+// DW2X is the 1152-qubit C(12,12,4) topology used in the paper's stage-1
+// model (M=12, N=12, NG=8*M*N=1152).
+func DW2X() Chimera { return Chimera{M: 12, N: 12, L: 4} }
+
+// Qubits returns the total number of physical qubits, 2*L*M*N.
+func (c Chimera) Qubits() int { return 2 * c.L * c.M * c.N }
+
+// Couplers returns the total number of couplers (edges):
+// intra-cell L*L per cell plus inter-cell L*(2*M*N - M - N).
+// For L=4 this matches the paper's EG = 4*(2*M*N - M - N) + 16*M*N.
+func (c Chimera) Couplers() int {
+	intra := c.L * c.L * c.M * c.N
+	inter := c.L * (2*c.M*c.N - c.M - c.N)
+	return intra + inter
+}
+
+// Index returns the linear qubit index for cell (row, col), shore
+// (0 = left/vertical, 1 = right/horizontal) and in-shore position k in [0,L).
+func (c Chimera) Index(row, col, shore, k int) int {
+	if row < 0 || row >= c.M || col < 0 || col >= c.N || shore < 0 || shore > 1 || k < 0 || k >= c.L {
+		panic(fmt.Sprintf("graph: chimera coordinate out of range (%d,%d,%d,%d) for C(%d,%d,%d)",
+			row, col, shore, k, c.M, c.N, c.L))
+	}
+	return ((row*c.N+col)*2+shore)*c.L + k
+}
+
+// Coordinate is the inverse of Index.
+func (c Chimera) Coordinate(q int) (row, col, shore, k int) {
+	if q < 0 || q >= c.Qubits() {
+		panic(fmt.Sprintf("graph: qubit %d out of range for C(%d,%d,%d)", q, c.M, c.N, c.L))
+	}
+	k = q % c.L
+	q /= c.L
+	shore = q % 2
+	q /= 2
+	col = q % c.N
+	row = q / c.N
+	return
+}
+
+// Graph materializes the Chimera topology as a Graph.
+func (c Chimera) Graph() *Graph {
+	g := New(c.Qubits())
+	for r := 0; r < c.M; r++ {
+		for col := 0; col < c.N; col++ {
+			// Intra-cell complete bipartite K_{L,L}.
+			for i := 0; i < c.L; i++ {
+				for j := 0; j < c.L; j++ {
+					g.AddEdge(c.Index(r, col, 0, i), c.Index(r, col, 1, j))
+				}
+			}
+			// Vertical couplers on the left shore.
+			if r+1 < c.M {
+				for k := 0; k < c.L; k++ {
+					g.AddEdge(c.Index(r, col, 0, k), c.Index(r+1, col, 0, k))
+				}
+			}
+			// Horizontal couplers on the right shore.
+			if col+1 < c.N {
+				for k := 0; k < c.L; k++ {
+					g.AddEdge(c.Index(r, col, 1, k), c.Index(r, col+1, 1, k))
+				}
+			}
+		}
+	}
+	return g
+}
+
+// CellOf returns the (row, col) of the unit cell containing qubit q.
+func (c Chimera) CellOf(q int) (row, col int) {
+	row, col, _, _ = c.Coordinate(q)
+	return
+}
+
+// String implements fmt.Stringer.
+func (c Chimera) String() string {
+	return fmt.Sprintf("C(%d,%d,%d)[%d qubits, %d couplers]", c.M, c.N, c.L, c.Qubits(), c.Couplers())
+}

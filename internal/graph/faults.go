@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// FaultModel describes fabrication faults in a hardware graph: qubits and
+// couplers identified as defective during processor calibration must be
+// deactivated before programming (paper §2.2). Faults break the Chimera
+// symmetry and make minor embedding harder.
+type FaultModel struct {
+	DeadQubits   []int  // qubits removed from service
+	DeadCouplers []Edge // couplers removed from service (normalized)
+}
+
+// RandomFaults draws a fault model in which each qubit fails independently
+// with probability qubitRate and each coupler with probability couplerRate.
+func RandomFaults(hw *Graph, qubitRate, couplerRate float64, rng *rand.Rand) FaultModel {
+	var fm FaultModel
+	for v := 0; v < hw.Order(); v++ {
+		if rng.Float64() < qubitRate {
+			fm.DeadQubits = append(fm.DeadQubits, v)
+		}
+	}
+	for _, e := range hw.Edges() {
+		if rng.Float64() < couplerRate {
+			fm.DeadCouplers = append(fm.DeadCouplers, e.Normalize())
+		}
+	}
+	return fm
+}
+
+// Apply returns a copy of hw with all faulty qubits and couplers removed.
+// Dead qubits become isolated vertices (the dense vertex space is preserved
+// so physical indices remain stable).
+func (fm FaultModel) Apply(hw *Graph) *Graph {
+	g := hw.Clone()
+	for _, e := range fm.DeadCouplers {
+		g.RemoveEdge(e.U, e.V)
+	}
+	for _, q := range fm.DeadQubits {
+		g.RemoveVertex(q)
+	}
+	return g
+}
+
+// IsDeadQubit reports whether q is in the dead-qubit list.
+func (fm FaultModel) IsDeadQubit(q int) bool {
+	for _, d := range fm.DeadQubits {
+		if d == q {
+			return true
+		}
+	}
+	return false
+}
+
+// Yield returns the fraction of qubits that survive the fault model in a
+// hardware graph of the given order.
+func (fm FaultModel) Yield(order int) float64 {
+	if order == 0 {
+		return 0
+	}
+	dead := make(map[int]bool, len(fm.DeadQubits))
+	for _, q := range fm.DeadQubits {
+		if q >= 0 && q < order {
+			dead[q] = true
+		}
+	}
+	return float64(order-len(dead)) / float64(order)
+}
+
+// Normalize sorts and deduplicates the fault lists in place.
+func (fm *FaultModel) Normalize() {
+	sort.Ints(fm.DeadQubits)
+	fm.DeadQubits = dedupInts(fm.DeadQubits)
+	for i, e := range fm.DeadCouplers {
+		fm.DeadCouplers[i] = e.Normalize()
+	}
+	sort.Slice(fm.DeadCouplers, func(i, j int) bool {
+		a, b := fm.DeadCouplers[i], fm.DeadCouplers[j]
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+	fm.DeadCouplers = dedupEdges(fm.DeadCouplers)
+}
+
+func dedupInts(a []int) []int {
+	out := a[:0]
+	for i, x := range a {
+		if i == 0 || x != a[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func dedupEdges(a []Edge) []Edge {
+	out := a[:0]
+	for i, e := range a {
+		if i == 0 || e != a[i-1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// Cycle returns the cycle graph C_n (empty for n < 3).
+func Cycle(n int) *Graph {
+	g := New(n)
+	if n < 3 {
+		return g
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// Path returns the path graph P_n.
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Star returns the star graph with one hub (vertex 0) and n-1 leaves.
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+// Grid returns the rows×cols 2-D lattice graph.
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b} with the first a vertices on one shore.
+func CompleteBipartite(a, b int) *Graph {
+	g := New(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			g.AddEdge(i, a+j)
+		}
+	}
+	return g
+}
+
+// GNP returns an Erdős–Rényi random graph G(n,p) drawn from rng.
+func GNP(n int, p float64, rng *rand.Rand) *Graph {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("graph: GNP probability %v out of [0,1]", p))
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// GNM returns a uniform random graph with n vertices and exactly m edges
+// (m is clamped to the number of possible edges).
+func GNM(n, m int, rng *rand.Rand) *Graph {
+	max := n * (n - 1) / 2
+	if m > max {
+		m = max
+	}
+	g := New(n)
+	for g.Size() < m {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		g.AddEdge(u, v)
+	}
+	return g
+}
+
+// RandomRegularish returns a random graph where every vertex has degree at
+// most d, built by a simple pairing heuristic. It is "regular-ish": useful as
+// a bounded-degree workload generator, not a uniform sampler of d-regular
+// graphs.
+func RandomRegularish(n, d int, rng *rand.Rand) *Graph {
+	g := New(n)
+	if n < 2 || d < 1 {
+		return g
+	}
+	attempts := 0
+	for attempts < 20*n*d {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		attempts++
+		if u == v || g.HasEdge(u, v) || g.Degree(u) >= d || g.Degree(v) >= d {
+			continue
+		}
+		g.AddEdge(u, v)
+	}
+	return g
+}

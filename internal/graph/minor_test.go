@@ -1,0 +1,282 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// triangleIntoChimeraCell embeds K3 into one Chimera unit cell: logical 0 and
+// 1 map to single left-shore qubits, logical 2 maps to a 2-qubit chain across
+// the shores.
+func triangleEmbedding(t *testing.T) (*Graph, *Graph, VertexModel) {
+	t.Helper()
+	c := Chimera{1, 1, 4}
+	hw := c.Graph()
+	g := Complete(3)
+	vm := VertexModel{
+		0: {c.Index(0, 0, 0, 0)},
+		1: {c.Index(0, 0, 1, 0)},
+		2: {c.Index(0, 0, 0, 1), c.Index(0, 0, 1, 1)},
+	}
+	return g, hw, vm
+}
+
+func TestValidateMinorAccepts(t *testing.T) {
+	g, hw, vm := triangleEmbedding(t)
+	if err := ValidateMinor(g, hw, vm, true); err != nil {
+		t.Fatalf("valid embedding rejected: %v", err)
+	}
+}
+
+func TestValidateMinorRejectsOverlap(t *testing.T) {
+	g, hw, vm := triangleEmbedding(t)
+	vm[1] = append(vm[1], vm[0][0]) // overlap with chain of 0
+	if err := ValidateMinor(g, hw, vm, true); err == nil {
+		t.Fatal("overlapping chains accepted")
+	}
+}
+
+func TestValidateMinorRejectsDisconnectedChain(t *testing.T) {
+	c := Chimera{1, 1, 4}
+	hw := c.Graph()
+	g := Complete(2)
+	vm := VertexModel{
+		0: {c.Index(0, 0, 0, 0), c.Index(0, 0, 0, 1)}, // same shore: not adjacent
+		1: {c.Index(0, 0, 1, 0)},
+	}
+	if err := ValidateMinor(g, hw, vm, true); err == nil {
+		t.Fatal("disconnected chain accepted")
+	}
+}
+
+func TestValidateMinorRejectsMissingEdge(t *testing.T) {
+	c := Chimera{2, 1, 4}
+	hw := c.Graph()
+	g := Complete(2)
+	vm := VertexModel{
+		0: {c.Index(0, 0, 0, 0)},
+		1: {c.Index(1, 0, 0, 1)}, // different in-shore position: no coupler
+	}
+	if err := ValidateMinor(g, hw, vm, true); err == nil {
+		t.Fatal("embedding with unrealized logical edge accepted")
+	}
+}
+
+func TestValidateMinorEmptyChain(t *testing.T) {
+	g, hw, vm := triangleEmbedding(t)
+	delete(vm, 2)
+	if err := ValidateMinor(g, hw, vm, true); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+	// A degree-0 vertex may be unmapped when requireAll is false.
+	g2 := New(3)
+	g2.AddEdge(0, 1)
+	vm2 := VertexModel{0: vm[0], 1: vm[1]}
+	if err := ValidateMinor(g2, hw, vm2, false); err != nil {
+		t.Fatalf("optional isolated vertex rejected: %v", err)
+	}
+	if err := ValidateMinor(g2, hw, vm2, true); err == nil {
+		t.Fatal("requireAll did not enforce isolated vertex mapping")
+	}
+}
+
+func TestValidateMinorNonexistentHardwareVertex(t *testing.T) {
+	g, hw, vm := triangleEmbedding(t)
+	vm[0] = []int{hw.Order() + 5}
+	if err := ValidateMinor(g, hw, vm, true); err == nil {
+		t.Fatal("chain with out-of-range qubit accepted")
+	}
+}
+
+func TestVertexModelStats(t *testing.T) {
+	_, _, vm := triangleEmbedding(t)
+	if vm.PhysicalQubits() != 4 {
+		t.Errorf("PhysicalQubits = %d, want 4", vm.PhysicalQubits())
+	}
+	if vm.MaxChainLength() != 2 {
+		t.Errorf("MaxChainLength = %d, want 2", vm.MaxChainLength())
+	}
+	c := vm.Clone()
+	c[0][0] = 99
+	if vm[0][0] == 99 {
+		t.Error("Clone shares chain storage")
+	}
+}
+
+func TestOwnerMapDetectsOverlap(t *testing.T) {
+	vm := VertexModel{0: {1, 2}, 1: {2, 3}}
+	if _, err := vm.OwnerMap(); err == nil {
+		t.Fatal("overlap not detected")
+	}
+	vm = VertexModel{0: {1, 2}, 1: {3}}
+	owner, err := vm.OwnerMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner[2] != 0 || owner[3] != 1 {
+		t.Errorf("owner map wrong: %v", owner)
+	}
+}
+
+func TestChainEdges(t *testing.T) {
+	g, hw, vm := triangleEmbedding(t)
+	_ = g
+	ce := ChainEdges(hw, vm)
+	if len(ce[0]) != 0 || len(ce[1]) != 0 {
+		t.Error("singleton chains should have no internal edges")
+	}
+	if len(ce[2]) != 1 {
+		t.Errorf("2-chain should have 1 internal edge, got %v", ce[2])
+	}
+}
+
+func TestContractMinorContainsInput(t *testing.T) {
+	g, hw, vm := triangleEmbedding(t)
+	contracted, err := ContractMinor(hw, vm, g.Order())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSubgraphOf(g, contracted) {
+		t.Error("contracted minor does not contain the input graph")
+	}
+}
+
+func TestIsSubgraphOf(t *testing.T) {
+	if !IsSubgraphOf(Path(4), Complete(4)) {
+		t.Error("P4 should be subgraph of K4")
+	}
+	if IsSubgraphOf(Complete(4), Path(4)) {
+		t.Error("K4 is not a subgraph of P4")
+	}
+	if IsSubgraphOf(Complete(5), Complete(4)) {
+		t.Error("larger graph cannot be subgraph")
+	}
+}
+
+func TestFaultModelApply(t *testing.T) {
+	c := Chimera{2, 2, 4}
+	hw := c.Graph()
+	fm := FaultModel{
+		DeadQubits:   []int{c.Index(0, 0, 0, 0)},
+		DeadCouplers: []Edge{{U: c.Index(0, 0, 0, 1), V: c.Index(0, 0, 1, 1)}},
+	}
+	g := fm.Apply(hw)
+	if g.Degree(c.Index(0, 0, 0, 0)) != 0 {
+		t.Error("dead qubit still has edges")
+	}
+	if g.HasEdge(c.Index(0, 0, 0, 1), c.Index(0, 0, 1, 1)) {
+		t.Error("dead coupler still present")
+	}
+	// Original untouched.
+	if hw.Degree(c.Index(0, 0, 0, 0)) == 0 {
+		t.Error("Apply mutated the input graph")
+	}
+}
+
+func TestRandomFaultsRates(t *testing.T) {
+	hw := Chimera{8, 8, 4}.Graph()
+	rng := rand.New(rand.NewSource(42))
+	fm := RandomFaults(hw, 0.05, 0.01, rng)
+	if len(fm.DeadQubits) == 0 {
+		t.Error("expected some dead qubits at 5% rate over 512 qubits")
+	}
+	if y := fm.Yield(hw.Order()); y <= 0.8 || y >= 1.0 {
+		t.Errorf("yield = %v, implausible for 5%% fault rate", y)
+	}
+	// Zero rates produce a clean processor.
+	fm = RandomFaults(hw, 0, 0, rng)
+	if len(fm.DeadQubits) != 0 || len(fm.DeadCouplers) != 0 {
+		t.Error("zero-rate fault model not empty")
+	}
+	if fm.Yield(hw.Order()) != 1 {
+		t.Error("clean yield should be 1")
+	}
+}
+
+func TestFaultModelNormalize(t *testing.T) {
+	fm := FaultModel{
+		DeadQubits:   []int{5, 1, 5, 3},
+		DeadCouplers: []Edge{{4, 2}, {2, 4}, {1, 0}},
+	}
+	fm.Normalize()
+	if len(fm.DeadQubits) != 3 || fm.DeadQubits[0] != 1 {
+		t.Errorf("qubits not normalized: %v", fm.DeadQubits)
+	}
+	if len(fm.DeadCouplers) != 2 || fm.DeadCouplers[0] != (Edge{0, 1}) {
+		t.Errorf("couplers not normalized: %v", fm.DeadCouplers)
+	}
+	if fm.IsDeadQubit(3) != true || fm.IsDeadQubit(2) != false {
+		t.Error("IsDeadQubit wrong")
+	}
+}
+
+func TestIsomorphicBasic(t *testing.T) {
+	if !Isomorphic(Cycle(5), Cycle(5)) {
+		t.Error("C5 ~ C5 failed")
+	}
+	if Isomorphic(Cycle(6), Path(6)) {
+		t.Error("C6 !~ P6 failed")
+	}
+	if Isomorphic(Complete(4), Cycle(4)) {
+		t.Error("K4 !~ C4 failed")
+	}
+	if !Isomorphic(New(0), New(0)) {
+		t.Error("empty graphs should be isomorphic")
+	}
+}
+
+func TestIsomorphicRelabeled(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := GNP(9, 0.4, rng)
+	perm := rng.Perm(g.Order())
+	h := New(g.Order())
+	for _, e := range g.Edges() {
+		h.AddEdge(perm[e.U], perm[e.V])
+	}
+	if !Isomorphic(g, h) {
+		t.Error("relabeled graph not recognized as isomorphic")
+	}
+	m := FindIsomorphism(g, h)
+	if m == nil {
+		t.Fatal("FindIsomorphism returned nil for isomorphic pair")
+	}
+	for _, e := range g.Edges() {
+		if !h.HasEdge(m[e.U], m[e.V]) {
+			t.Fatalf("mapping does not preserve edge %v", e)
+		}
+	}
+}
+
+func TestFindIsomorphismNil(t *testing.T) {
+	if FindIsomorphism(Cycle(6), Path(6)) != nil {
+		t.Error("non-isomorphic pair got a mapping")
+	}
+}
+
+func TestCanonicalHashInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		g := GNP(12, 0.35, rng)
+		perm := rng.Perm(g.Order())
+		h := New(g.Order())
+		for _, e := range g.Edges() {
+			h.AddEdge(perm[e.U], perm[e.V])
+		}
+		if CanonicalHash(g) != CanonicalHash(h) {
+			t.Fatal("hash not invariant under relabeling")
+		}
+	}
+}
+
+func TestCanonicalHashDistinguishes(t *testing.T) {
+	// Different sizes and degree sequences must hash differently.
+	if CanonicalHash(Cycle(6)) == CanonicalHash(Path(6)) {
+		t.Error("C6 and P6 hash equal")
+	}
+	if CanonicalHash(Complete(5)) == CanonicalHash(Complete(6)) {
+		t.Error("K5 and K6 hash equal")
+	}
+	if CanonicalHash(Star(5)) == CanonicalHash(Cycle(5)) {
+		t.Error("Star5 and C5 hash equal")
+	}
+}

@@ -1,0 +1,178 @@
+// Package parallel implements the pre-processing acceleration strategies
+// the paper's conclusion calls for: "our models have not exploited more
+// sophisticated host systems, e.g., HPC ... and there may be additional
+// parallel strategies that can accelerate the pre-processing stage" (§4).
+//
+// Two strategies are provided. FindEmbedding races independent seeds of the
+// Cai–Macready–Roy heuristic across host cores and keeps the best embedding
+// found (the heuristic is randomized, so parallel restarts both cut
+// wall-clock time to first success and improve embedding quality). Pipeline
+// overlaps the classical pre/post-processing of one job with the quantum
+// execution of another, hiding stage-2 time behind the stage-1 bottleneck.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"github.com/splitexec/splitexec/internal/embed"
+	"github.com/splitexec/splitexec/internal/graph"
+)
+
+// EmbedOptions configure the parallel multi-seed embedding search.
+type EmbedOptions struct {
+	// Workers is the number of concurrent searchers (default GOMAXPROCS).
+	Workers int
+	// Seeds is the number of independent heuristic restarts to race
+	// (default 2×Workers).
+	Seeds int
+	// Seed derives the per-restart RNG streams, so runs are reproducible.
+	Seed int64
+	// Embed tunes each underlying CMR search.
+	Embed embed.Options
+	// Quality scores an embedding; lower is better. Nil uses QubitCount.
+	Quality func(graph.VertexModel) float64
+}
+
+func (o EmbedOptions) withDefaults() EmbedOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Seeds <= 0 {
+		o.Seeds = 2 * o.Workers
+	}
+	if o.Quality == nil {
+		o.Quality = func(vm graph.VertexModel) float64 { return float64(QubitCount(vm)) }
+	}
+	return o
+}
+
+// QubitCount returns the total number of hardware qubits a vertex model
+// uses — the default embedding-quality metric (fewer is better: shorter
+// chains keep more of the logical energy scale after chain coupling).
+func QubitCount(vm graph.VertexModel) int {
+	total := 0
+	for _, chain := range vm {
+		total += len(chain)
+	}
+	return total
+}
+
+// MaxChainLength returns the longest chain of a vertex model, the quality
+// metric that matters when chain breakage dominates.
+func MaxChainLength(vm graph.VertexModel) int {
+	max := 0
+	for _, chain := range vm {
+		if len(chain) > max {
+			max = len(chain)
+		}
+	}
+	return max
+}
+
+// EmbedResult reports a parallel embedding search.
+type EmbedResult struct {
+	VM        graph.VertexModel
+	Quality   float64     // score of the returned embedding
+	Succeeded int         // restarts that found an embedding
+	Failed    int         // restarts that exhausted their tries
+	Stats     embed.Stats // aggregate work across all restarts
+}
+
+// FindEmbedding races Seeds independent CMR restarts over Workers
+// goroutines and returns the best embedding found under the quality metric.
+// It fails with embed.ErrNoEmbedding only if every restart fails.
+func FindEmbedding(g, hw *graph.Graph, opts EmbedOptions) (EmbedResult, error) {
+	if g == nil || hw == nil {
+		return EmbedResult{}, errors.New("parallel: nil graph")
+	}
+	o := opts.withDefaults()
+
+	type attempt struct {
+		vm    graph.VertexModel
+		stats embed.Stats
+		err   error
+	}
+	results := make([]attempt, o.Seeds)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, o.Workers)
+	for i := 0; i < o.Seeds; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rng := rand.New(rand.NewSource(o.Seed + int64(i)*7919))
+			vm, stats, err := embed.FindEmbedding(g, hw, rng, o.Embed)
+			results[i] = attempt{vm, stats, err}
+		}(i)
+	}
+	wg.Wait()
+
+	res := EmbedResult{Quality: -1}
+	for _, a := range results {
+		res.Stats.Tries += a.stats.Tries
+		res.Stats.Sweeps += a.stats.Sweeps
+		res.Stats.DijkstraRuns += a.stats.DijkstraRuns
+		res.Stats.RelaxedEdges += a.stats.RelaxedEdges
+		if a.err != nil {
+			res.Failed++
+			continue
+		}
+		res.Succeeded++
+		q := o.Quality(a.vm)
+		if res.VM == nil || q < res.Quality {
+			res.VM = a.vm
+			res.Quality = q
+			res.Stats.PhysicalQubits = a.stats.PhysicalQubits
+			res.Stats.MaxChainLength = a.stats.MaxChainLength
+		}
+	}
+	if res.VM == nil {
+		return res, fmt.Errorf("parallel: all %d restarts failed: %w", o.Seeds, embed.ErrNoEmbedding)
+	}
+	return res, nil
+}
+
+// BatchItem is one outcome of EmbedBatch.
+type BatchItem struct {
+	Index int
+	VM    graph.VertexModel
+	Err   error
+}
+
+// EmbedBatch embeds many input graphs into the same hardware concurrently,
+// one restart per graph (use FindEmbedding per graph for multi-restart
+// quality). Results are returned in input order.
+func EmbedBatch(gs []*graph.Graph, hw *graph.Graph, workers int, seed int64, opts embed.Options) ([]BatchItem, error) {
+	if hw == nil {
+		return nil, errors.New("parallel: nil hardware graph")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	items := make([]BatchItem, len(gs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, g := range gs {
+		wg.Add(1)
+		go func(i int, g *graph.Graph) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			items[i].Index = i
+			if g == nil {
+				items[i].Err = errors.New("parallel: nil graph in batch")
+				return
+			}
+			rng := rand.New(rand.NewSource(seed + int64(i)*104729))
+			vm, _, err := embed.FindEmbedding(g, hw, rng, opts)
+			items[i].VM, items[i].Err = vm, err
+		}(i, g)
+	}
+	wg.Wait()
+	return items, nil
+}

@@ -1,0 +1,161 @@
+package parallel
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/splitexec/splitexec/internal/embed"
+	"github.com/splitexec/splitexec/internal/graph"
+)
+
+func TestQubitCountAndMaxChain(t *testing.T) {
+	vm := graph.VertexModel{
+		0: {1, 2, 3},
+		1: {4},
+		2: {5, 6},
+	}
+	if got := QubitCount(vm); got != 6 {
+		t.Fatalf("QubitCount = %d, want 6", got)
+	}
+	if got := MaxChainLength(vm); got != 3 {
+		t.Fatalf("MaxChainLength = %d, want 3", got)
+	}
+	if QubitCount(nil) != 0 || MaxChainLength(nil) != 0 {
+		t.Fatal("nil vertex model should score 0")
+	}
+}
+
+func TestFindEmbeddingParallelValid(t *testing.T) {
+	hw := graph.Vesuvius().Graph()
+	g := graph.Complete(8)
+	res, err := FindEmbedding(g, hw, EmbedOptions{Workers: 4, Seeds: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded == 0 {
+		t.Fatal("no restart succeeded")
+	}
+	if res.Succeeded+res.Failed != 8 {
+		t.Fatalf("accounting: %d + %d != 8", res.Succeeded, res.Failed)
+	}
+	if err := graph.ValidateMinor(g, hw, res.VM, true); err != nil {
+		t.Fatalf("best embedding invalid: %v", err)
+	}
+	if res.Quality != float64(QubitCount(res.VM)) {
+		t.Fatalf("quality %v disagrees with qubit count %d", res.Quality, QubitCount(res.VM))
+	}
+	if res.Stats.Tries == 0 || res.Stats.DijkstraRuns == 0 {
+		t.Fatal("aggregate stats empty")
+	}
+}
+
+func TestFindEmbeddingParallelReproducible(t *testing.T) {
+	hw := graph.Vesuvius().Graph()
+	g := graph.Complete(6)
+	opts := EmbedOptions{Workers: 3, Seeds: 6, Seed: 42}
+	a, err := FindEmbedding(g, hw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FindEmbedding(g, hw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Quality != b.Quality || a.Succeeded != b.Succeeded {
+		t.Fatalf("same seed differed: %+v vs %+v", a, b)
+	}
+}
+
+func TestFindEmbeddingBestOfKNotWorseThanSingle(t *testing.T) {
+	hw := graph.Vesuvius().Graph()
+	g := graph.GNP(10, 0.45, rand.New(rand.NewSource(3)))
+	single, err := FindEmbedding(g, hw, EmbedOptions{Workers: 1, Seeds: 1, Seed: 9})
+	if err != nil {
+		t.Skip("single-seed run failed; quality comparison not applicable")
+	}
+	multi, err := FindEmbedding(g, hw, EmbedOptions{Workers: 4, Seeds: 12, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed 9 is one of the twelve raced seeds, so best-of-12 can never be
+	// worse than that single restart.
+	if multi.Quality > single.Quality {
+		t.Fatalf("best-of-12 quality %v worse than single %v", multi.Quality, single.Quality)
+	}
+}
+
+func TestFindEmbeddingParallelFailure(t *testing.T) {
+	// K8 cannot embed into a tiny hardware graph: every restart fails.
+	hw := graph.Cycle(6)
+	g := graph.Complete(8)
+	_, err := FindEmbedding(g, hw, EmbedOptions{Workers: 2, Seeds: 4, Seed: 1, Embed: embed.Options{MaxTries: 2}})
+	if err == nil {
+		t.Fatal("impossible embedding succeeded")
+	}
+	if _, err := FindEmbedding(nil, hw, EmbedOptions{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestFindEmbeddingCustomQuality(t *testing.T) {
+	hw := graph.Vesuvius().Graph()
+	g := graph.Complete(6)
+	res, err := FindEmbedding(g, hw, EmbedOptions{
+		Workers: 2, Seeds: 6, Seed: 5,
+		Quality: func(vm graph.VertexModel) float64 { return float64(MaxChainLength(vm)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality != float64(MaxChainLength(res.VM)) {
+		t.Fatalf("custom quality not applied: %v vs %d", res.Quality, MaxChainLength(res.VM))
+	}
+}
+
+func TestEmbedBatch(t *testing.T) {
+	hw := graph.Vesuvius().Graph()
+	gs := []*graph.Graph{
+		graph.Complete(5),
+		graph.Cycle(12),
+		nil,
+		graph.Grid(3, 3),
+	}
+	items, err := EmbedBatch(gs, hw, 4, 7, embed.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 4 {
+		t.Fatalf("got %d items", len(items))
+	}
+	for i, it := range items {
+		if it.Index != i {
+			t.Fatalf("item %d has index %d", i, it.Index)
+		}
+		if i == 2 {
+			if it.Err == nil {
+				t.Fatal("nil graph in batch not reported")
+			}
+			continue
+		}
+		if it.Err != nil {
+			t.Fatalf("graph %d failed: %v", i, it.Err)
+		}
+		if err := graph.ValidateMinor(gs[i], hw, it.VM, true); err != nil {
+			t.Fatalf("graph %d embedding invalid: %v", i, err)
+		}
+	}
+	if _, err := EmbedBatch(gs, nil, 1, 1, embed.Options{}); err == nil {
+		t.Fatal("nil hardware accepted")
+	}
+}
+
+func TestEmbedBatchDefaultWorkers(t *testing.T) {
+	hw := graph.Vesuvius().Graph()
+	items, err := EmbedBatch([]*graph.Graph{graph.Cycle(4)}, hw, 0, 3, embed.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items[0].Err != nil {
+		t.Fatal(items[0].Err)
+	}
+}

@@ -1,0 +1,218 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// StageCost is the per-stage time of one split-execution job: classical
+// pre-processing (stage 1), quantum execution (stage 2) and classical
+// post-processing (stage 3).
+type StageCost struct {
+	Pre  time.Duration
+	QPU  time.Duration
+	Post time.Duration
+}
+
+// Total returns the job's serial time.
+func (c StageCost) Total() time.Duration { return c.Pre + c.QPU + c.Post }
+
+// Sequential returns the makespan of running a batch strictly serially —
+// the paper's three-stage application model applied to each job in turn.
+func Sequential(jobs []StageCost) time.Duration {
+	var total time.Duration
+	for _, j := range jobs {
+		total += j.Total()
+	}
+	return total
+}
+
+// Interval is one scheduled stage execution in a pipeline simulation.
+type Interval struct {
+	Job      int
+	Stage    int // 1, 2 or 3
+	Start    time.Duration
+	End      time.Duration
+	Resource string // "cpu" or "qpu"
+}
+
+// Pipelined simulates the batch on one CPU and one QPU with stage overlap:
+// while the QPU anneals job i, the CPU pre-processes job i+1 (and
+// post-processes finished jobs). Jobs flow FIFO through the stages; the CPU
+// serves ready stage-3 work before starting new stage-1 work, which keeps
+// completed samples from queueing behind fresh embeddings. The returned
+// schedule lists every executed interval for inspection.
+//
+// This is the "additional parallel strategy" of §4 in executable form: its
+// makespan is bounded below by both the total CPU work and the total QPU
+// work, so speedup over Sequential is capped by how much stage-2 time can
+// hide behind stage-1 — large when embedding dominates (the paper's
+// regime), approaching 1 when the QPU dominates.
+func Pipelined(jobs []StageCost) (time.Duration, []Interval, error) {
+	n := len(jobs)
+	if n == 0 {
+		return 0, nil, nil
+	}
+	for i, j := range jobs {
+		if j.Pre < 0 || j.QPU < 0 || j.Post < 0 {
+			return 0, nil, fmt.Errorf("parallel: job %d has negative stage cost", i)
+		}
+	}
+	var (
+		schedule  []Interval
+		cpuFree   time.Duration // when the CPU next becomes idle
+		qpuFree   time.Duration
+		s1Done    = make([]time.Duration, n) // completion time of stage 1
+		s2Done    = make([]time.Duration, n)
+		next1     = 0     // next job needing stage 1
+		ready3    []int   // jobs whose stage 2 finished, FIFO
+		pending2  []int   // jobs whose stage 1 finished, FIFO
+		remaining = 3 * n // stages left to schedule
+		makespan  time.Duration
+	)
+	for remaining > 0 {
+		// QPU is FIFO and depends only on stage-1 completions, so commit all
+		// currently unblocked stage-2 work immediately.
+		for len(pending2) > 0 {
+			j := pending2[0]
+			pending2 = pending2[1:]
+			start := maxDur(qpuFree, s1Done[j])
+			end := start + jobs[j].QPU
+			schedule = append(schedule, Interval{j, 2, start, end, "qpu"})
+			qpuFree = end
+			s2Done[j] = end
+			ready3 = append(ready3, j)
+			remaining--
+		}
+		// CPU: one task per round. Prefer post-processing whose input is
+		// already available when the CPU frees up — it drains the pipeline
+		// without delaying new embeddings; otherwise start the next stage 1;
+		// otherwise wait on the QPU for the oldest unfinished job.
+		switch {
+		case len(ready3) > 0 && (next1 >= n || s2Done[ready3[0]] <= cpuFree):
+			j := ready3[0]
+			ready3 = ready3[1:]
+			start := maxDur(cpuFree, s2Done[j])
+			end := start + jobs[j].Post
+			schedule = append(schedule, Interval{j, 3, start, end, "cpu"})
+			cpuFree = end
+			remaining--
+			if end > makespan {
+				makespan = end
+			}
+		case next1 < n:
+			j := next1
+			next1++
+			start := cpuFree
+			end := start + jobs[j].Pre
+			schedule = append(schedule, Interval{j, 1, start, end, "cpu"})
+			cpuFree = end
+			s1Done[j] = end
+			pending2 = append(pending2, j)
+			remaining--
+			if end > makespan {
+				makespan = end
+			}
+		case remaining > 0:
+			return 0, nil, errors.New("parallel: pipeline scheduler stalled")
+		}
+	}
+	if qpuFree > makespan {
+		makespan = qpuFree
+	}
+	return makespan, schedule, nil
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Speedup returns Sequential/Pipelined for the batch.
+func Speedup(jobs []StageCost) (float64, error) {
+	if len(jobs) == 0 {
+		return 1, nil
+	}
+	p, _, err := Pipelined(jobs)
+	if err != nil {
+		return 0, err
+	}
+	if p == 0 {
+		return 1, nil
+	}
+	return float64(Sequential(jobs)) / float64(p), nil
+}
+
+// Job is one unit of work for the live Run executor: the three stage
+// callbacks a real split-execution host would run. Pre and Post execute on
+// the (single) CPU worker, Anneal on the (single) QPU worker.
+type Job struct {
+	Pre    func() error
+	Anneal func() error
+	Post   func() error
+}
+
+// Run executes the jobs with genuine goroutine-level stage overlap: a CPU
+// worker runs Pre and Post callbacks, a QPU worker runs Anneal callbacks,
+// and jobs flow FIFO between them. The first callback error aborts intake
+// and is returned after in-flight work drains. Nil callbacks are skipped.
+func Run(jobs []Job) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	toQPU := make(chan int, len(jobs))
+	toPost := make(chan int, len(jobs))
+	errc := make(chan error, 3)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	// QPU worker.
+	go func() {
+		defer wg.Done()
+		defer close(toPost)
+		for j := range toQPU {
+			if f := jobs[j].Anneal; f != nil {
+				if err := f(); err != nil {
+					errc <- fmt.Errorf("parallel: job %d anneal: %w", j, err)
+					return
+				}
+			}
+			toPost <- j
+		}
+	}()
+	// CPU post-processing worker.
+	go func() {
+		defer wg.Done()
+		for j := range toPost {
+			if f := jobs[j].Post; f != nil {
+				if err := f(); err != nil {
+					errc <- fmt.Errorf("parallel: job %d post: %w", j, err)
+					return
+				}
+			}
+		}
+	}()
+	// Intake: stage-1 on the caller goroutine (the CPU in this model — it
+	// naturally interleaves with the post worker through Go scheduling).
+	var intakeErr error
+	for j := range jobs {
+		if f := jobs[j].Pre; f != nil {
+			if err := f(); err != nil {
+				intakeErr = fmt.Errorf("parallel: job %d pre: %w", j, err)
+				break
+			}
+		}
+		toQPU <- j
+	}
+	close(toQPU)
+	wg.Wait()
+	close(errc)
+	if intakeErr != nil {
+		return intakeErr
+	}
+	return <-errc
+}

@@ -1,0 +1,325 @@
+package parallel
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func us(n int) time.Duration { return time.Duration(n) * time.Microsecond }
+
+func TestSequentialSums(t *testing.T) {
+	jobs := []StageCost{
+		{us(10), us(2), us(1)},
+		{us(20), us(4), us(2)},
+	}
+	if got, want := Sequential(jobs), us(39); got != want {
+		t.Fatalf("Sequential = %v, want %v", got, want)
+	}
+	if Sequential(nil) != 0 {
+		t.Fatal("empty batch should cost 0")
+	}
+}
+
+func TestPipelinedEmpty(t *testing.T) {
+	m, sched, err := Pipelined(nil)
+	if err != nil || m != 0 || sched != nil {
+		t.Fatalf("empty: %v %v %v", m, sched, err)
+	}
+}
+
+func TestPipelinedRejectsNegative(t *testing.T) {
+	if _, _, err := Pipelined([]StageCost{{-us(1), 0, 0}}); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+}
+
+func TestPipelinedSingleJobEqualsSequential(t *testing.T) {
+	jobs := []StageCost{{us(10), us(5), us(3)}}
+	m, _, err := Pipelined(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != Sequential(jobs) {
+		t.Fatalf("single job pipelined %v != sequential %v", m, Sequential(jobs))
+	}
+}
+
+func TestPipelinedHidesQPUTime(t *testing.T) {
+	// Equal pre and QPU time: the QPU work of job i hides behind the
+	// pre-processing of job i+1 almost entirely.
+	var jobs []StageCost
+	for i := 0; i < 16; i++ {
+		jobs = append(jobs, StageCost{Pre: us(100), QPU: us(100), Post: us(1)})
+	}
+	m, _, err := Pipelined(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := Sequential(jobs)
+	if m >= seq {
+		t.Fatalf("no overlap achieved: %v >= %v", m, seq)
+	}
+	sp, err := Speedup(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp < 1.5 {
+		t.Fatalf("speedup %v, want ≥1.5 for balanced stages", sp)
+	}
+}
+
+func TestPipelinedPaperRegime(t *testing.T) {
+	// The paper's regime: stage 1 dominates by orders of magnitude. The QPU
+	// time hides completely and the makespan approaches total CPU time.
+	var jobs []StageCost
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, StageCost{Pre: us(100000), QPU: us(333), Post: us(10)})
+	}
+	m, _, err := Pipelined(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cpuWork time.Duration
+	for _, j := range jobs {
+		cpuWork += j.Pre + j.Post
+	}
+	// Only the first job's QPU wait is exposed (plus scheduling slack).
+	slack := jobs[0].QPU + us(1000)
+	if m > cpuWork+slack {
+		t.Fatalf("makespan %v far above CPU-bound %v", m, cpuWork)
+	}
+}
+
+func TestPipelinedScheduleInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		jobs := make([]StageCost, n)
+		for i := range jobs {
+			jobs[i] = StageCost{
+				Pre:  us(rng.Intn(500)),
+				QPU:  us(rng.Intn(500)),
+				Post: us(rng.Intn(200)),
+			}
+		}
+		m, sched, err := Pipelined(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSchedule(t, jobs, m, sched)
+	}
+}
+
+// checkSchedule verifies resource exclusivity, stage precedence, duration
+// fidelity, completeness and the makespan bounds.
+func checkSchedule(t *testing.T, jobs []StageCost, makespan time.Duration, sched []Interval) {
+	t.Helper()
+	n := len(jobs)
+	if len(sched) != 3*n {
+		t.Fatalf("schedule has %d intervals, want %d", len(sched), 3*n)
+	}
+	starts := make(map[[2]int]time.Duration)
+	ends := make(map[[2]int]time.Duration)
+	var byResource = map[string][]Interval{}
+	var end time.Duration
+	for _, iv := range sched {
+		if iv.Start < 0 || iv.End < iv.Start {
+			t.Fatalf("bad interval %+v", iv)
+		}
+		key := [2]int{iv.Job, iv.Stage}
+		if _, dup := starts[key]; dup {
+			t.Fatalf("stage scheduled twice: %+v", iv)
+		}
+		starts[key] = iv.Start
+		ends[key] = iv.End
+		byResource[iv.Resource] = append(byResource[iv.Resource], iv)
+		if iv.End > end {
+			end = iv.End
+		}
+		var want time.Duration
+		switch iv.Stage {
+		case 1:
+			want = jobs[iv.Job].Pre
+			if iv.Resource != "cpu" {
+				t.Fatalf("stage 1 on %q", iv.Resource)
+			}
+		case 2:
+			want = jobs[iv.Job].QPU
+			if iv.Resource != "qpu" {
+				t.Fatalf("stage 2 on %q", iv.Resource)
+			}
+		case 3:
+			want = jobs[iv.Job].Post
+			if iv.Resource != "cpu" {
+				t.Fatalf("stage 3 on %q", iv.Resource)
+			}
+		default:
+			t.Fatalf("bad stage %d", iv.Stage)
+		}
+		if iv.End-iv.Start != want {
+			t.Fatalf("interval %+v duration %v, want %v", iv, iv.End-iv.Start, want)
+		}
+	}
+	if end != makespan {
+		t.Fatalf("makespan %v but last interval ends at %v", makespan, end)
+	}
+	// Precedence within each job.
+	for j := 0; j < n; j++ {
+		if starts[[2]int{j, 2}] < ends[[2]int{j, 1}] {
+			t.Fatalf("job %d stage 2 before stage 1 done", j)
+		}
+		if starts[[2]int{j, 3}] < ends[[2]int{j, 2}] {
+			t.Fatalf("job %d stage 3 before stage 2 done", j)
+		}
+	}
+	// Resource exclusivity.
+	for res, ivs := range byResource {
+		for a := 0; a < len(ivs); a++ {
+			for b := a + 1; b < len(ivs); b++ {
+				x, y := ivs[a], ivs[b]
+				if x.Start < y.End && y.Start < x.End {
+					t.Fatalf("%s overlap: %+v and %+v", res, x, y)
+				}
+			}
+		}
+	}
+	// Bounds: max(total CPU, total QPU) ≤ makespan ≤ sequential.
+	var cpu, qpu time.Duration
+	for _, j := range jobs {
+		cpu += j.Pre + j.Post
+		qpu += j.QPU
+	}
+	if makespan < cpu || makespan < qpu {
+		t.Fatalf("makespan %v below resource bound (cpu %v, qpu %v)", makespan, cpu, qpu)
+	}
+	if seq := Sequential(jobs); makespan > seq {
+		t.Fatalf("pipelining made it worse: %v > %v", makespan, seq)
+	}
+}
+
+func TestQuickPipelineBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		jobs := make([]StageCost, n)
+		for i := range jobs {
+			jobs[i] = StageCost{us(rng.Intn(300)), us(rng.Intn(300)), us(rng.Intn(100))}
+		}
+		m, _, err := Pipelined(jobs)
+		if err != nil {
+			return false
+		}
+		var cpu, qpu time.Duration
+		for _, j := range jobs {
+			cpu += j.Pre + j.Post
+			qpu += j.QPU
+		}
+		return m >= cpu && m >= qpu && m <= Sequential(jobs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedupEmptyBatch(t *testing.T) {
+	sp, err := Speedup(nil)
+	if err != nil || sp != 1 {
+		t.Fatalf("Speedup(nil) = %v, %v", sp, err)
+	}
+	sp, err = Speedup([]StageCost{{}})
+	if err != nil || sp != 1 {
+		t.Fatalf("Speedup(zero job) = %v, %v", sp, err)
+	}
+}
+
+func TestRunExecutesAllStagesInOrder(t *testing.T) {
+	const n = 20
+	var mu sync.Mutex
+	order := make(map[int][]int) // job → stages in observed order
+	mk := func(j, stage int) func() error {
+		return func() error {
+			mu.Lock()
+			order[j] = append(order[j], stage)
+			mu.Unlock()
+			return nil
+		}
+	}
+	jobs := make([]Job, n)
+	for j := 0; j < n; j++ {
+		jobs[j] = Job{Pre: mk(j, 1), Anneal: mk(j, 2), Post: mk(j, 3)}
+	}
+	if err := Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		if len(order[j]) != 3 {
+			t.Fatalf("job %d ran %d stages", j, len(order[j]))
+		}
+		for s := 0; s < 3; s++ {
+			if order[j][s] != s+1 {
+				t.Fatalf("job %d stage order %v", j, order[j])
+			}
+		}
+	}
+}
+
+func TestRunOverlapsStages(t *testing.T) {
+	// With blocking anneals, total wall time must be well under the serial
+	// sum if the pipeline overlaps.
+	const n = 8
+	const d = 5 * time.Millisecond
+	sleep := func() error { time.Sleep(d); return nil }
+	jobs := make([]Job, n)
+	for j := range jobs {
+		jobs[j] = Job{Pre: sleep, Anneal: sleep, Post: sleep}
+	}
+	start := time.Now()
+	if err := Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	serial := time.Duration(3*n) * d
+	if elapsed >= serial {
+		t.Fatalf("no overlap: %v >= serial %v", elapsed, serial)
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	var post3 atomic.Bool
+	jobs := []Job{
+		{Anneal: func() error { return nil }},
+		{Anneal: func() error { return boom }},
+		{Anneal: func() error { return nil }, Post: func() error { post3.Store(true); return nil }},
+	}
+	err := Run(jobs)
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+
+	preErr := errors.New("pre failed")
+	jobs = []Job{{Pre: func() error { return preErr }}}
+	if err := Run(jobs); !errors.Is(err, preErr) {
+		t.Fatalf("pre error lost: %v", err)
+	}
+
+	postErr := errors.New("post failed")
+	jobs = []Job{{Post: func() error { return postErr }}}
+	if err := Run(jobs); !errors.Is(err, postErr) {
+		t.Fatalf("post error lost: %v", err)
+	}
+}
+
+func TestRunEmptyAndNilCallbacks(t *testing.T) {
+	if err := Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(make([]Job, 5)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package qpuserver
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/anneal"
+)
+
+func TestLogfNilIsSafe(t *testing.T) {
+	s := NewServer(anneal.DW2Timings(), anneal.SamplerOptions{})
+	s.logf("should not panic: %d", 1) // Logf unset
+	var mu sync.Mutex
+	var lines []string
+	s.Logf = func(format string, args ...interface{}) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	s.logf("hello %s", "world")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 || lines[0] != "hello world" {
+		t.Fatalf("logf lines = %v", lines)
+	}
+}
+
+func TestServeConnDropsGarbage(t *testing.T) {
+	s := NewServer(anneal.DW2Timings(), anneal.SamplerOptions{})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A junk frame must make the server drop the connection, not crash.
+	if _, err := conn.Write([]byte{0xff, 0xff, 0xff, 0xff, 'x'}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server answered a garbage frame")
+	}
+	// The server must still accept fresh, well-formed connections.
+	c2, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Status(); err != nil {
+		t.Fatalf("server unhealthy after garbage: %v", err)
+	}
+}
+
+func TestListenAndLogServesUntilClose(t *testing.T) {
+	s := NewServer(anneal.DW2Timings(), anneal.SamplerOptions{})
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndLog("127.0.0.1:0") }()
+	// Wait for the listener to come up.
+	deadline := time.Now().Add(2 * time.Second)
+	var addr string
+	for time.Now().Before(deadline) {
+		if a := s.Addr(); a != nil {
+			addr = a.String()
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("listener never came up")
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Status(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("ListenAndLog did not return after Close")
+	}
+}
+
+func TestListenAndLogBadAddr(t *testing.T) {
+	s := NewServer(anneal.DW2Timings(), anneal.SamplerOptions{})
+	if err := s.ListenAndLog("256.0.0.1:bad"); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

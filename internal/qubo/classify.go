@@ -1,0 +1,140 @@
+package qubo
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Binary classification via weak-classifier selection (QBoost). The paper
+// cites "training a binary classifier with the quantum adiabatic algorithm"
+// (Neven et al.) among the problems mapped to the D-Wave processor; this is
+// that mapping. Given K weak classifiers with predictions H[k][s] ∈ {-1,+1}
+// on S training samples with labels y[s] ∈ {-1,+1}, select a subset w ∈
+// {0,1}ᴷ minimizing the squared training error of the voting ensemble plus
+// an L0 sparsity term:
+//
+//	E(w) = Σ_s ( (1/K)·Σ_k w_k·H[k][s] − y_s )² + λ·Σ_k w_k.
+//
+// Expanding with w² = w gives a K-variable QUBO; the constant Σ_s y_s² = S
+// is recorded in Offset.
+type Ensemble struct {
+	Q      *QUBO
+	Offset float64 // constant: E(w) = Q.Energy(w) + Offset
+	K      int     // weak classifier count
+	Lambda float64
+}
+
+// WeakClassifierEnsemble builds the QBoost selection QUBO. H is indexed
+// [classifier][sample]; every prediction and label must be ±1. lambda ≥ 0
+// controls sparsity (lambda 0 selects purely by training error).
+func WeakClassifierEnsemble(H [][]float64, y []float64, lambda float64) (*Ensemble, error) {
+	K := len(H)
+	if K == 0 {
+		return nil, errors.New("qubo: no weak classifiers")
+	}
+	S := len(y)
+	if S == 0 {
+		return nil, errors.New("qubo: no training samples")
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("qubo: negative sparsity weight %g", lambda)
+	}
+	for k, preds := range H {
+		if len(preds) != S {
+			return nil, fmt.Errorf("qubo: classifier %d has %d predictions, want %d", k, len(preds), S)
+		}
+		for s, p := range preds {
+			if p != 1 && p != -1 {
+				return nil, fmt.Errorf("qubo: prediction H[%d][%d]=%g not ±1", k, s, p)
+			}
+		}
+	}
+	for s, ys := range y {
+		if ys != 1 && ys != -1 {
+			return nil, fmt.Errorf("qubo: label y[%d]=%g not ±1", s, ys)
+		}
+	}
+	q := NewQUBO(K)
+	invK := 1.0 / float64(K)
+	for k := 0; k < K; k++ {
+		// Diagonal: Σ_s (H²/K² − 2·H·y/K) + λ, with H² = 1.
+		diag := lambda
+		for s := 0; s < S; s++ {
+			diag += invK*invK - 2*invK*H[k][s]*y[s]
+		}
+		q.Add(k, k, diag)
+		for l := k + 1; l < K; l++ {
+			cross := 0.0
+			for s := 0; s < S; s++ {
+				cross += 2 * invK * invK * H[k][s] * H[l][s]
+			}
+			if cross != 0 {
+				q.Add(k, l, cross)
+			}
+		}
+	}
+	return &Ensemble{Q: q, Offset: float64(S), K: K, Lambda: lambda}, nil
+}
+
+// Energy returns the full QBoost objective of a selection, including the
+// label constant.
+func (e *Ensemble) Energy(w []int8) float64 {
+	return e.Q.Energy(w) + e.Offset
+}
+
+// Predict returns the ensemble vote sign for one sample's weak predictions
+// under selection w: +1 if the selected classifiers vote non-negatively,
+// else -1. preds is indexed by classifier.
+func (e *Ensemble) Predict(w []int8, preds []float64) (int, error) {
+	if len(w) != e.K || len(preds) != e.K {
+		return 0, fmt.Errorf("qubo: selection %d / predictions %d, want %d", len(w), len(preds), e.K)
+	}
+	vote := 0.0
+	for k := 0; k < e.K; k++ {
+		if w[k] == 1 {
+			vote += preds[k]
+		}
+	}
+	if vote < 0 {
+		return -1, nil
+	}
+	return 1, nil
+}
+
+// TrainingAccuracy returns the fraction of samples the selected ensemble
+// classifies correctly. H and y must match the training data shape.
+func (e *Ensemble) TrainingAccuracy(w []int8, H [][]float64, y []float64) (float64, error) {
+	if len(H) != e.K {
+		return 0, fmt.Errorf("qubo: %d classifiers, want %d", len(H), e.K)
+	}
+	S := len(y)
+	if S == 0 {
+		return 0, errors.New("qubo: no samples")
+	}
+	correct := 0
+	preds := make([]float64, e.K)
+	for s := 0; s < S; s++ {
+		for k := 0; k < e.K; k++ {
+			preds[k] = H[k][s]
+		}
+		p, err := e.Predict(w, preds)
+		if err != nil {
+			return 0, err
+		}
+		if float64(p) == y[s] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(S), nil
+}
+
+// SelectedCount returns the number of chosen weak classifiers.
+func SelectedCount(w []int8) int {
+	n := 0
+	for _, b := range w {
+		if b == 1 {
+			n++
+		}
+	}
+	return n
+}

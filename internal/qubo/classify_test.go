@@ -1,0 +1,194 @@
+package qubo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// toyClassifiers builds K weak classifiers on S samples: the first is the
+// true labeler, the second is its negation, the rest are random coin flips.
+func toyClassifiers(K, S int, rng *rand.Rand) (H [][]float64, y []float64) {
+	y = make([]float64, S)
+	for s := range y {
+		if rng.Intn(2) == 0 {
+			y[s] = 1
+		} else {
+			y[s] = -1
+		}
+	}
+	H = make([][]float64, K)
+	for k := range H {
+		H[k] = make([]float64, S)
+		for s := range H[k] {
+			switch k {
+			case 0:
+				H[k][s] = y[s]
+			case 1:
+				H[k][s] = -y[s]
+			default:
+				if rng.Intn(2) == 0 {
+					H[k][s] = 1
+				} else {
+					H[k][s] = -1
+				}
+			}
+		}
+	}
+	return H, y
+}
+
+func TestEnsembleValidation(t *testing.T) {
+	if _, err := WeakClassifierEnsemble(nil, []float64{1}, 0); err == nil {
+		t.Fatal("no classifiers accepted")
+	}
+	if _, err := WeakClassifierEnsemble([][]float64{{1}}, nil, 0); err == nil {
+		t.Fatal("no samples accepted")
+	}
+	if _, err := WeakClassifierEnsemble([][]float64{{1}}, []float64{1}, -1); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+	if _, err := WeakClassifierEnsemble([][]float64{{1, -1}}, []float64{1}, 0); err == nil {
+		t.Fatal("ragged predictions accepted")
+	}
+	if _, err := WeakClassifierEnsemble([][]float64{{0.5}}, []float64{1}, 0); err == nil {
+		t.Fatal("non-±1 prediction accepted")
+	}
+	if _, err := WeakClassifierEnsemble([][]float64{{1}}, []float64{0}, 0); err == nil {
+		t.Fatal("non-±1 label accepted")
+	}
+}
+
+func TestEnsembleEnergyMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	H, y := toyClassifiers(4, 10, rng)
+	e, err := WeakClassifierEnsemble(H, y, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	K := len(H)
+	for bits := 0; bits < 1<<K; bits++ {
+		w := make([]int8, K)
+		for k := range w {
+			w[k] = int8(bits >> k & 1)
+		}
+		want := 0.0
+		for s := range y {
+			vote := 0.0
+			for k := range w {
+				if w[k] == 1 {
+					vote += H[k][s]
+				}
+			}
+			d := vote/float64(K) - y[s]
+			want += d * d
+		}
+		want += 0.3 * float64(SelectedCount(w))
+		if got := e.Energy(w); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("w=%v: energy %v, want %v", w, got, want)
+		}
+	}
+}
+
+func TestEnsembleBruteForceSelectsTrueLabeler(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	H, y := toyClassifiers(5, 40, rng)
+	e, err := WeakClassifierEnsemble(H, y, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := e.Q.BruteForce()
+	if w[0] != 1 {
+		t.Fatalf("true labeler not selected: w=%v", w)
+	}
+	if w[1] != 0 {
+		t.Fatalf("anti-labeler selected: w=%v", w)
+	}
+	// The optimum minimizes squared loss, which may trade a little 0/1
+	// accuracy for margin; it must still classify most samples and must not
+	// lose (in energy) to the labeler-only selection.
+	acc, err := e.TrainingAccuracy(w, H, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.75 {
+		t.Fatalf("training accuracy %v, want ≥0.75", acc)
+	}
+	labelerOnly := make([]int8, len(H))
+	labelerOnly[0] = 1
+	if e.Energy(w) > e.Energy(labelerOnly)+1e-9 {
+		t.Fatalf("brute-force optimum %v loses to labeler-only selection", w)
+	}
+}
+
+func TestEnsembleSparsityTradeoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	H, y := toyClassifiers(6, 30, rng)
+	loose, err := WeakClassifierEnsemble(H, y, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := WeakClassifierEnsemble(H, y, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wLoose, _ := loose.Q.BruteForce()
+	wTight, _ := tight.Q.BruteForce()
+	if SelectedCount(wTight) > SelectedCount(wLoose) {
+		t.Fatalf("heavy sparsity chose more classifiers: %d > %d",
+			SelectedCount(wTight), SelectedCount(wLoose))
+	}
+}
+
+func TestPredictAndAccuracy(t *testing.T) {
+	H := [][]float64{{1, -1, 1}, {1, 1, -1}}
+	y := []float64{1, -1, 1}
+	e, err := WeakClassifierEnsemble(H, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Select only the first (perfect) classifier.
+	w := []int8{1, 0}
+	for s := range y {
+		p, err := e.Predict(w, []float64{H[0][s], H[1][s]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(p) != y[s] {
+			t.Fatalf("sample %d predicted %d, want %v", s, p, y[s])
+		}
+	}
+	acc, err := e.TrainingAccuracy(w, H, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 1 {
+		t.Fatalf("accuracy %v, want 1", acc)
+	}
+	// Empty selection votes 0 → +1 by convention.
+	p, err := e.Predict([]int8{0, 0}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("empty vote = %d, want +1", p)
+	}
+	if _, err := e.Predict([]int8{1}, []float64{1, 1}); err == nil {
+		t.Fatal("short selection accepted")
+	}
+	if _, err := e.TrainingAccuracy(w, H[:1], y); err == nil {
+		t.Fatal("mismatched H accepted")
+	}
+	if _, err := e.TrainingAccuracy(w, H, nil); err == nil {
+		t.Fatal("empty y accepted")
+	}
+}
+
+func TestSelectedCount(t *testing.T) {
+	if got := SelectedCount([]int8{1, 0, 1, 1}); got != 3 {
+		t.Fatalf("SelectedCount = %d", got)
+	}
+	if got := SelectedCount(nil); got != 0 {
+		t.Fatalf("SelectedCount(nil) = %d", got)
+	}
+}

@@ -1,0 +1,65 @@
+package qubo
+
+// ToIsing translates a QUBO instance into the logical Ising model of the
+// paper's Eqs. (4)–(5):
+//
+//	h_i = Q_ii/2 + (1/4)·Σ_{j≠i} Q_ij,      J_ij = Q_ij/4  (i<j),
+//
+// under the substitution b_i = (1+s_i)/2. An energy offset
+//
+//	C = Σ_i Q_ii/2 + Σ_{i<j} Q_ij/4
+//
+// is recorded so the translation is exactly energy preserving:
+// E_QUBO(b) = E_Ising(2b-1) for every assignment, hence argmins coincide.
+func ToIsing(q *QUBO) *Ising {
+	n := q.Dim()
+	is := NewIsing(n)
+	for i := 0; i < n; i++ {
+		d := q.Get(i, i)
+		is.H[i] += d / 2
+		is.Offset += d / 2
+		for j := i + 1; j < n; j++ {
+			c := q.Get(i, j)
+			if c == 0 {
+				continue
+			}
+			is.H[i] += c / 4
+			is.H[j] += c / 4
+			is.SetCoupling(i, j, c/4)
+			is.Offset += c / 4
+		}
+	}
+	return is
+}
+
+// FromIsing inverts ToIsing, producing the QUBO whose ToIsing equals the
+// given model (up to the recorded offset):
+//
+//	Q_ij = 4·J_ij (i<j),   Q_ii = 2·h_i - Σ_{j≠i} J_ij·...
+//
+// concretely Q_ii = 2·(h_i - Σ_{j≠i} J_ij).
+func FromIsing(is *Ising) *QUBO {
+	n := is.Dim()
+	q := NewQUBO(n)
+	rowSum := make([]float64, n)
+	for e, j := range is.J {
+		q.Set(e.U, e.V, 4*j)
+		rowSum[e.U] += j
+		rowSum[e.V] += j
+	}
+	for i := 0; i < n; i++ {
+		q.Set(i, i, 2*(is.H[i]-rowSum[i]))
+	}
+	return q
+}
+
+// ConversionOps reports the operation counts the paper's stage-1 model
+// charges for this translation: the QUBO→Ising mapping is counted as
+// Ising = n² additions (InitializeData) and the subsequent hardware
+// parameter-setting step as n³ operations (ParameterSetting), matching the
+// `param Ising = LPS^2` and `param ParameterSetting = LPS^3` lines of Fig. 6
+// and the "O(n³) addition operations" statement of §2.2.
+func ConversionOps(n int) (isingOps, parameterSettingOps float64) {
+	nf := float64(n)
+	return nf * nf, nf * nf * nf
+}

@@ -1,0 +1,353 @@
+package qubo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PBPoly is a pseudo-Boolean polynomial over binary variables 0..N-1: a sum
+// of coefficient·Π x_i terms of any degree. It is the natural source form
+// for workloads whose penalty expansion is cubic or higher (MAX-3-SAT and
+// other k-local reductions); Quadratize lowers it to the 2-local QUBO form
+// the Ising hardware requires — the same kind of domain translation the
+// paper's stage 1 studies, one level up.
+type PBPoly struct {
+	N        int
+	Constant float64
+	terms    map[string]*pbTerm // canonical key → term
+}
+
+type pbTerm struct {
+	vars  []int // sorted, unique
+	coeff float64
+}
+
+// NewPBPoly returns the zero polynomial over n variables.
+func NewPBPoly(n int) *PBPoly {
+	return &PBPoly{N: n, terms: make(map[string]*pbTerm)}
+}
+
+func termKey(vars []int) string {
+	k := make([]byte, 0, len(vars)*3)
+	for _, v := range vars {
+		k = append(k, byte(v), byte(v>>8), byte(v>>16))
+	}
+	return string(k)
+}
+
+// Add accumulates coeff·Π vars. Duplicate variables collapse (x² = x);
+// an empty variable list adds to the constant. Variables must be in range.
+func (p *PBPoly) Add(coeff float64, vars ...int) error {
+	if coeff == 0 {
+		return nil
+	}
+	uniq := make([]int, 0, len(vars))
+	seen := make(map[int]bool, len(vars))
+	for _, v := range vars {
+		if v < 0 || v >= p.N {
+			return fmt.Errorf("qubo: variable %d outside [0,%d)", v, p.N)
+		}
+		if !seen[v] {
+			seen[v] = true
+			uniq = append(uniq, v)
+		}
+	}
+	if len(uniq) == 0 {
+		p.Constant += coeff
+		return nil
+	}
+	sort.Ints(uniq)
+	key := termKey(uniq)
+	if t, ok := p.terms[key]; ok {
+		t.coeff += coeff
+		if t.coeff == 0 {
+			delete(p.terms, key)
+		}
+		return nil
+	}
+	p.terms[key] = &pbTerm{vars: uniq, coeff: coeff}
+	return nil
+}
+
+// Degree returns the largest term degree (0 for a constant polynomial).
+func (p *PBPoly) Degree() int {
+	d := 0
+	for _, t := range p.terms {
+		if len(t.vars) > d {
+			d = len(t.vars)
+		}
+	}
+	return d
+}
+
+// NumTerms returns the number of non-constant terms.
+func (p *PBPoly) NumTerms() int { return len(p.terms) }
+
+// Energy evaluates the polynomial on a 0/1 assignment.
+func (p *PBPoly) Energy(b []int8) float64 {
+	e := p.Constant
+	for _, t := range p.terms {
+		prod := t.coeff
+		for _, v := range t.vars {
+			if v >= len(b) || b[v] != 1 {
+				prod = 0
+				break
+			}
+		}
+		e += prod
+	}
+	return e
+}
+
+// Quadratized is the 2-local image of a higher-degree polynomial: a QUBO
+// over the original variables plus one auxiliary variable per substituted
+// product pair.
+type Quadratized struct {
+	Q       *QUBO
+	Offset  float64 // constant: min-energy bookkeeping
+	NOrig   int     // original variables occupy indices 0..NOrig-1
+	Aux     int     // auxiliary variable count
+	Penalty float64 // Rosenberg penalty used
+	pairs   [][2]int
+}
+
+// AuxPairs returns, for each auxiliary variable (in index order starting at
+// NOrig), the variable pair whose product it represents. Pair members may
+// themselves be auxiliaries (nested substitution for degree > 3).
+func (qz *Quadratized) AuxPairs() [][2]int {
+	out := make([][2]int, len(qz.pairs))
+	copy(out, qz.pairs)
+	return out
+}
+
+// Quadratize lowers the polynomial to a QUBO by repeated Rosenberg
+// substitution: while any term has degree ≥ 3, the variable pair occurring
+// in the most such terms is replaced by a fresh auxiliary z with penalty
+//
+//	M·(x·y − 2·x·z − 2·y·z + 3·z),
+//
+// which is 0 when z = x·y and ≥ M otherwise. With penalty M greater than
+// the total magnitude of the substituted terms, the minima of the QUBO
+// restricted to the original variables coincide with the polynomial's.
+// Pass penalty ≤ 0 to use the safe automatic value.
+func (p *PBPoly) Quadratize(penalty float64) (*Quadratized, error) {
+	if p.N == 0 && len(p.terms) == 0 {
+		return nil, errors.New("qubo: empty polynomial")
+	}
+	if penalty <= 0 {
+		sum := 1.0
+		for _, t := range p.terms {
+			sum += math.Abs(t.coeff)
+		}
+		penalty = sum
+	}
+
+	// Work on a mutable copy of the term list.
+	type wt struct {
+		vars  []int
+		coeff float64
+	}
+	var work []wt
+	for _, t := range p.terms {
+		vars := make([]int, len(t.vars))
+		copy(vars, t.vars)
+		work = append(work, wt{vars, t.coeff})
+	}
+	// Deterministic order for reproducible auxiliary numbering.
+	sort.Slice(work, func(i, j int) bool {
+		a, b := work[i].vars, work[j].vars
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+
+	next := p.N
+	var pairs [][2]int
+	var penalties [][2]int // (pair) per aux, same as pairs; kept for clarity
+
+	for {
+		// Count pair occurrences among high-degree terms.
+		counts := map[[2]int]int{}
+		maxDeg := 0
+		for _, t := range work {
+			if len(t.vars) < 3 {
+				continue
+			}
+			if len(t.vars) > maxDeg {
+				maxDeg = len(t.vars)
+			}
+			for i := 0; i < len(t.vars); i++ {
+				for j := i + 1; j < len(t.vars); j++ {
+					counts[[2]int{t.vars[i], t.vars[j]}]++
+				}
+			}
+		}
+		if maxDeg < 3 {
+			break
+		}
+		best := [2]int{-1, -1}
+		bestCount := 0
+		for pair, c := range counts {
+			if c > bestCount || (c == bestCount && (best[0] == -1 ||
+				pair[0] < best[0] || (pair[0] == best[0] && pair[1] < best[1]))) {
+				best, bestCount = pair, c
+			}
+		}
+		z := next
+		next++
+		pairs = append(pairs, best)
+		penalties = append(penalties, best)
+		// Substitute the pair in every high-degree term containing it.
+		for i := range work {
+			t := &work[i]
+			if len(t.vars) < 3 {
+				continue
+			}
+			hasX, hasY := false, false
+			for _, v := range t.vars {
+				if v == best[0] {
+					hasX = true
+				}
+				if v == best[1] {
+					hasY = true
+				}
+			}
+			if !hasX || !hasY {
+				continue
+			}
+			repl := make([]int, 0, len(t.vars)-1)
+			for _, v := range t.vars {
+				if v != best[0] && v != best[1] {
+					repl = append(repl, v)
+				}
+			}
+			repl = append(repl, z)
+			sort.Ints(repl)
+			t.vars = repl
+		}
+	}
+
+	q := NewQUBO(next)
+	qz := &Quadratized{Q: q, Offset: p.Constant, NOrig: p.N, Aux: next - p.N, Penalty: penalty, pairs: pairs}
+	for _, t := range work {
+		switch len(t.vars) {
+		case 0:
+			qz.Offset += t.coeff
+		case 1:
+			q.Add(t.vars[0], t.vars[0], t.coeff)
+		case 2:
+			q.Add(t.vars[0], t.vars[1], t.coeff)
+		default:
+			return nil, fmt.Errorf("qubo: internal: degree-%d term survived quadratization", len(t.vars))
+		}
+	}
+	// Rosenberg penalties.
+	for k, pair := range penalties {
+		z := p.N + k
+		x, y := pair[0], pair[1]
+		q.Add(x, y, penalty)
+		q.Add(x, z, -2*penalty)
+		q.Add(y, z, -2*penalty)
+		q.Add(z, z, 3*penalty)
+	}
+	return qz, nil
+}
+
+// Energy returns the quadratized energy including the constant offset.
+func (qz *Quadratized) Energy(b []int8) float64 {
+	return qz.Q.Energy(b) + qz.Offset
+}
+
+// Restrict truncates an assignment over the extended variable space to the
+// original variables.
+func (qz *Quadratized) Restrict(b []int8) []int8 {
+	if len(b) < qz.NOrig {
+		return b
+	}
+	out := make([]int8, qz.NOrig)
+	copy(out, b[:qz.NOrig])
+	return out
+}
+
+// Clause3 is a 3-SAT clause: three literals over distinct variables.
+type Clause3 struct {
+	Var [3]int
+	Neg [3]bool
+}
+
+// Satisfied reports whether the clause holds under a 0/1 assignment.
+func (c Clause3) Satisfied(b []int8) bool {
+	for k := 0; k < 3; k++ {
+		lit := c.Var[k] < len(b) && b[c.Var[k]] == 1
+		if c.Neg[k] {
+			lit = !lit
+		}
+		if lit {
+			return true
+		}
+	}
+	return false
+}
+
+// Max3SAT encodes "maximize satisfied clauses" as a pseudo-Boolean
+// polynomial: each clause contributes its violation indicator
+// Π_k lit'_k(b), a degree-3 term after expansion, so the polynomial's
+// minimum equals the minimum number of violated clauses. Quadratize the
+// result to obtain hardware-ready QUBO form:
+//
+//	poly, _ := qubo.Max3SAT(n, clauses)
+//	qz, _ := poly.Quadratize(0)
+//
+// All three literals of a clause must reference distinct variables.
+func Max3SAT(nVars int, clauses []Clause3) (*PBPoly, error) {
+	if nVars <= 0 {
+		return nil, errors.New("qubo: no variables")
+	}
+	p := NewPBPoly(nVars)
+	for ci, cl := range clauses {
+		if cl.Var[0] == cl.Var[1] || cl.Var[0] == cl.Var[2] || cl.Var[1] == cl.Var[2] {
+			return nil, fmt.Errorf("qubo: clause %d repeats a variable", ci)
+		}
+		// Violation = Π (a_k·b_k + c_k) with (a,c) from literalPoly.
+		var a, c [3]float64
+		for k := 0; k < 3; k++ {
+			if cl.Var[k] < 0 || cl.Var[k] >= nVars {
+				return nil, fmt.Errorf("qubo: clause %d variable %d out of range", ci, cl.Var[k])
+			}
+			a[k], c[k] = literalPoly(cl.Neg[k])
+		}
+		// Expand (a0·x0+c0)(a1·x1+c1)(a2·x2+c2).
+		for mask := 0; mask < 8; mask++ {
+			coeff := 1.0
+			var vars []int
+			for k := 0; k < 3; k++ {
+				if mask>>k&1 == 1 {
+					coeff *= a[k]
+					vars = append(vars, cl.Var[k])
+				} else {
+					coeff *= c[k]
+				}
+			}
+			if err := p.Add(coeff, vars...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}
+
+// CountSatisfied3 returns the number of satisfied 3-SAT clauses.
+func CountSatisfied3(clauses []Clause3, b []int8) int {
+	n := 0
+	for _, cl := range clauses {
+		if cl.Satisfied(b) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,287 @@
+package qubo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPBPolyAddAndEnergy(t *testing.T) {
+	p := NewPBPoly(3)
+	if err := p.Add(2, 0, 1, 2); err != nil { // 2·x0x1x2
+		t.Fatal(err)
+	}
+	if err := p.Add(-1, 1); err != nil { // −x1
+		t.Fatal(err)
+	}
+	if err := p.Add(0.5); err != nil { // constant
+		t.Fatal(err)
+	}
+	cases := []struct {
+		b    []int8
+		want float64
+	}{
+		{[]int8{0, 0, 0}, 0.5},
+		{[]int8{1, 1, 1}, 2 - 1 + 0.5},
+		{[]int8{0, 1, 0}, -1 + 0.5},
+		{[]int8{1, 0, 1}, 0.5},
+	}
+	for _, c := range cases {
+		if got := p.Energy(c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Energy(%v) = %v, want %v", c.b, got, c.want)
+		}
+	}
+	if p.Degree() != 3 || p.NumTerms() != 2 {
+		t.Fatalf("Degree %d NumTerms %d", p.Degree(), p.NumTerms())
+	}
+}
+
+func TestPBPolyDuplicateVarsCollapse(t *testing.T) {
+	p := NewPBPoly(2)
+	if err := p.Add(3, 0, 0, 1); err != nil { // x0²x1 = x0x1
+		t.Fatal(err)
+	}
+	if p.Degree() != 2 {
+		t.Fatalf("Degree = %d, want 2 (x²=x)", p.Degree())
+	}
+	if got := p.Energy([]int8{1, 1}); got != 3 {
+		t.Fatalf("Energy = %v", got)
+	}
+}
+
+func TestPBPolyMergesAndCancels(t *testing.T) {
+	p := NewPBPoly(2)
+	_ = p.Add(2, 0, 1)
+	_ = p.Add(-2, 1, 0) // same term, cancels
+	if p.NumTerms() != 0 {
+		t.Fatalf("NumTerms = %d after cancellation", p.NumTerms())
+	}
+	if err := p.Add(1, 5); err == nil {
+		t.Fatal("out-of-range variable accepted")
+	}
+	_ = p.Add(0, 0) // zero coefficient is a no-op
+	if p.NumTerms() != 0 {
+		t.Fatal("zero-coefficient term stored")
+	}
+}
+
+// minOverOriginal finds, for every original assignment, the minimum
+// quadratized energy over auxiliary completions, and compares against the
+// source polynomial.
+func checkQuadratizationExact(t *testing.T, p *PBPoly, qz *Quadratized) {
+	t.Helper()
+	nAll := qz.Q.Dim()
+	for origBits := 0; origBits < 1<<p.N; origBits++ {
+		orig := make([]int8, p.N)
+		for i := range orig {
+			orig[i] = int8(origBits >> i & 1)
+		}
+		want := p.Energy(orig)
+		best := math.Inf(1)
+		for auxBits := 0; auxBits < 1<<(nAll-p.N); auxBits++ {
+			full := make([]int8, nAll)
+			copy(full, orig)
+			for k := 0; k < nAll-p.N; k++ {
+				full[p.N+k] = int8(auxBits >> k & 1)
+			}
+			if e := qz.Energy(full); e < best {
+				best = e
+			}
+		}
+		if math.Abs(best-want) > 1e-9 {
+			t.Fatalf("assignment %v: min quadratized %v != poly %v", orig, best, want)
+		}
+	}
+}
+
+func TestQuadratizeCubicExact(t *testing.T) {
+	p := NewPBPoly(3)
+	_ = p.Add(2, 0, 1, 2)
+	_ = p.Add(-1.5, 0, 1)
+	_ = p.Add(0.7, 2)
+	_ = p.Add(-0.25)
+	qz, err := p.Quadratize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qz.Aux != 1 {
+		t.Fatalf("Aux = %d, want 1 substitution for one cubic term", qz.Aux)
+	}
+	checkQuadratizationExact(t, p, qz)
+}
+
+func TestQuadratizeDegree4Exact(t *testing.T) {
+	p := NewPBPoly(4)
+	_ = p.Add(1, 0, 1, 2, 3)
+	_ = p.Add(-2, 1, 2, 3)
+	qz, err := p.Quadratize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qz.Q.Dim() <= 4 {
+		t.Fatal("no auxiliaries introduced for a quartic term")
+	}
+	checkQuadratizationExact(t, p, qz)
+}
+
+func TestQuadratizeQuadraticIsIdentity(t *testing.T) {
+	p := NewPBPoly(3)
+	_ = p.Add(1, 0, 1)
+	_ = p.Add(-2, 2)
+	qz, err := p.Quadratize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qz.Aux != 0 || qz.Q.Dim() != 3 {
+		t.Fatalf("quadratic poly grew: aux=%d dim=%d", qz.Aux, qz.Q.Dim())
+	}
+	checkQuadratizationExact(t, p, qz)
+}
+
+func TestQuadratizeAuxEqualsProductAtOptimum(t *testing.T) {
+	p := NewPBPoly(3)
+	_ = p.Add(-5, 0, 1, 2) // minimized by all-ones
+	qz, err := p.Quadratize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := qz.Q.BruteForce()
+	pairs := qz.AuxPairs()
+	for k, pair := range pairs {
+		z := b[qz.NOrig+k]
+		want := b[pair[0]] * b[pair[1]]
+		if z != want {
+			t.Fatalf("aux %d = %d, want x%d·x%d = %d", k, z, pair[0], pair[1], want)
+		}
+	}
+	if restricted := qz.Restrict(b); len(restricted) != 3 {
+		t.Fatalf("Restrict length %d", len(restricted))
+	}
+}
+
+func TestQuadratizeEmptyPolyRejected(t *testing.T) {
+	if _, err := NewPBPoly(0).Quadratize(0); err == nil {
+		t.Fatal("empty polynomial accepted")
+	}
+}
+
+func TestQuickQuadratizePreservesMinima(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(2)
+		p := NewPBPoly(n)
+		nTerms := 1 + rng.Intn(5)
+		for i := 0; i < nTerms; i++ {
+			deg := 1 + rng.Intn(3)
+			vars := rng.Perm(n)[:deg]
+			if p.Add(float64(rng.Intn(9)-4), vars...) != nil {
+				return false
+			}
+		}
+		qz, err := p.Quadratize(0)
+		if err != nil {
+			return false
+		}
+		if qz.Q.Dim() > 16 {
+			return true // too big to enumerate; skip draw
+		}
+		// Global minimum must transfer.
+		_, eQ := qz.Q.BruteForce()
+		bestPoly := math.Inf(1)
+		for bits := 0; bits < 1<<n; bits++ {
+			b := make([]int8, n)
+			for i := range b {
+				b[i] = int8(bits >> i & 1)
+			}
+			if e := p.Energy(b); e < bestPoly {
+				bestPoly = e
+			}
+		}
+		return math.Abs((eQ+qz.Offset)-bestPoly) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMax3SATValidation(t *testing.T) {
+	if _, err := Max3SAT(0, nil); err == nil {
+		t.Fatal("no variables accepted")
+	}
+	if _, err := Max3SAT(3, []Clause3{{Var: [3]int{0, 0, 1}}}); err == nil {
+		t.Fatal("repeated variable accepted")
+	}
+	if _, err := Max3SAT(3, []Clause3{{Var: [3]int{0, 1, 7}}}); err == nil {
+		t.Fatal("out-of-range variable accepted")
+	}
+}
+
+func TestMax3SATPolyCountsViolations(t *testing.T) {
+	// (x0 ∨ x1 ∨ x2) ∧ (¬x0 ∨ x1 ∨ ¬x2): check E = #violated everywhere.
+	clauses := []Clause3{
+		{Var: [3]int{0, 1, 2}},
+		{Var: [3]int{0, 1, 2}, Neg: [3]bool{true, false, true}},
+	}
+	p, err := Max3SAT(3, clauses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bits := 0; bits < 8; bits++ {
+		b := []int8{int8(bits & 1), int8(bits >> 1 & 1), int8(bits >> 2 & 1)}
+		want := float64(len(clauses) - CountSatisfied3(clauses, b))
+		if got := p.Energy(b); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("b=%v: E=%v, want %v violations", b, got, want)
+		}
+	}
+}
+
+func TestMax3SATQuadratizedSolvesInstance(t *testing.T) {
+	// A satisfiable instance: the QUBO minimum must satisfy all clauses.
+	clauses := []Clause3{
+		{Var: [3]int{0, 1, 2}},
+		{Var: [3]int{0, 1, 3}, Neg: [3]bool{true, false, false}},
+		{Var: [3]int{1, 2, 3}, Neg: [3]bool{false, true, true}},
+		{Var: [3]int{0, 2, 3}, Neg: [3]bool{true, true, false}},
+	}
+	p, err := Max3SAT(4, clauses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qz, err := p.Quadratize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := qz.Q.BruteForce()
+	assignment := qz.Restrict(b)
+	if got := CountSatisfied3(clauses, assignment); got != len(clauses) {
+		t.Fatalf("QUBO optimum satisfies %d/%d clauses (b=%v)", got, len(clauses), assignment)
+	}
+}
+
+func TestMax3SATUnsatisfiableViolatesExactlyOne(t *testing.T) {
+	// All 8 sign patterns over {x0,x1,x2}: exactly one clause must fail.
+	var clauses []Clause3
+	for mask := 0; mask < 8; mask++ {
+		clauses = append(clauses, Clause3{
+			Var: [3]int{0, 1, 2},
+			Neg: [3]bool{mask&1 == 1, mask>>1&1 == 1, mask>>2&1 == 1},
+		})
+	}
+	p, err := Max3SAT(3, clauses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qz, err := p.Quadratize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, e := qz.Q.BruteForce()
+	if got := e + qz.Offset; math.Abs(got-1) > 1e-9 {
+		t.Fatalf("minimum violations = %v, want exactly 1", got)
+	}
+	assignment := qz.Restrict(b)
+	if got := CountSatisfied3(clauses, assignment); got != 7 {
+		t.Fatalf("satisfied %d/8, want 7", got)
+	}
+}

@@ -1,0 +1,116 @@
+package qubo
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ILP is a binary integer linear program reduced to QUBO form: minimize
+// c·x subject to Ax = b over x ∈ {0,1}ⁿ. Integer linear programming is one
+// of the workloads the paper names as mapping into the D-Wave Ising model
+// (§2.1). The equality constraints enter as quadratic penalties
+//
+//	E(x) = c·x + P·Σ_i (A_i·x - b_i)²,
+//
+// so for sufficiently large P the QUBO minimum is the ILP optimum plus the
+// recorded Offset (the constant P·Σ b_i² absorbed during expansion).
+type ILP struct {
+	Q       *QUBO
+	Offset  float64 // constant added to Q's energy to recover E(x)
+	Penalty float64
+}
+
+// IntegerLinearProgram builds the QUBO for min c·x s.t. Ax = b, x binary.
+// A is row-major with len(A) constraints over len(c) variables. The penalty
+// must exceed any achievable objective spread; SafeILPPenalty provides a
+// sufficient value.
+func IntegerLinearProgram(c []float64, A [][]float64, b []float64, penalty float64) (*ILP, error) {
+	n := len(c)
+	if n == 0 {
+		return nil, errors.New("qubo: ILP with no variables")
+	}
+	if len(A) != len(b) {
+		return nil, fmt.Errorf("qubo: %d constraint rows but %d right-hand sides", len(A), len(b))
+	}
+	if penalty <= 0 {
+		return nil, fmt.Errorf("qubo: ILP penalty %g must be positive", penalty)
+	}
+	q := NewQUBO(n)
+	for j, cj := range c {
+		q.Add(j, j, cj)
+	}
+	offset := 0.0
+	for i, row := range A {
+		if len(row) != n {
+			return nil, fmt.Errorf("qubo: constraint %d has %d coefficients, want %d", i, len(row), n)
+		}
+		// P·(Σ_j a_j x_j - b)² with x² = x:
+		//   diagonal  P·a_j² - 2P·b·a_j
+		//   pairs     2P·a_j·a_k  (j<k)
+		//   constant  P·b²
+		for j := 0; j < n; j++ {
+			aj := row[j]
+			if aj == 0 {
+				continue
+			}
+			q.Add(j, j, penalty*aj*aj-2*penalty*b[i]*aj)
+			for k := j + 1; k < n; k++ {
+				if row[k] == 0 {
+					continue
+				}
+				q.Add(j, k, 2*penalty*aj*row[k])
+			}
+		}
+		offset += penalty * b[i] * b[i]
+	}
+	return &ILP{Q: q, Offset: offset, Penalty: penalty}, nil
+}
+
+// SafeILPPenalty returns a penalty strictly dominating the objective spread
+// Σ|c_j| + 1, so any constraint violation costs more than the best possible
+// objective gain (each violated equality costs at least P since A and b are
+// integers in the intended use; for fractional data scale accordingly).
+func SafeILPPenalty(c []float64) float64 {
+	sum := 1.0
+	for _, cj := range c {
+		if cj < 0 {
+			sum -= cj
+		} else {
+			sum += cj
+		}
+	}
+	return sum
+}
+
+// Energy returns the penalized objective of an assignment, including the
+// expansion constant, i.e. c·x + P·‖Ax-b‖².
+func (p *ILP) Energy(x []int8) float64 {
+	return p.Q.Energy(x) + p.Offset
+}
+
+// Feasible reports whether x satisfies Ax = b exactly (within tol).
+func Feasible(A [][]float64, b []float64, x []int8, tol float64) bool {
+	for i, row := range A {
+		s := 0.0
+		for j, a := range row {
+			if j < len(x) && x[j] == 1 {
+				s += a
+			}
+		}
+		if d := s - b[i]; d > tol || d < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+// ObjectiveValue returns c·x.
+func ObjectiveValue(c []float64, x []int8) float64 {
+	v := 0.0
+	for j, cj := range c {
+		if j < len(x) && x[j] == 1 {
+			v += cj
+		}
+	}
+	return v
+}

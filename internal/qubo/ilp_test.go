@@ -1,0 +1,151 @@
+package qubo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestILPValidation(t *testing.T) {
+	if _, err := IntegerLinearProgram(nil, nil, nil, 1); err == nil {
+		t.Fatal("empty ILP accepted")
+	}
+	if _, err := IntegerLinearProgram([]float64{1}, [][]float64{{1}}, nil, 1); err == nil {
+		t.Fatal("row/rhs mismatch accepted")
+	}
+	if _, err := IntegerLinearProgram([]float64{1}, [][]float64{{1, 2}}, []float64{1}, 1); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+	if _, err := IntegerLinearProgram([]float64{1}, nil, nil, 0); err == nil {
+		t.Fatal("zero penalty accepted")
+	}
+}
+
+func TestILPEnergyMatchesDefinition(t *testing.T) {
+	// min x0 + 2x1 + 3x2  s.t.  x0 + x1 + x2 = 2.
+	c := []float64{1, 2, 3}
+	A := [][]float64{{1, 1, 1}}
+	b := []float64{2}
+	p, err := IntegerLinearProgram(c, A, b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bits := 0; bits < 8; bits++ {
+		x := []int8{int8(bits & 1), int8(bits >> 1 & 1), int8(bits >> 2 & 1)}
+		want := ObjectiveValue(c, x)
+		sum := float64(x[0] + x[1] + x[2])
+		want += 10 * (sum - 2) * (sum - 2)
+		if got := p.Energy(x); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("x=%v: energy %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestILPBruteForceFindsOptimum(t *testing.T) {
+	// min x0 + 2x1 + 3x2  s.t.  x0+x1+x2 = 2 → optimum {x0,x1}, cost 3.
+	c := []float64{1, 2, 3}
+	A := [][]float64{{1, 1, 1}}
+	b := []float64{2}
+	p, err := IntegerLinearProgram(c, A, b, SafeILPPenalty(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := p.Q.BruteForce()
+	if !Feasible(A, b, x, 1e-9) {
+		t.Fatalf("optimum %v infeasible", x)
+	}
+	if got := ObjectiveValue(c, x); got != 3 {
+		t.Fatalf("objective %v, want 3", got)
+	}
+	if x[0] != 1 || x[1] != 1 || x[2] != 0 {
+		t.Fatalf("x = %v, want [1 1 0]", x)
+	}
+}
+
+func TestILPMultipleConstraints(t *testing.T) {
+	// min -x0 - x1 - x2 - x3 (i.e. maximize picks)
+	// s.t. x0 + x1 = 1, x2 + x3 = 1 → any one from each pair, cost -2.
+	c := []float64{-1, -1, -1, -1}
+	A := [][]float64{{1, 1, 0, 0}, {0, 0, 1, 1}}
+	b := []float64{1, 1}
+	p, err := IntegerLinearProgram(c, A, b, SafeILPPenalty(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := p.Q.BruteForce()
+	if !Feasible(A, b, x, 1e-9) {
+		t.Fatalf("optimum %v infeasible", x)
+	}
+	if got := ObjectiveValue(c, x); got != -2 {
+		t.Fatalf("objective %v, want -2", got)
+	}
+}
+
+func TestILPInfeasibleProblemViolates(t *testing.T) {
+	// x0 = 2 is unsatisfiable with binary x0: the QUBO optimum must still
+	// exist but every assignment is infeasible.
+	c := []float64{0}
+	A := [][]float64{{1}}
+	b := []float64{2}
+	p, err := IntegerLinearProgram(c, A, b, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := p.Q.BruteForce()
+	if Feasible(A, b, x, 1e-9) {
+		t.Fatal("infeasible problem judged feasible")
+	}
+	// Best effort: x0=1 (violation 1) beats x0=0 (violation 4).
+	if x[0] != 1 {
+		t.Fatalf("x = %v, want closest point [1]", x)
+	}
+}
+
+func TestSafeILPPenaltyDominates(t *testing.T) {
+	// Property: with the safe penalty, the brute-force optimum of a random
+	// feasible ILP is always feasible.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = float64(rng.Intn(9) - 4)
+		}
+		// One cardinality constraint picked to be satisfiable.
+		k := 1 + rng.Intn(n-1)
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = 1
+		}
+		A := [][]float64{row}
+		b := []float64{float64(k)}
+		p, err := IntegerLinearProgram(c, A, b, SafeILPPenalty(c))
+		if err != nil {
+			return false
+		}
+		x, _ := p.Q.BruteForce()
+		return Feasible(A, b, x, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeasibleAndObjectiveHelpers(t *testing.T) {
+	A := [][]float64{{1, -1}}
+	b := []float64{0}
+	if !Feasible(A, b, []int8{1, 1}, 1e-9) {
+		t.Fatal("balanced pick judged infeasible")
+	}
+	if Feasible(A, b, []int8{1, 0}, 1e-9) {
+		t.Fatal("unbalanced pick judged feasible")
+	}
+	if got := ObjectiveValue([]float64{2, 3}, []int8{1, 0}); got != 2 {
+		t.Fatalf("objective %v", got)
+	}
+	// Short assignments treat missing entries as 0.
+	if got := ObjectiveValue([]float64{2, 3}, []int8{1}); got != 2 {
+		t.Fatalf("short assignment objective %v", got)
+	}
+}

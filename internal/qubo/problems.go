@@ -1,0 +1,280 @@
+package qubo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/splitexec/splitexec/internal/graph"
+)
+
+// This file provides QUBO formulations of the NP-hard problems the paper
+// lists as D-Wave workloads (§2.1): MAX-CUT, vertex cover, number
+// partitioning, graph coloring, maximum independent set, and MAX-2-SAT.
+// Formulations follow Lucas, "Ising formulations of many NP problems"
+// (Frontiers in Physics 2, 2014), translated to the binary domain.
+
+// MaxCut returns the QUBO whose minimum encodes a maximum cut of g:
+// E(b) = Σ_{(u,v)∈E} w_uv·(2·b_u·b_v - b_u - b_v); each cut edge contributes
+// -w, so -E(b*) is the weight of the maximum cut. A nil weight function
+// means unit weights.
+func MaxCut(g *graph.Graph, weight func(u, v int) float64) *QUBO {
+	q := NewQUBO(g.Order())
+	for _, e := range g.Edges() {
+		w := 1.0
+		if weight != nil {
+			w = weight(e.U, e.V)
+		}
+		q.Add(e.U, e.U, -w)
+		q.Add(e.V, e.V, -w)
+		q.Add(e.U, e.V, 2*w)
+	}
+	return q
+}
+
+// CutValue returns the total weight of edges cut by the 0/1 partition b.
+func CutValue(g *graph.Graph, weight func(u, v int) float64, b []int8) float64 {
+	total := 0.0
+	for _, e := range g.Edges() {
+		if b[e.U] != b[e.V] {
+			w := 1.0
+			if weight != nil {
+				w = weight(e.U, e.V)
+			}
+			total += w
+		}
+	}
+	return total
+}
+
+// NumberPartition returns the QUBO for partitioning values into two sets of
+// equal sum: E(b) = (Σ_i v_i·(2b_i-1))², expanded into quadratic form. The
+// optimum is 0 exactly when a perfect partition exists; generally E* equals
+// the squared residual.
+func NumberPartition(values []float64) *QUBO {
+	n := len(values)
+	q := NewQUBO(n)
+	var total float64
+	for _, v := range values {
+		total += v
+	}
+	// (2Σv_i b_i - T)² = 4ΣΣ v_i v_j b_i b_j - 4TΣ v_i b_i + T².
+	// Constant T² omitted (shifts energy only); record via diagonal terms.
+	for i := 0; i < n; i++ {
+		q.Add(i, i, 4*values[i]*values[i]-4*total*values[i])
+		for j := i + 1; j < n; j++ {
+			q.Add(i, j, 8*values[i]*values[j])
+		}
+	}
+	return q
+}
+
+// PartitionResidual returns |sum(set0) - sum(set1)| for the partition b.
+func PartitionResidual(values []float64, b []int8) float64 {
+	d := 0.0
+	for i, v := range values {
+		if b[i] != 0 {
+			d += v
+		} else {
+			d -= v
+		}
+	}
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// MinVertexCover returns the QUBO for minimum vertex cover of g with
+// constraint penalty P > 1: E(b) = Σ_v b_v + P·Σ_{(u,v)∈E}(1-b_u)(1-b_v).
+// At the optimum every edge is covered and Σb_v is minimal.
+func MinVertexCover(g *graph.Graph, penalty float64) *QUBO {
+	q := NewQUBO(g.Order())
+	for v := 0; v < g.Order(); v++ {
+		q.Add(v, v, 1)
+	}
+	for _, e := range g.Edges() {
+		// P(1 - b_u - b_v + b_u b_v); drop constant P.
+		q.Add(e.U, e.U, -penalty)
+		q.Add(e.V, e.V, -penalty)
+		q.Add(e.U, e.V, penalty)
+	}
+	return q
+}
+
+// IsVertexCover reports whether the set {v : b_v = 1} covers every edge.
+func IsVertexCover(g *graph.Graph, b []int8) bool {
+	for _, e := range g.Edges() {
+		if b[e.U] == 0 && b[e.V] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxIndependentSet returns the QUBO for maximum independent set with edge
+// penalty P > 1: E(b) = -Σ_v b_v + P·Σ_{(u,v)∈E} b_u·b_v.
+func MaxIndependentSet(g *graph.Graph, penalty float64) *QUBO {
+	q := NewQUBO(g.Order())
+	for v := 0; v < g.Order(); v++ {
+		q.Add(v, v, -1)
+	}
+	for _, e := range g.Edges() {
+		q.Add(e.U, e.V, penalty)
+	}
+	return q
+}
+
+// IsIndependentSet reports whether {v : b_v = 1} contains no edge of g.
+func IsIndependentSet(g *graph.Graph, b []int8) bool {
+	for _, e := range g.Edges() {
+		if b[e.U] == 1 && b[e.V] == 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// GraphColoring returns the QUBO for proper k-coloring of g using n·k
+// one-hot variables b[v*k+c] with penalty weight P:
+//
+//	E = P·Σ_v (1 - Σ_c b_vc)² + P·Σ_{(u,v)∈E} Σ_c b_uc·b_vc.
+//
+// E reaches the constant -P·n exactly when a proper coloring exists (each
+// vertex one-hot and no edge monochromatic).
+func GraphColoring(g *graph.Graph, k int, penalty float64) *QUBO {
+	if k < 1 {
+		panic(fmt.Sprintf("qubo: coloring needs k >= 1, got %d", k))
+	}
+	n := g.Order()
+	q := NewQUBO(n * k)
+	id := func(v, c int) int { return v*k + c }
+	for v := 0; v < n; v++ {
+		// (1 - Σ_c x_c)² = 1 - 2Σx_c + Σx_c + 2Σ_{c<c'} x_c x_c'
+		for c := 0; c < k; c++ {
+			q.Add(id(v, c), id(v, c), -penalty)
+			for c2 := c + 1; c2 < k; c2++ {
+				q.Add(id(v, c), id(v, c2), 2*penalty)
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		for c := 0; c < k; c++ {
+			q.Add(id(e.U, c), id(e.V, c), penalty)
+		}
+	}
+	return q
+}
+
+// DecodeColoring extracts a color per vertex from a one-hot assignment,
+// returning (colors, ok) where ok is false if any vertex is not exactly
+// one-hot or an edge is monochromatic.
+func DecodeColoring(g *graph.Graph, k int, b []int8) ([]int, bool) {
+	n := g.Order()
+	colors := make([]int, n)
+	ok := true
+	for v := 0; v < n; v++ {
+		colors[v] = -1
+		count := 0
+		for c := 0; c < k; c++ {
+			if b[v*k+c] == 1 {
+				colors[v] = c
+				count++
+			}
+		}
+		if count != 1 {
+			ok = false
+		}
+	}
+	for _, e := range g.Edges() {
+		if colors[e.U] != -1 && colors[e.U] == colors[e.V] {
+			ok = false
+		}
+	}
+	return colors, ok
+}
+
+// Clause is a 2-SAT clause over variables with signs: positive literal i is
+// (Var: i, Neg: false).
+type Clause struct {
+	Var1, Var2 int
+	Neg1, Neg2 bool
+}
+
+// Max2SAT returns a QUBO whose minimum maximizes the number of satisfied
+// clauses: each clause contributes 1 when violated, using the penalty form
+// lit1'·lit2' where lit' is the violating value of the literal.
+func Max2SAT(nVars int, clauses []Clause) *QUBO {
+	q := NewQUBO(nVars)
+	for _, cl := range clauses {
+		// Violated iff lit1 false AND lit2 false.
+		// f(b) = t1(b1)·t2(b2) where t = b for negated literal, (1-b) otherwise.
+		a1, c1 := literalPoly(cl.Neg1)
+		a2, c2 := literalPoly(cl.Neg2)
+		// (a1·b1 + c1)(a2·b2 + c2) = a1a2·b1b2 + a1c2·b1 + a2c1·b2 + c1c2.
+		if cl.Var1 == cl.Var2 {
+			// b² = b for binary variables.
+			q.Add(cl.Var1, cl.Var1, a1*a2+a1*c2+a2*c1)
+		} else {
+			q.Add(cl.Var1, cl.Var2, a1*a2)
+			q.Add(cl.Var1, cl.Var1, a1*c2)
+			q.Add(cl.Var2, cl.Var2, a2*c1)
+		}
+		// Constant c1·c2 dropped (energy shift only).
+	}
+	return q
+}
+
+func literalPoly(neg bool) (a, c float64) {
+	if neg {
+		return 1, 0 // violating value of ¬x is x itself
+	}
+	return -1, 1 // violating value of x is (1-x)
+}
+
+// CountSatisfied returns the number of clauses satisfied by b.
+func CountSatisfied(clauses []Clause, b []int8) int {
+	n := 0
+	for _, cl := range clauses {
+		l1 := b[cl.Var1] == 1
+		if cl.Neg1 {
+			l1 = !l1
+		}
+		l2 := b[cl.Var2] == 1
+		if cl.Neg2 {
+			l2 = !l2
+		}
+		if l1 || l2 {
+			n++
+		}
+	}
+	return n
+}
+
+// RandomQUBO returns a QUBO with the given coupling density and coefficients
+// uniform in [-1, 1], a standard synthetic benchmark workload.
+func RandomQUBO(n int, density float64, rng *rand.Rand) *QUBO {
+	q := NewQUBO(n)
+	for i := 0; i < n; i++ {
+		q.Set(i, i, 2*rng.Float64()-1)
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				q.Set(i, j, 2*rng.Float64()-1)
+			}
+		}
+	}
+	return q
+}
+
+// RandomIsing returns an Ising model over the edges of g with h and J drawn
+// uniformly from {-1, +1} scaled by hScale/jScale, the "random spin glass"
+// instances used in D-Wave benchmarking studies.
+func RandomIsing(g *graph.Graph, hScale, jScale float64, rng *rand.Rand) *Ising {
+	is := NewIsing(g.Order())
+	for i := range is.H {
+		is.H[i] = hScale * float64(2*rng.Intn(2)-1)
+	}
+	for _, e := range g.Edges() {
+		is.SetCoupling(e.U, e.V, jScale*float64(2*rng.Intn(2)-1))
+	}
+	return is
+}

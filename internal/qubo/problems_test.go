@@ -1,0 +1,278 @@
+package qubo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/splitexec/splitexec/internal/graph"
+)
+
+func TestMaxCutK4(t *testing.T) {
+	g := graph.Complete(4)
+	q := MaxCut(g, nil)
+	b, e := q.BruteForce()
+	// Max cut of K4 is 4 (2+2 split); E* = -4.
+	if e != -4 {
+		t.Errorf("min energy = %v, want -4", e)
+	}
+	if cut := CutValue(g, nil, b); cut != 4 {
+		t.Errorf("cut value = %v, want 4", cut)
+	}
+}
+
+func TestMaxCutBipartiteIsFullCut(t *testing.T) {
+	g := graph.CompleteBipartite(3, 3)
+	q := MaxCut(g, nil)
+	b, e := q.BruteForce()
+	if e != -9 {
+		t.Errorf("min energy = %v, want -9 (all 9 edges cut)", e)
+	}
+	if !bipartitionRespected(b, 3) {
+		t.Errorf("optimal partition %v does not separate the shores", b)
+	}
+}
+
+func bipartitionRespected(b []int8, a int) bool {
+	for i := 1; i < a; i++ {
+		if b[i] != b[0] {
+			return false
+		}
+	}
+	for i := a + 1; i < len(b); i++ {
+		if b[i] != b[a] {
+			return false
+		}
+	}
+	return b[0] != b[a]
+}
+
+func TestMaxCutWeighted(t *testing.T) {
+	g := graph.Path(3) // edges {0,1},{1,2}
+	w := func(u, v int) float64 {
+		if u == 0 || v == 0 {
+			return 10
+		}
+		return 1
+	}
+	q := MaxCut(g, w)
+	b, _ := q.BruteForce()
+	if cut := CutValue(g, w, b); cut != 11 {
+		t.Errorf("weighted max cut = %v, want 11", cut)
+	}
+	_ = b
+}
+
+// Property: MaxCut QUBO energy always equals -CutValue.
+func TestMaxCutEnergyIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.GNP(10, 0.4, rng)
+		q := MaxCut(g, nil)
+		b := make([]int8, 10)
+		for i := range b {
+			b[i] = int8(rng.Intn(2))
+		}
+		return math.Abs(q.Energy(b)+CutValue(g, nil, b)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumberPartitionPerfect(t *testing.T) {
+	values := []float64{3, 1, 1, 2, 2, 1} // total 10, perfect split exists
+	q := NumberPartition(values)
+	b, _ := q.BruteForce()
+	if r := PartitionResidual(values, b); r != 0 {
+		t.Errorf("residual = %v, want 0", r)
+	}
+}
+
+func TestNumberPartitionResidual(t *testing.T) {
+	values := []float64{5, 3, 1} // best split: {5} vs {3,1}, residual 1
+	q := NumberPartition(values)
+	b, _ := q.BruteForce()
+	if r := PartitionResidual(values, b); r != 1 {
+		t.Errorf("residual = %v, want 1", r)
+	}
+}
+
+// Property: the NumberPartition energy differs from the squared signed
+// residual by the constant -T² (dropped during construction).
+func TestNumberPartitionEnergyIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		values := make([]float64, n)
+		total := 0.0
+		for i := range values {
+			values[i] = float64(rng.Intn(9) + 1)
+			total += values[i]
+		}
+		q := NumberPartition(values)
+		b := make([]int8, n)
+		for i := range b {
+			b[i] = int8(rng.Intn(2))
+		}
+		r := PartitionResidual(values, b)
+		return math.Abs(q.Energy(b)-(r*r-total*total)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinVertexCoverStar(t *testing.T) {
+	g := graph.Star(6) // hub 0: optimal cover is {0}
+	q := MinVertexCover(g, 4)
+	b, _ := q.BruteForce()
+	if !IsVertexCover(g, b) {
+		t.Fatal("optimum is not a cover")
+	}
+	size := 0
+	for _, x := range b {
+		size += int(x)
+	}
+	if size != 1 || b[0] != 1 {
+		t.Errorf("cover = %v, want just the hub", b)
+	}
+}
+
+func TestMinVertexCoverCycle(t *testing.T) {
+	g := graph.Cycle(5)
+	q := MinVertexCover(g, 4)
+	b, _ := q.BruteForce()
+	if !IsVertexCover(g, b) {
+		t.Fatal("optimum is not a cover")
+	}
+	size := 0
+	for _, x := range b {
+		size += int(x)
+	}
+	if size != 3 { // vertex cover number of C5
+		t.Errorf("cover size = %d, want 3", size)
+	}
+}
+
+func TestMaxIndependentSetCycle(t *testing.T) {
+	g := graph.Cycle(6)
+	q := MaxIndependentSet(g, 4)
+	b, _ := q.BruteForce()
+	if !IsIndependentSet(g, b) {
+		t.Fatal("optimum is not independent")
+	}
+	size := 0
+	for _, x := range b {
+		size += int(x)
+	}
+	if size != 3 {
+		t.Errorf("independent set size = %d, want 3", size)
+	}
+}
+
+func TestGraphColoringTriangle(t *testing.T) {
+	g := graph.Complete(3)
+	q := GraphColoring(g, 3, 2)
+	b, e := q.BruteForce()
+	colors, ok := DecodeColoring(g, 3, b)
+	if !ok {
+		t.Fatalf("optimum is not a proper one-hot coloring: %v -> %v", b, colors)
+	}
+	// Minimum is -P·n = -6 (constant P·n dropped in construction).
+	if e != -6 {
+		t.Errorf("min energy = %v, want -6", e)
+	}
+}
+
+func TestGraphColoringInfeasible(t *testing.T) {
+	// K3 is not 2-colorable: the decoded optimum must be flagged invalid.
+	g := graph.Complete(3)
+	q := GraphColoring(g, 2, 2)
+	b, _ := q.BruteForce()
+	if _, ok := DecodeColoring(g, 2, b); ok {
+		t.Error("2-coloring of K3 reported valid")
+	}
+}
+
+func TestGraphColoringPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("k=0 did not panic")
+		}
+	}()
+	GraphColoring(graph.Complete(2), 0, 1)
+}
+
+func TestMax2SATSatisfiable(t *testing.T) {
+	// (x0 ∨ x1) ∧ (¬x0 ∨ x1) ∧ (x0 ∨ ¬x1): satisfied by x0=1,x1=1.
+	clauses := []Clause{
+		{Var1: 0, Var2: 1},
+		{Var1: 0, Neg1: true, Var2: 1},
+		{Var1: 0, Var2: 1, Neg2: true},
+	}
+	q := Max2SAT(2, clauses)
+	b, _ := q.BruteForce()
+	if n := CountSatisfied(clauses, b); n != 3 {
+		t.Errorf("satisfied = %d, want 3 (assignment %v)", n, b)
+	}
+}
+
+// Property: Max2SAT QUBO energy = violated-clause count + constant. Verify
+// energy differences match violation-count differences.
+func TestMax2SATEnergyTracksViolations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 3 + rng.Intn(4)
+		clauses := make([]Clause, 6)
+		for i := range clauses {
+			clauses[i] = Clause{
+				Var1: rng.Intn(nVars), Neg1: rng.Intn(2) == 0,
+				Var2: rng.Intn(nVars), Neg2: rng.Intn(2) == 0,
+			}
+		}
+		q := Max2SAT(nVars, clauses)
+		b1 := make([]int8, nVars)
+		b2 := make([]int8, nVars)
+		for i := range b1 {
+			b1[i] = int8(rng.Intn(2))
+			b2[i] = int8(rng.Intn(2))
+		}
+		d1 := float64(len(clauses)-CountSatisfied(clauses, b1)) - q.Energy(b1)
+		d2 := float64(len(clauses)-CountSatisfied(clauses, b2)) - q.Energy(b2)
+		return math.Abs(d1-d2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomQUBODensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	q := RandomQUBO(20, 1.0, rng)
+	if q.NumTerms() != 190 {
+		t.Errorf("full density terms = %d, want 190", q.NumTerms())
+	}
+	q = RandomQUBO(20, 0, rng)
+	if q.NumTerms() != 0 {
+		t.Errorf("zero density terms = %d", q.NumTerms())
+	}
+}
+
+func TestRandomIsingOnGraph(t *testing.T) {
+	g := graph.Cycle(8)
+	rng := rand.New(rand.NewSource(2))
+	is := RandomIsing(g, 1, 1, rng)
+	if len(is.J) != 8 {
+		t.Errorf("couplings = %d, want 8", len(is.J))
+	}
+	for _, h := range is.H {
+		if h != 1 && h != -1 {
+			t.Errorf("h = %v, want ±1", h)
+		}
+	}
+	if !is.Graph().Equal(g) {
+		t.Error("coupling graph != input graph")
+	}
+}

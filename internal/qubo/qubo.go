@@ -1,0 +1,183 @@
+// Package qubo implements the classical optimization-problem domain of the
+// split-execution system: quadratic unconstrained binary optimization (QUBO)
+// instances, logical Ising models, the QUBO→Ising translation of the paper's
+// Eqs. (4)–(5), and generators for the NP-hard workloads the paper cites
+// (MAX-CUT, number partitioning, vertex cover, graph coloring, ...).
+package qubo
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/splitexec/splitexec/internal/graph"
+)
+
+// QUBO is a quadratic unconstrained binary optimization instance
+//
+//	minimize  E(b) = Σ_{i<=j} Q[i][j]·b_i·b_j,   b ∈ {0,1}^n.
+//
+// Coefficients are stored in upper-triangular form: Set folds any
+// lower-triangular assignment into the (i<j) entry, matching the convention
+// under which the paper's Eqs. (4)–(5) are exact.
+type QUBO struct {
+	n int
+	q [][]float64 // upper triangular: q[i][j] defined for j >= i
+}
+
+// NewQUBO returns an all-zero QUBO over n binary variables.
+func NewQUBO(n int) *QUBO {
+	if n < 0 {
+		panic("qubo: negative dimension")
+	}
+	q := make([][]float64, n)
+	for i := range q {
+		q[i] = make([]float64, n-i)
+	}
+	return &QUBO{n: n, q: q}
+}
+
+// Dim returns the number of binary variables.
+func (q *QUBO) Dim() int { return q.n }
+
+// Set assigns coefficient c to the (i,j) term, folding (j,i) into (i,j).
+func (q *QUBO) Set(i, j int, c float64) {
+	i, j = q.order(i, j)
+	q.q[i][j-i] = c
+}
+
+// Add accumulates c onto the (i,j) coefficient.
+func (q *QUBO) Add(i, j int, c float64) {
+	i, j = q.order(i, j)
+	q.q[i][j-i] += c
+}
+
+// Get returns the (i,j) coefficient (order-insensitive).
+func (q *QUBO) Get(i, j int) float64 {
+	i, j = q.order(i, j)
+	return q.q[i][j-i]
+}
+
+func (q *QUBO) order(i, j int) (int, int) {
+	if i < 0 || j < 0 || i >= q.n || j >= q.n {
+		panic(fmt.Sprintf("qubo: index (%d,%d) out of range for n=%d", i, j, q.n))
+	}
+	if i > j {
+		return j, i
+	}
+	return i, j
+}
+
+// Energy evaluates E(b) for an assignment b of 0/1 values.
+func (q *QUBO) Energy(b []int8) float64 {
+	if len(b) != q.n {
+		panic(fmt.Sprintf("qubo: assignment length %d != n %d", len(b), q.n))
+	}
+	e := 0.0
+	for i := 0; i < q.n; i++ {
+		if b[i] == 0 {
+			continue
+		}
+		row := q.q[i]
+		for dj, c := range row {
+			if c != 0 && b[i+dj] != 0 {
+				e += c
+			}
+		}
+	}
+	return e
+}
+
+// NumTerms returns the number of nonzero quadratic (off-diagonal)
+// coefficients.
+func (q *QUBO) NumTerms() int {
+	m := 0
+	for i := 0; i < q.n; i++ {
+		for dj := 1; dj < len(q.q[i]); dj++ {
+			if q.q[i][dj] != 0 {
+				m++
+			}
+		}
+	}
+	return m
+}
+
+// Graph returns the interaction graph G whose edges are the nonzero quadratic
+// couplings. This is the input graph of the minor-embedding problem.
+func (q *QUBO) Graph() *graph.Graph {
+	g := graph.New(q.n)
+	for i := 0; i < q.n; i++ {
+		for dj := 1; dj < len(q.q[i]); dj++ {
+			if q.q[i][dj] != 0 {
+				g.AddEdge(i, i+dj)
+			}
+		}
+	}
+	return g
+}
+
+// Dense returns the full symmetric matrix representation (each off-diagonal
+// coefficient split evenly between (i,j) and (j,i)).
+func (q *QUBO) Dense() [][]float64 {
+	a := make([][]float64, q.n)
+	for i := range a {
+		a[i] = make([]float64, q.n)
+	}
+	for i := 0; i < q.n; i++ {
+		a[i][i] = q.q[i][0]
+		for dj := 1; dj < len(q.q[i]); dj++ {
+			c := q.q[i][dj] / 2
+			a[i][i+dj] = c
+			a[i+dj][i] = c
+		}
+	}
+	return a
+}
+
+// Clone returns a deep copy.
+func (q *QUBO) Clone() *QUBO {
+	c := NewQUBO(q.n)
+	for i := range q.q {
+		copy(c.q[i], q.q[i])
+	}
+	return c
+}
+
+// MaxAbsCoefficient returns the largest |Q_ij| in the instance.
+func (q *QUBO) MaxAbsCoefficient() float64 {
+	max := 0.0
+	for i := range q.q {
+		for _, c := range q.q[i] {
+			if a := math.Abs(c); a > max {
+				max = a
+			}
+		}
+	}
+	return max
+}
+
+// String implements fmt.Stringer.
+func (q *QUBO) String() string {
+	return fmt.Sprintf("QUBO{n=%d, quadratic terms=%d}", q.n, q.NumTerms())
+}
+
+// BruteForce exhaustively minimizes the QUBO, returning the optimal
+// assignment and its energy. It panics for n > 30 (2^n enumeration).
+func (q *QUBO) BruteForce() ([]int8, float64) {
+	if q.n > 30 {
+		panic("qubo: brute force limited to n <= 30")
+	}
+	best := math.Inf(1)
+	var bestB []int8
+	b := make([]int8, q.n)
+	total := 1 << uint(q.n)
+	for mask := 0; mask < total; mask++ {
+		for i := 0; i < q.n; i++ {
+			b[i] = int8((mask >> uint(i)) & 1)
+		}
+		if e := q.Energy(b); e < best {
+			best = e
+			bestB = append(bestB[:0], b...)
+		}
+	}
+	return bestB, best
+}

@@ -1,0 +1,286 @@
+package qubo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/splitexec/splitexec/internal/graph"
+)
+
+func TestQUBOSetGetSymmetric(t *testing.T) {
+	q := NewQUBO(4)
+	q.Set(2, 1, 3.5)
+	if q.Get(1, 2) != 3.5 || q.Get(2, 1) != 3.5 {
+		t.Error("Set/Get not order-insensitive")
+	}
+	q.Add(1, 2, 0.5)
+	if q.Get(2, 1) != 4 {
+		t.Errorf("Add result = %v", q.Get(2, 1))
+	}
+}
+
+func TestQUBOIndexPanics(t *testing.T) {
+	q := NewQUBO(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range index did not panic")
+		}
+	}()
+	q.Set(0, 3, 1)
+}
+
+func TestQUBOEnergy(t *testing.T) {
+	// E = b0 + 2 b1 - 3 b0 b1
+	q := NewQUBO(2)
+	q.Set(0, 0, 1)
+	q.Set(1, 1, 2)
+	q.Set(0, 1, -3)
+	cases := []struct {
+		b []int8
+		e float64
+	}{
+		{[]int8{0, 0}, 0},
+		{[]int8{1, 0}, 1},
+		{[]int8{0, 1}, 2},
+		{[]int8{1, 1}, 0},
+	}
+	for _, c := range cases {
+		if e := q.Energy(c.b); e != c.e {
+			t.Errorf("E(%v) = %v, want %v", c.b, e, c.e)
+		}
+	}
+}
+
+func TestQUBOGraphAndTerms(t *testing.T) {
+	q := NewQUBO(4)
+	q.Set(0, 1, 1)
+	q.Set(2, 3, -1)
+	q.Set(1, 1, 5) // diagonal: not an interaction edge
+	g := q.Graph()
+	if g.Size() != 2 {
+		t.Errorf("interaction graph edges = %d, want 2", g.Size())
+	}
+	if q.NumTerms() != 2 {
+		t.Errorf("NumTerms = %d, want 2", q.NumTerms())
+	}
+}
+
+func TestQUBODenseSplitsOffDiagonal(t *testing.T) {
+	q := NewQUBO(2)
+	q.Set(0, 1, 4)
+	q.Set(0, 0, 3)
+	d := q.Dense()
+	if d[0][1] != 2 || d[1][0] != 2 || d[0][0] != 3 {
+		t.Errorf("Dense = %v", d)
+	}
+}
+
+func TestQUBOCloneIndependent(t *testing.T) {
+	q := NewQUBO(2)
+	q.Set(0, 1, 1)
+	c := q.Clone()
+	c.Set(0, 1, 9)
+	if q.Get(0, 1) != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestBruteForceTrivial(t *testing.T) {
+	q := NewQUBO(3)
+	q.Set(0, 0, 1)
+	q.Set(1, 1, -2)
+	q.Set(2, 2, 1)
+	b, e := q.BruteForce()
+	want := []int8{0, 1, 0}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("argmin = %v, want %v", b, want)
+		}
+	}
+	if e != -2 {
+		t.Errorf("min = %v, want -2", e)
+	}
+}
+
+func TestIsingEnergy(t *testing.T) {
+	is := NewIsing(2)
+	is.H[0] = 1
+	is.SetCoupling(0, 1, -2)
+	is.Offset = 0.5
+	// E(+1,+1) = 0.5 + 1 - 2 = -0.5
+	if e := is.Energy([]int8{1, 1}); e != -0.5 {
+		t.Errorf("E = %v, want -0.5", e)
+	}
+	// E(-1,+1) = 0.5 - 1 + 2 = 1.5
+	if e := is.Energy([]int8{-1, 1}); e != 1.5 {
+		t.Errorf("E = %v, want 1.5", e)
+	}
+}
+
+func TestIsingCouplingZeroDeletes(t *testing.T) {
+	is := NewIsing(3)
+	is.SetCoupling(0, 1, 2)
+	is.SetCoupling(1, 0, 0)
+	if len(is.J) != 0 {
+		t.Error("zero coupling not deleted")
+	}
+}
+
+func TestIsingSelfCouplingPanics(t *testing.T) {
+	is := NewIsing(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("self coupling did not panic")
+		}
+	}()
+	is.SetCoupling(1, 1, 1)
+}
+
+func TestIsingEdgesSorted(t *testing.T) {
+	is := NewIsing(4)
+	is.SetCoupling(2, 3, 1)
+	is.SetCoupling(0, 1, 1)
+	is.SetCoupling(3, 1, 1)
+	es := is.Edges()
+	if len(es) != 3 || es[0] != (graph.Edge{U: 0, V: 1}) || es[2] != (graph.Edge{U: 2, V: 3}) {
+		t.Errorf("Edges = %v", es)
+	}
+}
+
+func TestSpinBinaryRoundTrip(t *testing.T) {
+	b := []int8{0, 1, 1, 0}
+	s := BinaryToSpins(b)
+	want := []int8{-1, 1, 1, -1}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("spins = %v", s)
+		}
+	}
+	back := SpinsToBinary(s)
+	for i := range b {
+		if back[i] != b[i] {
+			t.Fatalf("round trip = %v", back)
+		}
+	}
+}
+
+// The core translation property of Eqs. (4)-(5): E_QUBO(b) = E_Ising(2b-1)
+// for every assignment of random instances.
+func TestToIsingEnergyPreserving(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		q := RandomQUBO(n, 0.6, rng)
+		is := ToIsing(q)
+		b := make([]int8, n)
+		for trial := 0; trial < 20; trial++ {
+			for i := range b {
+				b[i] = int8(rng.Intn(2))
+			}
+			if math.Abs(q.Energy(b)-is.Energy(BinaryToSpins(b))) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToIsingPaperCoefficients(t *testing.T) {
+	// Hand-checked 2-variable instance: Q00=2, Q11=4, Q01=8.
+	q := NewQUBO(2)
+	q.Set(0, 0, 2)
+	q.Set(1, 1, 4)
+	q.Set(0, 1, 8)
+	is := ToIsing(q)
+	// h0 = Q00/2 + Q01/4 = 1 + 2 = 3; h1 = 2 + 2 = 4; J01 = 2.
+	if is.H[0] != 3 || is.H[1] != 4 {
+		t.Errorf("h = %v, want [3 4]", is.H)
+	}
+	if is.Coupling(0, 1) != 2 {
+		t.Errorf("J01 = %v, want 2", is.Coupling(0, 1))
+	}
+	// Offset = 1 + 2 + 2 = 5.
+	if is.Offset != 5 {
+		t.Errorf("offset = %v, want 5", is.Offset)
+	}
+}
+
+func TestFromIsingRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := RandomQUBO(8, 0.5, rng)
+	back := FromIsing(ToIsing(q))
+	for i := 0; i < 8; i++ {
+		for j := i; j < 8; j++ {
+			if math.Abs(q.Get(i, j)-back.Get(i, j)) > 1e-9 {
+				t.Fatalf("Q[%d][%d]: %v != %v", i, j, q.Get(i, j), back.Get(i, j))
+			}
+		}
+	}
+}
+
+func TestToIsingArgminPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 5; trial++ {
+		q := RandomQUBO(8, 0.7, rng)
+		is := ToIsing(q)
+		bQ, eQ := q.BruteForce()
+		_, eI := is.BruteForce()
+		if math.Abs(eQ-eI) > 1e-9 {
+			t.Fatalf("optimal energies differ: QUBO %v vs Ising %v", eQ, eI)
+		}
+		if math.Abs(is.Energy(BinaryToSpins(bQ))-eI) > 1e-9 {
+			t.Fatal("QUBO argmin is not an Ising argmin")
+		}
+	}
+}
+
+func TestConversionOps(t *testing.T) {
+	i, p := ConversionOps(10)
+	if i != 100 || p != 1000 {
+		t.Errorf("ConversionOps(10) = (%v,%v), want (100,1000)", i, p)
+	}
+}
+
+func TestGroundStatesDegeneracy(t *testing.T) {
+	// Single antiferromagnetic coupling: two degenerate ground states.
+	is := NewIsing(2)
+	is.SetCoupling(0, 1, 1)
+	states, e := is.GroundStates(1e-12)
+	if e != -1 {
+		t.Errorf("ground energy = %v, want -1", e)
+	}
+	if len(states) != 2 {
+		t.Errorf("degeneracy = %d, want 2", len(states))
+	}
+}
+
+func TestIsingCloneIndependent(t *testing.T) {
+	is := NewIsing(2)
+	is.SetCoupling(0, 1, 1)
+	is.H[0] = 2
+	c := is.Clone()
+	c.SetCoupling(0, 1, 5)
+	c.H[0] = 9
+	if is.Coupling(0, 1) != 1 || is.H[0] != 2 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestMaxAbsCoefficient(t *testing.T) {
+	is := NewIsing(2)
+	is.H[1] = -3
+	is.SetCoupling(0, 1, 2)
+	if is.MaxAbsCoefficient() != 3 {
+		t.Errorf("MaxAbs = %v, want 3", is.MaxAbsCoefficient())
+	}
+	q := NewQUBO(2)
+	q.Set(0, 1, -7)
+	if q.MaxAbsCoefficient() != 7 {
+		t.Errorf("QUBO MaxAbs = %v", q.MaxAbsCoefficient())
+	}
+}

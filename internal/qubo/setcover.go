@@ -1,0 +1,185 @@
+package qubo
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SetCover is the MIN-COVER problem (named in the paper's §2.1 workload
+// list) reduced to QUBO via the standard counting-variable encoding: choose
+// sets x_i ∈ {0,1} minimizing total weight such that every universe element
+// is covered at least once. For each element e with candidate sets C_e, the
+// encoding adds |C_e| one-hot counting variables y_{e,m} ("e is covered
+// exactly m times") and penalizes
+//
+//	P·(1 − Σ_m y_{e,m})²  +  P·(Σ_m m·y_{e,m} − Σ_{i∈C_e} x_i)²,
+//
+// both of which vanish exactly when e is covered ≥1 time and the counter
+// agrees. The weighted objective Σ w_i·x_i rides on the x diagonal.
+type SetCover struct {
+	Q       *QUBO
+	Offset  float64 // constant absorbed by the penalty expansion
+	NumSets int     // x variables come first: indices 0..NumSets-1
+	Penalty float64
+
+	universe int
+	sets     [][]int
+}
+
+// MinSetCover builds the QUBO. universe is the element count (elements are
+// 0..universe-1); sets lists each candidate set's elements; weights is the
+// per-set cost (nil = unit costs). Every element must appear in at least
+// one set, else the instance is unsatisfiable and construction fails.
+// SafeSetCoverPenalty gives a sufficient penalty.
+func MinSetCover(universe int, sets [][]int, weights []float64, penalty float64) (*SetCover, error) {
+	if universe <= 0 {
+		return nil, errors.New("qubo: empty universe")
+	}
+	if len(sets) == 0 {
+		return nil, errors.New("qubo: no candidate sets")
+	}
+	if weights != nil && len(weights) != len(sets) {
+		return nil, fmt.Errorf("qubo: %d weights for %d sets", len(weights), len(sets))
+	}
+	if penalty <= 0 {
+		return nil, fmt.Errorf("qubo: penalty %g must be positive", penalty)
+	}
+	n := len(sets)
+	// covering[e] lists the set indices containing element e.
+	covering := make([][]int, universe)
+	for i, s := range sets {
+		for _, e := range s {
+			if e < 0 || e >= universe {
+				return nil, fmt.Errorf("qubo: set %d contains element %d outside universe [0,%d)", i, e, universe)
+			}
+			covering[e] = append(covering[e], i)
+		}
+	}
+	total := n
+	yBase := make([]int, universe) // first y index of each element
+	for e, c := range covering {
+		if len(c) == 0 {
+			return nil, fmt.Errorf("qubo: element %d is not covered by any set", e)
+		}
+		yBase[e] = total
+		total += len(c)
+	}
+
+	q := NewQUBO(total)
+	sc := &SetCover{Q: q, NumSets: n, Penalty: penalty, universe: universe, sets: sets}
+
+	// Objective.
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		q.Add(i, i, w)
+	}
+
+	P := penalty
+	for e, c := range covering {
+		k := len(c)
+		y := func(m int) int { return yBase[e] + m - 1 } // m = 1..k
+		// (1 - Σ y)²: const P, diag -P, pairs +2P.
+		sc.Offset += P
+		for m := 1; m <= k; m++ {
+			q.Add(y(m), y(m), -P)
+			for m2 := m + 1; m2 <= k; m2++ {
+				q.Add(y(m), y(m2), 2*P)
+			}
+		}
+		// (Σ m·y_m - Σ x_i)²:
+		//   A² → diag m²·P, pairs 2·m·m'·P
+		//   B² → diag P, pairs 2P
+		//   -2AB → cross -2·m·P
+		for m := 1; m <= k; m++ {
+			q.Add(y(m), y(m), P*float64(m*m))
+			for m2 := m + 1; m2 <= k; m2++ {
+				q.Add(y(m), y(m2), 2*P*float64(m*m2))
+			}
+		}
+		for a := 0; a < k; a++ {
+			q.Add(c[a], c[a], P)
+			for b := a + 1; b < k; b++ {
+				q.Add(c[a], c[b], 2*P)
+			}
+		}
+		for m := 1; m <= k; m++ {
+			for _, i := range c {
+				q.Add(y(m), i, -2*P*float64(m))
+			}
+		}
+	}
+	return sc, nil
+}
+
+// SafeSetCoverPenalty returns a penalty strictly above the worst objective:
+// violating any constraint then always costs more than choosing every set.
+func SafeSetCoverPenalty(sets [][]int, weights []float64) float64 {
+	sum := 1.0
+	for i := range sets {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		if w > 0 {
+			sum += w
+		} else {
+			sum -= w
+		}
+	}
+	return sum
+}
+
+// Energy returns the penalized objective including the expansion constant.
+func (sc *SetCover) Energy(b []int8) float64 {
+	return sc.Q.Energy(b) + sc.Offset
+}
+
+// Decode extracts the chosen set indices from an assignment and reports
+// whether they form a valid cover of the universe.
+func (sc *SetCover) Decode(b []int8) (chosen []int, valid bool) {
+	for i := 0; i < sc.NumSets && i < len(b); i++ {
+		if b[i] == 1 {
+			chosen = append(chosen, i)
+		}
+	}
+	return chosen, IsSetCover(sc.universe, sc.sets, chosen)
+}
+
+// IsSetCover reports whether the chosen set indices cover every element of
+// the universe 0..universe-1.
+func IsSetCover(universe int, sets [][]int, chosen []int) bool {
+	covered := make([]bool, universe)
+	for _, i := range chosen {
+		if i < 0 || i >= len(sets) {
+			return false
+		}
+		for _, e := range sets[i] {
+			if e >= 0 && e < universe {
+				covered[e] = true
+			}
+		}
+	}
+	for _, c := range covered {
+		if !c {
+			return false
+		}
+	}
+	return true
+}
+
+// CoverWeight returns the total weight of the chosen sets (unit weights
+// when weights is nil).
+func CoverWeight(chosen []int, weights []float64) float64 {
+	w := 0.0
+	for _, i := range chosen {
+		if weights == nil {
+			w++
+		} else if i >= 0 && i < len(weights) {
+			w += weights[i]
+		}
+	}
+	return w
+}

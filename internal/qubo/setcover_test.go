@@ -1,0 +1,197 @@
+package qubo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinSetCoverValidation(t *testing.T) {
+	sets := [][]int{{0, 1}, {1, 2}}
+	if _, err := MinSetCover(0, sets, nil, 1); err == nil {
+		t.Fatal("empty universe accepted")
+	}
+	if _, err := MinSetCover(3, nil, nil, 1); err == nil {
+		t.Fatal("no sets accepted")
+	}
+	if _, err := MinSetCover(3, sets, []float64{1}, 1); err == nil {
+		t.Fatal("weight count mismatch accepted")
+	}
+	if _, err := MinSetCover(3, sets, nil, 0); err == nil {
+		t.Fatal("zero penalty accepted")
+	}
+	if _, err := MinSetCover(3, [][]int{{0, 7}}, nil, 1); err == nil {
+		t.Fatal("out-of-universe element accepted")
+	}
+	if _, err := MinSetCover(4, sets, nil, 1); err == nil {
+		t.Fatal("uncoverable element accepted")
+	}
+}
+
+func TestMinSetCoverEnergyDefinition(t *testing.T) {
+	// Universe {0,1,2}, sets A={0,1}, B={1,2}, C={2}. Check the penalized
+	// energy against the mathematical definition for every assignment.
+	universe := 3
+	sets := [][]int{{0, 1}, {1, 2}, {2}}
+	weights := []float64{1, 2, 0.5}
+	P := 10.0
+	sc, err := MinSetCover(universe, sets, weights, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covering := [][]int{{0}, {0, 1}, {1, 2}} // element → covering set indices
+	dim := sc.Q.Dim()
+	if dim != 3+1+2+2 {
+		t.Fatalf("dim = %d, want 8", dim)
+	}
+	// y layout: element 0 → var 3 (m=1); element 1 → vars 4,5; element 2 → 6,7.
+	yBase := []int{3, 4, 6}
+	for bits := 0; bits < 1<<dim; bits++ {
+		b := make([]int8, dim)
+		for j := range b {
+			b[j] = int8(bits >> j & 1)
+		}
+		want := 0.0
+		for i, w := range weights {
+			if b[i] == 1 {
+				want += w
+			}
+		}
+		for e := 0; e < universe; e++ {
+			k := len(covering[e])
+			sumY, weighted := 0.0, 0.0
+			for m := 1; m <= k; m++ {
+				if b[yBase[e]+m-1] == 1 {
+					sumY++
+					weighted += float64(m)
+				}
+			}
+			x := 0.0
+			for _, i := range covering[e] {
+				if b[i] == 1 {
+					x++
+				}
+			}
+			want += P * (1 - sumY) * (1 - sumY)
+			want += P * (weighted - x) * (weighted - x)
+		}
+		if got := sc.Energy(b); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("bits %b: energy %v, want %v", bits, got, want)
+		}
+	}
+}
+
+func TestMinSetCoverBruteForceOptimum(t *testing.T) {
+	// Universe {0..3}: A={0,1}, B={2,3}, C={0,1,2,3}. Unit weights → C alone
+	// is optimal (weight 1 vs A+B weight 2).
+	sets := [][]int{{0, 1}, {2, 3}, {0, 1, 2, 3}}
+	sc, err := MinSetCover(4, sets, nil, SafeSetCoverPenalty(sets, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := sc.Q.BruteForce()
+	chosen, valid := sc.Decode(b)
+	if !valid {
+		t.Fatalf("optimum %v is not a cover", chosen)
+	}
+	if CoverWeight(chosen, nil) != 1 || chosen[0] != 2 {
+		t.Fatalf("chosen %v, want just set C (index 2)", chosen)
+	}
+}
+
+func TestMinSetCoverWeightsChangeOptimum(t *testing.T) {
+	// Same structure but C is expensive: now A+B wins.
+	sets := [][]int{{0, 1}, {2, 3}, {0, 1, 2, 3}}
+	weights := []float64{1, 1, 5}
+	sc, err := MinSetCover(4, sets, weights, SafeSetCoverPenalty(sets, weights))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := sc.Q.BruteForce()
+	chosen, valid := sc.Decode(b)
+	if !valid {
+		t.Fatalf("optimum %v is not a cover", chosen)
+	}
+	if len(chosen) != 2 || chosen[0] != 0 || chosen[1] != 1 {
+		t.Fatalf("chosen %v, want A and B", chosen)
+	}
+	if got := CoverWeight(chosen, weights); got != 2 {
+		t.Fatalf("weight %v", got)
+	}
+}
+
+func TestIsSetCoverAndWeightHelpers(t *testing.T) {
+	sets := [][]int{{0}, {1}}
+	if !IsSetCover(2, sets, []int{0, 1}) {
+		t.Fatal("full cover rejected")
+	}
+	if IsSetCover(2, sets, []int{0}) {
+		t.Fatal("partial cover accepted")
+	}
+	if IsSetCover(2, sets, []int{0, 9}) {
+		t.Fatal("out-of-range index accepted")
+	}
+	if CoverWeight([]int{0, 1}, nil) != 2 {
+		t.Fatal("unit weight sum wrong")
+	}
+	if CoverWeight([]int{1}, []float64{3, 7}) != 7 {
+		t.Fatal("weighted sum wrong")
+	}
+}
+
+// Property: on random coverable instances, the brute-force optimum of the
+// safe-penalty QUBO always decodes to a valid cover, and no strictly
+// cheaper valid cover exists among all subsets.
+func TestQuickMinSetCoverOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		universe := 2 + rng.Intn(3)
+		nsets := 2 + rng.Intn(3)
+		sets := make([][]int, nsets)
+		for i := range sets {
+			for e := 0; e < universe; e++ {
+				if rng.Intn(2) == 0 {
+					sets[i] = append(sets[i], e)
+				}
+			}
+		}
+		// Guarantee coverability with one catch-all set.
+		all := make([]int, universe)
+		for e := range all {
+			all[e] = e
+		}
+		sets = append(sets, all)
+		sc, err := MinSetCover(universe, sets, nil, SafeSetCoverPenalty(sets, nil))
+		if err != nil {
+			return false
+		}
+		if sc.Q.Dim() > 22 {
+			return true // too large to brute-force; skip this draw
+		}
+		b, _ := sc.Q.BruteForce()
+		chosen, valid := sc.Decode(b)
+		if !valid {
+			return false
+		}
+		// Exhaustive check over set subsets.
+		best := math.Inf(1)
+		for mask := 0; mask < 1<<len(sets); mask++ {
+			var sub []int
+			for i := 0; i < len(sets); i++ {
+				if mask>>i&1 == 1 {
+					sub = append(sub, i)
+				}
+			}
+			if IsSetCover(universe, sets, sub) {
+				if w := CoverWeight(sub, nil); w < best {
+					best = w
+				}
+			}
+		}
+		return CoverWeight(chosen, nil) == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+package qubo
+
+import (
+	"fmt"
+	"math"
+)
+
+// TSP returns the QUBO for the traveling-salesman problem on a symmetric
+// distance matrix d (Lucas §6.2): n² one-hot variables x[v·n+t] meaning
+// "city v is visited at time t", with penalty P enforcing a permutation and
+// the tour length as objective. P must exceed the largest distance times n
+// for the constraints to dominate; TSPPenalty returns a safe default.
+func TSP(d [][]float64, penalty float64) (*QUBO, error) {
+	n := len(d)
+	if n == 0 {
+		return nil, fmt.Errorf("qubo: empty distance matrix")
+	}
+	for i := range d {
+		if len(d[i]) != n {
+			return nil, fmt.Errorf("qubo: distance matrix row %d has %d entries, want %d", i, len(d[i]), n)
+		}
+		for j := range d[i] {
+			if math.Abs(d[i][j]-d[j][i]) > 1e-12 {
+				return nil, fmt.Errorf("qubo: distance matrix not symmetric at (%d,%d)", i, j)
+			}
+			if i == j && d[i][j] != 0 {
+				return nil, fmt.Errorf("qubo: nonzero self distance at %d", i)
+			}
+		}
+	}
+	q := NewQUBO(n * n)
+	id := func(v, t int) int { return v*n + t }
+
+	// Constraint 1: each city appears exactly once: (1-Σ_t x_vt)².
+	for v := 0; v < n; v++ {
+		for t := 0; t < n; t++ {
+			q.Add(id(v, t), id(v, t), -penalty)
+			for t2 := t + 1; t2 < n; t2++ {
+				q.Add(id(v, t), id(v, t2), 2*penalty)
+			}
+		}
+	}
+	// Constraint 2: each time slot holds exactly one city.
+	for t := 0; t < n; t++ {
+		for v := 0; v < n; v++ {
+			q.Add(id(v, t), id(v, t), -penalty)
+			for v2 := v + 1; v2 < n; v2++ {
+				q.Add(id(v, t), id(v2, t), 2*penalty)
+			}
+		}
+	}
+	// Objective: tour length over consecutive (cyclic) time slots.
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v || d[u][v] == 0 {
+				continue
+			}
+			for t := 0; t < n; t++ {
+				q.Add(id(u, t), id(v, (t+1)%n), d[u][v])
+			}
+		}
+	}
+	return q, nil
+}
+
+// TSPPenalty returns a constraint penalty that safely dominates the tour
+// objective: n × max distance + 1.
+func TSPPenalty(d [][]float64) float64 {
+	maxD := 0.0
+	for i := range d {
+		for j := range d[i] {
+			if d[i][j] > maxD {
+				maxD = d[i][j]
+			}
+		}
+	}
+	return float64(len(d))*maxD + 1
+}
+
+// DecodeTour extracts the visiting order from a TSP assignment, returning
+// (tour, ok): tour[t] is the city at time t; ok is false unless b encodes a
+// valid permutation.
+func DecodeTour(n int, b []int8) ([]int, bool) {
+	if len(b) != n*n {
+		return nil, false
+	}
+	tour := make([]int, n)
+	for t := range tour {
+		tour[t] = -1
+	}
+	seen := make([]bool, n)
+	for v := 0; v < n; v++ {
+		count := 0
+		for t := 0; t < n; t++ {
+			if b[v*n+t] == 1 {
+				count++
+				if tour[t] != -1 {
+					return tour, false // slot double-booked
+				}
+				tour[t] = v
+			}
+		}
+		if count != 1 {
+			return tour, false
+		}
+		seen[v] = true
+	}
+	for _, v := range tour {
+		if v == -1 {
+			return tour, false
+		}
+	}
+	return tour, true
+}
+
+// TourLength returns the cyclic tour length under d.
+func TourLength(d [][]float64, tour []int) float64 {
+	total := 0.0
+	n := len(tour)
+	for t := 0; t < n; t++ {
+		total += d[tour[t]][tour[(t+1)%n]]
+	}
+	return total
+}
+
+// SetPacking returns the QUBO for weighted set packing (one of the D-Wave
+// workloads the paper lists in §2.1): choose pairwise-disjoint sets
+// maximizing total weight. E = -Σ w_i·x_i + P·Σ_{overlapping i<j} x_i·x_j.
+// A nil weights slice means unit weights; P must exceed the largest weight.
+func SetPacking(sets [][]int, weights []float64, penalty float64) (*QUBO, error) {
+	m := len(sets)
+	if weights != nil && len(weights) != m {
+		return nil, fmt.Errorf("qubo: %d weights for %d sets", len(weights), m)
+	}
+	q := NewQUBO(m)
+	for i := 0; i < m; i++ {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		q.Add(i, i, -w)
+		for j := i + 1; j < m; j++ {
+			if setsOverlap(sets[i], sets[j]) {
+				q.Add(i, j, penalty)
+			}
+		}
+	}
+	return q, nil
+}
+
+// IsPacking reports whether the selected sets are pairwise disjoint.
+func IsPacking(sets [][]int, b []int8) bool {
+	for i := range sets {
+		if b[i] == 0 {
+			continue
+		}
+		for j := i + 1; j < len(sets); j++ {
+			if b[j] == 1 && setsOverlap(sets[i], sets[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func setsOverlap(a, b []int) bool {
+	in := make(map[int]bool, len(a))
+	for _, x := range a {
+		in[x] = true
+	}
+	for _, y := range b {
+		if in[y] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,150 @@
+package qubo
+
+import (
+	"math"
+	"testing"
+)
+
+// square4 is a unit square: optimal tour follows the perimeter, length 4.
+func square4() [][]float64 {
+	s2 := math.Sqrt2
+	return [][]float64{
+		{0, 1, s2, 1},
+		{1, 0, 1, s2},
+		{s2, 1, 0, 1},
+		{1, s2, 1, 0},
+	}
+}
+
+func TestTSPSquareOptimum(t *testing.T) {
+	d := square4()
+	q, err := TSP(d, TSPPenalty(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Dim() != 16 {
+		t.Fatalf("dim = %d", q.Dim())
+	}
+	b, _ := q.BruteForce()
+	tour, ok := DecodeTour(4, b)
+	if !ok {
+		t.Fatalf("optimum is not a permutation: %v -> %v", b, tour)
+	}
+	if l := TourLength(d, tour); math.Abs(l-4) > 1e-9 {
+		t.Errorf("tour %v length %v, want 4 (perimeter)", tour, l)
+	}
+}
+
+func TestTSPTriangle(t *testing.T) {
+	d := [][]float64{
+		{0, 2, 3},
+		{2, 0, 4},
+		{3, 4, 0},
+	}
+	q, err := TSP(d, TSPPenalty(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := q.BruteForce()
+	tour, ok := DecodeTour(3, b)
+	if !ok {
+		t.Fatalf("invalid tour: %v", tour)
+	}
+	// Any 3-cycle has the same length 9.
+	if l := TourLength(d, tour); l != 9 {
+		t.Errorf("length = %v, want 9", l)
+	}
+}
+
+func TestTSPValidation(t *testing.T) {
+	if _, err := TSP(nil, 1); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := TSP([][]float64{{0, 1}, {1}}, 1); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := TSP([][]float64{{0, 1}, {2, 0}}, 1); err == nil {
+		t.Error("asymmetric matrix accepted")
+	}
+	if _, err := TSP([][]float64{{5}}, 1); err == nil {
+		t.Error("nonzero diagonal accepted")
+	}
+}
+
+func TestDecodeTourRejects(t *testing.T) {
+	// Wrong length.
+	if _, ok := DecodeTour(2, []int8{1}); ok {
+		t.Error("short vector accepted")
+	}
+	// City visited twice.
+	if _, ok := DecodeTour(2, []int8{1, 1, 0, 0}); ok {
+		t.Error("double visit accepted")
+	}
+	// Slot double-booked.
+	if _, ok := DecodeTour(2, []int8{1, 0, 1, 0}); ok {
+		t.Error("double booking accepted")
+	}
+	// Valid 2-city tour.
+	tour, ok := DecodeTour(2, []int8{1, 0, 0, 1})
+	if !ok || tour[0] != 0 || tour[1] != 1 {
+		t.Errorf("valid tour rejected: %v %v", tour, ok)
+	}
+}
+
+func TestTSPPenaltyDominates(t *testing.T) {
+	d := square4()
+	p := TSPPenalty(d)
+	if p <= 4*math.Sqrt2 {
+		t.Errorf("penalty %v too small", p)
+	}
+}
+
+func TestSetPackingBasic(t *testing.T) {
+	sets := [][]int{{1, 2}, {2, 3}, {4, 5}, {5, 6}}
+	q, err := SetPacking(sets, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, e := q.BruteForce()
+	if !IsPacking(sets, b) {
+		t.Fatalf("optimum not a packing: %v", b)
+	}
+	// Best packing picks one of {0,1} and one of {2,3}: 2 sets, E = -2.
+	if e != -2 {
+		t.Errorf("min energy = %v, want -2", e)
+	}
+}
+
+func TestSetPackingWeighted(t *testing.T) {
+	sets := [][]int{{1}, {1, 2}, {3}}
+	weights := []float64{1, 5, 1}
+	q, err := SetPacking(sets, weights, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := q.BruteForce()
+	// The heavy overlapping set {1,2} (w=5) beats {1}+... {1,2} overlaps
+	// {1} only; optimal: {1,2} + {3} = weight 6.
+	if b[1] != 1 || b[2] != 1 || b[0] != 0 {
+		t.Errorf("selection = %v, want sets 1 and 2", b)
+	}
+	if !IsPacking(sets, b) {
+		t.Error("not a packing")
+	}
+}
+
+func TestSetPackingValidation(t *testing.T) {
+	if _, err := SetPacking([][]int{{1}}, []float64{1, 2}, 1); err == nil {
+		t.Error("weight-count mismatch accepted")
+	}
+}
+
+func TestIsPackingDetectsOverlap(t *testing.T) {
+	sets := [][]int{{1, 2}, {2, 3}}
+	if IsPacking(sets, []int8{1, 1}) {
+		t.Error("overlapping selection accepted")
+	}
+	if !IsPacking(sets, []int8{1, 0}) {
+		t.Error("valid selection rejected")
+	}
+}

@@ -1,0 +1,278 @@
+// Package schedule models the annealing schedule of a D-Wave-style QPU.
+//
+// The paper (§2.2) notes that "other programming choices include the
+// schedule for annealing the system to the final Hamiltonian, e.g.,
+// characterized by the temporal waveform and duration" and that "limitations
+// on the hardware control system do not allow for arbitrary waveforms and
+// duration but restrict these options to pre-defined ranges." This package
+// provides that substrate: piecewise-linear anneal waveforms s(t), the
+// hardware control limits they must satisfy, and physical models connecting
+// the schedule to the single-run ground-state probability ps that drives the
+// paper's Eq. 6 repetition count.
+package schedule
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Point is one control point of an annealing waveform: the normalized anneal
+// fraction S ∈ [0,1] reached at time T from the start of the anneal.
+type Point struct {
+	T time.Duration // time offset from anneal start
+	S float64       // anneal fraction, 0 = fully transverse, 1 = final Ising
+}
+
+// Schedule is a piecewise-linear annealing waveform s(t). The zero value is
+// invalid; construct schedules with Linear, WithPause, WithQuench or Custom
+// and check Validate against the hardware's ControlLimits before use.
+type Schedule struct {
+	points []Point
+}
+
+// Linear returns the standard linear ramp 0→1 over duration d (the QPU
+// default is 20 µs, the paper's QuOps constant).
+func Linear(d time.Duration) Schedule {
+	return Schedule{points: []Point{{0, 0}, {d, 1}}}
+}
+
+// WithPause returns a linear ramp of total duration d interrupted by a hold
+// of length pause at anneal fraction at. Pauses near the minimum gap are the
+// standard hardware technique for boosting ground-state probability.
+func WithPause(d time.Duration, at float64, pause time.Duration) (Schedule, error) {
+	if at <= 0 || at >= 1 {
+		return Schedule{}, fmt.Errorf("schedule: pause position %v outside (0,1)", at)
+	}
+	if pause < 0 {
+		return Schedule{}, fmt.Errorf("schedule: negative pause %v", pause)
+	}
+	ramp := time.Duration(float64(d) * at)
+	return Schedule{points: []Point{
+		{0, 0},
+		{ramp, at},
+		{ramp + pause, at},
+		{d + pause, 1},
+	}}, nil
+}
+
+// WithQuench returns a ramp that proceeds linearly to anneal fraction at
+// over duration d×at, then completes the remaining (1-at) fraction in the
+// much shorter quench duration. Quenching projects the instantaneous state,
+// which hardware exposes for diabatic protocols.
+func WithQuench(d time.Duration, at float64, quench time.Duration) (Schedule, error) {
+	if at <= 0 || at >= 1 {
+		return Schedule{}, fmt.Errorf("schedule: quench position %v outside (0,1)", at)
+	}
+	if quench <= 0 {
+		return Schedule{}, fmt.Errorf("schedule: non-positive quench %v", quench)
+	}
+	ramp := time.Duration(float64(d) * at)
+	return Schedule{points: []Point{
+		{0, 0},
+		{ramp, at},
+		{ramp + quench, 1},
+	}}, nil
+}
+
+// Custom builds a schedule from explicit control points. Points are sorted
+// by time; the construction fails if two points share a time with different
+// fractions, if any fraction is outside [0,1], if the fraction ever
+// decreases (hardware forbids reverse anneals in this model), or if the
+// waveform does not start at s=0 and end at s=1.
+func Custom(points []Point) (Schedule, error) {
+	if len(points) < 2 {
+		return Schedule{}, errors.New("schedule: need at least 2 control points")
+	}
+	ps := make([]Point, len(points))
+	copy(ps, points)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].T < ps[j].T })
+	for i, p := range ps {
+		if p.S < 0 || p.S > 1 {
+			return Schedule{}, fmt.Errorf("schedule: fraction %v outside [0,1]", p.S)
+		}
+		if p.T < 0 {
+			return Schedule{}, fmt.Errorf("schedule: negative time %v", p.T)
+		}
+		if i > 0 {
+			if p.T == ps[i-1].T && p.S != ps[i-1].S {
+				return Schedule{}, fmt.Errorf("schedule: discontinuity at t=%v", p.T)
+			}
+			if p.S < ps[i-1].S {
+				return Schedule{}, fmt.Errorf("schedule: fraction decreases at t=%v", p.T)
+			}
+		}
+	}
+	if ps[0].S != 0 || ps[0].T != 0 {
+		return Schedule{}, errors.New("schedule: must start at (t=0, s=0)")
+	}
+	if ps[len(ps)-1].S != 1 {
+		return Schedule{}, errors.New("schedule: must end at s=1")
+	}
+	return Schedule{points: ps}, nil
+}
+
+// Points returns a copy of the control points.
+func (sc Schedule) Points() []Point {
+	out := make([]Point, len(sc.points))
+	copy(out, sc.points)
+	return out
+}
+
+// Duration returns the total annealing time (time of the final point).
+func (sc Schedule) Duration() time.Duration {
+	if len(sc.points) == 0 {
+		return 0
+	}
+	return sc.points[len(sc.points)-1].T
+}
+
+// At returns the anneal fraction at time t by linear interpolation. Times
+// before the start clamp to 0 and after the end clamp to 1.
+func (sc Schedule) At(t time.Duration) float64 {
+	if len(sc.points) == 0 {
+		return 0
+	}
+	if t <= sc.points[0].T {
+		return sc.points[0].S
+	}
+	last := sc.points[len(sc.points)-1]
+	if t >= last.T {
+		return last.S
+	}
+	// Binary search for the segment containing t.
+	i := sort.Search(len(sc.points), func(k int) bool { return sc.points[k].T >= t })
+	a, b := sc.points[i-1], sc.points[i]
+	frac := float64(t-a.T) / float64(b.T-a.T)
+	return a.S + frac*(b.S-a.S)
+}
+
+// VelocityAt returns ds/dt in units of 1/second at anneal fraction s. When
+// several segments contain s (a breakpoint, or a hold at exactly s) the
+// slowest traversal wins: a hold at the queried fraction reports 0, which is
+// what the adiabatic success model needs — the system lingers there no
+// matter how fast the neighboring ramps are.
+func (sc Schedule) VelocityAt(s float64) float64 {
+	if len(sc.points) < 2 {
+		return 0
+	}
+	if s < sc.points[0].S {
+		s = sc.points[0].S
+	}
+	if last := sc.points[len(sc.points)-1].S; s > last {
+		s = last
+	}
+	best := math.Inf(1)
+	found := false
+	for i := 1; i < len(sc.points); i++ {
+		a, b := sc.points[i-1], sc.points[i]
+		if s < a.S || s > b.S {
+			continue
+		}
+		found = true
+		dt := b.T.Seconds() - a.T.Seconds()
+		var v float64
+		if dt == 0 {
+			v = math.Inf(1)
+		} else {
+			v = (b.S - a.S) / dt
+		}
+		if v < best {
+			best = v
+		}
+	}
+	if !found {
+		return 0
+	}
+	return best
+}
+
+// MaxSlew returns the maximum of |ds/dt| over all segments, in 1/second.
+func (sc Schedule) MaxSlew() float64 {
+	max := 0.0
+	for i := 1; i < len(sc.points); i++ {
+		a, b := sc.points[i-1], sc.points[i]
+		dt := b.T.Seconds() - a.T.Seconds()
+		if dt == 0 {
+			if b.S != a.S {
+				return math.Inf(1)
+			}
+			continue
+		}
+		v := (b.S - a.S) / dt
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// PauseTime returns the total time spent in zero-slope holds.
+func (sc Schedule) PauseTime() time.Duration {
+	var total time.Duration
+	for i := 1; i < len(sc.points); i++ {
+		a, b := sc.points[i-1], sc.points[i]
+		if a.S == b.S {
+			total += b.T - a.T
+		}
+	}
+	return total
+}
+
+// ControlLimits describes the pre-defined ranges the electronic control
+// system permits (paper §2.2). A zero field disables that check.
+type ControlLimits struct {
+	MinDuration time.Duration // shortest permitted total anneal
+	MaxDuration time.Duration // longest permitted total anneal
+	MaxPoints   int           // waveform memory depth
+	MaxSlew     float64       // steepest permitted ds/dt (1/s)
+}
+
+// DW2Limits returns representative control limits for the DW2-generation
+// control system: anneal duration 5 µs – 2000 µs, 12-point waveform memory,
+// and a slew cap of one full sweep per microsecond.
+func DW2Limits() ControlLimits {
+	return ControlLimits{
+		MinDuration: 5 * time.Microsecond,
+		MaxDuration: 2000 * time.Microsecond,
+		MaxPoints:   12,
+		MaxSlew:     1e6,
+	}
+}
+
+// Validate checks the schedule against hardware control limits.
+func (sc Schedule) Validate(lim ControlLimits) error {
+	if len(sc.points) < 2 {
+		return errors.New("schedule: empty waveform")
+	}
+	d := sc.Duration()
+	if lim.MinDuration > 0 && d < lim.MinDuration {
+		return fmt.Errorf("schedule: duration %v below hardware minimum %v", d, lim.MinDuration)
+	}
+	if lim.MaxDuration > 0 && d > lim.MaxDuration {
+		return fmt.Errorf("schedule: duration %v above hardware maximum %v", d, lim.MaxDuration)
+	}
+	if lim.MaxPoints > 0 && len(sc.points) > lim.MaxPoints {
+		return fmt.Errorf("schedule: %d control points exceed waveform memory %d", len(sc.points), lim.MaxPoints)
+	}
+	if lim.MaxSlew > 0 {
+		if slew := sc.MaxSlew(); slew > lim.MaxSlew {
+			return fmt.Errorf("schedule: slew %.3g/s exceeds limit %.3g/s", slew, lim.MaxSlew)
+		}
+	}
+	return nil
+}
+
+// String renders the waveform as a compact point list.
+func (sc Schedule) String() string {
+	s := "schedule["
+	for i, p := range sc.points {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("(%v,%.3g)", p.T, p.S)
+	}
+	return s + "]"
+}

@@ -1,0 +1,308 @@
+package schedule
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLinearEndpoints(t *testing.T) {
+	sc := Linear(20 * time.Microsecond)
+	if got := sc.At(0); got != 0 {
+		t.Fatalf("At(0) = %v, want 0", got)
+	}
+	if got := sc.At(20 * time.Microsecond); got != 1 {
+		t.Fatalf("At(end) = %v, want 1", got)
+	}
+	if sc.Duration() != 20*time.Microsecond {
+		t.Fatalf("Duration = %v", sc.Duration())
+	}
+}
+
+func TestLinearMidpoint(t *testing.T) {
+	sc := Linear(100 * time.Microsecond)
+	if got := sc.At(50 * time.Microsecond); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("At(mid) = %v, want 0.5", got)
+	}
+	if got := sc.At(25 * time.Microsecond); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("At(quarter) = %v, want 0.25", got)
+	}
+}
+
+func TestLinearClamping(t *testing.T) {
+	sc := Linear(time.Microsecond)
+	if got := sc.At(-time.Second); got != 0 {
+		t.Fatalf("At before start = %v, want 0", got)
+	}
+	if got := sc.At(time.Second); got != 1 {
+		t.Fatalf("At after end = %v, want 1", got)
+	}
+}
+
+func TestWithPauseShape(t *testing.T) {
+	sc, err := WithPause(20*time.Microsecond, 0.5, 100*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Duration() != 120*time.Microsecond {
+		t.Fatalf("Duration = %v, want 120µs", sc.Duration())
+	}
+	// During the hold the fraction stays at 0.5.
+	for _, at := range []time.Duration{10, 30, 60, 109} {
+		got := sc.At(at * time.Microsecond)
+		if math.Abs(got-0.5) > 1e-9 {
+			t.Fatalf("At(%vµs) = %v during pause, want 0.5", at, got)
+		}
+	}
+	if got := sc.PauseTime(); got != 100*time.Microsecond {
+		t.Fatalf("PauseTime = %v", got)
+	}
+}
+
+func TestWithPauseRejectsBadArgs(t *testing.T) {
+	if _, err := WithPause(time.Microsecond, 0, time.Microsecond); err == nil {
+		t.Fatal("pause at 0 accepted")
+	}
+	if _, err := WithPause(time.Microsecond, 1, time.Microsecond); err == nil {
+		t.Fatal("pause at 1 accepted")
+	}
+	if _, err := WithPause(time.Microsecond, 0.5, -time.Microsecond); err == nil {
+		t.Fatal("negative pause accepted")
+	}
+}
+
+func TestWithQuenchShape(t *testing.T) {
+	sc, err := WithQuench(100*time.Microsecond, 0.8, time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Duration() != 81*time.Microsecond {
+		t.Fatalf("Duration = %v, want 81µs", sc.Duration())
+	}
+	// The quench segment is much steeper than the ramp.
+	ramp := sc.VelocityAt(0.4)
+	quench := sc.VelocityAt(0.9)
+	if quench <= ramp {
+		t.Fatalf("quench velocity %v not steeper than ramp %v", quench, ramp)
+	}
+}
+
+func TestWithQuenchRejectsBadArgs(t *testing.T) {
+	if _, err := WithQuench(time.Microsecond, 1.5, time.Nanosecond); err == nil {
+		t.Fatal("quench position >1 accepted")
+	}
+	if _, err := WithQuench(time.Microsecond, 0.5, 0); err == nil {
+		t.Fatal("zero quench accepted")
+	}
+}
+
+func TestCustomValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		pts  []Point
+	}{
+		{"too few", []Point{{0, 0}}},
+		{"fraction above 1", []Point{{0, 0}, {time.Microsecond, 1.5}}},
+		{"negative fraction", []Point{{0, -0.1}, {time.Microsecond, 1}}},
+		{"negative time", []Point{{-time.Microsecond, 0}, {time.Microsecond, 1}}},
+		{"decreasing", []Point{{0, 0}, {time.Microsecond, 0.8}, {2 * time.Microsecond, 0.5}, {3 * time.Microsecond, 1}}},
+		{"discontinuity", []Point{{0, 0}, {time.Microsecond, 0.3}, {time.Microsecond, 0.6}, {2 * time.Microsecond, 1}}},
+		{"bad start", []Point{{0, 0.2}, {time.Microsecond, 1}}},
+		{"bad end", []Point{{0, 0}, {time.Microsecond, 0.9}}},
+	}
+	for _, c := range cases {
+		if _, err := Custom(c.pts); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestCustomSortsPoints(t *testing.T) {
+	sc, err := Custom([]Point{
+		{10 * time.Microsecond, 1},
+		{0, 0},
+		{5 * time.Microsecond, 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := sc.Points()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T < pts[i-1].T {
+			t.Fatal("points not sorted")
+		}
+	}
+}
+
+func TestAtIsMonotone(t *testing.T) {
+	sc, err := WithPause(40*time.Microsecond, 0.3, 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for ns := int64(0); ns <= sc.Duration().Nanoseconds(); ns += 100 {
+		got := sc.At(time.Duration(ns))
+		if got < prev {
+			t.Fatalf("At decreases at %dns: %v < %v", ns, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestVelocityLinear(t *testing.T) {
+	sc := Linear(20 * time.Microsecond)
+	want := 1 / 20e-6
+	for _, s := range []float64{0.1, 0.5, 0.9} {
+		if got := sc.VelocityAt(s); math.Abs(got-want)/want > 1e-9 {
+			t.Fatalf("VelocityAt(%v) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestVelocityInPause(t *testing.T) {
+	sc, err := WithPause(20*time.Microsecond, 0.5, 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.VelocityAt(0.5); got != 0 {
+		t.Fatalf("velocity in hold = %v, want 0", got)
+	}
+}
+
+func TestMaxSlew(t *testing.T) {
+	sc, err := WithQuench(100*time.Microsecond, 0.5, time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quench covers 0.5 fraction in 1 µs → 5e5 /s.
+	if got := sc.MaxSlew(); math.Abs(got-5e5)/5e5 > 1e-9 {
+		t.Fatalf("MaxSlew = %v, want 5e5", got)
+	}
+}
+
+func TestValidateLimits(t *testing.T) {
+	lim := DW2Limits()
+	if err := Linear(20 * time.Microsecond).Validate(lim); err != nil {
+		t.Fatalf("default anneal rejected: %v", err)
+	}
+	if err := Linear(time.Microsecond).Validate(lim); err == nil {
+		t.Fatal("too-short anneal accepted")
+	}
+	if err := Linear(time.Second).Validate(lim); err == nil {
+		t.Fatal("too-long anneal accepted")
+	}
+	quench, _ := WithQuench(100*time.Microsecond, 0.9, 50*time.Nanosecond)
+	if err := quench.Validate(lim); err == nil {
+		t.Fatal("over-slew quench accepted")
+	}
+	var pts []Point
+	n := lim.MaxPoints + 4
+	for i := 0; i < n; i++ {
+		pts = append(pts, Point{time.Duration(i+1) * 10 * time.Microsecond, float64(i+1) / float64(n)})
+	}
+	pts[0] = Point{0, 0}
+	pts[n-1].S = 1
+	many, err := Custom(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := many.Validate(lim); err == nil {
+		t.Fatal("waveform exceeding point memory accepted")
+	}
+}
+
+func TestValidateZeroLimitsDisable(t *testing.T) {
+	if err := Linear(time.Hour).Validate(ControlLimits{}); err != nil {
+		t.Fatalf("zero limits should disable checks: %v", err)
+	}
+}
+
+func TestStringContainsPoints(t *testing.T) {
+	s := Linear(20 * time.Microsecond).String()
+	if s == "" || s == "schedule[]" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// Property: for random valid schedules, At stays within [0,1] and is
+// monotone over sampled times, and Duration equals the last point time.
+func TestQuickScheduleInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		pts := make([]Point, n)
+		tAcc := time.Duration(0)
+		sAcc := 0.0
+		pts[0] = Point{0, 0}
+		for i := 1; i < n; i++ {
+			tAcc += time.Duration(1+rng.Intn(10000)) * time.Nanosecond
+			sAcc += rng.Float64() * (1 - sAcc) / float64(n)
+			pts[i] = Point{tAcc, sAcc}
+		}
+		pts[n-1].S = 1
+		sc, err := Custom(pts)
+		if err != nil {
+			return false
+		}
+		if sc.Duration() != tAcc {
+			return false
+		}
+		prev := -1.0
+		for k := 0; k <= 50; k++ {
+			tt := time.Duration(float64(tAcc) * float64(k) / 50)
+			v := sc.At(tt)
+			if v < 0 || v > 1 || v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroValueScheduleBehavior(t *testing.T) {
+	var sc Schedule
+	if sc.Duration() != 0 {
+		t.Fatalf("zero schedule Duration = %v", sc.Duration())
+	}
+	if got := sc.At(time.Microsecond); got != 0 {
+		t.Fatalf("zero schedule At = %v", got)
+	}
+	if got := sc.VelocityAt(0.5); got != 0 {
+		t.Fatalf("zero schedule VelocityAt = %v", got)
+	}
+	if got := sc.MaxSlew(); got != 0 {
+		t.Fatalf("zero schedule MaxSlew = %v", got)
+	}
+	if err := sc.Validate(DW2Limits()); err == nil {
+		t.Fatal("zero schedule validated")
+	}
+	if _, err := SuccessProbability(sc, DefaultGap()); err == nil {
+		t.Fatal("zero schedule accepted by success model")
+	}
+}
+
+func TestDuplicateControlPointAllowed(t *testing.T) {
+	// A repeated point (same time, same fraction) is harmless and must not
+	// produce an infinite slew.
+	sc, err := Custom([]Point{
+		{0, 0},
+		{10 * time.Microsecond, 0.5},
+		{10 * time.Microsecond, 0.5},
+		{20 * time.Microsecond, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := sc.MaxSlew(); math.IsInf(s, 1) {
+		t.Fatalf("duplicate point produced infinite slew")
+	}
+	if got := sc.At(10 * time.Microsecond); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("At(duplicate point) = %v", got)
+	}
+}

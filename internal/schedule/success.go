@@ -1,0 +1,186 @@
+package schedule
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// GapModel summarizes the internal energy structure of an Ising instance as
+// seen by the adiabatic theorem: the minimum instantaneous spectral gap and
+// the anneal fraction at which it occurs. The paper (§3.2) notes that the
+// single-run success probability ps "depends on the annealing time T and
+// the shape of the annealing schedule as well as the internal energy
+// structure of the Ising Hamiltonian"; GapModel is that internal structure
+// reduced to the two quantities the Landau-Zener formula needs.
+type GapModel struct {
+	MinGap   float64 // minimum gap Δ in model energy units (>0)
+	Position float64 // anneal fraction s* where the gap minimum occurs
+}
+
+// DefaultGap returns a generic spin-glass-like gap model: a small gap late
+// in the anneal, the regime in which hardware pauses help.
+func DefaultGap() GapModel { return GapModel{MinGap: 0.15, Position: 0.65} }
+
+// Validate reports whether the gap model is physically meaningful.
+func (g GapModel) Validate() error {
+	if g.MinGap <= 0 {
+		return fmt.Errorf("schedule: minimum gap %v must be positive", g.MinGap)
+	}
+	if g.Position <= 0 || g.Position >= 1 {
+		return fmt.Errorf("schedule: gap position %v outside (0,1)", g.Position)
+	}
+	return nil
+}
+
+// LZScale converts the Landau-Zener exponent into the model's time units.
+// The transition probability for traversing an avoided crossing of gap Δ at
+// sweep velocity v is exp(-k·Δ²/v); k absorbs ħ and the diabatic coupling
+// slope and is calibrated so a 20 µs linear anneal across the DefaultGap
+// yields ps ≈ 0.7, the value the paper uses for its Fig. 9(b) sweep.
+const LZScale = 2.6755e6
+
+// SuccessProbability returns the single-run ground-state probability ps for
+// annealing under sc with the given gap model: the Landau-Zener survival
+// probability ps = 1 - exp(-k·Δ²/v), where v = ds/dt is the schedule
+// velocity at the gap position. Slower traversal (smaller v) or a larger
+// gap raises ps toward 1. A hold exactly at the gap position gives v=0 and
+// ps→1; an instantaneous quench across it gives ps→0.
+func SuccessProbability(sc Schedule, g GapModel) (float64, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	if len(sc.points) < 2 {
+		return 0, errors.New("schedule: empty waveform")
+	}
+	v := sc.VelocityAt(g.Position)
+	if v <= 0 {
+		return 1, nil // paused at the crossing: fully adiabatic
+	}
+	if math.IsInf(v, 1) {
+		return 0, nil // instantaneous jump: fully diabatic
+	}
+	ps := 1 - math.Exp(-LZScale*g.MinGap*g.MinGap/v)
+	return ps, nil
+}
+
+// TTS is the time-to-solution metric of Rønnow et al. ("Defining and
+// detecting quantum speedup", cited as [20]): the expected QPU execution
+// time to observe the ground state at least once with confidence pa, using
+// the paper's Eq. 6 repetition count. PerRead covers the fixed per-read
+// overheads (readout + thermalization); pass 0 to count anneal time only.
+func TTS(annealTime time.Duration, ps, pa float64, perRead time.Duration) (time.Duration, error) {
+	if ps <= 0 || ps >= 1 {
+		return 0, fmt.Errorf("schedule: success probability %v outside (0,1)", ps)
+	}
+	if pa <= 0 || pa >= 1 {
+		return 0, fmt.Errorf("schedule: target accuracy %v outside (0,1)", pa)
+	}
+	reads := int(math.Ceil(math.Log(1-pa) / math.Log(1-ps)))
+	if reads < 1 {
+		reads = 1
+	}
+	return time.Duration(reads) * (annealTime + perRead), nil
+}
+
+// TTSResult is one point of an anneal-time sweep.
+type TTSResult struct {
+	AnnealTime time.Duration // per-read anneal duration
+	Ps         float64       // single-run success probability at that duration
+	Reads      int           // Eq. 6 repetitions for the target accuracy
+	Total      time.Duration // reads × (anneal + per-read overhead)
+}
+
+// SweepTTS evaluates linear schedules across anneal durations from min to
+// max in the given number of logarithmically spaced steps and returns the
+// TTS curve. The curve is the canonical U-shape: short anneals repeat too
+// often, long anneals overpay per read.
+func SweepTTS(g GapModel, pa float64, min, max time.Duration, steps int, perRead time.Duration) ([]TTSResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if steps < 2 || min <= 0 || max <= min {
+		return nil, fmt.Errorf("schedule: bad sweep range [%v,%v]×%d", min, max, steps)
+	}
+	if pa <= 0 || pa >= 1 {
+		return nil, fmt.Errorf("schedule: target accuracy %v outside (0,1)", pa)
+	}
+	out := make([]TTSResult, 0, steps)
+	lmin, lmax := math.Log(float64(min)), math.Log(float64(max))
+	for i := 0; i < steps; i++ {
+		t := time.Duration(math.Exp(lmin + (lmax-lmin)*float64(i)/float64(steps-1)))
+		ps, err := SuccessProbability(Linear(t), g)
+		if err != nil {
+			return nil, err
+		}
+		if ps <= 0 {
+			ps = math.SmallestNonzeroFloat64
+		}
+		if ps >= 1 {
+			ps = 1 - 1e-15
+		}
+		reads := int(math.Ceil(math.Log(1-pa) / math.Log(1-ps)))
+		if reads < 1 {
+			reads = 1
+		}
+		out = append(out, TTSResult{
+			AnnealTime: t,
+			Ps:         ps,
+			Reads:      reads,
+			Total:      time.Duration(reads) * (t + perRead),
+		})
+	}
+	return out, nil
+}
+
+// OptimalAnnealTime returns the linear-anneal duration within the hardware
+// limits that minimizes TTS for the given gap model and target accuracy,
+// together with the minimal TTS value. It sweeps the permitted range and
+// refines around the best coarse point.
+func OptimalAnnealTime(g GapModel, pa float64, lim ControlLimits, perRead time.Duration) (time.Duration, time.Duration, error) {
+	min, max := lim.MinDuration, lim.MaxDuration
+	if min <= 0 {
+		min = time.Microsecond
+	}
+	if max <= min {
+		max = 10000 * min
+	}
+	curve, err := SweepTTS(g, pa, min, max, 64, perRead)
+	if err != nil {
+		return 0, 0, err
+	}
+	best := 0
+	for i, r := range curve {
+		if r.Total < curve[best].Total {
+			best = i
+		}
+	}
+	// Refine one decade around the coarse optimum.
+	lo, hi := curve[max64(best-1, 0)].AnnealTime, curve[min64(best+1, len(curve)-1)].AnnealTime
+	if hi > lo {
+		fine, err := SweepTTS(g, pa, lo, hi, 64, perRead)
+		if err == nil {
+			for _, r := range fine {
+				if r.Total < curve[best].Total {
+					curve[best] = r
+				}
+			}
+		}
+	}
+	return curve[best].AnnealTime, curve[best].Total, nil
+}
+
+func max64(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

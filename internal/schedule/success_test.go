@@ -1,0 +1,284 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSuccessProbabilityCalibration(t *testing.T) {
+	// The LZ scale is calibrated so the paper's defaults line up: a 20 µs
+	// linear anneal across the default gap gives ps ≈ 0.7 (the Fig. 9b value).
+	ps, err := SuccessProbability(Linear(20*time.Microsecond), DefaultGap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ps-0.7) > 0.01 {
+		t.Fatalf("ps(20µs, default gap) = %v, want ≈0.7", ps)
+	}
+}
+
+func TestSuccessProbabilityMonotoneInDuration(t *testing.T) {
+	g := DefaultGap()
+	prev := -1.0
+	for _, us := range []int{1, 5, 20, 100, 500, 2000} {
+		ps, err := SuccessProbability(Linear(time.Duration(us)*time.Microsecond), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ps <= prev {
+			t.Fatalf("ps not increasing with anneal time at %dµs: %v <= %v", us, ps, prev)
+		}
+		prev = ps
+	}
+}
+
+func TestSuccessProbabilityMonotoneInGap(t *testing.T) {
+	sc := Linear(20 * time.Microsecond)
+	prev := -1.0
+	for _, gap := range []float64{0.01, 0.05, 0.1, 0.2, 0.5} {
+		ps, err := SuccessProbability(sc, GapModel{MinGap: gap, Position: 0.65})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ps <= prev {
+			t.Fatalf("ps not increasing with gap at %v: %v <= %v", gap, ps, prev)
+		}
+		prev = ps
+	}
+}
+
+func TestSuccessProbabilityLimits(t *testing.T) {
+	g := DefaultGap()
+	// Very long anneal → nearly certain.
+	ps, err := SuccessProbability(Linear(time.Second), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps < 0.999999 {
+		t.Fatalf("ps(1s) = %v, want ≈1", ps)
+	}
+	// Vanishing gap → nearly hopeless.
+	ps, err = SuccessProbability(Linear(20*time.Microsecond), GapModel{MinGap: 1e-6, Position: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps > 1e-3 {
+		t.Fatalf("ps(tiny gap) = %v, want ≈0", ps)
+	}
+}
+
+func TestPauseAtGapBoostsSuccess(t *testing.T) {
+	g := DefaultGap()
+	base, err := SuccessProbability(Linear(20*time.Microsecond), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paused, err := WithPause(20*time.Microsecond, g.Position, 100*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := SuccessProbability(paused, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps != 1 {
+		t.Fatalf("ps with hold at gap = %v, want 1 (adiabatic)", ps)
+	}
+	if ps <= base {
+		t.Fatalf("pause did not help: %v <= %v", ps, base)
+	}
+}
+
+func TestPauseAwayFromGapDoesNotHelp(t *testing.T) {
+	g := DefaultGap() // position 0.65
+	paused, err := WithPause(20*time.Microsecond, 0.2, 100*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := SuccessProbability(paused, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := SuccessProbability(Linear(20*time.Microsecond), g)
+	// The ramp segments of the paused schedule have the same slope as the
+	// plain 20 µs ramp, so crossing the gap at 0.65 is equally fast.
+	if math.Abs(ps-base) > 1e-9 {
+		t.Fatalf("off-gap pause changed ps: %v vs %v", ps, base)
+	}
+}
+
+func TestQuenchBeforeGapHurts(t *testing.T) {
+	g := DefaultGap()
+	quench, err := WithQuench(20*time.Microsecond, 0.5, 100*time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := SuccessProbability(quench, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := SuccessProbability(Linear(20*time.Microsecond), g)
+	if ps >= base {
+		t.Fatalf("quench across the gap should reduce ps: %v >= %v", ps, base)
+	}
+}
+
+func TestSuccessProbabilityRejectsBadGap(t *testing.T) {
+	if _, err := SuccessProbability(Linear(time.Microsecond), GapModel{MinGap: 0, Position: 0.5}); err == nil {
+		t.Fatal("zero gap accepted")
+	}
+	if _, err := SuccessProbability(Linear(time.Microsecond), GapModel{MinGap: 0.1, Position: 1.5}); err == nil {
+		t.Fatal("position outside (0,1) accepted")
+	}
+}
+
+func TestTTSMatchesEq6(t *testing.T) {
+	// ps=0.7, pa=0.99 → s = ceil(log(0.01)/log(0.3)) = ceil(3.82) = 4.
+	got, err := TTS(20*time.Microsecond, 0.7, 0.99, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * 20 * time.Microsecond; got != want {
+		t.Fatalf("TTS = %v, want %v", got, want)
+	}
+}
+
+func TestTTSIncludesPerReadOverhead(t *testing.T) {
+	bare, _ := TTS(20*time.Microsecond, 0.7, 0.99, 0)
+	loaded, _ := TTS(20*time.Microsecond, 0.7, 0.99, 325*time.Microsecond)
+	if loaded != bare+4*325*time.Microsecond {
+		t.Fatalf("overhead accounting wrong: %v vs %v", loaded, bare)
+	}
+}
+
+func TestTTSRejectsBadProbabilities(t *testing.T) {
+	for _, c := range []struct{ ps, pa float64 }{
+		{0, 0.9}, {1, 0.9}, {0.5, 0}, {0.5, 1}, {-0.1, 0.9}, {0.5, 1.1},
+	} {
+		if _, err := TTS(time.Microsecond, c.ps, c.pa, 0); err == nil {
+			t.Errorf("TTS(ps=%v, pa=%v) accepted", c.ps, c.pa)
+		}
+	}
+}
+
+func TestSweepTTSUShape(t *testing.T) {
+	curve, err := SweepTTS(DefaultGap(), 0.99, time.Microsecond, 2000*time.Microsecond, 48, 325*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 48 {
+		t.Fatalf("len = %d", len(curve))
+	}
+	best := 0
+	for i, r := range curve {
+		if r.Total < curve[best].Total {
+			best = i
+		}
+	}
+	// The optimum is interior: both very short and very long anneals lose.
+	if best == 0 || best == len(curve)-1 {
+		t.Fatalf("TTS optimum at boundary (index %d of %d): no U-shape", best, len(curve))
+	}
+	if curve[0].Reads <= curve[best].Reads {
+		t.Fatalf("short anneal should need more reads: %d <= %d", curve[0].Reads, curve[best].Reads)
+	}
+}
+
+func TestSweepTTSPsIncreases(t *testing.T) {
+	curve, err := SweepTTS(DefaultGap(), 0.9, time.Microsecond, time.Millisecond, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Ps < curve[i-1].Ps {
+			t.Fatalf("ps decreased along sweep at %d", i)
+		}
+	}
+}
+
+func TestSweepTTSRejectsBadArgs(t *testing.T) {
+	g := DefaultGap()
+	if _, err := SweepTTS(g, 0.9, 0, time.Millisecond, 10, 0); err == nil {
+		t.Fatal("zero min accepted")
+	}
+	if _, err := SweepTTS(g, 0.9, time.Millisecond, time.Microsecond, 10, 0); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := SweepTTS(g, 0.9, time.Microsecond, time.Millisecond, 1, 0); err == nil {
+		t.Fatal("single step accepted")
+	}
+	if _, err := SweepTTS(g, 1.5, time.Microsecond, time.Millisecond, 10, 0); err == nil {
+		t.Fatal("bad accuracy accepted")
+	}
+	if _, err := SweepTTS(GapModel{}, 0.9, time.Microsecond, time.Millisecond, 10, 0); err == nil {
+		t.Fatal("bad gap accepted")
+	}
+}
+
+func TestOptimalAnnealTimeInsideLimits(t *testing.T) {
+	lim := DW2Limits()
+	best, tts, err := OptimalAnnealTime(DefaultGap(), 0.99, lim, 325*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best < lim.MinDuration || best > lim.MaxDuration {
+		t.Fatalf("optimum %v outside hardware range", best)
+	}
+	if tts <= 0 {
+		t.Fatalf("TTS = %v", tts)
+	}
+	// It must beat both endpoints of the permitted range.
+	for _, d := range []time.Duration{lim.MinDuration, lim.MaxDuration} {
+		ps, _ := SuccessProbability(Linear(d), DefaultGap())
+		if ps <= 0 || ps >= 1 {
+			continue
+		}
+		end, _ := TTS(d, ps, 0.99, 325*time.Microsecond)
+		if end < tts {
+			t.Fatalf("endpoint %v TTS %v beats claimed optimum %v", d, end, tts)
+		}
+	}
+}
+
+func TestOptimalAnnealTimeHardGapPrefersLong(t *testing.T) {
+	easy := GapModel{MinGap: 0.5, Position: 0.5}
+	hard := GapModel{MinGap: 0.02, Position: 0.5}
+	lim := DW2Limits()
+	bestEasy, _, err := OptimalAnnealTime(easy, 0.99, lim, 325*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestHard, _, err := OptimalAnnealTime(hard, 0.99, lim, 325*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestHard <= bestEasy {
+		t.Fatalf("harder instance should want longer anneals: %v <= %v", bestHard, bestEasy)
+	}
+}
+
+// Property: ps is always within [0,1] for random valid gap models and
+// durations, and TTS is positive whenever ps is interior.
+func TestQuickSuccessInvariants(t *testing.T) {
+	f := func(gapQ, posQ, durQ uint16) bool {
+		gap := 1e-4 + float64(gapQ)/float64(math.MaxUint16)*0.9
+		pos := 0.01 + float64(posQ)/float64(math.MaxUint16)*0.98
+		dur := time.Duration(1+int64(durQ)) * time.Microsecond
+		ps, err := SuccessProbability(Linear(dur), GapModel{MinGap: gap, Position: pos})
+		if err != nil || ps < 0 || ps > 1 {
+			return false
+		}
+		if ps > 0 && ps < 1 {
+			tts, err := TTS(dur, ps, 0.9, 0)
+			if err != nil || tts <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// BootstrapCI estimates a percentile-bootstrap confidence interval for an
+// arbitrary statistic of the sample: it redraws len(xs) observations with
+// replacement resamples times, evaluates stat on each redraw, and returns
+// the (1-conf)/2 and (1+conf)/2 quantiles of the resulting distribution.
+// Timing experiments on the probabilistic annealer use this to put honest
+// error bars on measured stage times.
+func BootstrapCI(xs []float64, stat func([]float64) float64, resamples int, conf float64, rng *rand.Rand) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, errors.New("stats: empty sample")
+	}
+	if stat == nil {
+		return 0, 0, errors.New("stats: nil statistic")
+	}
+	if resamples < 2 {
+		return 0, 0, fmt.Errorf("stats: resamples %d < 2", resamples)
+	}
+	if conf <= 0 || conf >= 1 {
+		return 0, 0, fmt.Errorf("stats: confidence %v outside (0,1)", conf)
+	}
+	if rng == nil {
+		return 0, 0, errors.New("stats: nil rng")
+	}
+	vals := make([]float64, resamples)
+	buf := make([]float64, len(xs))
+	for r := 0; r < resamples; r++ {
+		for i := range buf {
+			buf[i] = xs[rng.Intn(len(xs))]
+		}
+		vals[r] = stat(buf)
+	}
+	sort.Float64s(vals)
+	alpha := (1 - conf) / 2
+	return Quantile(vals, alpha), Quantile(vals, 1-alpha), nil
+}
+
+// Mean is a convenience statistic for BootstrapCI.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median is a convenience statistic for BootstrapCI. It does not assume the
+// input is sorted and does not modify it.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	return Quantile(tmp, 0.5)
+}
+
+// TheilSen fits y ≈ a + b·x by the Theil–Sen estimator: b is the median of
+// all pairwise slopes and a the median of y - b·x. Unlike LinearFit it is
+// robust to outliers — useful when a few timing samples hit scheduler noise.
+func TheilSen(xs, ys []float64) (a, b float64, err error) {
+	n := len(xs)
+	if n != len(ys) {
+		return 0, 0, fmt.Errorf("stats: length mismatch %d vs %d", n, len(ys))
+	}
+	if n < 2 {
+		return 0, 0, errors.New("stats: need at least 2 points")
+	}
+	slopes := make([]float64, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := xs[j] - xs[i]
+			if dx == 0 {
+				continue
+			}
+			slopes = append(slopes, (ys[j]-ys[i])/dx)
+		}
+	}
+	if len(slopes) == 0 {
+		return 0, 0, errors.New("stats: all x values identical")
+	}
+	b = Median(slopes)
+	resid := make([]float64, n)
+	for i := range resid {
+		resid[i] = ys[i] - b*xs[i]
+	}
+	a = Median(resid)
+	return a, b, nil
+}
+
+// ECDF returns the empirical cumulative distribution function of the
+// sample: F(x) = fraction of observations ≤ x. The returned closure is safe
+// for concurrent use.
+func ECDF(xs []float64) (func(float64) float64, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("stats: empty sample")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	return func(x float64) float64 {
+		// Count of values ≤ x = index of first value > x.
+		k := sort.SearchFloat64s(sorted, x)
+		for k < len(sorted) && sorted[k] == x {
+			k++
+		}
+		return float64(k) / n
+	}, nil
+}

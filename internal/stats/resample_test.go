@@ -1,0 +1,217 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMedian(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty inputs should return 0")
+	}
+	xs := []float64{3, 1, 2}
+	if got := Mean(xs); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Median(xs); got != 2 {
+		t.Fatalf("Median = %v", got)
+	}
+	// Median must not sort the caller's slice.
+	if xs[0] != 3 {
+		t.Fatal("Median mutated input")
+	}
+	if got := Median([]float64{4, 1, 3, 2}); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("even Median = %v", got)
+	}
+}
+
+func TestBootstrapCICoversTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Normal(10, 1): a 95% CI for the mean from n=200 should almost surely
+	// contain 10 and be a tight, ordered interval.
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 10 + rng.NormFloat64()
+	}
+	lo, hi, err := BootstrapCI(xs, Mean, 500, 0.95, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Fatalf("degenerate CI [%v, %v]", lo, hi)
+	}
+	if lo > 10 || hi < 10 {
+		t.Fatalf("CI [%v, %v] misses true mean 10", lo, hi)
+	}
+	if hi-lo > 1 {
+		t.Fatalf("CI [%v, %v] implausibly wide for n=200", lo, hi)
+	}
+}
+
+func TestBootstrapCIShrinksWithSampleSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	mk := func(n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 5 + rng.NormFloat64()
+		}
+		return xs
+	}
+	lo1, hi1, err := BootstrapCI(mk(20), Mean, 400, 0.9, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo2, hi2, err := BootstrapCI(mk(2000), Mean, 400, 0.9, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi2-lo2 >= hi1-lo1 {
+		t.Fatalf("CI did not shrink: n=20 width %v, n=2000 width %v", hi1-lo1, hi2-lo2)
+	}
+}
+
+func TestBootstrapCIValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := []float64{1, 2, 3}
+	if _, _, err := BootstrapCI(nil, Mean, 10, 0.9, rng); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+	if _, _, err := BootstrapCI(xs, nil, 10, 0.9, rng); err == nil {
+		t.Fatal("nil stat accepted")
+	}
+	if _, _, err := BootstrapCI(xs, Mean, 1, 0.9, rng); err == nil {
+		t.Fatal("1 resample accepted")
+	}
+	if _, _, err := BootstrapCI(xs, Mean, 10, 1, rng); err == nil {
+		t.Fatal("conf=1 accepted")
+	}
+	if _, _, err := BootstrapCI(xs, Mean, 10, 0.9, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestTheilSenExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x
+	}
+	a, b, err := TheilSen(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-3) > 1e-12 || math.Abs(b-2) > 1e-12 {
+		t.Fatalf("fit (%v, %v), want (3, 2)", a, b)
+	}
+}
+
+func TestTheilSenRobustToOutlier(t *testing.T) {
+	// One wild outlier: least squares bends, Theil–Sen should not.
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 1 + 0.5*x
+	}
+	ys[4] = 1000
+	_, bTS, err := TheilSen(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bTS-0.5) > 0.05 {
+		t.Fatalf("Theil–Sen slope %v pulled by outlier, want ≈0.5", bTS)
+	}
+	_, bLS, _ := LinearFit(xs, ys)
+	if math.Abs(bLS-0.5) < math.Abs(bTS-0.5) {
+		t.Fatalf("least squares (%v) beat Theil–Sen (%v) on outlier data", bLS, bTS)
+	}
+}
+
+func TestTheilSenValidation(t *testing.T) {
+	if _, _, err := TheilSen([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, err := TheilSen([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, _, err := TheilSen([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("constant x accepted")
+	}
+}
+
+func TestECDFBasics(t *testing.T) {
+	F, err := ECDF([]float64{1, 2, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 0.75}, {4, 1}, {99, 1},
+	}
+	for _, c := range cases {
+		if got := F(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("F(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if _, err := ECDF(nil); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+}
+
+func TestQuickECDFMonotoneAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		F, err := ECDF(xs)
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for x := -40.0; x <= 40; x += 0.5 {
+			v := F(x)
+			if v < 0 || v > 1 || v < prev {
+				return false
+			}
+			prev = v
+		}
+		return F(math.Inf(1)) == 1 && F(math.Inf(-1)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Theil–Sen recovers exact affine relationships regardless of
+// slope sign and x spacing.
+func TestQuickTheilSenExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		a := rng.NormFloat64() * 5
+		b := rng.NormFloat64() * 3
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		used := map[float64]bool{}
+		for i := range xs {
+			x := float64(rng.Intn(1000))
+			for used[x] {
+				x = float64(rng.Intn(1000))
+			}
+			used[x] = true
+			xs[i] = x
+			ys[i] = a + b*x
+		}
+		ga, gb, err := TheilSen(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(ga-a) < 1e-6 && math.Abs(gb-b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,245 @@
+// Package stats provides the post-processing and analysis support used by
+// the split-execution pipeline: the heapsort the paper's stage-3 model
+// assumes, descriptive statistics, histograms, and the power-law/linear fits
+// used to analyze timing scaling in the experiments.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Heapsort sorts a in ascending order using the comparison function less,
+// counting comparisons. The paper's stage-3 model assumes "an underlying
+// heapsort algorithm is used to sort the readout results according to the
+// value of the computed energy" with cost SortOps = R·log R; the returned
+// count lets the simulated-execution path charge the measured work.
+func Heapsort(n int, less func(i, j int) bool, swap func(i, j int)) (comparisons int) {
+	cmp := func(i, j int) bool {
+		comparisons++
+		return less(i, j)
+	}
+	// Build max-heap.
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(i, n, cmp, swap)
+	}
+	for end := n - 1; end > 0; end-- {
+		swap(0, end)
+		siftDown(0, end, cmp, swap)
+	}
+	return comparisons
+}
+
+func siftDown(root, end int, less func(i, j int) bool, swap func(i, j int)) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && less(child, child+1) {
+			child++
+		}
+		if !less(root, child) {
+			return
+		}
+		swap(root, child)
+		root = child
+	}
+}
+
+// HeapsortFloat64 sorts xs ascending in place and returns the comparison
+// count.
+func HeapsortFloat64(xs []float64) int {
+	return Heapsort(len(xs),
+		func(i, j int) bool { return xs[i] < xs[j] },
+		func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N                int
+	Min, Max         float64
+	Mean, Std        float64
+	Median, P25, P75 float64
+}
+
+// Summarize computes descriptive statistics; it returns a zero Summary for
+// empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	varSum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varSum += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(varSum / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.P25 = Quantile(sorted, 0.25)
+	s.P75 = Quantile(sorted, 0.75)
+	return s
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of a sorted sample using linear
+// interpolation. It panics on empty input.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Histogram counts values into nbins equal-width bins over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	Total    int
+}
+
+// NewHistogram builds a histogram of xs with nbins bins spanning the data
+// range (or [0,1] for empty/degenerate input).
+func NewHistogram(xs []float64, nbins int) *Histogram {
+	if nbins < 1 {
+		panic(fmt.Sprintf("stats: nbins = %d", nbins))
+	}
+	h := &Histogram{Min: 0, Max: 1, Counts: make([]int, nbins)}
+	if len(xs) == 0 {
+		return h
+	}
+	h.Min, h.Max = xs[0], xs[0]
+	for _, x := range xs {
+		if x < h.Min {
+			h.Min = x
+		}
+		if x > h.Max {
+			h.Max = x
+		}
+	}
+	if h.Max == h.Min {
+		h.Max = h.Min + 1
+	}
+	for _, x := range xs {
+		h.Add(x)
+	}
+	return h
+}
+
+// Add records one observation (values outside [Min,Max] clamp to end bins).
+func (h *Histogram) Add(x float64) {
+	bin := int(float64(len(h.Counts)) * (x - h.Min) / (h.Max - h.Min))
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= len(h.Counts) {
+		bin = len(h.Counts) - 1
+	}
+	h.Counts[bin]++
+	h.Total++
+}
+
+// Mode returns the midpoint of the most populated bin.
+func (h *Histogram) Mode() float64 {
+	best, bestCount := 0, -1
+	for i, c := range h.Counts {
+		if c > bestCount {
+			best, bestCount = i, c
+		}
+	}
+	width := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + width*(float64(best)+0.5)
+}
+
+// LinearFit returns the least-squares line y = a + b·x and the coefficient of
+// determination R². It panics when fewer than 2 points are given.
+func LinearFit(xs, ys []float64) (a, b, r2 float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("stats: linear fit needs >= 2 paired points")
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		panic("stats: degenerate x values in linear fit")
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		return a, b, 1
+	}
+	ssRes := 0.0
+	for i := range xs {
+		d := ys[i] - (a + b*xs[i])
+		ssRes += d * d
+	}
+	r2 = 1 - ssRes/ssTot
+	return a, b, r2
+}
+
+// PowerLawFit fits y = c·x^k by linear regression in log-log space,
+// returning (c, k, R²). All inputs must be positive.
+func PowerLawFit(xs, ys []float64) (c, k, r2 float64) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			panic("stats: power-law fit needs positive data")
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	a, b, r2 := LinearFit(lx, ly)
+	return math.Exp(a), b, r2
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: geometric mean needs positive data")
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

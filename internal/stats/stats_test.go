@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapsortFloat64Sorts(t *testing.T) {
+	xs := []float64{5, 3, 8, 1, 9, 2, 7}
+	comps := HeapsortFloat64(xs)
+	if !sort.Float64sAreSorted(xs) {
+		t.Fatalf("not sorted: %v", xs)
+	}
+	if comps <= 0 {
+		t.Error("no comparisons counted")
+	}
+}
+
+func TestHeapsortEdgeCases(t *testing.T) {
+	var empty []float64
+	if c := HeapsortFloat64(empty); c != 0 {
+		t.Errorf("empty sort comparisons = %d", c)
+	}
+	one := []float64{4}
+	if c := HeapsortFloat64(one); c != 0 || one[0] != 4 {
+		t.Error("singleton sort wrong")
+	}
+	dup := []float64{2, 2, 2}
+	HeapsortFloat64(dup)
+	if dup[0] != 2 || dup[2] != 2 {
+		t.Error("duplicates mangled")
+	}
+}
+
+// Property: heapsort agrees with the stdlib and costs O(n log n).
+func TestHeapsortMatchesStdlib(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		want := append([]float64(nil), xs...)
+		sort.Float64s(want)
+		comps := HeapsortFloat64(xs)
+		for i := range xs {
+			if xs[i] != want[i] {
+				return false
+			}
+		}
+		// Comparison bound: c <= 3·n·ceil(log2 n) is a loose safe bound.
+		bound := 3 * float64(n) * math.Ceil(math.Log2(float64(n+1))+1)
+		return float64(comps) <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("std = %v", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Error("empty summary not zero")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if q := Quantile(sorted, 0); q != 10 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := Quantile(sorted, 1); q != 40 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := Quantile(sorted, 0.5); q != 25 {
+		t.Errorf("median = %v, want 25", q)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty quantile did not panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 1, 1, 2}, 2)
+	if h.Total != 5 {
+		t.Errorf("total = %d", h.Total)
+	}
+	if h.Counts[0]+h.Counts[1] != 5 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	// Mode bin contains the 1s.
+	m := h.Mode()
+	if m < 0 || m > 2 {
+		t.Errorf("mode = %v out of range", m)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram([]float64{3, 3, 3}, 4)
+	if h.Total != 3 {
+		t.Errorf("total = %d", h.Total)
+	}
+	h2 := NewHistogram(nil, 3)
+	if h2.Total != 0 {
+		t.Error("empty histogram counted something")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("nbins=0 did not panic")
+		}
+	}()
+	NewHistogram(nil, 0)
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	a, b, r2 := LinearFit(xs, ys)
+	if math.Abs(a-1) > 1e-12 || math.Abs(b-2) > 1e-12 || math.Abs(r2-1) > 1e-12 {
+		t.Errorf("fit = (%v,%v,%v)", a, b, r2)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("1-point fit did not panic")
+		}
+	}()
+	LinearFit([]float64{1}, []float64{2})
+}
+
+func TestPowerLawFitRecoversExponent(t *testing.T) {
+	xs := make([]float64, 20)
+	ys := make([]float64, 20)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+		ys[i] = 2.5 * math.Pow(xs[i], 3.2)
+	}
+	c, k, r2 := PowerLawFit(xs, ys)
+	if math.Abs(c-2.5) > 1e-6 || math.Abs(k-3.2) > 1e-9 || r2 < 0.999999 {
+		t.Errorf("power fit = (%v,%v,%v)", c, k, r2)
+	}
+}
+
+func TestPowerLawFitRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nonpositive data did not panic")
+		}
+	}()
+	PowerLawFit([]float64{0, 1}, []float64{1, 2})
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); math.Abs(g-10) > 1e-9 {
+		t.Errorf("geomean = %v, want 10", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("empty geomean = %v", g)
+	}
+}
+
+// Property: quantiles are monotone in q.
+func TestQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		sort.Float64s(xs)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

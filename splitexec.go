@@ -1,0 +1,565 @@
+// Package splitexec is the public API of the split-execution computing
+// library, a reproduction of "Performance Models for Split-execution
+// Computing Systems" (Humble et al., 2016).
+//
+// Split-execution computing couples two computational models — here a
+// conventional CPU and a D-Wave-style quantum annealing QPU — and pays a
+// translation cost at the boundary. The library provides:
+//
+//   - a three-stage split-execution solver (translate+embed → anneal →
+//     post-process) over a simulated QPU (Solver),
+//   - analytic performance models of each stage in an ASPEN-compatible
+//     DSL, evaluated against machine models (Predictor, the aspen types),
+//   - the substrates these require: Chimera hardware graphs, QUBO/Ising
+//     problems, minor embedding, annealing and statistics.
+//
+// # Quick start
+//
+//	g := splitexec.Cycle(8)
+//	problem := splitexec.MaxCut(g, nil)
+//	solver := splitexec.NewSolver(splitexec.Config{Seed: 1})
+//	sol, err := solver.SolveQUBO(problem)
+//	// sol.Binary is the partition, sol.Timing the per-stage cost split.
+//
+// The deeper sub-APIs are re-exported as type aliases so downstream code can
+// use everything through this one import path.
+package splitexec
+
+import (
+	"time"
+
+	"github.com/splitexec/splitexec/internal/anneal"
+	"github.com/splitexec/splitexec/internal/arch"
+	"github.com/splitexec/splitexec/internal/aspen"
+	"github.com/splitexec/splitexec/internal/control"
+	"github.com/splitexec/splitexec/internal/core"
+	"github.com/splitexec/splitexec/internal/dse"
+	"github.com/splitexec/splitexec/internal/embed"
+	"github.com/splitexec/splitexec/internal/gi"
+	"github.com/splitexec/splitexec/internal/graph"
+	"github.com/splitexec/splitexec/internal/machine"
+	"github.com/splitexec/splitexec/internal/parallel"
+	"github.com/splitexec/splitexec/internal/qpuserver"
+	"github.com/splitexec/splitexec/internal/qubo"
+	"github.com/splitexec/splitexec/internal/schedule"
+)
+
+// --- core pipeline ----------------------------------------------------------
+
+// Config parameterizes a split-execution solver; see the field docs on the
+// aliased type.
+type Config = core.Config
+
+// Solver executes QUBO/Ising problems on the modeled CPU+QPU node.
+type Solver = core.Solver
+
+// Solution is the result of one solve, including the per-stage Timing.
+type Solution = core.Solution
+
+// Timing is the per-phase cost breakdown of a solve.
+type Timing = core.Timing
+
+// Predictor evaluates the paper's analytic stage models.
+type Predictor = core.Predictor
+
+// StageSeconds is a per-stage analytic prediction.
+type StageSeconds = core.StageSeconds
+
+// EmbeddingCache is the off-line embedding lookup table (paper §4).
+type EmbeddingCache = core.EmbeddingCache
+
+// NewSolver builds a solver for the given configuration.
+func NewSolver(cfg Config) *Solver { return core.NewSolver(cfg) }
+
+// NewPredictor builds an analytic predictor for a hardware node.
+func NewPredictor(node Node) *Predictor { return core.NewPredictor(node) }
+
+// NewEmbeddingCache returns an empty off-line embedding cache.
+func NewEmbeddingCache() *EmbeddingCache { return core.NewEmbeddingCache() }
+
+// --- problems ---------------------------------------------------------------
+
+// QUBO is a quadratic unconstrained binary optimization instance.
+type QUBO = qubo.QUBO
+
+// Ising is a logical Ising model.
+type Ising = qubo.Ising
+
+// NewQUBO returns an all-zero QUBO over n binary variables.
+func NewQUBO(n int) *QUBO { return qubo.NewQUBO(n) }
+
+// NewIsing returns an all-zero Ising model over n spins.
+func NewIsing(n int) *Ising { return qubo.NewIsing(n) }
+
+// ToIsing translates a QUBO to its logical Ising model (paper Eqs. 4–5).
+func ToIsing(q *QUBO) *Ising { return qubo.ToIsing(q) }
+
+// MaxCut returns the QUBO encoding maximum cut of g (nil weight = unit).
+func MaxCut(g *Graph, weight func(u, v int) float64) *QUBO { return qubo.MaxCut(g, weight) }
+
+// CutValue returns the weight of edges cut by the 0/1 partition b.
+func CutValue(g *Graph, weight func(u, v int) float64, b []int8) float64 {
+	return qubo.CutValue(g, weight, b)
+}
+
+// NumberPartition returns the QUBO for two-way balanced partitioning.
+func NumberPartition(values []float64) *QUBO { return qubo.NumberPartition(values) }
+
+// MinVertexCover returns the QUBO for minimum vertex cover with penalty P.
+func MinVertexCover(g *Graph, penalty float64) *QUBO { return qubo.MinVertexCover(g, penalty) }
+
+// MaxIndependentSet returns the QUBO for maximum independent set.
+func MaxIndependentSet(g *Graph, penalty float64) *QUBO { return qubo.MaxIndependentSet(g, penalty) }
+
+// GraphColoring returns the one-hot QUBO for proper k-coloring.
+func GraphColoring(g *Graph, k int, penalty float64) *QUBO { return qubo.GraphColoring(g, k, penalty) }
+
+// --- graphs -----------------------------------------------------------------
+
+// Graph is an undirected simple graph over dense integer vertices.
+type Graph = graph.Graph
+
+// Edge is an unordered vertex pair.
+type Edge = graph.Edge
+
+// Chimera describes the C(M,N,L) quantum annealer topology.
+type Chimera = graph.Chimera
+
+// VertexModel maps logical vertices to hardware chains (a minor embedding).
+type VertexModel = graph.VertexModel
+
+// FaultModel describes dead qubits and couplers.
+type FaultModel = graph.FaultModel
+
+// NewGraph returns an empty graph with n vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// Complete returns K_n.
+func Complete(n int) *Graph { return graph.Complete(n) }
+
+// Cycle returns C_n.
+func Cycle(n int) *Graph { return graph.Cycle(n) }
+
+// Grid returns the rows×cols lattice graph.
+func Grid(rows, cols int) *Graph { return graph.Grid(rows, cols) }
+
+// Path returns P_n.
+func Path(n int) *Graph { return graph.Path(n) }
+
+// Star returns the star graph on n vertices (center 0).
+func Star(n int) *Graph { return graph.Star(n) }
+
+// Vesuvius is the 512-qubit C(8,8,4) topology.
+func Vesuvius() Chimera { return graph.Vesuvius() }
+
+// DW2X is the 1152-qubit C(12,12,4) topology.
+func DW2X() Chimera { return graph.DW2X() }
+
+// ValidateMinor checks a minor embedding of g into hw.
+func ValidateMinor(g, hw *Graph, vm VertexModel, requireAll bool) error {
+	return graph.ValidateMinor(g, hw, vm, requireAll)
+}
+
+// --- embedding --------------------------------------------------------------
+
+// EmbedOptions configure the Cai–Macready–Roy heuristic.
+type EmbedOptions = embed.Options
+
+// EmbedStats reports embedding search work.
+type EmbedStats = embed.Stats
+
+// Embedded couples a hardware Ising program with its vertex model.
+type Embedded = embed.Embedded
+
+// FindEmbedding runs the CMR minor-embedding heuristic.
+var FindEmbedding = embed.FindEmbedding
+
+// CliqueEmbedding deterministically embeds K_n into a Chimera topology.
+var CliqueEmbedding = embed.CliqueEmbedding
+
+// SetParameters maps a logical Ising model onto hardware through a vertex
+// model.
+var SetParameters = embed.SetParameters
+
+// --- annealing --------------------------------------------------------------
+
+// SamplerOptions configure the annealer substrate.
+type SamplerOptions = anneal.SamplerOptions
+
+// SampleSet is a readout ensemble.
+type SampleSet = anneal.SampleSet
+
+// Timings holds QPU hardware time constants.
+type QPUTimings = anneal.Timings
+
+// DW2Timings returns the paper's DW2 Vesuvius time constants.
+func DW2Timings() QPUTimings { return anneal.DW2Timings() }
+
+// RequiredReads returns the Eq. 6 repetition count for accuracy pa at
+// single-run success ps.
+var RequiredReads = anneal.RequiredReads
+
+// --- machine models -----------------------------------------------------------
+
+// Node is the asymmetric CPU+QPU hardware node.
+type Node = machine.Node
+
+// CPU is a conventional multicore socket description.
+type CPU = machine.CPU
+
+// QPU is the quantum annealing socket description.
+type QPU = machine.QPU
+
+// SimpleNode mirrors the paper's Fig. 5 machine model.
+func SimpleNode() Node { return machine.SimpleNode() }
+
+// --- ASPEN DSL --------------------------------------------------------------
+
+// AspenFile is a parsed ASPEN source file.
+type AspenFile = aspen.File
+
+// AspenModel is an ASPEN application model.
+type AspenModel = aspen.ModelDecl
+
+// AspenMachine is a resolved ASPEN machine model.
+type AspenMachine = aspen.MachineSpec
+
+// AspenResult is an application-model evaluation.
+type AspenResult = aspen.Result
+
+// AspenEvalOptions configure evaluation.
+type AspenEvalOptions = aspen.EvalOptions
+
+// ParseAspen parses ASPEN source.
+func ParseAspen(src string) (*AspenFile, error) { return aspen.Parse(src) }
+
+// ParseAspenWithIncludes parses ASPEN source resolving includes against the
+// embedded standard library.
+func ParseAspenWithIncludes(src string) (*AspenFile, error) {
+	return aspen.ParseWithIncludes(src, aspen.StdLoader)
+}
+
+// BuildAspenMachine resolves a machine declaration.
+func BuildAspenMachine(f *AspenFile, name string) (*AspenMachine, error) {
+	return aspen.BuildMachine(f, name)
+}
+
+// EvaluateAspen runs an application model against a machine model.
+func EvaluateAspen(m *AspenModel, mach *AspenMachine, opts AspenEvalOptions) (*AspenResult, error) {
+	return aspen.Evaluate(m, mach, opts)
+}
+
+// Stage1Source, Stage2Source and Stage3Source are the paper's application
+// model listings (Figs. 6–8).
+const (
+	Stage1Source = core.Stage1Source
+	Stage2Source = core.Stage2Source
+	Stage3Source = core.Stage3Source
+)
+
+// --- client-server QPU (Fig. 1a deployment) ----------------------------------
+
+// QPUServer serves a simulated QPU over TCP.
+type QPUServer = qpuserver.Server
+
+// QPUClient is the host-side handle to a remote QPU; it satisfies the
+// solver's device interface, so Config.Device can point at one.
+type QPUClient = qpuserver.Client
+
+// NewQPUServer builds a QPU server with the given time constants.
+func NewQPUServer(t QPUTimings, opts SamplerOptions) *QPUServer {
+	return qpuserver.NewServer(t, opts)
+}
+
+// DialQPU connects to a QPU server.
+func DialQPU(addr string) (*QPUClient, error) { return qpuserver.Dial(addr) }
+
+// --- architecture comparison (Fig. 1 a/b/c) ----------------------------------
+
+// Architecture identifies one of the paper's Fig. 1 deployments.
+type Architecture = arch.Kind
+
+// Fig. 1 architectures.
+const (
+	AsymmetricMultiprocessor = arch.AsymmetricMultiprocessor
+	SharedResource           = arch.SharedResource
+	DedicatedPerNode         = arch.DedicatedPerNode
+)
+
+// ArchSystem describes a deployment (architecture + host count).
+type ArchSystem = arch.System
+
+// JobProfile is the per-job phase cost vector for architecture comparison.
+type JobProfile = arch.JobProfile
+
+// ArchComparison is one row of the architecture comparison table.
+type ArchComparison = arch.Comparison
+
+// Makespan returns the batch completion time under an architecture.
+var Makespan = arch.Makespan
+
+// CompareArchitectures evaluates all three Fig. 1 architectures.
+var CompareArchitectures = arch.Compare
+
+// --- quantum annealing substrate ---------------------------------------------
+
+// SQAOptions configure the simulated-quantum-annealing (path-integral)
+// sampler.
+type SQAOptions = anneal.SQAOptions
+
+// --- additional workloads ----------------------------------------------------
+
+// TSP returns the traveling-salesman QUBO over a symmetric distance matrix.
+var TSP = qubo.TSP
+
+// TSPPenalty returns a safe constraint penalty for TSP.
+var TSPPenalty = qubo.TSPPenalty
+
+// DecodeTour extracts the visiting order from a TSP assignment.
+var DecodeTour = qubo.DecodeTour
+
+// SetPacking returns the weighted set-packing QUBO (§2.1 workload).
+var SetPacking = qubo.SetPacking
+
+// --- annealing schedules (§2.2 waveform & duration) ---------------------------
+
+// Schedule is a piecewise-linear annealing waveform s(t).
+type Schedule = schedule.Schedule
+
+// SchedulePoint is one control point of an annealing waveform.
+type SchedulePoint = schedule.Point
+
+// ControlLimits are the pre-defined waveform ranges the control system
+// permits.
+type ControlLimits = schedule.ControlLimits
+
+// GapModel reduces an instance's internal energy structure to the minimum
+// spectral gap and its position.
+type GapModel = schedule.GapModel
+
+// TTSResult is one point of an anneal-time TTS sweep.
+type TTSResult = schedule.TTSResult
+
+// LinearSchedule returns the standard linear ramp over duration d.
+func LinearSchedule(d time.Duration) Schedule { return schedule.Linear(d) }
+
+// ScheduleWithPause returns a ramp holding at fraction `at` for `pause`.
+var ScheduleWithPause = schedule.WithPause
+
+// ScheduleWithQuench returns a ramp that quenches from fraction `at`.
+var ScheduleWithQuench = schedule.WithQuench
+
+// CustomSchedule builds a waveform from explicit control points.
+var CustomSchedule = schedule.Custom
+
+// DW2ScheduleLimits returns DW2-representative control limits.
+func DW2ScheduleLimits() ControlLimits { return schedule.DW2Limits() }
+
+// DefaultGapModel returns a generic spin-glass-like gap model.
+func DefaultGapModel() GapModel { return schedule.DefaultGap() }
+
+// SuccessProbability returns the Landau-Zener single-run ground-state
+// probability of annealing under a schedule across a gap model.
+var SuccessProbability = schedule.SuccessProbability
+
+// TTS returns the Eq. 6 time-to-solution at the given per-read costs.
+var TTS = schedule.TTS
+
+// SweepTTS evaluates the TTS curve across anneal durations.
+var SweepTTS = schedule.SweepTTS
+
+// OptimalAnnealTime minimizes TTS within the hardware control limits.
+var OptimalAnnealTime = schedule.OptimalAnnealTime
+
+// EstimateGap builds a GapModel from an Ising instance's classical energy
+// spectrum (exhaustive; ≤ ~20 spins) — the bridge from a concrete problem
+// to schedule planning.
+var EstimateGap = anneal.EstimateGap
+
+// --- electronic control system (§2.2 precision & programming) ----------------
+
+// Controller models the electronic control system programming the QPU.
+type Controller = control.Controller
+
+// DAC describes control-line precision (bits and parameter ranges).
+type DAC = control.DAC
+
+// ICE models integrated control errors (analog parameter disorder).
+type ICE = control.ICE
+
+// ProgramResult reports one programming cycle.
+type ProgramResult = control.ProgramResult
+
+// ProgrammingPhase identifies one step of the programming pipeline.
+type ProgrammingPhase = control.Phase
+
+// PhaseTime is one entry of the programming time ledger.
+type PhaseTime = control.PhaseTime
+
+// CalibrationReport describes one hardware calibration pass.
+type CalibrationReport = control.CalibrationReport
+
+// CalibrationOptions parameterize a calibration pass.
+type CalibrationOptions = control.CalibrationOptions
+
+// DefaultCalibration returns representative probe times and fault rates.
+func DefaultCalibration() CalibrationOptions { return control.DefaultCalibration() }
+
+// NewController returns a controller with the paper's DW2 constants.
+func NewController() *Controller { return control.NewController() }
+
+// DW2DAC returns a DW2-representative DAC description.
+func DW2DAC() DAC { return control.DW2DAC() }
+
+// DW2ICE returns DW2-representative control-error amplitudes.
+func DW2ICE() ICE { return control.DW2ICE() }
+
+// ProgrammingSequence expands QPU timing constants into the per-phase
+// programming ledger (the stage-1 ASPEN constants).
+var ProgrammingSequence = control.Sequence
+
+// Calibrate sweeps a hardware graph for faults (paper §2.2).
+var Calibrate = control.Calibrate
+
+// RequiredBits returns the DAC precision needed for a parameter resolution.
+var RequiredBits = control.RequiredBits
+
+// --- graph isomorphism on the QPU (§3.3) --------------------------------------
+
+// GIOptions configure the annealer-backed graph-isomorphism decision.
+type GIOptions = gi.Options
+
+// GIResult reports one annealer-backed GI decision.
+type GIResult = gi.Result
+
+// GIReduction is a GI instance encoded as a QUBO.
+type GIReduction = gi.Reduction
+
+// ReduceGI encodes "is G isomorphic to H?" as a QUBO.
+var ReduceGI = gi.Reduce
+
+// AreIsomorphic decides GI with the annealer substrate plus exact
+// verification.
+var AreIsomorphic = gi.AreIsomorphic
+
+// MatchGraph finds which candidate an input graph is isomorphic to — the
+// off-line embedding-table lookup of §3.3/§4.
+var MatchGraph = gi.Match
+
+// RelabelGraph returns the image of a graph under a vertex permutation.
+var RelabelGraph = gi.Relabel
+
+// VerifyIsomorphism exactly checks a claimed vertex mapping.
+var VerifyIsomorphism = gi.VerifyMapping
+
+// --- parallel pre-processing (§4) ---------------------------------------------
+
+// ParallelEmbedOptions configure the multi-seed parallel embedding search.
+type ParallelEmbedOptions = parallel.EmbedOptions
+
+// ParallelEmbedResult reports a parallel embedding search.
+type ParallelEmbedResult = parallel.EmbedResult
+
+// StageCost is the per-stage time of one job for pipeline analysis.
+type StageCost = parallel.StageCost
+
+// PipelineJob is one unit of work for the live pipeline executor.
+type PipelineJob = parallel.Job
+
+// FindEmbeddingParallel races CMR restarts across host cores.
+var FindEmbeddingParallel = parallel.FindEmbedding
+
+// EmbedBatch embeds many graphs concurrently into the same hardware.
+var EmbedBatch = parallel.EmbedBatch
+
+// SequentialMakespan returns the serial batch time.
+var SequentialMakespan = parallel.Sequential
+
+// PipelinedMakespan simulates CPU/QPU stage overlap for a batch.
+var PipelinedMakespan = parallel.Pipelined
+
+// PipelineSpeedup returns SequentialMakespan/PipelinedMakespan.
+var PipelineSpeedup = parallel.Speedup
+
+// RunPipeline executes jobs with genuine goroutine-level stage overlap.
+var RunPipeline = parallel.Run
+
+// --- design-space exploration --------------------------------------------------
+
+// DSEAxis is one swept model parameter.
+type DSEAxis = dse.Axis
+
+// DSETable is an evaluated sweep.
+type DSETable = dse.Table
+
+// DSESensitivity is a parameter elasticity at a design point.
+type DSESensitivity = dse.Sensitivity
+
+// DSEObjective maps a parameter assignment to a scalar cost.
+type DSEObjective = dse.Objective
+
+// ModelObjective adapts an ASPEN model to a DSE objective.
+var ModelObjective = dse.ModelObjective
+
+// SweepModel evaluates an objective over the cartesian product of axes.
+var SweepModel = dse.Sweep
+
+// Sensitivities ranks parameters by local elasticity.
+var Sensitivities = dse.Sensitivities
+
+// Crossover locates where one objective overtakes another.
+var Crossover = dse.Crossover
+
+// LinSpace returns evenly spaced values (inclusive endpoints).
+var LinSpace = dse.LinSpace
+
+// LogSpace returns logarithmically spaced values (inclusive endpoints).
+var LogSpace = dse.LogSpace
+
+// --- additional workloads (§1/§2.1) --------------------------------------------
+
+// ILP is a binary integer linear program reduced to QUBO form.
+type ILP = qubo.ILP
+
+// Ensemble is the QBoost weak-classifier-selection QUBO.
+type Ensemble = qubo.Ensemble
+
+// IntegerLinearProgram builds the QUBO for min c·x subject to Ax = b.
+var IntegerLinearProgram = qubo.IntegerLinearProgram
+
+// SafeILPPenalty returns a constraint penalty dominating the objective.
+var SafeILPPenalty = qubo.SafeILPPenalty
+
+// WeakClassifierEnsemble builds the QBoost binary-classification QUBO.
+var WeakClassifierEnsemble = qubo.WeakClassifierEnsemble
+
+// PBPoly is a pseudo-Boolean polynomial of arbitrary degree.
+type PBPoly = qubo.PBPoly
+
+// Quadratized is the 2-local (QUBO) image of a higher-degree polynomial.
+type Quadratized = qubo.Quadratized
+
+// Clause3 is a 3-SAT clause.
+type Clause3 = qubo.Clause3
+
+// NewPBPoly returns the zero pseudo-Boolean polynomial over n variables.
+func NewPBPoly(n int) *PBPoly { return qubo.NewPBPoly(n) }
+
+// Max3SAT encodes MAX-3-SAT as a cubic polynomial; Quadratize it for
+// hardware-ready QUBO form.
+var Max3SAT = qubo.Max3SAT
+
+// CountSatisfied3 counts satisfied 3-SAT clauses.
+var CountSatisfied3 = qubo.CountSatisfied3
+
+// SetCover is the MIN-COVER problem reduced to QUBO with counting variables.
+type SetCover = qubo.SetCover
+
+// MinSetCover builds the weighted MIN-COVER QUBO (§2.1 workload).
+var MinSetCover = qubo.MinSetCover
+
+// SafeSetCoverPenalty returns a constraint penalty dominating the objective.
+var SafeSetCoverPenalty = qubo.SafeSetCoverPenalty
+
+// IsSetCover reports whether chosen set indices cover the universe.
+var IsSetCover = qubo.IsSetCover
