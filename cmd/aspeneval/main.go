@@ -8,6 +8,13 @@
 //	aspeneval -stage 1 -param LPS=30
 //	aspeneval -stage 2 -param Accuracy=99 -param Success=0.7
 //	aspeneval -file model.aspen -machine MyMachine -param N=64
+//
+// With one or more -sweep flags the command switches from single-point
+// evaluation to a parallel design-space sweep over the cartesian product
+// of the axes, printing a TSV table and the cheapest point:
+//
+//	aspeneval -stage 1 -sweep LPS=10:100:19
+//	aspeneval -stage 3 -sweep LPS=log:1:1000:13 -sweep Success=0.5:0.9:5 -workers 4
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 
 	"github.com/splitexec/splitexec/internal/aspen"
 	"github.com/splitexec/splitexec/internal/core"
+	"github.com/splitexec/splitexec/internal/dse"
 	"github.com/splitexec/splitexec/internal/machine"
 )
 
@@ -42,8 +50,44 @@ func (p paramList) Set(s string) error {
 	return nil
 }
 
+// axisList collects repeated -sweep NAME=lo:hi:n / NAME=log:lo:hi:n flags.
+type axisList []dse.Axis
+
+func (a *axisList) String() string { return fmt.Sprint([]dse.Axis(*a)) }
+
+func (a *axisList) Set(s string) error {
+	name, spec, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want NAME=lo:hi:n or NAME=log:lo:hi:n, got %q", s)
+	}
+	parts := strings.Split(spec, ":")
+	logScale := false
+	if len(parts) == 4 && parts[0] == "log" {
+		logScale = true
+		parts = parts[1:]
+	}
+	if len(parts) != 3 {
+		return fmt.Errorf("want NAME=lo:hi:n or NAME=log:lo:hi:n, got %q", s)
+	}
+	lo, err1 := strconv.ParseFloat(parts[0], 64)
+	hi, err2 := strconv.ParseFloat(parts[1], 64)
+	n, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil || n < 1 {
+		return fmt.Errorf("bad axis spec %q", s)
+	}
+	values := dse.LinSpace(lo, hi, n)
+	if logScale {
+		if values = dse.LogSpace(lo, hi, n); values == nil {
+			return fmt.Errorf("log axis %q needs positive bounds", s)
+		}
+	}
+	*a = append(*a, dse.Axis{Name: name, Values: values})
+	return nil
+}
+
 func main() {
 	params := paramList{}
+	axes := axisList{}
 	var (
 		stage       = flag.Int("stage", 0, "evaluate the paper's stage listing (1, 2 or 3)")
 		file        = flag.String("file", "", "evaluate a model from this ASPEN file")
@@ -51,8 +95,10 @@ func main() {
 		machineName = flag.String("machine", "", "machine declared in the file (default: paper's SimpleNode)")
 		host        = flag.String("host", "", "socket servicing flops/loads/stores (default: first)")
 		overlap     = flag.Bool("overlap", false, "assume perfect overlap within execute blocks (max instead of sum)")
+		workers     = flag.Int("workers", 0, "sweep worker pool size (0 = all cores)")
 	)
 	flag.Var(params, "param", "parameter override NAME=VALUE (repeatable)")
+	flag.Var(&axes, "sweep", "sweep axis NAME=lo:hi:n or NAME=log:lo:hi:n (repeatable; switches to sweep mode)")
 	flag.Parse()
 
 	model, spec := loadModelAndMachine(*stage, *file, *modelName, *machineName)
@@ -63,6 +109,11 @@ func main() {
 	}
 	if *overlap {
 		opts.Policy = aspen.Overlap
+	}
+
+	if len(axes) > 0 {
+		sweepModel(model, spec, opts, axes, *workers)
+		return
 	}
 	res, err := aspen.Evaluate(model, spec, opts)
 	if err != nil {
@@ -93,6 +144,32 @@ func main() {
 	for _, v := range verbs {
 		fmt.Printf("  %-14s %.6g s\n", v, by[v])
 	}
+}
+
+// sweepModel evaluates the model over the cartesian product of the axes on
+// the parallel exploration engine and prints the table plus its minimum.
+func sweepModel(model *aspen.ModelDecl, spec *aspen.MachineSpec, opts aspen.EvalOptions, axes []dse.Axis, workers int) {
+	obj := dse.ModelObjective(model, spec, opts)
+	tbl, err := dse.SweepOpt(obj, axes, dse.SweepOptions{Workers: workers})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("# model %s on machine %s: %d-point sweep\n", model.Name, spec.Name, len(tbl.Rows))
+	for _, ax := range axes {
+		fmt.Printf("%s\t", ax.Name)
+	}
+	fmt.Println("predicted_s")
+	for _, r := range tbl.Rows {
+		for _, ax := range axes {
+			fmt.Printf("%.6g\t", r.Params[ax.Name])
+		}
+		fmt.Printf("%.6g\n", r.Value)
+	}
+	best, err := tbl.ArgMin()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("# minimum %.6g s at %v\n", best.Value, best.Params)
 }
 
 func loadModelAndMachine(stage int, file, modelName, machineName string) (*aspen.ModelDecl, *aspen.MachineSpec) {

@@ -36,6 +36,7 @@ func main() {
 		ps       = flag.Float64("ps", 0.7, "single-run success probability (fig 9b)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		maxTries = flag.Int("tries", 10, "CMR restart budget")
+		workers  = flag.Int("workers", 0, "worker pool size for sweeps and measurements (0 = all cores)")
 	)
 	flag.Parse()
 	node := machine.SimpleNode()
@@ -50,13 +51,13 @@ func main() {
 		}
 	}
 
-	run("9a", func() error { return fig9a(node, *maxN, *measure, *seed, *maxTries) })
+	run("9a", func() error { return fig9a(node, *maxN, *measure, *seed, *maxTries, *workers) })
 	run("9b", func() error { return fig9b(node, *ps) })
 	run("9c", func() error { return fig9c(node, *maxN, *seed) })
 	run("dominance", func() error { return dominance(node, *ps) })
 	run("arch", func() error { return architectures(node, *ps) })
 	run("tts", func() error { return ttsCurve() })
-	run("dse", func() error { return designSpace(node) })
+	run("dse", func() error { return designSpace(node, *workers) })
 }
 
 // ttsCurve prints the time-to-solution U-curve across the hardware's anneal
@@ -100,8 +101,9 @@ func defaultTTS(gap schedule.GapModel, perRead time.Duration) time.Duration {
 }
 
 // designSpace prints the DSE view of the stage-1 model: the LPS sweep, the
-// sensitivity ranking at n=50, and the 1-second-budget crossover.
-func designSpace(node machine.Node) error {
+// sensitivity ranking at n=50, and the 1-second-budget crossover. All
+// three run on the parallel exploration engine.
+func designSpace(node machine.Node, workers int) error {
 	f, err := aspen.Parse(node.ToAspen())
 	if err != nil {
 		return err
@@ -118,16 +120,17 @@ func designSpace(node machine.Node) error {
 		HostSocket: node.CPU.Name,
 		Params:     map[string]float64{"M": 12, "N": 12},
 	})
+	pool := dse.SweepOptions{Workers: workers}
 	fmt.Println("# extension (ref. [37]): design-space exploration of the stage-1 model")
 	fmt.Println("LPS\tpredicted_s")
-	tbl, err := dse.Sweep(obj, []dse.Axis{{Name: "LPS", Values: dse.LinSpace(10, 100, 10)}})
+	tbl, err := dse.SweepOpt(obj, []dse.Axis{{Name: "LPS", Values: dse.LinSpace(10, 100, 10)}}, pool)
 	if err != nil {
 		return err
 	}
 	for _, r := range tbl.Rows {
 		fmt.Printf("%.0f\t%.6g\n", r.Params["LPS"], r.Value)
 	}
-	sens, err := dse.Sensitivities(obj, map[string]float64{"LPS": 50, "M": 12, "N": 12}, 0.02)
+	sens, err := dse.SensitivitiesOpt(obj, map[string]float64{"LPS": 50, "M": 12, "N": 12}, 0.02, pool)
 	if err != nil {
 		return err
 	}
@@ -136,7 +139,7 @@ func designSpace(node machine.Node) error {
 		fmt.Printf("# %6s\t%+.3f\n", s.Param, s.Elasticity)
 	}
 	budget := func(map[string]float64) (float64, error) { return 1.0, nil }
-	n, err := dse.Crossover(obj, budget, "LPS", 1, 100, map[string]float64{"M": 12, "N": 12}, 1e-6)
+	n, err := dse.CrossoverOpt(obj, budget, "LPS", 1, 100, map[string]float64{"M": 12, "N": 12}, 1e-6, pool)
 	if err != nil {
 		return err
 	}
@@ -176,10 +179,13 @@ func architectures(node machine.Node, ps float64) error {
 
 func secsToDur(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
 
-func fig9a(node machine.Node, maxN, measure int, seed int64, tries int) error {
+func fig9a(node machine.Node, maxN, measure int, seed int64, tries, workers int) error {
 	fmt.Println("# Fig 9(a): stage-1 time vs input size n (complete graph K_n)")
 	fmt.Println("# model = ASPEN worst-case prediction (solid line)")
 	fmt.Println("# measured = wall-clock Cai-Macready-Roy embedding on this host (dashed line)")
+	if workers != 1 {
+		fmt.Println("# note: measurements run concurrently; pass -workers 1 for contention-free timings")
+	}
 	fmt.Println("n\tmodel_s\tmeasured_s\tphys_qubits\tmax_chain")
 	var ns []int
 	for n := 1; n <= maxN; n += stepFor(n) {
@@ -189,6 +195,7 @@ func fig9a(node machine.Node, maxN, measure int, seed int64, tries int) error {
 		MeasureUpTo: measure,
 		Seed:        seed,
 		Embed:       embed.Options{MaxTries: tries},
+		Workers:     workers,
 	})
 	if err != nil {
 		return err

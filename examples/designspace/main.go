@@ -36,9 +36,11 @@ func main() {
 	})
 
 	fmt.Println("== sweep: stage-1 predicted seconds vs problem size ==")
-	tbl, err := splitexec.SweepModel(obj, []splitexec.DSEAxis{
+	// The engine walks the design space on every host core; rows come back
+	// in canonical axis order regardless of completion order.
+	tbl, err := splitexec.SweepModelOpt(obj, []splitexec.DSEAxis{
 		{Name: "LPS", Values: splitexec.LinSpace(10, 100, 10)},
-	})
+	}, splitexec.SweepOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module github.com/splitexec/splitexec
+
+go 1.22

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/splitexec/splitexec/internal/graph"
+	"github.com/splitexec/splitexec/internal/parallel"
+	"github.com/splitexec/splitexec/internal/qubo"
+)
+
+// batchJobs builds n identical MaxCut jobs on the small test node.
+func batchJobs(n int) []BatchJob {
+	jobs := make([]BatchJob, n)
+	for i := range jobs {
+		jobs[i] = BatchJob{
+			Config: testConfig(0), // zero seed: SolveBatch derives per-job streams
+			QUBO:   qubo.MaxCut(graph.Cycle(6), nil),
+		}
+	}
+	return jobs
+}
+
+// stripTiming clears the wall-clock fields so solutions compare by content.
+func stripTiming(r []BatchResult) {
+	for i := range r {
+		if r[i].Solution != nil {
+			r[i].Solution.Timing = Timing{}
+		}
+	}
+}
+
+func TestSolveBatchMatchesSerialSolves(t *testing.T) {
+	jobs := batchJobs(6)
+
+	par, err := SolveBatch(jobs, BatchOptions{Workers: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := SolveBatch(jobs, BatchOptions{Workers: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripTiming(par)
+	stripTiming(ser)
+	if !reflect.DeepEqual(par, ser) {
+		t.Fatal("parallel batch differs from serial batch")
+	}
+
+	// Each result must equal a direct solve with the same derived seed.
+	for i, r := range par {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.Index != i {
+			t.Fatalf("job %d reported index %d", i, r.Index)
+		}
+		cfg := testConfig(parallel.DeriveSeed(9, i))
+		want, err := NewSolver(cfg).SolveQUBO(qubo.MaxCut(graph.Cycle(6), nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Solution.Energy != want.Energy || !reflect.DeepEqual(r.Solution.Spins, want.Spins) {
+			t.Fatalf("job %d: batch solution diverges from direct solve", i)
+		}
+		// C6 is bipartite: every job should find the -6 optimum.
+		if r.Solution.Energy != -6 {
+			t.Errorf("job %d: energy %v, want -6", i, r.Solution.Energy)
+		}
+	}
+}
+
+func TestSolveBatchExplicitSeedWins(t *testing.T) {
+	jobs := batchJobs(2)
+	jobs[0].Config.Seed = 1234
+	jobs[1].Config.Seed = 1234
+	res, err := SolveBatch(jobs, BatchOptions{Workers: 2, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical explicit seeds mean identical solves, whatever the batch seed.
+	if res[0].Err != nil || res[1].Err != nil {
+		t.Fatal(res[0].Err, res[1].Err)
+	}
+	if !reflect.DeepEqual(res[0].Solution.Spins, res[1].Solution.Spins) {
+		t.Fatal("pinned-seed jobs diverged")
+	}
+}
+
+func TestSolveBatchPerJobErrors(t *testing.T) {
+	jobs := batchJobs(3)
+	jobs[1].QUBO = nil // neither problem set: structural error on that job only
+	res, err := SolveBatch(jobs, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil || res[2].Err != nil {
+		t.Fatalf("healthy jobs failed: %v %v", res[0].Err, res[2].Err)
+	}
+	if res[1].Err == nil || !strings.Contains(res[1].Err.Error(), "exactly one") {
+		t.Fatalf("job 1 error = %v", res[1].Err)
+	}
+	both := batchJobs(1)
+	both[0].Ising = qubo.ToIsing(both[0].QUBO)
+	res, err = SolveBatch(both, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err == nil {
+		t.Fatal("job with both QUBO and Ising accepted")
+	}
+}
+
+func TestSolveBatchEmptyAndProgress(t *testing.T) {
+	if _, err := SolveBatch(nil, BatchOptions{}); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	jobs := batchJobs(5)
+	var calls atomic.Int32
+	res, err := SolveBatch(jobs, BatchOptions{
+		Workers:    3,
+		OnProgress: func(done, total int) { calls.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 || calls.Load() != 5 {
+		t.Fatalf("results=%d progress calls=%d, want 5 and 5", len(res), calls.Load())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/splitexec/splitexec/internal/embed"
 	"github.com/splitexec/splitexec/internal/graph"
 	"github.com/splitexec/splitexec/internal/machine"
+	"github.com/splitexec/splitexec/internal/parallel"
 	"github.com/splitexec/splitexec/internal/stats"
 )
 
@@ -35,10 +36,22 @@ type Fig9aOptions struct {
 	// MeasureUpTo limits CMR wall-clock measurement to n <= this value
 	// (the paper's dashed line stops at 30). Zero means 30.
 	MeasureUpTo int
-	// Seed drives the randomized embedder.
+	// Seed drives the randomized embedder. Each point embeds with its own
+	// RNG stream derived from (Seed, pointIndex), so the embedding
+	// results (qubit counts, chain lengths) are reproducible under any
+	// worker count.
 	Seed int64
 	// Embed configures the CMR heuristic.
 	Embed embed.Options
+	// Workers bounds the per-point evaluation pool (<= 0 selects
+	// GOMAXPROCS). The CMR measurements are the expensive part of the
+	// figure; they fan out across host cores. Points are returned in input
+	// order regardless of completion order. Note that MeasuredSecs is
+	// per-point wall-clock: with Workers > 1, concurrent embeddings
+	// compete for the host and can inflate each other's measured time —
+	// use Workers = 1 when the absolute timings matter more than
+	// generating the series quickly.
+	Workers int
 }
 
 // Fig9a computes the Fig. 9(a) series for the given sizes on node.
@@ -48,16 +61,17 @@ func Fig9a(ns []int, node machine.Node, opts Fig9aOptions) ([]Fig9aPoint, error)
 	}
 	pred := NewPredictor(node)
 	hw := node.QPU.WorkingGraph()
-	rng := rand.New(rand.NewSource(opts.Seed))
-	out := make([]Fig9aPoint, 0, len(ns))
-	for _, n := range ns {
+	out := make([]Fig9aPoint, len(ns))
+	err := parallel.ForEach(len(ns), opts.Workers, func(i int) error {
+		n := ns[i]
 		r, err := pred.Stage1(n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pt := Fig9aPoint{N: n, ModelSeconds: r.TotalSeconds()}
 		if n <= opts.MeasureUpTo {
 			g := graph.Complete(n)
+			rng := rand.New(rand.NewSource(parallel.DeriveSeed(opts.Seed, i)))
 			start := time.Now()
 			vm, st, err := embed.FindEmbedding(g, hw, rng, opts.Embed)
 			elapsed := time.Since(start)
@@ -68,7 +82,11 @@ func Fig9a(ns []int, node machine.Node, opts Fig9aOptions) ([]Fig9aPoint, error)
 				pt.MaxChain = vm.MaxChainLength()
 			}
 		}
-		out = append(out, pt)
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,99 @@
+package dse
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The engine's reason to exist is wall-clock: design points are
+// independent, so a sweep should cost max(point) not sum(points). Two
+// objective profiles are benchmarked: a latency-bound point (an objective
+// that waits on something — a measurement, a remote service, disk), where
+// the pool overlaps waiting even on one core, and a CPU-bound point,
+// where speedup tracks the host's core count.
+//
+// Run with: go test -bench=Sweep ./internal/dse -benchtime=3x
+
+// sweepAxes256 spans 16×16 = 256 points.
+func sweepAxes256() []Axis {
+	return []Axis{
+		{Name: "x", Values: LinSpace(1, 16, 16)},
+		{Name: "y", Values: LinSpace(1, 16, 16)},
+	}
+}
+
+func latencyObjective(p map[string]float64) (float64, error) {
+	time.Sleep(200 * time.Microsecond)
+	return p["x"] + p["y"], nil
+}
+
+func cpuObjective(p map[string]float64) (float64, error) {
+	s := 0.0
+	for i := 0; i < 20000; i++ {
+		s += p["x"] * float64(i%7)
+	}
+	return s, nil
+}
+
+func benchmarkSweep(b *testing.B, obj Objective, workers int) {
+	axes := sweepAxes256()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SweepOpt(obj, axes, SweepOptions{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepLatencyBound(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchmarkSweep(b, latencyObjective, workers)
+		})
+	}
+}
+
+func BenchmarkSweepCPUBound(b *testing.B) {
+	for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchmarkSweep(b, cpuObjective, workers)
+		})
+	}
+}
+
+// TestSweepWallClockSpeedup pins the acceptance criterion: on a 256-point
+// sweep whose objective has non-trivial per-point latency, 8 workers must
+// beat 1 worker by at least 2× wall-clock. The objective sleeps rather
+// than spins so the bound holds on any machine, single-core CI included.
+func TestSweepWallClockSpeedup(t *testing.T) {
+	axes := sweepAxes256()
+	obj := func(p map[string]float64) (float64, error) {
+		time.Sleep(time.Millisecond)
+		return p["x"] * p["y"], nil
+	}
+	start := time.Now()
+	serial, err := SweepOpt(obj, axes, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialTime := time.Since(start)
+
+	start = time.Now()
+	par, err := SweepOpt(obj, axes, SweepOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parTime := time.Since(start)
+
+	for i := range serial.Rows {
+		if serial.Rows[i].Value != par.Rows[i].Value {
+			t.Fatalf("row %d differs between serial and parallel", i)
+		}
+	}
+	speedup := float64(serialTime) / float64(parTime)
+	t.Logf("256 points: serial %v, 8 workers %v (%.1fx)", serialTime, parTime, speedup)
+	if speedup < 2 {
+		t.Errorf("speedup %.2fx, want >= 2x (serial %v, parallel %v)", speedup, serialTime, parTime)
+	}
+}

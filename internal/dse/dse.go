@@ -10,6 +10,13 @@
 // locating where one design overtakes another (Crossover) — e.g., at what
 // problem size stage-1 embedding time exceeds the total quantum execution
 // time, the paper's headline comparison.
+//
+// All three explorers evaluate design points on a bounded worker pool
+// (internal/parallel.ForEach) — the §4 direction of exploiting "more
+// sophisticated host systems" applied to the exploration layer itself.
+// Results are deterministic regardless of worker count: rows come back in
+// canonical axis order and randomized objectives draw from per-point RNG
+// streams derived from (Seed, pointIndex). See SweepOptions.
 package dse
 
 import (
@@ -20,10 +27,15 @@ import (
 	"strings"
 
 	"github.com/splitexec/splitexec/internal/aspen"
+	"github.com/splitexec/splitexec/internal/parallel"
 )
 
 // Objective maps a parameter assignment to a scalar cost (typically
-// predicted seconds). Implementations must treat the map as read-only.
+// predicted seconds). Implementations must treat the map as read-only
+// and — because the engine invokes objectives from multiple goroutines
+// by default — must be safe for concurrent calls. Objectives that keep
+// unsynchronized mutable state (e.g. a plain memoization map) must be
+// run with SweepOptions{Workers: 1}.
 type Objective func(params map[string]float64) (float64, error)
 
 // ModelObjective adapts an ASPEN application model on a machine to an
@@ -99,62 +111,6 @@ type Table struct {
 // MaxSweepPoints bounds the cartesian product size of one Sweep call.
 const MaxSweepPoints = 1 << 20
 
-// Sweep evaluates the objective over the full cartesian product of the
-// axes. Axis names must be unique and non-empty; every axis needs at least
-// one value.
-func Sweep(obj Objective, axes []Axis) (*Table, error) {
-	if obj == nil {
-		return nil, errors.New("dse: nil objective")
-	}
-	if len(axes) == 0 {
-		return nil, errors.New("dse: no axes")
-	}
-	total := 1
-	seen := map[string]bool{}
-	for _, ax := range axes {
-		if ax.Name == "" {
-			return nil, errors.New("dse: empty axis name")
-		}
-		if seen[ax.Name] {
-			return nil, fmt.Errorf("dse: duplicate axis %q", ax.Name)
-		}
-		seen[ax.Name] = true
-		if len(ax.Values) == 0 {
-			return nil, fmt.Errorf("dse: axis %q has no values", ax.Name)
-		}
-		if total > MaxSweepPoints/len(ax.Values) {
-			return nil, fmt.Errorf("dse: sweep exceeds %d points", MaxSweepPoints)
-		}
-		total *= len(ax.Values)
-	}
-	tbl := &Table{Axes: axes, Rows: make([]Row, 0, total)}
-	idx := make([]int, len(axes))
-	for {
-		params := make(map[string]float64, len(axes))
-		for d, ax := range axes {
-			params[ax.Name] = ax.Values[idx[d]]
-		}
-		v, err := obj(params)
-		if err != nil {
-			return nil, fmt.Errorf("dse: objective at %v: %w", params, err)
-		}
-		tbl.Rows = append(tbl.Rows, Row{Params: params, Value: v})
-		// Increment the mixed-radix counter, last axis fastest.
-		d := len(axes) - 1
-		for d >= 0 {
-			idx[d]++
-			if idx[d] < len(axes[d].Values) {
-				break
-			}
-			idx[d] = 0
-			d--
-		}
-		if d < 0 {
-			return tbl, nil
-		}
-	}
-}
-
 // ArgMin returns the row with the smallest value.
 func (t *Table) ArgMin() (Row, error) {
 	if len(t.Rows) == 0 {
@@ -215,8 +171,16 @@ type Sensitivity struct {
 
 // Sensitivities ranks the parameters by |elasticity| at the base point,
 // using relative step eps (e.g. 0.05 for ±5%). Parameters with value 0 are
-// skipped (no log derivative exists there).
+// skipped (no log derivative exists there). Probes run on all host cores;
+// see SensitivitiesOpt to bound the pool.
 func Sensitivities(obj Objective, base map[string]float64, eps float64) ([]Sensitivity, error) {
+	return SensitivitiesOpt(obj, base, eps, SweepOptions{})
+}
+
+// SensitivitiesOpt is Sensitivities with explicit engine options: the 2×
+// finite-difference probes per parameter evaluate concurrently on the
+// bounded worker pool. The ranking is identical to a serial run.
+func SensitivitiesOpt(obj Objective, base map[string]float64, eps float64, opts SweepOptions) ([]Sensitivity, error) {
 	if obj == nil {
 		return nil, errors.New("dse: nil objective")
 	}
@@ -232,36 +196,44 @@ func Sensitivities(obj Objective, base map[string]float64, eps float64) ([]Sensi
 	}
 	names := make([]string, 0, len(base))
 	for k := range base {
-		names = append(names, k)
+		if base[k] != 0 {
+			names = append(names, k)
+		}
 	}
 	sort.Strings(names)
+	// Probe 2i is parameter i nudged up, probe 2i+1 nudged down.
+	probes := make([]float64, 2*len(names))
+	err = parallel.ForEach(len(probes), opts.Workers, func(i int) error {
+		name := names[i/2]
+		v := base[name] * (1 + eps)
+		dir := "up"
+		if i%2 == 1 {
+			v = base[name] * (1 - eps)
+			dir = "down"
+		}
+		params := make(map[string]float64, len(base))
+		for k, val := range base {
+			params[k] = val
+		}
+		params[name] = v
+		got, err := obj(params)
+		if err != nil {
+			return fmt.Errorf("dse: probing %s %s: %w", name, dir, err)
+		}
+		probes[i] = got
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Sensitivity
-	for _, name := range names {
-		p := base[name]
-		if p == 0 {
-			continue
-		}
-		probe := func(v float64) (float64, error) {
-			params := make(map[string]float64, len(base))
-			for k, val := range base {
-				params[k] = val
-			}
-			params[name] = v
-			return obj(params)
-		}
-		up, err := probe(p * (1 + eps))
-		if err != nil {
-			return nil, fmt.Errorf("dse: probing %s up: %w", name, err)
-		}
-		down, err := probe(p * (1 - eps))
-		if err != nil {
-			return nil, fmt.Errorf("dse: probing %s down: %w", name, err)
-		}
+	for i, name := range names {
+		up, down := probes[2*i], probes[2*i+1]
 		if up <= 0 || down <= 0 {
 			continue
 		}
 		el := (math.Log(up) - math.Log(down)) / (math.Log(1+eps) - math.Log(1-eps))
-		out = append(out, Sensitivity{Param: name, Elasticity: el, Base: p})
+		out = append(out, Sensitivity{Param: name, Elasticity: el, Base: base[name]})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		ai, aj := math.Abs(out[i].Elasticity), math.Abs(out[j].Elasticity)
@@ -277,8 +249,18 @@ func Sensitivities(obj Objective, base map[string]float64, eps float64) ([]Sensi
 // overtakes objective b, i.e. the root of a-b, assuming a-b is monotone in
 // the parameter over the bracket (the typical scaling-comparison setting).
 // Both endpoints must bracket a sign change. Other parameters are fixed at
-// base. The root is located by bisection to relative tolerance tol.
+// base. The root is located by bisection to relative tolerance tol. The
+// two objectives (and the two bracket endpoints) evaluate concurrently;
+// see CrossoverOpt to bound the pool.
 func Crossover(a, b Objective, param string, lo, hi float64, base map[string]float64, tol float64) (float64, error) {
+	return CrossoverOpt(a, b, param, lo, hi, base, tol, SweepOptions{})
+}
+
+// CrossoverOpt is Crossover with explicit engine options. Bisection is
+// inherently sequential, but each probe evaluates a and b concurrently and
+// the initial bracket endpoints evaluate in parallel; the located root is
+// identical to a serial run.
+func CrossoverOpt(a, b Objective, param string, lo, hi float64, base map[string]float64, tol float64, opts SweepOptions) (float64, error) {
 	if a == nil || b == nil {
 		return 0, errors.New("dse: nil objective")
 	}
@@ -294,21 +276,29 @@ func Crossover(a, b Objective, param string, lo, hi float64, base map[string]flo
 			params[k] = val
 		}
 		params[param] = v
-		av, err := a(params)
+		objs := [2]Objective{a, b}
+		var vals [2]float64
+		err := parallel.ForEach(2, opts.Workers, func(i int) error {
+			got, err := objs[i](params)
+			vals[i] = got
+			return err
+		})
 		if err != nil {
 			return 0, err
 		}
-		bv, err := b(params)
-		if err != nil {
-			return 0, err
+		return vals[0] - vals[1], nil
+	}
+	var flo, fhi float64
+	ends := [2]float64{lo, hi}
+	err := parallel.ForEach(2, opts.Workers, func(i int) error {
+		got, err := diff(ends[i])
+		if i == 0 {
+			flo = got
+		} else {
+			fhi = got
 		}
-		return av - bv, nil
-	}
-	flo, err := diff(lo)
-	if err != nil {
-		return 0, err
-	}
-	fhi, err := diff(hi)
+		return err
+	})
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,139 @@
+package dse
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"github.com/splitexec/splitexec/internal/parallel"
+)
+
+// SweepOptions configure how the exploration engine evaluates design
+// points. The zero value is ready to use: all host cores, seed 0, no
+// progress reporting.
+type SweepOptions struct {
+	// Workers bounds the evaluation pool (<= 0 selects GOMAXPROCS; 1
+	// forces a strictly serial walk on the calling goroutine).
+	Workers int
+	// Seed derives the per-point RNG streams handed to a SeededObjective:
+	// point i always receives the stream for (Seed, i), so results are
+	// identical for every worker count.
+	Seed int64
+	// OnProgress, when non-nil, is called after each evaluated point with
+	// the number of completed points and the total. Calls are serialized
+	// but may arrive out of point order.
+	OnProgress func(done, total int)
+}
+
+// SeededObjective is a randomized design objective: it draws any
+// randomness it needs from the supplied rng, which the engine seeds per
+// point from (SweepOptions.Seed, pointIndex). Implementations must treat
+// the parameter map as read-only and, like Objective, be safe for
+// concurrent calls (each invocation gets its own rng).
+type SeededObjective func(params map[string]float64, rng *rand.Rand) (float64, error)
+
+// Sweep evaluates the objective over the full cartesian product of the
+// axes on all host cores (SweepOptions zero value). Axis names must be
+// unique and non-empty; every axis needs at least one value. Rows are
+// returned in canonical row-major order (last axis fastest) regardless of
+// completion order, so the result is identical to a serial walk.
+func Sweep(obj Objective, axes []Axis) (*Table, error) {
+	return SweepOpt(obj, axes, SweepOptions{})
+}
+
+// SweepOpt is Sweep with explicit engine options.
+func SweepOpt(obj Objective, axes []Axis, opts SweepOptions) (*Table, error) {
+	if obj == nil {
+		return nil, errors.New("dse: nil objective")
+	}
+	return sweep(axes, opts, func(_ int, params map[string]float64) (float64, error) {
+		return obj(params)
+	})
+}
+
+// SweepSeeded sweeps a randomized objective. Each point gets its own RNG
+// stream derived from (opts.Seed, pointIndex), making the table
+// reproducible and independent of Workers.
+func SweepSeeded(obj SeededObjective, axes []Axis, opts SweepOptions) (*Table, error) {
+	if obj == nil {
+		return nil, errors.New("dse: nil objective")
+	}
+	return sweep(axes, opts, func(i int, params map[string]float64) (float64, error) {
+		rng := rand.New(rand.NewSource(parallel.DeriveSeed(opts.Seed, i)))
+		return obj(params, rng)
+	})
+}
+
+// sweep validates the axes and evaluates all points on the worker pool,
+// assembling rows by point index so output order is canonical.
+func sweep(axes []Axis, opts SweepOptions, eval func(idx int, params map[string]float64) (float64, error)) (*Table, error) {
+	total, err := validateAxes(axes)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, total)
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	err = parallel.ForEach(total, opts.Workers, func(i int) error {
+		params := pointParams(axes, i)
+		v, err := eval(i, params)
+		if err != nil {
+			return fmt.Errorf("dse: objective at %v: %w", params, err)
+		}
+		rows[i] = Row{Params: params, Value: v}
+		if opts.OnProgress != nil {
+			mu.Lock()
+			done++
+			d := done
+			opts.OnProgress(d, total)
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table{Axes: axes, Rows: rows}, nil
+}
+
+// validateAxes checks axis well-formedness and returns the cartesian
+// product size.
+func validateAxes(axes []Axis) (int, error) {
+	if len(axes) == 0 {
+		return 0, errors.New("dse: no axes")
+	}
+	total := 1
+	seen := map[string]bool{}
+	for _, ax := range axes {
+		if ax.Name == "" {
+			return 0, errors.New("dse: empty axis name")
+		}
+		if seen[ax.Name] {
+			return 0, fmt.Errorf("dse: duplicate axis %q", ax.Name)
+		}
+		seen[ax.Name] = true
+		if len(ax.Values) == 0 {
+			return 0, fmt.Errorf("dse: axis %q has no values", ax.Name)
+		}
+		if total > MaxSweepPoints/len(ax.Values) {
+			return 0, fmt.Errorf("dse: sweep exceeds %d points", MaxSweepPoints)
+		}
+		total *= len(ax.Values)
+	}
+	return total, nil
+}
+
+// pointParams decodes a row-major point index (last axis fastest) into its
+// parameter assignment.
+func pointParams(axes []Axis, i int) map[string]float64 {
+	params := make(map[string]float64, len(axes))
+	for d := len(axes) - 1; d >= 0; d-- {
+		k := len(axes[d].Values)
+		params[axes[d].Name] = axes[d].Values[i%k]
+		i /= k
+	}
+	return params
+}

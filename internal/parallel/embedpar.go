@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sync"
 
 	"github.com/splitexec/splitexec/internal/embed"
 	"github.com/splitexec/splitexec/internal/graph"
@@ -97,20 +96,12 @@ func FindEmbedding(g, hw *graph.Graph, opts EmbedOptions) (EmbedResult, error) {
 		err   error
 	}
 	results := make([]attempt, o.Seeds)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, o.Workers)
-	for i := 0; i < o.Seeds; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rng := rand.New(rand.NewSource(o.Seed + int64(i)*7919))
-			vm, stats, err := embed.FindEmbedding(g, hw, rng, o.Embed)
-			results[i] = attempt{vm, stats, err}
-		}(i)
-	}
-	wg.Wait()
+	_ = ForEach(o.Seeds, o.Workers, func(i int) error {
+		rng := rand.New(rand.NewSource(DeriveSeed(o.Seed, i)))
+		vm, stats, err := embed.FindEmbedding(g, hw, rng, o.Embed)
+		results[i] = attempt{vm, stats, err}
+		return nil // per-restart failures are tallied, not fatal
+	})
 
 	res := EmbedResult{Quality: -1}
 	for _, a := range results {
@@ -151,28 +142,17 @@ func EmbedBatch(gs []*graph.Graph, hw *graph.Graph, workers int, seed int64, opt
 	if hw == nil {
 		return nil, errors.New("parallel: nil hardware graph")
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	items := make([]BatchItem, len(gs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, g := range gs {
-		wg.Add(1)
-		go func(i int, g *graph.Graph) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			items[i].Index = i
-			if g == nil {
-				items[i].Err = errors.New("parallel: nil graph in batch")
-				return
-			}
-			rng := rand.New(rand.NewSource(seed + int64(i)*104729))
-			vm, _, err := embed.FindEmbedding(g, hw, rng, opts)
-			items[i].VM, items[i].Err = vm, err
-		}(i, g)
-	}
-	wg.Wait()
+	_ = ForEach(len(gs), workers, func(i int) error {
+		items[i].Index = i
+		if gs[i] == nil {
+			items[i].Err = errors.New("parallel: nil graph in batch")
+			return nil
+		}
+		rng := rand.New(rand.NewSource(DeriveSeed(seed, i)))
+		vm, _, err := embed.FindEmbedding(gs[i], hw, rng, opts)
+		items[i].VM, items[i].Err = vm, err
+		return nil // per-item failures are reported in the item
+	})
 	return items, nil
 }

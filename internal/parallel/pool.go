@@ -1,0 +1,82 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on a bounded pool of workers
+// (workers <= 0 selects GOMAXPROCS; the pool never exceeds n goroutines).
+// It is the shared fan-out substrate behind the design-space sweep engine
+// (internal/dse) and the batch pipeline front-end (internal/core).
+//
+// When a call fails the pool stops handing out new indices and ForEach
+// returns the error of the lowest failed index it observed; indices after a
+// failure may be skipped. With workers == 1 the indices run strictly in
+// order on the calling goroutine and the first error returns immediately,
+// matching a plain serial loop exactly.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// DeriveSeed mixes a base seed with an item index into an independent,
+// well-separated RNG seed (splitmix64 finalizer). Every parallel component
+// of the repo derives its per-item streams this way so results are
+// reproducible and independent of worker count and completion order.
+func DeriveSeed(base int64, index int) int64 {
+	z := uint64(base) + (uint64(index)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}

@@ -1,0 +1,111 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 100} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 37
+			var hits [n]atomic.Int32
+			if err := ForEach(n, workers, func(i int) error {
+				hits[i].Add(1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Errorf("index %d visited %d times", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachEmptyAndNegative(t *testing.T) {
+	called := false
+	if err := ForEach(0, 4, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(-3, 4, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	boom := errors.New("boom")
+	other := errors.New("other")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(64, workers, func(i int) error {
+			switch i {
+			case 5:
+				return boom
+			case 40:
+				return other
+			}
+			return nil
+		})
+		// Index 5 always runs before the pool drains; with one worker it
+		// is reached strictly first, and with several it fails before any
+		// worker can reach index 40 (39 successes must complete first).
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: err = %v, want boom", workers, err)
+		}
+	}
+}
+
+func TestForEachStopsHandingOutWorkAfterError(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEach(1000, 2, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error lost")
+	}
+	if got := ran.Load(); got > 500 {
+		t.Errorf("ran %d of 1000 indices after early failure", got)
+	}
+}
+
+func TestForEachSerialStopsImmediately(t *testing.T) {
+	var ran int
+	err := ForEach(100, 1, func(i int) error {
+		ran++
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || ran != 4 {
+		t.Fatalf("ran=%d err=%v, want 4 and error", ran, err)
+	}
+}
+
+func TestDeriveSeedStreamsAreDistinct(t *testing.T) {
+	seen := map[int64]int{}
+	for base := int64(0); base < 4; base++ {
+		for i := 0; i < 1000; i++ {
+			seen[DeriveSeed(base, i)]++
+		}
+	}
+	for s, n := range seen {
+		if n > 1 {
+			t.Fatalf("seed %d produced %d times", s, n)
+		}
+	}
+	if DeriveSeed(1, 2) != DeriveSeed(1, 2) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+}

@@ -484,6 +484,28 @@ var PipelineSpeedup = parallel.Speedup
 // RunPipeline executes jobs with genuine goroutine-level stage overlap.
 var RunPipeline = parallel.Run
 
+// ForEach runs fn(i) for i in [0, n) on a bounded worker pool, returning
+// the error of the lowest failed index. It is the fan-out substrate behind
+// the sweep engine and the batch solver.
+var ForEach = parallel.ForEach
+
+// DeriveSeed mixes a base seed and an item index into an independent
+// per-item RNG seed.
+var DeriveSeed = parallel.DeriveSeed
+
+// BatchJob is one problem+configuration pair for SolveBatch.
+type BatchJob = core.BatchJob
+
+// BatchResult is one SolveBatch outcome, in input order.
+type BatchResult = core.BatchResult
+
+// BatchOptions configure the batch solver fan-out.
+type BatchOptions = core.BatchOptions
+
+// SolveBatch runs the full three-stage pipeline for every job on a
+// bounded worker pool, one solver per job.
+var SolveBatch = core.SolveBatch
+
 // --- design-space exploration --------------------------------------------------
 
 // DSEAxis is one swept model parameter.
@@ -498,17 +520,39 @@ type DSESensitivity = dse.Sensitivity
 // DSEObjective maps a parameter assignment to a scalar cost.
 type DSEObjective = dse.Objective
 
+// DSESeededObjective is a randomized objective drawing from a per-point
+// RNG stream the engine derives from (Seed, pointIndex).
+type DSESeededObjective = dse.SeededObjective
+
+// SweepOptions configure the parallel exploration engine (worker pool
+// size, base seed, progress callback).
+type SweepOptions = dse.SweepOptions
+
 // ModelObjective adapts an ASPEN model to a DSE objective.
 var ModelObjective = dse.ModelObjective
 
-// SweepModel evaluates an objective over the cartesian product of axes.
+// SweepModel evaluates an objective over the cartesian product of axes on
+// all host cores, returning rows in canonical axis order.
 var SweepModel = dse.Sweep
+
+// SweepModelOpt is SweepModel with explicit engine options.
+var SweepModelOpt = dse.SweepOpt
+
+// SweepModelSeeded sweeps a randomized objective with reproducible
+// per-point RNG streams.
+var SweepModelSeeded = dse.SweepSeeded
 
 // Sensitivities ranks parameters by local elasticity.
 var Sensitivities = dse.Sensitivities
 
+// SensitivitiesOpt is Sensitivities with explicit engine options.
+var SensitivitiesOpt = dse.SensitivitiesOpt
+
 // Crossover locates where one objective overtakes another.
 var Crossover = dse.Crossover
+
+// CrossoverOpt is Crossover with explicit engine options.
+var CrossoverOpt = dse.CrossoverOpt
 
 // LinSpace returns evenly spaced values (inclusive endpoints).
 var LinSpace = dse.LinSpace
