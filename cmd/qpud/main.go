@@ -29,6 +29,7 @@ func main() {
 		sweeps   = flag.Int("sweeps", 256, "annealer sweeps per read")
 		validate = flag.Bool("validate", true, "reject programs that violate the topology")
 		annealUs = flag.Float64("anneal", 20, "per-read anneal duration in µs (the device's programmed waveform length)")
+		workers  = flag.Int("readworkers", 1, "concurrent readout workers per execute call (results are seed-deterministic at any count)")
 	)
 	flag.Parse()
 
@@ -37,6 +38,7 @@ func main() {
 		timings.AnnealTime = time.Duration(*annealUs * float64(time.Microsecond))
 	}
 	srv := qpuserver.NewServer(timings, anneal.SamplerOptions{Sweeps: *sweeps})
+	srv.SetReadWorkers(*workers)
 	srv.Logf = log.Printf
 	if *validate {
 		srv.Hardware = graph.Chimera{M: *m, N: *ncols, L: 4}.Graph()

@@ -235,3 +235,29 @@ func TestFacadeWorkloadExports(t *testing.T) {
 		t.Fatalf("facade set cover invalid: %v", chosen)
 	}
 }
+
+// TestFacadeCompiledKernel exercises the compiled-kernel surface: compiling
+// an Ising program, collecting reads through the parallel fan-out, and the
+// worker-count invariance of the results.
+func TestFacadeCompiledKernel(t *testing.T) {
+	m := splitexec.NewIsing(6)
+	for i := 0; i+1 < 6; i++ {
+		m.SetCoupling(i, i+1, -1)
+	}
+	c := splitexec.CompileIsing(m)
+	ones := make([]int8, 6)
+	for i := range ones {
+		ones[i] = 1
+	}
+	if e := c.Energy(ones); e != -5 {
+		t.Fatalf("compiled energy = %v, want -5", e)
+	}
+	cfg := splitexec.Config{Seed: 3, ReadWorkers: 4}
+	sol, err := splitexec.NewSolver(cfg).SolveQUBO(splitexec.MaxCut(splitexec.Cycle(6), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Energy != -6 {
+		t.Fatalf("parallel-read solve energy = %v, want -6", sol.Energy)
+	}
+}

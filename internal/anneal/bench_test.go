@@ -1,0 +1,84 @@
+package anneal
+
+// Kernel microbenchmarks. The CI smoke step runs these with -benchtime=1x so
+// the hot path can never silently stop compiling; for real measurements use:
+//
+//	go test -bench 'Kernel|ParallelReads' -benchmem -count 10 ./internal/anneal | benchstat -
+//
+// See docs/performance.md for the kernel design and recorded before/after
+// numbers.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/splitexec/splitexec/internal/graph"
+	"github.com/splitexec/splitexec/internal/qubo"
+)
+
+func benchProgram(b *testing.B, cells int) *qubo.Ising {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Chimera{M: cells, N: cells, L: 4}.Graph()
+	return qubo.RandomIsing(g, 1, 1, rng)
+}
+
+// BenchmarkKernelMetropolis times single anneals of the compiled Metropolis
+// kernel (64 sweeps) on random Chimera spin glasses.
+func BenchmarkKernelMetropolis(b *testing.B) {
+	for _, cells := range []int{1, 2, 4} {
+		m := benchProgram(b, cells)
+		b.Run(fmt.Sprintf("spins=%d", m.Dim()), func(b *testing.B) {
+			s := NewSampler(m, SamplerOptions{Sweeps: 64})
+			rng := rand.New(rand.NewSource(2))
+			spins := make([]int8, m.Dim())
+			for i := range spins {
+				spins[i] = int8(2*(i%2) - 1)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.AnnealFrom(spins, rng)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*64*s.ActiveSpins()), "ns/proposal")
+		})
+	}
+}
+
+// BenchmarkKernelSQA times single anneals of the path-integral kernel
+// (64 sweeps, 8 Trotter slices).
+func BenchmarkKernelSQA(b *testing.B) {
+	for _, cells := range []int{1, 2} {
+		m := benchProgram(b, cells)
+		b.Run(fmt.Sprintf("spins=%d", m.Dim()), func(b *testing.B) {
+			s := NewSQASampler(m, SQAOptions{Sweeps: 64, Replicas: 8})
+			rng := rand.New(rand.NewSource(3))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Anneal(rng)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*64*8*s.ActiveSpins()), "ns/proposal")
+		})
+	}
+}
+
+// BenchmarkParallelReads measures Device.Execute fanning 64 reads across
+// worker counts. Results are byte-identical at every worker count (per-read
+// DeriveSeed streams); only wall-clock changes.
+func BenchmarkParallelReads(b *testing.B) {
+	m := benchProgram(b, 2)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			d := NewDevice(DW2Timings(), SamplerOptions{Sweeps: 64})
+			d.Workers = workers
+			d.Program(m)
+			rng := rand.New(rand.NewSource(4))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Execute(64, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,90 @@
+package anneal
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"github.com/splitexec/splitexec/internal/parallel"
+)
+
+// Annealer is any single-shot sampler over an Ising program: the classical
+// Sampler and the quantum SQASampler both satisfy it.
+type Annealer interface {
+	Anneal(rng *rand.Rand) ([]int8, float64)
+}
+
+// ReaderFactory is satisfied by annealers that can mint independent
+// single-goroutine readers over their (shared, immutable) compiled program.
+// CollectParallel requires it to run reads on more than one worker, because
+// the samplers' scratch buffers make a single instance non-reentrant.
+type ReaderFactory interface {
+	NewReader() Annealer
+}
+
+// intoAnnealer is the in-package fast path: the compiled kernels accept a
+// bare seed and a destination slice, running on their inline RNG with no
+// per-read *rand.Rand construction or result allocation. Collection carves
+// destinations out of one arena per call, so a whole Execute costs O(1)
+// allocations regardless of the read count.
+type intoAnnealer interface {
+	annealInto(dst []int8, seed int64) float64
+}
+
+// annealRead runs one read of a on its own derived stream into dst when the
+// kernel supports it (dst is the read's arena slot), falling back to the
+// public Anneal contract otherwise.
+func annealRead(a Annealer, dst []int8, seed int64) ([]int8, float64) {
+	if sa, ok := a.(intoAnnealer); ok {
+		e := sa.annealInto(dst, seed)
+		return dst, e
+	}
+	return a.Anneal(parallel.NewRand(seed))
+}
+
+// Collect runs reads independent anneals of a on a model of dimension dim.
+// One rng.Int63() draw seeds the whole collection; each read then uses its
+// own derived stream, so the result equals CollectParallel at any worker
+// count with that seed.
+func Collect(a Annealer, dim, reads int, rng *rand.Rand) (*SampleSet, error) {
+	return CollectParallel(a, dim, reads, 1, rng.Int63())
+}
+
+// CollectParallel runs reads independent anneals across a bounded worker
+// pool (workers <= 1, or an annealer without NewReader, runs serially on the
+// calling goroutine). Determinism scheme: read r always draws from the RNG
+// stream parallel.DeriveSeed(seed, r) and lands in slot r of the returned
+// set, so the output is byte-identical for every worker count and
+// completion order. Workers take scratch-carrying readers from a pool, so
+// steady-state collection does not allocate kernels.
+func CollectParallel(a Annealer, dim, reads, workers int, seed int64) (*SampleSet, error) {
+	if reads < 1 {
+		return nil, fmt.Errorf("anneal: reads = %d, need >= 1", reads)
+	}
+	samples := make([]Sample, reads)
+	arena := make([]int8, reads*dim)
+	factory, reentrant := a.(ReaderFactory)
+	if workers <= 1 || reads == 1 || !reentrant {
+		for r := range samples {
+			dst := arena[r*dim : (r+1)*dim : (r+1)*dim]
+			spins, e := annealRead(a, dst, parallel.DeriveSeed(seed, r))
+			samples[r] = Sample{Spins: spins, Energy: e}
+		}
+	} else {
+		var pool sync.Pool
+		pool.New = func() any { return factory.NewReader() }
+		_ = parallel.ForEach(reads, workers, func(r int) error {
+			rd := pool.Get().(Annealer)
+			dst := arena[r*dim : (r+1)*dim : (r+1)*dim]
+			spins, e := annealRead(rd, dst, parallel.DeriveSeed(seed, r))
+			pool.Put(rd)
+			samples[r] = Sample{Spins: spins, Energy: e}
+			return nil
+		})
+	}
+	set := NewSampleSetWithCapacity(dim, reads)
+	for i := range samples {
+		set.AddOwned(samples[i].Spins, samples[i].Energy)
+	}
+	return set, nil
+}

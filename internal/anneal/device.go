@@ -20,6 +20,11 @@ type Device struct {
 	// SQA, when non-nil, selects the simulated-quantum-annealing substrate
 	// (path-integral Monte Carlo) instead of classical Metropolis.
 	SQA *SQAOptions
+	// Workers bounds the concurrent readout workers of Execute (<= 1 runs
+	// reads serially on the calling goroutine). Reads use per-read RNG
+	// streams, so results are byte-identical for every worker count; Workers
+	// only changes wall-clock time, never the virtual QPU clock.
+	Workers int
 
 	program *qubo.Ising
 	sampler Annealer
@@ -61,7 +66,7 @@ func (d *Device) Execute(reads int, rng *rand.Rand) (*SampleSet, error) {
 	if d.program == nil {
 		return nil, fmt.Errorf("anneal: Execute before Program")
 	}
-	set, err := Collect(d.sampler, d.program.Dim(), reads, rng)
+	set, err := CollectParallel(d.sampler, d.program.Dim(), reads, d.Workers, rng.Int63())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,153 @@
+package anneal
+
+import (
+	"math"
+	"math/bits"
+
+	"github.com/splitexec/splitexec/internal/parallel"
+)
+
+// kernelRand is the annealing kernels' inline RNG: an xoshiro256+ state with
+// a ziggurat exponential sampler. The Metropolis acceptance test
+//
+//	u < exp(−βΔE)  ⇔  Exp(1) > βΔE
+//
+// needs one standard-exponential variate per uphill proposal; drawing it
+// through math/rand's Source interface (and its math.Exp fallback-heavy
+// ziggurat wrapper) costs several indirect calls per proposal, which
+// profiles as ~a third of kernel time. kernelRand is a value type — no
+// allocation per read — whose methods inline into the sweep loop.
+// xoshiro256+ is chosen for output latency: the result is one add from
+// resident state (the permutation retires off the critical path), so the
+// acceptance compare is not serialized behind a multi-multiply finalizer.
+// Its weak low bits are never used — the kernels consume the top 32 bits.
+type kernelRand struct{ s0, s1, s2, s3 uint64 }
+
+// newKernelRand expands a seed into xoshiro256+ state through the standard
+// splitmix64 initializer (which also guarantees a nonzero state).
+func newKernelRand(seed int64) kernelRand {
+	sm := uint64(seed)
+	return kernelRand{
+		s0: parallel.SplitMix64(&sm),
+		s1: parallel.SplitMix64(&sm),
+		s2: parallel.SplitMix64(&sm),
+		s3: parallel.SplitMix64(&sm),
+	}
+}
+
+func (r *kernelRand) next() uint64 {
+	result := r.s0 + r.s3
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+	return result
+}
+
+func (r *kernelRand) uint32() uint32 { return uint32(r.next() >> 32) }
+
+// float64v returns a uniform draw in [0, 1).
+func (r *kernelRand) float64v() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// expFloat64 returns a standard-exponential variate by the Marsaglia–Tsang
+// ziggurat method (256 layers; tables computed at init). The fast path is
+// one 32-bit draw, one table compare and one multiply; the wedge and tail
+// paths (≈2% of draws) fall back to exact log/exp evaluation. The kernels
+// inline the fast path at the call site and only call expSlowPath on a
+// fast-path miss.
+func (r *kernelRand) expFloat64() float64 {
+	j := r.uint32()
+	i := j & 0xFF
+	if j < zigKE[i] {
+		return float64(j) * zigWE[i]
+	}
+	return r.expSlowPath(j)
+}
+
+// expSlowPath finishes an exponential draw whose first 32-bit sample j
+// missed the ziggurat fast path: resolve j's wedge or tail, then keep
+// sampling layers until one accepts.
+func (r *kernelRand) expSlowPath(j uint32) float64 {
+	for {
+		i := j & 0xFF
+		x := float64(j) * zigWE[i]
+		if j < zigKE[i] {
+			return x
+		}
+		if i == 0 {
+			// Tail beyond R: Exp(1) conditioned on > R is R + Exp(1). The
+			// uniform is bounded away from 1 by float resolution, so the
+			// result is finite (at most R − ln(2⁻⁵³) ≈ 44.44).
+			return zigR - math.Log(1-r.float64v())
+		}
+		if zigFE[i]+r.float64v()*(zigFE[i-1]-zigFE[i]) < math.Exp(-x) {
+			return x
+		}
+		j = r.uint32()
+	}
+}
+
+// fillExp bulk-generates scaled standard-exponential variates (Exp(1)·scale).
+// The xoshiro state stays in locals (registers) and the ziggurat fast path
+// is inline, so the fill pipelines at a few ns per variate; only the rare
+// wedge/tail draws leave the loop, syncing state around the call. The
+// annealing kernels top up their acceptance-threshold buffers with this
+// between sweeps, keeping the sweep loops themselves call-free.
+func (r *kernelRand) fillExp(dst []float64, scale float64) {
+	x0, x1, x2, x3 := r.s0, r.s1, r.s2, r.s3
+	for t := range dst {
+		u := x0 + x3
+		lt := x1 << 17
+		x2 ^= x0
+		x3 ^= x1
+		x1 ^= x2
+		x0 ^= x3
+		x2 ^= lt
+		x3 = bits.RotateLeft64(x3, 45)
+		j := uint32(u >> 32)
+		zi := j & 0xFF
+		if j < zigKE[zi] {
+			dst[t] = float64(j) * zigWE[zi] * scale
+			continue
+		}
+		r.s0, r.s1, r.s2, r.s3 = x0, x1, x2, x3
+		dst[t] = r.expSlowPath(j) * scale
+		x0, x1, x2, x3 = r.s0, r.s1, r.s2, r.s3
+	}
+	r.s0, r.s1, r.s2, r.s3 = x0, x1, x2, x3
+}
+
+// zigR is the rightmost layer boundary of the 256-layer exponential
+// ziggurat; zigV the common layer area (Marsaglia & Tsang 2000).
+const (
+	zigR = 7.697117470131487
+	zigV = 3.949659822581572e-3
+)
+
+var (
+	zigKE [256]uint32  // fast-path acceptance thresholds on the raw draw
+	zigWE [256]float64 // draw → x scale per layer
+	zigFE [256]float64 // exp(−x_i) layer ordinates
+)
+
+func init() {
+	const m2 = 1 << 32
+	de, te := zigR, zigR
+	q := zigV / math.Exp(-de)
+	zigKE[0] = uint32(de / q * m2)
+	zigKE[1] = 0
+	zigWE[0] = q / m2
+	zigWE[255] = de / m2
+	zigFE[0] = 1
+	zigFE[255] = math.Exp(-de)
+	for i := 254; i >= 1; i-- {
+		de = -math.Log(zigV/de + math.Exp(-de))
+		zigKE[i+1] = uint32(de / te * m2)
+		te = de
+		zigFE[i] = math.Exp(-de)
+		zigWE[i] = de / m2
+	}
+}

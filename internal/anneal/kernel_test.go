@@ -1,0 +1,215 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/splitexec/splitexec/internal/graph"
+	"github.com/splitexec/splitexec/internal/qubo"
+)
+
+// The incremental kernel maintains local fields and a running energy across
+// thousands of accepted flips; both must agree with the from-scratch
+// reference (Ising.Energy) to float precision at readout.
+
+func TestMetropolisTrackedEnergyMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.GNP(24, 0.3, rng)
+		m := qubo.RandomIsing(g, 1, 1, rng)
+		m.Offset = rng.NormFloat64()
+		// 256 sweeps × ~24 active spins ≈ 6k proposals per anneal.
+		s := NewSampler(m, SamplerOptions{Sweeps: 256})
+		for r := 0; r < 4; r++ {
+			spins, tracked := s.Anneal(rng)
+			if ref := m.Energy(spins); math.Abs(tracked-ref) > 1e-9 {
+				t.Fatalf("trial %d read %d: tracked energy %v, reference %v", trial, r, tracked, ref)
+			}
+		}
+		// The in-place path must track identically.
+		spins := make([]int8, m.Dim())
+		for i := range spins {
+			spins[i] = int8(2*(i%2) - 1)
+		}
+		tracked := s.AnnealFrom(spins, rng)
+		if ref := m.Energy(spins); math.Abs(tracked-ref) > 1e-9 {
+			t.Fatalf("trial %d AnnealFrom: tracked %v, reference %v", trial, tracked, ref)
+		}
+	}
+}
+
+func TestSQATrackedEnergyMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 3; trial++ {
+		g := graph.GNP(12, 0.4, rng)
+		m := qubo.RandomIsing(g, 1, 1, rng)
+		m.Offset = rng.NormFloat64()
+		// 128 sweeps × 8 replicas × ~12 spins ≈ 12k local proposals.
+		s := NewSQASampler(m, SQAOptions{Sweeps: 128, Replicas: 8})
+		for r := 0; r < 3; r++ {
+			spins, tracked := s.Anneal(rng)
+			if ref := m.Energy(spins); math.Abs(tracked-ref) > 1e-9 {
+				t.Fatalf("trial %d read %d: tracked energy %v, reference %v", trial, r, tracked, ref)
+			}
+		}
+	}
+}
+
+// Readout fan-out determinism: a fixed seed must produce byte-identical
+// sample sets at every worker count, for both substrates. Run with -race to
+// also certify the reader pool.
+func TestExecuteParallelByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := graph.Chimera{M: 2, N: 2, L: 4}.Graph()
+	m := qubo.RandomIsing(g, 1, 1, rng)
+
+	for name, mk := range map[string]func() *Device{
+		"metropolis": func() *Device { return NewDevice(DW2Timings(), SamplerOptions{Sweeps: 32}) },
+		"sqa":        func() *Device { return NewQuantumDevice(DW2Timings(), SQAOptions{Sweeps: 16, Replicas: 4}) },
+	} {
+		var want *SampleSet
+		for _, workers := range []int{1, 4, 3} {
+			d := mk()
+			d.Workers = workers
+			d.Program(m)
+			set, err := d.Execute(32, rand.New(rand.NewSource(99)))
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if want == nil {
+				want = set
+				continue
+			}
+			if !reflect.DeepEqual(want.Samples, set.Samples) {
+				t.Fatalf("%s: workers=%d readout differs from workers=1", name, workers)
+			}
+		}
+	}
+}
+
+func TestCollectParallelMatchesCollect(t *testing.T) {
+	m := ferroChain(10)
+	s := NewSampler(m, SamplerOptions{Sweeps: 16})
+	serial, err := Collect(s, 10, 20, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect seeds with the rng's first Int63; reproduce it.
+	par, err := CollectParallel(s, 10, 20, 4, rand.New(rand.NewSource(5)).Int63())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Samples, par.Samples) {
+		t.Fatal("parallel collection differs from serial for the same seed")
+	}
+}
+
+// Success-rate regression: on a small frustrated model with a known ground
+// state, the SQA substrate must stay a working optimizer. The bound is far
+// below its measured rate (~0.75 on comparable models) but far above noise.
+func TestSQASuccessRateRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	g := graph.Complete(6)
+	m := qubo.RandomIsing(g, 1, 1, rng)
+	_, ground := m.BruteForce()
+	s := NewSQASampler(m, SQAOptions{Sweeps: 64, Replicas: 8})
+	set := s.Sample(60, rng)
+	if rate := set.SuccessRate(ground, 1e-9); rate < 0.3 {
+		t.Fatalf("SQA success rate %v below regression floor 0.3", rate)
+	}
+}
+
+// The serial hot path must be allocation-free after warmup: scratch buffers
+// (fields, replicas, energies) belong to the sampler, not the anneal call.
+func TestAnnealFromAllocationFree(t *testing.T) {
+	m := ferroChain(32)
+	s := NewSampler(m, SamplerOptions{Sweeps: 32})
+	rng := rand.New(rand.NewSource(15))
+	spins := make([]int8, m.Dim())
+	s.AnnealFrom(spins, rng) // warmup
+	if n := testing.AllocsPerRun(20, func() { s.AnnealFrom(spins, rng) }); n > 0 {
+		t.Fatalf("AnnealFrom allocates %v times per run after warmup", n)
+	}
+}
+
+// A reader shares the compiled program but not scratch: same seed, same
+// output as its parent, and usable concurrently with it.
+func TestNewReaderMatchesParent(t *testing.T) {
+	m := ferroChain(12)
+	for _, a := range []interface {
+		Annealer
+		ReaderFactory
+	}{
+		NewSampler(m, SamplerOptions{Sweeps: 32}),
+		NewSQASampler(m, SQAOptions{Sweeps: 16, Replicas: 4}),
+	} {
+		s1, e1 := a.Anneal(rand.New(rand.NewSource(21)))
+		s2, e2 := a.NewReader().Anneal(rand.New(rand.NewSource(21)))
+		if e1 != e2 || !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("%T: reader diverged from parent for the same seed", a)
+		}
+	}
+}
+
+// The ziggurat exponential sampler underpins every acceptance test; pin its
+// first two moments and median against Exp(1).
+func TestKernelRandExpFloat64Moments(t *testing.T) {
+	kr := newKernelRand(42)
+	const N = 2_000_000
+	var sum, sumSq float64
+	below := 0
+	for i := 0; i < N; i++ {
+		x := kr.expFloat64()
+		if x < 0 {
+			t.Fatal("negative exponential variate")
+		}
+		sum += x
+		sumSq += x * x
+		if x < math.Ln2 {
+			below++
+		}
+	}
+	mean := sum / N
+	variance := sumSq/N - mean*mean
+	median := float64(below) / N
+	if math.Abs(mean-1) > 0.005 || math.Abs(variance-1) > 0.02 || math.Abs(median-0.5) > 0.005 {
+		t.Fatalf("Exp(1) moments off: mean %v, var %v, P(x<ln2) %v", mean, variance, median)
+	}
+}
+
+func TestSampleSetAddOwnedAndCapacity(t *testing.T) {
+	ss := NewSampleSetWithCapacity(2, 8)
+	if cap(ss.Samples) != 8 || ss.Len() != 0 {
+		t.Fatalf("capacity set wrong: cap=%d len=%d", cap(ss.Samples), ss.Len())
+	}
+	spins := []int8{1, -1}
+	ss.AddOwned(spins, 3)
+	spins[0] = -1 // AddOwned transfers ownership: the set sees the mutation
+	if ss.Samples[0].Spins[0] != -1 {
+		t.Fatal("AddOwned copied the slice")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AddOwned dim mismatch did not panic")
+		}
+	}()
+	ss.AddOwned([]int8{1}, 0)
+}
+
+// Regression: the replica-ring offsets must handle the degenerate shapes the
+// old modulo arithmetic accepted — a single Trotter slice (its own world-line
+// neighbor) and zero-dimension programs.
+func TestSQADegenerateShapes(t *testing.T) {
+	spins, e := NewSQASampler(ferroChain(6), SQAOptions{Sweeps: 16, Replicas: 1}).
+		Anneal(rand.New(rand.NewSource(1)))
+	if len(spins) != 6 || e > 0 {
+		t.Fatalf("Replicas=1: spins=%v e=%v", spins, e)
+	}
+	empty, e := NewSQASampler(qubo.NewIsing(0), SQAOptions{Sweeps: 4, Replicas: 4}).
+		Anneal(rand.New(rand.NewSource(2)))
+	if len(empty) != 0 || e != 0 {
+		t.Fatalf("dim=0: spins=%v e=%v", empty, e)
+	}
+}

@@ -27,12 +27,34 @@ func NewSampleSet(dim int) *SampleSet {
 	return &SampleSet{Dim: dim}
 }
 
+// NewSampleSetWithCapacity returns an empty set preallocated for the given
+// number of readouts, so collecting a known read count never regrows the
+// sample slice.
+func NewSampleSetWithCapacity(dim, capacity int) *SampleSet {
+	ss := &SampleSet{Dim: dim}
+	if capacity > 0 {
+		ss.Samples = make([]Sample, 0, capacity)
+	}
+	return ss
+}
+
 // Add appends one readout (the spin slice is copied).
 func (ss *SampleSet) Add(spins []int8, energy float64) {
 	if len(spins) != ss.Dim {
 		panic(fmt.Sprintf("anneal: sample length %d != dim %d", len(spins), ss.Dim))
 	}
 	ss.Samples = append(ss.Samples, Sample{Spins: append([]int8(nil), spins...), Energy: energy})
+	ss.sorted = false
+}
+
+// AddOwned appends one readout taking ownership of the spin slice (no copy).
+// The samplers hand their freshly allocated readout states straight to the
+// set this way; callers that retain their slice should use Add.
+func (ss *SampleSet) AddOwned(spins []int8, energy float64) {
+	if len(spins) != ss.Dim {
+		panic(fmt.Sprintf("anneal: sample length %d != dim %d", len(spins), ss.Dim))
+	}
+	ss.Samples = append(ss.Samples, Sample{Spins: spins, Energy: energy})
 	ss.sorted = false
 }
 

@@ -7,6 +7,12 @@
 // repeat anneal+readout, post-process — and its probabilistic behaviour: a
 // single anneal finds the ground state with some probability ps < 1, so the
 // host repeats until the target accuracy is met (Eq. 6).
+//
+// Both samplers run on a shared compiled Ising kernel (qubo.Compiled): flat
+// CSR adjacency, local fields maintained incrementally on accepted flips
+// (making each Metropolis proposal O(1)), and incrementally tracked
+// energies, so readout never re-evaluates the model from scratch. See
+// docs/performance.md for the design and its benchmarks.
 package anneal
 
 import (
@@ -44,15 +50,17 @@ func (o SamplerOptions) withDefaults(m *qubo.Ising) SamplerOptions {
 }
 
 // Sampler draws low-energy spin configurations from an Ising model using
-// simulated annealing. It pre-compiles the model into adjacency lists, so a
-// single Sampler may be reused for many reads.
+// simulated annealing over the compiled kernel. A Sampler reuses its scratch
+// buffers across anneals (allocation-free after warmup) and is therefore NOT
+// safe for concurrent use; NewReader returns additional independent readers
+// over the same compiled program for parallel readout.
 type Sampler struct {
-	model  *qubo.Ising
-	active []int // spins that participate (nonzero bias or any coupling)
-	adjIdx [][]int32
-	adjJ   [][]float64
+	prog   *qubo.Compiled
 	opts   SamplerOptions
 	betas  []float64
+	fields []float64 // scratch: incremental local fields, one per spin
+	m      []float64 // scratch: spins as ±1.0, the kernel's working state
+	thr    []float64 // scratch: per-sweep acceptance thresholds Exp(1)/β
 }
 
 // NewSampler compiles the model for repeated annealing. Spins with zero bias
@@ -60,27 +68,7 @@ type Sampler struct {
 // physical qubits.
 func NewSampler(m *qubo.Ising, opts SamplerOptions) *Sampler {
 	opts = opts.withDefaults(m)
-	n := m.Dim()
-	s := &Sampler{
-		model:  m,
-		adjIdx: make([][]int32, n),
-		adjJ:   make([][]float64, n),
-		opts:   opts,
-	}
-	hasCoupling := make([]bool, n)
-	for _, e := range m.Edges() {
-		j := m.Coupling(e.U, e.V)
-		s.adjIdx[e.U] = append(s.adjIdx[e.U], int32(e.V))
-		s.adjJ[e.U] = append(s.adjJ[e.U], j)
-		s.adjIdx[e.V] = append(s.adjIdx[e.V], int32(e.U))
-		s.adjJ[e.V] = append(s.adjJ[e.V], j)
-		hasCoupling[e.U], hasCoupling[e.V] = true, true
-	}
-	for i := 0; i < n; i++ {
-		if m.H[i] != 0 || hasCoupling[i] {
-			s.active = append(s.active, i)
-		}
-	}
+	s := &Sampler{prog: qubo.Compile(m), opts: opts}
 	// Geometric β schedule.
 	s.betas = make([]float64, opts.Sweeps)
 	if opts.Sweeps == 1 {
@@ -97,61 +85,158 @@ func NewSampler(m *qubo.Ising, opts SamplerOptions) *Sampler {
 }
 
 // ActiveSpins returns the number of participating spins.
-func (s *Sampler) ActiveSpins() int { return len(s.active) }
+func (s *Sampler) ActiveSpins() int { return len(s.prog.Active) }
+
+// Program returns the compiled Ising program the sampler anneals.
+func (s *Sampler) Program() *qubo.Compiled { return s.prog }
+
+// NewReader returns an independent single-goroutine annealing context
+// sharing this sampler's compiled program and schedule. Readers are what the
+// parallel readout path fans out across workers.
+func (s *Sampler) NewReader() Annealer {
+	c := *s
+	c.fields, c.m, c.thr = nil, nil, nil
+	return &c
+}
 
 // Anneal performs one annealing run from a random initial state and returns
 // the resulting spin configuration and its energy (including the model
-// offset).
+// offset). The caller's rng contributes a single seed draw; the kernel runs
+// on its own inline stream derived from it.
 func (s *Sampler) Anneal(rng *rand.Rand) ([]int8, float64) {
-	n := s.model.Dim()
-	spins := make([]int8, n)
-	for i := range spins {
-		spins[i] = 1
+	return s.annealSeeded(rng.Int63())
+}
+
+func (s *Sampler) annealSeeded(seed int64) ([]int8, float64) {
+	spins := make([]int8, s.prog.Dim())
+	e := s.annealInto(spins, seed)
+	return spins, e
+}
+
+// annealInto runs one read from a random initial state into dst (len Dim),
+// the zero-copy entry point of the collection arena.
+func (s *Sampler) annealInto(dst []int8, seed int64) float64 {
+	kr := newKernelRand(seed)
+	for i := range dst {
+		dst[i] = 1
 	}
-	for _, i := range s.active {
-		if rng.Intn(2) == 0 {
-			spins[i] = -1
+	for _, i := range s.prog.Active {
+		if kr.next()>>63 == 0 {
+			dst[i] = -1
 		}
 	}
-	s.run(spins, rng)
-	return spins, s.model.Energy(spins)
+	return s.run(dst, &kr)
 }
 
 // AnnealFrom performs one annealing run starting from the provided state
 // (mutated in place) and returns its final energy. The initial state must
 // have length Dim.
 func (s *Sampler) AnnealFrom(spins []int8, rng *rand.Rand) float64 {
-	if len(spins) != s.model.Dim() {
-		panic(fmt.Sprintf("anneal: state length %d != model dim %d", len(spins), s.model.Dim()))
+	if len(spins) != s.prog.Dim() {
+		panic(fmt.Sprintf("anneal: state length %d != model dim %d", len(spins), s.prog.Dim()))
 	}
-	s.run(spins, rng)
-	return s.model.Energy(spins)
+	kr := newKernelRand(rng.Int63())
+	return s.run(spins, &kr)
 }
 
-func (s *Sampler) run(spins []int8, rng *rand.Rand) {
+// run is the compiled Metropolis kernel. Local fields are initialized once
+// (O(|E|)) and then maintained incrementally on accepted flips, so each
+// proposal costs O(1): one field read for ΔE plus one threshold compare for
+// the acceptance test. The test uses the exact identity
+//
+//	u < exp(−βΔE)  ⇔  Exp(1)/β > ΔE,
+//
+// which also covers downhill moves for free (thresholds are positive), so
+// one compare-and-branch decides every proposal. Each sweep's i.i.d.
+// thresholds are pre-generated into a scratch buffer by the ziggurat
+// sampler — they are independent of ΔE, so drawing them ahead of the sweep
+// is distributionally identical — which keeps the spin loop call-free (the
+// register allocator keeps the kernel state out of memory) and replaces the
+// math.Exp per uphill proposal of the old kernel (≈46% of its time) with
+// one load and compare. The final energy is tracked incrementally from the
+// initial EnergyFromFields, so readout never re-evaluates the model.
+func (s *Sampler) run(spins []int8, kr *kernelRand) float64 {
+	prog := s.prog
+	n := prog.Dim()
+	s.fields = prog.LocalFields(spins, s.fields)
+	fields := s.fields
+	if cap(s.m) < n {
+		s.m = make([]float64, n)
+		s.thr = make([]float64, n)
+	}
+	// The kernel works on ±1.0 floats so the sweep loop never converts int8;
+	// spins is read once here and written back once at the end.
+	m := s.m[:n]
+	for i, sp := range spins {
+		m[i] = float64(sp)
+	}
+	energy := prog.EnergyFromFields(spins, fields)
+	// Length ties for bounds-check elimination in the sweep loops.
+	fields = fields[:len(m)]
+	rowPtr := prog.RowPtr[:len(m)+1]
+	col := prog.Col
+	val := prog.Val[:len(col)]
+	active := prog.Active
+	dense := len(active) == n
+	thr := s.thr[:len(active)] // one acceptance threshold per proposal
 	for _, beta := range s.betas {
-		for _, i := range s.active {
-			// ΔE for flipping spin i: -2·s_i·(h_i + Σ_j J_ij·s_j).
-			local := s.model.H[i]
-			idx := s.adjIdx[i]
-			js := s.adjJ[i]
-			for k, jn := range idx {
-				local += js[k] * float64(spins[jn])
+		kr.fillExp(thr, 1/beta)
+		// Two copies of the sweep body: models whose spins are all active
+		// (logical models sampled directly) skip the Active indirection and
+		// its bounds checks; sparse hardware programs (a few chains on a
+		// large topology) walk the active list. Keep the bodies in sync.
+		if dense {
+			thr := thr[:len(m)]
+			for i := range m {
+				mi := m[i]
+				dE := -2 * mi * fields[i]
+				if thr[i] <= dE {
+					continue // rejected uphill move
+				}
+				m[i] = -mi
+				energy += dE
+				d := -2 * mi
+				for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+					fields[col[k]] += d * val[k]
+				}
 			}
-			dE := -2 * float64(spins[i]) * local
-			if dE <= 0 || rng.Float64() < math.Exp(-beta*dE) {
-				spins[i] = -spins[i]
+			continue
+		}
+		for ii, i := range active {
+			mi := m[i]
+			dE := -2 * mi * fields[i]
+			if thr[ii] <= dE {
+				continue // rejected uphill move
+			}
+			m[i] = -mi
+			energy += dE
+			d := -2 * mi
+			for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+				fields[col[k]] += d * val[k]
 			}
 		}
 	}
+	for i := range spins {
+		spins[i] = int8(m[i]) // ±1.0 → ±1, branchless
+	}
+	return energy
 }
 
-// Sample runs reads independent anneals and collects the results.
+// Sample runs reads independent anneals and collects the results. Each read
+// draws from its own RNG stream derived from one rng.Int63() call, so the
+// returned set is identical to SampleParallel with any worker count.
 func (s *Sampler) Sample(reads int, rng *rand.Rand) *SampleSet {
-	set := NewSampleSet(s.model.Dim())
-	for r := 0; r < reads; r++ {
-		spins, e := s.Anneal(rng)
-		set.Add(spins, e)
+	return s.SampleParallel(reads, 1, rng.Int63())
+}
+
+// SampleParallel runs reads independent anneals across a bounded worker pool
+// (workers <= 1 runs serially on the calling goroutine). Read r draws from
+// the RNG stream DeriveSeed(seed, r) and lands in slot r, so the result is
+// byte-identical for every worker count.
+func (s *Sampler) SampleParallel(reads, workers int, seed int64) *SampleSet {
+	set, err := CollectParallel(s, s.prog.Dim(), reads, workers, seed)
+	if err != nil {
+		return NewSampleSet(s.prog.Dim())
 	}
 	return set
 }

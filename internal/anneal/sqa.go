@@ -1,7 +1,6 @@
 package anneal
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 
@@ -57,158 +56,214 @@ func (o SQAOptions) withDefaults(m *qubo.Ising) SQAOptions {
 // the world lines into a classical state. Compared to the plain Metropolis
 // Sampler this exercises the same programming/readout path but with the
 // quantum-annealing-style dynamics the D-Wave processor family implements.
+//
+// The kernel stores all replicas in one flat replica-major spin array
+// (slice k's spin i at k·n+i, as ±1.0 floats) with per-(replica,spin) local
+// fields and per-replica classical energies maintained incrementally, so
+// local moves are O(1) per proposal and readout is a tracked-energy argmin.
+// Scratch buffers are reused across anneals; an SQASampler is NOT safe for
+// concurrent use — use NewReader for parallel readout.
 type SQASampler struct {
-	model  *qubo.Ising
-	active []int
-	adjIdx [][]int32
-	adjJ   [][]float64
-	opts   SQAOptions
+	prog *qubo.Compiled
+	opts SQAOptions
+	// jPerps is the precomputed per-sweep inter-replica coupling J⊥(Γ) of
+	// the transverse-field schedule; hoisting the ln·tanh evaluation out of
+	// the spin loop mirrors the classical sampler's betas table.
+	jPerps []float64
+
+	// Scratch, reused across anneals (allocation-free after warmup).
+	reps     []float64 // replica-major spins as ±1.0, P·n
+	fields   []float64 // local field of every (replica, spin), P·n
+	energies []float64 // tracked classical energy of each replica, P
+	staging  []int8    // one replica's spins for field initialization
+	thr      []float64 // acceptance thresholds: P·|active| local + |active| global
 }
 
 // NewSQASampler compiles the hardware Ising model for repeated SQA runs.
 func NewSQASampler(m *qubo.Ising, opts SQAOptions) *SQASampler {
 	opts = opts.withDefaults(m)
-	n := m.Dim()
-	s := &SQASampler{
-		model:  m,
-		adjIdx: make([][]int32, n),
-		adjJ:   make([][]float64, n),
-		opts:   opts,
-	}
-	hasCoupling := make([]bool, n)
-	for _, e := range m.Edges() {
-		j := m.Coupling(e.U, e.V)
-		s.adjIdx[e.U] = append(s.adjIdx[e.U], int32(e.V))
-		s.adjJ[e.U] = append(s.adjJ[e.U], j)
-		s.adjIdx[e.V] = append(s.adjIdx[e.V], int32(e.U))
-		s.adjJ[e.V] = append(s.adjJ[e.V], j)
-		hasCoupling[e.U], hasCoupling[e.V] = true, true
-	}
-	for i := 0; i < n; i++ {
-		if m.H[i] != 0 || hasCoupling[i] {
-			s.active = append(s.active, i)
-		}
+	s := &SQASampler{prog: qubo.Compile(m), opts: opts}
+	betaP := opts.Beta / float64(opts.Replicas)
+	s.jPerps = make([]float64, opts.Sweeps)
+	for sweep := range s.jPerps {
+		frac := float64(sweep) / float64(max(1, opts.Sweeps-1))
+		gamma := opts.Gamma0 + (opts.GammaEnd-opts.Gamma0)*frac
+		s.jPerps[sweep] = -0.5 / betaP * math.Log(math.Tanh(betaP*gamma))
 	}
 	return s
 }
 
 // ActiveSpins returns the number of participating spins.
-func (s *SQASampler) ActiveSpins() int { return len(s.active) }
+func (s *SQASampler) ActiveSpins() int { return len(s.prog.Active) }
 
 // Replicas returns the Trotter slice count in use.
 func (s *SQASampler) Replicas() int { return s.opts.Replicas }
 
-// Anneal performs one simulated quantum annealing run and returns the best
-// replica's classical state and energy.
-func (s *SQASampler) Anneal(rng *rand.Rand) ([]int8, float64) {
-	n := s.model.Dim()
-	P := s.opts.Replicas
-	betaP := s.opts.Beta / float64(P)
+// Program returns the compiled Ising program the sampler anneals.
+func (s *SQASampler) Program() *qubo.Compiled { return s.prog }
 
-	// replica[k][i]: slice k of spin i. Inactive spins frozen at +1.
-	replicas := make([][]int8, P)
-	for k := range replicas {
-		replicas[k] = make([]int8, n)
-		for i := range replicas[k] {
-			replicas[k][i] = 1
+// NewReader returns an independent single-goroutine annealing context
+// sharing this sampler's compiled program and schedule.
+func (s *SQASampler) NewReader() Annealer {
+	c := *s
+	c.reps, c.fields, c.energies, c.staging, c.thr = nil, nil, nil, nil, nil
+	return &c
+}
+
+// Anneal performs one simulated quantum annealing run and returns the best
+// replica's classical state and energy. The caller's rng contributes a
+// single seed draw; the kernel runs on its own inline stream derived from
+// it.
+func (s *SQASampler) Anneal(rng *rand.Rand) ([]int8, float64) {
+	return s.annealSeeded(rng.Int63())
+}
+
+func (s *SQASampler) annealSeeded(seed int64) ([]int8, float64) {
+	out := make([]int8, s.prog.Dim())
+	e := s.annealInto(out, seed)
+	return out, e
+}
+
+// annealInto runs one SQA read into dst (len Dim), the zero-copy entry
+// point of the collection arena.
+func (s *SQASampler) annealInto(dst []int8, seed int64) float64 {
+	kr := newKernelRand(seed)
+	prog := s.prog
+	n := prog.Dim()
+	P := s.opts.Replicas
+	invP := 1 / float64(P)
+
+	if cap(s.reps) < P*n || cap(s.energies) < P {
+		s.reps = make([]float64, P*n)
+		s.fields = make([]float64, P*n)
+		s.energies = make([]float64, P)
+		s.staging = make([]int8, n)
+		s.thr = make([]float64, (P+1)*len(s.prog.Active))
+	}
+	reps := s.reps[:P*n]
+	fields := s.fields[:P*n]
+	energies := s.energies[:P]
+	staging := s.staging[:n]
+	nAct := len(prog.Active)
+	thrL := s.thr[:P*nAct]                          // local-move thresholds, one per (spin, slice)
+	thrG := s.thr[P*nAct : (P+1)*nAct : (P+1)*nAct] // global world-line move thresholds
+
+	// Random initial world lines; inactive spins frozen at +1. The kernel
+	// works on ±1.0 floats (no int8 conversions in the sweep loops); the
+	// int8 staging buffer only seeds the field/energy initialization.
+	for k := 0; k < P; k++ {
+		kn := k * n
+		for i := range staging {
+			staging[i] = 1
 		}
-		for _, i := range s.active {
-			if rng.Intn(2) == 0 {
-				replicas[k][i] = -1
+		for _, i := range prog.Active {
+			if kr.next()>>63 == 0 {
+				staging[i] = -1
 			}
+		}
+		prog.LocalFields(staging, fields[kn:kn+n])
+		energies[k] = prog.EnergyFromFields(staging, fields[kn:kn+n])
+		for i, sp := range staging {
+			reps[kn+i] = float64(sp)
 		}
 	}
 
-	for sweep := 0; sweep < s.opts.Sweeps; sweep++ {
-		frac := float64(sweep) / float64(max(1, s.opts.Sweeps-1))
-		gamma := s.opts.Gamma0 + (s.opts.GammaEnd-s.opts.Gamma0)*frac
-		jPerp := -0.5 / betaP * math.Log(math.Tanh(betaP*gamma))
+	invBeta := 1 / s.opts.Beta
+	rowPtr, col, val := prog.RowPtr, prog.Col, prog.Val
+	ring := P * n
+	for _, jPerp := range s.jPerps {
+		// One pre-generated acceptance threshold Exp(1)/β per proposal; the
+		// single compare also covers downhill moves (thresholds are
+		// positive), exactly as in the Metropolis kernel.
+		kr.fillExp(thrL, invBeta)
+		kr.fillExp(thrG, invBeta)
 
-		// Local moves: one Metropolis pass over every (spin, slice).
-		for _, i := range s.active {
+		// Local moves: one Metropolis pass over every (spin, slice). The
+		// classical part of ΔE comes from the incremental field; the
+		// transverse part from the two neighboring slices of the world line.
+		for ii, i := range prog.Active {
+			kup, kdn := n, (P-1)*n // offsets of slices k+1 and k−1 (mod P)
+			if kup == ring {
+				kup = 0 // P == 1: a world line is its own neighbor
+			}
+			ti := ii * P
 			for k := 0; k < P; k++ {
-				up := replicas[(k+1)%P][i]
-				down := replicas[(k-1+P)%P][i]
-				cur := replicas[k][i]
-				local := s.model.H[i]
-				idx, js := s.adjIdx[i], s.adjJ[i]
-				for t, jn := range idx {
-					local += js[t] * float64(replicas[k][jn])
+				kn := k * n
+				cur := reps[kn+int(i)]
+				dCl := -2 * cur * fields[kn+int(i)]
+				// ΔE_eff = ΔE_cl/P + 2·s·J⊥·(s_up + s_down)
+				dE := dCl*invP + 2*cur*jPerp*(reps[kup+int(i)]+reps[kdn+int(i)])
+				kdn = kn
+				kup += n
+				if kup == ring {
+					kup = 0
 				}
-				// ΔE_eff = -2·s·[E_cl'/P − J⊥·(s_up + s_down)]
-				dE := -2 * float64(cur) * (local/float64(P) - jPerp*float64(up+down))
-				if dE <= 0 || rng.Float64() < math.Exp(-s.opts.Beta*dE) {
-					replicas[k][i] = -cur
+				if thrL[ti+k] <= dE {
+					continue // rejected uphill move
+				}
+				reps[kn+int(i)] = -cur
+				energies[k] += dCl
+				d := -2 * cur
+				for t := rowPtr[i]; t < rowPtr[i+1]; t++ {
+					fields[kn+int(col[t])] += d * val[t]
 				}
 			}
 		}
-		// Global moves: flip a spin's entire world line (inter-replica
-		// terms cancel, so only the classical energy changes).
-		for _, i := range s.active {
+
+		// Global moves: flip a spin's entire world line (inter-replica terms
+		// cancel, so only the classical energy changes). The per-replica
+		// deltas are O(1) reads of the incremental fields.
+		for ii, i := range prog.Active {
 			dCl := 0.0
-			for k := 0; k < P; k++ {
-				local := s.model.H[i]
-				idx, js := s.adjIdx[i], s.adjJ[i]
-				for t, jn := range idx {
-					local += js[t] * float64(replicas[k][jn])
-				}
-				dCl += -2 * float64(replicas[k][i]) * local
+			for kn := 0; kn < P*n; kn += n {
+				dCl += -2 * reps[kn+int(i)] * fields[kn+int(i)]
 			}
-			dCl /= float64(P)
-			if dCl <= 0 || rng.Float64() < math.Exp(-s.opts.Beta*dCl) {
-				for k := 0; k < P; k++ {
-					replicas[k][i] = -replicas[k][i]
+			dCl *= invP
+			if thrG[ii] <= dCl {
+				continue // rejected uphill move
+			}
+			for k := 0; k < P; k++ {
+				kn := k * n
+				cur := reps[kn+int(i)]
+				energies[k] += -2 * cur * fields[kn+int(i)]
+				reps[kn+int(i)] = -cur
+				d := -2 * cur
+				for t := rowPtr[i]; t < rowPtr[i+1]; t++ {
+					fields[kn+int(col[t])] += d * val[t]
 				}
 			}
 		}
 	}
 
 	// Readout: the best replica (measurement collapses to one world line;
-	// taking the best is the standard SQA convention for optimization).
-	bestE := math.Inf(1)
-	var best []int8
-	for k := 0; k < P; k++ {
-		if e := s.model.Energy(replicas[k]); e < bestE {
-			bestE = e
-			best = replicas[k]
+	// taking the best is the standard SQA convention for optimization). The
+	// tracked energies make this an O(P) argmin plus one state copy.
+	bestK := 0
+	for k := 1; k < P; k++ {
+		if energies[k] < energies[bestK] {
+			bestK = k
 		}
 	}
-	out := append([]int8(nil), best...)
-	return out, bestE
+	base := bestK * n
+	for i := range dst {
+		dst[i] = int8(reps[base+i]) // ±1.0 → ±1, branchless
+	}
+	return energies[bestK]
 }
 
-// Sample runs reads independent SQA anneals.
+// Sample runs reads independent SQA anneals. Each read draws from its own
+// RNG stream derived from one rng.Int63() call, so the returned set is
+// identical to SampleParallel with any worker count.
 func (s *SQASampler) Sample(reads int, rng *rand.Rand) *SampleSet {
-	set := NewSampleSet(s.model.Dim())
-	for r := 0; r < reads; r++ {
-		spins, e := s.Anneal(rng)
-		set.Add(spins, e)
+	return s.SampleParallel(reads, 1, rng.Int63())
+}
+
+// SampleParallel runs reads independent SQA anneals across a bounded worker
+// pool; see Sampler.SampleParallel for the determinism scheme.
+func (s *SQASampler) SampleParallel(reads, workers int, seed int64) *SampleSet {
+	set, err := CollectParallel(s, s.prog.Dim(), reads, workers, seed)
+	if err != nil {
+		return NewSampleSet(s.prog.Dim())
 	}
 	return set
-}
-
-// Annealer is any single-shot sampler over an Ising program: the classical
-// Sampler and the quantum SQASampler both satisfy it.
-type Annealer interface {
-	Anneal(rng *rand.Rand) ([]int8, float64)
-}
-
-// Collect runs reads independent anneals of a on a model of dimension dim.
-func Collect(a Annealer, dim, reads int, rng *rand.Rand) (*SampleSet, error) {
-	if reads < 1 {
-		return nil, fmt.Errorf("anneal: reads = %d, need >= 1", reads)
-	}
-	set := NewSampleSet(dim)
-	for r := 0; r < reads; r++ {
-		spins, e := a.Anneal(rng)
-		set.Add(spins, e)
-	}
-	return set, nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -68,6 +68,11 @@ type Config struct {
 	// Seed drives all stochastic components; the zero seed is valid and
 	// deterministic.
 	Seed int64
+	// ReadWorkers bounds the concurrent readout workers of the local
+	// simulated device (<= 1 runs reads serially). Reads draw from per-read
+	// RNG streams, so solutions are byte-identical for every worker count —
+	// ReadWorkers only changes wall-clock time. Ignored when Device is set.
+	ReadWorkers int
 	// Cache, when non-nil, enables off-line embedding lookup (stage-1
 	// bypass); found embeddings skip the CMR search and successful CMR
 	// searches populate the cache.
@@ -184,6 +189,7 @@ func NewSolver(cfg Config) *Solver {
 	if dev == nil {
 		local := anneal.NewDevice(cfg.Node.QPU.Timings, cfg.Sampler)
 		local.SQA = cfg.SQA
+		local.Workers = cfg.ReadWorkers
 		dev = localDevice{dev: local}
 	}
 	return &Solver{

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"github.com/splitexec/splitexec/internal/anneal"
@@ -308,5 +309,32 @@ func TestSolverQuantumSubstrate(t *testing.T) {
 	// Timing model is substrate independent: same hardware constants.
 	if sol.Timing.Execute != cfg.Node.QPU.Timings.ExecutionTime(sol.Reads) {
 		t.Errorf("execute time = %v", sol.Timing.Execute)
+	}
+}
+
+// ReadWorkers only parallelizes stage-2 readout wall-clock; for a fixed seed
+// the solution (spins, energy, full sample ensemble) must be byte-identical
+// at every worker count.
+func TestSolveDeterministicAcrossReadWorkers(t *testing.T) {
+	g := graph.Cycle(8)
+	q := qubo.MaxCut(g, nil)
+	var want *Solution
+	for _, workers := range []int{1, 4} {
+		cfg := testConfig(9)
+		cfg.ReadWorkers = workers
+		sol, err := NewSolver(cfg).SolveQUBO(q)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = sol
+			continue
+		}
+		if sol.Energy != want.Energy || !reflect.DeepEqual(sol.Spins, want.Spins) {
+			t.Fatalf("workers=%d solution diverged: %v vs %v", workers, sol.Energy, want.Energy)
+		}
+		if !reflect.DeepEqual(sol.Samples.Samples, want.Samples.Samples) {
+			t.Fatalf("workers=%d readout ensemble diverged", workers)
+		}
 	}
 }

@@ -67,16 +67,27 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	return firstErr
 }
 
-// DeriveSeed mixes a base seed with an item index into an independent,
-// well-separated RNG seed (splitmix64 finalizer). Every parallel component
-// of the repo derives its per-item streams this way so results are
-// reproducible and independent of worker count and completion order.
-func DeriveSeed(base int64, index int) int64 {
-	z := uint64(base) + (uint64(index)+1)*0x9E3779B97F4A7C15
+// SplitMix64 advances a splitmix64 generator state and returns its next
+// output (Steele, Lea & Flood 2014). It is the one seed-mixing primitive of
+// the repo: DeriveSeed, NewRand's source and the annealing kernels' RNG
+// seeding all step it, so per-item streams stay mutually consistent.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
 	z ^= z >> 30
 	z *= 0xBF58476D1CE4E5B9
 	z ^= z >> 27
 	z *= 0x94D049BB133111EB
 	z ^= z >> 31
-	return int64(z)
+	return z
+}
+
+// DeriveSeed mixes a base seed with an item index into an independent,
+// well-separated RNG seed (splitmix64 stepped from the index'th state).
+// Every parallel component of the repo derives its per-item streams this
+// way so results are reproducible and independent of worker count and
+// completion order.
+func DeriveSeed(base int64, index int) int64 {
+	state := uint64(base) + uint64(index)*0x9E3779B97F4A7C15
+	return int64(SplitMix64(&state))
 }

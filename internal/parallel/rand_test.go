@@ -1,0 +1,28 @@
+package parallel
+
+import "testing"
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(1).Int63() == NewRand(2).Int63() {
+		t.Fatal("different seeds collided on first draw")
+	}
+}
+
+func TestNewRandUniformish(t *testing.T) {
+	// Crude uniformity check: mean of 100k draws in [0,1) near 1/2.
+	r := NewRand(7)
+	sum := 0.0
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean = %v, want ≈ 0.5", mean)
+	}
+}

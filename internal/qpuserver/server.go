@@ -38,6 +38,15 @@ func NewServer(t anneal.Timings, opts anneal.SamplerOptions) *Server {
 	return &Server{Timings: t, Opts: opts, device: anneal.NewDevice(t, opts)}
 }
 
+// SetReadWorkers bounds the device's concurrent readout workers (<= 1 runs
+// reads serially). Execution results for a given request seed are identical
+// at every worker count; only the server's wall-clock latency changes.
+func (s *Server) SetReadWorkers(n int) {
+	s.mu.Lock()
+	s.device.Workers = n
+	s.mu.Unlock()
+}
+
 // Listen binds addr (e.g. "127.0.0.1:0") and serves until Close. It returns
 // once the listener is bound; serving continues in the background.
 func (s *Server) Listen(addr string) (net.Addr, error) {

@@ -1,0 +1,116 @@
+package qubo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/splitexec/splitexec/internal/graph"
+)
+
+func randomSpins(n int, rng *rand.Rand) []int8 {
+	s := make([]int8, n)
+	for i := range s {
+		s[i] = int8(2*rng.Intn(2) - 1)
+	}
+	return s
+}
+
+func TestCompiledEnergyMatchesIsing(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.GNP(20, 0.4, rng)
+		m := RandomIsing(g, 1, 1, rng)
+		m.Offset = rng.NormFloat64()
+		c := Compile(m)
+		for r := 0; r < 20; r++ {
+			s := randomSpins(20, rng)
+			want := m.Energy(s)
+			if got := c.Energy(s); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: compiled energy %v, reference %v", trial, got, want)
+			}
+			fields := c.LocalFields(s, nil)
+			if got := c.EnergyFromFields(s, fields); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: EnergyFromFields %v, reference %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestCompiledEnergyDeltaMatchesFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.GNP(16, 0.5, rng)
+	m := RandomIsing(g, 1, 1, rng)
+	c := Compile(m)
+	for r := 0; r < 20; r++ {
+		s := randomSpins(16, rng)
+		base := m.Energy(s)
+		for i := 0; i < 16; i++ {
+			s[i] = -s[i]
+			want := m.Energy(s) - base
+			s[i] = -s[i]
+			if got := c.EnergyDelta(s, i); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("spin %d: compiled delta %v, flip difference %v", i, got, want)
+			}
+			if got := m.EnergyDelta(s, i); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("spin %d: reference delta %v, flip difference %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestCompiledLocalFieldAndAdjacency(t *testing.T) {
+	m := NewIsing(5)
+	m.H[0] = 0.5
+	m.SetCoupling(0, 1, -1)
+	m.SetCoupling(1, 2, 2)
+	c := Compile(m)
+	if c.Dim() != 5 {
+		t.Fatalf("Dim = %d", c.Dim())
+	}
+	if c.Degree(1) != 2 || c.Degree(0) != 1 || c.Degree(3) != 0 {
+		t.Fatalf("degrees wrong: %d %d %d", c.Degree(0), c.Degree(1), c.Degree(3))
+	}
+	// Active: 0 (bias+coupling), 1, 2 (couplings); 3, 4 frozen.
+	if len(c.Active) != 3 {
+		t.Fatalf("active = %v", c.Active)
+	}
+	s := []int8{1, -1, 1, 1, 1}
+	// field(1) = J01·s0 + J12·s2 = -1·1 + 2·1 = 1.
+	if f := c.LocalField(s, 1); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("LocalField(1) = %v", f)
+	}
+	// EnergyDelta(1) = -2·s1·field(1) = 2.
+	if d := c.EnergyDelta(s, 1); math.Abs(d-2) > 1e-12 {
+		t.Fatalf("EnergyDelta(1) = %v", d)
+	}
+}
+
+func TestCompileIsImmutableSnapshot(t *testing.T) {
+	m := NewIsing(3)
+	m.SetCoupling(0, 1, -1)
+	c := Compile(m)
+	m.SetCoupling(0, 1, 5) // mutate source after compilation
+	m.H[2] = 9
+	s := []int8{1, 1, 1}
+	if e := c.Energy(s); e != -1 {
+		t.Fatalf("compiled energy changed with source model: %v", e)
+	}
+}
+
+func TestCompileEmptyAndFrozenModels(t *testing.T) {
+	c := Compile(NewIsing(0))
+	if c.Dim() != 0 || len(c.Active) != 0 {
+		t.Fatalf("empty compile: %+v", c)
+	}
+	// All-frozen model: no active spins, energy is the offset plus biases.
+	m := NewIsing(4)
+	m.Offset = 2.5
+	c = Compile(m)
+	if len(c.Active) != 0 {
+		t.Fatalf("frozen model has active spins: %v", c.Active)
+	}
+	if e := c.Energy([]int8{1, 1, 1, 1}); e != 2.5 {
+		t.Fatalf("frozen energy = %v", e)
+	}
+}

@@ -65,6 +65,22 @@ func (is *Ising) Energy(s []int8) float64 {
 	return e
 }
 
+// EnergyDelta returns E(s with spin i flipped) − E(s). This is the reference
+// implementation (it walks the coupling map, O(|J|)); hot paths use the
+// equivalent Compiled.EnergyDelta, which is O(deg(i)) over the CSR form.
+func (is *Ising) EnergyDelta(s []int8, i int) float64 {
+	local := is.H[i]
+	for e, j := range is.J {
+		switch i {
+		case e.U:
+			local += j * float64(s[e.V])
+		case e.V:
+			local += j * float64(s[e.U])
+		}
+	}
+	return -2 * float64(s[i]) * local
+}
+
 // Graph returns the coupling graph of the model (the logical input graph G
 // of the embedding problem).
 func (is *Ising) Graph() *graph.Graph {

@@ -189,6 +189,28 @@ type SamplerOptions = anneal.SamplerOptions
 // SampleSet is a readout ensemble.
 type SampleSet = anneal.SampleSet
 
+// CompiledIsing is the flat CSR compilation of an Ising model the annealing
+// kernels run on (immutable, safe for concurrent readers).
+type CompiledIsing = qubo.Compiled
+
+// CompileIsing flattens an Ising model into its compiled CSR form.
+var CompileIsing = qubo.Compile
+
+// Annealer is any single-shot sampler over an Ising program.
+type Annealer = anneal.Annealer
+
+// AnnealerReaderFactory is satisfied by annealers that can mint independent
+// readers over a shared compiled program for parallel readout.
+type AnnealerReaderFactory = anneal.ReaderFactory
+
+// CollectReads runs repeated anneals of an Annealer into a SampleSet.
+var CollectReads = anneal.Collect
+
+// CollectReadsParallel fans reads across a bounded worker pool with one
+// derived RNG stream per read; results are byte-identical for every worker
+// count.
+var CollectReadsParallel = anneal.CollectParallel
+
 // Timings holds QPU hardware time constants.
 type QPUTimings = anneal.Timings
 
