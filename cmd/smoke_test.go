@@ -1,0 +1,180 @@
+// Package cmd holds end-to-end smoke tests for the repository's binaries:
+// each command is built with the real toolchain and driven through a fast
+// flag configuration, pinning exit status and the shape of its output. The
+// long-running servers (qpud, splitexec serve) are additionally probed over
+// their TCP interfaces before being shut down.
+package cmd
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/qpuserver"
+	"github.com/splitexec/splitexec/internal/qubo"
+	"github.com/splitexec/splitexec/internal/service"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "splitexec-cmd-smoke")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	binDir = dir
+	for _, name := range []string{"splitexec", "figures", "aspeneval", "qpud"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, name), "./"+name)
+		cmd.Dir = "." // the cmd/ directory
+		if out, err := cmd.CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "building %s: %v\n%s", name, err, out)
+			os.RemoveAll(binDir)
+			os.Exit(1)
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(binDir)
+	os.Exit(code)
+}
+
+// run executes a built binary with args, asserting exit 0, and returns its
+// combined output.
+func run(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, name), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", name, strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestSplitexecSmoke(t *testing.T) {
+	out := run(t, "splitexec", "-problem", "maxcut", "-n", "8", "-seed", "1", "-sweeps", "32", "-m", "4", "-ncols", "4")
+	for _, want := range []string{"problem:", "solution:", "time-to-solution breakdown", "stage 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSplitexecPartitionSmoke(t *testing.T) {
+	out := run(t, "splitexec", "-problem", "partition", "-n", "8", "-seed", "2", "-sweeps", "32", "-m", "4", "-ncols", "4")
+	if !strings.Contains(out, "partition residual") {
+		t.Errorf("output missing partition check:\n%s", out)
+	}
+}
+
+func TestFiguresSmoke(t *testing.T) {
+	out := run(t, "figures", "-fig", "9b")
+	if !strings.Contains(out, "Fig 9(b)") || !strings.Contains(out, "accuracy\treads\tmodel_s") {
+		t.Errorf("figures -fig 9b output unexpected:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines < 5 {
+		t.Errorf("figures -fig 9b printed only %d lines", lines)
+	}
+}
+
+func TestAspenevalSmoke(t *testing.T) {
+	out := run(t, "aspeneval", "-stage", "1", "-param", "LPS=30")
+	if !strings.Contains(out, "model Stage1") || !strings.Contains(out, "total predicted runtime") {
+		t.Errorf("aspeneval output unexpected:\n%s", out)
+	}
+}
+
+// startServer launches a binary expected to keep running, waits for its
+// logs to match addrRe, and returns the captured address. The process is
+// killed at test cleanup.
+func startServer(t *testing.T, addrRe *regexp.Regexp, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, name), args...)
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	cmd.Stdout = &lockedWriter{buf: &buf, mu: &mu}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", name, err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		m := addrRe.FindStringSubmatch(buf.String())
+		mu.Unlock()
+		if m != nil {
+			return m[1]
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	t.Fatalf("%s never announced its address; output:\n%s", name, buf.String())
+	return ""
+}
+
+type lockedWriter struct {
+	buf *bytes.Buffer
+	mu  *sync.Mutex
+}
+
+func (w *lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func TestQpudSmoke(t *testing.T) {
+	addr := startServer(t,
+		regexp.MustCompile(`serving simulated QPU on (\S+)`),
+		"qpud", "-addr", "127.0.0.1:0", "-m", "4", "-ncols", "4", "-sweeps", "16")
+	c, err := qpuserver.DialTimeout(addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	defer c.Close()
+	resp, err := c.Status()
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if !resp.OK || resp.Programmed {
+		t.Errorf("fresh qpud status = %+v", resp)
+	}
+}
+
+func TestSplitexecServeSmoke(t *testing.T) {
+	addr := startServer(t,
+		regexp.MustCompile(`serving split-execution solves on (\S+)`),
+		"splitexec", "serve", "-addr", "127.0.0.1:0", "-hosts", "2", "-devices", "1",
+		"-m", "4", "-ncols", "4", "-sweeps", "32")
+	c, err := service.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	defer c.Close()
+	c.SetTimeout(30 * time.Second)
+	q := qubo.NewQUBO(3)
+	q.Set(0, 0, 1)
+	q.Set(0, 1, -2)
+	q.Set(1, 2, -2)
+	resp, err := c.Solve(q)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if !resp.OK || len(resp.Binary) != 3 || resp.Reads < 1 {
+		t.Errorf("solve response = %+v", resp)
+	}
+	if got := q.Energy([]int8{int8(resp.Binary[0]), int8(resp.Binary[1]), int8(resp.Binary[2])}); got != resp.Energy {
+		t.Errorf("reported energy %v != recomputed %v", resp.Energy, got)
+	}
+}

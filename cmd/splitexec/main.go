@@ -7,6 +7,11 @@
 //	splitexec -problem maxcut -n 12 -seed 1
 //	splitexec -problem partition -n 16 -accuracy 0.999
 //	splitexec -problem random -n 10 -density 0.4 -faults 0.02
+//
+// The serve subcommand runs the concurrent multi-QPU dispatch service
+// behind a TCP front-end instead of solving one local problem:
+//
+//	splitexec serve -addr :7464 -hosts 4 -devices 1
 package main
 
 import (
@@ -27,6 +32,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
 	var (
 		problem  = flag.String("problem", "maxcut", "problem type: maxcut, partition, vertexcover, independentset, random")
 		n        = flag.Int("n", 10, "problem size (vertices or values)")

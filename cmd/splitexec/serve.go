@@ -1,0 +1,80 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/anneal"
+	"github.com/splitexec/splitexec/internal/core"
+	"github.com/splitexec/splitexec/internal/embed"
+	"github.com/splitexec/splitexec/internal/graph"
+	"github.com/splitexec/splitexec/internal/machine"
+	"github.com/splitexec/splitexec/internal/service"
+)
+
+// runServe is the `splitexec serve` subcommand: the concurrent solver
+// service behind a TCP front-end. Hosts and devices map onto the paper's
+// Fig. 1 architectures — -hosts H -devices 1 is the shared-resource design,
+// -hosts H -devices H dedicated-per-node.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("splitexec serve", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:7464", "listen address")
+		hosts   = fs.Int("hosts", 4, "host workers (the H of Fig. 1b/c)")
+		devices = fs.Int("devices", 1, "QPU fleet size (1 = shared-resource, hosts = dedicated)")
+		queue   = fs.Int("queue", 0, "job queue depth (0 = 2×hosts); full queues apply backpressure")
+		m       = fs.Int("m", 8, "Chimera rows M")
+		ncols   = fs.Int("ncols", 8, "Chimera columns N")
+		sweeps  = fs.Int("sweeps", 256, "annealer sweeps per read")
+		seed    = fs.Int64("seed", 1, "base seed for the per-job RNG streams")
+		cache   = fs.Bool("cache", true, "share an off-line embedding cache across workers")
+	)
+	fs.Parse(args)
+
+	node := machine.SimpleNode()
+	node.QPU.Topology = graph.Chimera{M: *m, N: *ncols, L: 4}
+	opts := service.Options{
+		Workers:    *hosts,
+		QueueDepth: *queue,
+		Fleet:      *devices,
+		Seed:       *seed,
+		Base: core.Config{
+			Node:    node,
+			Sampler: anneal.SamplerOptions{Sweeps: *sweeps},
+			Embed:   embed.Options{MaxTries: 20},
+		},
+	}
+	if *cache {
+		opts.Cache = core.NewEmbeddingCache()
+	}
+	svc, err := service.New(opts)
+	if err != nil {
+		log.Fatalf("splitexec serve: %v", err)
+	}
+	bound, err := svc.Listen(*addr)
+	if err != nil {
+		log.Fatalf("splitexec serve: %v", err)
+	}
+	log.Printf("splitexec: serving split-execution solves on %s (hosts=%d devices=%d topology=C(%d,%d,4))",
+		bound, svc.Workers(), svc.FleetSize(), *m, *ncols)
+
+	// Serve until interrupted, then drain and report the measured run.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("splitexec: draining")
+	rep := svc.Drain()
+	fmt.Printf("jobs:            %d (%d failed)\n", rep.Jobs, rep.Failed)
+	if rep.Jobs > 0 {
+		fmt.Printf("makespan:        %v\n", rep.Makespan.Round(time.Microsecond))
+		fmt.Printf("throughput:      %.2f jobs/s\n", rep.Throughput)
+		fmt.Printf("queue wait:      mean %v, max %v\n", rep.QueueWaitMean.Round(time.Microsecond), rep.QueueWaitMax.Round(time.Microsecond))
+		fmt.Printf("QPU wait:        mean %v\n", rep.QPUWaitMean.Round(time.Microsecond))
+		fmt.Printf("QPU busy:        %.1f%% of fleet capacity\n", 100*rep.QPUBusyFraction)
+	}
+}

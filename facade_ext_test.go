@@ -261,3 +261,55 @@ func TestFacadeCompiledKernel(t *testing.T) {
 		t.Fatalf("parallel-read solve energy = %v, want -6", sol.Energy)
 	}
 }
+
+// TestFacadeDispatchService exercises the concurrent dispatch-service
+// surface: a shared-resource service run through the facade, a profile
+// batch validated against the exported architecture simulation, and the
+// TCP front-end reached through DialService.
+func TestFacadeDispatchService(t *testing.T) {
+	svc, err := splitexec.NewService(splitexec.ServiceOptions{Workers: 2, Fleet: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := splitexec.JobProfile{
+		PreProcess:  2 * time.Millisecond,
+		QPUService:  time.Millisecond,
+		PostProcess: time.Millisecond,
+	}
+	const jobs = 6
+	for i := 0; i < jobs; i++ {
+		if _, err := svc.SubmitProfile(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client, err := splitexec.DialService(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.SetTimeout(30 * time.Second)
+	resp, err := client.Solve(splitexec.MaxCut(splitexec.Cycle(4), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || len(resp.Binary) != 4 {
+		t.Fatalf("remote solve response: %+v", resp)
+	}
+
+	rep := svc.Drain()
+	if rep.Jobs != jobs+1 || rep.Failed != 0 {
+		t.Fatalf("report %+v, want %d jobs, 0 failed", rep, jobs+1)
+	}
+	predicted, err := splitexec.SimulateArchitecture(
+		splitexec.ArchSystem{Kind: splitexec.SharedResource, Hosts: 2}, p, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan < predicted/2 {
+		t.Fatalf("measured makespan %v implausibly below prediction %v", rep.Makespan, predicted)
+	}
+}

@@ -82,9 +82,7 @@ func CollectParallel(a Annealer, dim, reads, workers int, seed int64) (*SampleSe
 			return nil
 		})
 	}
-	set := NewSampleSetWithCapacity(dim, reads)
-	for i := range samples {
-		set.AddOwned(samples[i].Spins, samples[i].Energy)
-	}
-	return set, nil
+	// The samples slice is exactly the set's backing store; adopt it
+	// rather than re-appending read by read.
+	return &SampleSet{Dim: dim, Samples: samples}, nil
 }

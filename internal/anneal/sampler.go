@@ -232,11 +232,12 @@ func (s *Sampler) Sample(reads int, rng *rand.Rand) *SampleSet {
 // SampleParallel runs reads independent anneals across a bounded worker pool
 // (workers <= 1 runs serially on the calling goroutine). Read r draws from
 // the RNG stream DeriveSeed(seed, r) and lands in slot r, so the result is
-// byte-identical for every worker count.
+// byte-identical for every worker count. It panics on reads < 1 (use
+// CollectParallel to get the error instead).
 func (s *Sampler) SampleParallel(reads, workers int, seed int64) *SampleSet {
 	set, err := CollectParallel(s, s.prog.Dim(), reads, workers, seed)
 	if err != nil {
-		return NewSampleSet(s.prog.Dim())
+		panic(err)
 	}
 	return set
 }

@@ -259,11 +259,12 @@ func (s *SQASampler) Sample(reads int, rng *rand.Rand) *SampleSet {
 }
 
 // SampleParallel runs reads independent SQA anneals across a bounded worker
-// pool; see Sampler.SampleParallel for the determinism scheme.
+// pool; see Sampler.SampleParallel for the determinism scheme. It panics on
+// reads < 1 (use CollectParallel to get the error instead).
 func (s *SQASampler) SampleParallel(reads, workers int, seed int64) *SampleSet {
 	set, err := CollectParallel(s, s.prog.Dim(), reads, workers, seed)
 	if err != nil {
-		return NewSampleSet(s.prog.Dim())
+		panic(err)
 	}
 	return set
 }

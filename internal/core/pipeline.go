@@ -32,6 +32,10 @@ func (l localDevice) Execute(reads int, rng *rand.Rand) (*anneal.SampleSet, erro
 }
 func (l localDevice) QPUTime() (time.Duration, time.Duration) { return l.dev.QPUTime() }
 
+// LocalDevice wraps a simulated annealing device as a QPUDevice, for callers
+// assembling device fleets by hand (see internal/service).
+func LocalDevice(dev *anneal.Device) QPUDevice { return localDevice{dev: dev} }
+
 // Config parameterizes a split-execution solver.
 type Config struct {
 	// Node is the hardware model; the zero value selects

@@ -19,8 +19,9 @@ import (
 //
 // Client is safe for concurrent use; calls serialize on the connection.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration // per-round-trip I/O deadline; 0 = none
 
 	programmed bool
 	dim        int
@@ -31,11 +32,29 @@ type Client struct {
 
 // Dial connects to a QPU server.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, 0)
+}
+
+// DialTimeout connects to a QPU server, bounding the dial and every
+// subsequent round trip by timeout (0 disables both bounds). A hung or
+// partitioned server then surfaces as a deadline error instead of wedging
+// the caller forever — the failure mode a dispatch-service worker cannot
+// afford.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("qpuserver: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn}, nil
+	return &Client{conn: conn, timeout: timeout}, nil
+}
+
+// SetTimeout bounds every subsequent round trip (write + read) by d; 0
+// removes the bound. A timed-out round trip leaves the connection with an
+// unread response in flight, so treat the client as broken after one.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
 }
 
 // Close releases the connection.
@@ -48,6 +67,12 @@ func (c *Client) Close() error {
 // roundTrip sends req and decodes the response, timing the exchange.
 func (c *Client) roundTrip(req Request) (Response, error) {
 	start := time.Now()
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(start.Add(c.timeout)); err != nil {
+			return Response{}, fmt.Errorf("qpuserver: set deadline: %w", err)
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := WriteMessage(c.conn, req); err != nil {
 		return Response{}, err
 	}

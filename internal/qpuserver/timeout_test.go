@@ -1,0 +1,97 @@
+package qpuserver
+
+import (
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/anneal"
+)
+
+// silentListener accepts connections and never replies — the hung-server
+// failure mode the client deadlines exist for.
+func silentListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Hold the connection open, reading nothing, writing nothing.
+			defer conn.Close()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+// TestClientTimeoutOnHungServer: a round trip against a server that accepts
+// and never replies must fail with a deadline error within the configured
+// bound, not hang forever.
+func TestClientTimeoutOnHungServer(t *testing.T) {
+	ln := silentListener(t)
+	c, err := DialTimeout(ln.Addr().String(), 100*time.Millisecond)
+	if err != nil {
+		t.Fatalf("DialTimeout: %v", err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	_, err = c.Status()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Status against a silent server succeeded")
+	}
+	var netErr net.Error
+	if !errors.Is(err, os.ErrDeadlineExceeded) && !(errors.As(err, &netErr) && netErr.Timeout()) {
+		t.Fatalf("err = %v, want a deadline/timeout error", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v, want ~100ms", elapsed)
+	}
+}
+
+// TestClientSetTimeout: the bound can be added after Dial, and a zero bound
+// leaves a fast round trip unimpeded.
+func TestClientSetTimeout(t *testing.T) {
+	ln := silentListener(t)
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	c.SetTimeout(50 * time.Millisecond)
+	if _, err := c.Status(); err == nil {
+		t.Fatal("Status against a silent server succeeded")
+	}
+}
+
+// TestClientTimeoutRealServer: deadlines must not break the healthy path.
+func TestClientTimeoutRealServer(t *testing.T) {
+	srv := NewServer(anneal.DW2Timings(), anneal.SamplerOptions{Sweeps: 16})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("server listen: %v", err)
+	}
+	defer srv.Close()
+
+	c, err := DialTimeout(addr.String(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("DialTimeout: %v", err)
+	}
+	defer c.Close()
+	resp, err := c.Status()
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if !resp.OK {
+		t.Fatalf("status not OK: %+v", resp)
+	}
+}

@@ -1,0 +1,119 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/arch"
+)
+
+// The measured-vs-modeled regression: the dispatch service replays
+// arch.JobProfile phase costs in real time, so its measured makespan must
+// track arch.Simulate's discrete-event prediction for the same system. The
+// tolerance band is generous enough for scheduler jitter but tight enough
+// to catch dispatch bugs — a QPU mutex that fails to serialize undershoots
+// the lower bound, lost host parallelism overshoots the upper.
+const (
+	bandLo = 0.90
+	bandHi = 1.60
+)
+
+// measure runs jobs copies of p through a fresh service and returns the
+// drain report.
+func measure(t *testing.T, workers, fleet, jobs int, p arch.JobProfile) Report {
+	t.Helper()
+	svc, err := New(Options{Workers: workers, Fleet: fleet, QueueDepth: jobs, Base: testBase()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < jobs; i++ {
+		if _, err := svc.SubmitProfile(p); err != nil {
+			t.Fatalf("SubmitProfile: %v", err)
+		}
+	}
+	rep := svc.Drain()
+	if rep.Jobs != jobs || rep.Failed != 0 {
+		t.Fatalf("report: %d jobs, %d failed; want %d, 0", rep.Jobs, rep.Failed, jobs)
+	}
+	return rep
+}
+
+func predict(t *testing.T, sys arch.System, p arch.JobProfile, jobs int) time.Duration {
+	t.Helper()
+	ms, err := arch.Simulate(sys, p, jobs)
+	if err != nil {
+		t.Fatalf("arch.Simulate: %v", err)
+	}
+	return ms
+}
+
+func checkBand(t *testing.T, label string, measured, predicted time.Duration) {
+	t.Helper()
+	ratio := float64(measured) / float64(predicted)
+	t.Logf("%s: measured %v, predicted %v (ratio %.3f)", label, measured, predicted, ratio)
+	if ratio < bandLo || ratio > bandHi {
+		t.Errorf("%s: measured %v outside [%.2f, %.2f]×predicted %v (ratio %.3f)",
+			label, measured, bandLo, bandHi, predicted, ratio)
+	}
+}
+
+// TestMeasuredVsModelShared validates the shared-resource architecture at
+// Hosts ∈ {1, 4} on a pre-processing-dominated profile (the paper's
+// bottleneck regime): host parallelism should deliver near-linear speedup
+// because the contended QPU is mostly idle.
+func TestMeasuredVsModelShared(t *testing.T) {
+	p := arch.JobProfile{
+		PreProcess:  10 * time.Millisecond,
+		Network:     500 * time.Microsecond,
+		QPUService:  3 * time.Millisecond,
+		PostProcess: 2 * time.Millisecond,
+	}
+	const jobs = 12
+	for _, hosts := range []int{1, 4} {
+		sys := arch.System{Kind: arch.SharedResource, Hosts: hosts}
+		rep := measure(t, hosts, 1, jobs, p)
+		checkBand(t, fmt.Sprintf("%v H=%d (CPU-bound)", sys.Kind, sys.Hosts), rep.Makespan, predict(t, sys, p, jobs))
+	}
+}
+
+// TestDedicatedBeatsSharedWhenQPUBound is Fig. 1's comparison for the
+// opposite regime: when QPU service dominates, the single shared device
+// serializes the batch and the dedicated fleet wins — both in the model and
+// in the measured service.
+func TestDedicatedBeatsSharedWhenQPUBound(t *testing.T) {
+	p := arch.JobProfile{
+		PreProcess:  time.Millisecond,
+		Network:     200 * time.Microsecond,
+		QPUService:  8 * time.Millisecond,
+		PostProcess: time.Millisecond,
+	}
+	const (
+		jobs  = 12
+		hosts = 4
+	)
+	shared := measure(t, hosts, 1, jobs, p)
+	dedicated := measure(t, hosts, hosts, jobs, p)
+
+	sharedSys := arch.System{Kind: arch.SharedResource, Hosts: hosts}
+	dedicatedSys := arch.System{Kind: arch.DedicatedPerNode, Hosts: hosts}
+	checkBand(t, fmt.Sprintf("%v (QPU-bound)", sharedSys.Kind), shared.Makespan, predict(t, sharedSys, p, jobs))
+	checkBand(t, fmt.Sprintf("%v (QPU-bound)", dedicatedSys.Kind), dedicated.Makespan, predict(t, dedicatedSys, p, jobs))
+
+	if float64(dedicated.Makespan) > 0.75*float64(shared.Makespan) {
+		t.Errorf("dedicated fleet (%v) did not beat the shared QPU (%v) on a QPU-bound profile",
+			dedicated.Makespan, shared.Makespan)
+	}
+	// The shared device should be near-saturated, and its contention must
+	// show up as device wait.
+	if shared.QPUBusyFraction < 0.6 {
+		t.Errorf("shared QPU busy fraction %.2f, want >= 0.6 on a QPU-bound profile", shared.QPUBusyFraction)
+	}
+	if shared.QPUWaitMean == 0 {
+		t.Errorf("QPU-bound shared run measured no device wait")
+	}
+	// A dedicated fleet has a device per host: no contention.
+	if dedicated.QPUWaitMean > time.Millisecond {
+		t.Errorf("dedicated run measured %v mean device wait, want ~0", dedicated.QPUWaitMean)
+	}
+}

@@ -1,0 +1,550 @@
+// Package service implements a concurrent split-execution solver service:
+// many client jobs multiplexed over a configurable fleet of QPU devices by a
+// pool of host workers. It is the live counterpart of the architecture
+// models in internal/arch — the deployment choices of the paper's Fig. 1 map
+// directly onto its configuration:
+//
+//	Workers=1, Fleet=1   asymmetric multi-processor (Fig. 1a)
+//	Workers=H, Fleet=1   shared-resource: H hosts contend for one QPU (Fig. 1b)
+//	Workers=H, Fleet=H   dedicated QPU per node (Fig. 1c)
+//
+// Jobs flow through a bounded FIFO queue with backpressure (Submit blocks
+// when the queue is full; TrySubmit refuses). Each worker plays the role of
+// one host: it runs the classical stages itself and leases a device from the
+// shared fleet only for the serialized QPU interaction (program + execute),
+// exactly the service-token discipline of arch.Simulate. Per-job RNG streams
+// are derived from the submission index with parallel.DeriveSeed, so results
+// are byte-identical regardless of worker count or interleaving.
+//
+// The service measures what the models predict: per-job queue wait, device
+// wait, device occupancy and stage times, and aggregate makespan, throughput
+// and QPU busy fraction — making the measured-vs-modeled comparison of
+// docs/architectures.md a one-call affair.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/anneal"
+	"github.com/splitexec/splitexec/internal/arch"
+	"github.com/splitexec/splitexec/internal/core"
+	"github.com/splitexec/splitexec/internal/machine"
+	"github.com/splitexec/splitexec/internal/parallel"
+	"github.com/splitexec/splitexec/internal/qubo"
+)
+
+// Errors reported by the submission API.
+var (
+	// ErrClosed is returned by Submit after Drain has begun.
+	ErrClosed = errors.New("service: closed")
+	// ErrQueueFull is returned by TrySubmit when the bounded queue is full.
+	ErrQueueFull = errors.New("service: queue full")
+)
+
+// Options configure a Service.
+type Options struct {
+	// Workers is the number of host workers — the H of Fig. 1(b)/(c).
+	// Each worker owns its solvers outright (core.Solver is documented
+	// single-goroutine), so jobs never share mutable solver state.
+	// Values <= 0 select 1.
+	Workers int
+	// QueueDepth bounds the FIFO job queue; Submit blocks (backpressure)
+	// and TrySubmit fails once the queue holds this many waiting jobs.
+	// Values <= 0 select 2×Workers.
+	QueueDepth int
+	// Fleet is the number of simulated QPU devices to build from Base:
+	// 1 is the paper's shared-resource architecture, Workers is
+	// dedicated-per-node. Ignored when Devices is non-empty. Values <= 0
+	// select 1.
+	Fleet int
+	// Devices, when non-empty, is the explicit device fleet. Devices are
+	// leased exclusively per QPU interaction, so they need not be safe
+	// for concurrent use (qpuserver.Client handles to remote QPUs work
+	// too).
+	Devices []core.QPUDevice
+	// Base is the solver configuration template for solve jobs. Its
+	// Device, Seed and Cache fields are managed by the service: Device is
+	// replaced with a fleet lease, Seed with a per-job derived stream,
+	// and Cache with Options.Cache.
+	Base core.Config
+	// Seed derives the per-job RNG streams (parallel.DeriveSeed(Seed,
+	// submission index)); the zero seed is valid and deterministic.
+	Seed int64
+	// MaxConns bounds the concurrent connections the TCP front-end
+	// accepts; connections beyond it are closed immediately. Values <= 0
+	// select 32. Together with MaxWireDim this caps the decode memory a
+	// client population can demand.
+	MaxConns int
+	// Cache, when non-nil, is shared by all workers for off-line
+	// embedding lookup. core.EmbeddingCache is safe for concurrent use.
+	// Note that with isomorphic problems in flight concurrently, which
+	// job populates the cache first is scheduling-dependent, so embedding
+	// choices (not solution validity) may vary between runs; submit
+	// distinct problems or pre-warm the cache when byte-identical replays
+	// matter.
+	Cache *core.EmbeddingCache
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 2 * o.Workers
+	}
+	if o.Fleet <= 0 {
+		o.Fleet = 1
+	}
+	if o.Base.Node.Name == "" {
+		o.Base.Node = machine.SimpleNode()
+	}
+	if o.MaxConns <= 0 {
+		o.MaxConns = 32
+	}
+	return o
+}
+
+// JobMetrics is the per-job measurement record.
+type JobMetrics struct {
+	// Index is the FIFO submission index (also the seed-derivation index).
+	Index int
+	// QueueWait is the time from Submit to a worker picking the job up.
+	QueueWait time.Duration
+	// QPUWait is the time the job spent blocked waiting for a fleet
+	// device — the contention cost of the shared-resource architecture.
+	QPUWait time.Duration
+	// QPUHeld is the wall-clock time the job occupied its device
+	// (program + execute).
+	QPUHeld time.Duration
+	// Stage1, Stage2, Stage3 are the pipeline stage times: for solve
+	// jobs the solver's Timing entries (QPU phases in virtual hardware
+	// time), for profile jobs the synthetic phase durations.
+	Stage1, Stage2, Stage3 time.Duration
+	// Total is the end-to-end latency from Submit to completion.
+	Total time.Duration
+}
+
+// Ticket is the handle to one submitted job.
+type Ticket struct {
+	index    int
+	enqueued time.Time
+	run      func(s *Service, t *Ticket)
+	done     chan struct{}
+
+	sol     *core.Solution
+	err     error
+	metrics JobMetrics
+}
+
+// Wait blocks until the job completes and returns its solution (nil for
+// synthetic profile jobs) and error.
+func (t *Ticket) Wait() (*core.Solution, error) {
+	<-t.done
+	return t.sol, t.err
+}
+
+// Metrics returns the job's measurement record; valid after Wait.
+func (t *Ticket) Metrics() JobMetrics {
+	<-t.done
+	return t.metrics
+}
+
+// fleetDevice is one QPU service token plus its occupancy ledger.
+type fleetDevice struct {
+	id  int
+	dev core.QPUDevice
+
+	mu   sync.Mutex
+	busy time.Duration
+}
+
+func (f *fleetDevice) addBusy(d time.Duration) {
+	f.mu.Lock()
+	f.busy += d
+	f.mu.Unlock()
+}
+
+func (f *fleetDevice) busyTime() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.busy
+}
+
+// Service dispatches jobs over the host workers and the device fleet.
+type Service struct {
+	opts  Options
+	queue chan *Ticket
+	idle  chan *fleetDevice // free-device pool; len(fleet) tokens
+	fleet []*fleetDevice
+	wg    sync.WaitGroup
+
+	// closeMu serializes Submit against Drain: Submit holds it shared
+	// while enqueueing (including while blocked on a full queue), Drain
+	// takes it exclusively to close intake.
+	closeMu sync.RWMutex
+	closed  bool
+
+	// TCP front-end state (wire.go); ln and conns are guarded by mu.
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	connWG sync.WaitGroup
+
+	mu          sync.Mutex
+	next        int // next submission index
+	firstSubmit time.Time
+	lastDone    time.Time
+	completed   []JobMetrics
+	failed      int
+}
+
+// New builds the fleet, starts the workers and returns a running service.
+func New(opts Options) (*Service, error) {
+	o := opts.withDefaults()
+	s := &Service{
+		opts:  o,
+		queue: make(chan *Ticket, o.QueueDepth),
+	}
+	devs := o.Devices
+	if len(devs) == 0 {
+		timings := o.Base.Node.QPU.Timings
+		if o.Base.Schedule != nil {
+			// Mirror core.NewSolver: a programmed waveform sets the
+			// per-read anneal cost.
+			timings.AnnealTime = o.Base.Schedule.Duration()
+		}
+		for i := 0; i < o.Fleet; i++ {
+			dev := anneal.NewDevice(timings, o.Base.Sampler)
+			dev.SQA = o.Base.SQA
+			dev.Workers = o.Base.ReadWorkers
+			devs = append(devs, core.LocalDevice(dev))
+		}
+	}
+	s.idle = make(chan *fleetDevice, len(devs))
+	for i, d := range devs {
+		fd := &fleetDevice{id: i, dev: d}
+		s.fleet = append(s.fleet, fd)
+		s.idle <- fd
+	}
+	for w := 0; w < o.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Workers returns the host worker count.
+func (s *Service) Workers() int { return s.opts.Workers }
+
+// FleetSize returns the number of QPU devices in the fleet.
+func (s *Service) FleetSize() int { return len(s.fleet) }
+
+// worker is one host: it drains the FIFO queue, timing each job.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		t.metrics.QueueWait = time.Since(t.enqueued)
+		t.run(s, t)
+		t.metrics.Total = time.Since(t.enqueued)
+		s.mu.Lock()
+		now := time.Now()
+		if now.After(s.lastDone) {
+			s.lastDone = now
+		}
+		s.completed = append(s.completed, t.metrics)
+		if t.err != nil {
+			s.failed++
+		}
+		s.mu.Unlock()
+		close(t.done)
+	}
+}
+
+// submit enqueues a ticket, blocking for queue space when block is set.
+// Submission indices are the determinism anchor (per-job seeds derive from
+// them), so an index is consumed only when a ticket actually enqueues — a
+// refused TrySubmit must not shift the seed streams of later jobs.
+func (s *Service) submit(run func(*Service, *Ticket), block bool) (*Ticket, error) {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if block {
+		s.mu.Lock()
+		t := s.newTicketLocked(run)
+		s.mu.Unlock()
+		t.enqueued = time.Now()
+		s.queue <- t
+		return t, nil
+	}
+	// Non-blocking: the reservation and the enqueue attempt happen under
+	// one lock, so a full queue leaves the index counter untouched.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := &Ticket{index: s.next, run: run, done: make(chan struct{})}
+	t.metrics.Index = t.index
+	t.enqueued = time.Now()
+	select {
+	case s.queue <- t:
+		s.next++
+		if s.firstSubmit.IsZero() {
+			s.firstSubmit = t.enqueued
+		}
+		return t, nil
+	default:
+		return nil, ErrQueueFull
+	}
+}
+
+// newTicketLocked allocates the next submission index; callers hold s.mu.
+func (s *Service) newTicketLocked(run func(*Service, *Ticket)) *Ticket {
+	t := &Ticket{index: s.next, run: run, done: make(chan struct{})}
+	t.metrics.Index = t.index
+	s.next++
+	if s.firstSubmit.IsZero() {
+		s.firstSubmit = time.Now()
+	}
+	return t
+}
+
+// SubmitQUBO enqueues a QUBO solve, blocking while the queue is full.
+func (s *Service) SubmitQUBO(q *qubo.QUBO) (*Ticket, error) {
+	if q == nil {
+		return nil, errors.New("service: nil QUBO")
+	}
+	return s.submit(solveRun(q, nil), true)
+}
+
+// TrySubmitQUBO is SubmitQUBO without backpressure blocking: it returns
+// ErrQueueFull when the bounded queue cannot take the job now.
+func (s *Service) TrySubmitQUBO(q *qubo.QUBO) (*Ticket, error) {
+	if q == nil {
+		return nil, errors.New("service: nil QUBO")
+	}
+	return s.submit(solveRun(q, nil), false)
+}
+
+// SubmitIsing enqueues a logical-Ising solve, blocking while the queue is
+// full.
+func (s *Service) SubmitIsing(m *qubo.Ising) (*Ticket, error) {
+	if m == nil {
+		return nil, errors.New("service: nil Ising")
+	}
+	return s.submit(solveRun(nil, m), true)
+}
+
+// SubmitProfile enqueues a synthetic job that exercises the dispatch
+// machinery with the exact phase costs of an arch.JobProfile: the worker
+// sleeps through the classical phases and holds a fleet device for
+// QPUService, so the measured makespan of a profile batch is directly
+// comparable to arch.Simulate's prediction.
+func (s *Service) SubmitProfile(p arch.JobProfile) (*Ticket, error) {
+	if p.PreProcess < 0 || p.Network < 0 || p.QPUService < 0 || p.PostProcess < 0 {
+		return nil, fmt.Errorf("service: negative phase time in %+v", p)
+	}
+	return s.submit(profileRun(p), true)
+}
+
+// solveRun builds the runner for a solve job: a fresh per-job solver
+// (seeded from the submission index) over a leased fleet device.
+func solveRun(q *qubo.QUBO, m *qubo.Ising) func(*Service, *Ticket) {
+	return func(s *Service, t *Ticket) {
+		cfg := s.opts.Base
+		cfg.Seed = parallel.DeriveSeed(s.opts.Seed, t.index)
+		cfg.Cache = s.opts.Cache
+		lease := &leasedDevice{svc: s, t: t}
+		cfg.Device = lease
+		defer lease.release()
+		solver := core.NewSolver(cfg)
+		if q != nil {
+			t.sol, t.err = solver.SolveQUBO(q)
+		} else {
+			t.sol, t.err = solver.SolveIsing(m)
+		}
+		if t.sol != nil {
+			t.metrics.Stage1 = t.sol.Timing.Stage1()
+			t.metrics.Stage2 = t.sol.Timing.Stage2()
+			t.metrics.Stage3 = t.sol.Timing.Stage3()
+		}
+	}
+}
+
+// profileRun builds the runner for a synthetic profile job, replaying
+// arch.Simulate's per-job discipline in real time: pre-process on the host,
+// request network, queue for a device, serialized service, response network,
+// post-process.
+func profileRun(p arch.JobProfile) func(*Service, *Ticket) {
+	return func(s *Service, t *Ticket) {
+		sleep(p.PreProcess)
+		sleep(p.Network)
+		waitStart := time.Now()
+		fd := <-s.idle
+		t.metrics.QPUWait = time.Since(waitStart)
+		held := time.Now()
+		sleep(p.QPUService)
+		occupancy := time.Since(held)
+		fd.addBusy(occupancy)
+		t.metrics.QPUHeld = occupancy
+		s.idle <- fd
+		sleep(p.Network)
+		sleep(p.PostProcess)
+		t.metrics.Stage1 = p.PreProcess
+		t.metrics.Stage2 = p.QPUService
+		t.metrics.Stage3 = p.PostProcess
+	}
+}
+
+func sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// leasedDevice adapts the fleet to core.QPUDevice: Program acquires a
+// device and holds it through Execute, so one job's program can never be
+// clobbered by another's between the two calls — the atomic "QPU service"
+// unit of the architecture models. QPUTime reports only this lease's
+// virtual-time deltas, keeping per-job Timing correct on a shared device.
+type leasedDevice struct {
+	svc *Service
+	t   *Ticket
+
+	fd       *fleetDevice
+	acquired time.Time
+
+	prog, exec time.Duration
+}
+
+// Program leases a fleet device and uploads the model.
+func (l *leasedDevice) Program(m *qubo.Ising) error {
+	if l.fd == nil {
+		waitStart := time.Now()
+		l.fd = <-l.svc.idle
+		l.t.metrics.QPUWait += time.Since(waitStart)
+		l.acquired = time.Now()
+	}
+	p0, _ := l.fd.dev.QPUTime()
+	err := l.fd.dev.Program(m)
+	p1, _ := l.fd.dev.QPUTime()
+	l.prog += p1 - p0
+	if err != nil {
+		l.release()
+	}
+	return err
+}
+
+// Execute runs the reads on the leased device and releases it.
+func (l *leasedDevice) Execute(reads int, rng *rand.Rand) (*anneal.SampleSet, error) {
+	if l.fd == nil {
+		return nil, errors.New("service: Execute before Program")
+	}
+	_, e0 := l.fd.dev.QPUTime()
+	set, err := l.fd.dev.Execute(reads, rng)
+	_, e1 := l.fd.dev.QPUTime()
+	l.exec += e1 - e0
+	l.release()
+	return set, err
+}
+
+// QPUTime reports the lease's own virtual-time ledger.
+func (l *leasedDevice) QPUTime() (programming, execution time.Duration) {
+	return l.prog, l.exec
+}
+
+// release returns the device to the pool; it is idempotent.
+func (l *leasedDevice) release() {
+	if l.fd == nil {
+		return
+	}
+	occupancy := time.Since(l.acquired)
+	l.fd.addBusy(occupancy)
+	l.t.metrics.QPUHeld += occupancy
+	l.svc.idle <- l.fd
+	l.fd = nil
+}
+
+// Report is the aggregate measurement of a service run.
+type Report struct {
+	Jobs   int // completed jobs
+	Failed int // jobs that returned an error
+
+	// Makespan is first-Submit to last-completion wall time; Throughput
+	// is Jobs over Makespan in jobs/second.
+	Makespan   time.Duration
+	Throughput float64
+
+	// Queue and device contention.
+	QueueWaitMean time.Duration
+	QueueWaitMax  time.Duration
+	QPUWaitMean   time.Duration
+
+	// DeviceBusy is the cumulative wall-clock occupancy per fleet device;
+	// QPUBusyFraction is total occupancy over fleet capacity × makespan —
+	// the utilization the paper's bottleneck analysis predicts stays low
+	// when classical pre-processing dominates.
+	DeviceBusy      []time.Duration
+	QPUBusyFraction float64
+
+	// Stage means across completed jobs.
+	Stage1Mean, Stage2Mean, Stage3Mean time.Duration
+}
+
+// Drain closes intake, waits for every queued job to finish and returns the
+// aggregate report. Submit calls racing Drain either enqueue before intake
+// closes or fail with ErrClosed; enqueued jobs are always completed.
+func (s *Service) Drain() Report {
+	s.CloseListener() // stop the TCP front-end first, if one is running
+	s.closeMu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.closeMu.Unlock()
+	s.wg.Wait()
+	return s.report()
+}
+
+func (s *Service) report() Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := Report{Jobs: len(s.completed), Failed: s.failed}
+	if r.Jobs == 0 {
+		return r
+	}
+	r.Makespan = s.lastDone.Sub(s.firstSubmit)
+	if r.Makespan > 0 {
+		r.Throughput = float64(r.Jobs) / r.Makespan.Seconds()
+	}
+	var queue, qpu, s1, s2, s3 time.Duration
+	for _, m := range s.completed {
+		queue += m.QueueWait
+		qpu += m.QPUWait
+		s1 += m.Stage1
+		s2 += m.Stage2
+		s3 += m.Stage3
+		if m.QueueWait > r.QueueWaitMax {
+			r.QueueWaitMax = m.QueueWait
+		}
+	}
+	n := time.Duration(r.Jobs)
+	r.QueueWaitMean = queue / n
+	r.QPUWaitMean = qpu / n
+	r.Stage1Mean = s1 / n
+	r.Stage2Mean = s2 / n
+	r.Stage3Mean = s3 / n
+	var busy time.Duration
+	for _, fd := range s.fleet {
+		b := fd.busyTime()
+		r.DeviceBusy = append(r.DeviceBusy, b)
+		busy += b
+	}
+	if r.Makespan > 0 && len(s.fleet) > 0 {
+		r.QPUBusyFraction = float64(busy) / (float64(r.Makespan) * float64(len(s.fleet)))
+	}
+	return r
+}

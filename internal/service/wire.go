@@ -1,0 +1,287 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/qpuserver"
+	"github.com/splitexec/splitexec/internal/qubo"
+)
+
+// The solver service speaks the same length-prefixed JSON framing as the
+// QPU server (qpuserver.WriteMessage/ReadMessage), one level up the stack:
+// where qpud serves annealing reads over a hardware Ising program, this
+// front-end serves complete split-execution solves over a QUBO. A
+// connection carries any number of request/response pairs; requests from
+// concurrent connections interleave through the service's FIFO queue, and
+// queue backpressure propagates to the submitting connection.
+
+// MaxWireDim bounds the problem dimension a serve front-end accepts. A
+// decoded QUBO allocates O(dim²) coefficients from an O(1)-byte request, so
+// this cap — together with the connection cap (Options.MaxConns) — bounds
+// the memory a hostile client population can commit. 1024 logical
+// variables is already far beyond what any modeled QPU topology embeds.
+const MaxWireDim = 1024
+
+// WireTerm is one QUBO coefficient on the wire (I <= J; I == J is a linear
+// term).
+type WireTerm struct {
+	I, J int
+	Val  float64
+}
+
+// SolveRequest is the client→service message: a QUBO instance.
+type SolveRequest struct {
+	Dim   int        `json:"dim"`
+	Terms []WireTerm `json:"terms,omitempty"`
+}
+
+// SolveResponse is the service→client message.
+type SolveResponse struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	Index        int     `json:"index,omitempty"`
+	Energy       float64 `json:"energy,omitempty"`
+	Binary       []byte  `json:"binary,omitempty"` // 0/1 assignment
+	Reads        int     `json:"reads,omitempty"`
+	BrokenChains int     `json:"brokenChains,omitempty"`
+
+	// Measured per-job service metrics, microseconds.
+	QueueWaitUS int64 `json:"queueWaitUs,omitempty"`
+	QPUWaitUS   int64 `json:"qpuWaitUs,omitempty"`
+	Stage1US    int64 `json:"stage1Us,omitempty"`
+	Stage2US    int64 `json:"stage2Us,omitempty"`
+	Stage3US    int64 `json:"stage3Us,omitempty"`
+}
+
+// EncodeQUBO builds the wire form of a QUBO.
+func EncodeQUBO(q *qubo.QUBO) SolveRequest {
+	req := SolveRequest{Dim: q.Dim()}
+	for i := 0; i < q.Dim(); i++ {
+		for j := i; j < q.Dim(); j++ {
+			if c := q.Get(i, j); c != 0 {
+				req.Terms = append(req.Terms, WireTerm{I: i, J: j, Val: c})
+			}
+		}
+	}
+	return req
+}
+
+// DecodeQUBO validates and reconstructs a wire-form QUBO.
+func DecodeQUBO(req SolveRequest) (*qubo.QUBO, error) {
+	if req.Dim < 1 {
+		return nil, fmt.Errorf("service: dim %d < 1", req.Dim)
+	}
+	if req.Dim > MaxWireDim {
+		return nil, fmt.Errorf("service: dim %d exceeds limit %d", req.Dim, MaxWireDim)
+	}
+	q := qubo.NewQUBO(req.Dim)
+	for _, t := range req.Terms {
+		if t.I < 0 || t.I >= req.Dim || t.J < 0 || t.J >= req.Dim {
+			return nil, fmt.Errorf("service: term (%d,%d) out of range for dim %d", t.I, t.J, req.Dim)
+		}
+		q.Add(t.I, t.J, t.Val)
+	}
+	return q, nil
+}
+
+// Listen binds addr and serves solve requests until CloseListener (or
+// Drain). It returns once the listener is bound; serving continues in the
+// background.
+func (s *Service) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.ln != nil {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("service: already listening")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.connWG.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+// CloseListener stops the TCP front-end: it closes the listener and every
+// accepted connection (clients see EOF; a response in flight completes or
+// fails with a write error), then waits for the connection handlers to
+// finish. Jobs already queued keep running — call Drain to finish them.
+func (s *Service) CloseListener() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.ln = nil
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.connWG.Wait()
+	return err
+}
+
+func (s *Service) acceptLoop(ln net.Listener) {
+	defer s.connWG.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.ln != ln {
+			// CloseListener won the race after Accept returned: its
+			// connection snapshot cannot contain this one, so close it
+			// here or connWG.Wait would hang on its handler.
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		if len(s.conns) >= s.opts.MaxConns {
+			s.mu.Unlock()
+			conn.Close() // over the connection cap: shed load
+			continue
+		}
+		if s.conns == nil {
+			s.conns = make(map[net.Conn]struct{})
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn answers one connection's requests in order. Submit blocks under
+// backpressure, so a saturated service slows its clients instead of
+// buffering unboundedly.
+func (s *Service) serveConn(conn net.Conn) {
+	for {
+		var req SolveRequest
+		if err := qpuserver.ReadMessage(conn, &req); err != nil {
+			return // EOF or framing error: drop the connection
+		}
+		resp := s.handleSolve(req)
+		if err := qpuserver.WriteMessage(conn, &resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Service) handleSolve(req SolveRequest) SolveResponse {
+	q, err := DecodeQUBO(req)
+	if err != nil {
+		return SolveResponse{Error: err.Error()}
+	}
+	t, err := s.SubmitQUBO(q)
+	if err != nil {
+		return SolveResponse{Error: err.Error()}
+	}
+	sol, err := t.Wait()
+	if err != nil {
+		return SolveResponse{Error: err.Error()}
+	}
+	m := t.Metrics()
+	resp := SolveResponse{
+		OK:           true,
+		Index:        m.Index,
+		Energy:       sol.Energy,
+		Binary:       make([]byte, len(sol.Binary)),
+		Reads:        sol.Reads,
+		BrokenChains: sol.BrokenChains,
+		QueueWaitUS:  m.QueueWait.Microseconds(),
+		QPUWaitUS:    m.QPUWait.Microseconds(),
+		Stage1US:     m.Stage1.Microseconds(),
+		Stage2US:     m.Stage2.Microseconds(),
+		Stage3US:     m.Stage3.Microseconds(),
+	}
+	for i, b := range sol.Binary {
+		resp.Binary[i] = byte(b)
+	}
+	return resp
+}
+
+// Client is the remote handle to a serving solver service.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
+}
+
+// Dial connects to a solver service front-end.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 0)
+}
+
+// DialTimeout connects to a solver service front-end, bounding the dial and
+// every subsequent Solve round trip by timeout (0 disables both bounds) —
+// an unreachable or partitioned service then errors instead of blocking for
+// the OS connect timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("service: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, timeout: timeout}, nil
+}
+
+// SetTimeout bounds each Solve round trip (0 disables). Solves queue behind
+// other clients' jobs on a saturated service, so the bound should cover the
+// expected queue wait, not just the solve.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
+}
+
+// Solve submits a QUBO and blocks until the service returns the solution.
+func (c *Client) Solve(q *qubo.QUBO) (SolveResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return SolveResponse{}, err
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if err := qpuserver.WriteMessage(c.conn, EncodeQUBO(q)); err != nil {
+		return SolveResponse{}, err
+	}
+	var resp SolveResponse
+	if err := qpuserver.ReadMessage(c.conn, &resp); err != nil {
+		return SolveResponse{}, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("service: server error: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}

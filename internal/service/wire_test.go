@@ -1,0 +1,169 @@
+package service
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/graph"
+	"github.com/splitexec/splitexec/internal/qubo"
+)
+
+// TestQUBOWireRoundTrip: Encode→Decode is the identity on coefficients.
+func TestQUBOWireRoundTrip(t *testing.T) {
+	q := qubo.NewQUBO(5)
+	q.Set(0, 0, -1.5)
+	q.Set(0, 3, 2)
+	q.Set(2, 4, -0.25)
+	q.Set(4, 4, 7)
+	got, err := DecodeQUBO(EncodeQUBO(q))
+	if err != nil {
+		t.Fatalf("DecodeQUBO: %v", err)
+	}
+	if got.Dim() != q.Dim() {
+		t.Fatalf("dim %d != %d", got.Dim(), q.Dim())
+	}
+	for i := 0; i < q.Dim(); i++ {
+		for j := i; j < q.Dim(); j++ {
+			if got.Get(i, j) != q.Get(i, j) {
+				t.Errorf("coefficient (%d,%d): %v != %v", i, j, got.Get(i, j), q.Get(i, j))
+			}
+		}
+	}
+}
+
+// TestDecodeQUBORejects: malformed wire requests must error.
+func TestDecodeQUBORejects(t *testing.T) {
+	cases := []SolveRequest{
+		{Dim: 0},
+		{Dim: -3},
+		{Dim: MaxWireDim + 1},
+		{Dim: 4, Terms: []WireTerm{{I: 0, J: 4, Val: 1}}},
+		{Dim: 4, Terms: []WireTerm{{I: -1, J: 2, Val: 1}}},
+	}
+	for i, req := range cases {
+		if _, err := DecodeQUBO(req); err == nil {
+			t.Errorf("case %d: DecodeQUBO accepted %+v", i, req)
+		}
+	}
+}
+
+// TestServeSolve runs the full TCP path: concurrent clients solving over
+// one service, including a malformed request that must not kill the
+// connection's peer service.
+func TestServeSolve(t *testing.T) {
+	svc, err := New(Options{Workers: 2, Fleet: 1, Base: testBase(), Seed: 7})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer svc.Drain()
+
+	g := graph.Cycle(6)
+	q := qubo.MaxCut(g, nil)
+
+	var wg sync.WaitGroup
+	responses := make([]SolveResponse, 3)
+	errs := make([]error, 3)
+	for i := range responses {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr.String())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			c.SetTimeout(30 * time.Second)
+			responses[i], errs[i] = c.Solve(q)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		r := responses[i]
+		if !r.OK || len(r.Binary) != 6 || r.Reads < 1 {
+			t.Fatalf("client %d: bad response %+v", i, r)
+		}
+		// A 6-cycle is bipartite: the optimum cuts all 6 edges, and the
+		// annealer should find it on this tiny instance.
+		bin := make([]int8, len(r.Binary))
+		for j, b := range r.Binary {
+			bin[j] = int8(b)
+		}
+		if cut := qubo.CutValue(g, nil, bin); cut < 4 {
+			t.Errorf("client %d: cut value %v, want >= 4", i, cut)
+		}
+	}
+	// Identical problems over the same service: responses must agree on
+	// energy (the jobs differ only in their seed streams' samples, but
+	// this instance's optimum is always found).
+	if responses[0].Energy != responses[1].Energy || responses[1].Energy != responses[2].Energy {
+		t.Errorf("energies diverged: %v %v %v", responses[0].Energy, responses[1].Energy, responses[2].Energy)
+	}
+
+	// An invalid request gets an error response, not a dropped connection.
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Solve(qubo.NewQUBO(0)); err == nil || !strings.Contains(err.Error(), "dim") {
+		t.Errorf("zero-dim solve: err = %v, want dim validation error", err)
+	}
+	// The same connection still serves valid requests afterwards.
+	r, err := c.Solve(q)
+	if err != nil {
+		t.Fatalf("solve after error: %v", err)
+	}
+	if !reflect.DeepEqual(r.Binary, responses[0].Binary) && r.Energy != responses[0].Energy {
+		t.Errorf("post-error solve diverged: %+v", r)
+	}
+}
+
+// TestServeConnectionCap: connections beyond MaxConns are shed immediately
+// instead of committing decode memory and a handler goroutine.
+func TestServeConnectionCap(t *testing.T) {
+	svc, err := New(Options{Workers: 1, Fleet: 1, Base: testBase(), MaxConns: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer svc.Drain()
+
+	first, err := DialTimeout(addr.String(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer first.Close()
+	q := qubo.MaxCut(graph.Cycle(4), nil)
+	if _, err := first.Solve(q); err != nil {
+		t.Fatalf("first connection solve: %v", err) // also forces registration
+	}
+
+	second, err := DialTimeout(addr.String(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err) // TCP accept succeeds; the server sheds after
+	}
+	defer second.Close()
+	second.SetTimeout(5 * time.Second)
+	if _, err := second.Solve(q); err == nil {
+		t.Error("over-cap connection was served")
+	}
+
+	// The in-cap connection keeps working.
+	if _, err := first.Solve(q); err != nil {
+		t.Errorf("in-cap connection broken after shed: %v", err)
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"github.com/splitexec/splitexec/internal/qpuserver"
 	"github.com/splitexec/splitexec/internal/qubo"
 	"github.com/splitexec/splitexec/internal/schedule"
+	"github.com/splitexec/splitexec/internal/service"
 )
 
 // --- core pipeline ----------------------------------------------------------
@@ -296,6 +297,51 @@ func NewQPUServer(t QPUTimings, opts SamplerOptions) *QPUServer {
 // DialQPU connects to a QPU server.
 func DialQPU(addr string) (*QPUClient, error) { return qpuserver.Dial(addr) }
 
+// --- concurrent dispatch service (Fig. 1 deployments, live) ------------------
+
+// ServiceOptions configure the concurrent multi-QPU dispatch service:
+// Workers hosts multiplex jobs over a Fleet of QPU devices through a
+// bounded FIFO queue (Workers=H, Fleet=1 is the shared-resource
+// architecture; Fleet=H dedicated-per-node).
+type ServiceOptions = service.Options
+
+// SolverService dispatches solve jobs over host workers and a QPU fleet.
+type SolverService = service.Service
+
+// ServiceTicket is the handle to one submitted service job.
+type ServiceTicket = service.Ticket
+
+// ServiceJobMetrics is the per-job measurement record (queue wait, device
+// wait, device occupancy, stage times).
+type ServiceJobMetrics = service.JobMetrics
+
+// ServiceReport is the aggregate measurement of a service run (makespan,
+// throughput, contention, QPU busy fraction).
+type ServiceReport = service.Report
+
+// ServiceClient is the remote handle to a serving solver service.
+type ServiceClient = service.Client
+
+// ServiceSolveResponse is one remote solve result with its measured
+// per-job service metrics.
+type ServiceSolveResponse = service.SolveResponse
+
+// NewService starts a concurrent dispatch service.
+func NewService(opts ServiceOptions) (*SolverService, error) { return service.New(opts) }
+
+// DialService connects to a solver service's TCP front-end.
+func DialService(addr string) (*ServiceClient, error) { return service.Dial(addr) }
+
+// DialServiceTimeout is DialService with a bound on the dial and every
+// subsequent round trip.
+func DialServiceTimeout(addr string, timeout time.Duration) (*ServiceClient, error) {
+	return service.DialTimeout(addr, timeout)
+}
+
+// WrapQPUDevice adapts a simulated annealing device for use in an explicit
+// ServiceOptions.Devices fleet or as a Config.Device.
+func WrapQPUDevice(dev *anneal.Device) core.QPUDevice { return core.LocalDevice(dev) }
+
 // --- architecture comparison (Fig. 1 a/b/c) ----------------------------------
 
 // Architecture identifies one of the paper's Fig. 1 deployments.
@@ -319,6 +365,11 @@ type ArchComparison = arch.Comparison
 
 // Makespan returns the batch completion time under an architecture.
 var Makespan = arch.Makespan
+
+// SimulateArchitecture runs the discrete-event simulation of a batch
+// flowing through a deployment (the prediction the live dispatch service
+// is validated against).
+var SimulateArchitecture = arch.Simulate
 
 // CompareArchitectures evaluates all three Fig. 1 architectures.
 var CompareArchitectures = arch.Compare
