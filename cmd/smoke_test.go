@@ -7,6 +7,7 @@ package cmd
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -14,6 +15,7 @@ import (
 	"regexp"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -176,5 +178,130 @@ func TestSplitexecServeSmoke(t *testing.T) {
 	}
 	if got := q.Energy([]int8{int8(resp.Binary[0]), int8(resp.Binary[1]), int8(resp.Binary[2])}); got != resp.Energy {
 		t.Errorf("reported energy %v != recomputed %v", resp.Energy, got)
+	}
+}
+
+// writeScenario drops a small scenario file for the workload subcommands.
+func writeScenario(t *testing.T, jobs int, rate float64, hosts int) string {
+	t.Helper()
+	sc := fmt.Sprintf(`{
+  "name": "smoke",
+  "seed": 7,
+  "arrival": {"kind": "poisson", "rate": %g},
+  "mix": [
+    {"name": "small", "weight": 3, "profile": {"preProcess": "1ms", "qpuService": "400µs", "postProcess": "200µs"}},
+    {"name": "large", "weight": 1, "dist": "exp", "profile": {"preProcess": "2ms", "qpuService": "800µs"}}
+  ],
+  "system": {"kind": "shared", "hosts": %d},
+  "horizon": {"jobs": %d}
+}`, rate, hosts, jobs)
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(sc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSplitexecSimulateSmoke(t *testing.T) {
+	path := writeScenario(t, 5000, 800, 4)
+	events := filepath.Join(t.TempDir(), "events.log")
+	out := run(t, "splitexec", "simulate", "-scenario", path, "-events", events)
+	for _, want := range []string{"scenario: smoke", "simulated 5000 jobs", "sojourn", "throughput", "utilization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	log, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatalf("event log: %v", err)
+	}
+	// 5 events per job: arrive, start, qpu+, qpu-, done.
+	if lines := bytes.Count(log, []byte("\n")); lines != 5*5000 {
+		t.Errorf("event log holds %d lines, want %d", lines, 5*5000)
+	}
+	// JSON mode must emit a decodable result.
+	var r struct {
+		Jobs int `json:"jobs"`
+	}
+	if err := json.Unmarshal([]byte(run(t, "splitexec", "simulate", "-scenario", path, "-json")), &r); err != nil {
+		t.Fatalf("simulate -json output not JSON: %v", err)
+	}
+	if r.Jobs != 5000 {
+		t.Errorf("simulate -json jobs = %d", r.Jobs)
+	}
+}
+
+// TestSplitexecLoadgenSmoke drives the full open-system loop over TCP: a
+// live `splitexec serve`, the loadgen subcommand replaying a scenario
+// against it, and the serve process's JSON drain report on SIGTERM.
+func TestSplitexecLoadgenSmoke(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binDir, "splitexec"), "serve",
+		"-addr", "127.0.0.1:0", "-hosts", "2", "-devices", "1",
+		"-m", "4", "-ncols", "4", "-sweeps", "16", "-queue", "64")
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	cmd.Stdout = &lockedWriter{buf: &buf, mu: &mu}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting serve: %v", err)
+	}
+	killed := false
+	t.Cleanup(func() {
+		if !killed {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	addrRe := regexp.MustCompile(`serving split-execution solves on (\S+)`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		m := addrRe.FindStringSubmatch(buf.String())
+		mu.Unlock()
+		if m != nil {
+			addr = m[1]
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("serve never announced its address")
+	}
+
+	path := writeScenario(t, 40, 200, 2)
+	out := run(t, "splitexec", "loadgen", "-scenario", path, "-addr", addr, "-conns", "8")
+	for _, want := range []string{"measured 40 jobs (0 failed)", "sojourn (measured)", "sojourn (simulated)", "measured/simulated mean sojourn"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("loadgen output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Graceful shutdown: the drain report must arrive as parseable JSON
+	// with the replayed jobs accounted for.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	cmd.Wait()
+	killed = true
+	mu.Lock()
+	output := buf.String()
+	mu.Unlock()
+	i := strings.Index(output, "{")
+	if i < 0 {
+		t.Fatalf("no JSON drain report in serve output:\n%s", output)
+	}
+	var rep struct {
+		Jobs    int `json:"jobs"`
+		Sojourn struct {
+			N    int   `json:"n"`
+			Mean int64 `json:"mean"`
+		} `json:"sojourn"`
+	}
+	if err := json.Unmarshal([]byte(output[i:]), &rep); err != nil {
+		t.Fatalf("drain report not JSON: %v\n%s", err, output[i:])
+	}
+	if rep.Jobs != 40 || rep.Sojourn.N != 40 || rep.Sojourn.Mean <= 0 {
+		t.Errorf("drain report = %+v, want 40 jobs with a positive mean sojourn", rep)
 	}
 }

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/des"
+	"github.com/splitexec/splitexec/internal/loadgen"
+	"github.com/splitexec/splitexec/internal/service"
+	"github.com/splitexec/splitexec/internal/stats"
+)
+
+// runLoadgen is the `splitexec loadgen` subcommand: it replays a scenario
+// file against a live dispatch service — a running `splitexec serve` over
+// TCP via -addr, or an in-process service when -addr is empty — and prints
+// the measured latency distributions next to the DES prediction for the
+// same scenario.
+func runLoadgen(args []string) {
+	fs := flag.NewFlagSet("splitexec loadgen", flag.ExitOnError)
+	var (
+		scenarioPath = fs.String("scenario", "", "scenario JSON file (required; see docs/workloads.md)")
+		addr         = fs.String("addr", "", "TCP address of a running `splitexec serve` (empty = run an in-process service)")
+		seed         = fs.Int64("seed", 0, "override the scenario's seed (0 keeps the file's)")
+		conns        = fs.Int("conns", 16, "TCP connection pool size (with -addr)")
+		timeout      = fs.Duration("timeout", 30*time.Second, "per-job round-trip bound (with -addr)")
+		asJSON       = fs.Bool("json", false, "emit the result as JSON instead of a table")
+	)
+	fs.Parse(args)
+	sc := loadScenario(*scenarioPath, *seed)
+
+	pred, err := des.Simulate(sc, des.Options{})
+	if err != nil {
+		log.Fatalf("splitexec loadgen: %v", err)
+	}
+
+	opts := loadgen.Options{Addr: *addr, Conns: *conns, Timeout: *timeout}
+	if *addr == "" {
+		// No remote target: bring up the scenario's own deployment in
+		// process, sized for the offered load.
+		depth := sc.Horizon.Jobs
+		if depth <= 0 {
+			depth = 1024
+		}
+		svc, err := service.New(service.Options{
+			Workers:    sc.System.Hosts,
+			Fleet:      sc.System.QPUs(),
+			QueueDepth: depth,
+		})
+		if err != nil {
+			log.Fatalf("splitexec loadgen: %v", err)
+		}
+		defer svc.Drain()
+		opts = loadgen.Options{Service: svc}
+	}
+
+	got, err := loadgen.Run(sc, opts)
+	if err != nil {
+		log.Fatalf("splitexec loadgen: %v", err)
+	}
+
+	if *asJSON {
+		printJSON(struct {
+			Measured  *loadgen.Result `json:"measured"`
+			Simulated *des.Result     `json:"simulated"`
+		}{got, pred})
+		return
+	}
+	target := *addr
+	if target == "" {
+		target = fmt.Sprintf("in-process (%s hosts=%d)", sc.System.Kind, sc.System.Hosts)
+	}
+	fmt.Printf("scenario: %s against %s\n", name(sc), target)
+	fmt.Printf("measured %d jobs (%d failed) over %v — %.1f jobs/s\n\n",
+		got.Jobs, got.Failed, got.Elapsed.Round(time.Millisecond), got.Throughput)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  metric\tmean\tp50\tp90\tp99\tp99.9\tmax\n")
+	printSummary(tw, "queue wait", got.QueueWait)
+	printSummary(tw, "QPU wait", got.QPUWait)
+	printSummary(tw, "sojourn (measured)", got.Sojourn)
+	printSummary(tw, "sojourn (simulated)", pred.Sojourn)
+	tw.Flush()
+	if pred.Sojourn.Mean > 0 {
+		fmt.Printf("\nmeasured/simulated mean sojourn: %.2fx (p99 %.2fx)\n",
+			float64(got.Sojourn.Mean)/float64(pred.Sojourn.Mean),
+			float64(got.Sojourn.P99)/float64(pred.Sojourn.P99))
+	}
+}
+
+// printSummary writes one digest row of the latency table.
+func printSummary(w io.Writer, label string, s stats.DurationSummary) {
+	r := func(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
+	fmt.Fprintf(w, "  %s\t%v\t%v\t%v\t%v\t%v\t%v\n",
+		label, r(s.Mean), r(s.P50), r(s.P90), r(s.P99), r(s.P999), r(s.Max))
+}

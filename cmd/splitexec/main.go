@@ -12,6 +12,14 @@
 // behind a TCP front-end instead of solving one local problem:
 //
 //	splitexec serve -addr :7464 -hosts 4 -devices 1
+//
+// The simulate and loadgen subcommands drive the open-system workload
+// engine from a declarative scenario file (docs/workloads.md): simulate
+// runs the discrete-event simulator in virtual time, loadgen replays the
+// same scenario against a live service and prints measured vs simulated:
+//
+//	splitexec simulate -scenario burst.json
+//	splitexec loadgen -scenario burst.json -addr 127.0.0.1:7464
 package main
 
 import (
@@ -32,9 +40,18 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		runServe(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			runServe(os.Args[2:])
+			return
+		case "simulate":
+			runSimulate(os.Args[2:])
+			return
+		case "loadgen":
+			runLoadgen(os.Args[2:])
+			return
+		}
 	}
 	var (
 		problem  = flag.String("problem", "maxcut", "problem type: maxcut, partition, vertexcover, independentset, random")

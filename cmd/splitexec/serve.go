@@ -1,13 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
-	"time"
 
 	"github.com/splitexec/splitexec/internal/anneal"
 	"github.com/splitexec/splitexec/internal/core"
@@ -69,12 +69,11 @@ func runServe(args []string) {
 	<-sig
 	log.Printf("splitexec: draining")
 	rep := svc.Drain()
-	fmt.Printf("jobs:            %d (%d failed)\n", rep.Jobs, rep.Failed)
-	if rep.Jobs > 0 {
-		fmt.Printf("makespan:        %v\n", rep.Makespan.Round(time.Microsecond))
-		fmt.Printf("throughput:      %.2f jobs/s\n", rep.Throughput)
-		fmt.Printf("queue wait:      mean %v, max %v\n", rep.QueueWaitMean.Round(time.Microsecond), rep.QueueWaitMax.Round(time.Microsecond))
-		fmt.Printf("QPU wait:        mean %v\n", rep.QPUWaitMean.Round(time.Microsecond))
-		fmt.Printf("QPU busy:        %.1f%% of fleet capacity\n", 100*rep.QPUBusyFraction)
+	// The drain report goes to stdout as JSON — machine-readable ops
+	// output that scripts can pipe straight into jq or a metrics store.
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("splitexec serve: encoding drain report: %v", err)
 	}
+	fmt.Printf("%s\n", out)
 }

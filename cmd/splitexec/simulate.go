@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/des"
+	"github.com/splitexec/splitexec/internal/workload"
+)
+
+// runSimulate is the `splitexec simulate` subcommand: the open-system
+// discrete-event simulator over a scenario file — millions of virtual
+// arrivals in milliseconds, no wall clock spent.
+func runSimulate(args []string) {
+	fs := flag.NewFlagSet("splitexec simulate", flag.ExitOnError)
+	var (
+		scenarioPath = fs.String("scenario", "", "scenario JSON file (required; see docs/workloads.md)")
+		seed         = fs.Int64("seed", 0, "override the scenario's seed (0 keeps the file's)")
+		events       = fs.String("events", "", "write the per-event trace to this file")
+		asJSON       = fs.Bool("json", false, "emit the result as JSON instead of a table")
+	)
+	fs.Parse(args)
+	sc := loadScenario(*scenarioPath, *seed)
+
+	var opts des.Options
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			log.Fatalf("splitexec simulate: %v", err)
+		}
+		w := bufio.NewWriter(f)
+		opts.EventLog = w
+		defer func() {
+			w.Flush()
+			f.Close()
+		}()
+	}
+	start := time.Now()
+	r, err := des.Simulate(sc, opts)
+	if err != nil {
+		log.Fatalf("splitexec simulate: %v", err)
+	}
+	wall := time.Since(start)
+
+	if *asJSON {
+		printJSON(r)
+		return
+	}
+	fmt.Printf("scenario: %s (%s arrivals, %d classes, %s hosts=%d)\n",
+		name(sc), sc.Arrival.Kind, len(sc.Mix), sc.System.Kind, sc.System.Hosts)
+	fmt.Printf("simulated %d jobs of virtual time %v in %v of wall time\n\n",
+		r.Jobs, r.End.Round(time.Millisecond), wall.Round(time.Millisecond))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "  metric\tmean\tp50\tp90\tp99\tp99.9\tmax\n")
+	printSummary(w, "queue wait", r.QueueWait)
+	printSummary(w, "QPU wait", r.QPUWait)
+	printSummary(w, "sojourn", r.Sojourn)
+	fmt.Fprintf(w, "  throughput\t%.1f jobs/s\n", r.Throughput)
+	fmt.Fprintf(w, "  utilization\thosts %.1f%%, QPU %.1f%%\n", 100*r.HostBusy, 100*r.QPUBusy)
+	w.Flush()
+
+	if pred, err := des.AnalyticScenario(sc); err == nil {
+		fmt.Printf("\nM/M/c cross-check (c=%d, rho=%.3f):\n", pred.Servers, pred.Rho)
+		fmt.Printf("  analytic mean sojourn %v vs simulated %v (%+.1f%%)\n",
+			pred.SojournMean.Round(time.Microsecond), r.Sojourn.Mean.Round(time.Microsecond),
+			100*(float64(r.Sojourn.Mean)/float64(pred.SojournMean)-1))
+		fmt.Printf("  analytic mean queue wait %v, P(queue) = %.3f\n",
+			pred.QueueWaitMean.Round(time.Microsecond), pred.ErlangC)
+	}
+}
+
+func loadScenario(path string, seed int64) *workload.Scenario {
+	if path == "" {
+		log.Fatalf("splitexec: -scenario is required (a JSON file; see docs/workloads.md)")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("splitexec: %v", err)
+	}
+	sc, err := workload.Decode(data)
+	if err != nil {
+		log.Fatalf("splitexec: %v", err)
+	}
+	if seed != 0 {
+		sc.Seed = seed
+	}
+	return sc
+}
+
+func name(sc *workload.Scenario) string {
+	if sc.Name != "" {
+		return sc.Name
+	}
+	return "(unnamed)"
+}
+
+// printJSON emits v as indented JSON on stdout.
+func printJSON(v any) {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		log.Fatalf("splitexec: encoding result: %v", err)
+	}
+	fmt.Printf("%s\n", out)
+}

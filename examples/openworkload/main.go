@@ -1,0 +1,135 @@
+// Open workload: the open-system question the closed-batch architecture
+// models cannot answer — jobs arrive stochastically, queues build, and the
+// metric is the response-time distribution, not makespan.
+//
+// The same declarative scenario is evaluated three ways and printed side by
+// side:
+//
+//   - analytic: the M/M/c steady-state formulas (Erlang C), valid for the
+//     Poisson + exponential single-class case;
+//   - simulated: the discrete-event simulator, which handles any mix,
+//     arrival process and architecture in virtual time;
+//   - measured: the live dispatch service replaying the identical scenario
+//     (same seed, same per-job draws) in wall-clock time.
+//
+// The three columns agreeing is the workload engine's validation loop: the
+// simulator is checked against queueing theory where theory exists, and the
+// real service is checked against the simulator everywhere.
+//
+//	go run ./examples/openworkload
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	splitexec "github.com/splitexec/splitexec"
+)
+
+func main() {
+	// --- part 1: M/M/c triple check ----------------------------------
+	// Single exponential job class (mean total 2ms => mu = 500 jobs/s),
+	// dedicated QPUs so hosts never contend, Poisson arrivals at rho=0.6.
+	const (
+		hosts = 4
+		mu    = 500.0
+		rho   = 0.6
+	)
+	mmc := &splitexec.Scenario{
+		Name:    "mmc-validation",
+		Seed:    21,
+		Arrival: splitexec.ScenarioArrival{Kind: splitexec.PoissonArrivals, Rate: rho * hosts * mu},
+		Mix: []splitexec.ScenarioJobClass{{
+			Name: "exp", Weight: 1, Dist: splitexec.ExponentialService,
+			Profile: splitexec.ScenarioProfile{
+				PreProcess:  splitexec.ScenarioDuration(1200 * time.Microsecond),
+				QPUService:  splitexec.ScenarioDuration(500 * time.Microsecond),
+				PostProcess: splitexec.ScenarioDuration(300 * time.Microsecond),
+			},
+		}},
+		System:  splitexec.ScenarioSystem{Kind: "dedicated", Hosts: hosts},
+		Horizon: splitexec.ScenarioHorizon{Jobs: 3000},
+	}
+
+	analytic, err := splitexec.AnalyticWorkload(mmc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	simulated, err := splitexec.SimulateWorkload(mmc, splitexec.WorkloadSimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	measured := replay(mmc)
+
+	fmt.Printf("M/M/%d at rho=%.1f — %d Poisson arrivals of exponential 2ms jobs:\n\n", hosts, rho, mmc.Horizon.Jobs)
+	fmt.Printf("  %-22s %-12s %-12s %s\n", "mean sojourn", "analytic", "simulated", "measured")
+	fmt.Printf("  %-22s %-12v %-12v %v\n", "",
+		analytic.SojournMean.Round(time.Microsecond),
+		simulated.Sojourn.Mean.Round(time.Microsecond),
+		measured.Sojourn.Mean.Round(time.Microsecond))
+	fmt.Printf("\n  analytic P(queue) = %.3f, mean queue wait %v; simulated p99 sojourn %v, measured %v\n",
+		analytic.ErlangC, analytic.QueueWaitMean.Round(time.Microsecond),
+		simulated.Sojourn.P99.Round(time.Microsecond), measured.Sojourn.P99.Round(time.Microsecond))
+
+	// --- part 2: beyond the analytic envelope ------------------------
+	// A heterogeneous mix on the shared-resource architecture: no closed
+	// form exists, but the simulator still predicts the live service.
+	mixed := &splitexec.Scenario{
+		Name:    "mixed-shared",
+		Seed:    22,
+		Arrival: splitexec.ScenarioArrival{Kind: splitexec.PoissonArrivals, Rate: 300},
+		Mix: []splitexec.ScenarioJobClass{
+			{Name: "interactive", Weight: 4, Profile: splitexec.ScenarioProfile{
+				PreProcess: splitexec.ScenarioDuration(800 * time.Microsecond),
+				QPUService: splitexec.ScenarioDuration(400 * time.Microsecond),
+			}},
+			{Name: "batch", Weight: 1, Dist: splitexec.ExponentialService,
+				Profile: splitexec.ScenarioProfile{
+					PreProcess:  splitexec.ScenarioDuration(4 * time.Millisecond),
+					QPUService:  splitexec.ScenarioDuration(2 * time.Millisecond),
+					PostProcess: splitexec.ScenarioDuration(time.Millisecond),
+				}},
+		},
+		System:  splitexec.ScenarioSystem{Kind: "shared", Hosts: 4},
+		Horizon: splitexec.ScenarioHorizon{Jobs: 2000},
+	}
+	sim2, err := splitexec.SimulateWorkload(mixed, splitexec.WorkloadSimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	meas2 := replay(mixed)
+
+	fmt.Printf("\n80/20 interactive/batch mix, shared QPU, 4 hosts, 300 jobs/s:\n\n")
+	fmt.Printf("  %-14s %-12s %-12s %s\n", "", "simulated", "measured", "ratio")
+	row := func(label string, sim, meas time.Duration) {
+		fmt.Printf("  %-14s %-12v %-12v %.2fx\n", label,
+			sim.Round(time.Microsecond), meas.Round(time.Microsecond),
+			float64(meas)/float64(sim))
+	}
+	row("mean sojourn", sim2.Sojourn.Mean, meas2.Sojourn.Mean)
+	row("p99 sojourn", sim2.Sojourn.P99, meas2.Sojourn.P99)
+	row("mean QPU wait", sim2.QPUWait.Mean, meas2.QPUWait.Mean)
+	fmt.Printf("\n  simulated QPU utilization %.0f%% — the contended token is where the tail lives.\n", 100*sim2.QPUBusy)
+	fmt.Println("\nThe simulator is validated against queueing theory where theory exists,")
+	fmt.Println("and the live service against the simulator everywhere else: one scenario")
+	fmt.Println("file, three consistent answers.")
+}
+
+// replay runs the scenario through a live in-process dispatch service.
+func replay(sc *splitexec.Scenario) *splitexec.LoadgenResult {
+	svc, err := splitexec.NewService(splitexec.ServiceOptions{
+		Workers:    sc.System.Hosts,
+		Fleet:      sc.System.QPUs(),
+		QueueDepth: sc.Horizon.Jobs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Drain()
+	r, err := splitexec.RunLoadgen(sc, splitexec.LoadgenOptions{Service: svc})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}

@@ -313,3 +313,66 @@ func TestFacadeDispatchService(t *testing.T) {
 		t.Fatalf("measured makespan %v implausibly below prediction %v", rep.Makespan, predicted)
 	}
 }
+
+func TestFacadeOpenWorkloadExports(t *testing.T) {
+	sc := &splitexec.Scenario{
+		Name:    "facade",
+		Seed:    9,
+		Arrival: splitexec.ScenarioArrival{Kind: splitexec.PoissonArrivals, Rate: 400},
+		Mix: []splitexec.ScenarioJobClass{{
+			Name: "exp", Weight: 1, Dist: splitexec.ExponentialService,
+			Profile: splitexec.ScenarioProfile{
+				PreProcess: splitexec.ScenarioDuration(600 * time.Microsecond),
+				QPUService: splitexec.ScenarioDuration(400 * time.Microsecond),
+			},
+		}},
+		System:  splitexec.ScenarioSystem{Kind: "dedicated", Hosts: 2},
+		Horizon: splitexec.ScenarioHorizon{Jobs: 5000},
+	}
+	data, err := sc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := splitexec.DecodeScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sim, err := splitexec.SimulateWorkload(decoded, splitexec.WorkloadSimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Jobs != 5000 || sim.Sojourn.P99 <= 0 {
+		t.Fatalf("simulated result: %+v", sim)
+	}
+	pred, err := splitexec.AnalyticWorkload(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(sim.Sojourn.Mean) / float64(pred.SojournMean); ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("simulated mean sojourn %v vs analytic %v", sim.Sojourn.Mean, pred.SojournMean)
+	}
+	if direct, err := splitexec.AnalyticMMC(pred.Lambda, pred.Mu, pred.Servers); err != nil || direct.ErlangC != pred.ErlangC {
+		t.Fatalf("AnalyticMMC disagreed with AnalyticWorkload: %+v vs %+v (%v)", direct, pred, err)
+	}
+
+	// A short live replay through the facade's service + loadgen exports.
+	live := *decoded
+	live.Horizon = splitexec.ScenarioHorizon{Jobs: 30}
+	svc, err := splitexec.NewService(splitexec.ServiceOptions{Workers: 2, Fleet: 2, QueueDepth: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := splitexec.RunLoadgen(&live, splitexec.LoadgenOptions{Service: svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := svc.Drain()
+	if got.Jobs != 30 || got.Failed != 0 || rep.Sojourn.N != 30 {
+		t.Fatalf("loadgen %+v, drain sojourn %+v", got, rep.Sojourn)
+	}
+	s := splitexec.SummarizeDurations([]time.Duration{time.Millisecond, 3 * time.Millisecond})
+	if s.Mean != 2*time.Millisecond || s.Max != 3*time.Millisecond {
+		t.Fatalf("SummarizeDurations = %+v", s)
+	}
+}

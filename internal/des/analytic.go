@@ -1,0 +1,91 @@
+package des
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/workload"
+)
+
+// AnalyticResult is the M/M/c steady-state prediction for an open system:
+// Poisson arrivals at Lambda jobs/second, exponential service at Mu
+// jobs/second per server, c identical servers.
+type AnalyticResult struct {
+	Servers int     `json:"servers"`
+	Lambda  float64 `json:"lambda"` // arrival rate, jobs/s
+	Mu      float64 `json:"mu"`     // per-server service rate, jobs/s
+	Rho     float64 `json:"rho"`    // utilization λ/(c·μ)
+
+	// ErlangC is the probability an arriving job queues (all servers
+	// busy); QueueLenMean the mean number of queued jobs (Lq).
+	ErlangC      float64 `json:"erlangC"`
+	QueueLenMean float64 `json:"queueLenMean"`
+
+	// QueueWaitMean is Wq, SojournMean W = Wq + 1/μ.
+	QueueWaitMean time.Duration `json:"queueWaitMean"`
+	SojournMean   time.Duration `json:"sojournMean"`
+}
+
+// Analytic evaluates the M/M/c formulas. It requires λ > 0, μ > 0, c >= 1
+// and stability ρ = λ/(c·μ) < 1 — as ρ → 1 the predicted waits grow
+// without bound, the tail behavior the simulator must reproduce.
+func Analytic(lambda, mu float64, c int) (AnalyticResult, error) {
+	r := AnalyticResult{Servers: c, Lambda: lambda, Mu: mu}
+	if c < 1 {
+		return r, fmt.Errorf("des: M/M/c needs c >= 1, got %d", c)
+	}
+	if !(lambda > 0) || !(mu > 0) {
+		return r, fmt.Errorf("des: M/M/c needs positive rates, got lambda=%v mu=%v", lambda, mu)
+	}
+	a := lambda / mu // offered load in Erlangs
+	r.Rho = a / float64(c)
+	if r.Rho >= 1 {
+		return r, fmt.Errorf("des: unstable system: rho = %.3f >= 1 (lambda=%v, c*mu=%v)",
+			r.Rho, lambda, float64(c)*mu)
+	}
+	// Erlang C via the numerically stable recurrence on the Erlang B
+	// blocking probability: B(0)=1, B(k) = a·B(k-1)/(k + a·B(k-1)).
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	r.ErlangC = b / (1 - r.Rho*(1-b))
+	wq := r.ErlangC / (float64(c)*mu - lambda) // seconds
+	r.QueueLenMean = lambda * wq
+	r.QueueWaitMean = time.Duration(wq * float64(time.Second))
+	r.SojournMean = time.Duration((wq + 1/mu) * float64(time.Second))
+	return r, nil
+}
+
+// AnalyticScenario maps a scenario onto the M/M/c model, when one applies:
+// Poisson arrivals, a single job class with exponential service, and a
+// deployment whose hosts never contend for a QPU (dedicated per node, or a
+// single host) — then c = Hosts, λ = the arrival rate, and 1/μ = the
+// class's unqueued total (hosts hold their job end to end, exactly the
+// discipline of the simulator and the live service). Scenarios outside
+// that envelope get an error naming the first assumption they break.
+func AnalyticScenario(sc *workload.Scenario) (AnalyticResult, error) {
+	if err := sc.Validate(); err != nil {
+		return AnalyticResult{}, err
+	}
+	if sc.Arrival.Kind != workload.Poisson {
+		return AnalyticResult{}, fmt.Errorf("des: M/M/c cross-check needs poisson arrivals, scenario has %q", sc.Arrival.Kind)
+	}
+	if len(sc.Mix) != 1 {
+		return AnalyticResult{}, fmt.Errorf("des: M/M/c cross-check needs a single job class, scenario has %d", len(sc.Mix))
+	}
+	if sc.Mix[0].Dist != workload.Exponential {
+		return AnalyticResult{}, fmt.Errorf("des: M/M/c cross-check needs dist %q, class %q has %q",
+			workload.Exponential, sc.Mix[0].Name, sc.Mix[0].Dist)
+	}
+	if sc.System.Kind != "dedicated" && sc.System.Hosts != 1 {
+		return AnalyticResult{}, fmt.Errorf("des: M/M/c cross-check needs an uncontended QPU (dedicated system or one host), scenario is %q with %d hosts",
+			sc.System.Kind, sc.System.Hosts)
+	}
+	mean := sc.Mix[0].Profile.Arch().Total().Seconds()
+	if !(mean > 0) || math.IsInf(mean, 0) {
+		return AnalyticResult{}, fmt.Errorf("des: degenerate mean service time %v", mean)
+	}
+	return Analytic(sc.Arrival.Rate, 1/mean, sc.System.Hosts)
+}

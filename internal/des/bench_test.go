@@ -1,0 +1,46 @@
+package des
+
+import (
+	"testing"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/workload"
+)
+
+// BenchmarkDES simulates one million open-system arrivals through the
+// shared-resource architecture — the scale the live service would need
+// hours of wall clock for runs in milliseconds of virtual time. CI's
+// bench-smoke step executes one iteration, pinning both compilation and
+// the no-sleeping property (a single wall-clock sleep would blow the
+// step's budget immediately).
+func BenchmarkDES(b *testing.B) {
+	sc := &workload.Scenario{
+		Name:    "bench-1e6",
+		Seed:    1,
+		Arrival: workload.Arrival{Kind: workload.Poisson, Rate: 4000},
+		Mix: []workload.JobClass{
+			{Name: "small", Weight: 3, Profile: workload.Profile{
+				PreProcess: workload.Duration(500 * time.Microsecond),
+				Network:    workload.Duration(10 * time.Microsecond),
+				QPUService: workload.Duration(150 * time.Microsecond),
+			}},
+			{Name: "large", Weight: 1, Dist: workload.Exponential, Profile: workload.Profile{
+				PreProcess:  workload.Duration(1500 * time.Microsecond),
+				QPUService:  workload.Duration(400 * time.Microsecond),
+				PostProcess: workload.Duration(200 * time.Microsecond),
+			}},
+		},
+		System:  workload.SystemSpec{Kind: "shared", Hosts: 8},
+		Horizon: workload.Horizon{Jobs: 1_000_000},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := Simulate(sc, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Jobs != 1_000_000 {
+			b.Fatalf("completed %d jobs", r.Jobs)
+		}
+	}
+}

@@ -1,0 +1,378 @@
+// Package des is the open-system discrete-event simulator of the workload
+// engine: it runs a workload.Scenario against any of the paper's Fig. 1
+// architectures in virtual time — no wall-clock sleeping — and reports the
+// response-time distributions (queue wait, QPU wait, sojourn) that the
+// closed-batch makespan models of internal/arch cannot answer.
+//
+// The simulated discipline mirrors the live dispatch service exactly: a job
+// arrives, waits in a FIFO backlog for a free host worker, then the host
+// carries it end to end — pre-process, request network, queue for a QPU
+// service token, serialized QPU service, response network, post-process —
+// and only then takes the next job. Shared-resource systems have one QPU
+// token for all hosts; dedicated systems give every host its own, so a
+// held job's QPU is free by construction.
+//
+// Costs are O(events · log events) on a binary heap keyed by (time, push
+// sequence), so identical scenarios replay byte-identical event logs at any
+// GOMAXPROCS — millions of simulated arrivals take milliseconds, against
+// the hours a live replay would need. Analytic (analytic.go) supplies the
+// M/M/c cross-check for the exponential single-class case, validating the
+// simulator against queueing theory.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/arch"
+	"github.com/splitexec/splitexec/internal/stats"
+	"github.com/splitexec/splitexec/internal/workload"
+)
+
+// Options configure a simulation run.
+type Options struct {
+	// EventLog, when non-nil, receives one line per simulator event
+	// (times in virtual nanoseconds). Identical scenario + seed produce
+	// byte-identical logs — the determinism regression anchor.
+	EventLog io.Writer
+}
+
+// Result aggregates one simulated scenario run.
+type Result struct {
+	Scenario string `json:"scenario,omitempty"`
+	// Jobs is the number of completed (= admitted) jobs.
+	Jobs int `json:"jobs"`
+	// End is the virtual completion time of the last job; Throughput is
+	// Jobs over End in jobs/second.
+	End        time.Duration `json:"end"`
+	Throughput float64       `json:"throughput"`
+
+	// QueueWait is arrival→host pickup, QPUWait the wait for a service
+	// token, Sojourn arrival→completion — the open-system latency triple.
+	QueueWait stats.DurationSummary `json:"queueWait"`
+	QPUWait   stats.DurationSummary `json:"qpuWait"`
+	Sojourn   stats.DurationSummary `json:"sojourn"`
+
+	// HostBusy and QPUBusy are utilization fractions: cumulative busy
+	// time over capacity × End.
+	HostBusy float64 `json:"hostBusy"`
+	QPUBusy  float64 `json:"qpuBusy"`
+}
+
+// event kinds, in the order they appear in event logs.
+const (
+	evArrive  = iota // job enters the system
+	evStart          // a host picks the job up
+	evGrant          // the job acquires a QPU service token
+	evRelease        // the job releases its token
+	evDone           // the job completes; its host frees
+)
+
+var evName = [...]string{"arrive", "start", "qpu+", "qpu-", "done"}
+
+// event is one heap entry. Ties on time break on push sequence, so the
+// replay order — and therefore the event log — is fully deterministic.
+type event struct {
+	at   time.Duration
+	seq  int
+	kind int
+	job  *job
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) empty() bool   { return len(h) == 0 }
+
+// job carries one arrival through the pipeline.
+type job struct {
+	id      int
+	class   int
+	profile arch.JobProfile
+
+	arrive   time.Duration
+	start    time.Duration // host pickup
+	qpuGrant time.Duration
+	done     time.Duration
+
+	client int // closed-loop submitter, else -1
+}
+
+// sim is the mutable simulation state.
+type sim struct {
+	sc   *workload.Scenario
+	sys  arch.System
+	opts Options
+
+	heap eventHeap
+	free []*event // recycled heap entries: four events per job add up at 1e6 jobs
+	seq  int
+	now  time.Duration
+
+	freeHosts int
+	hostFIFO  []*job // jobs waiting for a host, arrival order
+
+	freeQPUs int
+	qpuFIFO  []*job // jobs waiting for a service token (shared systems)
+
+	dedicated bool
+
+	// admission
+	nextID    int
+	arrivals  *workload.ArrivalGen
+	jobLimit  int           // max admitted jobs (0 = unbounded)
+	timeLimit time.Duration // no admissions after this offset (0 = unbounded)
+
+	// accounting
+	queueWait []time.Duration
+	qpuWait   []time.Duration
+	sojourn   []time.Duration
+	hostBusy  time.Duration
+	qpuBusy   time.Duration
+	end       time.Duration
+}
+
+// Simulate runs the scenario to completion — every admitted job finishes —
+// and returns the aggregate result.
+func Simulate(sc *workload.Scenario, opts Options) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	sys, err := sc.System.Arch()
+	if err != nil {
+		return nil, err
+	}
+	s := &sim{
+		sc:        sc,
+		sys:       sys,
+		opts:      opts,
+		freeHosts: sys.Hosts,
+		dedicated: sys.Kind == arch.DedicatedPerNode,
+		jobLimit:  sc.Horizon.Jobs,
+		timeLimit: sc.Horizon.Duration.D(),
+	}
+	if !s.dedicated {
+		s.freeQPUs = 1
+	}
+	if err := s.prime(); err != nil {
+		return nil, err
+	}
+	for !s.heap.empty() {
+		e := heap.Pop(&s.heap).(*event)
+		s.now = e.at
+		s.dispatch(e)
+		e.job = nil
+		s.free = append(s.free, e)
+	}
+	return s.result(), nil
+}
+
+// prime seeds the heap with the first arrivals.
+func (s *sim) prime() error {
+	if s.sc.Arrival.Kind == workload.ClosedLoop {
+		// Every client submits its first job at t=0, in client order.
+		for c := 0; c < s.sc.Arrival.Clients; c++ {
+			if !s.admitLocked(0, c) {
+				break
+			}
+		}
+		return nil
+	}
+	gen, err := s.sc.Arrivals()
+	if err != nil {
+		return err
+	}
+	s.arrivals = gen
+	s.scheduleNextArrival()
+	return nil
+}
+
+// scheduleNextArrival admits the next open-process arrival, if the horizon
+// allows one.
+func (s *sim) scheduleNextArrival() {
+	if s.arrivals == nil {
+		return
+	}
+	if s.jobLimit > 0 && s.nextID >= s.jobLimit {
+		return
+	}
+	off, ok := s.arrivals.Next()
+	if !ok {
+		return
+	}
+	if s.jobLimit == 0 && s.timeLimit > 0 && off > s.timeLimit {
+		return
+	}
+	s.admitLocked(off, -1)
+}
+
+// admitLocked creates job nextID arriving at off and schedules its arrival
+// event. It reports whether the horizon admitted the job.
+func (s *sim) admitLocked(off time.Duration, client int) bool {
+	if s.jobLimit > 0 && s.nextID >= s.jobLimit {
+		return false
+	}
+	if s.timeLimit > 0 && off > s.timeLimit {
+		return false
+	}
+	sample := s.sc.JobAt(s.nextID)
+	j := &job{
+		id:      s.nextID,
+		class:   sample.Class,
+		profile: sample.Profile,
+		arrive:  off,
+		client:  client,
+	}
+	s.nextID++
+	s.push(off, evArrive, j)
+	return true
+}
+
+func (s *sim) push(at time.Duration, kind int, j *job) {
+	s.seq++
+	var e *event
+	if n := len(s.free); n > 0 {
+		e, s.free = s.free[n-1], s.free[:n-1]
+		*e = event{at: at, seq: s.seq, kind: kind, job: j}
+	} else {
+		e = &event{at: at, seq: s.seq, kind: kind, job: j}
+	}
+	heap.Push(&s.heap, e)
+}
+
+func (s *sim) log(kind int, j *job) {
+	if s.opts.EventLog == nil {
+		return
+	}
+	fmt.Fprintf(s.opts.EventLog, "%d %s job=%d class=%d\n", s.now, evName[kind], j.id, j.class)
+}
+
+func (s *sim) dispatch(e *event) {
+	j := e.job
+	switch e.kind {
+	case evArrive:
+		s.log(evArrive, j)
+		if s.freeHosts > 0 {
+			s.freeHosts--
+			s.startJob(j)
+		} else {
+			s.hostFIFO = append(s.hostFIFO, j)
+		}
+		// Keep exactly one pending open-process arrival in the heap.
+		if j.client < 0 {
+			s.scheduleNextArrival()
+		}
+
+	case evStart:
+		// evStart events are synthesized inline by startJob; never queued.
+
+	case evGrant:
+		// The job reached its QPU-request point (pre-process + request
+		// network done). Dedicated hosts own their token; shared systems
+		// grant the single token FIFO.
+		if s.dedicated || s.freeQPUs > 0 {
+			if !s.dedicated {
+				s.freeQPUs--
+			}
+			s.grantQPU(j)
+		} else {
+			s.qpuFIFO = append(s.qpuFIFO, j)
+		}
+
+	case evRelease:
+		s.log(evRelease, j)
+		s.qpuBusy += j.profile.QPUService
+		// Completion: response network + post-process.
+		s.push(s.now+j.profile.Network+j.profile.PostProcess, evDone, j)
+		if !s.dedicated {
+			if len(s.qpuFIFO) > 0 {
+				next := s.qpuFIFO[0]
+				s.qpuFIFO = s.qpuFIFO[1:]
+				s.grantQPU(next)
+			} else {
+				s.freeQPUs++
+			}
+		}
+
+	case evDone:
+		s.log(evDone, j)
+		j.done = s.now
+		s.complete(j)
+		if len(s.hostFIFO) > 0 {
+			next := s.hostFIFO[0]
+			s.hostFIFO = s.hostFIFO[1:]
+			s.startJob(next)
+		} else {
+			s.freeHosts++
+		}
+		// Closed loop: the client thinks, then submits its next job.
+		if j.client >= 0 {
+			s.admitLocked(s.now+s.sc.Arrival.Think.D(), j.client)
+		}
+	}
+}
+
+// startJob begins host service for j at the current time: the host is held
+// until evDone. The QPU request lands after pre-process + request network.
+func (s *sim) startJob(j *job) {
+	j.start = s.now
+	s.log(evStart, j)
+	s.push(s.now+j.profile.PreProcess+j.profile.Network, evGrant, j)
+}
+
+// grantQPU gives j its service token now and schedules the release.
+func (s *sim) grantQPU(j *job) {
+	j.qpuGrant = s.now
+	s.log(evGrant, j)
+	s.push(s.now+j.profile.QPUService, evRelease, j)
+}
+
+func (s *sim) complete(j *job) {
+	s.queueWait = append(s.queueWait, j.start-j.arrive)
+	reqAt := j.start + j.profile.PreProcess + j.profile.Network
+	s.qpuWait = append(s.qpuWait, j.qpuGrant-reqAt)
+	s.sojourn = append(s.sojourn, j.done-j.arrive)
+	s.hostBusy += j.done - j.start
+	if j.done > s.end {
+		s.end = j.done
+	}
+}
+
+func (s *sim) result() *Result {
+	r := &Result{
+		Scenario:  s.sc.Name,
+		Jobs:      len(s.sojourn),
+		End:       s.end,
+		QueueWait: stats.SummarizeDurations(s.queueWait),
+		QPUWait:   stats.SummarizeDurations(s.qpuWait),
+		Sojourn:   stats.SummarizeDurations(s.sojourn),
+	}
+	if s.end > 0 {
+		r.Throughput = float64(r.Jobs) / s.end.Seconds()
+		r.HostBusy = float64(s.hostBusy) / (float64(s.end) * float64(s.sys.Hosts))
+		qpus := s.sys.Hosts
+		if !s.dedicated {
+			qpus = 1
+		}
+		r.QPUBusy = float64(s.qpuBusy) / (float64(s.end) * float64(qpus))
+	}
+	return r
+}
+
+// String renders the result in the fixed format the determinism regression
+// byte-compares.
+func (r *Result) String() string {
+	return fmt.Sprintf("scenario=%q jobs=%d end=%v throughput=%.4f\n  queueWait %v\n  qpuWait   %v\n  sojourn   %v\n  hostBusy=%.4f qpuBusy=%.4f",
+		r.Scenario, r.Jobs, r.End, r.Throughput, r.QueueWait, r.QPUWait, r.Sojourn, r.HostBusy, r.QPUBusy)
+}

@@ -1,0 +1,260 @@
+// Package loadgen replays a workload.Scenario against the *live* dispatch
+// service — the measurement half of the open-system workload engine. Where
+// internal/des predicts response-time distributions in virtual time, the
+// load generator realizes the same scenario in wall-clock time: the same
+// per-job classes and profiles (workload.Scenario.JobAt), the same arrival
+// offsets, submitted to a running internal/service either in process or
+// over TCP via service.Dial. Tests pin the measured sojourn distribution
+// inside a tolerance band of the DES prediction — the open-system analog of
+// the closed-batch makespan regression.
+package loadgen
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/arch"
+	"github.com/splitexec/splitexec/internal/service"
+	"github.com/splitexec/splitexec/internal/stats"
+	"github.com/splitexec/splitexec/internal/workload"
+)
+
+// Options select the target service and transport.
+type Options struct {
+	// Service, when non-nil, submits jobs in process. Size its QueueDepth
+	// for the offered load: a full queue blocks Submit and distorts the
+	// arrival process.
+	Service *service.Service
+	// Addr, when non-empty, dials the service's TCP front-end instead.
+	// Exactly one of Service and Addr must be set.
+	Addr string
+	// Conns is the TCP connection pool size (Addr mode); a job waits for
+	// a free connection before submitting, so the pool should exceed the
+	// expected number of jobs in flight. Values <= 0 select 16.
+	Conns int
+	// Timeout bounds each TCP round trip (0 = none). It must cover queue
+	// wait plus service, not just service.
+	Timeout time.Duration
+}
+
+// jobRecord is one measured job.
+type jobRecord struct {
+	queueWait time.Duration
+	qpuWait   time.Duration
+	sojourn   time.Duration
+	err       error
+}
+
+// Result aggregates one load-generation run in the same shape as the DES
+// Result, so measured-vs-simulated comparison is field-for-field.
+type Result struct {
+	Scenario string `json:"scenario,omitempty"`
+	Jobs     int    `json:"jobs"`
+	Failed   int    `json:"failed"`
+
+	// Elapsed is first-arrival to last-completion wall time; Throughput
+	// is completed jobs over Elapsed.
+	Elapsed    time.Duration `json:"elapsed"`
+	Throughput float64       `json:"throughput"`
+
+	// QueueWait and QPUWait are the service's own per-job measurements;
+	// Sojourn is client-observed: scheduled arrival to completion.
+	QueueWait stats.DurationSummary `json:"queueWait"`
+	QPUWait   stats.DurationSummary `json:"qpuWait"`
+	Sojourn   stats.DurationSummary `json:"sojourn"`
+}
+
+// submitter abstracts the two transports behind one blocking call.
+type submitter func(p arch.JobProfile) (queueWait, qpuWait time.Duration, err error)
+
+// Run replays the scenario against the configured service and blocks until
+// every admitted job has completed.
+func Run(sc *workload.Scenario, opts Options) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if (opts.Service == nil) == (opts.Addr == "") {
+		return nil, fmt.Errorf("loadgen: exactly one of Service and Addr must be set")
+	}
+
+	submit := opts.inProcess
+	if opts.Addr != "" {
+		pool, closePool, err := dialPool(opts)
+		if err != nil {
+			return nil, err
+		}
+		defer closePool()
+		submit = pool
+	}
+
+	var (
+		records []jobRecord
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		start   = time.Now()
+	)
+	record := func(r jobRecord) {
+		mu.Lock()
+		records = append(records, r)
+		mu.Unlock()
+	}
+	// launch runs one job end to end: it charges lateness between the
+	// scheduled arrival and the actual submission to the sojourn, exactly
+	// as the DES charges queueing from the arrival instant.
+	launch := func(idx int, plannedAt time.Time) {
+		defer wg.Done()
+		job := sc.JobAt(idx)
+		qw, dw, err := submit(job.Profile)
+		if err != nil {
+			record(jobRecord{err: err})
+			return
+		}
+		record(jobRecord{queueWait: qw, qpuWait: dw, sojourn: time.Since(plannedAt)})
+	}
+
+	if sc.Arrival.Kind == workload.ClosedLoop {
+		runClosedLoop(sc, start, &wg, launch)
+	} else {
+		gen, err := sc.Arrivals()
+		if err != nil {
+			return nil, err
+		}
+		limit := sc.Horizon.Jobs
+		timeLimit := sc.Horizon.Duration.D()
+		for i := 0; limit == 0 || i < limit; i++ {
+			off, ok := gen.Next()
+			if !ok {
+				break
+			}
+			if timeLimit > 0 && off > timeLimit {
+				break
+			}
+			plannedAt := start.Add(off)
+			sleepUntil(plannedAt)
+			wg.Add(1)
+			go launch(i, plannedAt)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r := &Result{Scenario: sc.Name, Elapsed: elapsed}
+	queue := make([]time.Duration, 0, len(records))
+	qpu := make([]time.Duration, 0, len(records))
+	sojourn := make([]time.Duration, 0, len(records))
+	for _, rec := range records {
+		if rec.err != nil {
+			r.Failed++
+			continue
+		}
+		queue = append(queue, rec.queueWait)
+		qpu = append(qpu, rec.qpuWait)
+		sojourn = append(sojourn, rec.sojourn)
+	}
+	r.Jobs = len(sojourn)
+	r.QueueWait = stats.SummarizeDurations(queue)
+	r.QPUWait = stats.SummarizeDurations(qpu)
+	r.Sojourn = stats.SummarizeDurations(sojourn)
+	if elapsed > 0 {
+		r.Throughput = float64(r.Jobs) / elapsed.Seconds()
+	}
+	return r, nil
+}
+
+// runClosedLoop drives Clients concurrent submitters: submit, wait, think,
+// repeat, until the horizon (job count or duration) closes intake.
+func runClosedLoop(sc *workload.Scenario, start time.Time, wg *sync.WaitGroup, launch func(int, time.Time)) {
+	var next atomic.Int64
+	limit := sc.Horizon.Jobs
+	timeLimit := sc.Horizon.Duration.D()
+	think := sc.Arrival.Think.D()
+	var clients sync.WaitGroup
+	for c := 0; c < sc.Arrival.Clients; c++ {
+		clients.Add(1)
+		go func() {
+			defer clients.Done()
+			for {
+				idx := int(next.Add(1)) - 1
+				if limit > 0 && idx >= limit {
+					return
+				}
+				if timeLimit > 0 && time.Since(start) > timeLimit {
+					return
+				}
+				wg.Add(1)
+				launch(idx, time.Now()) // synchronous: the client waits its job out
+				if think > 0 {
+					sleepUntil(time.Now().Add(think))
+				}
+			}
+		}()
+	}
+	clients.Wait()
+}
+
+// sleepUntil paces to a scheduled instant with the service's calibrated
+// sub-tick sleep: plain time.Sleep quantizes to the kernel tick, which at
+// hundreds of arrivals per second would smear every scheduled arrival a
+// millisecond late.
+func sleepUntil(deadline time.Time) {
+	service.SleepPrecise(time.Until(deadline))
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// inProcess submits one profile job through the service API.
+func (o Options) inProcess(p arch.JobProfile) (time.Duration, time.Duration, error) {
+	t, err := o.Service.SubmitProfile(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := t.Wait(); err != nil {
+		return 0, 0, err
+	}
+	m := t.Metrics()
+	return m.QueueWait, m.QPUWait, nil
+}
+
+// dialPool builds a pool of TCP clients and returns a submitter drawing
+// from it plus a closer.
+func dialPool(opts Options) (submitter, func(), error) {
+	conns := opts.Conns
+	if conns <= 0 {
+		conns = 16
+	}
+	pool := make(chan *service.Client, conns)
+	for i := 0; i < conns; i++ {
+		c, err := service.DialTimeout(opts.Addr, opts.Timeout)
+		if err != nil {
+			// Close what we already dialed.
+			for len(pool) > 0 {
+				(<-pool).Close()
+			}
+			return nil, nil, fmt.Errorf("loadgen: dialing connection %d: %w", i, err)
+		}
+		if opts.Timeout > 0 {
+			c.SetTimeout(opts.Timeout)
+		}
+		pool <- c
+	}
+	submit := func(p arch.JobProfile) (time.Duration, time.Duration, error) {
+		c := <-pool
+		defer func() { pool <- c }()
+		resp, err := c.Profile(p)
+		if err != nil {
+			return 0, 0, err
+		}
+		return time.Duration(resp.QueueWaitUS) * time.Microsecond,
+			time.Duration(resp.QPUWaitUS) * time.Microsecond, nil
+	}
+	closer := func() {
+		for i := 0; i < conns; i++ {
+			(<-pool).Close()
+		}
+	}
+	return submit, closer, nil
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -36,6 +37,7 @@ import (
 	"github.com/splitexec/splitexec/internal/machine"
 	"github.com/splitexec/splitexec/internal/parallel"
 	"github.com/splitexec/splitexec/internal/qubo"
+	"github.com/splitexec/splitexec/internal/stats"
 )
 
 // Errors reported by the submission API.
@@ -109,24 +111,28 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// JobMetrics is the per-job measurement record.
+// JobMetrics is the per-job measurement record. It marshals to JSON (every
+// duration in nanoseconds) for machine-readable ops output.
 type JobMetrics struct {
 	// Index is the FIFO submission index (also the seed-derivation index).
-	Index int
+	Index int `json:"index"`
 	// QueueWait is the time from Submit to a worker picking the job up.
-	QueueWait time.Duration
+	QueueWait time.Duration `json:"queueWait"`
 	// QPUWait is the time the job spent blocked waiting for a fleet
 	// device — the contention cost of the shared-resource architecture.
-	QPUWait time.Duration
+	QPUWait time.Duration `json:"qpuWait"`
 	// QPUHeld is the wall-clock time the job occupied its device
 	// (program + execute).
-	QPUHeld time.Duration
+	QPUHeld time.Duration `json:"qpuHeld"`
 	// Stage1, Stage2, Stage3 are the pipeline stage times: for solve
 	// jobs the solver's Timing entries (QPU phases in virtual hardware
 	// time), for profile jobs the synthetic phase durations.
-	Stage1, Stage2, Stage3 time.Duration
-	// Total is the end-to-end latency from Submit to completion.
-	Total time.Duration
+	Stage1 time.Duration `json:"stage1"`
+	Stage2 time.Duration `json:"stage2"`
+	Stage3 time.Duration `json:"stage3"`
+	// Total is the end-to-end latency from Submit to completion — the
+	// sojourn time of the open-system models.
+	Total time.Duration `json:"total"`
 }
 
 // Ticket is the handle to one submitted job.
@@ -399,11 +405,54 @@ func profileRun(p arch.JobProfile) func(*Service, *Ticket) {
 	}
 }
 
-func sleep(d time.Duration) {
-	if d > 0 {
-		time.Sleep(d)
+// Precise phase replay: time.Sleep quantizes to the kernel tick (about a
+// millisecond on stock server kernels), which would bury millisecond-scale
+// phase costs in overshoot and push every measured-vs-modeled comparison
+// off its band. SleepPrecise sleeps short by a calibrated slack and
+// yield-spins the remainder, keeping replay accurate to microseconds at a
+// bounded CPU cost per phase — on high-resolution-timer machines the
+// calibration shrinks the slack (and the spin) by an order of magnitude.
+var (
+	slackOnce  sync.Once
+	sleepSlack time.Duration
+)
+
+// Calibrate off the critical path: lazily, the 5-nap measurement would land
+// inside the first replayed job (or the load generator's first paced
+// arrival) and charge ~5 ms of calibration to that job's latency.
+func init() { go slackOnce.Do(calibrateSlack) }
+
+// calibrateSlack measures the worst sleep overshoot of a few short naps;
+// the spin tail must cover it or phases inherit the tick error.
+func calibrateSlack() {
+	worst := time.Duration(0)
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		time.Sleep(50 * time.Microsecond)
+		if d := time.Since(start); d > worst {
+			worst = d
+		}
+	}
+	sleepSlack = min(max(worst+worst/2, 200*time.Microsecond), 2*time.Millisecond)
+}
+
+// SleepPrecise sleeps for d with sub-tick accuracy. It is the phase-replay
+// primitive behind profile jobs and the load generator's arrival pacing.
+func SleepPrecise(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	slackOnce.Do(calibrateSlack)
+	deadline := time.Now().Add(d)
+	if d > sleepSlack {
+		time.Sleep(d - sleepSlack)
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
 	}
 }
+
+func sleep(d time.Duration) { SleepPrecise(d) }
 
 // leasedDevice adapts the fleet to core.QPUDevice: Program acquires a
 // device and holds it through Execute, so one job's program can never be
@@ -468,30 +517,42 @@ func (l *leasedDevice) release() {
 	l.fd = nil
 }
 
-// Report is the aggregate measurement of a service run.
+// Report is the aggregate measurement of a service run. It marshals to
+// JSON (durations in nanoseconds) so `splitexec serve` can emit a
+// machine-readable drain report.
 type Report struct {
-	Jobs   int // completed jobs
-	Failed int // jobs that returned an error
+	Jobs   int `json:"jobs"`   // completed jobs
+	Failed int `json:"failed"` // jobs that returned an error
 
 	// Makespan is first-Submit to last-completion wall time; Throughput
 	// is Jobs over Makespan in jobs/second.
-	Makespan   time.Duration
-	Throughput float64
+	Makespan   time.Duration `json:"makespan"`
+	Throughput float64       `json:"throughput"`
 
-	// Queue and device contention.
-	QueueWaitMean time.Duration
-	QueueWaitMax  time.Duration
-	QPUWaitMean   time.Duration
+	// Queue wait, device wait and sojourn (Submit-to-completion)
+	// distributions across completed jobs — the open-system metrics the
+	// DES predicts (stats.DurationSummary is the shared digest shape).
+	QueueWait stats.DurationSummary `json:"queueWait"`
+	QPUWait   stats.DurationSummary `json:"qpuWait"`
+	Sojourn   stats.DurationSummary `json:"sojourn"`
+
+	// Queue and device contention (digest aliases kept for the
+	// closed-batch consumers).
+	QueueWaitMean time.Duration `json:"queueWaitMean"`
+	QueueWaitMax  time.Duration `json:"queueWaitMax"`
+	QPUWaitMean   time.Duration `json:"qpuWaitMean"`
 
 	// DeviceBusy is the cumulative wall-clock occupancy per fleet device;
 	// QPUBusyFraction is total occupancy over fleet capacity × makespan —
 	// the utilization the paper's bottleneck analysis predicts stays low
 	// when classical pre-processing dominates.
-	DeviceBusy      []time.Duration
-	QPUBusyFraction float64
+	DeviceBusy      []time.Duration `json:"deviceBusy"`
+	QPUBusyFraction float64         `json:"qpuBusyFraction"`
 
 	// Stage means across completed jobs.
-	Stage1Mean, Stage2Mean, Stage3Mean time.Duration
+	Stage1Mean time.Duration `json:"stage1Mean"`
+	Stage2Mean time.Duration `json:"stage2Mean"`
+	Stage3Mean time.Duration `json:"stage3Mean"`
 }
 
 // Drain closes intake, waits for every queued job to finish and returns the
@@ -520,20 +581,25 @@ func (s *Service) report() Report {
 	if r.Makespan > 0 {
 		r.Throughput = float64(r.Jobs) / r.Makespan.Seconds()
 	}
-	var queue, qpu, s1, s2, s3 time.Duration
+	queue := make([]time.Duration, 0, r.Jobs)
+	qpu := make([]time.Duration, 0, r.Jobs)
+	sojourn := make([]time.Duration, 0, r.Jobs)
+	var s1, s2, s3 time.Duration
 	for _, m := range s.completed {
-		queue += m.QueueWait
-		qpu += m.QPUWait
+		queue = append(queue, m.QueueWait)
+		qpu = append(qpu, m.QPUWait)
+		sojourn = append(sojourn, m.Total)
 		s1 += m.Stage1
 		s2 += m.Stage2
 		s3 += m.Stage3
-		if m.QueueWait > r.QueueWaitMax {
-			r.QueueWaitMax = m.QueueWait
-		}
 	}
+	r.QueueWait = stats.SummarizeDurations(queue)
+	r.QPUWait = stats.SummarizeDurations(qpu)
+	r.Sojourn = stats.SummarizeDurations(sojourn)
+	r.QueueWaitMean = r.QueueWait.Mean
+	r.QueueWaitMax = r.QueueWait.Max
+	r.QPUWaitMean = r.QPUWait.Mean
 	n := time.Duration(r.Jobs)
-	r.QueueWaitMean = queue / n
-	r.QPUWaitMean = qpu / n
 	r.Stage1Mean = s1 / n
 	r.Stage2Mean = s2 / n
 	r.Stage3Mean = s3 / n

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/splitexec/splitexec/internal/arch"
 	"github.com/splitexec/splitexec/internal/qpuserver"
 	"github.com/splitexec/splitexec/internal/qubo"
 )
@@ -26,6 +27,11 @@ import (
 // variables is already far beyond what any modeled QPU topology embeds.
 const MaxWireDim = 1024
 
+// MaxWireProfileTotal bounds the per-job phase budget a remote profile job
+// may request. A profile job occupies a host worker for its whole duration,
+// so without a cap one hostile request could park a worker for days.
+const MaxWireProfileTotal = 10 * time.Minute
+
 // WireTerm is one QUBO coefficient on the wire (I <= J; I == J is a linear
 // term).
 type WireTerm struct {
@@ -33,10 +39,58 @@ type WireTerm struct {
 	Val  float64
 }
 
-// SolveRequest is the client→service message: a QUBO instance.
+// SolveRequest is the client→service message: a QUBO instance, or — when
+// Profile is set — a synthetic profile job (the load generator's unit of
+// work: the service replays the phase costs through the real dispatch
+// machinery without solving anything).
 type SolveRequest struct {
-	Dim   int        `json:"dim"`
+	Dim   int        `json:"dim,omitempty"`
 	Terms []WireTerm `json:"terms,omitempty"`
+
+	Profile *WireProfile `json:"profile,omitempty"`
+}
+
+// WireProfile is an arch.JobProfile on the wire, nanoseconds per phase.
+type WireProfile struct {
+	PreProcessNS  int64 `json:"preNs"`
+	NetworkNS     int64 `json:"netNs,omitempty"`
+	QPUServiceNS  int64 `json:"qpuNs"`
+	PostProcessNS int64 `json:"postNs,omitempty"`
+}
+
+// EncodeProfile builds the wire form of a profile job.
+func EncodeProfile(p arch.JobProfile) SolveRequest {
+	return SolveRequest{Profile: &WireProfile{
+		PreProcessNS:  int64(p.PreProcess),
+		NetworkNS:     int64(p.Network),
+		QPUServiceNS:  int64(p.QPUService),
+		PostProcessNS: int64(p.PostProcess),
+	}}
+}
+
+// DecodeProfile validates and reconstructs a wire-form profile.
+func DecodeProfile(w *WireProfile) (arch.JobProfile, error) {
+	p := arch.JobProfile{
+		PreProcess:  time.Duration(w.PreProcessNS),
+		Network:     time.Duration(w.NetworkNS),
+		QPUService:  time.Duration(w.QPUServiceNS),
+		PostProcess: time.Duration(w.PostProcessNS),
+	}
+	// Bound every phase individually before summing: a near-MaxInt64 phase
+	// would overflow Total() to a negative value and slip past the cap,
+	// parking a host worker for centuries on one request.
+	for _, d := range []time.Duration{p.PreProcess, p.Network, p.QPUService, p.PostProcess} {
+		if d < 0 {
+			return p, fmt.Errorf("service: negative phase time in wire profile %+v", *w)
+		}
+		if d > MaxWireProfileTotal {
+			return p, fmt.Errorf("service: wire profile phase %v exceeds limit %v", d, MaxWireProfileTotal)
+		}
+	}
+	if p.Total() > MaxWireProfileTotal {
+		return p, fmt.Errorf("service: wire profile total %v exceeds limit %v", p.Total(), MaxWireProfileTotal)
+	}
+	return p, nil
 }
 
 // SolveResponse is the service→client message.
@@ -50,12 +104,15 @@ type SolveResponse struct {
 	Reads        int     `json:"reads,omitempty"`
 	BrokenChains int     `json:"brokenChains,omitempty"`
 
-	// Measured per-job service metrics, microseconds.
+	// Measured per-job service metrics, microseconds. TotalUS is the
+	// server-side sojourn (Submit to completion), the open-system metric
+	// the workload engine cross-validates.
 	QueueWaitUS int64 `json:"queueWaitUs,omitempty"`
 	QPUWaitUS   int64 `json:"qpuWaitUs,omitempty"`
 	Stage1US    int64 `json:"stage1Us,omitempty"`
 	Stage2US    int64 `json:"stage2Us,omitempty"`
 	Stage3US    int64 `json:"stage3Us,omitempty"`
+	TotalUS     int64 `json:"totalUs,omitempty"`
 }
 
 // EncodeQUBO builds the wire form of a QUBO.
@@ -191,6 +248,9 @@ func (s *Service) serveConn(conn net.Conn) {
 }
 
 func (s *Service) handleSolve(req SolveRequest) SolveResponse {
+	if req.Profile != nil {
+		return s.handleProfile(req.Profile)
+	}
 	q, err := DecodeQUBO(req)
 	if err != nil {
 		return SolveResponse{Error: err.Error()}
@@ -216,11 +276,37 @@ func (s *Service) handleSolve(req SolveRequest) SolveResponse {
 		Stage1US:     m.Stage1.Microseconds(),
 		Stage2US:     m.Stage2.Microseconds(),
 		Stage3US:     m.Stage3.Microseconds(),
+		TotalUS:      m.Total.Microseconds(),
 	}
 	for i, b := range sol.Binary {
 		resp.Binary[i] = byte(b)
 	}
 	return resp
+}
+
+func (s *Service) handleProfile(w *WireProfile) SolveResponse {
+	p, err := DecodeProfile(w)
+	if err != nil {
+		return SolveResponse{Error: err.Error()}
+	}
+	t, err := s.SubmitProfile(p)
+	if err != nil {
+		return SolveResponse{Error: err.Error()}
+	}
+	if _, err := t.Wait(); err != nil {
+		return SolveResponse{Error: err.Error()}
+	}
+	m := t.Metrics()
+	return SolveResponse{
+		OK:          true,
+		Index:       m.Index,
+		QueueWaitUS: m.QueueWait.Microseconds(),
+		QPUWaitUS:   m.QPUWait.Microseconds(),
+		Stage1US:    m.Stage1.Microseconds(),
+		Stage2US:    m.Stage2.Microseconds(),
+		Stage3US:    m.Stage3.Microseconds(),
+		TotalUS:     m.Total.Microseconds(),
+	}
 }
 
 // Client is the remote handle to a serving solver service.
@@ -258,6 +344,17 @@ func (c *Client) SetTimeout(d time.Duration) {
 
 // Solve submits a QUBO and blocks until the service returns the solution.
 func (c *Client) Solve(q *qubo.QUBO) (SolveResponse, error) {
+	return c.roundTrip(EncodeQUBO(q))
+}
+
+// Profile submits a synthetic profile job — the load generator's unit of
+// work — and blocks until the service has replayed its phase costs,
+// returning the measured per-job metrics.
+func (c *Client) Profile(p arch.JobProfile) (SolveResponse, error) {
+	return c.roundTrip(EncodeProfile(p))
+}
+
+func (c *Client) roundTrip(req SolveRequest) (SolveResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.timeout > 0 {
@@ -266,7 +363,7 @@ func (c *Client) Solve(q *qubo.QUBO) (SolveResponse, error) {
 		}
 		defer c.conn.SetDeadline(time.Time{})
 	}
-	if err := qpuserver.WriteMessage(c.conn, EncodeQUBO(q)); err != nil {
+	if err := qpuserver.WriteMessage(c.conn, req); err != nil {
 		return SolveResponse{}, err
 	}
 	var resp SolveResponse

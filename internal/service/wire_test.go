@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/splitexec/splitexec/internal/arch"
 	"github.com/splitexec/splitexec/internal/graph"
 	"github.com/splitexec/splitexec/internal/qubo"
 )
@@ -165,5 +166,90 @@ func TestServeConnectionCap(t *testing.T) {
 	// The in-cap connection keeps working.
 	if _, err := first.Solve(q); err != nil {
 		t.Errorf("in-cap connection broken after shed: %v", err)
+	}
+}
+
+// TestProfileWireRoundTrip: Encode→Decode is the identity on phase costs,
+// and malformed profiles must error.
+func TestProfileWireRoundTrip(t *testing.T) {
+	p := arch.JobProfile{
+		PreProcess:  3 * time.Millisecond,
+		Network:     75 * time.Microsecond,
+		QPUService:  time.Millisecond,
+		PostProcess: 250 * time.Microsecond,
+	}
+	req := EncodeProfile(p)
+	if req.Profile == nil {
+		t.Fatal("EncodeProfile produced no profile payload")
+	}
+	got, err := DecodeProfile(req.Profile)
+	if err != nil {
+		t.Fatalf("DecodeProfile: %v", err)
+	}
+	if got != p {
+		t.Errorf("round trip changed the profile: %+v vs %+v", got, p)
+	}
+
+	for i, bad := range []WireProfile{
+		{PreProcessNS: -1},
+		{QPUServiceNS: -5},
+		{PreProcessNS: int64(MaxWireProfileTotal), QPUServiceNS: int64(time.Second)},
+		// A near-MaxInt64 phase must not overflow the total past the cap.
+		{PreProcessNS: int64(1<<63 - 1), QPUServiceNS: 1},
+		{NetworkNS: int64(1<<62 + 1<<61)},
+	} {
+		if _, err := DecodeProfile(&bad); err == nil {
+			t.Errorf("case %d: DecodeProfile accepted %+v", i, bad)
+		}
+	}
+}
+
+// TestServeProfile runs a synthetic profile job over the TCP front-end: the
+// response must carry the replayed phase costs and a sojourn no shorter
+// than the profile's unqueued total.
+func TestServeProfile(t *testing.T) {
+	svc, err := New(Options{Workers: 2, Fleet: 1, Base: testBase()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer svc.Drain()
+
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	c.SetTimeout(30 * time.Second)
+
+	p := arch.JobProfile{
+		PreProcess:  2 * time.Millisecond,
+		QPUService:  time.Millisecond,
+		PostProcess: time.Millisecond,
+	}
+	resp, err := c.Profile(p)
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	if !resp.OK {
+		t.Fatalf("response not OK: %+v", resp)
+	}
+	if got := time.Duration(resp.Stage1US) * time.Microsecond; got < p.PreProcess-time.Millisecond || got > p.PreProcess+time.Millisecond {
+		t.Errorf("stage1 %v, want ~%v", got, p.PreProcess)
+	}
+	if total := time.Duration(resp.TotalUS) * time.Microsecond; total < p.Total() {
+		t.Errorf("sojourn %v shorter than the unqueued total %v", total, p.Total())
+	}
+
+	// A hostile profile exceeding the per-job budget is refused, and the
+	// connection survives to serve the next request.
+	if _, err := c.Profile(arch.JobProfile{PreProcess: MaxWireProfileTotal + time.Second}); err == nil {
+		t.Error("oversized profile accepted")
+	}
+	if _, err := c.Profile(p); err != nil {
+		t.Errorf("connection did not survive a refused profile: %v", err)
 	}
 }

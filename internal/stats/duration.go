@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// DurationSummary is the latency-distribution digest used across the
+// open-system tooling: the discrete-event simulator, the live load
+// generator and the dispatch service all report queue waits, device waits
+// and sojourn times in this one shape, so predictions and measurements
+// compare field-for-field.
+type DurationSummary struct {
+	N    int           `json:"n"`
+	Mean time.Duration `json:"mean"`
+	P50  time.Duration `json:"p50"`
+	P90  time.Duration `json:"p90"`
+	P99  time.Duration `json:"p99"`
+	P999 time.Duration `json:"p999"`
+	Max  time.Duration `json:"max"`
+}
+
+// SummarizeDurations digests a sample of durations; it returns a zero
+// summary for empty input. Quantiles come from the library's shared
+// Quantile (linear interpolation on the sorted sample).
+func SummarizeDurations(ds []time.Duration) DurationSummary {
+	if len(ds) == 0 {
+		return DurationSummary{}
+	}
+	xs := make([]float64, len(ds))
+	var sum time.Duration
+	for i, d := range ds {
+		xs[i] = float64(d)
+		sum += d
+	}
+	sort.Float64s(xs)
+	q := func(p float64) time.Duration { return time.Duration(Quantile(xs, p)) }
+	return DurationSummary{
+		N:    len(ds),
+		Mean: sum / time.Duration(len(ds)),
+		P50:  q(0.50),
+		P90:  q(0.90),
+		P99:  q(0.99),
+		P999: q(0.999),
+		Max:  time.Duration(xs[len(xs)-1]),
+	}
+}
+
+// String renders the digest in the fixed format the DES event-log and
+// report-diffing tests byte-compare.
+func (s DurationSummary) String() string {
+	if s.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v p999=%v max=%v",
+		s.N, s.Mean, s.P50, s.P90, s.P99, s.P999, s.Max)
+}

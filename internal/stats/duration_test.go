@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestSummarizeDurationsEmpty(t *testing.T) {
+	s := SummarizeDurations(nil)
+	if s != (DurationSummary{}) {
+		t.Errorf("empty summary = %+v", s)
+	}
+	if s.String() != "n=0" {
+		t.Errorf("empty String = %q", s.String())
+	}
+}
+
+func TestSummarizeDurationsKnownSample(t *testing.T) {
+	// 1..100 ms: exact order statistics are easy to state.
+	ds := make([]time.Duration, 100)
+	for i := range ds {
+		ds[i] = time.Duration(i+1) * time.Millisecond
+	}
+	// Shuffle: the summary must not depend on input order.
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(len(ds), func(i, j int) { ds[i], ds[j] = ds[j], ds[i] })
+
+	s := SummarizeDurations(ds)
+	if s.N != 100 {
+		t.Errorf("N = %d", s.N)
+	}
+	if want := 50500 * time.Microsecond; s.Mean != want {
+		t.Errorf("Mean = %v, want %v", s.Mean, want)
+	}
+	if want := 50500 * time.Microsecond; s.P50 != want {
+		t.Errorf("P50 = %v, want %v", s.P50, want)
+	}
+	if want := 90100 * time.Microsecond; s.P90 != want {
+		t.Errorf("P90 = %v, want %v", s.P90, want)
+	}
+	if want := 99010 * time.Microsecond; s.P99 != want {
+		t.Errorf("P99 = %v, want %v", s.P99, want)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Errorf("Max = %v", s.Max)
+	}
+	if s.P999 <= s.P99 || s.P999 > s.Max {
+		t.Errorf("P999 = %v out of order (p99 %v, max %v)", s.P999, s.P99, s.Max)
+	}
+}
+
+func TestSummarizeDurationsSingle(t *testing.T) {
+	s := SummarizeDurations([]time.Duration{time.Second})
+	if s.Mean != time.Second || s.P50 != time.Second || s.P999 != time.Second || s.Max != time.Second {
+		t.Errorf("single-sample summary = %+v", s)
+	}
+}
+
+func TestDurationSummaryJSON(t *testing.T) {
+	s := SummarizeDurations([]time.Duration{time.Millisecond, 2 * time.Millisecond})
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DurationSummary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Errorf("JSON round trip changed summary: %+v vs %+v", back, s)
+	}
+}

@@ -1,0 +1,36 @@
+package workload
+
+import "testing"
+
+// FuzzDecodeScenario pins the scenario decoder's contract: arbitrary bytes
+// either decode into a scenario that passes Validate, or error — never
+// panic, and never yield a scenario a consumer would have to re-check.
+func FuzzDecodeScenario(f *testing.F) {
+	if data, err := validScenario().Encode(); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`{"arrival":{"kind":"poisson","rate":1},"mix":[{"name":"a","weight":1,` +
+		`"profile":{"preProcess":"1ms","qpuService":"1ms"}}],` +
+		`"system":{"kind":"shared","hosts":2},"horizon":{"jobs":10}}`))
+	f.Add([]byte(`{"arrival":{"kind":"trace","trace":["1ms","2ms"]}}`))
+	f.Add([]byte(`{"horizon":{"duration":-1}}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if verr := sc.Validate(); verr != nil {
+			t.Fatalf("Decode returned a scenario failing Validate: %v\n%s", verr, data)
+		}
+		// The sampling entry points must hold on any decoded scenario.
+		_ = sc.JobAt(0)
+		if sc.Arrival.Kind != ClosedLoop {
+			g, err := sc.Arrivals()
+			if err != nil {
+				t.Fatalf("Arrivals on a valid scenario: %v", err)
+			}
+			g.Next()
+		}
+	})
+}

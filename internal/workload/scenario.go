@@ -1,0 +1,419 @@
+// Package workload defines declarative open-system workload scenarios for
+// the split-execution service: instead of the closed-batch question the
+// architecture models answer ("submit N identical jobs, measure makespan"),
+// a Scenario describes jobs *arriving over time* — a stochastic arrival
+// process, a weighted mix of heterogeneous job classes, a deployment
+// topology, and a horizon — the regime of the ROADMAP's
+// millions-of-users north star, where the metric that matters is the
+// response-time distribution, not makespan.
+//
+// Scenarios are data, not code: they marshal to and from JSON so the same
+// file drives the discrete-event simulator (internal/des), the live load
+// generator (internal/loadgen) and the `splitexec simulate` / `splitexec
+// loadgen` subcommands. All randomness derives from Scenario.Seed through
+// parallel.DeriveSeed, so a scenario names one reproducible experiment.
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/arch"
+	"github.com/splitexec/splitexec/internal/parallel"
+)
+
+// Duration is a time.Duration that marshals as a human-readable string
+// ("1.5ms", "200µs") so scenario files stay legible; it also accepts plain
+// nanosecond numbers on decode.
+type Duration time.Duration
+
+// D returns the underlying time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// String implements fmt.Stringer.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// MarshalJSON encodes the duration as its String form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON decodes either a duration string or a nanosecond number.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	switch x := v.(type) {
+	case string:
+		parsed, err := time.ParseDuration(x)
+		if err != nil {
+			return fmt.Errorf("workload: bad duration %q: %w", x, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	case float64:
+		*d = Duration(time.Duration(x))
+		return nil
+	}
+	return fmt.Errorf("workload: duration must be a string or number, got %T", v)
+}
+
+// MinRate is the lowest arrival rate a scenario may declare: one job per
+// ~11.6 days. It keeps every inter-arrival gap — even scaled by the far
+// tail of an exponential draw — representable as a time.Duration.
+const MinRate = 1e-6
+
+// ArrivalKind names an arrival process.
+type ArrivalKind string
+
+// The supported arrival processes.
+const (
+	// Poisson arrivals: independent exponential inter-arrival gaps at
+	// Rate jobs/second — the open-system M/M/c regime.
+	Poisson ArrivalKind = "poisson"
+	// Uniform arrivals: deterministic, evenly spaced gaps of 1/Rate
+	// seconds — a paced load test.
+	Uniform ArrivalKind = "uniform"
+	// ClosedLoop arrivals: Clients submitters that each wait for their
+	// job to complete, think for Think, and submit again — the classic
+	// interactive closed system.
+	ClosedLoop ArrivalKind = "closed"
+	// Trace arrivals replay recorded arrival offsets from t=0 verbatim.
+	Trace ArrivalKind = "trace"
+)
+
+// Arrival specifies when jobs enter the system.
+type Arrival struct {
+	Kind ArrivalKind `json:"kind"`
+	// Rate is the arrival rate in jobs/second (Poisson, Uniform).
+	Rate float64 `json:"rate,omitempty"`
+	// Clients is the submitter population (ClosedLoop).
+	Clients int `json:"clients,omitempty"`
+	// Think is the per-client pause between completion and the next
+	// submission (ClosedLoop).
+	Think Duration `json:"think,omitempty"`
+	// Trace holds recorded arrival offsets from t=0, ascending (Trace).
+	Trace []Duration `json:"trace,omitempty"`
+}
+
+// Dist names a per-job service-time distribution for a job class.
+type Dist string
+
+// The supported service-time distributions.
+const (
+	// Deterministic jobs use the class profile verbatim (the default).
+	Deterministic Dist = "det"
+	// Exponential jobs scale the whole profile by an Exp(1) draw, so the
+	// end-to-end service time is exponential with the profile's mean while
+	// the phase ratios (and therefore the contention structure) are
+	// preserved — the single-class case is exactly M/M/c and validates
+	// the simulator against des.Analytic.
+	Exponential Dist = "exp"
+)
+
+// JobClass is one entry of the workload mix: a named arch.JobProfile drawn
+// with probability proportional to Weight.
+type JobClass struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`
+	// Dist selects the service-time distribution; empty means det.
+	Dist    Dist    `json:"dist,omitempty"`
+	Profile Profile `json:"profile"`
+}
+
+// Profile is the JSON form of an arch.JobProfile.
+type Profile struct {
+	PreProcess  Duration `json:"preProcess"`
+	Network     Duration `json:"network,omitempty"`
+	QPUService  Duration `json:"qpuService"`
+	PostProcess Duration `json:"postProcess,omitempty"`
+}
+
+// Arch converts to the architecture-model profile.
+func (p Profile) Arch() arch.JobProfile {
+	return arch.JobProfile{
+		PreProcess:  p.PreProcess.D(),
+		Network:     p.Network.D(),
+		QPUService:  p.QPUService.D(),
+		PostProcess: p.PostProcess.D(),
+	}
+}
+
+// FromArch converts an architecture-model profile to its JSON form.
+func FromArch(p arch.JobProfile) Profile {
+	return Profile{
+		PreProcess:  Duration(p.PreProcess),
+		Network:     Duration(p.Network),
+		QPUService:  Duration(p.QPUService),
+		PostProcess: Duration(p.PostProcess),
+	}
+}
+
+// SystemSpec is the deployment topology the workload runs on, mirroring
+// arch.System: "shared" is Fig. 1(b) (Hosts workers contending for one
+// QPU), "dedicated" Fig. 1(c) (a QPU per host), "asymmetric" Fig. 1(a)
+// (one host, one QPU).
+type SystemSpec struct {
+	Kind  string `json:"kind"`
+	Hosts int    `json:"hosts"`
+}
+
+// Arch resolves the spec to an arch.System.
+func (s SystemSpec) Arch() (arch.System, error) {
+	sys := arch.System{Hosts: s.Hosts}
+	switch s.Kind {
+	case "asymmetric":
+		sys.Kind = arch.AsymmetricMultiprocessor
+	case "shared":
+		sys.Kind = arch.SharedResource
+	case "dedicated":
+		sys.Kind = arch.DedicatedPerNode
+	default:
+		return sys, fmt.Errorf("workload: unknown system kind %q (want asymmetric, shared or dedicated)", s.Kind)
+	}
+	return sys, sys.Validate()
+}
+
+// QPUs returns the QPU fleet size of the deployment.
+func (s SystemSpec) QPUs() int {
+	if s.Kind == "dedicated" {
+		return s.Hosts
+	}
+	return 1
+}
+
+// Horizon bounds a scenario run: admissions stop at Jobs arrivals or once
+// Duration has elapsed — whichever binds first when both are set. Every
+// admitted job runs to completion either way.
+type Horizon struct {
+	Jobs     int      `json:"jobs,omitempty"`
+	Duration Duration `json:"duration,omitempty"`
+}
+
+// Scenario is one declarative open-system workload experiment.
+type Scenario struct {
+	Name    string     `json:"name,omitempty"`
+	Seed    int64      `json:"seed"`
+	Arrival Arrival    `json:"arrival"`
+	Mix     []JobClass `json:"mix"`
+	System  SystemSpec `json:"system"`
+	Horizon Horizon    `json:"horizon"`
+}
+
+// Validate checks structural consistency; it is called by Decode and by
+// every consumer (simulator, load generator) before a run.
+func (sc *Scenario) Validate() error {
+	switch sc.Arrival.Kind {
+	case Poisson, Uniform:
+		if !(sc.Arrival.Rate > 0) {
+			return fmt.Errorf("workload: %s arrivals need rate > 0, got %v", sc.Arrival.Kind, sc.Arrival.Rate)
+		}
+		// Bound the rate so a single inter-arrival gap (including the
+		// exponential multiplier's tail) always fits a time.Duration —
+		// sub-µHz rates would overflow gap arithmetic into negative
+		// virtual times and garbage results.
+		if math.IsInf(sc.Arrival.Rate, 0) || sc.Arrival.Rate < MinRate {
+			return fmt.Errorf("workload: %s rate %v outside [%v, +inf) jobs/s", sc.Arrival.Kind, sc.Arrival.Rate, MinRate)
+		}
+	case ClosedLoop:
+		if sc.Arrival.Clients < 1 {
+			return fmt.Errorf("workload: closed-loop arrivals need clients >= 1, got %d", sc.Arrival.Clients)
+		}
+		if sc.Arrival.Think < 0 {
+			return fmt.Errorf("workload: negative think time %v", sc.Arrival.Think)
+		}
+	case Trace:
+		if len(sc.Arrival.Trace) == 0 {
+			return fmt.Errorf("workload: trace arrivals need at least one offset")
+		}
+		if !sort.SliceIsSorted(sc.Arrival.Trace, func(i, j int) bool {
+			return sc.Arrival.Trace[i] < sc.Arrival.Trace[j]
+		}) {
+			return fmt.Errorf("workload: trace offsets must be ascending")
+		}
+		if sc.Arrival.Trace[0] < 0 {
+			return fmt.Errorf("workload: negative trace offset %v", sc.Arrival.Trace[0])
+		}
+	default:
+		return fmt.Errorf("workload: unknown arrival kind %q", sc.Arrival.Kind)
+	}
+	if len(sc.Mix) == 0 {
+		return fmt.Errorf("workload: empty job mix")
+	}
+	total := 0.0
+	for i, c := range sc.Mix {
+		if !(c.Weight > 0) {
+			return fmt.Errorf("workload: mix[%d] %q needs weight > 0, got %v", i, c.Name, c.Weight)
+		}
+		switch c.Dist {
+		case "", Deterministic, Exponential:
+		default:
+			return fmt.Errorf("workload: mix[%d] %q has unknown dist %q", i, c.Name, c.Dist)
+		}
+		p := c.Profile.Arch()
+		if p.PreProcess < 0 || p.Network < 0 || p.QPUService < 0 || p.PostProcess < 0 {
+			return fmt.Errorf("workload: mix[%d] %q has a negative phase time", i, c.Name)
+		}
+		if p.Total() <= 0 {
+			return fmt.Errorf("workload: mix[%d] %q has zero total service time", i, c.Name)
+		}
+		total += c.Weight
+	}
+	if _, err := sc.System.Arch(); err != nil {
+		return err
+	}
+	if sc.Horizon.Jobs < 0 || sc.Horizon.Duration < 0 {
+		return fmt.Errorf("workload: negative horizon %+v", sc.Horizon)
+	}
+	if sc.Horizon.Jobs == 0 && sc.Horizon.Duration == 0 {
+		return fmt.Errorf("workload: horizon needs jobs or duration")
+	}
+	if sc.Arrival.Kind == Trace && sc.Horizon.Jobs > len(sc.Arrival.Trace) {
+		return fmt.Errorf("workload: horizon wants %d jobs but trace holds %d offsets",
+			sc.Horizon.Jobs, len(sc.Arrival.Trace))
+	}
+	return nil
+}
+
+// Encode marshals the scenario to indented JSON.
+func (sc *Scenario) Encode() ([]byte, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(sc, "", "  ")
+}
+
+// Decode unmarshals and validates a scenario file.
+func Decode(data []byte) (*Scenario, error) {
+	var sc Scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return nil, fmt.Errorf("workload: decoding scenario: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// --- deterministic sampling --------------------------------------------------
+
+// RNG stream indices: per-job streams use the job's submission index
+// directly, so the arrival stream sits far outside any realistic job range.
+const arrivalStream = -0x61727276 // "arrv"
+
+// Job is one sampled job of a scenario: the class it drew and its realized
+// (distribution-scaled) phase profile.
+type Job struct {
+	Class   int
+	Profile arch.JobProfile
+}
+
+// JobAt deterministically samples job i of the scenario: the class is drawn
+// from the weighted mix and the profile scaled per the class distribution,
+// both from the job's own DeriveSeed stream. The result depends only on
+// (Seed, i) — never on arrival order, worker count or transport — so the
+// simulator and the live load generator realize byte-identical workloads.
+func (sc *Scenario) JobAt(i int) Job {
+	rng := parallel.NewRand(parallel.DeriveSeed(sc.Seed, i))
+	idx := pickClass(sc.Mix, rng.Float64())
+	c := sc.Mix[idx]
+	p := c.Profile.Arch()
+	if c.Dist == Exponential {
+		scale := rng.ExpFloat64()
+		p.PreProcess = scaleDur(p.PreProcess, scale)
+		p.Network = scaleDur(p.Network, scale)
+		p.QPUService = scaleDur(p.QPUService, scale)
+		p.PostProcess = scaleDur(p.PostProcess, scale)
+	}
+	return Job{Class: idx, Profile: p}
+}
+
+func scaleDur(d time.Duration, s float64) time.Duration {
+	return time.Duration(float64(d) * s)
+}
+
+func pickClass(mix []JobClass, u float64) int {
+	total := 0.0
+	for _, c := range mix {
+		total += c.Weight
+	}
+	target := u * total
+	acc := 0.0
+	for i, c := range mix {
+		acc += c.Weight
+		if target < acc {
+			return i
+		}
+	}
+	return len(mix) - 1
+}
+
+// ArrivalRNG returns the scenario's dedicated arrival-process RNG stream.
+func (sc *Scenario) ArrivalRNG() *rand.Rand {
+	return parallel.NewRand(parallel.DeriveSeed(sc.Seed, arrivalStream))
+}
+
+// Arrivals returns a deterministic generator of open-system arrival
+// offsets from t=0. Next returns (offset, true) until the process is
+// exhausted (a trace runs out; rate processes never do). ClosedLoop
+// scenarios have no open arrival stream — their arrivals are completion-
+// driven — and Arrivals returns an error for them.
+func (sc *Scenario) Arrivals() (*ArrivalGen, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.Arrival.Kind == ClosedLoop {
+		return nil, fmt.Errorf("workload: closed-loop scenarios have no open arrival stream")
+	}
+	return &ArrivalGen{spec: sc.Arrival, rng: sc.ArrivalRNG()}, nil
+}
+
+// ArrivalGen generates one scenario's arrival offsets lazily, so horizons
+// of millions of jobs never materialize a slice.
+type ArrivalGen struct {
+	spec Arrival
+	rng  *rand.Rand
+	now  time.Duration
+	n    int
+}
+
+// Next returns the next arrival offset from t=0, or ok=false when the
+// process is exhausted. A rate process exhausts itself if its cumulative
+// offset would overflow a time.Duration (billions of ultra-slow arrivals)
+// rather than hand out garbage times.
+func (g *ArrivalGen) Next() (offset time.Duration, ok bool) {
+	switch g.spec.Kind {
+	case Poisson:
+		next := g.now + time.Duration(g.rng.ExpFloat64()/g.spec.Rate*float64(time.Second))
+		if next < g.now {
+			return 0, false // overflow: the process has outrun virtual time
+		}
+		g.now = next
+	case Uniform:
+		// Evenly spaced from the fixed rate; computed from the count to
+		// avoid accumulating rounding drift over millions of arrivals.
+		g.n++
+		next := time.Duration(float64(g.n) / g.spec.Rate * float64(time.Second))
+		if next < g.now {
+			return 0, false
+		}
+		g.now = next
+		return g.now, true
+	case Trace:
+		if g.n >= len(g.spec.Trace) {
+			return 0, false
+		}
+		g.now = g.spec.Trace[g.n].D()
+		g.n++
+		return g.now, true
+	default:
+		return 0, false
+	}
+	g.n++
+	return g.now, true
+}

@@ -33,16 +33,20 @@ import (
 	"github.com/splitexec/splitexec/internal/aspen"
 	"github.com/splitexec/splitexec/internal/control"
 	"github.com/splitexec/splitexec/internal/core"
+	"github.com/splitexec/splitexec/internal/des"
 	"github.com/splitexec/splitexec/internal/dse"
 	"github.com/splitexec/splitexec/internal/embed"
 	"github.com/splitexec/splitexec/internal/gi"
 	"github.com/splitexec/splitexec/internal/graph"
+	"github.com/splitexec/splitexec/internal/loadgen"
 	"github.com/splitexec/splitexec/internal/machine"
 	"github.com/splitexec/splitexec/internal/parallel"
 	"github.com/splitexec/splitexec/internal/qpuserver"
 	"github.com/splitexec/splitexec/internal/qubo"
 	"github.com/splitexec/splitexec/internal/schedule"
 	"github.com/splitexec/splitexec/internal/service"
+	"github.com/splitexec/splitexec/internal/stats"
+	"github.com/splitexec/splitexec/internal/workload"
 )
 
 // --- core pipeline ----------------------------------------------------------
@@ -341,6 +345,87 @@ func DialServiceTimeout(addr string, timeout time.Duration) (*ServiceClient, err
 // WrapQPUDevice adapts a simulated annealing device for use in an explicit
 // ServiceOptions.Devices fleet or as a Config.Device.
 func WrapQPUDevice(dev *anneal.Device) core.QPUDevice { return core.LocalDevice(dev) }
+
+// --- open-system workload engine ----------------------------------------------
+
+// Scenario is one declarative open-system workload experiment: an arrival
+// process, a weighted mix of job classes, a deployment topology and a
+// horizon — JSON-encodable so scenarios are files, not code.
+type Scenario = workload.Scenario
+
+// ScenarioArrival specifies when jobs enter the system (Poisson, uniform,
+// closed-loop or recorded trace).
+type ScenarioArrival = workload.Arrival
+
+// ScenarioJobClass is one weighted entry of a scenario's workload mix.
+type ScenarioJobClass = workload.JobClass
+
+// ScenarioProfile is the JSON form of an arch.JobProfile.
+type ScenarioProfile = workload.Profile
+
+// ScenarioSystem is a scenario's deployment topology (Fig. 1 kinds).
+type ScenarioSystem = workload.SystemSpec
+
+// ScenarioHorizon bounds a scenario run by job count or duration.
+type ScenarioHorizon = workload.Horizon
+
+// ScenarioDuration is a duration that marshals as a human-readable string.
+type ScenarioDuration = workload.Duration
+
+// Arrival processes a ScenarioArrival can name.
+const (
+	PoissonArrivals    = workload.Poisson
+	UniformArrivals    = workload.Uniform
+	ClosedLoopArrivals = workload.ClosedLoop
+	TraceArrivals      = workload.Trace
+)
+
+// ExponentialService marks a job class whose profile is scaled by an
+// Exp(1) draw per job (preserving phase ratios) — the M/M/c-checkable
+// service distribution.
+const ExponentialService = workload.Exponential
+
+// DecodeScenario unmarshals and validates a scenario file.
+var DecodeScenario = workload.Decode
+
+// WorkloadResult is the aggregate of one simulated scenario run: latency
+// distributions, utilization, throughput.
+type WorkloadResult = des.Result
+
+// WorkloadSimOptions configure the discrete-event simulator (event log).
+type WorkloadSimOptions = des.Options
+
+// SimulateWorkload runs a scenario through the open-system discrete-event
+// simulator in virtual time — millions of arrivals in milliseconds, no
+// wall-clock sleeping.
+var SimulateWorkload = des.Simulate
+
+// MMCResult is an M/M/c steady-state prediction.
+type MMCResult = des.AnalyticResult
+
+// AnalyticMMC evaluates the M/M/c queueing formulas (Erlang C).
+var AnalyticMMC = des.Analytic
+
+// AnalyticWorkload maps an eligible scenario (Poisson, single exponential
+// class, uncontended QPU) onto the M/M/c model.
+var AnalyticWorkload = des.AnalyticScenario
+
+// LoadgenOptions select the target service and transport of a live replay.
+type LoadgenOptions = loadgen.Options
+
+// LoadgenResult is the measured counterpart of a WorkloadResult.
+type LoadgenResult = loadgen.Result
+
+// RunLoadgen replays a scenario against a live dispatch service (in
+// process or over TCP) and measures the latency distributions the
+// simulator predicts.
+var RunLoadgen = loadgen.Run
+
+// DurationSummary is the shared latency digest (mean/p50/p90/p99/p999/max).
+type DurationSummary = stats.DurationSummary
+
+// SummarizeDurations digests a duration sample into a DurationSummary.
+var SummarizeDurations = stats.SummarizeDurations
 
 // --- architecture comparison (Fig. 1 a/b/c) ----------------------------------
 
