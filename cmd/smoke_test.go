@@ -231,6 +231,43 @@ func TestSplitexecSimulateSmoke(t *testing.T) {
 	}
 }
 
+// TestSplitexecPlanSmoke drives the capacity planner end to end: table
+// output with a cheapest satisfying configuration and a failing cheaper
+// neighbor, plus decodable JSON with the same verdict.
+func TestSplitexecPlanSmoke(t *testing.T) {
+	path := writeScenario(t, 8000, 1200, 1)
+	out := run(t, "splitexec", "plan", "-scenario", path,
+		"-p99", "25ms", "-hosts", "1:6", "-kinds", "shared,dedicated", "-policies", "all")
+	for _, want := range []string{"cheapest satisfying configuration:", "meets SLO", "next-cheaper neighbor fails:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan output missing %q:\n%s", want, out)
+		}
+	}
+	var p struct {
+		Best *struct {
+			Kind   string  `json:"kind"`
+			Hosts  int     `json:"hosts"`
+			Policy string  `json:"policy"`
+			Cost   float64 `json:"cost"`
+			Meets  bool    `json:"meets"`
+		} `json:"best"`
+		Evaluated []struct {
+			Meets bool `json:"meets"`
+		} `json:"evaluated"`
+	}
+	jsonOut := run(t, "splitexec", "plan", "-scenario", path,
+		"-p99", "25ms", "-hosts", "1:6", "-policies", "fifo,priority", "-json")
+	if err := json.Unmarshal([]byte(jsonOut), &p); err != nil {
+		t.Fatalf("plan -json output not JSON: %v\n%s", err, jsonOut)
+	}
+	if p.Best == nil || !p.Best.Meets || p.Best.Hosts < 1 {
+		t.Errorf("plan -json best = %+v", p.Best)
+	}
+	if len(p.Evaluated) == 0 {
+		t.Error("plan -json evaluated no candidates")
+	}
+}
+
 // TestSplitexecLoadgenSmoke drives the full open-system loop over TCP: a
 // live `splitexec serve`, the loadgen subcommand replaying a scenario
 // against it, and the serve process's JSON drain report on SIGTERM.

@@ -50,6 +50,7 @@ func runLoadgen(args []string) {
 			Workers:    sc.System.Hosts,
 			Fleet:      sc.System.QPUs(),
 			QueueDepth: depth,
+			Policy:     sc.Policy, // realize the scenario's discipline live
 		})
 		if err != nil {
 			log.Fatalf("splitexec loadgen: %v", err)

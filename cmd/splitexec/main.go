@@ -13,13 +13,16 @@
 //
 //	splitexec serve -addr :7464 -hosts 4 -devices 1
 //
-// The simulate and loadgen subcommands drive the open-system workload
-// engine from a declarative scenario file (docs/workloads.md): simulate
-// runs the discrete-event simulator in virtual time, loadgen replays the
-// same scenario against a live service and prints measured vs simulated:
+// The simulate, loadgen and plan subcommands drive the open-system
+// workload engine from a declarative scenario file (docs/workloads.md):
+// simulate runs the discrete-event simulator in virtual time, loadgen
+// replays the same scenario against a live service and prints measured vs
+// simulated, and plan inverts the models into a provisioning decision —
+// the cheapest {hosts, fleet, policy} meeting an SLO (docs/planning.md):
 //
 //	splitexec simulate -scenario burst.json
 //	splitexec loadgen -scenario burst.json -addr 127.0.0.1:7464
+//	splitexec plan -scenario burst.json -p99 10ms -hosts 1:16 -policies all
 package main
 
 import (
@@ -50,6 +53,9 @@ func main() {
 			return
 		case "loadgen":
 			runLoadgen(os.Args[2:])
+			return
+		case "plan":
+			runPlan(os.Args[2:])
 			return
 		}
 	}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/plan"
+	"github.com/splitexec/splitexec/internal/sched"
+)
+
+// runPlan is the `splitexec plan` subcommand: the SLO-driven capacity
+// planner. It inverts the workload engine — given a scenario and a target
+// (p99/mean sojourn, utilization ceilings), it searches
+// {hosts × topology × policy} with the discrete-event simulator and prints
+// the cheapest configuration that meets the SLO, together with the
+// next-cheaper neighbor that does not.
+func runPlan(args []string) {
+	fs := flag.NewFlagSet("splitexec plan", flag.ExitOnError)
+	var (
+		scenarioPath = fs.String("scenario", "", "scenario JSON file (required; see docs/workloads.md)")
+		seed         = fs.Int64("seed", 0, "override the scenario's seed (0 keeps the file's)")
+		p99          = fs.Duration("p99", 0, "p99 sojourn SLO (e.g. 10ms; 0 = unconstrained)")
+		mean         = fs.Duration("mean", 0, "mean sojourn SLO (0 = unconstrained)")
+		maxHost      = fs.Float64("maxhostbusy", 0, "host utilization ceiling in (0,1] (0 = unconstrained)")
+		maxQPU       = fs.Float64("maxqpubusy", 0, "QPU utilization ceiling in (0,1] (0 = unconstrained)")
+		hostsFlag    = fs.String("hosts", "1:16", "candidate host counts: comma list and/or a:b ranges (e.g. 1,2,4:8)")
+		kindsFlag    = fs.String("kinds", "", "comma-separated deployment kinds to search (default: the scenario's)")
+		policiesFlag = fs.String("policies", "", "comma-separated policies to search, or \"all\" (default: the scenario's)")
+		jobs         = fs.Int("jobs", 0, "override the job horizon for the planning simulations (p99 needs >= ~1e4)")
+		hostCost     = fs.Float64("hostcost", 1, "relative cost of one host")
+		qpuCost      = fs.Float64("qpucost", 3, "relative cost of one QPU")
+		asJSON       = fs.Bool("json", false, "emit the plan as JSON instead of a table")
+	)
+	fs.Parse(args)
+	sc := loadScenario(*scenarioPath, *seed)
+
+	hosts, err := parseHosts(*hostsFlag)
+	if err != nil {
+		log.Fatalf("splitexec plan: %v", err)
+	}
+	space := plan.Space{Hosts: hosts}
+	if *kindsFlag != "" {
+		space.Kinds = strings.Split(*kindsFlag, ",")
+	}
+	switch {
+	case *policiesFlag == "all":
+		space.Policies = sched.Policies()
+	case *policiesFlag != "":
+		for _, p := range strings.Split(*policiesFlag, ",") {
+			space.Policies = append(space.Policies, sched.Policy(strings.TrimSpace(p)))
+		}
+	}
+	target := plan.Target{
+		P99Sojourn:  *p99,
+		MeanSojourn: *mean,
+		MaxHostBusy: *maxHost,
+		MaxQPUBusy:  *maxQPU,
+	}
+	opts := plan.Options{
+		Costs:       plan.Costs{Host: *hostCost, QPU: *qpuCost},
+		HorizonJobs: *jobs,
+	}
+	start := time.Now()
+	p, err := plan.Capacity(sc, target, space, opts)
+	if err != nil {
+		log.Fatalf("splitexec plan: %v", err)
+	}
+	wall := time.Since(start)
+
+	if *asJSON {
+		printJSON(p)
+		return
+	}
+	fmt.Printf("scenario: %s — planned over %d candidates in %v\n\n",
+		name(sc), len(p.Evaluated), wall.Round(time.Millisecond))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "  kind\tpolicy\thosts\tqpus\tcost\tp99 sojourn\tmean sojourn\thost util\tqpu util\tverdict\n")
+	for _, c := range p.Evaluated {
+		verdict := "meets SLO"
+		if !c.Meets {
+			verdict = strings.Join(c.Unmet, "; ")
+		}
+		fmt.Fprintf(w, "  %s\t%s\t%d\t%d\t%.1f\t%v\t%v\t%.2f\t%.2f\t%s\n",
+			c.Kind, c.Policy, c.Hosts, c.QPUs, c.Cost,
+			c.Result.Sojourn.P99.Round(time.Microsecond),
+			c.Result.Sojourn.Mean.Round(time.Microsecond),
+			c.Result.HostBusy, c.Result.QPUBusy, verdict)
+	}
+	w.Flush()
+	fmt.Println()
+	if p.Best == nil {
+		fmt.Println("no configuration in the search space meets the target")
+		os.Exit(1)
+	}
+	fmt.Printf("cheapest satisfying configuration: %s/%s hosts=%d qpus=%d (cost %.1f, p99 %v)\n",
+		p.Best.Kind, p.Best.Policy, p.Best.Hosts, p.Best.QPUs, p.Best.Cost,
+		p.Best.Result.Sojourn.P99.Round(time.Microsecond))
+	if p.Best.Analytic != nil {
+		fmt.Printf("  M/M/c cross-check: rho=%.3f, analytic mean sojourn %v vs simulated %v\n",
+			p.Best.Analytic.Rho, p.Best.Analytic.SojournMean.Round(time.Microsecond),
+			p.Best.Result.Sojourn.Mean.Round(time.Microsecond))
+	}
+	if p.NextCheaper != nil {
+		fmt.Printf("  next-cheaper neighbor fails: %s/%s hosts=%d (cost %.1f) — %s\n",
+			p.NextCheaper.Kind, p.NextCheaper.Policy, p.NextCheaper.Hosts,
+			p.NextCheaper.Cost, strings.Join(p.NextCheaper.Unmet, "; "))
+	}
+}
+
+// parseHosts decodes "1,2,4:8" into a host-count list.
+func parseHosts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if a, b, ok := strings.Cut(part, ":"); ok {
+			lo, err1 := strconv.Atoi(a)
+			hi, err2 := strconv.Atoi(b)
+			if err1 != nil || err2 != nil || lo > hi {
+				return nil, fmt.Errorf("bad host range %q (want a:b with a <= b)", part)
+			}
+			for h := lo; h <= hi; h++ {
+				out = append(out, h)
+			}
+			continue
+		}
+		h, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad host count %q", part)
+		}
+		out = append(out, h)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -hosts list")
+	}
+	return out, nil
+}

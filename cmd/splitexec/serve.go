@@ -14,6 +14,7 @@ import (
 	"github.com/splitexec/splitexec/internal/embed"
 	"github.com/splitexec/splitexec/internal/graph"
 	"github.com/splitexec/splitexec/internal/machine"
+	"github.com/splitexec/splitexec/internal/sched"
 	"github.com/splitexec/splitexec/internal/service"
 )
 
@@ -28,6 +29,7 @@ func runServe(args []string) {
 		hosts   = fs.Int("hosts", 4, "host workers (the H of Fig. 1b/c)")
 		devices = fs.Int("devices", 1, "QPU fleet size (1 = shared-resource, hosts = dedicated)")
 		queue   = fs.Int("queue", 0, "job queue depth (0 = 2×hosts); full queues apply backpressure")
+		policy  = fs.String("policy", "fifo", "queue discipline: fifo, priority, sjf or fair")
 		m       = fs.Int("m", 8, "Chimera rows M")
 		ncols   = fs.Int("ncols", 8, "Chimera columns N")
 		sweeps  = fs.Int("sweeps", 256, "annealer sweeps per read")
@@ -42,6 +44,7 @@ func runServe(args []string) {
 		Workers:    *hosts,
 		QueueDepth: *queue,
 		Fleet:      *devices,
+		Policy:     sched.Policy(*policy),
 		Seed:       *seed,
 		Base: core.Config{
 			Node:    node,
@@ -60,8 +63,8 @@ func runServe(args []string) {
 	if err != nil {
 		log.Fatalf("splitexec serve: %v", err)
 	}
-	log.Printf("splitexec: serving split-execution solves on %s (hosts=%d devices=%d topology=C(%d,%d,4))",
-		bound, svc.Workers(), svc.FleetSize(), *m, *ncols)
+	log.Printf("splitexec: serving split-execution solves on %s (hosts=%d devices=%d policy=%s topology=C(%d,%d,4))",
+		bound, svc.Workers(), svc.FleetSize(), svc.Policy(), *m, *ncols)
 
 	// Serve until interrupted, then drain and report the measured run.
 	sig := make(chan os.Signal, 1)

@@ -376,3 +376,65 @@ func TestFacadeOpenWorkloadExports(t *testing.T) {
 		t.Fatalf("SummarizeDurations = %+v", s)
 	}
 }
+
+func TestFacadePolicyAndPlannerExports(t *testing.T) {
+	if got := splitexec.SchedulingPolicies(); len(got) != 4 || got[0] != splitexec.FIFOPolicy {
+		t.Fatalf("SchedulingPolicies() = %v", got)
+	}
+	sc := &splitexec.Scenario{
+		Name:    "facade-plan",
+		Seed:    3,
+		Arrival: splitexec.ScenarioArrival{Kind: splitexec.PoissonArrivals, Rate: 1100},
+		Mix: []splitexec.ScenarioJobClass{{
+			Name: "exp", Weight: 1, Dist: splitexec.ExponentialService, Priority: 1,
+			Profile: splitexec.ScenarioProfile{
+				PreProcess: splitexec.ScenarioDuration(600 * time.Microsecond),
+				QPUService: splitexec.ScenarioDuration(400 * time.Microsecond),
+			},
+		}},
+		System:  splitexec.ScenarioSystem{Kind: "dedicated", Hosts: 1},
+		Horizon: splitexec.ScenarioHorizon{Jobs: 8000},
+		Policy:  splitexec.PriorityPolicy,
+	}
+	p, err := splitexec.PlanCapacity(sc,
+		splitexec.CapacityTarget{P99Sojourn: 12 * time.Millisecond},
+		splitexec.CapacitySpace{Hosts: []int{1, 2, 4}},
+		splitexec.CapacityPlanOptions{Costs: splitexec.CapacityCosts{Host: 1, QPU: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Best == nil || !p.Best.Meets {
+		t.Fatalf("plan found no satisfying configuration: %+v", p)
+	}
+	if p.Best.Policy != splitexec.PriorityPolicy {
+		t.Errorf("plan did not inherit the scenario policy: %q", p.Best.Policy)
+	}
+	// A policy-bearing scenario must round-trip through the facade decoder.
+	data, err := sc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := splitexec.DecodeScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Policy != splitexec.PriorityPolicy || back.Mix[0].Priority != 1 {
+		t.Errorf("policy fields lost in facade round trip: %+v", back)
+	}
+	// The live service accepts the same policy plus per-job classes.
+	svc, err := splitexec.NewService(splitexec.ServiceOptions{Workers: 1, QueueDepth: 4, Policy: splitexec.FairSharePolicy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := svc.SubmitProfileClass(splitexec.JobProfile{PreProcess: time.Millisecond},
+		splitexec.ServiceJobClass{Class: 1, Priority: 2, Weight: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if rep := svc.Drain(); rep.Jobs != 1 {
+		t.Fatalf("drain report %+v", rep)
+	}
+}

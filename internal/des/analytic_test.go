@@ -1,0 +1,93 @@
+package des
+
+import (
+	"math"
+	"testing"
+)
+
+// erlangCRef is an independent oracle for the Erlang-C probability,
+// evaluated in log space with the direct definition:
+//
+//	C = T / (S + T),  S = Σ_{k<c} a^k/k!,  T = (a^c/c!)·1/(1-ρ)
+//
+// A naive float64 evaluation of these terms overflows around c ≳ 170
+// (171! > MaxFloat64) — exactly the failure mode the production recurrence
+// must avoid — so the oracle works with logarithms throughout.
+func erlangCRef(a float64, c int) float64 {
+	lga := math.Log(a)
+	logTerm := func(k int) float64 {
+		lg, _ := math.Lgamma(float64(k + 1))
+		return float64(k)*lga - lg
+	}
+	// log-sum-exp over the partial sum S.
+	maxLog := math.Inf(-1)
+	for k := 0; k < c; k++ {
+		if lt := logTerm(k); lt > maxLog {
+			maxLog = lt
+		}
+	}
+	sum := 0.0
+	for k := 0; k < c; k++ {
+		sum += math.Exp(logTerm(k) - maxLog)
+	}
+	logS := maxLog + math.Log(sum)
+	rho := a / float64(c)
+	logT := logTerm(c) - math.Log(1-rho)
+	return 1 / (1 + math.Exp(logS-logT))
+}
+
+// TestAnalyticLargeC pins the Erlang-B recurrence against the log-space
+// oracle at server counts where factorial-style accumulation overflows
+// (171! exceeds MaxFloat64): c ∈ {64, 256} across utilizations. This is the
+// regression the planner depends on — capacity sweeps routinely cross
+// c > 170.
+func TestAnalyticLargeC(t *testing.T) {
+	const mu = 1000.0
+	for _, c := range []int{64, 256} {
+		var lastWq float64
+		for _, rho := range []float64{0.5, 0.8, 0.95} {
+			lambda := rho * float64(c) * mu
+			r, err := Analytic(lambda, mu, c)
+			if err != nil {
+				t.Fatalf("c=%d rho=%.2f: %v", c, rho, err)
+			}
+			want := erlangCRef(lambda/mu, c)
+			if math.IsNaN(r.ErlangC) || math.IsInf(r.ErlangC, 0) {
+				t.Fatalf("c=%d rho=%.2f: ErlangC = %v (overflow/underflow)", c, rho, r.ErlangC)
+			}
+			if r.ErlangC <= 0 || r.ErlangC >= 1 {
+				t.Errorf("c=%d rho=%.2f: ErlangC = %v outside (0,1)", c, rho, r.ErlangC)
+			}
+			if rel := math.Abs(r.ErlangC-want) / want; rel > 1e-10 {
+				t.Errorf("c=%d rho=%.2f: ErlangC = %.15g, oracle %.15g (rel err %.2e)",
+					c, rho, r.ErlangC, want, rel)
+			}
+			wq := r.QueueWaitMean.Seconds()
+			if wq < 0 || r.SojournMean.Seconds() < 1/mu {
+				t.Errorf("c=%d rho=%.2f: Wq=%v W=%v inconsistent", c, rho, r.QueueWaitMean, r.SojournMean)
+			}
+			if wq < lastWq {
+				t.Errorf("c=%d: Wq fell from %v to %v as rho rose", c, lastWq, wq)
+			}
+			lastWq = wq
+			// Little's law ties the mean queue length to Wq.
+			if math.Abs(r.QueueLenMean-lambda*wq) > lambda*1e-9 {
+				t.Errorf("c=%d rho=%.2f: Lq=%v vs lambda*Wq=%v", c, rho, r.QueueLenMean, lambda*wq)
+			}
+		}
+	}
+}
+
+// TestAnalyticLargeCKnownValue pins one hand-checkable large-c point: at
+// very low utilization an arriving job almost never finds all 256 servers
+// busy, so ErlangC must be vanishingly small yet still positive — a regime
+// where an overflowing implementation returns NaN or 0.
+func TestAnalyticLargeCKnownValue(t *testing.T) {
+	r, err := Analytic(0.2*256*1000, 1000, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ErlangC <= 0 || r.ErlangC > 1e-40 {
+		t.Errorf("c=256 rho=0.2: ErlangC = %g, want tiny but positive", r.ErlangC)
+	}
+}

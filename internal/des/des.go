@@ -5,12 +5,15 @@
 // closed-batch makespan models of internal/arch cannot answer.
 //
 // The simulated discipline mirrors the live dispatch service exactly: a job
-// arrives, waits in a FIFO backlog for a free host worker, then the host
-// carries it end to end — pre-process, request network, queue for a QPU
-// service token, serialized QPU service, response network, post-process —
-// and only then takes the next job. Shared-resource systems have one QPU
-// token for all hosts; dedicated systems give every host its own, so a
-// held job's QPU is free by construction.
+// arrives, waits in a backlog ordered by the scenario's scheduling policy
+// (internal/sched: FIFO, priority, shortest-expected-QPU-first or weighted
+// fair share) for a free host worker, then the host carries it end to end —
+// pre-process, request network, queue for a QPU service token, serialized
+// QPU service, response network, post-process — and only then takes the
+// next job. Shared-resource systems have one QPU token for all hosts;
+// dedicated systems give every host its own, so a held job's QPU is free by
+// construction. The QPU token queue itself stays FIFO under every policy,
+// matching the live fleet's channel semantics.
 //
 // Costs are O(events · log events) on a binary heap keyed by (time, push
 // sequence), so identical scenarios replay byte-identical event logs at any
@@ -27,6 +30,7 @@ import (
 	"time"
 
 	"github.com/splitexec/splitexec/internal/arch"
+	"github.com/splitexec/splitexec/internal/sched"
 	"github.com/splitexec/splitexec/internal/stats"
 	"github.com/splitexec/splitexec/internal/workload"
 )
@@ -54,6 +58,11 @@ type Result struct {
 	QueueWait stats.DurationSummary `json:"queueWait"`
 	QPUWait   stats.DurationSummary `json:"qpuWait"`
 	Sojourn   stats.DurationSummary `json:"sojourn"`
+
+	// ClassSojourn breaks the sojourn distribution down per mix class —
+	// the view that makes scheduling policies legible: priority shifts
+	// latency between classes, fair share apportions it by weight.
+	ClassSojourn []stats.DurationSummary `json:"classSojourn,omitempty"`
 
 	// HostBusy and QPUBusy are utilization fractions: cumulative busy
 	// time over capacity × End.
@@ -121,7 +130,10 @@ type sim struct {
 	now  time.Duration
 
 	freeHosts int
-	hostFIFO  []*job // jobs waiting for a host, arrival order
+	// backlog holds jobs waiting for a host, ordered by the scenario's
+	// scheduling policy (sched.New is deterministic, so event logs stay
+	// byte-identical under every policy).
+	backlog sched.Queue[*job]
 
 	freeQPUs int
 	qpuFIFO  []*job // jobs waiting for a service token (shared systems)
@@ -135,12 +147,13 @@ type sim struct {
 	timeLimit time.Duration // no admissions after this offset (0 = unbounded)
 
 	// accounting
-	queueWait []time.Duration
-	qpuWait   []time.Duration
-	sojourn   []time.Duration
-	hostBusy  time.Duration
-	qpuBusy   time.Duration
-	end       time.Duration
+	queueWait    []time.Duration
+	qpuWait      []time.Duration
+	sojourn      []time.Duration
+	classSojourn [][]time.Duration // indexed by mix class
+	hostBusy     time.Duration
+	qpuBusy      time.Duration
+	end          time.Duration
 }
 
 // Simulate runs the scenario to completion — every admitted job finishes —
@@ -158,6 +171,7 @@ func Simulate(sc *workload.Scenario, opts Options) (*Result, error) {
 		sys:       sys,
 		opts:      opts,
 		freeHosts: sys.Hosts,
+		backlog:   sched.New[*job](sc.Policy),
 		dedicated: sys.Kind == arch.DedicatedPerNode,
 		jobLimit:  sc.Horizon.Jobs,
 		timeLimit: sc.Horizon.Duration.D(),
@@ -267,7 +281,7 @@ func (s *sim) dispatch(e *event) {
 			s.freeHosts--
 			s.startJob(j)
 		} else {
-			s.hostFIFO = append(s.hostFIFO, j)
+			s.backlog.Push(j, s.sc.SchedJob(workload.Job{Class: j.class, Profile: j.profile}))
 		}
 		// Keep exactly one pending open-process arrival in the heap.
 		if j.client < 0 {
@@ -309,9 +323,7 @@ func (s *sim) dispatch(e *event) {
 		s.log(evDone, j)
 		j.done = s.now
 		s.complete(j)
-		if len(s.hostFIFO) > 0 {
-			next := s.hostFIFO[0]
-			s.hostFIFO = s.hostFIFO[1:]
+		if next, ok := s.backlog.Pop(); ok {
 			s.startJob(next)
 		} else {
 			s.freeHosts++
@@ -343,6 +355,10 @@ func (s *sim) complete(j *job) {
 	reqAt := j.start + j.profile.PreProcess + j.profile.Network
 	s.qpuWait = append(s.qpuWait, j.qpuGrant-reqAt)
 	s.sojourn = append(s.sojourn, j.done-j.arrive)
+	if s.classSojourn == nil {
+		s.classSojourn = make([][]time.Duration, len(s.sc.Mix))
+	}
+	s.classSojourn[j.class] = append(s.classSojourn[j.class], j.done-j.arrive)
 	s.hostBusy += j.done - j.start
 	if j.done > s.end {
 		s.end = j.done
@@ -357,6 +373,12 @@ func (s *sim) result() *Result {
 		QueueWait: stats.SummarizeDurations(s.queueWait),
 		QPUWait:   stats.SummarizeDurations(s.qpuWait),
 		Sojourn:   stats.SummarizeDurations(s.sojourn),
+	}
+	if len(s.sc.Mix) > 1 {
+		r.ClassSojourn = make([]stats.DurationSummary, len(s.sc.Mix))
+		for c, ds := range s.classSojourn {
+			r.ClassSojourn[c] = stats.SummarizeDurations(ds)
+		}
 	}
 	if s.end > 0 {
 		r.Throughput = float64(r.Jobs) / s.end.Seconds()

@@ -1,0 +1,186 @@
+package des
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/sched"
+	"github.com/splitexec/splitexec/internal/workload"
+)
+
+// policyScenario is a transiently overloaded two-class workload: arrivals
+// outpace the hosts, so a backlog builds and the queue discipline decides
+// who waits. Class 0 ("fast", priority 8, weight 4) is short; class 1
+// ("slow", priority 0, weight 1) is 5x longer.
+func policyScenario(policy sched.Policy, jobs int) *workload.Scenario {
+	return &workload.Scenario{
+		Name:    fmt.Sprintf("policy-%s", sched.Normalize(policy)),
+		Seed:    23,
+		Arrival: workload.Arrival{Kind: workload.Poisson, Rate: 1200},
+		Mix: []workload.JobClass{
+			{
+				Name: "fast", Weight: 4, Priority: 8,
+				Profile: workload.Profile{
+					PreProcess: workload.Duration(600 * time.Microsecond),
+					QPUService: workload.Duration(200 * time.Microsecond),
+				},
+			},
+			{
+				Name: "slow", Weight: 1, Priority: 0,
+				Profile: workload.Profile{
+					PreProcess:  workload.Duration(3 * time.Millisecond),
+					QPUService:  workload.Duration(800 * time.Microsecond),
+					PostProcess: workload.Duration(200 * time.Microsecond),
+				},
+			},
+		},
+		System:  workload.SystemSpec{Kind: "dedicated", Hosts: 1},
+		Horizon: workload.Horizon{Jobs: jobs},
+		Policy:  policy,
+	}
+}
+
+func classMeans(t *testing.T, policy sched.Policy) (fast, slow, all time.Duration) {
+	t.Helper()
+	r, err := Simulate(policyScenario(policy, 4000), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ClassSojourn) != 2 {
+		t.Fatalf("policy %s: no per-class sojourn breakdown", policy)
+	}
+	return r.ClassSojourn[0].Mean, r.ClassSojourn[1].Mean, r.Sojourn.Mean
+}
+
+// TestPolicyBehavior pins what each discipline is *for*: against the FIFO
+// baseline on an overloaded backlog, priority must protect the
+// high-priority class, SJF must cut the mean sojourn (and favor the short
+// class), and fair share must shift latency toward the low-weight class.
+func TestPolicyBehavior(t *testing.T) {
+	fifoFast, fifoSlow, fifoAll := classMeans(t, sched.FIFO)
+	t.Logf("fifo: fast %v slow %v all %v", fifoFast, fifoSlow, fifoAll)
+
+	prioFast, prioSlow, _ := classMeans(t, sched.Priority)
+	t.Logf("priority: fast %v slow %v", prioFast, prioSlow)
+	if float64(prioFast) > 0.5*float64(fifoFast) {
+		t.Errorf("priority did not protect the high-priority class: %v vs FIFO %v", prioFast, fifoFast)
+	}
+	if prioSlow < fifoSlow {
+		t.Errorf("priority made the low-priority class faster (%v) than FIFO (%v)?", prioSlow, fifoSlow)
+	}
+
+	sjfFast, sjfSlow, sjfAll := classMeans(t, sched.ShortestQPU)
+	t.Logf("sjf: fast %v slow %v all %v", sjfFast, sjfSlow, sjfAll)
+	if sjfAll >= fifoAll {
+		t.Errorf("SJF mean sojourn %v did not beat FIFO %v on a backlogged mix", sjfAll, fifoAll)
+	}
+	if sjfFast >= fifoFast {
+		t.Errorf("SJF did not favor the short class: %v vs FIFO %v", sjfFast, fifoFast)
+	}
+
+	fairFast, fairSlow, _ := classMeans(t, sched.FairShare)
+	t.Logf("fair: fast %v slow %v", fairFast, fairSlow)
+	// Class 0 carries 4x the weight: its latency must improve relative to
+	// FIFO while the light class pays.
+	if fairFast >= fifoFast {
+		t.Errorf("fair share did not favor the weighted class: %v vs FIFO %v", fairFast, fifoFast)
+	}
+	if fairSlow <= fifoSlow {
+		t.Errorf("fair share gave the light class a free ride: %v vs FIFO %v", fairSlow, fifoSlow)
+	}
+}
+
+// TestPolicyConservation: policies reorder service, they never create or
+// destroy work — job count, total QPU busy time and throughput-defining end
+// time stay within the same regime across all four.
+func TestPolicyConservation(t *testing.T) {
+	var ends []time.Duration
+	for _, p := range sched.Policies() {
+		r, err := Simulate(policyScenario(p, 3000), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Jobs != 3000 {
+			t.Errorf("policy %s completed %d jobs, want 3000", p, r.Jobs)
+		}
+		ends = append(ends, r.End)
+	}
+	// A single host with no idling finishes a fixed backlog at the same
+	// time under any work-conserving discipline (within the tail job).
+	for i, e := range ends {
+		ratio := float64(e) / float64(ends[0])
+		if ratio < 0.95 || ratio > 1.05 {
+			t.Errorf("policy %s end %v vs FIFO %v — not work-conserving?", sched.Policies()[i], e, ends[0])
+		}
+	}
+}
+
+// TestPolicyDeterminismAcrossGOMAXPROCS extends the PR 4 determinism anchor
+// to every policy: identical scenario + seed must produce byte-identical
+// event logs and summaries at any GOMAXPROCS. Run under -race in CI.
+func TestPolicyDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	for _, p := range sched.Policies() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			sc := policyScenario(p, 10_000)
+			type run struct{ log, summary string }
+			simulate := func() run {
+				var buf bytes.Buffer
+				r, err := Simulate(sc, Options{EventLog: &buf})
+				if err != nil {
+					t.Errorf("Simulate: %v", err)
+					return run{}
+				}
+				return run{log: buf.String(), summary: r.String()}
+			}
+			prev := runtime.GOMAXPROCS(1)
+			baseline := simulate()
+			runtime.GOMAXPROCS(prev)
+			if baseline.log == "" {
+				t.Fatal("baseline produced no event log")
+			}
+			var wg sync.WaitGroup
+			runs := make([]run, 3)
+			for i := range runs {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					runs[i] = simulate()
+				}(i)
+			}
+			wg.Wait()
+			for i, r := range runs {
+				if r.summary != baseline.summary {
+					t.Errorf("run %d summary diverged:\n%s\nbaseline:\n%s", i, r.summary, baseline.summary)
+				}
+				if r.log != baseline.log {
+					t.Errorf("run %d event log diverged (len %d vs %d)", i, len(r.log), len(baseline.log))
+				}
+			}
+		})
+	}
+}
+
+// TestPolicyValidation: unknown policies are rejected at Decode/Validate,
+// before any consumer runs.
+func TestPolicyValidation(t *testing.T) {
+	sc := policyScenario("lifo", 10)
+	if _, err := Simulate(sc, Options{}); err == nil {
+		t.Error("unknown policy survived Validate")
+	}
+	data, err := policyScenario(sched.FairShare, 10).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := workload.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Policy != sched.FairShare || back.Mix[0].Priority != 8 {
+		t.Errorf("policy fields lost in round trip: policy=%q priority=%d", back.Policy, back.Mix[0].Priority)
+	}
+}

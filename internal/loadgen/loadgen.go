@@ -67,8 +67,17 @@ type Result struct {
 	Sojourn   stats.DurationSummary `json:"sojourn"`
 }
 
-// submitter abstracts the two transports behind one blocking call.
-type submitter func(p arch.JobProfile) (queueWait, qpuWait time.Duration, err error)
+// submitter abstracts the two transports behind one blocking call. The
+// class attributes let the service's scheduler realize the scenario's
+// policy on live jobs exactly as the DES does in virtual time.
+type submitter func(p arch.JobProfile, class service.JobClass) (queueWait, qpuWait time.Duration, err error)
+
+// classOf extracts the scheduling attributes of a sampled job from the
+// scenario mix.
+func classOf(sc *workload.Scenario, job workload.Job) service.JobClass {
+	c := sc.Mix[job.Class]
+	return service.JobClass{Class: job.Class, Priority: c.Priority, Weight: c.Weight}
+}
 
 // Run replays the scenario against the configured service and blocks until
 // every admitted job has completed.
@@ -107,7 +116,7 @@ func Run(sc *workload.Scenario, opts Options) (*Result, error) {
 	launch := func(idx int, plannedAt time.Time) {
 		defer wg.Done()
 		job := sc.JobAt(idx)
-		qw, dw, err := submit(job.Profile)
+		qw, dw, err := submit(job.Profile, classOf(sc, job))
 		if err != nil {
 			record(jobRecord{err: err})
 			return
@@ -207,8 +216,8 @@ func sleepUntil(deadline time.Time) {
 }
 
 // inProcess submits one profile job through the service API.
-func (o Options) inProcess(p arch.JobProfile) (time.Duration, time.Duration, error) {
-	t, err := o.Service.SubmitProfile(p)
+func (o Options) inProcess(p arch.JobProfile, class service.JobClass) (time.Duration, time.Duration, error) {
+	t, err := o.Service.SubmitProfileClass(p, class)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -241,10 +250,10 @@ func dialPool(opts Options) (submitter, func(), error) {
 		}
 		pool <- c
 	}
-	submit := func(p arch.JobProfile) (time.Duration, time.Duration, error) {
+	submit := func(p arch.JobProfile, class service.JobClass) (time.Duration, time.Duration, error) {
 		c := <-pool
 		defer func() { pool <- c }()
-		resp, err := c.Profile(p)
+		resp, err := c.ProfileClass(p, class)
 		if err != nil {
 			return 0, 0, err
 		}

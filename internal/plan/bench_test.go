@@ -1,0 +1,32 @@
+package plan
+
+import (
+	"testing"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/sched"
+)
+
+// BenchmarkPlanSweep is the planner's bench-smoke anchor: a full
+// kind × policy × hosts search over DES evaluations must keep completing
+// (and stay pure virtual time — one wall-clock sleep would blow the CI
+// bench-smoke budget immediately).
+func BenchmarkPlanSweep(b *testing.B) {
+	sc := planScenario(20_000)
+	target := Target{P99Sojourn: 12 * time.Millisecond}
+	space := Space{
+		Hosts:    []int{1, 2, 4, 8, 16},
+		Kinds:    []string{"shared", "dedicated"},
+		Policies: sched.Policies(),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := Capacity(sc, target, space, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(p.Evaluated) == 0 {
+			b.Fatal("no candidates evaluated")
+		}
+	}
+}

@@ -1,0 +1,348 @@
+// Package plan inverts the performance models into provisioning decisions:
+// instead of "what latency does this fleet give me" (internal/des answers
+// that for a fixed deployment), it answers the operator's question — "what
+// is the cheapest fleet that meets my SLO". Given a workload scenario, a
+// target (p99/mean sojourn ceilings, utilization ceilings) and a search
+// space over {hosts, QPU fleet, scheduling policy, topology kind}, Capacity
+// binary-searches each (kind, policy) axis over host counts with
+// des.Simulate — cross-checked by des.Analytic where the M/M/c envelope
+// applies — and returns the cheapest satisfying configuration together with
+// the whole evaluated frontier, including the next-cheaper neighbor that
+// fails (the evidence the recommendation is tight, not merely sufficient).
+package plan
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/des"
+	"github.com/splitexec/splitexec/internal/sched"
+	"github.com/splitexec/splitexec/internal/workload"
+)
+
+// Target is the service-level objective a deployment must meet. Zero fields
+// are unconstrained; at least one must be set.
+type Target struct {
+	// P99Sojourn and MeanSojourn cap the simulated sojourn distribution.
+	P99Sojourn  time.Duration `json:"p99Sojourn,omitempty"`
+	MeanSojourn time.Duration `json:"meanSojourn,omitempty"`
+	// MaxHostBusy and MaxQPUBusy cap the utilization fractions — headroom
+	// targets for operators who provision against saturation rather than
+	// latency.
+	MaxHostBusy float64 `json:"maxHostBusy,omitempty"`
+	MaxQPUBusy  float64 `json:"maxQpuBusy,omitempty"`
+}
+
+// validate rejects an empty or nonsensical target.
+func (t Target) validate() error {
+	if t.P99Sojourn < 0 || t.MeanSojourn < 0 {
+		return fmt.Errorf("plan: negative sojourn target %+v", t)
+	}
+	if t.MaxHostBusy < 0 || t.MaxHostBusy > 1 || t.MaxQPUBusy < 0 || t.MaxQPUBusy > 1 {
+		return fmt.Errorf("plan: utilization targets must be in [0, 1], got %+v", t)
+	}
+	if t.P99Sojourn == 0 && t.MeanSojourn == 0 && t.MaxHostBusy == 0 && t.MaxQPUBusy == 0 {
+		return fmt.Errorf("plan: empty target — set at least one of p99/mean sojourn or host/QPU utilization")
+	}
+	return nil
+}
+
+// unmet returns the constraints r violates, empty when the target is met.
+func (t Target) unmet(r *des.Result) []string {
+	var out []string
+	if t.P99Sojourn > 0 && r.Sojourn.P99 > t.P99Sojourn {
+		out = append(out, fmt.Sprintf("p99 sojourn %v > %v", r.Sojourn.P99, t.P99Sojourn))
+	}
+	if t.MeanSojourn > 0 && r.Sojourn.Mean > t.MeanSojourn {
+		out = append(out, fmt.Sprintf("mean sojourn %v > %v", r.Sojourn.Mean, t.MeanSojourn))
+	}
+	if t.MaxHostBusy > 0 && r.HostBusy > t.MaxHostBusy {
+		out = append(out, fmt.Sprintf("host utilization %.3f > %.3f", r.HostBusy, t.MaxHostBusy))
+	}
+	if t.MaxQPUBusy > 0 && r.QPUBusy > t.MaxQPUBusy {
+		out = append(out, fmt.Sprintf("QPU utilization %.3f > %.3f", r.QPUBusy, t.MaxQPUBusy))
+	}
+	return out
+}
+
+// Space is the search space: candidate host counts, deployment kinds and
+// scheduling policies. Zero-value axes default to the scenario's own
+// deployment kind and policy, and to hosts 1..16.
+type Space struct {
+	// Hosts are the candidate host counts; they are deduplicated and
+	// sorted ascending. Default 1..16.
+	Hosts []int `json:"hosts,omitempty"`
+	// Kinds are deployment topologies ("shared", "dedicated"); the
+	// "asymmetric" kind is valid only with Hosts = [1]. Default: the
+	// scenario's kind.
+	Kinds []string `json:"kinds,omitempty"`
+	// Policies are the queue disciplines to consider. Default: the
+	// scenario's policy.
+	Policies []sched.Policy `json:"policies,omitempty"`
+}
+
+// Costs prices a configuration: Cost = Hosts·Host + QPUs·QPU. The default
+// (Host 1, QPU 3) encodes the paper's economics — the annealer is the
+// scarce, expensive socket — but any relative pricing works.
+type Costs struct {
+	Host float64 `json:"host"`
+	QPU  float64 `json:"qpu"`
+}
+
+func (c Costs) withDefaults() Costs {
+	if c.Host == 0 && c.QPU == 0 {
+		return Costs{Host: 1, QPU: 3}
+	}
+	return c
+}
+
+// Options configure a planning run.
+type Options struct {
+	// Costs prices candidate configurations; zero selects {Host: 1, QPU: 3}.
+	Costs Costs
+	// HorizonJobs, when > 0, overrides the scenario's job horizon for the
+	// planning simulations — p99 estimates need 1e4+ completions to be
+	// stable, more than an illustrative scenario file usually carries.
+	HorizonJobs int
+}
+
+// Candidate is one evaluated configuration of the search space.
+type Candidate struct {
+	Kind   string       `json:"kind"`
+	Hosts  int          `json:"hosts"`
+	QPUs   int          `json:"qpus"`
+	Policy sched.Policy `json:"policy"`
+	Cost   float64      `json:"cost"`
+	Meets  bool         `json:"meets"`
+	// Unmet lists the violated constraints when Meets is false.
+	Unmet []string `json:"unmet,omitempty"`
+	// Result is the DES evaluation the verdict is based on.
+	Result *des.Result `json:"result,omitempty"`
+	// Analytic is the M/M/c cross-check, attached when the scenario and
+	// configuration fall inside the analytic envelope.
+	Analytic *des.AnalyticResult `json:"analytic,omitempty"`
+}
+
+// Plan is the outcome of a Capacity run.
+type Plan struct {
+	Scenario string `json:"scenario,omitempty"`
+	Target   Target `json:"target"`
+	// Best is the cheapest configuration meeting the target, nil when no
+	// point of the space does.
+	Best *Candidate `json:"best,omitempty"`
+	// NextCheaper is Best's next-cheaper neighbor on its own (kind,
+	// policy) axis — the largest evaluated host count below Best that
+	// fails the target. Nil when Best sits on the smallest host count of
+	// the space (nothing cheaper exists on its axis).
+	NextCheaper *Candidate `json:"nextCheaper,omitempty"`
+	// Evaluated is every configuration the search simulated, in
+	// deterministic (kind, policy, hosts) order.
+	Evaluated []Candidate `json:"evaluated"`
+}
+
+// Capacity finds the cheapest configuration of the space meeting the target
+// under the scenario's workload. For each (kind, policy) pair it binary-
+// searches the sorted host counts — latency and utilization improve with
+// hosts, so "meets the target" is monotone along the axis; where the
+// workload violates that (a saturated shared QPU that more hosts cannot
+// help) the search still terminates and simply reports the axis
+// unsatisfiable if its largest configuration fails.
+func Capacity(sc *workload.Scenario, target Target, space Space, opts Options) (*Plan, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := target.validate(); err != nil {
+		return nil, err
+	}
+	hosts, kinds, policies, err := normalizeSpace(sc, space)
+	if err != nil {
+		return nil, err
+	}
+	costs := opts.Costs.withDefaults()
+
+	base := *sc // evaluation copy; the caller's scenario stays untouched
+	if opts.HorizonJobs > 0 {
+		base.Horizon = workload.Horizon{Jobs: opts.HorizonJobs}
+	}
+	if base.Arrival.Kind == workload.Trace && base.Horizon.Jobs > len(base.Arrival.Trace) {
+		base.Horizon.Jobs = len(base.Arrival.Trace)
+	}
+
+	p := &Plan{Scenario: sc.Name, Target: target}
+	type axisOutcome struct {
+		best, cheaperFail *Candidate
+	}
+	var axes []axisOutcome
+	for _, kind := range kinds {
+		for _, policy := range policies {
+			evaluated := make(map[int]*Candidate)
+			eval := func(h int) (*Candidate, error) {
+				if c, ok := evaluated[h]; ok {
+					return c, nil
+				}
+				c, err := evaluate(&base, target, kind, policy, h, costs)
+				if err != nil {
+					return nil, err
+				}
+				evaluated[h] = c
+				return c, nil
+			}
+			// Binary search the least satisfying host count.
+			lo, hi := 0, len(hosts)-1
+			found := -1
+			for lo <= hi {
+				mid := (lo + hi) / 2
+				c, err := eval(hosts[mid])
+				if err != nil {
+					return nil, err
+				}
+				if c.Meets {
+					found = mid
+					hi = mid - 1
+				} else {
+					lo = mid + 1
+				}
+			}
+			var out axisOutcome
+			if found >= 0 {
+				out.best = evaluated[hosts[found]]
+				if found > 0 {
+					// Pin the frontier: the next-cheaper neighbor on this
+					// axis must fail (evaluate it even if the bisection
+					// skipped it).
+					c, err := eval(hosts[found-1])
+					if err != nil {
+						return nil, err
+					}
+					if !c.Meets {
+						out.cheaperFail = c
+					} else {
+						// Non-monotone edge: the neighbor happens to pass.
+						// Prefer it — it is cheaper and satisfying.
+						out.best = c
+						if found-1 > 0 {
+							if c2, err := eval(hosts[found-2]); err == nil && !c2.Meets {
+								out.cheaperFail = c2
+							}
+						}
+					}
+				}
+			}
+			axes = append(axes, out)
+			// Record evaluations in ascending host order for determinism.
+			for _, h := range hosts {
+				if c, ok := evaluated[h]; ok {
+					p.Evaluated = append(p.Evaluated, *c)
+				}
+			}
+		}
+	}
+
+	for i := range axes {
+		b := axes[i].best
+		if b == nil {
+			continue
+		}
+		if p.Best == nil || better(b, p.Best) {
+			p.Best = b
+			p.NextCheaper = axes[i].cheaperFail
+		}
+	}
+	return p, nil
+}
+
+// better orders satisfying candidates: cheaper first, then fewer hosts,
+// then kind lexically, then the simpler policy (sched.Policies order, FIFO
+// first) — a tie between disciplines should recommend the one with the
+// least operational surprise.
+func better(a, b *Candidate) bool {
+	if a.Cost != b.Cost {
+		return a.Cost < b.Cost
+	}
+	if a.Hosts != b.Hosts {
+		return a.Hosts < b.Hosts
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return policyRank(a.Policy) < policyRank(b.Policy)
+}
+
+func policyRank(p sched.Policy) int {
+	for i, q := range sched.Policies() {
+		if p == q {
+			return i
+		}
+	}
+	return len(sched.Policies())
+}
+
+func evaluate(base *workload.Scenario, target Target, kind string, policy sched.Policy, hosts int, costs Costs) (*Candidate, error) {
+	sc := *base
+	sc.System = workload.SystemSpec{Kind: kind, Hosts: hosts}
+	sc.Policy = policy
+	r, err := des.Simulate(&sc, des.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("plan: simulating %s/%s hosts=%d: %w", kind, policy, hosts, err)
+	}
+	c := &Candidate{
+		Kind:   kind,
+		Hosts:  hosts,
+		QPUs:   sc.System.QPUs(),
+		Policy: sched.Normalize(policy),
+		Result: r,
+	}
+	c.Cost = float64(c.Hosts)*costs.Host + float64(c.QPUs)*costs.QPU
+	c.Unmet = target.unmet(r)
+	c.Meets = len(c.Unmet) == 0
+	if a, err := des.AnalyticScenario(&sc); err == nil {
+		c.Analytic = &a
+	}
+	return c, nil
+}
+
+func normalizeSpace(sc *workload.Scenario, space Space) (hosts []int, kinds []string, policies []sched.Policy, err error) {
+	hosts = slices.Clone(space.Hosts)
+	if len(hosts) == 0 {
+		for h := 1; h <= 16; h++ {
+			hosts = append(hosts, h)
+		}
+	}
+	slices.Sort(hosts)
+	hosts = slices.Compact(hosts)
+	if hosts[0] < 1 {
+		return nil, nil, nil, fmt.Errorf("plan: host counts must be >= 1, got %d", hosts[0])
+	}
+	if hosts[len(hosts)-1] > 1<<20 {
+		return nil, nil, nil, fmt.Errorf("plan: host count %d unreasonably large", hosts[len(hosts)-1])
+	}
+
+	kinds = slices.Clone(space.Kinds)
+	if len(kinds) == 0 {
+		kinds = []string{sc.System.Kind}
+	}
+	for _, k := range kinds {
+		switch k {
+		case "shared", "dedicated":
+		case "asymmetric":
+			if len(hosts) != 1 || hosts[0] != 1 {
+				return nil, nil, nil, fmt.Errorf("plan: kind %q admits only hosts=[1]", k)
+			}
+		default:
+			return nil, nil, nil, fmt.Errorf("plan: unknown system kind %q", k)
+		}
+	}
+
+	policies = slices.Clone(space.Policies)
+	if len(policies) == 0 {
+		policies = []sched.Policy{sched.Normalize(sc.Policy)}
+	}
+	for i, p := range policies {
+		if !sched.Valid(p) {
+			return nil, nil, nil, fmt.Errorf("plan: unknown policy %q (want %v)", p, sched.Policies())
+		}
+		policies[i] = sched.Normalize(p)
+	}
+	return hosts, kinds, policies, nil
+}

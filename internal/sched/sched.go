@@ -1,0 +1,290 @@
+// Package sched is the scheduling-policy layer shared by the discrete-event
+// simulator (internal/des) and the live dispatch service (internal/service):
+// one queue-discipline interface with four deterministic implementations, so
+// the policy a workload.Scenario declares is realized identically in virtual
+// time and on real hardware — the precondition for every measured-vs-simulated
+// comparison the workload engine makes.
+//
+// All four disciplines are strictly deterministic: ties break on push order,
+// never on map iteration or wall clock, so a DES replay produces byte-identical
+// event logs at any GOMAXPROCS regardless of policy.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Policy names a queue discipline for the host backlog.
+type Policy string
+
+// The supported scheduling policies.
+const (
+	// FIFO serves jobs in arrival order — the default, and the only
+	// discipline the engine knew before the policy layer existed.
+	FIFO Policy = "fifo"
+	// Priority serves the highest Job.Priority first (larger wins), FIFO
+	// within a priority level. A starved low-priority class is the
+	// textbook failure mode; the planner can quantify it.
+	Priority Policy = "priority"
+	// ShortestQPU serves the job with the smallest expected QPU service
+	// time first (SJF on the scarce resource), FIFO among equals —
+	// minimizes mean sojourn when the QPU is the bottleneck.
+	ShortestQPU Policy = "sjf"
+	// FairShare serves classes in proportion to their Job.Weight via
+	// start-time-ordered weighted fair queueing: each class accumulates
+	// normalized virtual service (cost/weight), and the backlog always
+	// serves the most underserved class next, FIFO within a class.
+	FairShare Policy = "fair"
+)
+
+// Policies returns every supported policy, FIFO first.
+func Policies() []Policy { return []Policy{FIFO, Priority, ShortestQPU, FairShare} }
+
+// Normalize maps the empty policy to FIFO and leaves the rest alone.
+func Normalize(p Policy) Policy {
+	if p == "" {
+		return FIFO
+	}
+	return p
+}
+
+// Valid reports whether p (after Normalize) names a supported policy.
+func Valid(p Policy) bool {
+	switch Normalize(p) {
+	case FIFO, Priority, ShortestQPU, FairShare:
+		return true
+	}
+	return false
+}
+
+// Job carries the scheduling attributes of one queued job. The zero value
+// is a valid "plain" job: class 0, priority 0, weight 1 (a non-positive
+// Weight is treated as 1).
+type Job struct {
+	// Class indexes the job's workload class (workload.Scenario mix index);
+	// FairShare accounts per class.
+	Class int
+	// Priority orders the Priority policy; larger is served sooner.
+	Priority int
+	// Weight is the class's fair-share weight (FairShare); <= 0 means 1.
+	Weight float64
+	// ExpectedQPU orders the ShortestQPU policy.
+	ExpectedQPU time.Duration
+	// Cost is the job's expected total service time; FairShare charges it
+	// (normalized by Weight) to the class's virtual-service clock.
+	Cost time.Duration
+}
+
+// Queue is the pluggable host-backlog discipline: Push enqueues a value with
+// its scheduling attributes, Pop dequeues the next value the policy selects.
+// Implementations are deterministic and not safe for concurrent use; callers
+// provide their own locking.
+type Queue[T any] interface {
+	Push(v T, j Job)
+	Pop() (T, bool)
+	Len() int
+}
+
+// MaxPriority bounds |Job.Priority|: the Priority ordering key negates the
+// value, and MinInt64 has no int64 negation — an unbounded priority could
+// silently invert the discipline. Scenario and wire validation enforce the
+// bound at ingress; the key function saturates as a second line of defense.
+const MaxPriority = 1 << 30
+
+// New returns an empty queue realizing the policy. It panics on an unknown
+// policy — validate with Valid first; workload.Scenario.Validate already
+// does for scenario-driven callers.
+func New[T any](p Policy) Queue[T] {
+	switch Normalize(p) {
+	case FIFO:
+		return &fifoQueue[T]{}
+	case Priority:
+		return newHeapQueue[T](func(j Job) int64 { return -clampPriority(j.Priority) })
+	case ShortestQPU:
+		return newHeapQueue[T](func(j Job) int64 { return int64(j.ExpectedQPU) })
+	case FairShare:
+		return &fairQueue[T]{}
+	}
+	panic(fmt.Sprintf("sched: unknown policy %q", p))
+}
+
+func clampPriority(p int) int64 {
+	if p > MaxPriority {
+		return MaxPriority
+	}
+	if p < -MaxPriority {
+		return -MaxPriority
+	}
+	return int64(p)
+}
+
+// --- FIFO ---------------------------------------------------------------------
+
+// fifoQueue is a slice-backed ring: amortized O(1) push/pop, compacting the
+// consumed prefix once it dominates the backing array.
+type fifoQueue[T any] struct {
+	items []T
+	head  int
+}
+
+func (q *fifoQueue[T]) Push(v T, _ Job) { q.items = append(q.items, v) }
+
+func (q *fifoQueue[T]) Pop() (T, bool) {
+	var zero T
+	if q.head >= len(q.items) {
+		return zero, false
+	}
+	v := q.items[q.head]
+	q.items[q.head] = zero // release for GC
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		clear(q.items[n:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return v, true
+}
+
+func (q *fifoQueue[T]) Len() int { return len(q.items) - q.head }
+
+// --- keyed heap (priority, SJF) -----------------------------------------------
+
+// heapQueue orders by a scalar key derived from the Job, breaking ties on
+// push sequence so equal-key jobs stay FIFO.
+type heapQueue[T any] struct {
+	key     func(Job) int64
+	entries keyedHeap[T]
+	seq     int64
+}
+
+type keyedEntry[T any] struct {
+	v   T
+	key int64
+	seq int64
+}
+
+type keyedHeap[T any] []keyedEntry[T]
+
+func (h keyedHeap[T]) Len() int { return len(h) }
+func (h keyedHeap[T]) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].seq < h[j].seq
+}
+func (h keyedHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *keyedHeap[T]) Push(x any)   { *h = append(*h, x.(keyedEntry[T])) }
+func (h *keyedHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	var zero keyedEntry[T]
+	old[n-1] = zero
+	*h = old[:n-1]
+	return e
+}
+
+func newHeapQueue[T any](key func(Job) int64) *heapQueue[T] {
+	return &heapQueue[T]{key: key}
+}
+
+func (q *heapQueue[T]) Push(v T, j Job) {
+	q.seq++
+	heap.Push(&q.entries, keyedEntry[T]{v: v, key: q.key(j), seq: q.seq})
+}
+
+func (q *heapQueue[T]) Pop() (T, bool) {
+	var zero T
+	if len(q.entries) == 0 {
+		return zero, false
+	}
+	return heap.Pop(&q.entries).(keyedEntry[T]).v, true
+}
+
+func (q *heapQueue[T]) Len() int { return len(q.entries) }
+
+// --- weighted fair share ------------------------------------------------------
+
+// fairQueue implements start-time weighted fair queueing over job classes:
+// every class carries a virtual-service clock vs; Pop serves the non-empty
+// class with the smallest vs (ties to the lowest class index), then advances
+// that clock by the served job's Cost/Weight. A class that joins late starts
+// at the global virtual time, so it cannot replay an unbounded deficit and
+// starve the others.
+type fairQueue[T any] struct {
+	classes map[int]*fairClass[T]
+	order   []int // seen class indices, ascending — deterministic iteration
+	virt    float64
+	size    int
+}
+
+type fairClass[T any] struct {
+	fifo fifoQueue[fairEntry[T]]
+	vs   float64
+}
+
+type fairEntry[T any] struct {
+	v      T
+	charge float64 // Cost normalized by Weight, in seconds
+}
+
+func (q *fairQueue[T]) Push(v T, j Job) {
+	if q.classes == nil {
+		q.classes = make(map[int]*fairClass[T])
+	}
+	c, ok := q.classes[j.Class]
+	if !ok {
+		c = &fairClass[T]{vs: q.virt}
+		q.classes[j.Class] = c
+		q.order = insertSorted(q.order, j.Class)
+	} else if c.fifo.Len() == 0 && c.vs < q.virt {
+		// Reactivating after an idle stretch: re-sync to the current
+		// virtual time, or the stale clock would replay the whole idle
+		// period as a catch-up burst and starve the active classes.
+		c.vs = q.virt
+	}
+	w := j.Weight
+	if !(w > 0) {
+		w = 1
+	}
+	c.fifo.Push(fairEntry[T]{v: v, charge: j.Cost.Seconds() / w}, Job{})
+	q.size++
+}
+
+func (q *fairQueue[T]) Pop() (T, bool) {
+	var zero T
+	if q.size == 0 {
+		return zero, false
+	}
+	var best *fairClass[T]
+	for _, idx := range q.order {
+		c := q.classes[idx]
+		if c.fifo.Len() == 0 {
+			continue
+		}
+		if best == nil || c.vs < best.vs {
+			best = c
+		}
+	}
+	e, _ := best.fifo.Pop()
+	q.virt = best.vs
+	best.vs += e.charge
+	q.size--
+	return e.v, true
+}
+
+func (q *fairQueue[T]) Len() int { return q.size }
+
+func insertSorted(s []int, v int) []int {
+	i := 0
+	for i < len(s) && s[i] < v {
+		i++
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

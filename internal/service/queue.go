@@ -1,0 +1,86 @@
+package service
+
+import (
+	"sync"
+
+	"github.com/splitexec/splitexec/internal/sched"
+)
+
+// jobQueue is the bounded, policy-ordered intake queue between the submit
+// APIs and the host workers. It replaces the original FIFO channel with a
+// sched.Queue behind one mutex, so the live dispatcher realizes the same
+// queue disciplines as the discrete-event simulator.
+//
+// Invariants the submission API depends on:
+//   - a ticket is pushed if and only if the queue is open and below depth —
+//     submission indices are allocated inside the push critical section, so
+//     a refused or closed submit can never burn a seed index;
+//   - close is idempotent and wakes every blocked producer (they fail with
+//     ErrClosed) and consumer (they drain the remaining backlog, then exit).
+type jobQueue struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+	q        sched.Queue[*Ticket]
+	depth    int
+	closed   bool
+}
+
+func newJobQueue(policy sched.Policy, depth int) *jobQueue {
+	tq := &jobQueue{q: sched.New[*Ticket](policy), depth: depth}
+	tq.notEmpty.L = &tq.mu
+	tq.notFull.L = &tq.mu
+	return tq
+}
+
+// push enqueues t under the queue's policy, assigning its submission index
+// via newTicket inside the critical section. When block is set it waits for
+// space; otherwise a full queue returns ErrQueueFull. A closed queue always
+// returns ErrClosed — including for producers that were blocked on space
+// when Drain closed intake.
+func (tq *jobQueue) push(newTicket func() *Ticket, class sched.Job, block bool) (*Ticket, error) {
+	tq.mu.Lock()
+	defer tq.mu.Unlock()
+	if tq.closed {
+		return nil, ErrClosed
+	}
+	if tq.q.Len() >= tq.depth {
+		if !block {
+			return nil, ErrQueueFull
+		}
+		for tq.q.Len() >= tq.depth && !tq.closed {
+			tq.notFull.Wait()
+		}
+		if tq.closed {
+			return nil, ErrClosed
+		}
+	}
+	t := newTicket()
+	tq.q.Push(t, class)
+	tq.notEmpty.Signal()
+	return t, nil
+}
+
+// pop blocks until the policy yields a ticket or the queue is closed and
+// drained, in which case it reports ok = false and the worker exits.
+func (tq *jobQueue) pop() (*Ticket, bool) {
+	tq.mu.Lock()
+	defer tq.mu.Unlock()
+	for tq.q.Len() == 0 && !tq.closed {
+		tq.notEmpty.Wait()
+	}
+	t, ok := tq.q.Pop()
+	if ok {
+		tq.notFull.Signal()
+	}
+	return t, ok
+}
+
+// close closes intake; it is safe to call any number of times.
+func (tq *jobQueue) close() {
+	tq.mu.Lock()
+	tq.closed = true
+	tq.notEmpty.Broadcast()
+	tq.notFull.Broadcast()
+	tq.mu.Unlock()
+}

@@ -8,8 +8,13 @@
 //	Workers=H, Fleet=1   shared-resource: H hosts contend for one QPU (Fig. 1b)
 //	Workers=H, Fleet=H   dedicated QPU per node (Fig. 1c)
 //
-// Jobs flow through a bounded FIFO queue with backpressure (Submit blocks
-// when the queue is full; TrySubmit refuses). Each worker plays the role of
+// Jobs flow through a bounded queue with backpressure (Submit blocks when
+// the queue is full; TrySubmit refuses) ordered by a pluggable scheduling
+// policy (internal/sched): FIFO by default, or strict priority, shortest-
+// expected-QPU-time-first and weighted fair share — the same disciplines
+// the discrete-event simulator realizes, selected per workload.Scenario so
+// measured and simulated runs compare policy-for-policy. Each worker plays
+// the role of
 // one host: it runs the classical stages itself and leases a device from the
 // shared fleet only for the serialized QPU interaction (program + execute),
 // exactly the service-token discipline of arch.Simulate. Per-job RNG streams
@@ -37,6 +42,7 @@ import (
 	"github.com/splitexec/splitexec/internal/machine"
 	"github.com/splitexec/splitexec/internal/parallel"
 	"github.com/splitexec/splitexec/internal/qubo"
+	"github.com/splitexec/splitexec/internal/sched"
 	"github.com/splitexec/splitexec/internal/stats"
 )
 
@@ -55,10 +61,16 @@ type Options struct {
 	// single-goroutine), so jobs never share mutable solver state.
 	// Values <= 0 select 1.
 	Workers int
-	// QueueDepth bounds the FIFO job queue; Submit blocks (backpressure)
-	// and TrySubmit fails once the queue holds this many waiting jobs.
+	// QueueDepth bounds the job queue; Submit blocks (backpressure) and
+	// TrySubmit fails once the queue holds this many waiting jobs.
 	// Values <= 0 select 2×Workers.
 	QueueDepth int
+	// Policy selects the queue discipline jobs wait under: sched.FIFO
+	// (the default when empty), sched.Priority, sched.ShortestQPU or
+	// sched.FairShare. Per-job scheduling attributes ride in through
+	// SubmitProfileClass (and the wire protocol's class fields); plain
+	// submits carry the zero class.
+	Policy sched.Policy
 	// Fleet is the number of simulated QPU devices to build from Base:
 	// 1 is the paper's shared-resource architecture, Workers is
 	// dedicated-per-node. Ignored when Devices is non-empty. Values <= 0
@@ -114,8 +126,12 @@ func (o Options) withDefaults() Options {
 // JobMetrics is the per-job measurement record. It marshals to JSON (every
 // duration in nanoseconds) for machine-readable ops output.
 type JobMetrics struct {
-	// Index is the FIFO submission index (also the seed-derivation index).
+	// Index is the submission index (also the seed-derivation index).
 	Index int `json:"index"`
+	// Class is the workload class the job declared at submission (zero for
+	// plain submits) — the key fair-share accounting and per-class latency
+	// analysis group by.
+	Class int `json:"class,omitempty"`
 	// QueueWait is the time from Submit to a worker picking the job up.
 	QueueWait time.Duration `json:"queueWait"`
 	// QPUWait is the time the job spent blocked waiting for a fleet
@@ -184,16 +200,10 @@ func (f *fleetDevice) busyTime() time.Duration {
 // Service dispatches jobs over the host workers and the device fleet.
 type Service struct {
 	opts  Options
-	queue chan *Ticket
+	queue *jobQueue
 	idle  chan *fleetDevice // free-device pool; len(fleet) tokens
 	fleet []*fleetDevice
 	wg    sync.WaitGroup
-
-	// closeMu serializes Submit against Drain: Submit holds it shared
-	// while enqueueing (including while blocked on a full queue), Drain
-	// takes it exclusively to close intake.
-	closeMu sync.RWMutex
-	closed  bool
 
 	// TCP front-end state (wire.go); ln and conns are guarded by mu.
 	ln     net.Listener
@@ -204,16 +214,19 @@ type Service struct {
 	next        int // next submission index
 	firstSubmit time.Time
 	lastDone    time.Time
-	completed   []JobMetrics
+	completed   []JobMetrics // successfully completed jobs only
 	failed      int
 }
 
 // New builds the fleet, starts the workers and returns a running service.
 func New(opts Options) (*Service, error) {
 	o := opts.withDefaults()
+	if !sched.Valid(o.Policy) {
+		return nil, fmt.Errorf("service: unknown policy %q (want %v)", o.Policy, sched.Policies())
+	}
 	s := &Service{
 		opts:  o,
-		queue: make(chan *Ticket, o.QueueDepth),
+		queue: newJobQueue(o.Policy, o.QueueDepth),
 	}
 	devs := o.Devices
 	if len(devs) == 0 {
@@ -249,10 +262,19 @@ func (s *Service) Workers() int { return s.opts.Workers }
 // FleetSize returns the number of QPU devices in the fleet.
 func (s *Service) FleetSize() int { return len(s.fleet) }
 
-// worker is one host: it drains the FIFO queue, timing each job.
+// Policy returns the queue discipline the service schedules under.
+func (s *Service) Policy() sched.Policy { return sched.Normalize(s.opts.Policy) }
+
+// worker is one host: it drains the job queue in policy order, timing each
+// job. Failed jobs count toward the failure ledger, not the completion
+// distributions.
 func (s *Service) worker() {
 	defer s.wg.Done()
-	for t := range s.queue {
+	for {
+		t, ok := s.queue.pop()
+		if !ok {
+			return
+		}
 		t.metrics.QueueWait = time.Since(t.enqueued)
 		t.run(s, t)
 		t.metrics.Total = time.Since(t.enqueued)
@@ -261,61 +283,64 @@ func (s *Service) worker() {
 		if now.After(s.lastDone) {
 			s.lastDone = now
 		}
-		s.completed = append(s.completed, t.metrics)
 		if t.err != nil {
 			s.failed++
+		} else {
+			s.completed = append(s.completed, t.metrics)
 		}
 		s.mu.Unlock()
 		close(t.done)
 	}
 }
 
-// submit enqueues a ticket, blocking for queue space when block is set.
-// Submission indices are the determinism anchor (per-job seeds derive from
-// them), so an index is consumed only when a ticket actually enqueues — a
-// refused TrySubmit must not shift the seed streams of later jobs.
-func (s *Service) submit(run func(*Service, *Ticket), block bool) (*Ticket, error) {
-	s.closeMu.RLock()
-	defer s.closeMu.RUnlock()
-	if s.closed {
-		return nil, ErrClosed
-	}
-	if block {
+// submit enqueues a ticket with its scheduling attributes, blocking for
+// queue space when block is set. Submission indices are the determinism
+// anchor (per-job seeds derive from them), so an index is consumed only
+// when a ticket actually enqueues — a refused TrySubmit, or a Submit that
+// loses the race with Drain, must not shift the seed streams of later jobs.
+// The index is allocated inside the queue's push critical section, so index
+// order equals enqueue order. QueueWait is clocked from the Submit call
+// itself, so backpressure blocking counts as queueing — the condition it
+// measures.
+func (s *Service) submit(run func(*Service, *Ticket), class sched.Job, block bool) (*Ticket, error) {
+	submitAt := time.Now()
+	return s.queue.push(func() *Ticket {
+		t := &Ticket{run: run, done: make(chan struct{}), enqueued: submitAt}
 		s.mu.Lock()
-		t := s.newTicketLocked(run)
-		s.mu.Unlock()
-		t.enqueued = time.Now()
-		s.queue <- t
-		return t, nil
-	}
-	// Non-blocking: the reservation and the enqueue attempt happen under
-	// one lock, so a full queue leaves the index counter untouched.
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t := &Ticket{index: s.next, run: run, done: make(chan struct{})}
-	t.metrics.Index = t.index
-	t.enqueued = time.Now()
-	select {
-	case s.queue <- t:
+		t.index = s.next
 		s.next++
 		if s.firstSubmit.IsZero() {
-			s.firstSubmit = t.enqueued
+			s.firstSubmit = submitAt
 		}
-		return t, nil
-	default:
-		return nil, ErrQueueFull
-	}
+		s.mu.Unlock()
+		t.metrics.Index = t.index
+		t.metrics.Class = class.Class
+		return t
+	}, class, block)
 }
 
-// newTicketLocked allocates the next submission index; callers hold s.mu.
-func (s *Service) newTicketLocked(run func(*Service, *Ticket)) *Ticket {
-	t := &Ticket{index: s.next, run: run, done: make(chan struct{})}
-	t.metrics.Index = t.index
-	s.next++
-	if s.firstSubmit.IsZero() {
-		s.firstSubmit = time.Now()
+// JobClass carries the scheduling attributes a job declares at submission:
+// its workload-class index, its priority under sched.Priority (larger is
+// served sooner), and its fair-share weight under sched.FairShare (<= 0
+// means 1). The zero JobClass is the plain default every classless submit
+// uses.
+type JobClass struct {
+	Class    int
+	Priority int
+	Weight   float64
+}
+
+// schedJob builds the queue-ordering attributes for a profile job: the
+// declared class plus the profile's own QPU and total service times (the
+// SJF key and the fair-share charge).
+func (c JobClass) schedJob(p arch.JobProfile) sched.Job {
+	return sched.Job{
+		Class:       c.Class,
+		Priority:    c.Priority,
+		Weight:      c.Weight,
+		ExpectedQPU: p.QPUService,
+		Cost:        p.Total(),
 	}
-	return t
 }
 
 // SubmitQUBO enqueues a QUBO solve, blocking while the queue is full.
@@ -323,7 +348,7 @@ func (s *Service) SubmitQUBO(q *qubo.QUBO) (*Ticket, error) {
 	if q == nil {
 		return nil, errors.New("service: nil QUBO")
 	}
-	return s.submit(solveRun(q, nil), true)
+	return s.submit(solveRun(q, nil), sched.Job{Weight: 1}, true)
 }
 
 // TrySubmitQUBO is SubmitQUBO without backpressure blocking: it returns
@@ -332,7 +357,7 @@ func (s *Service) TrySubmitQUBO(q *qubo.QUBO) (*Ticket, error) {
 	if q == nil {
 		return nil, errors.New("service: nil QUBO")
 	}
-	return s.submit(solveRun(q, nil), false)
+	return s.submit(solveRun(q, nil), sched.Job{Weight: 1}, false)
 }
 
 // SubmitIsing enqueues a logical-Ising solve, blocking while the queue is
@@ -341,7 +366,7 @@ func (s *Service) SubmitIsing(m *qubo.Ising) (*Ticket, error) {
 	if m == nil {
 		return nil, errors.New("service: nil Ising")
 	}
-	return s.submit(solveRun(nil, m), true)
+	return s.submit(solveRun(nil, m), sched.Job{Weight: 1}, true)
 }
 
 // SubmitProfile enqueues a synthetic job that exercises the dispatch
@@ -350,10 +375,28 @@ func (s *Service) SubmitIsing(m *qubo.Ising) (*Ticket, error) {
 // QPUService, so the measured makespan of a profile batch is directly
 // comparable to arch.Simulate's prediction.
 func (s *Service) SubmitProfile(p arch.JobProfile) (*Ticket, error) {
+	return s.SubmitProfileClass(p, JobClass{Weight: 1})
+}
+
+// SubmitProfileClass is SubmitProfile with explicit scheduling attributes —
+// the load generator's entry point for realizing a scenario's policy on the
+// live service.
+func (s *Service) SubmitProfileClass(p arch.JobProfile, c JobClass) (*Ticket, error) {
 	if p.PreProcess < 0 || p.Network < 0 || p.QPUService < 0 || p.PostProcess < 0 {
 		return nil, fmt.Errorf("service: negative phase time in %+v", p)
 	}
-	return s.submit(profileRun(p), true)
+	if c.Class < 0 {
+		return nil, fmt.Errorf("service: negative job class %d", c.Class)
+	}
+	return s.submit(profileRun(p), c.schedJob(p), true)
+}
+
+// TrySubmitProfile is SubmitProfile without backpressure blocking.
+func (s *Service) TrySubmitProfile(p arch.JobProfile) (*Ticket, error) {
+	if p.PreProcess < 0 || p.Network < 0 || p.QPUService < 0 || p.PostProcess < 0 {
+		return nil, fmt.Errorf("service: negative phase time in %+v", p)
+	}
+	return s.submit(profileRun(p), JobClass{Weight: 1}.schedJob(p), false)
 }
 
 // solveRun builds the runner for a solve job: a fresh per-job solver
@@ -557,15 +600,12 @@ type Report struct {
 
 // Drain closes intake, waits for every queued job to finish and returns the
 // aggregate report. Submit calls racing Drain either enqueue before intake
-// closes or fail with ErrClosed; enqueued jobs are always completed.
+// closes or fail with ErrClosed; enqueued jobs are always completed. Drain
+// is idempotent: a second call (even concurrent with the first) waits for
+// the same shutdown and returns the same report.
 func (s *Service) Drain() Report {
 	s.CloseListener() // stop the TCP front-end first, if one is running
-	s.closeMu.Lock()
-	if !s.closed {
-		s.closed = true
-		close(s.queue)
-	}
-	s.closeMu.Unlock()
+	s.queue.close()
 	s.wg.Wait()
 	return s.report()
 }
@@ -574,10 +614,26 @@ func (s *Service) report() Report {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	r := Report{Jobs: len(s.completed), Failed: s.failed}
+	// Makespan covers every finished job, successful or not: an all-failed
+	// run still took wall time, and reporting zero would read as "nothing
+	// happened". Throughput counts completions only.
+	if r.Jobs+r.Failed > 0 && !s.firstSubmit.IsZero() && s.lastDone.After(s.firstSubmit) {
+		r.Makespan = s.lastDone.Sub(s.firstSubmit)
+	}
+	// The device ledger is real work regardless of job outcomes (a solve
+	// can fail after holding a device), so report it unconditionally.
+	var busy time.Duration
+	for _, fd := range s.fleet {
+		b := fd.busyTime()
+		r.DeviceBusy = append(r.DeviceBusy, b)
+		busy += b
+	}
+	if r.Makespan > 0 && len(s.fleet) > 0 {
+		r.QPUBusyFraction = float64(busy) / (float64(r.Makespan) * float64(len(s.fleet)))
+	}
 	if r.Jobs == 0 {
 		return r
 	}
-	r.Makespan = s.lastDone.Sub(s.firstSubmit)
 	if r.Makespan > 0 {
 		r.Throughput = float64(r.Jobs) / r.Makespan.Seconds()
 	}
@@ -599,18 +655,11 @@ func (s *Service) report() Report {
 	r.QueueWaitMean = r.QueueWait.Mean
 	r.QueueWaitMax = r.QueueWait.Max
 	r.QPUWaitMean = r.QPUWait.Mean
+	// Stage means divide by the completed-job count only: failed jobs have
+	// no stage ledger, and folding them in would dilute every mean.
 	n := time.Duration(r.Jobs)
 	r.Stage1Mean = s1 / n
 	r.Stage2Mean = s2 / n
 	r.Stage3Mean = s3 / n
-	var busy time.Duration
-	for _, fd := range s.fleet {
-		b := fd.busyTime()
-		r.DeviceBusy = append(r.DeviceBusy, b)
-		busy += b
-	}
-	if r.Makespan > 0 && len(s.fleet) > 0 {
-		r.QPUBusyFraction = float64(busy) / (float64(r.Makespan) * float64(len(s.fleet)))
-	}
 	return r
 }

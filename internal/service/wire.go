@@ -3,6 +3,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"github.com/splitexec/splitexec/internal/arch"
 	"github.com/splitexec/splitexec/internal/qpuserver"
 	"github.com/splitexec/splitexec/internal/qubo"
+	"github.com/splitexec/splitexec/internal/sched"
 )
 
 // The solver service speaks the same length-prefixed JSON framing as the
@@ -48,6 +50,13 @@ type SolveRequest struct {
 	Terms []WireTerm `json:"terms,omitempty"`
 
 	Profile *WireProfile `json:"profile,omitempty"`
+
+	// Scheduling attributes for profile jobs (JobClass on the wire): the
+	// workload-class index, the sched.Priority rank and the sched.FairShare
+	// weight. Ignored unless Profile is set.
+	Class    int     `json:"class,omitempty"`
+	Priority int     `json:"priority,omitempty"`
+	Weight   float64 `json:"weight,omitempty"`
 }
 
 // WireProfile is an arch.JobProfile on the wire, nanoseconds per phase.
@@ -249,7 +258,7 @@ func (s *Service) serveConn(conn net.Conn) {
 
 func (s *Service) handleSolve(req SolveRequest) SolveResponse {
 	if req.Profile != nil {
-		return s.handleProfile(req.Profile)
+		return s.handleProfile(req)
 	}
 	q, err := DecodeQUBO(req)
 	if err != nil {
@@ -284,12 +293,17 @@ func (s *Service) handleSolve(req SolveRequest) SolveResponse {
 	return resp
 }
 
-func (s *Service) handleProfile(w *WireProfile) SolveResponse {
-	p, err := DecodeProfile(w)
+func (s *Service) handleProfile(req SolveRequest) SolveResponse {
+	p, err := DecodeProfile(req.Profile)
 	if err != nil {
 		return SolveResponse{Error: err.Error()}
 	}
-	t, err := s.SubmitProfile(p)
+	if req.Class < 0 || req.Weight < 0 || math.IsNaN(req.Weight) || math.IsInf(req.Weight, 0) ||
+		req.Priority > sched.MaxPriority || req.Priority < -sched.MaxPriority {
+		return SolveResponse{Error: fmt.Sprintf("service: bad wire job class (class=%d priority=%d weight=%v)",
+			req.Class, req.Priority, req.Weight)}
+	}
+	t, err := s.SubmitProfileClass(p, JobClass{Class: req.Class, Priority: req.Priority, Weight: req.Weight})
 	if err != nil {
 		return SolveResponse{Error: err.Error()}
 	}
@@ -352,6 +366,17 @@ func (c *Client) Solve(q *qubo.QUBO) (SolveResponse, error) {
 // returning the measured per-job metrics.
 func (c *Client) Profile(p arch.JobProfile) (SolveResponse, error) {
 	return c.roundTrip(EncodeProfile(p))
+}
+
+// ProfileClass is Profile with explicit scheduling attributes, so a remote
+// load generator can realize priority/SJF/fair-share scenarios against a
+// `splitexec serve -policy` deployment.
+func (c *Client) ProfileClass(p arch.JobProfile, class JobClass) (SolveResponse, error) {
+	req := EncodeProfile(p)
+	req.Class = class.Class
+	req.Priority = class.Priority
+	req.Weight = class.Weight
+	return c.roundTrip(req)
 }
 
 func (c *Client) roundTrip(req SolveRequest) (SolveResponse, error) {

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"time"
 )
@@ -23,28 +24,72 @@ type DurationSummary struct {
 
 // SummarizeDurations digests a sample of durations; it returns a zero
 // summary for empty input. Quantiles come from the library's shared
-// Quantile (linear interpolation on the sorted sample).
+// Quantile (linear interpolation on the sorted sample). The mean is exact:
+// it accumulates in 128 bits, so a planner-scale sample (1e6+ jobs) of
+// durations near MaxInt64 cannot silently wrap the way a time.Duration
+// accumulator would. Max likewise comes straight from the sample — the
+// float64 round trip the quantiles use can round a near-MaxInt64 value
+// past the int64 range.
 func SummarizeDurations(ds []time.Duration) DurationSummary {
 	if len(ds) == 0 {
 		return DurationSummary{}
 	}
 	xs := make([]float64, len(ds))
-	var sum time.Duration
+	max := ds[0]
+	// 128-bit signed sum as two unsigned magnitudes (durations can be
+	// negative in principle, even though the latency pipelines never emit
+	// them).
+	var posHi, posLo, negHi, negLo uint64
 	for i, d := range ds {
 		xs[i] = float64(d)
-		sum += d
+		if d > max {
+			max = d
+		}
+		var carry uint64
+		if d >= 0 {
+			posLo, carry = bits.Add64(posLo, uint64(d), 0)
+			posHi += carry
+		} else {
+			negLo, carry = bits.Add64(negLo, uint64(-d), 0)
+			negHi += carry
+		}
 	}
 	sort.Float64s(xs)
 	q := func(p float64) time.Duration { return time.Duration(Quantile(xs, p)) }
 	return DurationSummary{
 		N:    len(ds),
-		Mean: sum / time.Duration(len(ds)),
+		Mean: meanOfSums(posHi, posLo, negHi, negLo, uint64(len(ds))),
 		P50:  q(0.50),
 		P90:  q(0.90),
 		P99:  q(0.99),
 		P999: q(0.999),
-		Max:  time.Duration(xs[len(xs)-1]),
+		Max:  max,
 	}
+}
+
+// meanOfSums divides the 128-bit signed sum (positive minus negative
+// magnitude) by n, truncating toward zero — the same semantics as the old
+// `sum / n` on the never-overflowing inputs, and still exact when the sum
+// exceeds 64 bits. The 128-by-64 division cannot overflow: each |value| <
+// 2^63, so |sum| < n·2^63 and the quotient magnitude is below 2^63.
+func meanOfSums(posHi, posLo, negHi, negLo, n uint64) time.Duration {
+	var hi, lo uint64
+	neg := false
+	if posHi > negHi || (posHi == negHi && posLo >= negLo) {
+		var borrow uint64
+		lo, borrow = bits.Sub64(posLo, negLo, 0)
+		hi, _ = bits.Sub64(posHi, negHi, borrow)
+	} else {
+		neg = true
+		var borrow uint64
+		lo, borrow = bits.Sub64(negLo, posLo, 0)
+		hi, _ = bits.Sub64(negHi, posHi, borrow)
+	}
+	quot, _ := bits.Div64(hi, lo, n)
+	if neg {
+		return -time.Duration(quot)
+	}
+	return time.Duration(quot)
 }
 
 // String renders the digest in the fixed format the DES event-log and

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"encoding/json"
+	"math"
 	"math/rand"
 	"testing"
 	"time"
@@ -55,6 +56,46 @@ func TestSummarizeDurationsSingle(t *testing.T) {
 	s := SummarizeDurations([]time.Duration{time.Second})
 	if s.Mean != time.Second || s.P50 != time.Second || s.P999 != time.Second || s.Max != time.Second {
 		t.Errorf("single-sample summary = %+v", s)
+	}
+}
+
+// TestSummarizeDurationsOverflow is the regression for the wrap bug: a
+// time.Duration accumulator (`sum += d`) silently overflows once the sample
+// total passes MaxInt64 — three ~292-year durations already do, and planner
+// sweeps push N to 1e6+. The 128-bit accumulator must return the exact mean,
+// and Max must come from the sample, not a float64 round trip (which rounds
+// MaxInt64-ε up past the int64 range).
+func TestSummarizeDurationsOverflow(t *testing.T) {
+	const huge = time.Duration(math.MaxInt64)
+	ds := make([]time.Duration, 1000)
+	var want time.Duration // exact mean via the known closed form below
+	for i := range ds {
+		ds[i] = huge - time.Duration(i) // near-MaxInt64, all distinct
+	}
+	// sum = 1000*huge - (0+..+999) => mean = huge - 499.5, truncated to huge - 500.
+	want = huge - 500
+	s := SummarizeDurations(ds)
+	if s.Mean != want {
+		t.Errorf("Mean = %d, want %d (overflow-safe accumulation)", s.Mean, want)
+	}
+	if s.Mean < 0 {
+		t.Errorf("Mean wrapped negative: %v", s.Mean)
+	}
+	if s.Max != huge {
+		t.Errorf("Max = %d, want %d (must not round through float64)", s.Max, huge)
+	}
+
+	// Mixed signs still agree with the naive sum where it cannot overflow.
+	mixed := []time.Duration{-7, 5, -3, 10, 2}
+	if got := SummarizeDurations(mixed).Mean; got != 1 { // (7)/5 truncated
+		t.Errorf("mixed-sign mean = %d, want 1", got)
+	}
+	allNeg := []time.Duration{-10, -20, -31}
+	if got := SummarizeDurations(allNeg).Mean; got != -20 { // -61/3 trunc toward zero
+		t.Errorf("negative mean = %d, want -20", got)
+	}
+	if got := SummarizeDurations([]time.Duration{math.MinInt64, math.MinInt64}).Mean; got != math.MinInt64 {
+		t.Errorf("MinInt64 mean = %d", got)
 	}
 }
 

@@ -13,6 +13,18 @@ func FuzzDecodeScenario(f *testing.F) {
 		`"profile":{"preProcess":"1ms","qpuService":"1ms"}}],` +
 		`"system":{"kind":"shared","hosts":2},"horizon":{"jobs":10}}`))
 	f.Add([]byte(`{"arrival":{"kind":"trace","trace":["1ms","2ms"]}}`))
+	// Policy-layer fields: a valid priority/fair scenario, an unknown
+	// policy, and hostile priority/weight values.
+	f.Add([]byte(`{"seed":3,"policy":"priority","arrival":{"kind":"poisson","rate":5},` +
+		`"mix":[{"name":"hi","weight":4,"priority":9,"profile":{"preProcess":"1ms","qpuService":"1ms"}},` +
+		`{"name":"lo","weight":1,"priority":-2,"profile":{"preProcess":"2ms","qpuService":"1ms"}}],` +
+		`"system":{"kind":"dedicated","hosts":2},"horizon":{"jobs":5}}`))
+	f.Add([]byte(`{"policy":"lifo","arrival":{"kind":"poisson","rate":1},` +
+		`"mix":[{"name":"a","weight":1,"profile":{"qpuService":"1ms"}}],` +
+		`"system":{"kind":"shared","hosts":1},"horizon":{"jobs":1}}`))
+	f.Add([]byte(`{"policy":"fair","arrival":{"kind":"uniform","rate":1e308},` +
+		`"mix":[{"name":"a","weight":1e-300,"priority":9223372036854775807,` +
+		`"profile":{"qpuService":1}}],"system":{"kind":"shared","hosts":1},"horizon":{"jobs":1}}`))
 	f.Add([]byte(`{"horizon":{"duration":-1}}`))
 	f.Add([]byte(`not json`))
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -24,6 +24,7 @@ import (
 
 	"github.com/splitexec/splitexec/internal/arch"
 	"github.com/splitexec/splitexec/internal/parallel"
+	"github.com/splitexec/splitexec/internal/sched"
 )
 
 // Duration is a time.Duration that marshals as a human-readable string
@@ -119,11 +120,17 @@ const (
 // JobClass is one entry of the workload mix: a named arch.JobProfile drawn
 // with probability proportional to Weight.
 type JobClass struct {
-	Name   string  `json:"name"`
+	Name string `json:"name"`
+	// Weight is the class's draw probability weight — and, under Policy
+	// "fair", doubles as its fair-share weight: the backlog serves
+	// classes in proportion to it.
 	Weight float64 `json:"weight"`
 	// Dist selects the service-time distribution; empty means det.
 	Dist    Dist    `json:"dist,omitempty"`
 	Profile Profile `json:"profile"`
+	// Priority orders the class under Scenario.Policy "priority"; larger
+	// is served sooner. It is ignored by the other policies.
+	Priority int `json:"priority,omitempty"`
 }
 
 // Profile is the JSON form of an arch.JobProfile.
@@ -203,6 +210,11 @@ type Scenario struct {
 	Mix     []JobClass `json:"mix"`
 	System  SystemSpec `json:"system"`
 	Horizon Horizon    `json:"horizon"`
+	// Policy selects the host-backlog queue discipline (sched.Policy):
+	// "fifo" (the default when empty), "priority", "sjf" or "fair". The
+	// DES and the live dispatcher realize the same policy, so it is part
+	// of the experiment spec, not the deployment.
+	Policy sched.Policy `json:"policy,omitempty"`
 }
 
 // Validate checks structural consistency; it is called by Decode and by
@@ -255,6 +267,9 @@ func (sc *Scenario) Validate() error {
 		default:
 			return fmt.Errorf("workload: mix[%d] %q has unknown dist %q", i, c.Name, c.Dist)
 		}
+		if c.Priority > sched.MaxPriority || c.Priority < -sched.MaxPriority {
+			return fmt.Errorf("workload: mix[%d] %q priority %d outside ±%d", i, c.Name, c.Priority, sched.MaxPriority)
+		}
 		p := c.Profile.Arch()
 		if p.PreProcess < 0 || p.Network < 0 || p.QPUService < 0 || p.PostProcess < 0 {
 			return fmt.Errorf("workload: mix[%d] %q has a negative phase time", i, c.Name)
@@ -263,6 +278,9 @@ func (sc *Scenario) Validate() error {
 			return fmt.Errorf("workload: mix[%d] %q has zero total service time", i, c.Name)
 		}
 		total += c.Weight
+	}
+	if !sched.Valid(sc.Policy) {
+		return fmt.Errorf("workload: unknown policy %q (want %v)", sc.Policy, sched.Policies())
 	}
 	if _, err := sc.System.Arch(); err != nil {
 		return err
@@ -331,6 +349,22 @@ func (sc *Scenario) JobAt(i int) Job {
 		p.PostProcess = scaleDur(p.PostProcess, scale)
 	}
 	return Job{Class: idx, Profile: p}
+}
+
+// SchedJob returns the scheduling attributes of a sampled job: the class's
+// priority and fair-share weight from the mix, and the realized profile's
+// QPU and total service times as the SJF ordering key and fair-share charge.
+// Both the simulator and the live load generator derive their sched.Job from
+// here, so every policy orders the same information on both sides.
+func (sc *Scenario) SchedJob(j Job) sched.Job {
+	c := sc.Mix[j.Class]
+	return sched.Job{
+		Class:       j.Class,
+		Priority:    c.Priority,
+		Weight:      c.Weight,
+		ExpectedQPU: j.Profile.QPUService,
+		Cost:        j.Profile.Total(),
+	}
 }
 
 func scaleDur(d time.Duration, s float64) time.Duration {

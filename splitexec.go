@@ -41,8 +41,10 @@ import (
 	"github.com/splitexec/splitexec/internal/loadgen"
 	"github.com/splitexec/splitexec/internal/machine"
 	"github.com/splitexec/splitexec/internal/parallel"
+	"github.com/splitexec/splitexec/internal/plan"
 	"github.com/splitexec/splitexec/internal/qpuserver"
 	"github.com/splitexec/splitexec/internal/qubo"
+	"github.com/splitexec/splitexec/internal/sched"
 	"github.com/splitexec/splitexec/internal/schedule"
 	"github.com/splitexec/splitexec/internal/service"
 	"github.com/splitexec/splitexec/internal/stats"
@@ -426,6 +428,57 @@ type DurationSummary = stats.DurationSummary
 
 // SummarizeDurations digests a duration sample into a DurationSummary.
 var SummarizeDurations = stats.SummarizeDurations
+
+// --- scheduling policies and capacity planning --------------------------------
+
+// SchedulingPolicy names a host-backlog queue discipline shared by the
+// simulator and the live dispatch service.
+type SchedulingPolicy = sched.Policy
+
+// The supported scheduling policies.
+const (
+	// FIFOPolicy serves jobs in arrival order (the default).
+	FIFOPolicy = sched.FIFO
+	// PriorityPolicy serves the highest class priority first.
+	PriorityPolicy = sched.Priority
+	// ShortestQPUPolicy serves the smallest expected QPU time first.
+	ShortestQPUPolicy = sched.ShortestQPU
+	// FairSharePolicy serves classes in proportion to their weights.
+	FairSharePolicy = sched.FairShare
+)
+
+// SchedulingPolicies returns every supported policy, FIFO first.
+var SchedulingPolicies = sched.Policies
+
+// ServiceJobClass carries the scheduling attributes of a live-service job.
+type ServiceJobClass = service.JobClass
+
+// CapacityTarget is the SLO a planned deployment must meet (p99/mean
+// sojourn ceilings, utilization ceilings).
+type CapacityTarget = plan.Target
+
+// CapacitySpace is the planner's search space over hosts, deployment kinds
+// and scheduling policies.
+type CapacitySpace = plan.Space
+
+// CapacityCosts prices candidate configurations (hosts vs QPUs).
+type CapacityCosts = plan.Costs
+
+// CapacityPlanOptions configure a planning run.
+type CapacityPlanOptions = plan.Options
+
+// CapacityCandidate is one evaluated configuration of a capacity plan.
+type CapacityCandidate = plan.Candidate
+
+// CapacityPlan is the planner's outcome: the cheapest satisfying
+// configuration, its failing next-cheaper neighbor, and the full evaluated
+// frontier.
+type CapacityPlan = plan.Plan
+
+// PlanCapacity inverts the performance models into a provisioning decision:
+// the cheapest {hosts, fleet, policy} configuration whose simulated
+// behavior meets the target SLO under the scenario's workload.
+var PlanCapacity = plan.Capacity
 
 // --- architecture comparison (Fig. 1 a/b/c) ----------------------------------
 
