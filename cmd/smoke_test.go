@@ -268,6 +268,37 @@ func TestSplitexecPlanSmoke(t *testing.T) {
 	}
 }
 
+// TestSplitexecStormQuick replays the cheapest corpus scenario through the
+// full predict→replay→judge pipeline over live TCP — the exact invocation the
+// CI smoke job runs — and pins the JSON report's shape and verdict.
+func TestSplitexecStormQuick(t *testing.T) {
+	out := run(t, "splitexec", "storm", "-dir", "../scenarios", "-quick", "-json")
+	var rep struct {
+		Pass      bool `json:"pass"`
+		Scenarios []struct {
+			Name      string  `json:"name"`
+			Pass      bool    `json:"pass"`
+			Ratio     float64 `json:"ratio"`
+			Jobs      int     `json:"jobs"`
+			Failed    int     `json:"failed"`
+			Submitted int     `json:"submitted"`
+		} `json:"scenarios"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("storm -json output not JSON: %v\n%s", err, out)
+	}
+	if !rep.Pass || len(rep.Scenarios) != 1 {
+		t.Fatalf("storm -quick report: %s", out)
+	}
+	s := rep.Scenarios[0]
+	if s.Name != "quick-check" || !s.Pass || s.Ratio <= 0 {
+		t.Errorf("quick scenario verdict: %+v", s)
+	}
+	if s.Jobs+s.Failed != 60 {
+		t.Errorf("quick-check ledger %d + %d != 60 admitted", s.Jobs, s.Failed)
+	}
+}
+
 // TestSplitexecLoadgenSmoke drives the full open-system loop over TCP: a
 // live `splitexec serve`, the loadgen subcommand replaying a scenario
 // against it, and the serve process's JSON drain report on SIGTERM.

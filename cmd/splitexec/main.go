@@ -23,6 +23,14 @@
 //	splitexec simulate -scenario burst.json
 //	splitexec loadgen -scenario burst.json -addr 127.0.0.1:7464
 //	splitexec plan -scenario burst.json -p99 10ms -hosts 1:16 -policies all
+//
+// The storm subcommand soak-tests the adversarial scenario corpus: each
+// scenario is predicted with the simulator, replayed live over loopback TCP
+// with its fault regime injected, and judged against its declared
+// DES-vs-live acceptance band (docs/scenarios.md):
+//
+//	splitexec storm -dir scenarios
+//	splitexec storm -dir scenarios -quick -json
 package main
 
 import (
@@ -56,6 +64,9 @@ func main() {
 			return
 		case "plan":
 			runPlan(os.Args[2:])
+			return
+		case "storm":
+			runStorm(os.Args[2:])
 			return
 		}
 	}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/storm"
+)
+
+// runStorm is the `splitexec storm` subcommand: it soak-tests the scenario
+// corpus — DES prediction, live TCP replay with fault injection, band
+// verdict per scenario — and exits non-zero if any scenario fails.
+func runStorm(args []string) {
+	fs := flag.NewFlagSet("splitexec storm", flag.ExitOnError)
+	var (
+		dir      = fs.String("dir", "scenarios", "scenario corpus directory (*.json; see docs/scenarios.md)")
+		quick    = fs.Bool("quick", false, "run only the cheapest scenario (CI smoke)")
+		attempts = fs.Int("attempts", 3, "per-scenario live-replay attempts before failing the band check")
+		asJSON   = fs.Bool("json", false, "emit the pass/fail report as JSON instead of a table")
+		quiet    = fs.Bool("quiet", false, "suppress per-attempt progress lines")
+	)
+	fs.Parse(args)
+
+	opts := storm.Options{Dir: *dir, Quick: *quick, Attempts: *attempts}
+	if !*quiet && !*asJSON {
+		opts.Log = os.Stderr
+	}
+	rep, err := storm.Run(opts)
+	if err != nil {
+		log.Fatalf("splitexec storm: %v", err)
+	}
+
+	if *asJSON {
+		out, err := storm.EncodeReport(rep)
+		if err != nil {
+			log.Fatalf("splitexec storm: %v", err)
+		}
+		fmt.Printf("%s\n", out)
+	} else {
+		for _, s := range rep.Scenarios {
+			verdict := "PASS"
+			if !s.Pass {
+				verdict = "FAIL"
+			}
+			fmt.Printf("%s %-24s p99 %v vs DES %v (%.2fx, band [%.2f, %.2f]) jobs=%d failed=%d retries=%d drops=%d attempts=%d\n",
+				verdict, s.Name, s.LiveP99.Round(time.Microsecond), s.DESP99.Round(time.Microsecond),
+				s.Ratio, s.Band.Lo, s.Band.Hi, s.Jobs, s.Failed, s.Retries, s.Drops, s.Attempts)
+			if s.Error != "" {
+				fmt.Printf("     %s: %s\n", s.Name, s.Error)
+			}
+		}
+		if rep.Pass {
+			fmt.Printf("storm: %d scenario(s) passed\n", len(rep.Scenarios))
+		} else {
+			fmt.Printf("storm: FAILED\n")
+		}
+	}
+	if !rep.Pass {
+		os.Exit(1)
+	}
+}

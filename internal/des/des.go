@@ -68,26 +68,57 @@ type Result struct {
 	// time over capacity × End.
 	HostBusy float64 `json:"hostBusy"`
 	QPUBusy  float64 `json:"qpuBusy"`
+
+	// Admitted counts every job the horizon admitted. Under a fault
+	// regime Jobs + Failed == Admitted is the conservation invariant the
+	// chaos tests pin: a job either completes or fails, never both,
+	// never neither.
+	Admitted int `json:"admitted,omitempty"`
+	// Failed counts jobs lost to the fault regime: a fatal connection
+	// drop, or a retry budget exhausted by device deaths.
+	Failed int `json:"failed,omitempty"`
+	// Retries counts service attempts aborted by a device death and
+	// re-dispatched after the backoff.
+	Retries int `json:"retries,omitempty"`
+	// Drops counts submission attempts lost to wire-path connection
+	// drops.
+	Drops int `json:"drops,omitempty"`
+	// DeviceDown is cumulative realized device downtime across the fleet.
+	DeviceDown time.Duration `json:"deviceDown,omitempty"`
 }
 
-// event kinds, in the order they appear in event logs.
+// event kinds, in the order they appear in event logs. The first five are
+// the fault-free lifecycle and their log lines are pinned byte-for-byte by
+// the determinism regressions; the fault kinds below only ever appear under
+// a non-nil Scenario.Faults.
 const (
 	evArrive  = iota // job enters the system
 	evStart          // a host picks the job up
-	evGrant          // the job acquires a QPU service token
-	evRelease        // the job releases its token
+	evGrant          // the job acquires a QPU device
+	evRelease        // the job releases its device
 	evDone           // the job completes; its host frees
+	evDown           // a device dies (fault regime)
+	evUp             // a device revives (fault regime)
+	evDrop           // a submission attempt is lost on the wire
+	evAbort          // a device death aborts the job's in-flight service
+	evFail           // the job fails for good (budget exhausted)
 )
 
-var evName = [...]string{"arrive", "start", "qpu+", "qpu-", "done"}
+var evName = [...]string{"arrive", "start", "qpu+", "qpu-", "done", "down", "up", "drop", "abort", "fail"}
 
 // event is one heap entry. Ties on time break on push sequence, so the
 // replay order — and therefore the event log — is fully deterministic.
+// Job events capture the job's attempt counter at push time: a device death
+// bumps the counter, which invalidates the aborted attempt's pending
+// release without having to dig it out of the heap. Device events carry dev
+// instead of a job.
 type event struct {
-	at   time.Duration
-	seq  int
-	kind int
-	job  *job
+	at      time.Duration
+	seq     int
+	kind    int
+	job     *job
+	attempt int
+	dev     int
 }
 
 type eventHeap []*event
@@ -111,11 +142,25 @@ type job struct {
 	profile arch.JobProfile
 
 	arrive   time.Duration
+	submitAt time.Duration // successful submission (= arrive unless drops)
 	start    time.Duration // host pickup
+	reqAt    time.Duration // latest QPU request point
 	qpuGrant time.Duration
 	done     time.Duration
 
 	client int // closed-loop submitter, else -1
+
+	// Fault state: the deterministic drop plan still to realize, the
+	// attempt counter that invalidates aborted releases, the retry budget
+	// consumed, the device currently held, and accumulated QPU wait
+	// across attempts.
+	drops      int
+	fatalDrop  bool
+	announced  bool // the arrival has been logged and the next one scheduled
+	attempt    int
+	retries    int
+	dev        int
+	qpuWaitAcc time.Duration
 }
 
 // sim is the mutable simulation state.
@@ -135,13 +180,26 @@ type sim struct {
 	// byte-identical under every policy).
 	backlog sched.Queue[*job]
 
-	freeQPUs int
-	qpuFIFO  []*job // jobs waiting for a service token (shared systems)
+	// Device pool: shared systems have one device, dedicated systems one
+	// per host. Fault-free dedicated runs always find a free device at
+	// request time (hosts == devices), so the pool reproduces the old
+	// token-bypass event times exactly; under a fault regime devices go
+	// down and jobs queue in qpuFIFO until one revives.
+	devUp     []bool
+	devFree   []int  // up, unheld devices, granted FIFO
+	devHolder []*job // device → in-service job
+	qpuFIFO   []*job // jobs waiting for any device
 
-	dedicated bool
+	// Fault-schedule state, inert without Scenario.Faults.
+	devGen     []*workload.OutageGen
+	devOutage  []workload.Outage // current outage per device
+	devDownAt  []time.Duration
+	retryLimit int
+	backoff    time.Duration
 
 	// admission
 	nextID    int
+	live      int // admitted jobs not yet completed or failed
 	arrivals  *workload.ArrivalGen
 	jobLimit  int           // max admitted jobs (0 = unbounded)
 	timeLimit time.Duration // no admissions after this offset (0 = unbounded)
@@ -154,6 +212,10 @@ type sim struct {
 	hostBusy     time.Duration
 	qpuBusy      time.Duration
 	end          time.Duration
+	failed       int
+	retries      int
+	drops        int
+	deviceDown   time.Duration
 }
 
 // Simulate runs the scenario to completion — every admitted job finishes —
@@ -167,23 +229,47 @@ func Simulate(sc *workload.Scenario, opts Options) (*Result, error) {
 		return nil, err
 	}
 	s := &sim{
-		sc:        sc,
-		sys:       sys,
-		opts:      opts,
-		freeHosts: sys.Hosts,
-		backlog:   sched.New[*job](sc.Policy),
-		dedicated: sys.Kind == arch.DedicatedPerNode,
-		jobLimit:  sc.Horizon.Jobs,
-		timeLimit: sc.Horizon.Duration.D(),
+		sc:         sc,
+		sys:        sys,
+		opts:       opts,
+		freeHosts:  sys.Hosts,
+		backlog:    sched.New[*job](sc.Policy),
+		jobLimit:   sc.Horizon.Jobs,
+		timeLimit:  sc.Horizon.Duration.D(),
+		retryLimit: sc.RetryLimit(),
+		backoff:    sc.RetryBackoff(),
 	}
-	if !s.dedicated {
-		s.freeQPUs = 1
+	devs := sc.System.QPUs()
+	s.devUp = make([]bool, devs)
+	s.devHolder = make([]*job, devs)
+	s.devFree = make([]int, 0, devs)
+	for d := 0; d < devs; d++ {
+		s.devUp[d] = true
+		s.devFree = append(s.devFree, d)
+	}
+	if sc.HasDeviceFaults() {
+		s.devGen = make([]*workload.OutageGen, devs)
+		s.devOutage = make([]workload.Outage, devs)
+		s.devDownAt = make([]time.Duration, devs)
+		for d := 0; d < devs; d++ {
+			s.devGen[d] = sc.OutageSource(d)
+			if o, ok := s.devGen[d].Next(); ok {
+				s.devOutage[d] = o
+				s.pushDev(o.At, evDown, d)
+			}
+		}
 	}
 	if err := s.prime(); err != nil {
 		return nil, err
 	}
 	for !s.heap.empty() {
 		e := heap.Pop(&s.heap).(*event)
+		if e.job == nil && s.live == 0 {
+			// Only the device-fault schedule remains and the workload
+			// is drained — no job can ever arrive again, so replaying
+			// further outages would just pad the log.
+			break
+		}
 		s.now = e.at
 		s.dispatch(e)
 		e.job = nil
@@ -247,8 +333,12 @@ func (s *sim) admitLocked(off time.Duration, client int) bool {
 		profile: sample.Profile,
 		arrive:  off,
 		client:  client,
+		dev:     -1,
 	}
+	plan := s.sc.DropPlanFor(j.id)
+	j.drops, j.fatalDrop = plan.Drops, plan.Fatal
 	s.nextID++
+	s.live++
 	s.push(off, evArrive, j)
 	return true
 }
@@ -258,11 +348,17 @@ func (s *sim) push(at time.Duration, kind int, j *job) {
 	var e *event
 	if n := len(s.free); n > 0 {
 		e, s.free = s.free[n-1], s.free[:n-1]
-		*e = event{at: at, seq: s.seq, kind: kind, job: j}
+		*e = event{at: at, seq: s.seq, kind: kind, job: j, attempt: j.attempt}
 	} else {
-		e = &event{at: at, seq: s.seq, kind: kind, job: j}
+		e = &event{at: at, seq: s.seq, kind: kind, job: j, attempt: j.attempt}
 	}
 	heap.Push(&s.heap, e)
+}
+
+// pushDev schedules a device-fault event; dev events carry no job.
+func (s *sim) pushDev(at time.Duration, kind, dev int) {
+	s.seq++
+	heap.Push(&s.heap, &event{at: at, seq: s.seq, kind: kind, dev: dev})
 }
 
 func (s *sim) log(kind int, j *job) {
@@ -272,19 +368,45 @@ func (s *sim) log(kind int, j *job) {
 	fmt.Fprintf(s.opts.EventLog, "%d %s job=%d class=%d\n", s.now, evName[kind], j.id, j.class)
 }
 
+func (s *sim) logDev(kind, dev int) {
+	if s.opts.EventLog == nil {
+		return
+	}
+	fmt.Fprintf(s.opts.EventLog, "%d %s dev=%d\n", s.now, evName[kind], dev)
+}
+
 func (s *sim) dispatch(e *event) {
 	j := e.job
 	switch e.kind {
 	case evArrive:
-		s.log(evArrive, j)
-		if s.freeHosts > 0 {
-			s.freeHosts--
-			s.startJob(j)
+		first := !j.announced
+		if first {
+			j.announced = true
+			s.log(evArrive, j)
+		}
+		if j.drops > 0 {
+			// This submission attempt is lost on the wire; the job
+			// retries after the backoff, or fails outright when its
+			// whole budget drops.
+			j.drops--
+			s.log(evDrop, j)
+			s.drops++
+			if j.fatalDrop && j.drops == 0 {
+				s.failJob(j, false)
+			} else {
+				s.push(s.now+s.backoff, evArrive, j)
+			}
 		} else {
-			s.backlog.Push(j, s.sc.SchedJob(workload.Job{Class: j.class, Profile: j.profile}))
+			j.submitAt = s.now
+			if s.freeHosts > 0 {
+				s.freeHosts--
+				s.startJob(j)
+			} else {
+				s.backlog.Push(j, s.sc.SchedJob(workload.Job{Class: j.class, Profile: j.profile}))
+			}
 		}
 		// Keep exactly one pending open-process arrival in the heap.
-		if j.client < 0 {
+		if first && j.client < 0 {
 			s.scheduleNextArrival()
 		}
 
@@ -293,31 +415,23 @@ func (s *sim) dispatch(e *event) {
 
 	case evGrant:
 		// The job reached its QPU-request point (pre-process + request
-		// network done). Dedicated hosts own their token; shared systems
-		// grant the single token FIFO.
-		if s.dedicated || s.freeQPUs > 0 {
-			if !s.dedicated {
-				s.freeQPUs--
-			}
-			s.grantQPU(j)
-		} else {
-			s.qpuFIFO = append(s.qpuFIFO, j)
-		}
+		// network done, or a retry backoff expired). Devices grant FIFO;
+		// fault-free dedicated systems always have one free here.
+		j.reqAt = s.now
+		s.tryGrant(j)
 
 	case evRelease:
+		if e.attempt != j.attempt {
+			return // stale: a device death already aborted this attempt
+		}
 		s.log(evRelease, j)
-		s.qpuBusy += j.profile.QPUService
+		s.qpuBusy += s.now - j.qpuGrant
+		dev := j.dev
+		s.devHolder[dev] = nil
+		j.dev = -1
 		// Completion: response network + post-process.
 		s.push(s.now+j.profile.Network+j.profile.PostProcess, evDone, j)
-		if !s.dedicated {
-			if len(s.qpuFIFO) > 0 {
-				next := s.qpuFIFO[0]
-				s.qpuFIFO = s.qpuFIFO[1:]
-				s.grantQPU(next)
-			} else {
-				s.freeQPUs++
-			}
-		}
+		s.serveOrFree(dev)
 
 	case evDone:
 		s.log(evDone, j)
@@ -332,6 +446,44 @@ func (s *sim) dispatch(e *event) {
 		if j.client >= 0 {
 			s.admitLocked(s.now+s.sc.Arrival.Think.D(), j.client)
 		}
+
+	case evDown:
+		dev := e.dev
+		s.devUp[dev] = false
+		s.devDownAt[dev] = s.now
+		s.logDev(evDown, dev)
+		if h := s.devHolder[dev]; h != nil {
+			// The death aborts the in-flight service. The host keeps
+			// the job and re-requests a device after the backoff —
+			// the lease re-dispatch — unless the retry budget is
+			// spent, in which case the job fails and the host frees.
+			s.qpuBusy += s.now - h.qpuGrant
+			s.devHolder[dev] = nil
+			h.dev = -1
+			h.attempt++
+			s.log(evAbort, h)
+			if h.retries >= s.retryLimit {
+				s.failJob(h, true)
+			} else {
+				h.retries++
+				s.retries++
+				s.push(s.now+s.backoff, evGrant, h)
+			}
+		} else {
+			s.removeFree(dev)
+		}
+		s.pushDev(s.now+s.devOutage[dev].For, evUp, dev)
+
+	case evUp:
+		dev := e.dev
+		s.devUp[dev] = true
+		s.deviceDown += s.now - s.devDownAt[dev]
+		s.logDev(evUp, dev)
+		s.serveOrFree(dev)
+		if o, ok := s.devGen[dev].Next(); ok {
+			s.devOutage[dev] = o
+			s.pushDev(o.At, evDown, dev)
+		}
 	}
 }
 
@@ -343,17 +495,73 @@ func (s *sim) startJob(j *job) {
 	s.push(s.now+j.profile.PreProcess+j.profile.Network, evGrant, j)
 }
 
-// grantQPU gives j its service token now and schedules the release.
-func (s *sim) grantQPU(j *job) {
+// tryGrant gives j the next free device, or parks it in the FIFO.
+func (s *sim) tryGrant(j *job) {
+	if len(s.devFree) > 0 {
+		dev := s.devFree[0]
+		s.devFree = s.devFree[1:]
+		s.assign(j, dev)
+	} else {
+		s.qpuFIFO = append(s.qpuFIFO, j)
+	}
+}
+
+// assign grants device dev to j now and schedules the release.
+func (s *sim) assign(j *job, dev int) {
+	j.dev = dev
+	s.devHolder[dev] = j
 	j.qpuGrant = s.now
+	j.qpuWaitAcc += s.now - j.reqAt
 	s.log(evGrant, j)
 	s.push(s.now+j.profile.QPUService, evRelease, j)
 }
 
+// serveOrFree hands an available device to the FIFO head, or parks it in
+// the free list.
+func (s *sim) serveOrFree(dev int) {
+	if len(s.qpuFIFO) > 0 {
+		next := s.qpuFIFO[0]
+		s.qpuFIFO = s.qpuFIFO[1:]
+		s.assign(next, dev)
+	} else {
+		s.devFree = append(s.devFree, dev)
+	}
+}
+
+// removeFree pulls a dead device out of the free list.
+func (s *sim) removeFree(dev int) {
+	for i, d := range s.devFree {
+		if d == dev {
+			s.devFree = append(s.devFree[:i], s.devFree[i+1:]...)
+			return
+		}
+	}
+}
+
+// failJob records a job lost to the fault regime. hosted says whether a
+// host is carrying the job (retry exhaustion) or it never got one (fatal
+// drop). Closed-loop clients resubmit after their think time either way —
+// a failed request does not shrink the client population.
+func (s *sim) failJob(j *job, hosted bool) {
+	s.log(evFail, j)
+	s.failed++
+	s.live--
+	if hosted {
+		if next, ok := s.backlog.Pop(); ok {
+			s.startJob(next)
+		} else {
+			s.freeHosts++
+		}
+	}
+	if j.client >= 0 {
+		s.admitLocked(s.now+s.sc.Arrival.Think.D(), j.client)
+	}
+}
+
 func (s *sim) complete(j *job) {
-	s.queueWait = append(s.queueWait, j.start-j.arrive)
-	reqAt := j.start + j.profile.PreProcess + j.profile.Network
-	s.qpuWait = append(s.qpuWait, j.qpuGrant-reqAt)
+	s.live--
+	s.queueWait = append(s.queueWait, j.start-j.submitAt)
+	s.qpuWait = append(s.qpuWait, j.qpuWaitAcc)
 	s.sojourn = append(s.sojourn, j.done-j.arrive)
 	if s.classSojourn == nil {
 		s.classSojourn = make([][]time.Duration, len(s.sc.Mix))
@@ -380,21 +588,27 @@ func (s *sim) result() *Result {
 			r.ClassSojourn[c] = stats.SummarizeDurations(ds)
 		}
 	}
+	r.Admitted = s.nextID
+	r.Failed = s.failed
+	r.Retries = s.retries
+	r.Drops = s.drops
+	r.DeviceDown = s.deviceDown
 	if s.end > 0 {
 		r.Throughput = float64(r.Jobs) / s.end.Seconds()
 		r.HostBusy = float64(s.hostBusy) / (float64(s.end) * float64(s.sys.Hosts))
-		qpus := s.sys.Hosts
-		if !s.dedicated {
-			qpus = 1
-		}
-		r.QPUBusy = float64(s.qpuBusy) / (float64(s.end) * float64(qpus))
+		r.QPUBusy = float64(s.qpuBusy) / (float64(s.end) * float64(len(s.devUp)))
 	}
 	return r
 }
 
 // String renders the result in the fixed format the determinism regression
-// byte-compares.
+// byte-compares; the fault line appears only when the run realized faults,
+// so fault-free renderings are byte-identical to the historical format.
 func (r *Result) String() string {
-	return fmt.Sprintf("scenario=%q jobs=%d end=%v throughput=%.4f\n  queueWait %v\n  qpuWait   %v\n  sojourn   %v\n  hostBusy=%.4f qpuBusy=%.4f",
+	out := fmt.Sprintf("scenario=%q jobs=%d end=%v throughput=%.4f\n  queueWait %v\n  qpuWait   %v\n  sojourn   %v\n  hostBusy=%.4f qpuBusy=%.4f",
 		r.Scenario, r.Jobs, r.End, r.Throughput, r.QueueWait, r.QPUWait, r.Sojourn, r.HostBusy, r.QPUBusy)
+	if r.Failed > 0 || r.Retries > 0 || r.Drops > 0 || r.DeviceDown > 0 {
+		out += fmt.Sprintf("\n  failed=%d retries=%d drops=%d deviceDown=%v", r.Failed, r.Retries, r.Drops, r.DeviceDown)
+	}
+	return out
 }

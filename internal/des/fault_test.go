@@ -1,0 +1,213 @@
+package des
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/workload"
+)
+
+// faultScenario is mmcScenario under a full chaos regime: device deaths,
+// straggler anneals and connection drops all at once.
+func faultScenario(jobs int, seed int64) *workload.Scenario {
+	sc := mmcScenario(0.5, 3, jobs, seed)
+	sc.Faults = &workload.FaultSpec{
+		DeviceMTBF:     workload.Duration(20 * time.Millisecond),
+		DeviceDowntime: workload.Duration(5 * time.Millisecond),
+		StragglerProb:  0.05,
+		StragglerCap:   10,
+		DropProb:       0.1,
+		MaxRetries:     3,
+		Backoff:        workload.Duration(time.Millisecond),
+	}
+	return sc
+}
+
+// TestFaultConservation pins the simulator's ledger under the full chaos
+// regime: every admitted job completes or fails, never both, never neither —
+// and each fault class actually fired (a regime that injects nothing tests
+// nothing).
+func TestFaultConservation(t *testing.T) {
+	var log bytes.Buffer
+	sc := faultScenario(2000, 17)
+	r, err := Simulate(sc, Options{EventLog: &log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Jobs+r.Failed != r.Admitted {
+		t.Errorf("ledger leak: jobs %d + failed %d != admitted %d", r.Jobs, r.Failed, r.Admitted)
+	}
+	if r.Admitted != 2000 {
+		t.Errorf("admitted %d, want the full 2000-job horizon", r.Admitted)
+	}
+	if r.Retries == 0 {
+		t.Error("no retries at 20ms MTBF over a multi-second run")
+	}
+	if r.Drops == 0 {
+		t.Error("no drops at 10% drop probability")
+	}
+	if r.DeviceDown == 0 {
+		t.Error("no realized device downtime")
+	}
+	for _, ev := range []string{" down dev=", " up dev=", " drop job=", " abort job="} {
+		if !strings.Contains(log.String(), ev) {
+			t.Errorf("event log missing %q events", ev)
+		}
+	}
+}
+
+// TestFaultDeterministicAcrossGOMAXPROCS extends the PR 4 determinism pin to
+// the fault regime: the event log — now including down/up/drop/abort/fail
+// events — must be byte-identical at any GOMAXPROCS. Run under -race in CI.
+func TestFaultDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	sc := faultScenario(5000, 23)
+
+	type run struct {
+		log     string
+		summary string
+	}
+	simulate := func() run {
+		var buf bytes.Buffer
+		r, err := Simulate(sc, Options{EventLog: &buf})
+		if err != nil {
+			t.Errorf("Simulate: %v", err)
+			return run{}
+		}
+		return run{log: buf.String(), summary: r.String()}
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	baseline := simulate()
+	runtime.GOMAXPROCS(prev)
+	if baseline.log == "" {
+		t.Fatal("baseline produced no event log")
+	}
+	if !strings.Contains(baseline.log, " down dev=") {
+		t.Fatal("baseline log has no fault events — the regime never fired")
+	}
+
+	var wg sync.WaitGroup
+	runs := make([]run, 4)
+	for i := range runs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			runs[i] = simulate()
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range runs {
+		if r.summary != baseline.summary {
+			t.Errorf("run %d summary diverged:\n%s\nbaseline:\n%s", i, r.summary, baseline.summary)
+		}
+		if r.log != baseline.log {
+			t.Errorf("run %d event log diverged from baseline (len %d vs %d)", i, len(r.log), len(baseline.log))
+		}
+	}
+}
+
+// TestDropLedgerMatchesPlans: the simulator's realized drop/failure counts
+// must equal the sums of the per-job deterministic drop plans — the exact
+// schedule a live replay realizes from the same seed.
+func TestDropLedgerMatchesPlans(t *testing.T) {
+	sc := mmcScenario(0.3, 2, 500, 31)
+	sc.Faults = &workload.FaultSpec{DropProb: 0.3, MaxRetries: 2, Backoff: workload.Duration(time.Millisecond)}
+	r, err := Simulate(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDrops, wantFatal := 0, 0
+	for i := 0; i < r.Admitted; i++ {
+		p := sc.DropPlanFor(i)
+		wantDrops += p.Drops
+		if p.Fatal {
+			wantFatal++
+		}
+	}
+	if r.Drops != wantDrops {
+		t.Errorf("drops %d != %d planned", r.Drops, wantDrops)
+	}
+	if r.Failed != wantFatal {
+		t.Errorf("failed %d != %d fatal plans (no device faults in this scenario)", r.Failed, wantFatal)
+	}
+	if r.Jobs+r.Failed != r.Admitted {
+		t.Errorf("ledger leak: %d + %d != %d", r.Jobs, r.Failed, r.Admitted)
+	}
+}
+
+// TestNoFaultRegimeUntouched: a scenario without a fault spec reports zero
+// fault counters and emits no fault events — the historical no-fault event
+// stream (pinned byte-for-byte by TestTraceHandChecked) is preserved.
+func TestNoFaultRegimeUntouched(t *testing.T) {
+	var log bytes.Buffer
+	r, err := Simulate(mmcScenario(0.5, 2, 300, 11), Options{EventLog: &log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Failed != 0 || r.Retries != 0 || r.Drops != 0 || r.DeviceDown != 0 {
+		t.Errorf("fault counters nonzero without a fault regime: %+v", r)
+	}
+	for _, ev := range []string{"down", "up", "drop", "abort", "fail"} {
+		if strings.Contains(log.String(), " "+ev+" ") {
+			t.Errorf("no-fault log contains %q events", ev)
+		}
+	}
+	if r.Jobs != r.Admitted {
+		t.Errorf("jobs %d != admitted %d without faults", r.Jobs, r.Admitted)
+	}
+}
+
+// TestStragglersStretchTail: enabling stragglers on an otherwise identical
+// scenario must stretch the sojourn tail (p99) more than the median — the
+// heavy-tail signature the straggler-tail corpus scenario bets on.
+func TestStragglersStretchTail(t *testing.T) {
+	base := mmcScenario(0.4, 2, 5000, 41)
+	r0, err := Simulate(base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	straggly := mmcScenario(0.4, 2, 5000, 41)
+	straggly.Faults = &workload.FaultSpec{StragglerProb: 0.05, StragglerCap: 50}
+	r1, err := Simulate(straggly, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Sojourn.P99 <= r0.Sojourn.P99 {
+		t.Errorf("stragglers did not stretch p99: %v vs %v", r1.Sojourn.P99, r0.Sojourn.P99)
+	}
+	tailGrowth := float64(r1.Sojourn.P99) / float64(r0.Sojourn.P99)
+	medianGrowth := float64(r1.Sojourn.P50) / float64(r0.Sojourn.P50)
+	if tailGrowth <= medianGrowth {
+		t.Errorf("tail grew %.2fx but median %.2fx — stragglers should be a tail phenomenon",
+			tailGrowth, medianGrowth)
+	}
+}
+
+// TestDeviceFaultsDegradeGracefully: with one of three devices dying
+// periodically, throughput drops but every admitted job still completes or
+// fails within budget — the fleet-shrink degradation path.
+func TestDeviceFaultsDegradeGracefully(t *testing.T) {
+	sc := mmcScenario(0.5, 3, 1000, 53)
+	sc.Faults = &workload.FaultSpec{
+		DeviceMTBF:     workload.Duration(50 * time.Millisecond),
+		DeviceDowntime: workload.Duration(10 * time.Millisecond),
+		MaxRetries:     workload.MaxRetryLimit, // effectively unbounded: nothing may fail
+	}
+	r, err := Simulate(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Failed != 0 {
+		t.Errorf("%d jobs failed with an effectively unbounded retry budget", r.Failed)
+	}
+	if r.Jobs != r.Admitted {
+		t.Errorf("jobs %d != admitted %d", r.Jobs, r.Admitted)
+	}
+	if r.Retries == 0 || r.DeviceDown == 0 {
+		t.Errorf("fault regime never fired: retries=%d deviceDown=%v", r.Retries, r.DeviceDown)
+	}
+}

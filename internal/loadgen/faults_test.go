@@ -1,0 +1,106 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/des"
+	"github.com/splitexec/splitexec/internal/service"
+	"github.com/splitexec/splitexec/internal/workload"
+)
+
+// Live fault replay: the load generator must realize the same deterministic
+// fault schedules the DES consumes, and the live ledgers must match the
+// plan-derived expectations exactly — not statistically.
+
+// TestLiveDropPlansRealized: in-process replay of a drop regime. The
+// realized drop and failure counts must equal the sums over the per-job
+// deterministic plans, and the service ledger must conserve submissions.
+func TestLiveDropPlansRealized(t *testing.T) {
+	sc := openScenario(2, 80)
+	sc.Faults = &workload.FaultSpec{DropProb: 0.25, MaxRetries: 2, Backoff: workload.Duration(500 * time.Microsecond)}
+
+	wantDrops, wantFatal := 0, 0
+	for i := 0; i < sc.Horizon.Jobs; i++ {
+		p := sc.DropPlanFor(i)
+		wantDrops += p.Drops
+		if p.Fatal {
+			wantFatal++
+		}
+	}
+	if wantDrops == 0 || wantFatal == 0 {
+		t.Fatalf("degenerate plan: %d drops, %d fatal — pick a different seed", wantDrops, wantFatal)
+	}
+
+	svc, err := service.New(service.Options{Workers: 2, QueueDepth: 80, Fleet: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(sc, Options{Service: svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := svc.Drain()
+
+	if got.Drops != wantDrops {
+		t.Errorf("drops %d != %d planned", got.Drops, wantDrops)
+	}
+	if got.Failed != wantFatal {
+		t.Errorf("failed %d != %d fatal plans", got.Failed, wantFatal)
+	}
+	if got.Jobs+got.Failed != sc.Horizon.Jobs {
+		t.Errorf("generator ledger leak: %d + %d != %d", got.Jobs, got.Failed, sc.Horizon.Jobs)
+	}
+	// Fatally dropped jobs never reach the service, so the service saw
+	// exactly the surviving jobs — and all of them completed.
+	if rep.Submitted != sc.Horizon.Jobs-wantFatal {
+		t.Errorf("service saw %d submissions, want %d", rep.Submitted, sc.Horizon.Jobs-wantFatal)
+	}
+	if rep.Jobs+rep.Failed != rep.Submitted {
+		t.Errorf("service ledger leak: %d + %d != %d", rep.Jobs, rep.Failed, rep.Submitted)
+	}
+	// The DES realizes the identical plans.
+	sim, err := des.Simulate(sc, des.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Drops != got.Drops || sim.Failed != got.Failed {
+		t.Errorf("DES ledger (drops %d, failed %d) != live ledger (drops %d, failed %d)",
+			sim.Drops, sim.Failed, got.Drops, got.Failed)
+	}
+}
+
+// TestLiveDeviceFaultsConserve: an in-process replay under device outages
+// must complete or fail every job exactly once, with retries visible in both
+// ledgers, even when the single device spends much of the run dead.
+func TestLiveDeviceFaultsConserve(t *testing.T) {
+	sc := openScenario(2, 60)
+	sc.Seed = 19
+	sc.Faults = &workload.FaultSpec{
+		DeviceMTBF:     workload.Duration(80 * time.Millisecond),
+		DeviceDowntime: workload.Duration(15 * time.Millisecond),
+		MaxRetries:     workload.MaxRetryLimit, // nothing may fail, only retry
+		Backoff:        workload.Duration(time.Millisecond),
+	}
+	svc, err := service.New(service.Options{
+		Workers: 2, QueueDepth: 60, Fleet: 1,
+		MaxRetries: workload.MaxRetryLimit, RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(sc, Options{Service: svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := svc.Drain()
+	if got.Failed != 0 || got.Jobs != sc.Horizon.Jobs {
+		t.Errorf("generator: %d jobs, %d failed; want all %d complete", got.Jobs, got.Failed, sc.Horizon.Jobs)
+	}
+	if rep.Jobs+rep.Failed != rep.Submitted {
+		t.Errorf("service ledger leak: %d + %d != %d", rep.Jobs, rep.Failed, rep.Submitted)
+	}
+	if got.Retries != rep.Retries {
+		t.Errorf("generator saw %d retries, service ledger %d", got.Retries, rep.Retries)
+	}
+}

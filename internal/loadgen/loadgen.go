@@ -10,7 +10,9 @@
 package loadgen
 
 import (
+	"encoding/binary"
 	"fmt"
+	"net"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -38,6 +40,13 @@ type Options struct {
 	// Timeout bounds each TCP round trip (0 = none). It must cover queue
 	// wait plus service, not just service.
 	Timeout time.Duration
+	// Fleet, when non-nil, is the fault-injection handle for scenarios
+	// with device faults: the load generator replays the scenario's
+	// deterministic outage schedules against this service's fleet in wall
+	// time. In-process runs default it to Service; Addr runs that inject
+	// device faults must set it to the serving side's *service.Service
+	// (the storm runner owns both halves and does exactly that).
+	Fleet *service.Service
 }
 
 // jobRecord is one measured job.
@@ -45,6 +54,8 @@ type jobRecord struct {
 	queueWait time.Duration
 	qpuWait   time.Duration
 	sojourn   time.Duration
+	retries   int
+	drops     int
 	err       error
 }
 
@@ -65,12 +76,18 @@ type Result struct {
 	QueueWait stats.DurationSummary `json:"queueWait"`
 	QPUWait   stats.DurationSummary `json:"qpuWait"`
 	Sojourn   stats.DurationSummary `json:"sojourn"`
+
+	// Retries counts server-side lease-revocation retries, Drops the
+	// wire-path connection drops the generator realized — both zero
+	// outside a fault regime, both mirroring the DES Result fields.
+	Retries int `json:"retries,omitempty"`
+	Drops   int `json:"drops,omitempty"`
 }
 
 // submitter abstracts the two transports behind one blocking call. The
 // class attributes let the service's scheduler realize the scenario's
 // policy on live jobs exactly as the DES does in virtual time.
-type submitter func(p arch.JobProfile, class service.JobClass) (queueWait, qpuWait time.Duration, err error)
+type submitter func(p arch.JobProfile, class service.JobClass) (queueWait, qpuWait time.Duration, retries int, err error)
 
 // classOf extracts the scheduling attributes of a sampled job from the
 // scenario mix.
@@ -99,6 +116,20 @@ func Run(sc *workload.Scenario, opts Options) (*Result, error) {
 		submit = pool
 	}
 
+	// Device faults: replay the scenario's deterministic outage schedules
+	// against the fleet in wall time. The schedules are the same DeriveSeed
+	// streams the DES consumes, so both sides kill the same devices in the
+	// same order.
+	fleet := opts.Fleet
+	if fleet == nil {
+		fleet = opts.Service
+	}
+	if sc.HasDeviceFaults() && fleet != nil {
+		stop := fleet.StartOutages(outagePlans(sc, fleet.FleetSize()))
+		defer stop()
+	}
+	backoff := sc.RetryBackoff()
+
 	var (
 		records []jobRecord
 		mu      sync.Mutex
@@ -112,16 +143,31 @@ func Run(sc *workload.Scenario, opts Options) (*Result, error) {
 	}
 	// launch runs one job end to end: it charges lateness between the
 	// scheduled arrival and the actual submission to the sojourn, exactly
-	// as the DES charges queueing from the arrival instant.
+	// as the DES charges queueing from the arrival instant. The job's
+	// deterministic drop plan (workload.DropPlanFor) is realized first:
+	// each dropped attempt severs a TCP connection mid-request (Addr mode)
+	// and burns the retry backoff; a fatal plan fails the job without it
+	// ever reaching the service — mirroring the DES drop/fail events.
 	launch := func(idx int, plannedAt time.Time) {
 		defer wg.Done()
+		plan := sc.DropPlanFor(idx)
+		for d := 0; d < plan.Drops; d++ {
+			if opts.Addr != "" {
+				dropConnection(opts.Addr, opts.Timeout)
+			}
+			if plan.Fatal && d == plan.Drops-1 {
+				record(jobRecord{drops: plan.Drops, err: errDropped})
+				return
+			}
+			sleepUntil(time.Now().Add(backoff))
+		}
 		job := sc.JobAt(idx)
-		qw, dw, err := submit(job.Profile, classOf(sc, job))
+		qw, dw, retries, err := submit(job.Profile, classOf(sc, job))
 		if err != nil {
-			record(jobRecord{err: err})
+			record(jobRecord{drops: plan.Drops, err: err})
 			return
 		}
-		record(jobRecord{queueWait: qw, qpuWait: dw, sojourn: time.Since(plannedAt)})
+		record(jobRecord{queueWait: qw, qpuWait: dw, sojourn: time.Since(plannedAt), retries: retries, drops: plan.Drops})
 	}
 
 	if sc.Arrival.Kind == workload.ClosedLoop {
@@ -155,6 +201,8 @@ func Run(sc *workload.Scenario, opts Options) (*Result, error) {
 	qpu := make([]time.Duration, 0, len(records))
 	sojourn := make([]time.Duration, 0, len(records))
 	for _, rec := range records {
+		r.Retries += rec.retries
+		r.Drops += rec.drops
 		if rec.err != nil {
 			r.Failed++
 			continue
@@ -215,17 +263,68 @@ func sleepUntil(deadline time.Time) {
 	}
 }
 
+// errDropped marks a job whose whole submission budget was lost on the wire.
+var errDropped = fmt.Errorf("loadgen: every submission attempt dropped")
+
+// dropConnection realizes one wire-path connection drop against the live
+// TCP front-end: it dials, writes half a frame (a length prefix promising
+// more bytes than follow) and severs the connection, so the server walks
+// its mid-request failure path. Best effort — the fault is the point, so
+// errors are ignored.
+func dropConnection(addr string, timeout time.Duration) {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], 64) // promise 64 payload bytes...
+	conn.Write(prefix[:])
+	conn.Write([]byte(`{"di`)) // ...deliver four, then hang up mid-frame
+	conn.Close()
+}
+
+// outagePlans materializes the scenario's per-device outage schedules out
+// to a horizon safely past the workload's drain point; Drain/stop restores
+// any device still down when the run ends.
+func outagePlans(sc *workload.Scenario, fleet int) [][]service.Outage {
+	until := outageHorizon(sc)
+	plans := make([][]service.Outage, fleet)
+	for dev := 0; dev < fleet; dev++ {
+		for _, o := range sc.OutageSchedule(dev, until) {
+			plans[dev] = append(plans[dev], service.Outage{At: o.At, For: o.For})
+		}
+	}
+	return plans
+}
+
+// outageHorizon bounds the materialized outage schedule: twice the declared
+// duration horizon, or twice the expected arrival span of a job-count
+// horizon, plus slack for the completion tail.
+func outageHorizon(sc *workload.Scenario) time.Duration {
+	const slack = 5 * time.Second
+	if sc.Horizon.Duration > 0 {
+		return 2*sc.Horizon.Duration.D() + slack
+	}
+	if r := sc.Arrival.MeanRate(); r > 0 && sc.Horizon.Jobs > 0 {
+		return 2*time.Duration(float64(sc.Horizon.Jobs)/r*float64(time.Second)) + slack
+	}
+	return 30 * time.Second
+}
+
 // inProcess submits one profile job through the service API.
-func (o Options) inProcess(p arch.JobProfile, class service.JobClass) (time.Duration, time.Duration, error) {
+func (o Options) inProcess(p arch.JobProfile, class service.JobClass) (time.Duration, time.Duration, int, error) {
 	t, err := o.Service.SubmitProfileClass(p, class)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	if _, err := t.Wait(); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	m := t.Metrics()
-	return m.QueueWait, m.QPUWait, nil
+	return m.QueueWait, m.QPUWait, m.Retries, nil
 }
 
 // dialPool builds a pool of TCP clients and returns a submitter drawing
@@ -250,15 +349,15 @@ func dialPool(opts Options) (submitter, func(), error) {
 		}
 		pool <- c
 	}
-	submit := func(p arch.JobProfile, class service.JobClass) (time.Duration, time.Duration, error) {
+	submit := func(p arch.JobProfile, class service.JobClass) (time.Duration, time.Duration, int, error) {
 		c := <-pool
 		defer func() { pool <- c }()
 		resp, err := c.ProfileClass(p, class)
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 		return time.Duration(resp.QueueWaitUS) * time.Microsecond,
-			time.Duration(resp.QPUWaitUS) * time.Microsecond, nil
+			time.Duration(resp.QPUWaitUS) * time.Microsecond, resp.Retries, nil
 	}
 	closer := func() {
 		for i := 0; i < conns; i++ {

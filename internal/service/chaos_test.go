@@ -1,0 +1,350 @@
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/arch"
+)
+
+// Chaos suite: fault injection against the live service. Every test pins the
+// ledger conservation invariant — Jobs + Failed == Submitted — because it is
+// exactly the property fault paths break first (a job double-counted by a
+// retry racing Drain, or dropped by a revocation landing in neither ledger).
+// Run under -race in CI.
+
+// waitLeased polls the fleet until some device holds a lease and returns its
+// id, or fails the test after a generous deadline.
+func waitLeased(t *testing.T, svc *Service) int {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, fd := range svc.fleet {
+			fd.mu.Lock()
+			held := fd.lease != nil
+			fd.mu.Unlock()
+			if held {
+				return fd.id
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatal("no device was leased within the deadline")
+	return -1
+}
+
+func checkConservation(t *testing.T, rep Report) {
+	t.Helper()
+	if rep.Jobs+rep.Failed != rep.Submitted {
+		t.Errorf("ledger leak: jobs %d + failed %d != submitted %d",
+			rep.Jobs, rep.Failed, rep.Submitted)
+	}
+}
+
+// TestChaosKillLeasedDevice kills the device a profile job is holding
+// mid-service: the job's lease is revoked, it re-acquires the surviving
+// device after the backoff and completes, and the retry is visible in both
+// the per-job metrics and the aggregate report.
+func TestChaosKillLeasedDevice(t *testing.T) {
+	svc, err := New(Options{Workers: 1, Fleet: 2, Base: testBase(), RetryBackoff: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := svc.SubmitProfile(arch.JobProfile{QPUService: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := waitLeased(t, svc)
+	if !svc.FailDevice(id) {
+		t.Fatalf("FailDevice(%d) reported device already down", id)
+	}
+	if _, err := tk.Wait(); err != nil {
+		t.Fatalf("job did not survive a mid-lease device death: %v", err)
+	}
+	if got := tk.Metrics().Retries; got < 1 {
+		t.Errorf("job metrics recorded %d retries, want >= 1", got)
+	}
+	rep := svc.Drain()
+	checkConservation(t, rep)
+	if rep.Jobs != 1 || rep.Failed != 0 {
+		t.Errorf("report: %d jobs, %d failed; want 1, 0", rep.Jobs, rep.Failed)
+	}
+	if rep.Retries < 1 {
+		t.Errorf("report recorded %d retries, want >= 1", rep.Retries)
+	}
+}
+
+// TestChaosRetriesExhausted: with retries disabled (MaxRetries < 0) a
+// revoked lease fails the job immediately with ErrLeaseRevoked, and the
+// failure ledger matches the single injected fault exactly.
+func TestChaosRetriesExhausted(t *testing.T) {
+	svc, err := New(Options{Workers: 1, Fleet: 1, Base: testBase(), MaxRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := svc.SubmitProfile(arch.JobProfile{QPUService: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := waitLeased(t, svc)
+	svc.FailDevice(id)
+	if _, err := tk.Wait(); !errors.Is(err, ErrLeaseRevoked) {
+		t.Fatalf("job error = %v, want ErrLeaseRevoked", err)
+	}
+	rep := svc.Drain()
+	checkConservation(t, rep)
+	if rep.Jobs != 0 || rep.Failed != 1 {
+		t.Errorf("report: %d jobs, %d failed; want 0, 1", rep.Jobs, rep.Failed)
+	}
+	if rep.Retries != 0 {
+		t.Errorf("report recorded %d retries with retries disabled", rep.Retries)
+	}
+}
+
+// TestChaosDeadIdleDeviceParked: killing a device sitting in the idle pool
+// must not hand out a dead lease — acquire parks it and serves the job from
+// the surviving device; RestoreDevice re-idles it.
+func TestChaosDeadIdleDeviceParked(t *testing.T) {
+	svc, err := New(Options{Workers: 1, Fleet: 2, Base: testBase()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !svc.FailDevice(0) {
+		t.Fatal("FailDevice(0) on an idle device failed")
+	}
+	// Both jobs must run on device 1; neither may abort.
+	for i := 0; i < 2; i++ {
+		tk, err := svc.SubmitProfile(arch.JobProfile{QPUService: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tk.Wait(); err != nil {
+			t.Fatalf("job %d failed on a fleet with one dead idle device: %v", i, err)
+		}
+		if tk.Metrics().Retries != 0 {
+			t.Errorf("job %d retried; a parked device must never be leased", i)
+		}
+	}
+	if !svc.RestoreDevice(0) {
+		t.Error("RestoreDevice(0) reported the device was not down")
+	}
+	rep := svc.Drain()
+	checkConservation(t, rep)
+	if rep.Jobs != 2 || rep.Failed != 0 {
+		t.Errorf("report: %d jobs, %d failed; want 2, 0", rep.Jobs, rep.Failed)
+	}
+}
+
+// TestChaosDropConnMidRequest opens a raw TCP connection to the serve
+// front-end, writes a length prefix promising a frame it never finishes, and
+// drops the connection — the wire image of a client dying mid-request. The
+// server must shed the connection without consuming a submission index or
+// wedging, and keep serving well-formed clients.
+func TestChaosDropConnMidRequest(t *testing.T) {
+	svc, err := New(Options{Workers: 1, Fleet: 1, Base: testBase()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		conn, err := net.DialTimeout("tcp", addr.String(), 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prefix [4]byte
+		binary.BigEndian.PutUint32(prefix[:], 64) // promise 64 bytes
+		if _, err := conn.Write(prefix[:]); err != nil {
+			t.Fatal(err)
+		}
+		conn.Write([]byte(`{"di`)) // half a frame, then vanish
+		conn.Close()
+	}
+
+	// A well-formed client on a fresh connection is still served.
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(30 * time.Second)
+	resp, err := c.Profile(arch.JobProfile{PreProcess: time.Millisecond, QPUService: 500 * time.Microsecond})
+	if err != nil || !resp.OK {
+		t.Fatalf("profile after dropped connections: resp=%+v err=%v", resp, err)
+	}
+
+	rep := svc.Drain()
+	checkConservation(t, rep)
+	if rep.Submitted != 1 {
+		t.Errorf("submitted = %d, want 1 — a dropped half-request must not burn an index", rep.Submitted)
+	}
+}
+
+// TestChaosDrainDuringBurst drains the service while submitters are still
+// hammering it and an outage controller is cycling the whole fleet: every
+// accepted ticket must land in exactly one ledger, the report must conserve
+// indices, and the failure count must equal the tickets that returned errors
+// — no double-counts from retries racing Drain, no deadlock on a fleet that
+// is momentarily all-dead.
+func TestChaosDrainDuringBurst(t *testing.T) {
+	svc, err := New(Options{
+		Workers: 2, QueueDepth: 8, Fleet: 2, Base: testBase(),
+		MaxRetries: 2, RetryBackoff: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Short repeated outages on both devices, overlapping so the fleet is
+	// sometimes entirely down — graceful degradation is queueing, not error.
+	plan := make([]Outage, 20)
+	for i := range plan {
+		plan[i] = Outage{At: time.Duration(i) * 4 * time.Millisecond, For: 2 * time.Millisecond}
+	}
+	svc.StartOutages([][]Outage{plan, plan})
+
+	p := arch.JobProfile{PreProcess: 300 * time.Microsecond, QPUService: 1500 * time.Microsecond}
+	var (
+		mu       sync.Mutex
+		accepted []*Ticket
+		wg       sync.WaitGroup
+	)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				tk, err := svc.TrySubmitProfile(p)
+				switch {
+				case err == nil:
+					mu.Lock()
+					accepted = append(accepted, tk)
+					mu.Unlock()
+				case errors.Is(err, ErrClosed):
+					return
+				case errors.Is(err, ErrQueueFull):
+					time.Sleep(100 * time.Microsecond)
+				default:
+					t.Errorf("TrySubmit: unexpected error %v", err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(25 * time.Millisecond)
+	rep := svc.Drain() // mid-burst, mid-outage
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(accepted) == 0 {
+		t.Fatal("no submissions accepted before drain")
+	}
+	failures := 0
+	for _, tk := range accepted {
+		if _, err := tk.Wait(); err != nil {
+			if !errors.Is(err, ErrLeaseRevoked) {
+				t.Errorf("job failed with %v, want ErrLeaseRevoked", err)
+			}
+			failures++
+		}
+	}
+	checkConservation(t, rep)
+	if rep.Submitted != len(accepted) {
+		t.Errorf("submitted = %d, want %d accepted tickets", rep.Submitted, len(accepted))
+	}
+	if rep.Failed != failures {
+		t.Errorf("failure ledger %d != %d tickets that returned errors", rep.Failed, failures)
+	}
+	// Drain ended the fault regime: the whole fleet must be back up.
+	for _, fd := range svc.fleet {
+		fd.mu.Lock()
+		down := fd.down
+		fd.mu.Unlock()
+		if down {
+			t.Errorf("device %d still down after Drain", fd.id)
+		}
+	}
+}
+
+// TestChaosOutageControllerStop: stopping an outage controller mid-outage
+// revives every device it killed, and stop is idempotent.
+func TestChaosOutageControllerStop(t *testing.T) {
+	svc, err := New(Options{Workers: 1, Fleet: 2, Base: testBase()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := svc.StartOutages([][]Outage{
+		{{At: 0, For: time.Hour}}, // device 0 dies immediately, "forever"
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		svc.fleet[0].mu.Lock()
+		down := svc.fleet[0].down
+		svc.fleet[0].mu.Unlock()
+		if down {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("outage controller never killed device 0")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	stop()
+	stop() // idempotent
+	svc.fleet[0].mu.Lock()
+	down := svc.fleet[0].down
+	svc.fleet[0].mu.Unlock()
+	if down {
+		t.Error("device 0 still down after stop")
+	}
+	// The revived device serves jobs again.
+	tk, err := svc.SubmitProfile(arch.JobProfile{QPUService: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); err != nil {
+		t.Errorf("job failed after outage controller stop: %v", err)
+	}
+	checkConservation(t, svc.Drain())
+}
+
+// TestChaosDrainDuringInFlightRetry pins the double-count regression: a job
+// that is mid-retry (lease revoked, backoff pending) when Drain begins must
+// finish its retry loop and land in exactly one ledger. Drain's restoreFleet
+// guarantees the retry finds a device.
+func TestChaosDrainDuringInFlightRetry(t *testing.T) {
+	svc, err := New(Options{
+		Workers: 1, Fleet: 1, Base: testBase(),
+		MaxRetries: 5, RetryBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := svc.SubmitProfile(arch.JobProfile{QPUService: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := waitLeased(t, svc)
+	svc.FailDevice(id)
+	// The job is now in its backoff with the only device dead. Drain races
+	// the retry: restoreFleet revives the device, the retry completes, and
+	// the job must count once.
+	rep := svc.Drain()
+	if _, err := tk.Wait(); err != nil {
+		t.Fatalf("mid-retry job failed across Drain: %v", err)
+	}
+	checkConservation(t, rep)
+	if rep.Jobs != 1 || rep.Failed != 0 {
+		t.Errorf("report: %d jobs, %d failed; want exactly 1 completion", rep.Jobs, rep.Failed)
+	}
+	if rep.Retries < 1 {
+		t.Errorf("report recorded %d retries, want >= 1", rep.Retries)
+	}
+}

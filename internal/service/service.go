@@ -94,6 +94,14 @@ type Options struct {
 	// select 32. Together with MaxWireDim this caps the decode memory a
 	// client population can demand.
 	MaxConns int
+	// MaxRetries is the per-job retry budget for leases revoked by device
+	// deaths (FailDevice): a job whose service attempt aborts re-acquires
+	// a device after RetryBackoff, up to this many times, then fails with
+	// ErrLeaseRevoked. 0 selects 3 (the workload fault default); negative
+	// disables retries.
+	MaxRetries int
+	// RetryBackoff is the pause before each retry; <= 0 selects 1ms.
+	RetryBackoff time.Duration
 	// Cache, when non-nil, is shared by all workers for off-line
 	// embedding lookup. core.EmbeddingCache is safe for concurrent use.
 	// Note that with isomorphic problems in flight concurrently, which
@@ -149,6 +157,9 @@ type JobMetrics struct {
 	// Total is the end-to-end latency from Submit to completion — the
 	// sojourn time of the open-system models.
 	Total time.Duration `json:"total"`
+	// Retries counts service attempts aborted by a device death and
+	// re-dispatched; zero outside a fault regime.
+	Retries int `json:"retries,omitempty"`
 }
 
 // Ticket is the handle to one submitted job.
@@ -176,13 +187,19 @@ func (t *Ticket) Metrics() JobMetrics {
 	return t.metrics
 }
 
-// fleetDevice is one QPU service token plus its occupancy ledger.
+// fleetDevice is one QPU service token plus its occupancy ledger and fault
+// state. A device lives in exactly one place at a time: the idle channel,
+// held by a worker, or parked (dead and out of circulation); the down/
+// parked flags and the lease revocation channel are guarded by mu.
 type fleetDevice struct {
 	id  int
 	dev core.QPUDevice
 
-	mu   sync.Mutex
-	busy time.Duration
+	mu     sync.Mutex
+	busy   time.Duration
+	down   bool          // FailDevice has killed it
+	parked bool          // dead and withheld from the idle pool
+	lease  chan struct{} // current holder's revocation channel
 }
 
 func (f *fleetDevice) addBusy(d time.Duration) {
@@ -216,6 +233,8 @@ type Service struct {
 	lastDone    time.Time
 	completed   []JobMetrics // successfully completed jobs only
 	failed      int
+	retries     int      // lease-revocation retries across all jobs
+	outageStops []func() // registered fault controllers (faults.go)
 }
 
 // New builds the fleet, starts the workers and returns a running service.
@@ -426,20 +445,35 @@ func solveRun(q *qubo.QUBO, m *qubo.Ising) func(*Service, *Ticket) {
 // profileRun builds the runner for a synthetic profile job, replaying
 // arch.Simulate's per-job discipline in real time: pre-process on the host,
 // request network, queue for a device, serialized service, response network,
-// post-process.
+// post-process. A device death mid-service revokes the lease (faults.go):
+// the host keeps the job and re-acquires a device after the backoff, up to
+// the retry budget, then fails with ErrLeaseRevoked — the exact abort/
+// retry/fail event sequence the DES realizes for the same scenario.
 func profileRun(p arch.JobProfile) func(*Service, *Ticket) {
 	return func(s *Service, t *Ticket) {
 		sleep(p.PreProcess)
 		sleep(p.Network)
-		waitStart := time.Now()
-		fd := <-s.idle
-		t.metrics.QPUWait = time.Since(waitStart)
-		held := time.Now()
-		sleep(p.QPUService)
-		occupancy := time.Since(held)
-		fd.addBusy(occupancy)
-		t.metrics.QPUHeld = occupancy
-		s.idle <- fd
+		for attempt := 0; ; attempt++ {
+			waitStart := time.Now()
+			fd, lease := s.acquire()
+			t.metrics.QPUWait += time.Since(waitStart)
+			held := time.Now()
+			revoked := sleepLease(p.QPUService, lease)
+			occupancy := time.Since(held)
+			fd.addBusy(occupancy)
+			t.metrics.QPUHeld += occupancy
+			s.releaseDevice(fd)
+			if !revoked {
+				break
+			}
+			if attempt >= s.maxRetries() {
+				t.err = ErrLeaseRevoked
+				return
+			}
+			t.metrics.Retries++
+			s.addRetry()
+			sleep(s.retryBackoff())
+		}
 		sleep(p.Network)
 		sleep(p.PostProcess)
 		t.metrics.Stage1 = p.PreProcess
@@ -512,11 +546,15 @@ type leasedDevice struct {
 	prog, exec time.Duration
 }
 
-// Program leases a fleet device and uploads the model.
+// Program leases a fleet device and uploads the model. Solve jobs acquire
+// through the fault-aware pool (so they never lease a dead device) but do
+// not watch the revocation channel: a revoked solve runs its device
+// interaction to completion — the anneal result is already in flight — and
+// the device parks at release.
 func (l *leasedDevice) Program(m *qubo.Ising) error {
 	if l.fd == nil {
 		waitStart := time.Now()
-		l.fd = <-l.svc.idle
+		l.fd, _ = l.svc.acquire()
 		l.t.metrics.QPUWait += time.Since(waitStart)
 		l.acquired = time.Now()
 	}
@@ -556,7 +594,7 @@ func (l *leasedDevice) release() {
 	occupancy := time.Since(l.acquired)
 	l.fd.addBusy(occupancy)
 	l.t.metrics.QPUHeld += occupancy
-	l.svc.idle <- l.fd
+	l.svc.releaseDevice(l.fd)
 	l.fd = nil
 }
 
@@ -566,6 +604,14 @@ func (l *leasedDevice) release() {
 type Report struct {
 	Jobs   int `json:"jobs"`   // completed jobs
 	Failed int `json:"failed"` // jobs that returned an error
+	// Submitted counts every consumed submission index. Jobs + Failed ==
+	// Submitted after Drain is the ledger's conservation invariant: every
+	// admitted job completes or fails, never both, never neither — the
+	// property the chaos tests pin under injected faults.
+	Submitted int `json:"submitted"`
+	// Retries counts service attempts aborted by device deaths and
+	// re-dispatched across all jobs.
+	Retries int `json:"retries,omitempty"`
 
 	// Makespan is first-Submit to last-completion wall time; Throughput
 	// is Jobs over Makespan in jobs/second.
@@ -603,8 +649,16 @@ type Report struct {
 // closes or fail with ErrClosed; enqueued jobs are always completed. Drain
 // is idempotent: a second call (even concurrent with the first) waits for
 // the same shutdown and returns the same report.
+//
+// Drain also ends any fault regime: registered outage controllers stop and
+// every dead device revives before the queue closes, so in-flight retries
+// always find a device and no worker wedges on an all-dead fleet. A job
+// mid-retry at Drain time finishes its retry loop and lands in exactly one
+// ledger — completions or failures — never both.
 func (s *Service) Drain() Report {
 	s.CloseListener() // stop the TCP front-end first, if one is running
+	s.stopOutages()
+	s.restoreFleet()
 	s.queue.close()
 	s.wg.Wait()
 	return s.report()
@@ -613,7 +667,7 @@ func (s *Service) Drain() Report {
 func (s *Service) report() Report {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	r := Report{Jobs: len(s.completed), Failed: s.failed}
+	r := Report{Jobs: len(s.completed), Failed: s.failed, Submitted: s.next, Retries: s.retries}
 	// Makespan covers every finished job, successful or not: an all-failed
 	// run still took wall time, and reporting zero would read as "nothing
 	// happened". Throughput counts completions only.

@@ -122,6 +122,10 @@ type SolveResponse struct {
 	Stage2US    int64 `json:"stage2Us,omitempty"`
 	Stage3US    int64 `json:"stage3Us,omitempty"`
 	TotalUS     int64 `json:"totalUs,omitempty"`
+
+	// Retries counts device-death lease revocations the job survived —
+	// how much of the fault regime this request absorbed server-side.
+	Retries int `json:"retries,omitempty"`
 }
 
 // EncodeQUBO builds the wire form of a QUBO.
@@ -320,6 +324,7 @@ func (s *Service) handleProfile(req SolveRequest) SolveResponse {
 		Stage2US:    m.Stage2.Microseconds(),
 		Stage3US:    m.Stage3.Microseconds(),
 		TotalUS:     m.Total.Microseconds(),
+		Retries:     m.Retries,
 	}
 }
 

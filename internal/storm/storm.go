@@ -1,0 +1,261 @@
+// Package storm is the soak-test runner over the adversarial scenario
+// corpus: for every scenario file in a directory it predicts the latency
+// distributions with the discrete-event simulator, then replays the same
+// scenario — faults included — against a live dispatch service over real
+// TCP, and checks that the measured p99 sojourn lands inside the scenario's
+// declared DES-vs-live acceptance band and that the completion ledger
+// conserves jobs (completed + failed == submitted). It is the engine behind
+// `splitexec storm` and the end-to-end gate that keeps the simulator, the
+// live service and the fault-injection machinery telling the same story.
+package storm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/des"
+	"github.com/splitexec/splitexec/internal/loadgen"
+	"github.com/splitexec/splitexec/internal/service"
+	"github.com/splitexec/splitexec/internal/workload"
+)
+
+// DefaultBand is the acceptance band a scenario gets when it declares none:
+// live p99 sojourn within [0.5, 2.5] × the DES prediction. Scenario files
+// narrow or widen it per their own noise regime via the "band" field.
+var DefaultBand = workload.Band{Lo: 0.5, Hi: 2.5}
+
+// Options configure a storm run.
+type Options struct {
+	// Dir is the scenario corpus directory; every *.json file in it is one
+	// scenario (lexicographic order).
+	Dir string
+	// Quick runs only the corpus's cheapest scenario (fewest horizon jobs,
+	// ties broken by name) — the CI smoke configuration.
+	Quick bool
+	// Attempts is the per-scenario retry budget for the band check: tail
+	// latency under injected chaos is noisy, so a scenario passes if any
+	// attempt lands in band. Values <= 0 select 3.
+	Attempts int
+	// Log, when non-nil, receives one progress line per attempt.
+	Log io.Writer
+}
+
+// ScenarioResult is the verdict for one corpus scenario.
+type ScenarioResult struct {
+	Name string `json:"name"`
+	File string `json:"file"`
+	Pass bool   `json:"pass"`
+	// Attempts is how many live replays the verdict consumed.
+	Attempts int `json:"attempts"`
+	// DESP99 and LiveP99 are the predicted and measured p99 sojourns of
+	// the deciding attempt; Ratio is live over predicted, checked against
+	// Band.
+	DESP99  time.Duration `json:"desP99"`
+	LiveP99 time.Duration `json:"liveP99"`
+	Ratio   float64       `json:"ratio"`
+	Band    workload.Band `json:"band"`
+	// Ledger of the deciding attempt: jobs completed and failed against
+	// indices consumed, plus the fault counters the run realized.
+	Jobs      int    `json:"jobs"`
+	Failed    int    `json:"failed"`
+	Submitted int    `json:"submitted"`
+	Retries   int    `json:"retries,omitempty"`
+	Drops     int    `json:"drops,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// Report is the aggregate pass/fail verdict of a storm run; it marshals to
+// JSON for the -json flag and CI consumption.
+type Report struct {
+	Pass      bool             `json:"pass"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+// Run executes the corpus and returns the aggregate report. An unreadable
+// corpus is an error; a failing scenario is a Pass=false report, not an
+// error, so the caller can render the whole verdict.
+func Run(opts Options) (*Report, error) {
+	if opts.Attempts <= 0 {
+		opts.Attempts = 3
+	}
+	scenarios, err := loadCorpus(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Quick {
+		scenarios = scenarios[:1]
+	}
+	rep := &Report{Pass: true}
+	for _, entry := range scenarios {
+		res := runScenario(entry, opts)
+		rep.Scenarios = append(rep.Scenarios, res)
+		if !res.Pass {
+			rep.Pass = false
+		}
+	}
+	return rep, nil
+}
+
+// corpusEntry pairs a decoded scenario with its source file.
+type corpusEntry struct {
+	file string
+	sc   *workload.Scenario
+}
+
+// loadCorpus reads and validates every scenario in dir, cheapest first so
+// Quick mode has a deterministic pick.
+func loadCorpus(dir string) ([]corpusEntry, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("storm: no scenario files in %q", dir)
+	}
+	sort.Strings(files)
+	entries := make([]corpusEntry, 0, len(files))
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := workload.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("storm: %s: %w", filepath.Base(f), err)
+		}
+		entries = append(entries, corpusEntry{file: filepath.Base(f), sc: sc})
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i].sc.Horizon.Jobs, entries[j].sc.Horizon.Jobs
+		if a != b {
+			return a < b
+		}
+		return entries[i].file < entries[j].file
+	})
+	return entries, nil
+}
+
+// runScenario predicts, replays and judges one scenario, retrying the live
+// replay up to the attempt budget.
+func runScenario(entry corpusEntry, opts Options) ScenarioResult {
+	sc := entry.sc
+	res := ScenarioResult{Name: sc.Name, File: entry.file, Band: band(sc)}
+	pred, err := des.Simulate(sc, des.Options{})
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.DESP99 = pred.Sojourn.P99
+	for attempt := 1; attempt <= opts.Attempts; attempt++ {
+		res.Attempts = attempt
+		if err := replayLive(sc, pred, &res); err != nil {
+			res.Error = err.Error()
+			return res
+		}
+		logf(opts.Log, "storm: %s attempt %d/%d: p99 %v vs DES %v (%.2fx, band [%.2f, %.2f]) jobs=%d failed=%d pass=%v",
+			res.Name, attempt, opts.Attempts, res.LiveP99, res.DESP99, res.Ratio, res.Band.Lo, res.Band.Hi,
+			res.Jobs, res.Failed, res.Pass)
+		if res.Pass {
+			return res
+		}
+	}
+	return res
+}
+
+// replayLive brings up the scenario's deployment, serves it over loopback
+// TCP, replays the workload (faults included) through the load generator,
+// drains, and fills in the attempt's measurements and verdict.
+func replayLive(sc *workload.Scenario, pred *des.Result, res *ScenarioResult) error {
+	depth := sc.Horizon.Jobs
+	if depth <= 0 {
+		depth = 1024
+	}
+	svcOpts := service.Options{
+		Workers:    sc.System.Hosts,
+		Fleet:      sc.System.QPUs(),
+		QueueDepth: depth,
+		Policy:     sc.Policy,
+	}
+	if sc.Faults != nil {
+		svcOpts.MaxRetries = sc.RetryLimit()
+		svcOpts.RetryBackoff = sc.RetryBackoff()
+	}
+	svc, err := service.New(svcOpts)
+	if err != nil {
+		return err
+	}
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		svc.Drain()
+		return err
+	}
+	got, err := loadgen.Run(sc, loadgen.Options{
+		Addr:    addr.String(),
+		Conns:   conns(sc),
+		Timeout: 30 * time.Second,
+		// The storm runner owns both halves of the wire, so it can hand
+		// the serving fleet to the generator for device-fault injection.
+		Fleet: svc,
+	})
+	drained := svc.Drain()
+	if err != nil {
+		return err
+	}
+	res.Jobs = got.Jobs
+	res.Failed = got.Failed
+	res.Retries = got.Retries
+	res.Drops = got.Drops
+	res.Submitted = drained.Submitted
+	res.LiveP99 = got.Sojourn.P99
+	res.Ratio = 0
+	if pred.Sojourn.P99 > 0 {
+		res.Ratio = float64(got.Sojourn.P99) / float64(pred.Sojourn.P99)
+	}
+	// The verdict: p99 in band, and the ledger conserves jobs. Fatal
+	// drops never reach the service, so client-observed completions plus
+	// failures must cover every admitted index on the client side, while
+	// the server's own ledger must balance what it was handed.
+	conserved := drained.Jobs+drained.Failed == drained.Submitted
+	res.Pass = conserved && res.Ratio >= res.Band.Lo && res.Ratio <= res.Band.Hi
+	if !conserved {
+		res.Error = fmt.Sprintf("ledger leak: %d completed + %d failed != %d submitted",
+			drained.Jobs, drained.Failed, drained.Submitted)
+	}
+	return nil
+}
+
+// band resolves the scenario's acceptance band.
+func band(sc *workload.Scenario) workload.Band {
+	if sc.Band != nil {
+		return *sc.Band
+	}
+	return DefaultBand
+}
+
+// conns sizes the replay connection pool for the scenario's concurrency.
+func conns(sc *workload.Scenario) int {
+	n := 4 * sc.System.Hosts
+	if n < 16 {
+		n = 16
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+func logf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+}
+
+// EncodeReport renders the report as indented JSON.
+func EncodeReport(r *Report) ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,180 @@
+package storm
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/des"
+	"github.com/splitexec/splitexec/internal/workload"
+)
+
+// writeCorpus drops scenario files into a temp dir and returns it.
+func writeCorpus(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, body := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// tinyScenario is a seconds-scale live-replayable scenario with a wide band
+// (unit tests must not flake on a loaded CI core).
+const tinyScenario = `{
+  "name": "tiny",
+  "seed": 13,
+  "arrival": {"kind": "poisson", "rate": 50},
+  "mix": [{"name": "base", "weight": 1,
+           "profile": {"preProcess": "1ms", "qpuService": "400µs", "postProcess": "200µs"}}],
+  "system": {"kind": "shared", "hosts": 2},
+  "horizon": {"jobs": 30},
+  "band": {"lo": 0.1, "hi": 50}
+}`
+
+// TestStormRunTiny drives the full predict→replay→judge pipeline over
+// loopback TCP on a one-scenario corpus.
+func TestStormRunTiny(t *testing.T) {
+	dir := writeCorpus(t, map[string]string{"tiny.json": tinyScenario})
+	var log bytes.Buffer
+	rep, err := Run(Options{Dir: dir, Log: &log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 1 {
+		t.Fatalf("ran %d scenarios, want 1", len(rep.Scenarios))
+	}
+	res := rep.Scenarios[0]
+	if !res.Pass || !rep.Pass {
+		t.Fatalf("tiny scenario failed: %+v\nlog:\n%s", res, log.String())
+	}
+	if res.Jobs+res.Failed != 30 {
+		t.Errorf("client ledger %d + %d != 30 admitted", res.Jobs, res.Failed)
+	}
+	if res.DESP99 <= 0 || res.LiveP99 <= 0 || res.Ratio <= 0 {
+		t.Errorf("degenerate measurements: %+v", res)
+	}
+	// The report is CI-consumable JSON.
+	data, err := EncodeReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round Report
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatalf("report not round-trippable: %v", err)
+	}
+	if round.Pass != rep.Pass || len(round.Scenarios) != 1 {
+		t.Errorf("report round trip changed the verdict")
+	}
+}
+
+// TestStormQuickPicksCheapest: Quick mode must deterministically run only
+// the scenario with the fewest horizon jobs.
+func TestStormQuickPicksCheapest(t *testing.T) {
+	expensive := `{
+  "name": "expensive", "seed": 1,
+  "arrival": {"kind": "poisson", "rate": 50},
+  "mix": [{"name": "base", "weight": 1, "profile": {"preProcess": "1ms", "qpuService": "400µs"}}],
+  "system": {"kind": "shared", "hosts": 2},
+  "horizon": {"jobs": 500},
+  "band": {"lo": 0.1, "hi": 50}
+}`
+	dir := writeCorpus(t, map[string]string{
+		// Lexicographically before tiny.json, so a naive "first file" pick
+		// would choose wrong.
+		"aaa-expensive.json": expensive,
+		"tiny.json":          tinyScenario,
+	})
+	rep, err := Run(Options{Dir: dir, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 1 || rep.Scenarios[0].Name != "tiny" {
+		t.Fatalf("quick ran %+v, want only the cheapest (tiny)", rep.Scenarios)
+	}
+}
+
+// TestStormBadCorpus: an empty directory and an invalid scenario are errors,
+// not silent passes.
+func TestStormBadCorpus(t *testing.T) {
+	if _, err := Run(Options{Dir: t.TempDir()}); err == nil {
+		t.Error("empty corpus passed")
+	}
+	dir := writeCorpus(t, map[string]string{"bad.json": `{"arrival":{"kind":"warp"}}`})
+	if _, err := Run(Options{Dir: dir}); err == nil {
+		t.Error("invalid scenario passed")
+	}
+}
+
+// TestStormLedgerLeakFails: a scenario whose band is impossible must fail
+// after exactly the attempt budget — the retry loop must not spin forever.
+func TestStormImpossibleBandFails(t *testing.T) {
+	impossible := `{
+  "name": "impossible", "seed": 3,
+  "arrival": {"kind": "poisson", "rate": 50},
+  "mix": [{"name": "base", "weight": 1, "profile": {"preProcess": "1ms", "qpuService": "400µs"}}],
+  "system": {"kind": "shared", "hosts": 2},
+  "horizon": {"jobs": 10},
+  "band": {"lo": 1e-9, "hi": 2e-9}
+}`
+	dir := writeCorpus(t, map[string]string{"impossible.json": impossible})
+	rep, err := Run(Options{Dir: dir, Attempts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass || rep.Scenarios[0].Pass {
+		t.Fatal("impossible band passed")
+	}
+	if rep.Scenarios[0].Attempts != 2 {
+		t.Errorf("consumed %d attempts, want the full budget of 2", rep.Scenarios[0].Attempts)
+	}
+}
+
+// TestRealCorpusShape validates the shipped scenarios/ corpus without live
+// replay: every file decodes, declares a band, and its DES prediction
+// completes with a conserved ledger. The live halves are covered by the
+// `splitexec storm -quick` CI smoke and the full soak run.
+func TestRealCorpusShape(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	if err != nil || len(files) < 8 {
+		t.Fatalf("corpus glob: %d files, err %v (want >= 8)", len(files), err)
+	}
+	seen := map[string]bool{}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := workload.Decode(data)
+		if err != nil {
+			t.Fatalf("%s: %v", filepath.Base(f), err)
+		}
+		if sc.Name == "" || seen[sc.Name] {
+			t.Errorf("%s: missing or duplicate scenario name %q", filepath.Base(f), sc.Name)
+		}
+		seen[sc.Name] = true
+		if sc.Band == nil {
+			t.Errorf("%s: corpus scenarios must declare their acceptance band", filepath.Base(f))
+		}
+		r, err := des.Simulate(sc, des.Options{})
+		if err != nil {
+			t.Fatalf("%s: DES: %v", filepath.Base(f), err)
+		}
+		if r.Jobs+r.Failed != r.Admitted {
+			t.Errorf("%s: DES ledger leak: %d + %d != %d", filepath.Base(f), r.Jobs, r.Failed, r.Admitted)
+		}
+		if r.Sojourn.P99 <= 0 {
+			t.Errorf("%s: degenerate DES p99 %v", filepath.Base(f), r.Sojourn.P99)
+		}
+		// The corpus is sized for CI: a scenario's virtual span must stay
+		// seconds-scale so the live replay finishes promptly.
+		if r.End > 10*time.Second {
+			t.Errorf("%s: virtual span %v too long for a CI soak", filepath.Base(f), r.End)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Fault modeling: the adversarial half of a scenario. Where graph.Faults
+// models *static* hardware defects (dead qubits baked into a topology), a
+// FaultSpec models the *dynamic* failure processes an operating deployment
+// rides out: devices dying mid-lease and coming back, heavy-tailed straggler
+// anneal times, and TCP connections dropping on the wire path. Every fault
+// draw derives from Scenario.Seed through parallel.DeriveSeed — per-device
+// outage streams, per-job drop streams — so the discrete-event simulator and
+// a live replay realize byte-identical fault schedules, and a storm run is
+// one reproducible experiment, chaos included.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/parallel"
+)
+
+// Fault-layer RNG stream indices, disjoint from arrivalStream and from the
+// non-negative per-job profile streams.
+const (
+	outageStream = -0x6F757467 // "outg": per-device outage schedules
+	dropStream   = -0x64726F70 // "drop": per-job connection-drop plans
+)
+
+// Fault-policy defaults, applied when the spec leaves the field zero.
+const (
+	// DefaultMaxRetries is the retry budget per job: attempts beyond the
+	// first that a revoked lease or dropped connection may consume before
+	// the job fails.
+	DefaultMaxRetries = 3
+	// DefaultBackoff is the pause before a retry re-enters the queue.
+	DefaultBackoff = time.Millisecond
+	// DefaultStragglerAlpha is the Pareto tail index of straggler anneal
+	// multipliers: 1.5 has a finite mean but an infinite variance — the
+	// regime where p99 and mean decouple.
+	DefaultStragglerAlpha = 1.5
+	// DefaultStragglerCap bounds the realized straggler multiplier so a
+	// single tail draw cannot park a live worker beyond any test horizon.
+	DefaultStragglerCap = 100.0
+	// MaxRetryLimit bounds MaxRetries at validation: a hostile scenario
+	// must not be able to ask for effectively unbounded retry storms.
+	MaxRetryLimit = 1000
+)
+
+// FaultSpec declares a scenario's dynamic failure regime. The zero value of
+// every field disables that fault class, so specs stay terse.
+type FaultSpec struct {
+	// DeviceMTBF is the per-device mean time between failures
+	// (exponential). Zero disables device deaths.
+	DeviceMTBF Duration `json:"deviceMTBF,omitempty"`
+	// DeviceDowntime is the mean repair time of a dead device
+	// (exponential). Required when DeviceMTBF is set.
+	DeviceDowntime Duration `json:"deviceDowntime,omitempty"`
+
+	// StragglerProb is the probability a job's QPU service time is
+	// multiplied by a Pareto(1, StragglerAlpha) draw — the heavy-tailed
+	// straggler anneal. Zero disables stragglers.
+	StragglerProb float64 `json:"stragglerProb,omitempty"`
+	// StragglerAlpha is the Pareto tail index (default 1.5; smaller is
+	// heavier).
+	StragglerAlpha float64 `json:"stragglerAlpha,omitempty"`
+	// StragglerCap bounds the realized multiplier (default 100).
+	StragglerCap float64 `json:"stragglerCap,omitempty"`
+
+	// DropProb is the per-attempt probability that a job's submission is
+	// lost on the wire (the TCP connection drops mid-request) and must be
+	// retried after Backoff. Zero disables drops.
+	DropProb float64 `json:"dropProb,omitempty"`
+
+	// MaxRetries is the per-job retry budget shared by lease revocations
+	// and connection drops (default 3). A job that exhausts it fails.
+	MaxRetries int `json:"maxRetries,omitempty"`
+	// Backoff is the pause before each retry (default 1ms).
+	Backoff Duration `json:"backoff,omitempty"`
+}
+
+// validate checks the spec; comparisons are written so NaN never passes.
+func (f *FaultSpec) validate() error {
+	if f.DeviceMTBF < 0 || f.DeviceDowntime < 0 {
+		return fmt.Errorf("workload: negative device fault times %v/%v", f.DeviceMTBF, f.DeviceDowntime)
+	}
+	if f.DeviceMTBF > 0 && f.DeviceDowntime == 0 {
+		return fmt.Errorf("workload: deviceMTBF %v needs deviceDowntime > 0", f.DeviceMTBF)
+	}
+	if !(f.StragglerProb >= 0 && f.StragglerProb <= 1) {
+		return fmt.Errorf("workload: stragglerProb %v outside [0, 1]", f.StragglerProb)
+	}
+	if f.StragglerAlpha != 0 && !(f.StragglerAlpha > 0 && !math.IsInf(f.StragglerAlpha, 0)) {
+		return fmt.Errorf("workload: stragglerAlpha %v must be finite and > 0", f.StragglerAlpha)
+	}
+	if f.StragglerCap != 0 && !(f.StragglerCap >= 1 && !math.IsInf(f.StragglerCap, 0)) {
+		return fmt.Errorf("workload: stragglerCap %v must be finite and >= 1", f.StragglerCap)
+	}
+	if !(f.DropProb >= 0 && f.DropProb <= 1) {
+		return fmt.Errorf("workload: dropProb %v outside [0, 1]", f.DropProb)
+	}
+	if f.MaxRetries < 0 || f.MaxRetries > MaxRetryLimit {
+		return fmt.Errorf("workload: maxRetries %d outside [0, %d]", f.MaxRetries, MaxRetryLimit)
+	}
+	if f.Backoff < 0 || f.Backoff.D() > time.Minute {
+		return fmt.Errorf("workload: backoff %v outside [0, 1m]", f.Backoff)
+	}
+	return nil
+}
+
+// RetryLimit is the scenario's effective per-job retry budget.
+func (sc *Scenario) RetryLimit() int {
+	if sc.Faults == nil || sc.Faults.MaxRetries == 0 {
+		return DefaultMaxRetries
+	}
+	return sc.Faults.MaxRetries
+}
+
+// RetryBackoff is the scenario's effective retry backoff.
+func (sc *Scenario) RetryBackoff() time.Duration {
+	if sc.Faults == nil || sc.Faults.Backoff == 0 {
+		return DefaultBackoff
+	}
+	return sc.Faults.Backoff.D()
+}
+
+// HasDeviceFaults reports whether the scenario injects device deaths.
+func (sc *Scenario) HasDeviceFaults() bool {
+	return sc.Faults != nil && sc.Faults.DeviceMTBF > 0
+}
+
+// stragglerScale draws the straggler multiplier for one job from its own
+// RNG stream: 1 with probability 1-StragglerProb, else a capped
+// Pareto(1, alpha) factor. rand.Float64 can return exactly 0, whose Pareto
+// image is +Inf — the cap absorbs it.
+func (f *FaultSpec) stragglerScale(u, v float64) float64 {
+	if f == nil || f.StragglerProb <= 0 || u >= f.StragglerProb {
+		return 1
+	}
+	alpha := f.StragglerAlpha
+	if alpha == 0 {
+		alpha = DefaultStragglerAlpha
+	}
+	cap := f.StragglerCap
+	if cap == 0 {
+		cap = DefaultStragglerCap
+	}
+	m := math.Pow(v, -1/alpha)
+	if !(m < cap) { // catches +Inf and NaN alike
+		m = cap
+	}
+	return m
+}
+
+// Outage is one scheduled device outage: the device dies At after t=0 and
+// revives after For.
+type Outage struct {
+	At  time.Duration
+	For time.Duration
+}
+
+// OutageGen lazily generates one device's outage schedule: alternating
+// exponential up-times (mean DeviceMTBF) and down-times (mean
+// DeviceDowntime) from the device's own DeriveSeed stream. Prefixes are
+// stable: however far two consumers iterate, they see the same outages —
+// the property that keeps DES and live fault schedules byte-identical.
+type OutageGen struct {
+	mtbf, down float64 // seconds
+	rng        interface{ ExpFloat64() float64 }
+	now        time.Duration
+}
+
+// OutageSource returns the outage generator for device dev, or nil when the
+// scenario declares no device faults.
+func (sc *Scenario) OutageSource(dev int) *OutageGen {
+	if !sc.HasDeviceFaults() {
+		return nil
+	}
+	return &OutageGen{
+		mtbf: sc.Faults.DeviceMTBF.D().Seconds(),
+		down: sc.Faults.DeviceDowntime.D().Seconds(),
+		rng:  parallel.NewRand(parallel.DeriveSeed(parallel.DeriveSeed(sc.Seed, outageStream), dev)),
+	}
+}
+
+// Next returns the device's next outage, or ok=false once the schedule's
+// cumulative offset would overflow virtual time.
+func (g *OutageGen) Next() (Outage, bool) {
+	up := time.Duration(g.rng.ExpFloat64() * g.mtbf * float64(time.Second))
+	at := g.now + up
+	if at < g.now {
+		return Outage{}, false
+	}
+	dur := time.Duration(g.rng.ExpFloat64() * g.down * float64(time.Second))
+	if dur <= 0 {
+		dur = 1 // a zero-length outage would revive before it died
+	}
+	end := at + dur
+	if end < at {
+		return Outage{}, false
+	}
+	g.now = end
+	return Outage{At: at, For: dur}, true
+}
+
+// OutageSchedule materializes every outage of device dev starting before
+// until — the form the live fault controller replays in wall time.
+func (sc *Scenario) OutageSchedule(dev int, until time.Duration) []Outage {
+	g := sc.OutageSource(dev)
+	if g == nil {
+		return nil
+	}
+	var out []Outage
+	for {
+		o, ok := g.Next()
+		if !ok || o.At >= until {
+			return out
+		}
+		out = append(out, o)
+	}
+}
+
+// DropPlan is one job's deterministic connection-drop schedule: Drops
+// submission attempts are lost on the wire (each followed by the retry
+// backoff, except a fatal last), and Fatal marks a job whose whole retry
+// budget dropped — it fails without ever being served.
+type DropPlan struct {
+	Drops int
+	Fatal bool
+}
+
+// DropPlanFor samples job i's drop plan from its own DeriveSeed stream. The
+// result depends only on (Seed, i), so the DES and the live load generator
+// drop exactly the same requests.
+func (sc *Scenario) DropPlanFor(i int) DropPlan {
+	f := sc.Faults
+	if f == nil || f.DropProb <= 0 {
+		return DropPlan{}
+	}
+	rng := parallel.NewRand(parallel.DeriveSeed(parallel.DeriveSeed(sc.Seed, dropStream), i))
+	attempts := sc.RetryLimit() + 1
+	var p DropPlan
+	for p.Drops < attempts && rng.Float64() < f.DropProb {
+		p.Drops++
+	}
+	p.Fatal = p.Drops == attempts
+	return p
+}

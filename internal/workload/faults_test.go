@@ -1,0 +1,242 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func faultScenario(f *FaultSpec) *Scenario {
+	return &Scenario{
+		Seed:    7,
+		Arrival: Arrival{Kind: Poisson, Rate: 100},
+		Mix: []JobClass{{Name: "base", Weight: 1,
+			Profile: Profile{PreProcess: Duration(time.Millisecond), QPUService: Duration(500 * time.Microsecond)}}},
+		System:  SystemSpec{Kind: "dedicated", Hosts: 2},
+		Horizon: Horizon{Jobs: 50},
+		Faults:  f,
+	}
+}
+
+// TestOutageSchedulePrefixStable: however far two consumers iterate a
+// device's outage stream, they must see the same outages — the property that
+// keeps DES and live fault schedules byte-identical.
+func TestOutageSchedulePrefixStable(t *testing.T) {
+	sc := faultScenario(&FaultSpec{DeviceMTBF: Duration(100 * time.Millisecond), DeviceDowntime: Duration(20 * time.Millisecond)})
+	short := sc.OutageSchedule(0, time.Second)
+	long := sc.OutageSchedule(0, 10*time.Second)
+	if len(short) == 0 || len(long) <= len(short) {
+		t.Fatalf("degenerate schedules: short %d, long %d outages", len(short), len(long))
+	}
+	for i, o := range short {
+		if long[i] != o {
+			t.Fatalf("outage %d differs between horizons: %+v vs %+v", i, o, long[i])
+		}
+	}
+	// Regenerating from scratch reproduces the schedule exactly.
+	again := sc.OutageSchedule(0, 10*time.Second)
+	for i := range long {
+		if again[i] != long[i] {
+			t.Fatalf("outage %d not reproducible: %+v vs %+v", i, long[i], again[i])
+		}
+	}
+}
+
+// TestOutageStreamsPerDevice: different devices draw from disjoint streams —
+// correlated fleet-wide blackouts would be a different (and wrong) model.
+func TestOutageStreamsPerDevice(t *testing.T) {
+	sc := faultScenario(&FaultSpec{DeviceMTBF: Duration(100 * time.Millisecond), DeviceDowntime: Duration(20 * time.Millisecond)})
+	a := sc.OutageSchedule(0, 5*time.Second)
+	b := sc.OutageSchedule(1, 5*time.Second)
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("empty schedules")
+	}
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("devices 0 and 1 drew identical outage schedules")
+	}
+}
+
+// TestOutageScheduleShape: outages are ordered, disjoint and positive.
+func TestOutageScheduleShape(t *testing.T) {
+	sc := faultScenario(&FaultSpec{DeviceMTBF: Duration(50 * time.Millisecond), DeviceDowntime: Duration(10 * time.Millisecond)})
+	sched := sc.OutageSchedule(3, 20*time.Second)
+	if len(sched) < 10 {
+		t.Fatalf("only %d outages over 20s at 50ms MTBF", len(sched))
+	}
+	prevEnd := time.Duration(-1)
+	for i, o := range sched {
+		if o.For <= 0 {
+			t.Fatalf("outage %d has non-positive duration %v", i, o.For)
+		}
+		if o.At <= prevEnd {
+			t.Fatalf("outage %d at %v overlaps previous end %v", i, o.At, prevEnd)
+		}
+		prevEnd = o.At + o.For
+	}
+}
+
+// TestNoFaultsNoOutages: a fault-free scenario has no outage source, and a
+// spec without device faults yields empty schedules.
+func TestNoFaultsNoOutages(t *testing.T) {
+	sc := faultScenario(nil)
+	if sc.HasDeviceFaults() {
+		t.Error("HasDeviceFaults true without a fault spec")
+	}
+	if g := sc.OutageSource(0); g != nil {
+		t.Error("OutageSource non-nil without a fault spec")
+	}
+	if s := sc.OutageSchedule(0, time.Hour); s != nil {
+		t.Errorf("OutageSchedule = %v, want nil", s)
+	}
+	sc.Faults = &FaultSpec{DropProb: 0.5}
+	if sc.HasDeviceFaults() {
+		t.Error("HasDeviceFaults true with only drop faults")
+	}
+}
+
+// TestDropPlanDeterministic: a job's drop plan depends only on (Seed, i).
+func TestDropPlanDeterministic(t *testing.T) {
+	sc := faultScenario(&FaultSpec{DropProb: 0.4, MaxRetries: 2})
+	sawDrop, sawClean, sawFatal := false, false, false
+	for i := 0; i < 200; i++ {
+		p := sc.DropPlanFor(i)
+		if p != sc.DropPlanFor(i) {
+			t.Fatalf("job %d drop plan not deterministic", i)
+		}
+		if p.Drops < 0 || p.Drops > sc.RetryLimit()+1 {
+			t.Fatalf("job %d drops %d outside [0, %d]", i, p.Drops, sc.RetryLimit()+1)
+		}
+		if p.Fatal != (p.Drops == sc.RetryLimit()+1) {
+			t.Fatalf("job %d fatal flag inconsistent: %+v with limit %d", i, p, sc.RetryLimit())
+		}
+		switch {
+		case p.Fatal:
+			sawFatal = true
+		case p.Drops > 0:
+			sawDrop = true
+		default:
+			sawClean = true
+		}
+	}
+	// At p=0.4 over 200 jobs, all three outcomes are overwhelmingly likely.
+	if !sawDrop || !sawClean || !sawFatal {
+		t.Errorf("outcome coverage: drop=%v clean=%v fatal=%v", sawDrop, sawClean, sawFatal)
+	}
+}
+
+// TestDropPlanEdgeProbabilities: probability 0 never drops; probability 1
+// always exhausts the whole budget fatally.
+func TestDropPlanEdgeProbabilities(t *testing.T) {
+	never := faultScenario(&FaultSpec{DropProb: 0})
+	always := faultScenario(&FaultSpec{DropProb: 1, MaxRetries: 2})
+	for i := 0; i < 50; i++ {
+		if p := never.DropPlanFor(i); p.Drops != 0 || p.Fatal {
+			t.Fatalf("job %d dropped at probability 0: %+v", i, p)
+		}
+		if p := always.DropPlanFor(i); !p.Fatal || p.Drops != 3 {
+			t.Fatalf("job %d survived probability 1: %+v (want 3 fatal drops)", i, p)
+		}
+	}
+}
+
+// TestStragglerScale: the Pareto multiplier respects its cap, returns 1
+// outside the straggler probability, and absorbs the u=0 → +Inf edge.
+func TestStragglerScale(t *testing.T) {
+	f := &FaultSpec{StragglerProb: 0.5, StragglerAlpha: 1.5, StragglerCap: 20}
+	if got := f.stragglerScale(0.9, 0.5); got != 1 {
+		t.Errorf("non-straggler draw scaled by %v, want 1", got)
+	}
+	if got := f.stragglerScale(0.1, 0); got != 20 {
+		t.Errorf("v=0 (Pareto +Inf) scaled by %v, want the cap 20", got)
+	}
+	for _, v := range []float64{0.001, 0.1, 0.5, 0.99} {
+		m := f.stragglerScale(0.1, v)
+		if !(m >= 1 && m <= 20) {
+			t.Errorf("scale(%v) = %v outside [1, cap]", v, m)
+		}
+	}
+	// Defaults kick in when alpha/cap are zero.
+	d := &FaultSpec{StragglerProb: 1}
+	if got := d.stragglerScale(0, 0); got != DefaultStragglerCap {
+		t.Errorf("default cap not applied: %v", got)
+	}
+	var nilSpec *FaultSpec
+	if got := nilSpec.stragglerScale(0, 0); got != 1 {
+		t.Errorf("nil spec scaled by %v, want 1", got)
+	}
+}
+
+// TestStragglersScaleOnlyQPUPhase: under a straggler regime the host-side
+// phases stay exactly at the class profile; only QPUService stretches — and
+// the sampled jobs stay deterministic.
+func TestStragglersScaleOnlyQPUPhase(t *testing.T) {
+	sc := faultScenario(&FaultSpec{StragglerProb: 1, StragglerAlpha: 1.5, StragglerCap: 10})
+	base := sc.Mix[0].Profile.Arch()
+	stretched := false
+	for i := 0; i < 100; i++ {
+		j := sc.JobAt(i)
+		if j != sc.JobAt(i) {
+			t.Fatalf("job %d not deterministic under stragglers", i)
+		}
+		if j.Profile.PreProcess != base.PreProcess || j.Profile.PostProcess != base.PostProcess {
+			t.Fatalf("job %d host phases changed: %+v", i, j.Profile)
+		}
+		if j.Profile.QPUService < base.QPUService {
+			t.Fatalf("job %d QPU phase shrank: %v < %v", i, j.Profile.QPUService, base.QPUService)
+		}
+		if j.Profile.QPUService > base.QPUService {
+			stretched = true
+		}
+	}
+	if !stretched {
+		t.Error("probability-1 stragglers never stretched a QPU phase")
+	}
+}
+
+// TestFaultSpecValidation: hostile fault specs must be refused; NaN must
+// never validate.
+func TestFaultSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		f    FaultSpec
+	}{
+		{"negative MTBF", FaultSpec{DeviceMTBF: -1}},
+		{"MTBF without downtime", FaultSpec{DeviceMTBF: Duration(time.Second)}},
+		{"negative straggler prob", FaultSpec{StragglerProb: -0.1}},
+		{"straggler prob > 1", FaultSpec{StragglerProb: 1.5}},
+		{"NaN straggler prob", FaultSpec{StragglerProb: math.NaN()}},
+		{"negative alpha", FaultSpec{StragglerAlpha: -2}},
+		{"Inf alpha", FaultSpec{StragglerAlpha: math.Inf(1)}},
+		{"NaN alpha", FaultSpec{StragglerAlpha: math.NaN()}},
+		{"cap below 1", FaultSpec{StragglerCap: 0.5}},
+		{"Inf cap", FaultSpec{StragglerCap: math.Inf(1)}},
+		{"NaN drop prob", FaultSpec{DropProb: math.NaN()}},
+		{"drop prob > 1", FaultSpec{DropProb: 2}},
+		{"negative retries", FaultSpec{MaxRetries: -1}},
+		{"retry storm", FaultSpec{MaxRetries: MaxRetryLimit + 1}},
+		{"negative backoff", FaultSpec{Backoff: -1}},
+		{"hour backoff", FaultSpec{Backoff: Duration(2 * time.Hour)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := faultScenario(&tc.f)
+			if err := sc.Validate(); err == nil {
+				t.Errorf("Validate accepted %+v", tc.f)
+			}
+		})
+	}
+	// And the defaults resolve as documented.
+	sc := faultScenario(&FaultSpec{})
+	if sc.RetryLimit() != DefaultMaxRetries || sc.RetryBackoff() != DefaultBackoff {
+		t.Errorf("defaults: limit %d backoff %v", sc.RetryLimit(), sc.RetryBackoff())
+	}
+}

@@ -1,6 +1,9 @@
 package workload
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // FuzzDecodeScenario pins the scenario decoder's contract: arbitrary bytes
 // either decode into a scenario that passes Validate, or error — never
@@ -27,6 +30,50 @@ func FuzzDecodeScenario(f *testing.F) {
 		`"profile":{"qpuService":1}}],"system":{"kind":"shared","hosts":1},"horizon":{"jobs":1}}`))
 	f.Add([]byte(`{"horizon":{"duration":-1}}`))
 	f.Add([]byte(`not json`))
+	// Modulated arrival processes: a valid example of each kind, then
+	// hostile shape parameters — zero-period sinusoids, negative burst
+	// rates, overflowing flash peaks.
+	f.Add([]byte(`{"seed":9,"arrival":{"kind":"sinusoid","rate":100,"period":"500ms","amplitude":0.7},` +
+		`"mix":[{"name":"a","weight":1,"profile":{"preProcess":"1ms","qpuService":"1ms"}}],` +
+		`"system":{"kind":"shared","hosts":2},"horizon":{"jobs":10}}`))
+	f.Add([]byte(`{"seed":9,"arrival":{"kind":"burst","rate":20,"burstRate":200,"burstOn":"100ms","burstOff":"300ms"},` +
+		`"mix":[{"name":"a","weight":1,"profile":{"qpuService":"1ms"}}],` +
+		`"system":{"kind":"shared","hosts":2},"horizon":{"jobs":10}}`))
+	f.Add([]byte(`{"seed":9,"arrival":{"kind":"flash","rate":50,"flashAt":"200ms","flashFor":"100ms","flashFactor":4},` +
+		`"mix":[{"name":"a","weight":1,"profile":{"qpuService":"1ms"}}],` +
+		`"system":{"kind":"shared","hosts":2},"horizon":{"jobs":10}}`))
+	f.Add([]byte(`{"arrival":{"kind":"sinusoid","rate":1,"period":"0s","amplitude":2},` +
+		`"mix":[{"name":"a","weight":1,"profile":{"qpuService":"1ms"}}],` +
+		`"system":{"kind":"shared","hosts":1},"horizon":{"jobs":1}}`))
+	f.Add([]byte(`{"arrival":{"kind":"burst","rate":1,"burstRate":-100,"burstOn":"-1ms","burstOff":"1ms"},` +
+		`"mix":[{"name":"a","weight":1,"profile":{"qpuService":"1ms"}}],` +
+		`"system":{"kind":"shared","hosts":1},"horizon":{"jobs":1}}`))
+	f.Add([]byte(`{"arrival":{"kind":"flash","rate":1e308,"flashFor":"1ms","flashFactor":1e308},` +
+		`"mix":[{"name":"a","weight":1,"profile":{"qpuService":"1ms"}}],` +
+		`"system":{"kind":"shared","hosts":1},"horizon":{"jobs":1}}`))
+	// Fault specs: a full valid regime, then hostile values — negative
+	// MTBF, probability > 1, a retry storm, a sub-1 straggler cap.
+	f.Add([]byte(`{"seed":9,"arrival":{"kind":"poisson","rate":50},` +
+		`"mix":[{"name":"a","weight":1,"profile":{"qpuService":"1ms"}}],` +
+		`"system":{"kind":"dedicated","hosts":2},"horizon":{"jobs":10},` +
+		`"faults":{"deviceMTBF":"400ms","deviceDowntime":"80ms","stragglerProb":0.05,` +
+		`"stragglerAlpha":1.5,"stragglerCap":20,"dropProb":0.1,"maxRetries":4,"backoff":"2ms"},` +
+		`"band":{"lo":0.5,"hi":3}}`))
+	f.Add([]byte(`{"arrival":{"kind":"poisson","rate":1},` +
+		`"mix":[{"name":"a","weight":1,"profile":{"qpuService":"1ms"}}],` +
+		`"system":{"kind":"shared","hosts":1},"horizon":{"jobs":1},` +
+		`"faults":{"deviceMTBF":"-1ms","dropProb":1.5,"maxRetries":100000}}`))
+	f.Add([]byte(`{"arrival":{"kind":"poisson","rate":1},` +
+		`"mix":[{"name":"a","weight":1,"profile":{"qpuService":"1ms"}}],` +
+		`"system":{"kind":"shared","hosts":1},"horizon":{"jobs":1},` +
+		`"faults":{"deviceMTBF":"1s","stragglerCap":0.01,"backoff":"2h"}}`))
+	// Hostile bands: inverted, zero, infinite.
+	f.Add([]byte(`{"arrival":{"kind":"poisson","rate":1},` +
+		`"mix":[{"name":"a","weight":1,"profile":{"qpuService":"1ms"}}],` +
+		`"system":{"kind":"shared","hosts":1},"horizon":{"jobs":1},"band":{"lo":3,"hi":0.5}}`))
+	f.Add([]byte(`{"arrival":{"kind":"poisson","rate":1},` +
+		`"mix":[{"name":"a","weight":1,"profile":{"qpuService":"1ms"}}],` +
+		`"system":{"kind":"shared","hosts":1},"horizon":{"jobs":1},"band":{"lo":0,"hi":1e999}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sc, err := Decode(data)
 		if err != nil {
@@ -43,6 +90,19 @@ func FuzzDecodeScenario(f *testing.F) {
 				t.Fatalf("Arrivals on a valid scenario: %v", err)
 			}
 			g.Next()
+		}
+		// Fault samplers must hold on any validated spec: drop plans bounded
+		// by the retry budget, outage schedules ordered and disjoint.
+		p := sc.DropPlanFor(0)
+		if p.Drops < 0 || p.Drops > sc.RetryLimit()+1 {
+			t.Fatalf("drop plan %+v outside the retry budget %d", p, sc.RetryLimit())
+		}
+		prevEnd := time.Duration(-1)
+		for _, o := range sc.OutageSchedule(0, 100*time.Millisecond) {
+			if o.For <= 0 || o.At <= prevEnd {
+				t.Fatalf("malformed outage schedule: %+v", o)
+			}
+			prevEnd = o.At + o.For
 		}
 	})
 }

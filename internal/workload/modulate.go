@@ -1,0 +1,102 @@
+// Time-varying arrival processes: the sampling layer behind the Sinusoid,
+// Burst and Flash arrival kinds. All three are non-homogeneous Poisson
+// processes realized by Lewis–Shedler thinning: candidate arrivals are drawn
+// from a homogeneous process at the peak rate and accepted with probability
+// rate(t)/peak. Every draw — candidate gap, acceptance uniform, burst state
+// holding time — comes from the scenario's single arrival RNG stream in a
+// fixed order, so the realized stream is byte-identical wherever it is
+// sampled (DES, live load generator, property test), at any worker count.
+package workload
+
+import (
+	"math"
+	"time"
+)
+
+// modulated reports whether the kind needs the thinning path.
+func (a Arrival) modulated() bool {
+	switch a.Kind {
+	case Sinusoid, Burst, Flash:
+		return true
+	}
+	return false
+}
+
+// peakRate is the thinning envelope: an upper bound on the instantaneous
+// rate, tight for all three processes.
+func (a Arrival) peakRate() float64 {
+	switch a.Kind {
+	case Sinusoid:
+		return a.Rate * (1 + a.Amplitude)
+	case Burst:
+		return math.Max(a.Rate, a.BurstRate)
+	case Flash:
+		return a.Rate * math.Max(1, a.FlashFactor)
+	}
+	return a.Rate
+}
+
+// rateAt evaluates the instantaneous arrival rate at offset t. For Burst it
+// first advances the modulating Markov chain to t, drawing state holding
+// times from the generator's stream.
+func (g *ArrivalGen) rateAt(t time.Duration) float64 {
+	a := g.spec
+	switch a.Kind {
+	case Sinusoid:
+		phase := 2 * math.Pi * float64(t) / float64(a.Period)
+		return a.Rate * (1 + a.Amplitude*math.Sin(phase))
+	case Burst:
+		g.advanceBurst(t)
+		if g.burstOn {
+			return a.BurstRate
+		}
+		return a.Rate
+	case Flash:
+		if t >= a.FlashAt.D() && t < a.FlashAt.D()+a.FlashFor.D() {
+			return a.Rate * a.FlashFactor
+		}
+		return a.Rate
+	}
+	return a.Rate
+}
+
+// advanceBurst steps the two-state modulating chain until its current state
+// covers t. The chain starts in the quiet state at t=0.
+func (g *ArrivalGen) advanceBurst(t time.Duration) {
+	for g.stateEnd <= t {
+		mean := g.spec.BurstOff.D()
+		if !g.burstOn {
+			// Leaving the quiet state: the next holding time is an on
+			// period.
+			mean = g.spec.BurstOn.D()
+		}
+		g.burstOn = !g.burstOn
+		hold := time.Duration(g.rng.ExpFloat64() * float64(mean))
+		next := g.stateEnd + hold
+		if next < g.stateEnd { // overflow: pin the chain in this state
+			g.stateEnd = math.MaxInt64
+			return
+		}
+		g.stateEnd = next
+	}
+}
+
+// nextModulated draws the next accepted arrival of a thinned process.
+func (g *ArrivalGen) nextModulated() (time.Duration, bool) {
+	peak := g.spec.peakRate()
+	for {
+		gap := time.Duration(g.rng.ExpFloat64() / peak * float64(time.Second))
+		next := g.now + gap
+		if next < g.now {
+			return 0, false // overflow: the process has outrun virtual time
+		}
+		g.now = next
+		rate := g.rateAt(g.now)
+		// The acceptance draw is consumed even when rate == peak would
+		// make it redundant, keeping the stream's draw order independent
+		// of float comparisons on the modulation boundary.
+		if g.rng.Float64()*peak < rate {
+			return g.now, true
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Determinism and rate-integral properties of the modulated arrival
+// processes. The storm pipeline's whole cross-validation story rests on the
+// arrival stream depending only on Scenario.Seed — never on goroutine
+// interleaving, worker count or how far a previous consumer iterated.
+
+func modulatedScenario(kind ArrivalKind) *Scenario {
+	sc := &Scenario{
+		Seed: 42,
+		Mix: []JobClass{{Name: "base", Weight: 1,
+			Profile: Profile{PreProcess: Duration(time.Millisecond), QPUService: Duration(500 * time.Microsecond)}}},
+		System:  SystemSpec{Kind: "shared", Hosts: 2},
+		Horizon: Horizon{Jobs: 100},
+	}
+	switch kind {
+	case Sinusoid:
+		sc.Arrival = Arrival{Kind: Sinusoid, Rate: 200, Period: Duration(250 * time.Millisecond), Amplitude: 0.8}
+	case Burst:
+		sc.Arrival = Arrival{Kind: Burst, Rate: 50, BurstRate: 400,
+			BurstOn: Duration(50 * time.Millisecond), BurstOff: Duration(150 * time.Millisecond)}
+	case Flash:
+		sc.Arrival = Arrival{Kind: Flash, Rate: 100, FlashAt: Duration(100 * time.Millisecond),
+			FlashFor: Duration(200 * time.Millisecond), FlashFactor: 4}
+	}
+	return sc
+}
+
+// offsets materializes the first n arrival offsets of a fresh generator.
+func offsets(t *testing.T, sc *Scenario, n int) []time.Duration {
+	t.Helper()
+	gen, err := sc.Arrivals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]time.Duration, 0, n)
+	for len(out) < n {
+		off, ok := gen.Next()
+		if !ok {
+			t.Fatalf("arrival process exhausted after %d offsets", len(out))
+		}
+		out = append(out, off)
+	}
+	return out
+}
+
+// TestModulatedArrivalsDeterministic: regenerating the stream — including
+// concurrently from many goroutines, the worker-count situation of a live
+// replay — yields byte-identical offsets every time, and the offsets are
+// strictly non-decreasing.
+func TestModulatedArrivalsDeterministic(t *testing.T) {
+	for _, kind := range []ArrivalKind{Sinusoid, Burst, Flash} {
+		t.Run(string(kind), func(t *testing.T) {
+			sc := modulatedScenario(kind)
+			want := offsets(t, sc, 2000)
+			for i := 1; i < len(want); i++ {
+				if want[i] < want[i-1] {
+					t.Fatalf("offsets regress at %d: %v < %v", i, want[i], want[i-1])
+				}
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					got := offsets(t, sc, len(want))
+					for i := range got {
+						if got[i] != want[i] {
+							t.Errorf("goroutine %d: offset %d = %v, want %v", g, i, got[i], want[i])
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestModulatedMeanRate pins the rate integral: over a long horizon the
+// realized arrival rate of each modulated process must sit within 2% of the
+// analytic MeanRate. (Flash's MeanRate is its baseline; the flash window is
+// a transient whose contribution vanishes over the horizon.)
+func TestModulatedMeanRate(t *testing.T) {
+	for _, kind := range []ArrivalKind{Sinusoid, Burst, Flash} {
+		t.Run(string(kind), func(t *testing.T) {
+			sc := modulatedScenario(kind)
+			mean := sc.Arrival.MeanRate()
+			if !(mean > 0) {
+				t.Fatalf("MeanRate = %v, want > 0", mean)
+			}
+			gen, err := sc.Arrivals()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Long horizon: enough whole periods/state cycles that the
+			// modulation integrates out. 2% at ~horizon·mean arrivals keeps
+			// the CLT noise floor comfortably below the tolerance.
+			horizon := 2000 * time.Second
+			n := 0
+			for {
+				off, ok := gen.Next()
+				if !ok {
+					t.Fatalf("process exhausted after %d arrivals", n)
+				}
+				if off > horizon {
+					break
+				}
+				n++
+			}
+			realized := float64(n) / horizon.Seconds()
+			if rel := math.Abs(realized-mean) / mean; rel > 0.02 {
+				t.Errorf("realized rate %.2f/s vs analytic %.2f/s: %.1f%% off (want <= 2%%)",
+					realized, mean, 100*rel)
+			}
+		})
+	}
+}
+
+// TestBurstMeanRateFormula cross-checks the MMPP mean against a hand
+// computation for one parameterization.
+func TestBurstMeanRateFormula(t *testing.T) {
+	a := Arrival{Kind: Burst, Rate: 10, BurstRate: 100,
+		BurstOn: Duration(100 * time.Millisecond), BurstOff: Duration(300 * time.Millisecond)}
+	// (100·0.1 + 10·0.3) / 0.4 = 32.5 jobs/s.
+	if got, want := a.MeanRate(), 32.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("MeanRate = %v, want %v", got, want)
+	}
+}
+
+// TestSinusoidRateEnvelope: the thinning implementation must respect the
+// declared envelope — no burst of arrivals can exceed the peak rate over a
+// sustained window, and troughs must actually thin.
+func TestSinusoidRateEnvelope(t *testing.T) {
+	sc := modulatedScenario(Sinusoid)
+	period := sc.Arrival.Period.D()
+	offs := offsets(t, sc, 5000)
+	// Count arrivals per half-period bucket; peak halves must outnumber
+	// trough halves on average (amplitude 0.8 means a 9:1 intensity ratio
+	// between the extremes).
+	var peak, trough int
+	for _, off := range offs {
+		phase := float64(off%period) / float64(period)
+		if phase < 0.5 { // sin > 0: the high half
+			peak++
+		} else {
+			trough++
+		}
+	}
+	if peak <= trough {
+		t.Errorf("sinusoid modulation invisible: %d peak-half vs %d trough-half arrivals", peak, trough)
+	}
+}
+
+// TestArrivalGenIndependentOfJobStreams: interleaving JobAt calls (which use
+// their own DeriveSeed streams) with arrival generation must not perturb the
+// arrival offsets — the no-seed-leak property.
+func TestArrivalGenIndependentOfJobStreams(t *testing.T) {
+	sc := modulatedScenario(Burst)
+	want := offsets(t, sc, 500)
+	gen, err := sc.Arrivals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		sc.JobAt(i) // interleaved per-job sampling
+		off, ok := gen.Next()
+		if !ok || off != want[i] {
+			t.Fatalf("offset %d = %v (ok=%v), want %v — job streams leaked into the arrival stream", i, off, ok, want[i])
+		}
+	}
+}
+
+// TestModulatedValidation: hostile shape parameters must be refused, in both
+// struct and JSON form.
+func TestModulatedValidation(t *testing.T) {
+	base := modulatedScenario(Sinusoid)
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"sinusoid zero period", func(sc *Scenario) { sc.Arrival.Period = 0 }},
+		{"sinusoid negative amplitude", func(sc *Scenario) { sc.Arrival.Amplitude = -0.1 }},
+		{"sinusoid amplitude > 1", func(sc *Scenario) { sc.Arrival.Amplitude = 1.5 }},
+		{"sinusoid NaN amplitude", func(sc *Scenario) { sc.Arrival.Amplitude = math.NaN() }},
+		{"burst zero burstRate", func(sc *Scenario) {
+			sc.Arrival = Arrival{Kind: Burst, Rate: 10, BurstOn: 1e6, BurstOff: 1e6}
+		}},
+		{"burst negative burstRate", func(sc *Scenario) {
+			sc.Arrival = Arrival{Kind: Burst, Rate: 10, BurstRate: -5, BurstOn: 1e6, BurstOff: 1e6}
+		}},
+		{"burst NaN burstRate", func(sc *Scenario) {
+			sc.Arrival = Arrival{Kind: Burst, Rate: 10, BurstRate: math.NaN(), BurstOn: 1e6, BurstOff: 1e6}
+		}},
+		{"burst zero on-time", func(sc *Scenario) {
+			sc.Arrival = Arrival{Kind: Burst, Rate: 10, BurstRate: 100, BurstOff: 1e6}
+		}},
+		{"flash factor below 1", func(sc *Scenario) {
+			sc.Arrival = Arrival{Kind: Flash, Rate: 10, FlashFor: 1e6, FlashFactor: 0.5}
+		}},
+		{"flash NaN factor", func(sc *Scenario) {
+			sc.Arrival = Arrival{Kind: Flash, Rate: 10, FlashFor: 1e6, FlashFactor: math.NaN()}
+		}},
+		{"flash zero window", func(sc *Scenario) {
+			sc.Arrival = Arrival{Kind: Flash, Rate: 10, FlashFactor: 2}
+		}},
+		{"flash peak overflow", func(sc *Scenario) {
+			sc.Arrival = Arrival{Kind: Flash, Rate: 1e300, FlashFor: 1e6, FlashFactor: 1e300}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := *base
+			tc.mutate(&sc)
+			if err := sc.Validate(); err == nil {
+				t.Errorf("Validate accepted %+v", sc.Arrival)
+			}
+		})
+	}
+}
+
+// TestModulatedRoundTrip: the new arrival fields survive Encode→Decode.
+func TestModulatedRoundTrip(t *testing.T) {
+	for _, kind := range []ArrivalKind{Sinusoid, Burst, Flash} {
+		sc := modulatedScenario(kind)
+		sc.Faults = &FaultSpec{DropProb: 0.1, MaxRetries: 2, Backoff: Duration(2 * time.Millisecond)}
+		sc.Band = &Band{Lo: 0.5, Hi: 3}
+		data, err := sc.Encode()
+		if err != nil {
+			t.Fatalf("%s: Encode: %v", kind, err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", kind, err)
+		}
+		if fmt.Sprintf("%+v", got.Arrival) != fmt.Sprintf("%+v", sc.Arrival) {
+			t.Errorf("%s: arrival changed: %+v vs %+v", kind, got.Arrival, sc.Arrival)
+		}
+		if got.Faults == nil || *got.Faults != *sc.Faults {
+			t.Errorf("%s: faults changed: %+v vs %+v", kind, got.Faults, sc.Faults)
+		}
+		if got.Band == nil || *got.Band != *sc.Band {
+			t.Errorf("%s: band changed: %+v vs %+v", kind, got.Band, sc.Band)
+		}
+	}
+}

@@ -86,12 +86,27 @@ const (
 	ClosedLoop ArrivalKind = "closed"
 	// Trace arrivals replay recorded arrival offsets from t=0 verbatim.
 	Trace ArrivalKind = "trace"
+	// Sinusoid arrivals: a non-homogeneous Poisson process whose rate
+	// follows Rate·(1 + Amplitude·sin(2πt/Period)) — the diurnal load
+	// curve every real service rides.
+	Sinusoid ArrivalKind = "sinusoid"
+	// Burst arrivals: a two-state Markov-modulated Poisson process that
+	// alternates between a quiet state at Rate and an on state at
+	// BurstRate, with exponentially distributed state holding times of
+	// mean BurstOff and BurstOn.
+	Burst ArrivalKind = "burst"
+	// Flash arrivals: Poisson at Rate except during the flash-crowd
+	// window [FlashAt, FlashAt+FlashFor), where the rate multiplies by
+	// FlashFactor — the thundering-herd spike.
+	Flash ArrivalKind = "flash"
 )
 
 // Arrival specifies when jobs enter the system.
 type Arrival struct {
 	Kind ArrivalKind `json:"kind"`
-	// Rate is the arrival rate in jobs/second (Poisson, Uniform).
+	// Rate is the arrival rate in jobs/second (Poisson, Uniform), the
+	// mean rate (Sinusoid), the quiet-state rate (Burst) or the
+	// baseline rate (Flash).
 	Rate float64 `json:"rate,omitempty"`
 	// Clients is the submitter population (ClosedLoop).
 	Clients int `json:"clients,omitempty"`
@@ -100,6 +115,42 @@ type Arrival struct {
 	Think Duration `json:"think,omitempty"`
 	// Trace holds recorded arrival offsets from t=0, ascending (Trace).
 	Trace []Duration `json:"trace,omitempty"`
+
+	// Period and Amplitude shape the Sinusoid process: the rate swings
+	// Rate·(1 ± Amplitude) over each Period. Amplitude must lie in [0, 1].
+	Period    Duration `json:"period,omitempty"`
+	Amplitude float64  `json:"amplitude,omitempty"`
+
+	// BurstRate, BurstOn and BurstOff shape the Burst process: the on
+	// state arrives at BurstRate for an exponential mean of BurstOn,
+	// then the process falls back to Rate for a mean of BurstOff.
+	BurstRate float64  `json:"burstRate,omitempty"`
+	BurstOn   Duration `json:"burstOn,omitempty"`
+	BurstOff  Duration `json:"burstOff,omitempty"`
+
+	// FlashAt, FlashFor and FlashFactor shape the Flash process: at
+	// FlashAt the rate multiplies by FlashFactor for FlashFor.
+	FlashAt     Duration `json:"flashAt,omitempty"`
+	FlashFor    Duration `json:"flashFor,omitempty"`
+	FlashFactor float64  `json:"flashFactor,omitempty"`
+}
+
+// MeanRate returns the long-run mean arrival rate of an open rate-driven
+// process in jobs/second — the analytic anchor the rate-integral property
+// tests pin the sampled streams against. Trace and closed-loop processes
+// have no rate parameter and report 0.
+func (a Arrival) MeanRate() float64 {
+	switch a.Kind {
+	case Poisson, Uniform, Sinusoid:
+		// The sinusoid integrates to its base rate over whole periods.
+		return a.Rate
+	case Burst:
+		on, off := a.BurstOn.D().Seconds(), a.BurstOff.D().Seconds()
+		return (a.BurstRate*on + a.Rate*off) / (on + off)
+	case Flash:
+		return a.Rate // baseline; the flash window is a transient
+	}
+	return 0
 }
 
 // Dist names a per-job service-time distribution for a job class.
@@ -202,6 +253,16 @@ type Horizon struct {
 	Duration Duration `json:"duration,omitempty"`
 }
 
+// Band is a scenario's declared DES-vs-live acceptance band: the measured
+// p99 sojourn must land within [Lo, Hi] × the DES prediction for the
+// scenario to pass a storm replay. Fault-heavy scenarios declare wider
+// bands — tail latency under injected chaos is intrinsically noisier than
+// a stationary replay.
+type Band struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
 // Scenario is one declarative open-system workload experiment.
 type Scenario struct {
 	Name    string     `json:"name,omitempty"`
@@ -215,13 +276,21 @@ type Scenario struct {
 	// DES and the live dispatcher realize the same policy, so it is part
 	// of the experiment spec, not the deployment.
 	Policy sched.Policy `json:"policy,omitempty"`
+	// Faults, when non-nil, is the adversarial regime: device deaths
+	// mid-lease, heavy-tailed straggler anneals and wire-path connection
+	// drops, all sampled from DeriveSeed streams so the DES and a live
+	// replay realize byte-identical fault schedules (faults.go).
+	Faults *FaultSpec `json:"faults,omitempty"`
+	// Band, when non-nil, declares the scenario's DES-vs-live acceptance
+	// band for the storm soak runner.
+	Band *Band `json:"band,omitempty"`
 }
 
 // Validate checks structural consistency; it is called by Decode and by
 // every consumer (simulator, load generator) before a run.
 func (sc *Scenario) Validate() error {
 	switch sc.Arrival.Kind {
-	case Poisson, Uniform:
+	case Poisson, Uniform, Sinusoid, Burst, Flash:
 		if !(sc.Arrival.Rate > 0) {
 			return fmt.Errorf("workload: %s arrivals need rate > 0, got %v", sc.Arrival.Kind, sc.Arrival.Rate)
 		}
@@ -231,6 +300,9 @@ func (sc *Scenario) Validate() error {
 		// virtual times and garbage results.
 		if math.IsInf(sc.Arrival.Rate, 0) || sc.Arrival.Rate < MinRate {
 			return fmt.Errorf("workload: %s rate %v outside [%v, +inf) jobs/s", sc.Arrival.Kind, sc.Arrival.Rate, MinRate)
+		}
+		if err := sc.Arrival.validateModulation(); err != nil {
+			return err
 		}
 	case ClosedLoop:
 		if sc.Arrival.Clients < 1 {
@@ -295,6 +367,51 @@ func (sc *Scenario) Validate() error {
 		return fmt.Errorf("workload: horizon wants %d jobs but trace holds %d offsets",
 			sc.Horizon.Jobs, len(sc.Arrival.Trace))
 	}
+	if sc.Faults != nil {
+		if err := sc.Faults.validate(); err != nil {
+			return err
+		}
+	}
+	if b := sc.Band; b != nil {
+		// NaN fails every comparison below, so hostile bands cannot slip
+		// through as "always passing".
+		if !(b.Lo > 0) || !(b.Hi >= b.Lo) || math.IsInf(b.Hi, 0) {
+			return fmt.Errorf("workload: band [%v, %v] needs 0 < lo <= hi < +inf", b.Lo, b.Hi)
+		}
+	}
+	return nil
+}
+
+// validateModulation checks the kind-specific shape parameters of the
+// modulated arrival processes. All comparisons are written so NaN fails
+// them: a NaN amplitude or factor must never validate.
+func (a Arrival) validateModulation() error {
+	switch a.Kind {
+	case Sinusoid:
+		if a.Period <= 0 {
+			return fmt.Errorf("workload: sinusoid arrivals need period > 0, got %v", a.Period)
+		}
+		if !(a.Amplitude >= 0 && a.Amplitude <= 1) {
+			return fmt.Errorf("workload: sinusoid amplitude %v outside [0, 1]", a.Amplitude)
+		}
+	case Burst:
+		if !(a.BurstRate >= MinRate) || math.IsInf(a.BurstRate, 0) {
+			return fmt.Errorf("workload: burst arrivals need burstRate in [%v, +inf), got %v", MinRate, a.BurstRate)
+		}
+		if a.BurstOn <= 0 || a.BurstOff <= 0 {
+			return fmt.Errorf("workload: burst arrivals need burstOn and burstOff > 0, got %v/%v", a.BurstOn, a.BurstOff)
+		}
+	case Flash:
+		if !(a.FlashFactor >= 1) || math.IsInf(a.FlashFactor, 0) {
+			return fmt.Errorf("workload: flash arrivals need flashFactor >= 1, got %v", a.FlashFactor)
+		}
+		if a.FlashAt < 0 || a.FlashFor <= 0 {
+			return fmt.Errorf("workload: flash window needs flashAt >= 0 and flashFor > 0, got %v/%v", a.FlashAt, a.FlashFor)
+		}
+		if !(a.Rate*a.FlashFactor < math.MaxFloat64) {
+			return fmt.Errorf("workload: flash peak rate overflows")
+		}
+	}
 	return nil
 }
 
@@ -347,6 +464,13 @@ func (sc *Scenario) JobAt(i int) Job {
 		p.Network = scaleDur(p.Network, scale)
 		p.QPUService = scaleDur(p.QPUService, scale)
 		p.PostProcess = scaleDur(p.PostProcess, scale)
+	}
+	// Straggler anneals scale only the QPU phase — the anneal is what
+	// straggles, not the host-side code. The draws happen only under an
+	// active straggler regime so fault-free scenarios keep their exact
+	// historical profiles.
+	if f := sc.Faults; f != nil && f.StragglerProb > 0 {
+		p.QPUService = scaleDur(p.QPUService, f.stragglerScale(rng.Float64(), rng.Float64()))
 	}
 	return Job{Class: idx, Profile: p}
 }
@@ -414,6 +538,11 @@ type ArrivalGen struct {
 	rng  *rand.Rand
 	now  time.Duration
 	n    int
+
+	// Burst-process modulation state (modulate.go): whether the chain is
+	// in its on state, and the virtual time that state ends.
+	burstOn  bool
+	stateEnd time.Duration
 }
 
 // Next returns the next arrival offset from t=0, or ok=false when the
@@ -421,6 +550,13 @@ type ArrivalGen struct {
 // offset would overflow a time.Duration (billions of ultra-slow arrivals)
 // rather than hand out garbage times.
 func (g *ArrivalGen) Next() (offset time.Duration, ok bool) {
+	if g.spec.modulated() {
+		off, ok := g.nextModulated()
+		if ok {
+			g.n++
+		}
+		return off, ok
+	}
 	switch g.spec.Kind {
 	case Poisson:
 		next := g.now + time.Duration(g.rng.ExpFloat64()/g.spec.Rate*float64(time.Second))

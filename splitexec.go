@@ -48,6 +48,7 @@ import (
 	"github.com/splitexec/splitexec/internal/schedule"
 	"github.com/splitexec/splitexec/internal/service"
 	"github.com/splitexec/splitexec/internal/stats"
+	"github.com/splitexec/splitexec/internal/storm"
 	"github.com/splitexec/splitexec/internal/workload"
 )
 
@@ -374,13 +375,28 @@ type ScenarioHorizon = workload.Horizon
 // ScenarioDuration is a duration that marshals as a human-readable string.
 type ScenarioDuration = workload.Duration
 
-// Arrival processes a ScenarioArrival can name.
+// Arrival processes a ScenarioArrival can name. The last three are
+// modulated: a compressed diurnal sinusoid, Markov-modulated on/off
+// bursts, and a flash crowd multiplying the rate inside a window.
 const (
 	PoissonArrivals    = workload.Poisson
 	UniformArrivals    = workload.Uniform
 	ClosedLoopArrivals = workload.ClosedLoop
 	TraceArrivals      = workload.Trace
+	SinusoidArrivals   = workload.Sinusoid
+	BurstArrivals      = workload.Burst
+	FlashArrivals      = workload.Flash
 )
+
+// ScenarioFaults is a scenario's fault-injection spec: device deaths with
+// bounded-retry re-dispatch, Pareto straggler anneals, and per-attempt
+// connection drops — all drawn from seed-derived streams so the simulator
+// and a live replay realize identical fault schedules.
+type ScenarioFaults = workload.FaultSpec
+
+// ScenarioBand is a scenario's acceptance band on the live-vs-simulated
+// p99 sojourn ratio, used by the storm corpus runner.
+type ScenarioBand = workload.Band
 
 // ExponentialService marks a job class whose profile is scaled by an
 // Exp(1) draw per job (preserving phase ratios) — the M/M/c-checkable
@@ -422,6 +438,22 @@ type LoadgenResult = loadgen.Result
 // process or over TCP) and measures the latency distributions the
 // simulator predicts.
 var RunLoadgen = loadgen.Run
+
+// StormOptions configure a storm run over a scenario corpus directory.
+type StormOptions = storm.Options
+
+// StormReport is the aggregate pass/fail verdict of a storm run.
+type StormReport = storm.Report
+
+// StormScenarioResult is one corpus scenario's verdict: DES-predicted and
+// live-measured p99, their ratio against the declared band, and the
+// conservation ledger (jobs, failures, retries, drops).
+type StormScenarioResult = storm.ScenarioResult
+
+// RunStorm replays a stress-scenario corpus through both the simulator and
+// a live TCP dispatch service, judging each scenario's live p99 against
+// its acceptance band — the `splitexec storm` subcommand's engine.
+var RunStorm = storm.Run
 
 // DurationSummary is the shared latency digest (mean/p50/p90/p99/p999/max).
 type DurationSummary = stats.DurationSummary
