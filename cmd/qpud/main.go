@@ -30,6 +30,7 @@ func main() {
 		validate = flag.Bool("validate", true, "reject programs that violate the topology")
 		annealUs = flag.Float64("anneal", 20, "per-read anneal duration in µs (the device's programmed waveform length)")
 		workers  = flag.Int("readworkers", 1, "concurrent readout workers per execute call (results are seed-deterministic at any count)")
+		bitpar   = flag.Bool("bitparallel", false, "anneal 64 replicas per machine word (multi-spin coding); pays off at tens of reads per execute")
 	)
 	flag.Parse()
 
@@ -37,7 +38,7 @@ func main() {
 	if *annealUs > 0 {
 		timings.AnnealTime = time.Duration(*annealUs * float64(time.Microsecond))
 	}
-	srv := qpuserver.NewServer(timings, anneal.SamplerOptions{Sweeps: *sweeps})
+	srv := qpuserver.NewServer(timings, anneal.SamplerOptions{Sweeps: *sweeps, BitParallel: *bitpar})
 	srv.SetReadWorkers(*workers)
 	srv.Logf = log.Printf
 	if *validate {

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/benchio"
+)
+
+// runBench is the `splitexec bench` subcommand: it measures the kernel
+// benchmark suite (internal/benchio) and either records a schema-versioned
+// BENCH_<UTC-date>.json baseline or compares the run against the newest
+// committed one — the repository's benchmark trajectory. Comparison is
+// warn-only by default (machines differ); -strict makes warnings fatal for
+// use on a pinned reference machine.
+func runBench(args []string) {
+	fs := flag.NewFlagSet("splitexec bench", flag.ExitOnError)
+	var (
+		write    = fs.Bool("write", false, "write the run as BENCH_<UTC-date>.json (new baseline)")
+		out      = fs.String("out", "", "explicit output path for -write (default the dated name in the current directory)")
+		baseline = fs.String("baseline", "", "baseline report to compare against (default: newest BENCH_*.json here)")
+		warn     = fs.Float64("warn", 1.25, "slowdown ratio that flags a benchmark in the comparison")
+		strict   = fs.Bool("strict", false, "exit nonzero when any benchmark crosses -warn")
+		quick    = fs.Bool("quick", false, "CI smoke budget (~10ms per benchmark) instead of baseline quality")
+		asJSON   = fs.Bool("json", false, "emit the run (and comparison deltas) as JSON instead of tables")
+	)
+	fs.Parse(args)
+
+	opts := benchio.SuiteOptions{}
+	if !*asJSON {
+		opts.Log = log.Printf
+	}
+	if *quick {
+		opts.Time = 10 * time.Millisecond
+	}
+	rep := benchio.Run(opts)
+
+	if *write {
+		path := *out
+		if path == "" {
+			path = benchio.DefaultFilename(time.Now())
+		}
+		if err := rep.WriteFile(path); err != nil {
+			log.Fatalf("splitexec bench: %v", err)
+		}
+		log.Printf("splitexec bench: wrote %s", path)
+	}
+
+	base := *baseline
+	if base == "" {
+		base = benchio.FindBaseline(".")
+	}
+	var deltas []benchio.Delta
+	var old *benchio.Report
+	if base != "" {
+		var err error
+		old, err = benchio.Load(base)
+		if err != nil {
+			log.Fatalf("splitexec bench: %v", err)
+		}
+		deltas = benchio.Compare(old, rep, *warn)
+	}
+
+	if *asJSON {
+		payload := struct {
+			Report   *benchio.Report `json:"report"`
+			Baseline string          `json:"baseline,omitempty"`
+			Deltas   []benchio.Delta `json:"deltas,omitempty"`
+		}{rep, base, deltas}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload); err != nil {
+			log.Fatalf("splitexec bench: %v", err)
+		}
+	} else if old != nil {
+		fmt.Printf("comparing against %s\n\n", base)
+		if err := benchio.WriteComparison(os.Stdout, old, rep, deltas); err != nil {
+			log.Fatalf("splitexec bench: %v", err)
+		}
+	} else {
+		log.Printf("splitexec bench: no baseline found (run with -write to record one)")
+	}
+
+	if *strict && benchio.AnyWarn(deltas) {
+		log.Fatalf("splitexec bench: benchmarks regressed beyond %.2fx (strict mode)", *warn)
+	}
+}

@@ -31,6 +31,13 @@
 //
 //	splitexec storm -dir scenarios
 //	splitexec storm -dir scenarios -quick -json
+//
+// The bench subcommand records the kernel benchmark suite as a
+// schema-versioned BENCH_<UTC-date>.json baseline, or compares a fresh run
+// against the newest committed one (the benchmark trajectory CI watches):
+//
+//	splitexec bench -write
+//	splitexec bench -baseline BENCH_2026-08-07.json -warn 1.25
 package main
 
 import (
@@ -67,6 +74,9 @@ func main() {
 			return
 		case "storm":
 			runStorm(os.Args[2:])
+			return
+		case "bench":
+			runBench(os.Args[2:])
 			return
 		}
 	}

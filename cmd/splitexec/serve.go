@@ -33,6 +33,7 @@ func runServe(args []string) {
 		m       = fs.Int("m", 8, "Chimera rows M")
 		ncols   = fs.Int("ncols", 8, "Chimera columns N")
 		sweeps  = fs.Int("sweeps", 256, "annealer sweeps per read")
+		bitpar  = fs.Bool("bitparallel", false, "multi-spin-coded QPU kernel: 64 anneal replicas per machine word")
 		seed    = fs.Int64("seed", 1, "base seed for the per-job RNG streams")
 		cache   = fs.Bool("cache", true, "share an off-line embedding cache across workers")
 	)
@@ -48,7 +49,7 @@ func runServe(args []string) {
 		Seed:       *seed,
 		Base: core.Config{
 			Node:    node,
-			Sampler: anneal.SamplerOptions{Sweeps: *sweeps},
+			Sampler: anneal.SamplerOptions{Sweeps: *sweeps, BitParallel: *bitpar},
 			Embed:   embed.Options{MaxTries: 20},
 		},
 	}

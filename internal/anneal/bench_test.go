@@ -1,12 +1,17 @@
 package anneal
 
-// Kernel microbenchmarks. The CI smoke step runs these with -benchtime=1x so
-// the hot path can never silently stop compiling; for real measurements use:
+// Kernel microbenchmarks. The CI smoke step runs these with -benchtime=1x
+// -benchmem so the hot paths can never silently stop compiling or start
+// allocating; for real measurements use:
 //
 //	go test -bench 'Kernel|ParallelReads' -benchmem -count 10 ./internal/anneal | benchstat -
 //
-// See docs/performance.md for the kernel design and recorded before/after
-// numbers.
+// or `splitexec bench`, which records the same kernels into a
+// schema-versioned BENCH_<date>.json for the committed trajectory. Every
+// kernel benchmark reports ns/proposal (time per replica-level Metropolis
+// proposal) and allocs/op on the same footing, so the scalar, multi-spin
+// and SQA kernels are directly comparable. See docs/performance.md for the
+// kernel design and recorded before/after numbers.
 
 import (
 	"fmt"
@@ -24,8 +29,8 @@ func benchProgram(b *testing.B, cells int) *qubo.Ising {
 	return qubo.RandomIsing(g, 1, 1, rng)
 }
 
-// BenchmarkKernelMetropolis times single anneals of the compiled Metropolis
-// kernel (64 sweeps) on random Chimera spin glasses.
+// BenchmarkKernelMetropolis times single anneals of the compiled scalar
+// Metropolis kernel (64 sweeps) on random Chimera spin glasses.
 func BenchmarkKernelMetropolis(b *testing.B) {
 	for _, cells := range []int{1, 2, 4} {
 		m := benchProgram(b, cells)
@@ -36,6 +41,7 @@ func BenchmarkKernelMetropolis(b *testing.B) {
 			for i := range spins {
 				spins[i] = int8(2*(i%2) - 1)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s.AnnealFrom(spins, rng)
@@ -43,6 +49,45 @@ func BenchmarkKernelMetropolis(b *testing.B) {
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*64*s.ActiveSpins()), "ns/proposal")
 		})
 	}
+}
+
+// BenchmarkKernelBitParallel times the multi-spin word kernels through the
+// public collection path: one iteration is a full 64-replica word, so the
+// proposal count is 64× the scalar kernel's per anneal. The ±J Chimera
+// programs here engage the bit-sliced integer kernel; the continuous
+// variant forces the float word kernel for comparison.
+func BenchmarkKernelBitParallel(b *testing.B) {
+	for _, cells := range []int{1, 2, 4} {
+		m := benchProgram(b, cells)
+		b.Run(fmt.Sprintf("spins=%d", m.Dim()), func(b *testing.B) {
+			s := NewSampler(m, SamplerOptions{Sweeps: 64, BitParallel: true})
+			s.SampleParallel(wordReplicas, 1, 0) // warm scratch out of the timed region
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.SampleParallel(wordReplicas, 1, int64(i))
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*64*wordReplicas*s.ActiveSpins()), "ns/proposal")
+		})
+	}
+	m := benchProgram(b, 4)
+	rng := rand.New(rand.NewSource(5))
+	for i := range m.H {
+		m.H[i] = rng.NormFloat64()
+	}
+	b.Run(fmt.Sprintf("spins=%d-float", m.Dim()), func(b *testing.B) {
+		s := NewSampler(m, SamplerOptions{Sweeps: 64, BitParallel: true})
+		if s.bit.intOK {
+			b.Fatal("expected the float word kernel")
+		}
+		s.SampleParallel(wordReplicas, 1, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.SampleParallel(wordReplicas, 1, int64(i))
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*64*wordReplicas*s.ActiveSpins()), "ns/proposal")
+	})
 }
 
 // BenchmarkKernelSQA times single anneals of the path-integral kernel
@@ -53,6 +98,7 @@ func BenchmarkKernelSQA(b *testing.B) {
 		b.Run(fmt.Sprintf("spins=%d", m.Dim()), func(b *testing.B) {
 			s := NewSQASampler(m, SQAOptions{Sweeps: 64, Replicas: 8})
 			rng := rand.New(rand.NewSource(3))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s.Anneal(rng)
@@ -64,21 +110,30 @@ func BenchmarkKernelSQA(b *testing.B) {
 
 // BenchmarkParallelReads measures Device.Execute fanning 64 reads across
 // worker counts. Results are byte-identical at every worker count (per-read
-// DeriveSeed streams); only wall-clock changes.
+// DeriveSeed streams); only wall-clock changes. The bitparallel variant
+// collects whole 64-replica words instead of scalar reads.
 func BenchmarkParallelReads(b *testing.B) {
 	m := benchProgram(b, 2)
 	for _, workers := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			d := NewDevice(DW2Timings(), SamplerOptions{Sweeps: 64})
-			d.Workers = workers
-			d.Program(m)
-			rng := rand.New(rand.NewSource(4))
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := d.Execute(64, rng); err != nil {
-					b.Fatal(err)
-				}
+		for _, bp := range []bool{false, true} {
+			name := fmt.Sprintf("workers=%d", workers)
+			if bp {
+				name += "-bitparallel"
 			}
-		})
+			b.Run(name, func(b *testing.B) {
+				d := NewDevice(DW2Timings(), SamplerOptions{Sweeps: 64, BitParallel: bp})
+				d.Workers = workers
+				d.Program(m)
+				rng := rand.New(rand.NewSource(4))
+				b.ReportAllocs()
+				b.SetBytes(64 * int64(m.Dim())) // spins moved per Execute
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := d.Execute(64, rng); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

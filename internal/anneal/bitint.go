@@ -1,0 +1,306 @@
+package anneal
+
+// Bit-sliced integer specialization of the multi-spin kernel.
+//
+// The float word kernel (bitkernel.go) keeps 64 float64 local fields per
+// spin and still pays ~10 scalar ops per replica-proposal. On the models the
+// paper's Fig. 9 experiments actually anneal — ±J spin glasses with small
+// integer biases on the bounded-degree working graph — every local field is
+// an integer with a static bound B = max_i(|h_i| + deg(i)), so the classic
+// multi-spin-coding representation applies (cf. Isakov et al.'s an_ms_r1_nf
+// kernels): store field bit p of all 64 replicas in one uint64 "plane",
+// P = ⌈log₂(B+1)⌉+1 planes per spin in two's complement. Then
+//
+//   - the Metropolis decision for all 64 replicas is ~2 boolean ops per
+//     plane (a carry-only ripple against a constant, below), not 64
+//     float compares;
+//   - an accepted flip updates a neighbor's field by ±2 for every accepted
+//     replica at once via a masked carry/borrow chain over its planes —
+//     O(P) ops per neighbor instead of O(popcount) load-modify-stores;
+//   - the whole field state is n·P words (a few KB), L1-resident where the
+//     float rows were 512 B per spin.
+//
+// Exactness is preserved, not approximated. The shared per-proposal
+// threshold th compares against ΔE_r = 2k_r with k_r = −s_r·f_r an integer,
+// so accept ⇔ th > 2k_r ⇔ k_r ≤ kmax where kmax = max{k : 2k < th} is
+// found once per proposal by exact float comparisons against float64(2k)
+// (both sides exactly representable — no division, no rounding edge). The
+// per-replica verdict k ≤ kmax splits by the spin sign into two constant
+// comparisons on the field planes directly:
+//
+//	s = +1: accept ⇔ −f ≤ kmax ⇔ f ≥ −kmax ⇔ ¬sign(f − (−kmax))
+//	s = −1: accept ⇔  f ≤ kmax ⇔ sign(f − (kmax+1))
+//
+// and sign(f + c) over all 64 replicas needs only the carry into the sign
+// position: adding a constant bit b to plane F with carry c gives carry-out
+// F|c (b=1) or F&c (b=0) — one op per plane. Arithmetic wraps mod 2^P are
+// harmless for the maintained fields (the true value always fits), and the
+// comparisons sign-extend to P+1 bits so they never wrap.
+//
+// Every decision equals the scalar kernel's float decision bit-for-bit
+// (integer arithmetic of this size is exact in float64 too), the RNG stream
+// is consumed identically, and readout reproduces the float path's energy
+// accumulation term-for-term, so the replica-63 ≡ scalar equivalence and
+// the byte-identical parallel-collection contract hold unchanged.
+
+import "math"
+
+// bitIntPlaneMax caps the bit-sliced width: programs needing more than
+// 8 planes (field bound B > 127) fall back to the float word kernel.
+const bitIntPlaneMax = 8
+
+// bitIntDetect reports whether the compiled program qualifies for the
+// bit-sliced kernel — all couplings ±1, all biases small integers — and
+// builds its immutable compiled form (coupling signs, integer biases,
+// plane count) if so.
+func (s *Sampler) bitIntDetect() bool {
+	prog := s.prog
+	b := &s.bit
+	bound := 0
+	for i, h := range prog.H {
+		ih := int(h)
+		if float64(ih) != h {
+			return false // non-integer bias
+		}
+		if ih < 0 {
+			ih = -ih
+		}
+		if d := ih + prog.Degree(i); d > bound {
+			bound = d
+		}
+	}
+	for _, v := range prog.Val {
+		if v != 1 && v != -1 {
+			return false // non-unit coupling
+		}
+	}
+	// Two's complement planes covering [-B, B]: B ≤ 2^(P-1)−1.
+	planes := 1
+	for bound > 1<<(planes-1)-1 {
+		planes++
+	}
+	if planes > bitIntPlaneMax {
+		return false
+	}
+	b.jsign = make([]int8, len(prog.Val))
+	for k, v := range prog.Val {
+		b.jsign[k] = int8(v)
+	}
+	b.hint = make([]int32, len(prog.H))
+	for i, h := range prog.H {
+		b.hint[i] = int32(h)
+	}
+	b.planes = planes
+	b.bound = int32(bound)
+	b.intOK = true
+	return true
+}
+
+// bitInitPlanes computes the bit-sliced fields of every active spin from
+// the packed initial state — f = h + Σ_j J_ij·s_j per replica — entirely in
+// plane arithmetic: the bias broadcasts its two's complement bits to all 64
+// replicas, and each neighbor contributes +J on the replicas where its spin
+// bit is set and −J where it is clear, applied as masked ±1 carry/borrow
+// chains. O(P·|E|) instead of the O(64·|E|) scalar transpose.
+func (s *Sampler) bitInitPlanes() {
+	prog := s.prog
+	b := &s.bit
+	P := b.planes
+	n := prog.Dim()
+	if cap(b.fplanes) < n*P {
+		b.fplanes = make([]uint64, n*P)
+	}
+	b.fplanes = b.fplanes[:n*P]
+	clear(b.fplanes)
+	words := b.words
+	for _, i := range prog.Active {
+		var f [bitIntPlaneMax]uint64
+		uh := uint64(int64(b.hint[i]))
+		for p := 0; p < P; p++ {
+			f[p] = -(uh >> uint(p) & 1) // broadcast bit p of h to all replicas
+		}
+		for k := prog.RowPtr[i]; k < prog.RowPtr[i+1]; k++ {
+			w := words[prog.Col[k]]
+			up, down := w, ^w // +J where the neighbor spin is +1, −J where −1
+			if b.jsign[k] < 0 {
+				up, down = down, up
+			}
+			for p := 0; p < P && up != 0; p++ { // += 1 on up: carry chain
+				t := f[p]
+				f[p] = t ^ up
+				up &= t
+			}
+			for p := 0; p < P && down != 0; p++ { // −= 1 on down: borrow chain
+				t := f[p]
+				f[p] = t ^ down
+				down &= ^t
+			}
+		}
+		copy(b.fplanes[int(i)*P:int(i)*P+P], f[:P])
+	}
+}
+
+// acceptMaskInt decides one proposal for all 64 replicas from the field
+// planes of the proposed spin: bit r set ⇔ replica r accepts, i.e.
+// k_r = −s_r·f_r ≤ kmax. Both sign-split comparisons run as carry-only
+// ripples against a constant in P+1-bit precision (sign plane extended),
+// so neither can wrap. w is the packed spin word (bit set ⇔ s = +1).
+func acceptMaskInt(row []uint64, w uint64, kmax int) uint64 {
+	P := len(row)
+	sign := row[P-1]
+	c1 := uint64(int64(kmax))      // f ≥ −kmax  ⇔ ¬sign(f + kmax)
+	c2 := uint64(int64(-1 - kmax)) // f ≤ kmax ⇔ sign(f + (−kmax−1))
+	var g, l uint64
+	for p, f := range row {
+		m1 := -(c1 >> uint(p) & 1)
+		g = (f & g) | (m1 & (f | g))
+		m2 := -(c2 >> uint(p) & 1)
+		l = (f & l) | (m2 & (f | l))
+	}
+	ge := ^(sign ^ -(c1 >> uint(P) & 1) ^ g)
+	le := sign ^ -(c2 >> uint(P) & 1) ^ l
+	return (ge & w) | (le &^ w)
+}
+
+// addTwoMasked adds 2 to the field of every replica in mask m: a carry
+// chain entering at plane 1. The true field always stays within [−B, B],
+// so the mod-2^P wrap of the chain never misrepresents it.
+func addTwoMasked(row []uint64, m uint64) {
+	for p := 1; p < len(row); p++ {
+		t := row[p]
+		row[p] = t ^ m
+		m &= t
+		if m == 0 {
+			return
+		}
+	}
+}
+
+// subTwoMasked subtracts 2 from the field of every replica in mask m: the
+// matching borrow chain.
+func subTwoMasked(row []uint64, m uint64) {
+	for p := 1; p < len(row); p++ {
+		t := row[p]
+		row[p] = t ^ m
+		m &= ^t
+		if m == 0 {
+			return
+		}
+	}
+}
+
+// runWordsInt is the bit-sliced sweep loop: identical structure, schedule,
+// and RNG consumption to runWords (same per-block threshold refills), with
+// the per-word decision and field maintenance in plane arithmetic. The
+// shared threshold becomes the integer acceptance level kmax once per
+// proposal; neighbor updates apply ΔF = −2·s_i·J = ±2 to every accepted
+// replica through one masked carry or borrow chain per neighbor.
+func (s *Sampler) runWordsInt(kr *kernelRand) {
+	prog := s.prog
+	b := &s.bit
+	words, planes, P := b.words, b.fplanes, b.planes
+	active := prog.Active
+	blockLen := min(bitBlock, len(active))
+	if cap(s.thr) < blockLen {
+		s.thr = make([]float64, blockLen)
+	}
+	thrBuf := s.thr[:blockLen]
+	rowPtr, col, jsign := prog.RowPtr, prog.Col, b.jsign
+	bound := int(b.bound)
+	for _, beta := range s.betas {
+		invB := 1 / beta
+		for blk := 0; blk < len(active); blk += bitBlock {
+			end := min(blk+bitBlock, len(active))
+			bt := thrBuf[:end-blk]
+			kr.fillExp(bt, invB)
+			for ii, i := range active[blk:end] {
+				th := bt[ii]
+				// kmax = max{k : 2k < th}, by exact float compares; never
+				// below −1 (th ≥ 0 always beats the downhill 2k ≤ −2).
+				kmax := bound
+				for kmax >= 0 && th <= float64(2*kmax) {
+					kmax--
+				}
+				w := words[i]
+				acc := acceptMaskInt(planes[int(i)*P:int(i)*P+P:int(i)*P+P], w, kmax)
+				if acc == 0 {
+					continue
+				}
+				words[i] = w ^ acc
+				ap := acc & w  // flipped from s = +1: field moves by −2J
+				am := acc &^ w // flipped from s = −1: field moves by +2J
+				for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+					row := planes[int(col[k])*P : int(col[k])*P+P : int(col[k])*P+P]
+					if jsign[k] > 0 {
+						if am != 0 {
+							addTwoMasked(row, am)
+						}
+						if ap != 0 {
+							subTwoMasked(row, ap)
+						}
+					} else {
+						if ap != 0 {
+							addTwoMasked(row, ap)
+						}
+						if am != 0 {
+							subTwoMasked(row, am)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// bitFieldInt reconstructs the integer field of replica r of spin i from
+// the planes (sign-extended from P bits).
+func (s *Sampler) bitFieldInt(i, r int) int64 {
+	b := &s.bit
+	P := b.planes
+	var uf uint64
+	for p := 0; p < P; p++ {
+		uf |= (b.fplanes[i*P+p] >> uint(r) & 1) << uint(p)
+	}
+	return int64(uf<<(64-uint(P))) >> (64 - uint(P))
+}
+
+// bitReadoutInt unpacks the first count replicas and evaluates their
+// energies exactly as bitReadout does — same formula, same per-replica
+// accumulation order over the active spins, term values identical (the
+// integer fields are exact in float64) — so both kernels emit byte-
+// identical SampleSets on qualifying programs. The accumulation runs
+// spin-outer so each plane row is loaded once, but energies[rr] still
+// receives its active-order terms in order, preserving the float sum.
+func (s *Sampler) bitReadoutInt(arena []int8, dim, count int, energies []float64) {
+	prog := s.prog
+	b := &s.bit
+	words, P := b.words, b.planes
+	for rr := 0; rr < count; rr++ {
+		dst := arena[rr*dim : (rr+1)*dim]
+		for i := range dst {
+			dst[i] = int8(int(words[i]>>uint(rr)&1)<<1 - 1)
+		}
+	}
+	ee := energies[:count]
+	for i := range ee {
+		ee[i] = 0
+	}
+	shift := 64 - uint(P)
+	for _, i := range prog.Active {
+		row := b.fplanes[int(i)*P : int(i)*P+P : int(i)*P+P]
+		h := prog.H[i]
+		nw := ^words[i]
+		for rr := range ee {
+			var uf uint64
+			for p, plane := range row {
+				uf |= (plane >> uint(rr) & 1) << uint(p)
+			}
+			t := h + float64(int64(uf<<shift)>>shift)
+			sb := (nw >> uint(rr)) & 1 // 1 ⇔ s = −1: flip the term's sign
+			ee[rr] += math.Float64frombits(math.Float64bits(t) ^ (sb << 63))
+		}
+	}
+	for rr := range ee {
+		ee[rr] = prog.Offset + 0.5*ee[rr]
+	}
+}

@@ -1,0 +1,340 @@
+package anneal
+
+// Multi-spin-coded (bit-parallel) Metropolis kernel.
+//
+// The scalar kernel in sampler.go anneals one replica at ~10 ns/proposal;
+// the next order of magnitude is word-level parallelism: 64 independent
+// replicas are packed one-bit-per-spin into a uint64 word per spin (bit r
+// set ⇔ spin of replica r is +1), so one pass over a coupling touches all
+// 64 replicas at once. Concretely, per word:
+//
+//   - the initial random state costs one 64-bit draw per spin instead of 64
+//     (bit r of the draw is replica r's spin);
+//   - sign application — s·f, ±J gathers, ±2J scatters — is a single XOR of
+//     the spin bit into the float64 sign bit, the XNOR-style coupling
+//     evaluation of classic multi-spin codes, with no per-replica branch;
+//   - one ziggurat acceptance threshold per proposal is shared by all 64
+//     replicas (the standard multi-spin-coding trade, cf. Isakov et al.'s
+//     an_ms annealers), so per-sweep threshold generation — the largest
+//     per-proposal cost the scalar kernel retains — is amortized 64×;
+//   - accepted flips are applied as one XOR of the accept mask, and field
+//     scatter visits only the set bits of that mask (popcount-bounded).
+//
+// Local fields stay per-replica float64s (couplings are continuous after
+// parameter setting, so bit-sliced integer fields are not available); they
+// live replica-major in 64-wide rows so each gather/scatter touches exactly
+// one contiguous 512-byte row. On bounded-degree working graphs (Chimera:
+// deg ≤ 6) the adjacency is compiled to the padded fixed-width form
+// (qubo.Compiled.FixedWidth), giving the gather/scatter loops a constant
+// trip count; hostile higher-degree models fall back to the CSR row walk.
+// The sweep traverses the active list in cache-sized blocks, refilling a
+// small L1-resident threshold buffer per block.
+//
+// Sharing one threshold across a word correlates the replicas of that word
+// (two replicas that ever reach the same state make identical decisions
+// from then on) but leaves each replica's marginal law exactly the scalar
+// Metropolis dynamics: per replica the thresholds are still i.i.d.
+// Exp(1)/β. Equivalence is testable bit-for-bit: given the same seed, the
+// word kernel consumes one 64-bit draw per active spin (initial state) and
+// then exactly the scalar kernel's per-sweep threshold stream, so replica
+// 63 reproduces the scalar annealInto trajectory spin-for-spin, and every
+// other replica matches a scalar run from its unpacked initial state (see
+// bitkernel_test.go).
+
+import (
+	"math"
+	"math/bits"
+)
+
+const (
+	// wordReplicas is the multi-spin coding width: replicas per machine word.
+	wordReplicas = 64
+	// bitMaxWidth bounds the fixed-width adjacency specialization; rows wider
+	// than this (degree > 8, i.e. beyond any Chimera working graph) walk the
+	// CSR form instead of paying the padding.
+	bitMaxWidth = 8
+	// bitBlock is the sweep cache-blocking factor: active spins are proposed
+	// in blocks of this many words so the block's threshold buffer (8·256 =
+	// 2 KB) stays L1-resident and its field rows (256·512 B = 128 KB) stay in
+	// L2 while the block is hot.
+	bitBlock = 256
+	// two64 is the float64 bit pattern of +2.0; XORing the pre-flip spin bit
+	// into its sign bit yields the field-update factor d = −2·s_old.
+	two64 = 0x4000000000000000
+)
+
+// bitState is the Sampler's multi-spin scratch: packed spins, per-replica
+// fields and the (lazily compiled, immutable once built) adjacency forms.
+// It is reused across anneals and reset by NewReader.
+type bitState struct {
+	words  []uint64  // packed spins, one word per spin, bit r set ⇔ s=+1
+	fields []float64 // per-replica local fields, row i at i*wordReplicas
+	cols   []int32   // fixed-width adjacency (nil: CSR fallback)
+	vals   []float64
+	width  int
+	built  bool
+
+	// Bit-sliced integer specialization (bitint.go), engaged when the
+	// program has unit couplings and small integer biases.
+	intOK   bool
+	planes  int      // bit-planes per field (two's complement width)
+	bound   int32    // static field bound B: |f_i^r| ≤ B always
+	jsign   []int8   // per CSR entry: coupling sign ±1
+	hint    []int32  // per spin: integer bias
+	fplanes []uint64 // bit-sliced fields, row i at i*planes, plane p = bit p
+}
+
+// wordParallel reports whether this sampler runs the multi-spin kernel.
+func (s *Sampler) wordParallel() bool { return s.opts.BitParallel }
+
+// annealWordInto runs one multi-spin anneal — 64 independent replicas from
+// random initial states, all driven by the single RNG stream of seed — and
+// unpacks the first count replicas into arena (count×dim int8 spins,
+// replica-major) with their energies in energies[:count]. It is the word
+// analogue of annealInto: collection derives one seed per 64-replica word.
+// Unit-coupling integer programs run on the bit-sliced kernel (bitint.go);
+// general continuous couplings on the per-replica float-field kernel. Both
+// consume the RNG stream identically and make bit-identical decisions.
+func (s *Sampler) annealWordInto(arena []int8, dim, count int, seed int64, energies []float64) {
+	kr := newKernelRand(seed)
+	s.bitBuild()
+	s.bitInitWords(&kr)
+	if s.bit.intOK {
+		s.bitInitPlanes()
+		s.runWordsInt(&kr)
+		s.bitReadoutInt(arena, dim, count, energies)
+		return
+	}
+	s.bitInitFields()
+	s.runWords(&kr)
+	s.bitReadout(arena, dim, count, energies)
+}
+
+// bitBuild compiles the (immutable once built) adjacency forms: the
+// bit-sliced integer specialization when the program qualifies, the padded
+// fixed-width float adjacency otherwise (nil on degree > bitMaxWidth,
+// leaving the CSR fallback).
+func (s *Sampler) bitBuild() {
+	b := &s.bit
+	if b.built {
+		return
+	}
+	b.built = true
+	if s.bitIntDetect() {
+		return
+	}
+	b.cols, b.vals, b.width, _ = s.prog.FixedWidth(bitMaxWidth)
+}
+
+// bitInitWords sizes the packed state and draws it: inactive spins are
+// frozen at +1 (all-ones words, mirroring the scalar kernel), each active
+// spin takes one 64-bit draw covering all 64 replicas. The draw order
+// matches annealInto's per-active-spin draws, so after bitInitWords the RNG
+// state — and therefore the subsequent threshold stream — is identical to a
+// scalar anneal from the same seed.
+func (s *Sampler) bitInitWords(kr *kernelRand) {
+	b := &s.bit
+	n := s.prog.Dim()
+	if cap(b.words) < n {
+		b.words = make([]uint64, n)
+	}
+	b.words = b.words[:n]
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	for _, i := range s.prog.Active {
+		b.words[i] = kr.next()
+	}
+}
+
+// bitInitFields computes the per-replica local fields of every active spin
+// from the packed state: f_i^r = h_i + Σ_j J_ij·s_j^r, the coupling sign
+// applied per replica by XORing the inverted spin bit into the float sign
+// bit (bit clear ⇔ s_j = −1 ⇔ flip). The accumulation order per row equals
+// Compiled.LocalField's CSR walk, so the fields match the scalar kernel's
+// bit-for-bit; padded fixed-width entries add ±0.
+func (s *Sampler) bitInitFields() {
+	prog := s.prog
+	b := &s.bit
+	n := prog.Dim()
+	if cap(b.fields) < n*wordReplicas {
+		b.fields = make([]float64, n*wordReplicas)
+	}
+	b.fields = b.fields[:n*wordReplicas]
+	words, fields := b.words, b.fields
+	for _, i := range prog.Active {
+		base := int(i) * wordReplicas
+		fi := fields[base : base+wordReplicas : base+wordReplicas]
+		h := prog.H[i]
+		for r := range fi {
+			fi[r] = h
+		}
+		if b.cols != nil {
+			kw := int(i) * b.width
+			for k := kw; k < kw+b.width; k++ {
+				vb := math.Float64bits(b.vals[k])
+				nw := ^words[b.cols[k]]
+				for r := 0; r < wordReplicas; r++ {
+					fi[r] += math.Float64frombits(vb ^ ((nw >> uint(r)) << 63))
+				}
+			}
+			continue
+		}
+		for k := prog.RowPtr[i]; k < prog.RowPtr[i+1]; k++ {
+			vb := math.Float64bits(prog.Val[k])
+			nw := ^words[prog.Col[k]]
+			for r := 0; r < wordReplicas; r++ {
+				fi[r] += math.Float64frombits(vb ^ ((nw >> uint(r)) << 63))
+			}
+		}
+	}
+}
+
+// runWords is the multi-spin Metropolis kernel: every sweep proposes each
+// active spin once, deciding all 64 replicas of that spin against one
+// shared threshold. The accept test reproduces the scalar predicate
+// exactly — accept ⇔ thr > ΔE_r = −2·s_r·f_r — via the sign-exactness of
+// float addition (fl(2·s·f + thr) is zero iff the exact sum is, and its
+// sign is always the exact sum's), evaluated branch-free into an accept
+// mask. Flips are applied with one XOR; field maintenance scatters
+// d·J = ±2J only for the mask's set bits.
+func (s *Sampler) runWords(kr *kernelRand) {
+	prog := s.prog
+	b := &s.bit
+	words, fields := b.words, b.fields
+	active := prog.Active
+	blockLen := min(bitBlock, len(active))
+	if cap(s.thr) < blockLen {
+		s.thr = make([]float64, blockLen)
+	}
+	thrBuf := s.thr[:blockLen]
+	fwCols, fwVals, width := b.cols, b.vals, b.width
+	rowPtr, csrCol, csrVal := prog.RowPtr, prog.Col, prog.Val
+	for _, beta := range s.betas {
+		invB := 1 / beta
+		for blk := 0; blk < len(active); blk += bitBlock {
+			end := min(blk+bitBlock, len(active))
+			bt := thrBuf[:end-blk]
+			kr.fillExp(bt, invB)
+			// Two copies of the proposal body: bounded-degree programs run
+			// the fixed-width gather, hostile shapes walk the CSR rows.
+			// Keep the bodies in sync.
+			if fwCols != nil {
+				for ii, i := range active[blk:end] {
+					th := bt[ii]
+					w := words[i]
+					fi := (*[wordReplicas]float64)(fields[int(i)*wordReplicas:])
+					acc := acceptMask(fi, w, th)
+					if acc == 0 {
+						continue
+					}
+					words[i] = w ^ acc
+					kw := int(i) * width
+					for k := kw; k < kw+width; k++ {
+						scatterRow(fields, int(fwCols[k]), fwVals[k], acc, w)
+					}
+				}
+				continue
+			}
+			for ii, i := range active[blk:end] {
+				th := bt[ii]
+				w := words[i]
+				fi := (*[wordReplicas]float64)(fields[int(i)*wordReplicas:])
+				acc := acceptMask(fi, w, th)
+				if acc == 0 {
+					continue
+				}
+				words[i] = w ^ acc
+				for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+					scatterRow(fields, int(csrCol[k]), csrVal[k], acc, w)
+				}
+			}
+		}
+	}
+}
+
+// acceptMask decides one proposal for all 64 replicas of a word: bit r of
+// the result is set iff replica r accepts the flip, i.e. th > ΔE_r,
+// evaluated branch-free on the bit pattern of diff = 2·s·f + th.
+//
+// Positivity test: diff > 0 ⇔ bits(diff) ∈ [1, 2⁶³), so ^(bits−1) has its
+// top bit set exactly for positive diff — PROVIDED diff is never −0
+// (bits = 2⁶³, which the interval test would misclassify). It is not:
+// thresholds are Exp(1)/β ∈ [+0, ∞), and an IEEE sum rounds to −0 only
+// when both addends are −0 (a nonzero exact sum in the subnormal range is
+// exact by Hauser's lemma, and an exactly-cancelling sum yields +0 under
+// round-to-nearest), so with th ≥ +0 the sum's −0 is unreachable.
+//
+// The mask is assembled with constant single-bit shifts instead of
+// variable shifts: each iteration retires bit 0 of the (inverted) spin
+// word into the float sign via nw<<63 and pushes the verdict in at bit 63,
+// so after 64 iterations verdict r sits at bit r.
+func acceptMask(fi *[wordReplicas]float64, w uint64, th float64) uint64 {
+	nw := ^w
+	var acc uint64
+	for r := 0; r < wordReplicas; r++ {
+		sf := math.Float64frombits(math.Float64bits(fi[r]) ^ (nw << 63))
+		nw >>= 1
+		ub := math.Float64bits(sf + sf + th)
+		acc = acc>>1 | (^(ub - 1) & (1 << 63))
+	}
+	return acc
+}
+
+// scatterRow applies the field updates of one neighbor row for every
+// accepted replica: f_j^r += −2·s_i^r·v for each set bit r of acc, the sign
+// taken from the pre-flip word w. Neighbor-outer order keeps all writes of
+// a call inside one contiguous 512-byte field row; splitting the mask by
+// pre-flip sign hoists the ±2v constant out of the per-replica loops
+// (x −= v2 is bit-identical to x += −v2, matching the scalar d·J update).
+func scatterRow(fields []float64, j int, v float64, acc, w uint64) {
+	fj := (*[wordReplicas]float64)(fields[j*wordReplicas:])
+	v2 := v + v
+	for a := acc & w; a != 0; a &= a - 1 { // replicas flipping from s = +1
+		fj[bits.TrailingZeros64(a)&63] -= v2
+	}
+	for a := acc &^ w; a != 0; a &= a - 1 { // replicas flipping from s = −1
+		fj[bits.TrailingZeros64(a)&63] += v2
+	}
+}
+
+// bitReadout unpacks the first count replicas into arena and evaluates
+// their energies from the maintained fields — the same
+// E = Offset + ½ Σ_i s_i·(h_i + f_i) identity as EnergyFromFields, summed
+// per replica over the active spins (frozen spins contribute nothing: they
+// have zero bias and no couplings).
+func (s *Sampler) bitReadout(arena []int8, dim, count int, energies []float64) {
+	prog := s.prog
+	words, fields := s.bit.words, s.bit.fields
+	for rr := 0; rr < count; rr++ {
+		dst := arena[rr*dim : (rr+1)*dim]
+		for i := range dst {
+			dst[i] = int8(int((words[i]>>uint(rr))&1)<<1 - 1)
+		}
+	}
+	for rr := range energies[:count] {
+		e := 0.0
+		for _, i := range prog.Active {
+			t := prog.H[i] + fields[int(i)*wordReplicas+rr]
+			sb := (^words[i] >> uint(rr)) & 1 // 1 ⇔ s = −1: flip the term's sign
+			e += math.Float64frombits(math.Float64bits(t) ^ (sb << 63))
+		}
+		energies[rr] = prog.Offset + 0.5*e
+	}
+}
+
+// wordEnergyDelta returns ΔE for flipping spin i in replica r of the packed
+// state — the multi-spin analogue of Compiled.EnergyDelta, used by the
+// equivalence and fuzz oracles. It reads the maintained fields (planes or
+// float rows, whichever kernel is engaged), so the init must have run.
+func (s *Sampler) wordEnergyDelta(i, r int) float64 {
+	f := 0.0
+	if s.bit.intOK {
+		f = float64(s.bitFieldInt(i, r))
+	} else {
+		f = s.bit.fields[i*wordReplicas+r]
+	}
+	sb := (^s.bit.words[i] >> uint(r)) & 1
+	sf := math.Float64frombits(math.Float64bits(f) ^ (sb << 63))
+	return -(sf + sf)
+}

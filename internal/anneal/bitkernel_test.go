@@ -1,0 +1,258 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"github.com/splitexec/splitexec/internal/graph"
+	"github.com/splitexec/splitexec/internal/qubo"
+)
+
+// randomContinuousIsing builds a bounded-degree model with Gaussian
+// couplings and biases — integrality never holds, so a BitParallel sampler
+// on it exercises the float word kernel rather than the bit-sliced one.
+func randomContinuousIsing(g *graph.Graph, rng *rand.Rand) *qubo.Ising {
+	m := qubo.RandomIsing(g, 1, 1, rng)
+	for i := range m.H {
+		m.H[i] = rng.NormFloat64()
+	}
+	for e := range m.J {
+		m.J[e] = rng.NormFloat64()
+	}
+	return m
+}
+
+// unpackReplica extracts replica r of the packed word state as ±1 spins.
+func unpackReplica(words []uint64, r int) []int8 {
+	spins := make([]int8, len(words))
+	for i, w := range words {
+		spins[i] = int8(int(w>>uint(r)&1)<<1 - 1)
+	}
+	return spins
+}
+
+// The multi-spin kernels consume the RNG stream exactly like the scalar
+// kernel — one draw per active spin at init, then the per-sweep threshold
+// stream — and replica r's initial spin is bit r of the init draw. Replica
+// 63 therefore reads the same initial state AND the same thresholds as a
+// scalar anneal from the same seed, and must reproduce its trajectory
+// spin-for-spin. This covers both word kernels: the ±J Chimera model runs
+// bit-sliced, the continuous-coupling models run the float word kernel
+// (fixed-width on bounded degree, CSR above it).
+func TestBitParallelReplica63MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	models := map[string]*qubo.Ising{
+		"chimera-pm1":     qubo.RandomIsing(graph.Chimera{M: 2, N: 2, L: 4}.Graph(), 1, 1, rng),
+		"continuous-fw":   randomContinuousIsing(graph.Chimera{M: 2, N: 2, L: 4}.Graph(), rng),
+		"continuous-csr":  randomContinuousIsing(graph.GNP(24, 0.6, rng), rng), // degree > 8: CSR fallback
+		"biased-integers": qubo.RandomIsing(graph.GNP(16, 0.3, rng), 1, 1, rng),
+	}
+	for name, m := range models {
+		bit := NewSampler(m, SamplerOptions{Sweeps: 96, BitParallel: true})
+		sc := NewSampler(m, SamplerOptions{Sweeps: 96})
+		switch name {
+		case "chimera-pm1", "biased-integers":
+			if !bit.bit.intOK {
+				t.Fatalf("%s: expected bit-sliced integer kernel", name)
+			}
+		case "continuous-csr":
+			if bit.bit.intOK || bit.bit.cols != nil {
+				t.Fatalf("%s: expected float CSR fallback", name)
+			}
+		default:
+			if bit.bit.intOK || bit.bit.cols == nil {
+				t.Fatalf("%s: expected float fixed-width kernel", name)
+			}
+		}
+		dim := m.Dim()
+		for _, seed := range []int64{1, 7, 424242} {
+			arena := make([]int8, wordReplicas*dim)
+			energies := make([]float64, wordReplicas)
+			bit.annealWordInto(arena, dim, wordReplicas, seed, energies)
+
+			ref := make([]int8, dim)
+			refE := sc.annealInto(ref, seed)
+			got := arena[63*dim : 64*dim]
+			if !slices.Equal(got, ref) {
+				t.Fatalf("%s seed %d: replica 63 diverged from scalar kernel", name, seed)
+			}
+			// The scalar kernel tracks energy incrementally across the
+			// anneal; the word kernels evaluate it from the final fields.
+			// Same value, different float accumulation order.
+			if math.Abs(energies[63]-refE) > 1e-8 {
+				t.Fatalf("%s seed %d: replica 63 energy %v, scalar %v", name, seed, energies[63], refE)
+			}
+			if refC := m.Energy(got); math.Abs(energies[63]-refC) > 1e-8 {
+				t.Fatalf("%s seed %d: energy %v, recomputed %v", name, seed, energies[63], refC)
+			}
+		}
+	}
+}
+
+// Every replica — not just 63 — must follow the scalar dynamics exactly:
+// given the word kernel's initial state for replica r and the shared
+// threshold stream (the kernelRand state right after init), the scalar
+// kernel must visit the same final spin state. This is the property that
+// pins the shared-threshold trade as exactly per-replica Metropolis.
+func TestBitParallelAllReplicasMatchScalarTrajectories(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	models := map[string]*qubo.Ising{
+		"chimera-pm1": qubo.RandomIsing(graph.Chimera{M: 2, N: 2, L: 4}.Graph(), 1, 1, rng),
+		"continuous":  randomContinuousIsing(graph.Chimera{M: 2, N: 2, L: 4}.Graph(), rng),
+	}
+	for name, m := range models {
+		bit := NewSampler(m, SamplerOptions{Sweeps: 48, BitParallel: true})
+		sc := NewSampler(m, SamplerOptions{Sweeps: 48})
+		dim := m.Dim()
+		const seed = 99
+		arena := make([]int8, wordReplicas*dim)
+		energies := make([]float64, wordReplicas)
+		bit.annealWordInto(arena, dim, wordReplicas, seed, energies)
+
+		// Reconstruct the post-init RNG state and initial packed words the
+		// word kernel saw (bitInitWords is deterministic in the seed).
+		kr := newKernelRand(seed)
+		words := make([]uint64, dim)
+		for i := range words {
+			words[i] = ^uint64(0)
+		}
+		for _, i := range bit.prog.Active {
+			words[i] = kr.next()
+		}
+		for r := 0; r < wordReplicas; r++ {
+			spins := unpackReplica(words, r)
+			krr := kr // value copy: every replica replays the same threshold stream
+			sc.run(spins, &krr)
+			if !slices.Equal(spins, arena[r*dim:(r+1)*dim]) {
+				t.Fatalf("%s: replica %d diverged from scalar trajectory", name, r)
+			}
+		}
+	}
+}
+
+// On qualifying ±J programs the bit-sliced and float word kernels must be
+// interchangeable to the byte: same spins and bit-identical energies (all
+// arithmetic on these models is exact integer work in both).
+func TestBitSlicedMatchesFloatWordKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	m := qubo.RandomIsing(graph.Chimera{M: 3, N: 3, L: 4}.Graph(), 1, 1, rng)
+	intS := NewSampler(m, SamplerOptions{Sweeps: 64, BitParallel: true})
+	if !intS.bit.intOK {
+		t.Fatal("expected bit-sliced kernel on a ±J Chimera program")
+	}
+	fltS := NewSampler(m, SamplerOptions{Sweeps: 64, BitParallel: true})
+	// Force the general float word kernel on the same program.
+	fltS.bit = bitState{built: true}
+	fltS.bit.cols, fltS.bit.vals, fltS.bit.width, _ = fltS.prog.FixedWidth(bitMaxWidth)
+
+	dim := m.Dim()
+	for _, seed := range []int64{3, 1729} {
+		aInt := make([]int8, wordReplicas*dim)
+		eInt := make([]float64, wordReplicas)
+		intS.annealWordInto(aInt, dim, wordReplicas, seed, eInt)
+		aFlt := make([]int8, wordReplicas*dim)
+		eFlt := make([]float64, wordReplicas)
+		fltS.annealWordInto(aFlt, dim, wordReplicas, seed, eFlt)
+		if !slices.Equal(aInt, aFlt) {
+			t.Fatalf("seed %d: bit-sliced and float word kernels disagree on spins", seed)
+		}
+		for r := range eInt {
+			if eInt[r] != eFlt[r] {
+				t.Fatalf("seed %d replica %d: energies %v != %v", seed, r, eInt[r], eFlt[r])
+			}
+		}
+	}
+}
+
+// The parallel-collection contract carries over to word collection: byte-
+// identical SampleSets at every worker count, including a partial trailing
+// word (reads not a multiple of 64), and read prefixes stable across read
+// counts.
+func TestBitParallelCollectDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for name, m := range map[string]*qubo.Ising{
+		"pm1":        qubo.RandomIsing(graph.Chimera{M: 2, N: 2, L: 4}.Graph(), 1, 1, rng),
+		"continuous": randomContinuousIsing(graph.Chimera{M: 2, N: 2, L: 4}.Graph(), rng),
+	} {
+		s := NewSampler(m, SamplerOptions{Sweeps: 32, BitParallel: true})
+		const seed, reads = 7, 130 // 2 full words + 2 reads of a third
+		ref := s.SampleParallel(reads, 1, seed)
+		for _, workers := range []int{2, 3, 8} {
+			got := s.SampleParallel(reads, workers, seed)
+			if len(got.Samples) != reads {
+				t.Fatalf("%s workers=%d: %d samples", name, workers, len(got.Samples))
+			}
+			for r := range ref.Samples {
+				if !slices.Equal(got.Samples[r].Spins, ref.Samples[r].Spins) ||
+					got.Samples[r].Energy != ref.Samples[r].Energy {
+					t.Fatalf("%s workers=%d: read %d differs", name, workers, r)
+				}
+			}
+		}
+		// Prefix stability: fewer reads must reproduce the same prefix.
+		short := s.SampleParallel(70, 4, seed)
+		for r := range short.Samples {
+			if !slices.Equal(short.Samples[r].Spins, ref.Samples[r].Spins) {
+				t.Fatalf("%s: read %d changed when the read count shrank", name, r)
+			}
+		}
+	}
+}
+
+// Fig. 9's observable is the per-read ground-state hit probability; the
+// word kernels must leave it statistically unchanged from the scalar
+// kernel. Each replica's marginal law is exactly scalar Metropolis (pinned
+// bit-for-bit by the trajectory tests above), but replicas within a word
+// share acceptance thresholds and are therefore positively correlated, so
+// the bit-side estimate is binomial only at the WORD level. The bound
+// below uses the worst case — whole words perfectly correlated — giving
+// standard error √(p(1−p)(1/n + 1/W)) for the gap; 5σ keeps the test
+// deterministic-in-practice while catching gross dynamics regressions.
+func TestBitParallelSuccessRateParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	m := qubo.RandomIsing(graph.Chimera{M: 1, N: 1, L: 4}.Graph(), 1, 1, rng)
+	_, e0 := m.BruteForce()
+	const words = 384
+	const reads = words * wordReplicas
+	hit := func(set *SampleSet) float64 {
+		n := 0
+		for _, smp := range set.Samples {
+			if smp.Energy <= e0+1e-9 {
+				n++
+			}
+		}
+		return float64(n) / float64(len(set.Samples))
+	}
+	sc := NewSampler(m, SamplerOptions{Sweeps: 8})
+	bit := NewSampler(m, SamplerOptions{Sweeps: 8, BitParallel: true})
+	pScalar := hit(sc.SampleParallel(reads, 4, 1001))
+	pBit := hit(bit.SampleParallel(reads, 4, 2002))
+	if pScalar <= 0.05 || pScalar >= 0.95 {
+		t.Fatalf("weak test point: scalar success rate %v; retune sweeps/instance", pScalar)
+	}
+	sigma := math.Sqrt(pScalar * (1 - pScalar) * (1.0/reads + 1.0/words))
+	if d := math.Abs(pBit - pScalar); d > 5*sigma {
+		t.Fatalf("success rates diverge: scalar %.4f, bit-parallel %.4f (|Δ| %.4f > 5σ = %.4f)",
+			pScalar, pBit, d, 5*sigma)
+	}
+}
+
+// Steady-state word collection must not allocate per read: the arena, the
+// samples and the energies are the only allocations, and reader scratch is
+// pooled.
+func TestBitParallelCollectAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	m := qubo.RandomIsing(graph.Chimera{M: 2, N: 2, L: 4}.Graph(), 1, 1, rng)
+	s := NewSampler(m, SamplerOptions{Sweeps: 16, BitParallel: true})
+	s.SampleParallel(128, 1, 5) // warm the scratch
+	allocs := testing.AllocsPerRun(5, func() {
+		s.SampleParallel(128, 1, 5)
+	})
+	// Arena + samples + energies + set header; anything growing with reads
+	// would blow well past this.
+	if allocs > 8 {
+		t.Fatalf("collection allocates %v objects per 128-read call", allocs)
+	}
+}

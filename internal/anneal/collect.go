@@ -42,6 +42,52 @@ func annealRead(a Annealer, dst []int8, seed int64) ([]int8, float64) {
 	return a.Anneal(parallel.NewRand(seed))
 }
 
+// wordAnnealer is the multi-spin fast path: annealers that run 64 packed
+// replicas per call (Sampler with SamplerOptions.BitParallel). The work
+// unit of collection becomes the 64-replica word: word w fills reads
+// [64w, 64w+63] from the stream parallel.DeriveSeed(seed, w).
+type wordAnnealer interface {
+	wordParallel() bool
+	annealWordInto(arena []int8, dim, count int, seed int64, energies []float64)
+}
+
+// collectWords fans words (not reads) across the worker pool. Read r still
+// always lands in slot r with a seed derived from its word index alone, so
+// the set is byte-identical at every worker count, and read prefixes are
+// stable across read counts just as in the scalar path.
+func collectWords(a Annealer, dim, reads, workers int, seed int64) *SampleSet {
+	numWords := (reads + wordReplicas - 1) / wordReplicas
+	samples := make([]Sample, reads)
+	arena := make([]int8, reads*dim)
+	energies := make([]float64, reads)
+	runWord := func(wd int, rd wordAnnealer) {
+		lo := wd * wordReplicas
+		count := min(wordReplicas, reads-lo)
+		rd.annealWordInto(arena[lo*dim:(lo+count)*dim], dim, count,
+			parallel.DeriveSeed(seed, wd), energies[lo:lo+count])
+	}
+	factory, reentrant := a.(ReaderFactory)
+	if workers <= 1 || numWords == 1 || !reentrant {
+		wa := a.(wordAnnealer)
+		for wd := 0; wd < numWords; wd++ {
+			runWord(wd, wa)
+		}
+	} else {
+		var pool sync.Pool
+		pool.New = func() any { return factory.NewReader() }
+		_ = parallel.ForEach(numWords, workers, func(wd int) error {
+			rd := pool.Get().(Annealer)
+			runWord(wd, rd.(wordAnnealer))
+			pool.Put(rd)
+			return nil
+		})
+	}
+	for r := range samples {
+		samples[r] = Sample{Spins: arena[r*dim : (r+1)*dim : (r+1)*dim], Energy: energies[r]}
+	}
+	return &SampleSet{Dim: dim, Samples: samples}
+}
+
 // Collect runs reads independent anneals of a on a model of dimension dim.
 // One rng.Int63() draw seeds the whole collection; each read then uses its
 // own derived stream, so the result equals CollectParallel at any worker
@@ -60,6 +106,9 @@ func Collect(a Annealer, dim, reads int, rng *rand.Rand) (*SampleSet, error) {
 func CollectParallel(a Annealer, dim, reads, workers int, seed int64) (*SampleSet, error) {
 	if reads < 1 {
 		return nil, fmt.Errorf("anneal: reads = %d, need >= 1", reads)
+	}
+	if wa, ok := a.(wordAnnealer); ok && wa.wordParallel() {
+		return collectWords(a, dim, reads, workers, seed), nil
 	}
 	samples := make([]Sample, reads)
 	arena := make([]int8, reads*dim)

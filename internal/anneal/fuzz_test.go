@@ -1,0 +1,117 @@
+package anneal
+
+import (
+	"math"
+	"slices"
+	"testing"
+
+	"github.com/splitexec/splitexec/internal/qubo"
+)
+
+// FuzzCompiledCSR feeds hostile model shapes — high-degree hubs past the
+// fixed-width cutoff, empty rows, duplicate edge declarations, mixed
+// integer and fractional coefficients — through compilation and both word
+// kernels, pinning three invariants:
+//
+//  1. FixedWidth either faithfully pads the CSR adjacency (row contents
+//     reproduce every LocalField exactly) or declines (ok=false) whenever
+//     any degree exceeds the width cap — never a silently truncated row.
+//  2. After a word anneal, wordEnergyDelta agrees with the scalar oracle
+//     Compiled.EnergyDelta on every active spin of every probed replica,
+//     whichever kernel (bit-sliced integer, float fixed-width, float CSR)
+//     the program selected.
+//  3. When the program qualifies for the bit-sliced kernel, forcing the
+//     float kernel on the same seed yields byte-identical spins and
+//     energies.
+func FuzzCompiledCSR(f *testing.F) {
+	// Seeds: a path with duplicates, a star hub past the width cap, an
+	// edgeless model, and a fractional-coefficient mix.
+	f.Add(int64(1), []byte{4, 0, 1, 1, 1, 2, 1, 0, 1, 2})
+	f.Add(int64(2), []byte{12, 0, 1, 0, 0, 2, 1, 0, 3, 2, 0, 4, 3, 0, 5, 0, 0, 6, 1, 0, 7, 2, 0, 8, 3, 0, 9, 0})
+	f.Add(int64(3), []byte{5})
+	f.Add(int64(4), []byte{6, 0, 1, 4, 1, 2, 5, 3, 4, 6})
+	f.Fuzz(func(t *testing.T, seed int64, data []byte) {
+		if len(data) == 0 {
+			t.Skip()
+		}
+		n := 2 + int(data[0])%19
+		m := qubo.NewIsing(n)
+		// Coefficient palette: unit couplings keep the bit-sliced kernel
+		// reachable, the rest push the float paths.
+		coeff := []float64{1, -1, 2, -3, 0.5, -0.75, 0}
+		body := data[1:]
+		for k := 0; k+2 < len(body); k += 3 {
+			u, v := int(body[k])%n, int(body[k+1])%n
+			if u == v {
+				m.H[u] = coeff[int(body[k+2])%len(coeff)]
+				continue
+			}
+			m.SetCoupling(u, v, coeff[int(body[k+2])%len(coeff)])
+		}
+
+		prog := qubo.Compile(m)
+		dim := prog.Dim()
+
+		// Invariant 1: the padded form is exact or refused, never lossy.
+		spins := make([]int8, dim)
+		for i := range spins {
+			spins[i] = int8(2*int(seed>>uint(i%63)&1) - 1)
+		}
+		cols, vals, width, ok := prog.FixedWidth(bitMaxWidth)
+		if ok != (prog.MaxDegree() <= bitMaxWidth) {
+			t.Fatalf("FixedWidth ok=%v with max degree %d, cap %d", ok, prog.MaxDegree(), bitMaxWidth)
+		}
+		if ok {
+			for i := 0; i < dim; i++ {
+				fw := prog.H[i]
+				for k := i * width; k < (i+1)*width; k++ {
+					fw += vals[k] * float64(spins[cols[k]])
+				}
+				if lf := prog.LocalField(spins, i); fw != lf {
+					t.Fatalf("padded row %d: field %v, CSR %v", i, fw, lf)
+				}
+			}
+		}
+
+		// Invariant 2: the maintained word fields back the same ΔE as the
+		// scalar oracle recomputing from CSR. Exact for integer programs;
+		// continuous ones accumulate in a different order, hence the
+		// scaled tolerance.
+		s := NewSampler(m, SamplerOptions{Sweeps: 4, BitParallel: true})
+		arena := make([]int8, wordReplicas*dim)
+		energies := make([]float64, wordReplicas)
+		s.annealWordInto(arena, dim, wordReplicas, seed, energies)
+		for _, r := range []int{0, 31, 63} {
+			rs := arena[r*dim : (r+1)*dim]
+			for _, i := range prog.Active {
+				got := s.wordEnergyDelta(int(i), r)
+				want := prog.EnergyDelta(rs, int(i))
+				tol := 1e-9 * (1 + math.Abs(want))
+				if s.bit.intOK && got != want {
+					t.Fatalf("replica %d spin %d: bit-sliced ΔE %v, oracle %v", r, i, got, want)
+				}
+				if math.Abs(got-want) > tol {
+					t.Fatalf("replica %d spin %d: ΔE %v, oracle %v", r, i, got, want)
+				}
+			}
+		}
+
+		// Invariant 3: kernel choice is invisible in the output.
+		if s.bit.intOK {
+			flt := NewSampler(m, SamplerOptions{Sweeps: 4, BitParallel: true})
+			flt.bit = bitState{built: true}
+			flt.bit.cols, flt.bit.vals, flt.bit.width, _ = flt.prog.FixedWidth(bitMaxWidth)
+			arenaF := make([]int8, wordReplicas*dim)
+			energiesF := make([]float64, wordReplicas)
+			flt.annealWordInto(arenaF, dim, wordReplicas, seed, energiesF)
+			if !slices.Equal(arena, arenaF) {
+				t.Fatal("bit-sliced and float word kernels disagree on spins")
+			}
+			for r := range energies {
+				if energies[r] != energiesF[r] {
+					t.Fatalf("replica %d: energies %v != %v across kernels", r, energies[r], energiesF[r])
+				}
+			}
+		}
+	})
+}

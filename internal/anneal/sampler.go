@@ -30,6 +30,15 @@ type SamplerOptions struct {
 	// BetaStart and BetaEnd define the geometric inverse-temperature
 	// schedule (defaults 0.1 → 10, scaled by the largest coefficient).
 	BetaStart, BetaEnd float64
+	// BitParallel selects the multi-spin-coded kernel (bitkernel.go): 64
+	// independent replicas packed one-bit-per-spin into uint64 words, one
+	// anneal per word. Collection then runs whole words — read r lands in
+	// replica r%64 of word r/64, seeded parallel.DeriveSeed(seed, r/64) —
+	// and stays byte-identical at any worker count. Opt-in: a word costs a
+	// fixed ~64-replica price, so it pays off when Eq. 6 plans tens of
+	// reads or more and wastes work below that (see docs/performance.md).
+	// Ignored by the SQA substrate.
+	BitParallel bool
 }
 
 func (o SamplerOptions) withDefaults(m *qubo.Ising) SamplerOptions {
@@ -61,6 +70,7 @@ type Sampler struct {
 	fields []float64 // scratch: incremental local fields, one per spin
 	m      []float64 // scratch: spins as ±1.0, the kernel's working state
 	thr    []float64 // scratch: per-sweep acceptance thresholds Exp(1)/β
+	bit    bitState  // scratch: multi-spin kernel state (BitParallel)
 }
 
 // NewSampler compiles the model for repeated annealing. Spins with zero bias
@@ -69,6 +79,11 @@ type Sampler struct {
 func NewSampler(m *qubo.Ising, opts SamplerOptions) *Sampler {
 	opts = opts.withDefaults(m)
 	s := &Sampler{prog: qubo.Compile(m), opts: opts}
+	if opts.BitParallel {
+		// Compile the word-kernel form once, up front: readers minted by
+		// NewReader then share it instead of rebuilding per worker.
+		s.bitBuild()
+	}
 	// Geometric β schedule.
 	s.betas = make([]float64, opts.Sweeps)
 	if opts.Sweeps == 1 {
@@ -96,6 +111,9 @@ func (s *Sampler) Program() *qubo.Compiled { return s.prog }
 func (s *Sampler) NewReader() Annealer {
 	c := *s
 	c.fields, c.m, c.thr = nil, nil, nil
+	// Readers share the (immutable once built) compiled adjacency forms but
+	// get their own packed state and field rows/planes.
+	c.bit.words, c.bit.fields, c.bit.fplanes = nil, nil, nil
 	return &c
 }
 

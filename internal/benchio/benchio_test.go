@@ -1,0 +1,162 @@
+package benchio
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rep := &Report{
+		Schema:       Schema,
+		GeneratedUTC: "2026-08-07T00:00:00Z",
+		Host:         CurrentHost(),
+		Results: []Result{
+			{Name: "kernel/metropolis/spins=128", Iterations: 100, NsPerOp: 80000, NsPerProposal: 9.5},
+			{Name: "success/scalar/sweeps=8", Iterations: 4096, SuccessRate: 0.42},
+		},
+	}
+	path := filepath.Join(dir, DefaultFilename(time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)))
+	if want := filepath.Join(dir, "BENCH_2026-08-07.json"); path != want {
+		t.Fatalf("DefaultFilename: %s", path)
+	}
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 2 || got.Results[0].NsPerProposal != 9.5 || got.Results[1].SuccessRate != 0.42 {
+		t.Fatalf("round trip mangled results: %+v", got.Results)
+	}
+	if got.Find("success/scalar/sweeps=8") == nil || got.Find("nope") != nil {
+		t.Fatal("Find misbehaves")
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	rep := &Report{Schema: Schema + 1, GeneratedUTC: "x"}
+	path := filepath.Join(dir, "BENCH_2026-01-01.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("expected a schema error")
+	}
+}
+
+func TestFindBaselinePicksNewest(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2026-01-02.json", "BENCH_2026-03-01.json", "BENCH_2025-12-31.json", "notes.txt"} {
+		rep := &Report{Schema: Schema}
+		if err := rep.WriteFile(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := FindBaseline(dir)
+	if filepath.Base(got) != "BENCH_2026-03-01.json" {
+		t.Fatalf("FindBaseline = %q", got)
+	}
+	if FindBaseline(t.TempDir()) != "" {
+		t.Fatal("expected no baseline in an empty dir")
+	}
+}
+
+func TestCompareFlagsSlowdownsOnly(t *testing.T) {
+	old := &Report{Schema: Schema, Results: []Result{
+		{Name: "a", NsPerOp: 100, NsPerProposal: 10},
+		{Name: "b", NsPerOp: 100},
+		{Name: "gone", NsPerOp: 1},
+		{Name: "s-ok", SuccessRate: 0.5},
+		{Name: "s-bad", SuccessRate: 0.5},
+	}}
+	new := &Report{Schema: Schema, Results: []Result{
+		{Name: "a", NsPerOp: 200, NsPerProposal: 20}, // 2x slower
+		{Name: "b", NsPerOp: 90},                     // faster
+		{Name: "fresh", NsPerOp: 5},
+		{Name: "s-ok", SuccessRate: 0.48},  // within the band
+		{Name: "s-bad", SuccessRate: 0.25}, // halved: regression
+	}}
+	deltas := Compare(old, new, 1.25)
+	if len(deltas) != 6 {
+		t.Fatalf("got %d deltas", len(deltas))
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["a"]; !d.Warn || d.Metric != "ns/proposal" || d.Ratio != 2 {
+		t.Fatalf("a: %+v", d)
+	}
+	if d := byName["b"]; d.Warn || d.Metric != "ns/op" {
+		t.Fatalf("b: %+v", d)
+	}
+	if byName["gone"].Missing != "new" || byName["fresh"].Missing != "old" {
+		t.Fatal("missing-side detection broken")
+	}
+	if d := byName["s-ok"]; d.Warn || d.Metric != "success" {
+		t.Fatalf("s-ok: %+v", d)
+	}
+	if d := byName["s-bad"]; !d.Warn || d.Metric != "success" {
+		t.Fatalf("s-bad: %+v", d)
+	}
+	if !AnyWarn(deltas) {
+		t.Fatal("AnyWarn should fire")
+	}
+
+	var sb strings.Builder
+	if err := WriteComparison(&sb, old, new, deltas); err != nil {
+		t.Fatal(err)
+	}
+	if out := sb.String(); !strings.Contains(out, "slower") || !strings.Contains(out, "ns/proposal") {
+		t.Fatalf("comparison table missing markers:\n%s", out)
+	}
+}
+
+// The full suite is exercised with a tiny time budget: every probe must
+// produce a result with sane metrics, and the two success-rate probes must
+// both see a nonzero ground-state rate on the one-cell instance.
+func TestSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite smoke is a second-scale test")
+	}
+	rep := Run(SuiteOptions{Time: 5 * time.Millisecond, Log: t.Logf})
+	if rep.Schema != Schema || rep.GeneratedUTC == "" {
+		t.Fatal("header not populated")
+	}
+	want := []string{
+		"kernel/metropolis/spins=128",
+		"kernel/bitparallel/spins=128",
+		"kernel/bitparallel-float/spins=128",
+		"kernel/sqa/spins=32",
+		"device/execute/reads=64/workers=4",
+		"device/execute/reads=64/workers=4/bitparallel",
+		"success/scalar/sweeps=8",
+		"success/bitparallel/sweeps=8",
+	}
+	for _, name := range want {
+		r := rep.Find(name)
+		if r == nil {
+			t.Fatalf("suite missing %s", name)
+		}
+		if strings.HasPrefix(name, "success/") {
+			if r.SuccessRate <= 0 || r.SuccessRate > 1 {
+				t.Fatalf("%s: success rate %v", name, r.SuccessRate)
+			}
+			continue
+		}
+		if r.NsPerOp <= 0 || r.Iterations <= 0 {
+			t.Fatalf("%s: %+v", name, r)
+		}
+		if strings.HasPrefix(name, "kernel/") && r.NsPerProposal <= 0 {
+			t.Fatalf("%s: no ns/proposal", name)
+		}
+	}
+	if len(rep.Results) != len(want) {
+		t.Fatalf("suite emitted %d results, want %d", len(rep.Results), len(want))
+	}
+}

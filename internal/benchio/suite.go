@@ -1,0 +1,203 @@
+package benchio
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/anneal"
+	"github.com/splitexec/splitexec/internal/graph"
+	"github.com/splitexec/splitexec/internal/qubo"
+)
+
+// wordReplicas mirrors the multi-spin kernel's packing width (64 replicas
+// per uint64 word) for proposal accounting.
+const wordReplicas = 64
+
+// SuiteOptions tune the recorded suite.
+type SuiteOptions struct {
+	// Time is the minimum measured duration per benchmark (default 300ms).
+	// CI smoke runs use a small value; committed baselines the default.
+	Time time.Duration
+	// Log, when non-nil, receives one line per benchmark as it completes.
+	Log func(format string, args ...interface{})
+}
+
+func (o SuiteOptions) withDefaults() SuiteOptions {
+	if o.Time <= 0 {
+		o.Time = 300 * time.Millisecond
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...interface{}) {}
+	}
+	return o
+}
+
+// Run measures the kernel benchmark suite — the same hot paths as the
+// `go test -bench` microbenchmarks in internal/anneal, recorded into a
+// Report for the committed benchmark trajectory: the scalar Metropolis
+// kernel, both multi-spin word kernels (bit-sliced integer and float),
+// the SQA kernel, the parallel-read device path, and the Fig. 9
+// success-rate observable under both kernels.
+func Run(opts SuiteOptions) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{
+		Schema:       Schema,
+		GeneratedUTC: time.Now().UTC().Format(time.RFC3339),
+		Host:         CurrentHost(),
+	}
+	rng := rand.New(rand.NewSource(1))
+	chimera := func(cells int) *qubo.Ising {
+		g := graph.Chimera{M: cells, N: cells, L: 4}.Graph()
+		return qubo.RandomIsing(g, 1, 1, rand.New(rand.NewSource(1)))
+	}
+
+	// Scalar Metropolis kernel: one anneal per op, 64 sweeps.
+	{
+		m := chimera(4)
+		s := anneal.NewSampler(m, anneal.SamplerOptions{Sweeps: 64})
+		spins := make([]int8, m.Dim())
+		for i := range spins {
+			spins[i] = int8(2*(i%2) - 1)
+		}
+		r := measure("kernel/metropolis/spins=128", opts, func() {
+			s.AnnealFrom(spins, rng)
+		})
+		r.NsPerProposal = r.NsPerOp / float64(64*s.ActiveSpins())
+		rep.add(opts, r)
+	}
+
+	// Multi-spin word kernels through the public collection path: one op
+	// is a full 64-replica word. The ±1 Chimera program engages the
+	// bit-sliced integer kernel; Gaussian biases force the float kernel.
+	for _, bench := range []struct {
+		name  string
+		model func() *qubo.Ising
+	}{
+		{"kernel/bitparallel/spins=128", func() *qubo.Ising { return chimera(4) }},
+		{"kernel/bitparallel-float/spins=128", func() *qubo.Ising {
+			m := chimera(4)
+			hr := rand.New(rand.NewSource(5))
+			for i := range m.H {
+				m.H[i] = hr.NormFloat64()
+			}
+			return m
+		}},
+	} {
+		m := bench.model()
+		s := anneal.NewSampler(m, anneal.SamplerOptions{Sweeps: 64, BitParallel: true})
+		seed := int64(0)
+		r := measure(bench.name, opts, func() {
+			s.SampleParallel(wordReplicas, 1, seed)
+			seed++
+		})
+		r.NsPerProposal = r.NsPerOp / float64(64*wordReplicas*s.ActiveSpins())
+		rep.add(opts, r)
+	}
+
+	// Path-integral (SQA) kernel: 64 sweeps over 8 Trotter replicas.
+	{
+		m := chimera(2)
+		s := anneal.NewSQASampler(m, anneal.SQAOptions{Sweeps: 64, Replicas: 8})
+		r := measure("kernel/sqa/spins=32", opts, func() {
+			s.Anneal(rng)
+		})
+		r.NsPerProposal = r.NsPerOp / float64(64*8*s.ActiveSpins())
+		rep.add(opts, r)
+	}
+
+	// Device execute path: 64 reads fanned across 4 readout workers, with
+	// and without the word kernel underneath.
+	for _, bp := range []bool{false, true} {
+		name := "device/execute/reads=64/workers=4"
+		if bp {
+			name += "/bitparallel"
+		}
+		m := chimera(2)
+		d := anneal.NewDevice(anneal.DW2Timings(), anneal.SamplerOptions{Sweeps: 64, BitParallel: bp})
+		d.Workers = 4
+		d.Program(m)
+		r := measure(name, opts, func() {
+			if _, err := d.Execute(64, rng); err != nil {
+				panic(err)
+			}
+		})
+		rep.add(opts, r)
+	}
+
+	// Fig. 9 observable: per-read ground-state probability on a one-cell
+	// spin glass, scalar vs word kernel. Not a timing probe — the pair
+	// documents that the kernel swap leaves the physics unchanged.
+	{
+		m := chimera(1)
+		_, e0 := m.BruteForce()
+		const reads = 64 * wordReplicas
+		hit := func(set *anneal.SampleSet) float64 {
+			n := 0
+			for _, smp := range set.Samples {
+				if smp.Energy <= e0+1e-9 {
+					n++
+				}
+			}
+			return float64(n) / float64(len(set.Samples))
+		}
+		for _, bp := range []bool{false, true} {
+			name := "success/scalar/sweeps=8"
+			if bp {
+				name = "success/bitparallel/sweeps=8"
+			}
+			s := anneal.NewSampler(m, anneal.SamplerOptions{Sweeps: 8, BitParallel: bp})
+			r := Result{Name: name, Iterations: reads, SuccessRate: hit(s.SampleParallel(reads, 4, 1001))}
+			rep.add(opts, r)
+		}
+	}
+	return rep
+}
+
+func (r *Report) add(opts SuiteOptions, res Result) {
+	r.Results = append(r.Results, res)
+	if res.NsPerProposal > 0 {
+		opts.Log("%-44s %12.1f ns/op  %8.3f ns/proposal  %6d allocs/op", res.Name, res.NsPerOp, res.NsPerProposal, res.AllocsPerOp)
+	} else if res.SuccessRate > 0 || res.NsPerOp == 0 {
+		opts.Log("%-44s success rate %.4f over %d reads", res.Name, res.SuccessRate, res.Iterations)
+	} else {
+		opts.Log("%-44s %12.1f ns/op  %6d allocs/op", res.Name, res.NsPerOp, res.AllocsPerOp)
+	}
+}
+
+// measure times fn with a doubling-iteration loop until the measured run
+// lasts at least opts.Time, reporting the final run's per-op time and
+// per-op heap allocations (mallocs delta — best-effort, matching what
+// -benchmem reports for single-goroutine bodies).
+func measure(name string, opts SuiteOptions, fn func()) Result {
+	fn() // warm caches and scratch out of the measurement
+	var ms0, ms1 runtime.MemStats
+	iters := 1
+	for {
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		if elapsed >= opts.Time || iters >= 1<<30 {
+			perOp := float64(elapsed.Nanoseconds()) / float64(iters)
+			return Result{
+				Name:        name,
+				Iterations:  iters,
+				NsPerOp:     perOp,
+				AllocsPerOp: int64(ms1.Mallocs-ms0.Mallocs) / int64(iters),
+				BytesPerOp:  int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(iters),
+			}
+		}
+		// Grow toward the target in one or two more runs.
+		next := iters * 2
+		if elapsed > 0 {
+			if est := int(float64(iters) * 1.2 * float64(opts.Time) / float64(elapsed)); est > next {
+				next = est
+			}
+		}
+		iters = next
+	}
+}

@@ -47,6 +47,18 @@ func (s *Server) SetReadWorkers(n int) {
 	s.mu.Unlock()
 }
 
+// SetBitParallel switches the device's annealing kernel between the scalar
+// reference path and the multi-spin-coded word kernel (64 replicas per
+// uint64 word; see anneal.SamplerOptions.BitParallel). Takes effect on the
+// next program request; results for a given request seed are identical
+// either way, only the modeled device's throughput changes.
+func (s *Server) SetBitParallel(on bool) {
+	s.mu.Lock()
+	s.Opts.BitParallel = on
+	s.device.Opts.BitParallel = on
+	s.mu.Unlock()
+}
+
 // Listen binds addr (e.g. "127.0.0.1:0") and serves until Close. It returns
 // once the listener is bound; serving continues in the background.
 func (s *Server) Listen(addr string) (net.Addr, error) {

@@ -67,6 +67,54 @@ func (c *Compiled) Dim() int { return len(c.H) }
 // Degree returns the number of couplings incident to spin i.
 func (c *Compiled) Degree(i int) int { return int(c.RowPtr[i+1] - c.RowPtr[i]) }
 
+// MaxDegree returns the largest number of couplings incident to any spin
+// (0 for edgeless models). Hardware working graphs are bounded-degree —
+// Chimera couples each qubit to at most L+2 = 6 others — which is what makes
+// the fixed-width adjacency form below viable.
+func (c *Compiled) MaxDegree() int {
+	maxDeg := 0
+	for i := range c.H {
+		if d := c.Degree(i); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return maxDeg
+}
+
+// FixedWidth returns a padded row-major copy of the CSR adjacency: the
+// neighbors of spin i are cols[i*width:(i+1)*width] with couplings at the
+// same offsets in vals, short rows padded with (i, 0) self-entries that are
+// arithmetic no-ops under both gather (adds ±0) and scatter (adds ±2·0).
+// Every row then has the same constant trip count with no row-pointer
+// loads, which is what the multi-spin annealing kernel's gather/scatter
+// loops want on bounded-degree graphs. ok is false when the max degree
+// exceeds maxWidth (the padding would outweigh the saved pointer chasing);
+// callers fall back to the CSR form.
+func (c *Compiled) FixedWidth(maxWidth int) (cols []int32, vals []float64, width int, ok bool) {
+	width = c.MaxDegree()
+	if width > maxWidth {
+		return nil, nil, width, false
+	}
+	if width == 0 {
+		width = 1 // degenerate edgeless model: one padded no-op per row
+	}
+	n := len(c.H)
+	cols = make([]int32, n*width)
+	vals = make([]float64, n*width)
+	for i := 0; i < n; i++ {
+		k := i * width
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			cols[k] = c.Col[p]
+			vals[k] = c.Val[p]
+			k++
+		}
+		for ; k < (i+1)*width; k++ {
+			cols[k] = int32(i)
+		}
+	}
+	return cols, vals, width, true
+}
+
 // LocalField returns h_i + Σ_j J_ij·s_j, the effective field on spin i.
 func (c *Compiled) LocalField(s []int8, i int) float64 {
 	f := c.H[i]

@@ -114,3 +114,79 @@ func TestCompileEmptyAndFrozenModels(t *testing.T) {
 		t.Fatalf("frozen energy = %v", e)
 	}
 }
+
+// FixedWidth must be a lossless re-layout: on bounded-degree graphs every
+// padded row reproduces LocalField exactly (self-entries with zero
+// coupling are arithmetic no-ops), and it must refuse — not truncate —
+// graphs whose degree exceeds the cap.
+func TestFixedWidthPadsLosslessly(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.Chimera{M: 3, N: 3, L: 4}.Graph() // interior cells reach degree 6
+	m := RandomIsing(g, 1, 1, rng)
+	c := Compile(m)
+	if got := c.MaxDegree(); got != 6 {
+		t.Fatalf("Chimera max degree %d, want 6", got)
+	}
+	cols, vals, width, ok := c.FixedWidth(8)
+	if !ok || width != 6 {
+		t.Fatalf("FixedWidth: ok=%v width=%d", ok, width)
+	}
+	if len(cols) != c.Dim()*width || len(vals) != len(cols) {
+		t.Fatalf("layout: %d cols, %d vals, want %d", len(cols), len(vals), c.Dim()*width)
+	}
+	for trial := 0; trial < 10; trial++ {
+		s := randomSpins(c.Dim(), rng)
+		for i := 0; i < c.Dim(); i++ {
+			f := c.H[i]
+			for k := i * width; k < (i+1)*width; k++ {
+				f += vals[k] * float64(s[cols[k]])
+			}
+			if want := c.LocalField(s, i); f != want {
+				t.Fatalf("row %d: padded field %v, CSR %v", i, f, want)
+			}
+		}
+	}
+	// Padding entries must be (i, 0) self-references.
+	for i := 0; i < c.Dim(); i++ {
+		for k := i*width + c.Degree(i); k < (i+1)*width; k++ {
+			if cols[k] != int32(i) || vals[k] != 0 {
+				t.Fatalf("row %d pad slot %d: (%d, %v)", i, k, cols[k], vals[k])
+			}
+		}
+	}
+}
+
+func TestFixedWidthRefusesHighDegree(t *testing.T) {
+	m := NewIsing(10)
+	for j := 1; j < 10; j++ {
+		m.SetCoupling(0, j, 1) // star: hub degree 9
+	}
+	c := Compile(m)
+	if got := c.MaxDegree(); got != 9 {
+		t.Fatalf("max degree %d, want 9", got)
+	}
+	if cols, _, width, ok := c.FixedWidth(8); ok || cols != nil || width != 9 {
+		t.Fatalf("FixedWidth accepted degree 9 under cap 8 (ok=%v width=%d)", ok, width)
+	}
+	if _, _, width, ok := c.FixedWidth(9); !ok || width != 9 {
+		t.Fatalf("FixedWidth refused degree 9 under cap 9 (ok=%v width=%d)", ok, width)
+	}
+}
+
+func TestFixedWidthEdgelessModel(t *testing.T) {
+	m := NewIsing(3)
+	m.H[1] = 2 // one active, zero-degree spin
+	c := Compile(m)
+	if got := c.MaxDegree(); got != 0 {
+		t.Fatalf("max degree %d, want 0", got)
+	}
+	cols, vals, width, ok := c.FixedWidth(8)
+	if !ok || width != 1 {
+		t.Fatalf("edgeless: ok=%v width=%d, want a single no-op slot", ok, width)
+	}
+	for i := 0; i < 3; i++ {
+		if cols[i] != int32(i) || vals[i] != 0 {
+			t.Fatalf("row %d: (%d, %v), want self no-op", i, cols[i], vals[i])
+		}
+	}
+}
