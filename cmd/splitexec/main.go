@@ -13,6 +13,14 @@
 //
 //	splitexec serve -addr :7464 -hosts 4 -devices 1
 //
+// The route subcommand federates several serve instances behind one
+// consistent-hash sharded front end speaking the same wire protocol
+// (docs/cluster.md): QUBO jobs shard by embedding-cache key, profile jobs
+// by class, backlogged shards shed work to the shortest queue, and health
+// checks evict dead shards so their traffic re-dispatches:
+//
+//	splitexec route -addr :7465 -shards 127.0.0.1:7464,127.0.0.1:7466
+//
 // The simulate, loadgen and plan subcommands drive the open-system
 // workload engine from a declarative scenario file (docs/workloads.md):
 // simulate runs the discrete-event simulator in virtual time, loadgen
@@ -62,6 +70,9 @@ func main() {
 		switch os.Args[1] {
 		case "serve":
 			runServe(os.Args[2:])
+			return
+		case "route":
+			runRoute(os.Args[2:])
 			return
 		case "simulate":
 			runSimulate(os.Args[2:])

@@ -17,7 +17,7 @@ import (
 // runPlan is the `splitexec plan` subcommand: the SLO-driven capacity
 // planner. It inverts the workload engine — given a scenario and a target
 // (p99/mean sojourn, utilization ceilings), it searches
-// {hosts × topology × policy} with the discrete-event simulator and prints
+// {shards × hosts × topology × policy} with the discrete-event simulator and prints
 // the cheapest configuration that meets the SLO, together with the
 // next-cheaper neighbor that does not.
 func runPlan(args []string) {
@@ -30,6 +30,7 @@ func runPlan(args []string) {
 		maxHost      = fs.Float64("maxhostbusy", 0, "host utilization ceiling in (0,1] (0 = unconstrained)")
 		maxQPU       = fs.Float64("maxqpubusy", 0, "QPU utilization ceiling in (0,1] (0 = unconstrained)")
 		hostsFlag    = fs.String("hosts", "1:16", "candidate host counts: comma list and/or a:b ranges (e.g. 1,2,4:8)")
+		shardsFlag   = fs.String("shards", "", "candidate shard counts, same syntax as -hosts (default: the scenario's topology)")
 		kindsFlag    = fs.String("kinds", "", "comma-separated deployment kinds to search (default: the scenario's)")
 		policiesFlag = fs.String("policies", "", "comma-separated policies to search, or \"all\" (default: the scenario's)")
 		jobs         = fs.Int("jobs", 0, "override the job horizon for the planning simulations (p99 needs >= ~1e4)")
@@ -45,6 +46,13 @@ func runPlan(args []string) {
 		log.Fatalf("splitexec plan: %v", err)
 	}
 	space := plan.Space{Hosts: hosts}
+	if *shardsFlag != "" {
+		shards, err := parseHosts(*shardsFlag)
+		if err != nil {
+			log.Fatalf("splitexec plan: -shards: %v", err)
+		}
+		space.Shards = shards
+	}
 	if *kindsFlag != "" {
 		space.Kinds = strings.Split(*kindsFlag, ",")
 	}
@@ -80,14 +88,14 @@ func runPlan(args []string) {
 	fmt.Printf("scenario: %s — planned over %d candidates in %v\n\n",
 		name(sc), len(p.Evaluated), wall.Round(time.Millisecond))
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "  kind\tpolicy\thosts\tqpus\tcost\tp99 sojourn\tmean sojourn\thost util\tqpu util\tverdict\n")
+	fmt.Fprintf(w, "  kind\tpolicy\tshards\thosts\tqpus\tcost\tp99 sojourn\tmean sojourn\thost util\tqpu util\tverdict\n")
 	for _, c := range p.Evaluated {
 		verdict := "meets SLO"
 		if !c.Meets {
 			verdict = strings.Join(c.Unmet, "; ")
 		}
-		fmt.Fprintf(w, "  %s\t%s\t%d\t%d\t%.1f\t%v\t%v\t%.2f\t%.2f\t%s\n",
-			c.Kind, c.Policy, c.Hosts, c.QPUs, c.Cost,
+		fmt.Fprintf(w, "  %s\t%s\t%d\t%d\t%d\t%.1f\t%v\t%v\t%.2f\t%.2f\t%s\n",
+			c.Kind, c.Policy, c.Shards, c.Hosts, c.QPUs, c.Cost,
 			c.Result.Sojourn.P99.Round(time.Microsecond),
 			c.Result.Sojourn.Mean.Round(time.Microsecond),
 			c.Result.HostBusy, c.Result.QPUBusy, verdict)
@@ -98,8 +106,8 @@ func runPlan(args []string) {
 		fmt.Println("no configuration in the search space meets the target")
 		os.Exit(1)
 	}
-	fmt.Printf("cheapest satisfying configuration: %s/%s hosts=%d qpus=%d (cost %.1f, p99 %v)\n",
-		p.Best.Kind, p.Best.Policy, p.Best.Hosts, p.Best.QPUs, p.Best.Cost,
+	fmt.Printf("cheapest satisfying configuration: %s/%s shards=%d hosts=%d qpus=%d (cost %.1f, p99 %v)\n",
+		p.Best.Kind, p.Best.Policy, p.Best.Shards, p.Best.Hosts, p.Best.QPUs, p.Best.Cost,
 		p.Best.Result.Sojourn.P99.Round(time.Microsecond))
 	if p.Best.Analytic != nil {
 		fmt.Printf("  M/M/c cross-check: rho=%.3f, analytic mean sojourn %v vs simulated %v\n",
@@ -107,8 +115,8 @@ func runPlan(args []string) {
 			p.Best.Result.Sojourn.Mean.Round(time.Microsecond))
 	}
 	if p.NextCheaper != nil {
-		fmt.Printf("  next-cheaper neighbor fails: %s/%s hosts=%d (cost %.1f) — %s\n",
-			p.NextCheaper.Kind, p.NextCheaper.Policy, p.NextCheaper.Hosts,
+		fmt.Printf("  next-cheaper neighbor fails: %s/%s shards=%d hosts=%d (cost %.1f) — %s\n",
+			p.NextCheaper.Kind, p.NextCheaper.Policy, p.NextCheaper.Shards, p.NextCheaper.Hosts,
 			p.NextCheaper.Cost, strings.Join(p.NextCheaper.Unmet, "; "))
 	}
 }

@@ -18,13 +18,14 @@ func runStorm(args []string) {
 	var (
 		dir      = fs.String("dir", "scenarios", "scenario corpus directory (*.json; see docs/scenarios.md)")
 		quick    = fs.Bool("quick", false, "run only the cheapest scenario (CI smoke)")
+		scenario = fs.String("scenario", "", "run only the named corpus scenario (name or file)")
 		attempts = fs.Int("attempts", 3, "per-scenario live-replay attempts before failing the band check")
 		asJSON   = fs.Bool("json", false, "emit the pass/fail report as JSON instead of a table")
 		quiet    = fs.Bool("quiet", false, "suppress per-attempt progress lines")
 	)
 	fs.Parse(args)
 
-	opts := storm.Options{Dir: *dir, Quick: *quick, Attempts: *attempts}
+	opts := storm.Options{Dir: *dir, Quick: *quick, Scenario: *scenario, Attempts: *attempts}
 	if !*quiet && !*asJSON {
 		opts.Log = os.Stderr
 	}

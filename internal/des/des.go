@@ -15,6 +15,14 @@
 // construction. The QPU token queue itself stays FIFO under every policy,
 // matching the live fleet's channel semantics.
 //
+// Cluster scenarios (workload.ClusterSpec) replicate the deployment across
+// N shards behind the same consistent-hash ring the live router tier uses
+// (internal/ring): a job's class key resolves its home shard, a backlog
+// past the steal threshold diverts it to the least-loaded shard, and a
+// shard fault aborts the shard's in-flight jobs and re-dispatches them to
+// survivors against the scenario's retry budget — the simulator remains
+// the predictive twin of the federated system.
+//
 // Costs are O(events · log events) on a binary heap keyed by (time, push
 // sequence), so identical scenarios replay byte-identical event logs at any
 // GOMAXPROCS — millions of simulated arrivals take milliseconds, against
@@ -30,6 +38,7 @@ import (
 	"time"
 
 	"github.com/splitexec/splitexec/internal/arch"
+	"github.com/splitexec/splitexec/internal/ring"
 	"github.com/splitexec/splitexec/internal/sched"
 	"github.com/splitexec/splitexec/internal/stats"
 	"github.com/splitexec/splitexec/internal/workload"
@@ -41,6 +50,16 @@ type Options struct {
 	// (times in virtual nanoseconds). Identical scenario + seed produce
 	// byte-identical logs — the determinism regression anchor.
 	EventLog io.Writer
+}
+
+// ShardStats is one shard's slice of a cluster result.
+type ShardStats struct {
+	// Jobs counts completions dispatched to this shard (on their final,
+	// successful attempt).
+	Jobs    int                   `json:"jobs"`
+	Sojourn stats.DurationSummary `json:"sojourn"`
+	// ClassSojourn breaks the shard's sojourns down per mix class.
+	ClassSojourn []stats.DurationSummary `json:"classSojourn,omitempty"`
 }
 
 // Result aggregates one simulated scenario run.
@@ -64,6 +83,10 @@ type Result struct {
 	// latency between classes, fair share apportions it by weight.
 	ClassSojourn []stats.DurationSummary `json:"classSojourn,omitempty"`
 
+	// Shards breaks the run down per cluster shard (cluster scenarios
+	// only) — the per-shard view next to the aggregate above.
+	Shards []ShardStats `json:"shards,omitempty"`
+
 	// HostBusy and QPUBusy are utilization fractions: cumulative busy
 	// time over capacity × End.
 	HostBusy float64 `json:"hostBusy"`
@@ -75,10 +98,10 @@ type Result struct {
 	// never neither.
 	Admitted int `json:"admitted,omitempty"`
 	// Failed counts jobs lost to the fault regime: a fatal connection
-	// drop, or a retry budget exhausted by device deaths.
+	// drop, or a retry budget exhausted by device deaths or shard loss.
 	Failed int `json:"failed,omitempty"`
-	// Retries counts service attempts aborted by a device death and
-	// re-dispatched after the backoff.
+	// Retries counts service attempts aborted by a device death or a
+	// shard loss and re-dispatched after the backoff.
 	Retries int `json:"retries,omitempty"`
 	// Drops counts submission attempts lost to wire-path connection
 	// drops.
@@ -90,34 +113,38 @@ type Result struct {
 // event kinds, in the order they appear in event logs. The first five are
 // the fault-free lifecycle and their log lines are pinned byte-for-byte by
 // the determinism regressions; the fault kinds below only ever appear under
-// a non-nil Scenario.Faults.
+// a non-nil Scenario.Faults, and the shard kinds only in cluster runs.
 const (
-	evArrive  = iota // job enters the system
-	evStart          // a host picks the job up
-	evGrant          // the job acquires a QPU device
-	evRelease        // the job releases its device
-	evDone           // the job completes; its host frees
-	evDown           // a device dies (fault regime)
-	evUp             // a device revives (fault regime)
-	evDrop           // a submission attempt is lost on the wire
-	evAbort          // a device death aborts the job's in-flight service
-	evFail           // the job fails for good (budget exhausted)
+	evArrive    = iota // job enters the system
+	evStart            // a host picks the job up
+	evGrant            // the job acquires a QPU device
+	evRelease          // the job releases its device
+	evDone             // the job completes; its host frees
+	evDown             // a device dies (fault regime)
+	evUp               // a device revives (fault regime)
+	evDrop             // a submission attempt is lost on the wire
+	evAbort            // a device death aborts the job's in-flight service
+	evFail             // the job fails for good (budget exhausted)
+	evRoute            // a shard-loss re-dispatch lands after its backoff
+	evShardDown        // a whole shard dies (cluster fault)
+	evShardUp          // a dead shard rejoins
 )
 
-var evName = [...]string{"arrive", "start", "qpu+", "qpu-", "done", "down", "up", "drop", "abort", "fail"}
+var evName = [...]string{"arrive", "start", "qpu+", "qpu-", "done", "down", "up", "drop", "abort", "fail", "route", "sdown", "sup"}
 
 // event is one heap entry. Ties on time break on push sequence, so the
 // replay order — and therefore the event log — is fully deterministic.
 // Job events capture the job's attempt counter at push time: a device death
-// bumps the counter, which invalidates the aborted attempt's pending
-// release without having to dig it out of the heap. Device events carry dev
-// instead of a job.
+// or shard loss bumps the counter, which invalidates the aborted attempt's
+// pending events without having to dig them out of the heap. Device and
+// shard events carry (shard, dev) instead of a job.
 type event struct {
 	at      time.Duration
 	seq     int
 	kind    int
 	job     *job
 	attempt int
+	shard   int
 	dev     int
 }
 
@@ -149,9 +176,10 @@ type job struct {
 	done     time.Duration
 
 	client int // closed-loop submitter, else -1
+	shard  int // dispatched shard, -1 before routing
 
 	// Fault state: the deterministic drop plan still to realize, the
-	// attempt counter that invalidates aborted releases, the retry budget
+	// attempt counter that invalidates aborted events, the retry budget
 	// consumed, the device currently held, and accumulated QPU wait
 	// across attempts.
 	drops      int
@@ -161,6 +189,36 @@ type job struct {
 	retries    int
 	dev        int
 	qpuWaitAcc time.Duration
+}
+
+// simShard is one shard's mutable state: a full copy of the single-node
+// deployment — hosts, policy backlog, device pool, outage schedule.
+type simShard struct {
+	idx       int
+	up        bool
+	freeHosts int
+	// backlog holds jobs waiting for a host, ordered by the scenario's
+	// scheduling policy (sched.New is deterministic, so event logs stay
+	// byte-identical under every policy).
+	backlog sched.Queue[*job]
+	// hosted lists the jobs the shard's hosts are carrying, in pickup
+	// order — the set a shard death aborts deterministically.
+	hosted []*job
+
+	// Device pool: shared systems have one device, dedicated systems one
+	// per host. Fault-free dedicated runs always find a free device at
+	// request time (hosts == devices), so the pool reproduces the old
+	// token-bypass event times exactly; under a fault regime devices go
+	// down and jobs queue in qpuFIFO until one revives.
+	devUp     []bool
+	devFree   []int  // up, unheld devices, granted FIFO
+	devHolder []*job // device → in-service job
+	qpuFIFO   []*job // hosted jobs waiting for any device
+
+	// Device fault-schedule state, inert without Scenario.Faults.
+	devGen    []*workload.OutageGen
+	devOutage []workload.Outage // current outage per device
+	devDownAt []time.Duration
 }
 
 // sim is the mutable simulation state.
@@ -174,26 +232,16 @@ type sim struct {
 	seq  int
 	now  time.Duration
 
-	freeHosts int
-	// backlog holds jobs waiting for a host, ordered by the scenario's
-	// scheduling policy (sched.New is deterministic, so event logs stay
-	// byte-identical under every policy).
-	backlog sched.Queue[*job]
+	shards  []*simShard
+	cluster bool
+	steal   int
+	// rings caches the hash ring per shard-membership set (keyed by the
+	// up/down bit pattern) — membership changes at most twice per run.
+	rings map[string]*ring.Ring
+	// pending parks jobs that arrive while every shard is down; they
+	// re-route when one rejoins.
+	pending []*job
 
-	// Device pool: shared systems have one device, dedicated systems one
-	// per host. Fault-free dedicated runs always find a free device at
-	// request time (hosts == devices), so the pool reproduces the old
-	// token-bypass event times exactly; under a fault regime devices go
-	// down and jobs queue in qpuFIFO until one revives.
-	devUp     []bool
-	devFree   []int  // up, unheld devices, granted FIFO
-	devHolder []*job // device → in-service job
-	qpuFIFO   []*job // jobs waiting for any device
-
-	// Fault-schedule state, inert without Scenario.Faults.
-	devGen     []*workload.OutageGen
-	devOutage  []workload.Outage // current outage per device
-	devDownAt  []time.Duration
 	retryLimit int
 	backoff    time.Duration
 
@@ -208,7 +256,9 @@ type sim struct {
 	queueWait    []time.Duration
 	qpuWait      []time.Duration
 	sojourn      []time.Duration
-	classSojourn [][]time.Duration // indexed by mix class
+	classSojourn [][]time.Duration   // indexed by mix class
+	shardSojourn [][]time.Duration   // indexed by shard (cluster runs)
+	shardClass   [][][]time.Duration // shard → class → sojourns
 	hostBusy     time.Duration
 	qpuBusy      time.Duration
 	end          time.Duration
@@ -228,35 +278,56 @@ func Simulate(sc *workload.Scenario, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	shardCount := sc.ShardCount()
 	s := &sim{
 		sc:         sc,
 		sys:        sys,
 		opts:       opts,
-		freeHosts:  sys.Hosts,
-		backlog:    sched.New[*job](sc.Policy),
+		cluster:    shardCount > 1,
+		steal:      sc.StealThreshold(),
+		rings:      map[string]*ring.Ring{},
 		jobLimit:   sc.Horizon.Jobs,
 		timeLimit:  sc.Horizon.Duration.D(),
 		retryLimit: sc.RetryLimit(),
 		backoff:    sc.RetryBackoff(),
 	}
 	devs := sc.System.QPUs()
-	s.devUp = make([]bool, devs)
-	s.devHolder = make([]*job, devs)
-	s.devFree = make([]int, 0, devs)
-	for d := 0; d < devs; d++ {
-		s.devUp[d] = true
-		s.devFree = append(s.devFree, d)
-	}
-	if sc.HasDeviceFaults() {
-		s.devGen = make([]*workload.OutageGen, devs)
-		s.devOutage = make([]workload.Outage, devs)
-		s.devDownAt = make([]time.Duration, devs)
+	for x := 0; x < shardCount; x++ {
+		sh := &simShard{
+			idx:       x,
+			up:        true,
+			freeHosts: sys.Hosts,
+			backlog:   sched.New[*job](sc.Policy),
+			devUp:     make([]bool, devs),
+			devHolder: make([]*job, devs),
+			devFree:   make([]int, 0, devs),
+		}
 		for d := 0; d < devs; d++ {
-			s.devGen[d] = sc.OutageSource(d)
-			if o, ok := s.devGen[d].Next(); ok {
-				s.devOutage[d] = o
-				s.pushDev(o.At, evDown, d)
+			sh.devUp[d] = true
+			sh.devFree = append(sh.devFree, d)
+		}
+		if sc.HasDeviceFaults() {
+			sh.devGen = make([]*workload.OutageGen, devs)
+			sh.devOutage = make([]workload.Outage, devs)
+			sh.devDownAt = make([]time.Duration, devs)
+			for d := 0; d < devs; d++ {
+				// Global device numbering x·devs+d keeps the outage
+				// streams identical to the live fleet mapping (and to
+				// the historical single-shard streams when x == 0).
+				sh.devGen[d] = sc.OutageSource(x*devs + d)
+				if o, ok := sh.devGen[d].Next(); ok {
+					sh.devOutage[d] = o
+					s.pushDev(o.At, evDown, x, d)
+				}
 			}
+		}
+		s.shards = append(s.shards, sh)
+	}
+	if s.cluster && sc.HasShardFault() {
+		sf := sc.Faults.Shard
+		s.pushDev(sf.At.D(), evShardDown, sf.Shard, 0)
+		if sf.For > 0 {
+			s.pushDev(sf.At.D()+sf.For.D(), evShardUp, sf.Shard, 0)
 		}
 	}
 	if err := s.prime(); err != nil {
@@ -265,8 +336,8 @@ func Simulate(sc *workload.Scenario, opts Options) (*Result, error) {
 	for !s.heap.empty() {
 		e := heap.Pop(&s.heap).(*event)
 		if e.job == nil && s.live == 0 {
-			// Only the device-fault schedule remains and the workload
-			// is drained — no job can ever arrive again, so replaying
+			// Only the fault schedule remains and the workload is
+			// drained — no job can ever arrive again, so replaying
 			// further outages would just pad the log.
 			break
 		}
@@ -333,6 +404,7 @@ func (s *sim) admitLocked(off time.Duration, client int) bool {
 		profile: sample.Profile,
 		arrive:  off,
 		client:  client,
+		shard:   -1,
 		dev:     -1,
 	}
 	plan := s.sc.DropPlanFor(j.id)
@@ -355,24 +427,38 @@ func (s *sim) push(at time.Duration, kind int, j *job) {
 	heap.Push(&s.heap, e)
 }
 
-// pushDev schedules a device-fault event; dev events carry no job.
-func (s *sim) pushDev(at time.Duration, kind, dev int) {
+// pushDev schedules a device- or shard-fault event; they carry no job.
+func (s *sim) pushDev(at time.Duration, kind, shard, dev int) {
 	s.seq++
-	heap.Push(&s.heap, &event{at: at, seq: s.seq, kind: kind, dev: dev})
+	heap.Push(&s.heap, &event{at: at, seq: s.seq, kind: kind, shard: shard, dev: dev})
 }
 
 func (s *sim) log(kind int, j *job) {
 	if s.opts.EventLog == nil {
 		return
 	}
+	if s.cluster {
+		fmt.Fprintf(s.opts.EventLog, "%d %s job=%d class=%d shard=%d\n", s.now, evName[kind], j.id, j.class, j.shard)
+		return
+	}
 	fmt.Fprintf(s.opts.EventLog, "%d %s job=%d class=%d\n", s.now, evName[kind], j.id, j.class)
 }
 
-func (s *sim) logDev(kind, dev int) {
+func (s *sim) logDev(kind, shard, dev int) {
 	if s.opts.EventLog == nil {
 		return
 	}
+	if s.cluster {
+		fmt.Fprintf(s.opts.EventLog, "%d %s shard=%d dev=%d\n", s.now, evName[kind], shard, dev)
+		return
+	}
 	fmt.Fprintf(s.opts.EventLog, "%d %s dev=%d\n", s.now, evName[kind], dev)
+}
+
+func (s *sim) logShard(kind, shard int) {
+	if s.opts.EventLog != nil {
+		fmt.Fprintf(s.opts.EventLog, "%d %s shard=%d\n", s.now, evName[kind], shard)
+	}
 }
 
 func (s *sim) dispatch(e *event) {
@@ -392,18 +478,13 @@ func (s *sim) dispatch(e *event) {
 			s.log(evDrop, j)
 			s.drops++
 			if j.fatalDrop && j.drops == 0 {
-				s.failJob(j, false)
+				s.failJob(j, nil)
 			} else {
 				s.push(s.now+s.backoff, evArrive, j)
 			}
 		} else {
 			j.submitAt = s.now
-			if s.freeHosts > 0 {
-				s.freeHosts--
-				s.startJob(j)
-			} else {
-				s.backlog.Push(j, s.sc.SchedJob(workload.Job{Class: j.class, Profile: j.profile}))
-			}
+			s.routeJob(j)
 		}
 		// Keep exactly one pending open-process arrival in the heap.
 		if first && j.client < 0 {
@@ -414,11 +495,14 @@ func (s *sim) dispatch(e *event) {
 		// evStart events are synthesized inline by startJob; never queued.
 
 	case evGrant:
+		if e.attempt != j.attempt {
+			return // stale: a shard loss already aborted this attempt
+		}
 		// The job reached its QPU-request point (pre-process + request
 		// network done, or a retry backoff expired). Devices grant FIFO;
 		// fault-free dedicated systems always have one free here.
 		j.reqAt = s.now
-		s.tryGrant(j)
+		s.tryGrant(s.shards[j.shard], j)
 
 	case evRelease:
 		if e.attempt != j.attempt {
@@ -426,90 +510,260 @@ func (s *sim) dispatch(e *event) {
 		}
 		s.log(evRelease, j)
 		s.qpuBusy += s.now - j.qpuGrant
+		sh := s.shards[j.shard]
 		dev := j.dev
-		s.devHolder[dev] = nil
+		sh.devHolder[dev] = nil
 		j.dev = -1
 		// Completion: response network + post-process.
 		s.push(s.now+j.profile.Network+j.profile.PostProcess, evDone, j)
-		s.serveOrFree(dev)
+		s.serveOrFree(sh, dev)
 
 	case evDone:
+		if e.attempt != j.attempt {
+			return // stale: a shard loss aborted the post-processing host
+		}
 		s.log(evDone, j)
 		j.done = s.now
 		s.complete(j)
-		if next, ok := s.backlog.Pop(); ok {
-			s.startJob(next)
+		sh := s.shards[j.shard]
+		sh.removeHosted(j)
+		if next, ok := sh.backlog.Pop(); ok {
+			s.startJob(sh, next)
 		} else {
-			s.freeHosts++
+			sh.freeHosts++
 		}
 		// Closed loop: the client thinks, then submits its next job.
 		if j.client >= 0 {
 			s.admitLocked(s.now+s.sc.Arrival.Think.D(), j.client)
 		}
 
+	case evRoute:
+		// A shard-loss re-dispatch: the backoff elapsed, route again.
+		s.routeJob(j)
+
 	case evDown:
+		sh := s.shards[e.shard]
 		dev := e.dev
-		s.devUp[dev] = false
-		s.devDownAt[dev] = s.now
-		s.logDev(evDown, dev)
-		if h := s.devHolder[dev]; h != nil {
+		sh.devUp[dev] = false
+		sh.devDownAt[dev] = s.now
+		s.logDev(evDown, e.shard, dev)
+		if h := sh.devHolder[dev]; h != nil {
 			// The death aborts the in-flight service. The host keeps
 			// the job and re-requests a device after the backoff —
 			// the lease re-dispatch — unless the retry budget is
 			// spent, in which case the job fails and the host frees.
 			s.qpuBusy += s.now - h.qpuGrant
-			s.devHolder[dev] = nil
+			sh.devHolder[dev] = nil
 			h.dev = -1
 			h.attempt++
 			s.log(evAbort, h)
 			if h.retries >= s.retryLimit {
-				s.failJob(h, true)
+				s.failJob(h, sh)
 			} else {
 				h.retries++
 				s.retries++
 				s.push(s.now+s.backoff, evGrant, h)
 			}
 		} else {
-			s.removeFree(dev)
+			sh.removeFree(dev)
 		}
-		s.pushDev(s.now+s.devOutage[dev].For, evUp, dev)
+		s.pushDev(s.now+sh.devOutage[dev].For, evUp, e.shard, dev)
 
 	case evUp:
+		sh := s.shards[e.shard]
 		dev := e.dev
-		s.devUp[dev] = true
-		s.deviceDown += s.now - s.devDownAt[dev]
-		s.logDev(evUp, dev)
-		s.serveOrFree(dev)
-		if o, ok := s.devGen[dev].Next(); ok {
-			s.devOutage[dev] = o
-			s.pushDev(o.At, evDown, dev)
+		sh.devUp[dev] = true
+		s.deviceDown += s.now - sh.devDownAt[dev]
+		s.logDev(evUp, e.shard, dev)
+		if sh.up {
+			s.serveOrFree(sh, dev)
 		}
+		if o, ok := sh.devGen[dev].Next(); ok {
+			sh.devOutage[dev] = o
+			s.pushDev(o.At, evDown, e.shard, dev)
+		}
+
+	case evShardDown:
+		s.shardDown(s.shards[e.shard])
+
+	case evShardUp:
+		s.shardUp(s.shards[e.shard])
+	}
+}
+
+// routeJob resolves a job's shard — hash ownership over the up members,
+// diverted by the steal rule when the home backlog is deep — and hands it
+// to a free host or the shard backlog. With every shard down the job parks
+// until one rejoins.
+func (s *sim) routeJob(j *job) {
+	sh := s.route(j)
+	if sh == nil {
+		s.pending = append(s.pending, j)
+		return
+	}
+	j.shard = sh.idx
+	if sh.freeHosts > 0 {
+		sh.freeHosts--
+		s.startJob(sh, j)
+	} else {
+		sh.backlog.Push(j, s.sc.SchedJob(workload.Job{Class: j.class, Profile: j.profile}))
+	}
+}
+
+// route picks the dispatch shard for j, or nil when no shard is up.
+func (s *sim) route(j *job) *simShard {
+	if !s.cluster {
+		return s.shards[0]
+	}
+	home := s.owner(workload.ClassKey(j.class))
+	if home == nil {
+		return nil
+	}
+	if s.steal > 0 && home.backlog.Len() >= s.steal {
+		if alt := s.minBacklog(); alt != nil {
+			return alt
+		}
+	}
+	return home
+}
+
+// owner resolves a shard key over the current up membership through the
+// cached consistent-hash ring — the identical computation the live router
+// makes, so both sides agree on every assignment.
+func (s *sim) owner(key string) *simShard {
+	mask := make([]byte, len(s.shards))
+	members := make([]string, 0, len(s.shards))
+	idxs := make([]int, 0, len(s.shards))
+	for i, sh := range s.shards {
+		if sh.up {
+			mask[i] = '1'
+			members = append(members, workload.ShardName(i))
+			idxs = append(idxs, i)
+		} else {
+			mask[i] = '0'
+		}
+	}
+	if len(members) == 0 {
+		return nil
+	}
+	replicas := 0
+	if s.sc.Cluster != nil {
+		replicas = s.sc.Cluster.Replicas
+	}
+	r, ok := s.rings[string(mask)]
+	if !ok {
+		r = ring.New(members, replicas)
+		s.rings[string(mask)] = r
+	}
+	return s.shards[idxs[r.Owner(key)]]
+}
+
+// minBacklog is the steal target: the up shard with the shortest backlog,
+// ties broken on the lowest index.
+func (s *sim) minBacklog() *simShard {
+	var best *simShard
+	for _, sh := range s.shards {
+		if !sh.up {
+			continue
+		}
+		if best == nil || sh.backlog.Len() < best.backlog.Len() {
+			best = sh
+		}
+	}
+	return best
+}
+
+// shardDown kills a shard: every hosted job's attempt is aborted (stale
+// events invalidated via the attempt counter) and re-dispatched to the
+// survivors against the retry budget, the backlog re-routes for free (those
+// jobs never left the router tier), and hash ownership shrinks to the up
+// members with bounded key movement.
+func (s *sim) shardDown(sh *simShard) {
+	if !sh.up {
+		return
+	}
+	sh.up = false
+	s.logShard(evShardDown, sh.idx)
+	hosted := sh.hosted
+	sh.hosted = nil
+	sh.qpuFIFO = nil
+	sh.devFree = sh.devFree[:0]
+	sh.freeHosts = 0
+	for _, h := range hosted {
+		s.hostBusy += s.now - h.start
+		if h.dev >= 0 {
+			s.qpuBusy += s.now - h.qpuGrant
+			sh.devHolder[h.dev] = nil
+			h.dev = -1
+		}
+		h.attempt++
+		s.log(evAbort, h)
+		if h.retries >= s.retryLimit {
+			s.failJob(h, nil)
+		} else {
+			h.retries++
+			s.retries++
+			s.push(s.now+s.backoff, evRoute, h)
+		}
+	}
+	// The backlog never reached a host: re-dispatch immediately, no retry
+	// consumed — the router still holds these jobs in its own queue.
+	for {
+		jb, ok := sh.backlog.Pop()
+		if !ok {
+			break
+		}
+		s.routeJob(jb)
+	}
+}
+
+// shardUp rejoins a dead shard: full host capacity, every up device free,
+// and any jobs parked while the whole cluster was down re-route.
+func (s *sim) shardUp(sh *simShard) {
+	if sh.up {
+		return
+	}
+	sh.up = true
+	s.logShard(evShardUp, sh.idx)
+	sh.freeHosts = s.sys.Hosts
+	sh.devFree = sh.devFree[:0]
+	for d, up := range sh.devUp {
+		if up {
+			sh.devFree = append(sh.devFree, d)
+		}
+	}
+	pending := s.pending
+	s.pending = nil
+	for _, jb := range pending {
+		s.routeJob(jb)
 	}
 }
 
 // startJob begins host service for j at the current time: the host is held
 // until evDone. The QPU request lands after pre-process + request network.
-func (s *sim) startJob(j *job) {
+func (s *sim) startJob(sh *simShard, j *job) {
+	j.shard = sh.idx
 	j.start = s.now
+	sh.hosted = append(sh.hosted, j)
 	s.log(evStart, j)
 	s.push(s.now+j.profile.PreProcess+j.profile.Network, evGrant, j)
 }
 
 // tryGrant gives j the next free device, or parks it in the FIFO.
-func (s *sim) tryGrant(j *job) {
-	if len(s.devFree) > 0 {
-		dev := s.devFree[0]
-		s.devFree = s.devFree[1:]
-		s.assign(j, dev)
+func (s *sim) tryGrant(sh *simShard, j *job) {
+	if len(sh.devFree) > 0 {
+		dev := sh.devFree[0]
+		sh.devFree = sh.devFree[1:]
+		s.assign(sh, j, dev)
 	} else {
-		s.qpuFIFO = append(s.qpuFIFO, j)
+		sh.qpuFIFO = append(sh.qpuFIFO, j)
 	}
 }
 
 // assign grants device dev to j now and schedules the release.
-func (s *sim) assign(j *job, dev int) {
+func (s *sim) assign(sh *simShard, j *job, dev int) {
 	j.dev = dev
-	s.devHolder[dev] = j
+	sh.devHolder[dev] = j
 	j.qpuGrant = s.now
 	j.qpuWaitAcc += s.now - j.reqAt
 	s.log(evGrant, j)
@@ -518,39 +772,52 @@ func (s *sim) assign(j *job, dev int) {
 
 // serveOrFree hands an available device to the FIFO head, or parks it in
 // the free list.
-func (s *sim) serveOrFree(dev int) {
-	if len(s.qpuFIFO) > 0 {
-		next := s.qpuFIFO[0]
-		s.qpuFIFO = s.qpuFIFO[1:]
-		s.assign(next, dev)
+func (s *sim) serveOrFree(sh *simShard, dev int) {
+	if len(sh.qpuFIFO) > 0 {
+		next := sh.qpuFIFO[0]
+		sh.qpuFIFO = sh.qpuFIFO[1:]
+		s.assign(sh, next, dev)
 	} else {
-		s.devFree = append(s.devFree, dev)
+		sh.devFree = append(sh.devFree, dev)
 	}
 }
 
 // removeFree pulls a dead device out of the free list.
-func (s *sim) removeFree(dev int) {
-	for i, d := range s.devFree {
+func (sh *simShard) removeFree(dev int) {
+	for i, d := range sh.devFree {
 		if d == dev {
-			s.devFree = append(s.devFree[:i], s.devFree[i+1:]...)
+			sh.devFree = append(sh.devFree[:i], sh.devFree[i+1:]...)
 			return
 		}
 	}
 }
 
-// failJob records a job lost to the fault regime. hosted says whether a
-// host is carrying the job (retry exhaustion) or it never got one (fatal
-// drop). Closed-loop clients resubmit after their think time either way —
-// a failed request does not shrink the client population.
-func (s *sim) failJob(j *job, hosted bool) {
+// removeHosted drops j from the hosted list, preserving pickup order.
+func (sh *simShard) removeHosted(j *job) {
+	for i, h := range sh.hosted {
+		if h == j {
+			sh.hosted = append(sh.hosted[:i], sh.hosted[i+1:]...)
+			return
+		}
+	}
+}
+
+// failJob records a job lost to the fault regime. sh, when non-nil, is the
+// live shard whose host was carrying the job (retry exhaustion): the host
+// frees and takes the next backlog entry. Shard-loss and fatal-drop
+// failures pass nil — there is no host to free. Closed-loop clients
+// resubmit after their think time either way — a failed request does not
+// shrink the client population.
+func (s *sim) failJob(j *job, sh *simShard) {
 	s.log(evFail, j)
 	s.failed++
 	s.live--
-	if hosted {
-		if next, ok := s.backlog.Pop(); ok {
-			s.startJob(next)
+	if sh != nil {
+		sh.removeHosted(j)
+		if next, ok := sh.backlog.Pop(); ok {
+			s.startJob(sh, next)
 		} else {
-			s.freeHosts++
+			sh.freeHosts++
 		}
 	}
 	if j.client >= 0 {
@@ -567,6 +834,17 @@ func (s *sim) complete(j *job) {
 		s.classSojourn = make([][]time.Duration, len(s.sc.Mix))
 	}
 	s.classSojourn[j.class] = append(s.classSojourn[j.class], j.done-j.arrive)
+	if s.cluster {
+		if s.shardSojourn == nil {
+			s.shardSojourn = make([][]time.Duration, len(s.shards))
+			s.shardClass = make([][][]time.Duration, len(s.shards))
+			for x := range s.shardClass {
+				s.shardClass[x] = make([][]time.Duration, len(s.sc.Mix))
+			}
+		}
+		s.shardSojourn[j.shard] = append(s.shardSojourn[j.shard], j.done-j.arrive)
+		s.shardClass[j.shard][j.class] = append(s.shardClass[j.shard][j.class], j.done-j.arrive)
+	}
 	s.hostBusy += j.done - j.start
 	if j.done > s.end {
 		s.end = j.done
@@ -588,15 +866,34 @@ func (s *sim) result() *Result {
 			r.ClassSojourn[c] = stats.SummarizeDurations(ds)
 		}
 	}
+	if s.cluster {
+		r.Shards = make([]ShardStats, len(s.shards))
+		for x := range s.shards {
+			var st ShardStats
+			if s.shardSojourn != nil {
+				st.Jobs = len(s.shardSojourn[x])
+				st.Sojourn = stats.SummarizeDurations(s.shardSojourn[x])
+				if len(s.sc.Mix) > 1 {
+					st.ClassSojourn = make([]stats.DurationSummary, len(s.sc.Mix))
+					for c, ds := range s.shardClass[x] {
+						st.ClassSojourn[c] = stats.SummarizeDurations(ds)
+					}
+				}
+			}
+			r.Shards[x] = st
+		}
+	}
 	r.Admitted = s.nextID
 	r.Failed = s.failed
 	r.Retries = s.retries
 	r.Drops = s.drops
 	r.DeviceDown = s.deviceDown
 	if s.end > 0 {
+		hosts := float64(s.sys.Hosts * len(s.shards))
+		devs := float64(s.sc.System.QPUs() * len(s.shards))
 		r.Throughput = float64(r.Jobs) / s.end.Seconds()
-		r.HostBusy = float64(s.hostBusy) / (float64(s.end) * float64(s.sys.Hosts))
-		r.QPUBusy = float64(s.qpuBusy) / (float64(s.end) * float64(len(s.devUp)))
+		r.HostBusy = float64(s.hostBusy) / (float64(s.end) * hosts)
+		r.QPUBusy = float64(s.qpuBusy) / (float64(s.end) * devs)
 	}
 	return r
 }

@@ -47,6 +47,14 @@ type Options struct {
 	// device faults must set it to the serving side's *service.Service
 	// (the storm runner owns both halves and does exactly that).
 	Fleet *service.Service
+	// Fleets, when non-empty, are the per-shard fault handles of a
+	// federated deployment (Addr pointing at a router front end). Device
+	// outage streams use the cluster's global device numbering — shard
+	// index × per-shard fleet size + local device — the same streams the
+	// DES consumes for cluster scenarios, so both sides kill the same
+	// (shard, device) pairs in the same order. Takes precedence over
+	// Fleet.
+	Fleets []*service.Service
 }
 
 // jobRecord is one measured job.
@@ -124,9 +132,16 @@ func Run(sc *workload.Scenario, opts Options) (*Result, error) {
 	if fleet == nil {
 		fleet = opts.Service
 	}
-	if sc.HasDeviceFaults() && fleet != nil {
-		stop := fleet.StartOutages(outagePlans(sc, fleet.FleetSize()))
-		defer stop()
+	if sc.HasDeviceFaults() {
+		if len(opts.Fleets) > 0 {
+			for x, f := range opts.Fleets {
+				stop := f.StartOutages(outagePlansAt(sc, f.FleetSize(), x*f.FleetSize()))
+				defer stop()
+			}
+		} else if fleet != nil {
+			stop := fleet.StartOutages(outagePlans(sc, fleet.FleetSize()))
+			defer stop()
+		}
 	}
 	backoff := sc.RetryBackoff()
 
@@ -290,10 +305,17 @@ func dropConnection(addr string, timeout time.Duration) {
 // to a horizon safely past the workload's drain point; Drain/stop restores
 // any device still down when the run ends.
 func outagePlans(sc *workload.Scenario, fleet int) [][]service.Outage {
+	return outagePlansAt(sc, fleet, 0)
+}
+
+// outagePlansAt is outagePlans with a global device-number base — shard x of
+// a cluster draws streams base = x × per-shard fleet size, matching the
+// DES's global numbering.
+func outagePlansAt(sc *workload.Scenario, fleet, base int) [][]service.Outage {
 	until := outageHorizon(sc)
 	plans := make([][]service.Outage, fleet)
 	for dev := 0; dev < fleet; dev++ {
-		for _, o := range sc.OutageSchedule(dev, until) {
+		for _, o := range sc.OutageSchedule(base+dev, until) {
 			plans[dev] = append(plans[dev], service.Outage{At: o.At, For: o.For})
 		}
 	}

@@ -80,6 +80,11 @@ type Space struct {
 	// Policies are the queue disciplines to consider. Default: the
 	// scenario's policy.
 	Policies []sched.Policy `json:"policies,omitempty"`
+	// Shards are candidate shard counts for a federated deployment: each
+	// candidate provisions Shards × Hosts hosts behind a routing tier and
+	// is evaluated with the cluster simulator. 1 means a single node (no
+	// cluster stanza). Default: the scenario's own shard count.
+	Shards []int `json:"shards,omitempty"`
 }
 
 // Costs prices a configuration: Cost = Hosts·Host + QPUs·QPU. The default
@@ -109,7 +114,11 @@ type Options struct {
 
 // Candidate is one evaluated configuration of the search space.
 type Candidate struct {
-	Kind   string       `json:"kind"`
+	Kind string `json:"kind"`
+	// Shards is the federation width; Hosts and QPUs are per shard, so
+	// the provisioned totals are Shards × Hosts and Shards × QPUs — that
+	// is what Cost prices.
+	Shards int          `json:"shards"`
 	Hosts  int          `json:"hosts"`
 	QPUs   int          `json:"qpus"`
 	Policy sched.Policy `json:"policy"`
@@ -155,7 +164,7 @@ func Capacity(sc *workload.Scenario, target Target, space Space, opts Options) (
 	if err := target.validate(); err != nil {
 		return nil, err
 	}
-	hosts, kinds, policies, err := normalizeSpace(sc, space)
+	hosts, kinds, policies, shardCounts, err := normalizeSpace(sc, space)
 	if err != nil {
 		return nil, err
 	}
@@ -176,64 +185,66 @@ func Capacity(sc *workload.Scenario, target Target, space Space, opts Options) (
 	var axes []axisOutcome
 	for _, kind := range kinds {
 		for _, policy := range policies {
-			evaluated := make(map[int]*Candidate)
-			eval := func(h int) (*Candidate, error) {
-				if c, ok := evaluated[h]; ok {
-					return c, nil
-				}
-				c, err := evaluate(&base, target, kind, policy, h, costs)
-				if err != nil {
-					return nil, err
-				}
-				evaluated[h] = c
-				return c, nil
-			}
-			// Binary search the least satisfying host count.
-			lo, hi := 0, len(hosts)-1
-			found := -1
-			for lo <= hi {
-				mid := (lo + hi) / 2
-				c, err := eval(hosts[mid])
-				if err != nil {
-					return nil, err
-				}
-				if c.Meets {
-					found = mid
-					hi = mid - 1
-				} else {
-					lo = mid + 1
-				}
-			}
-			var out axisOutcome
-			if found >= 0 {
-				out.best = evaluated[hosts[found]]
-				if found > 0 {
-					// Pin the frontier: the next-cheaper neighbor on this
-					// axis must fail (evaluate it even if the bisection
-					// skipped it).
-					c, err := eval(hosts[found-1])
+			for _, shards := range shardCounts {
+				evaluated := make(map[int]*Candidate)
+				eval := func(h int) (*Candidate, error) {
+					if c, ok := evaluated[h]; ok {
+						return c, nil
+					}
+					c, err := evaluate(&base, target, kind, policy, shards, h, costs)
 					if err != nil {
 						return nil, err
 					}
-					if !c.Meets {
-						out.cheaperFail = c
+					evaluated[h] = c
+					return c, nil
+				}
+				// Binary search the least satisfying host count.
+				lo, hi := 0, len(hosts)-1
+				found := -1
+				for lo <= hi {
+					mid := (lo + hi) / 2
+					c, err := eval(hosts[mid])
+					if err != nil {
+						return nil, err
+					}
+					if c.Meets {
+						found = mid
+						hi = mid - 1
 					} else {
-						// Non-monotone edge: the neighbor happens to pass.
-						// Prefer it — it is cheaper and satisfying.
-						out.best = c
-						if found-1 > 0 {
-							if c2, err := eval(hosts[found-2]); err == nil && !c2.Meets {
-								out.cheaperFail = c2
+						lo = mid + 1
+					}
+				}
+				var out axisOutcome
+				if found >= 0 {
+					out.best = evaluated[hosts[found]]
+					if found > 0 {
+						// Pin the frontier: the next-cheaper neighbor on this
+						// axis must fail (evaluate it even if the bisection
+						// skipped it).
+						c, err := eval(hosts[found-1])
+						if err != nil {
+							return nil, err
+						}
+						if !c.Meets {
+							out.cheaperFail = c
+						} else {
+							// Non-monotone edge: the neighbor happens to pass.
+							// Prefer it — it is cheaper and satisfying.
+							out.best = c
+							if found-1 > 0 {
+								if c2, err := eval(hosts[found-2]); err == nil && !c2.Meets {
+									out.cheaperFail = c2
+								}
 							}
 						}
 					}
 				}
-			}
-			axes = append(axes, out)
-			// Record evaluations in ascending host order for determinism.
-			for _, h := range hosts {
-				if c, ok := evaluated[h]; ok {
-					p.Evaluated = append(p.Evaluated, *c)
+				axes = append(axes, out)
+				// Record evaluations in ascending host order for determinism.
+				for _, h := range hosts {
+					if c, ok := evaluated[h]; ok {
+						p.Evaluated = append(p.Evaluated, *c)
+					}
 				}
 			}
 		}
@@ -260,6 +271,9 @@ func better(a, b *Candidate) bool {
 	if a.Cost != b.Cost {
 		return a.Cost < b.Cost
 	}
+	if a.Shards != b.Shards {
+		return a.Shards < b.Shards // fewer moving parts at equal price
+	}
 	if a.Hosts != b.Hosts {
 		return a.Hosts < b.Hosts
 	}
@@ -278,22 +292,43 @@ func policyRank(p sched.Policy) int {
 	return len(sched.Policies())
 }
 
-func evaluate(base *workload.Scenario, target Target, kind string, policy sched.Policy, hosts int, costs Costs) (*Candidate, error) {
+func evaluate(base *workload.Scenario, target Target, kind string, policy sched.Policy, shards, hosts int, costs Costs) (*Candidate, error) {
 	sc := *base
 	sc.System = workload.SystemSpec{Kind: kind, Hosts: hosts}
 	sc.Policy = policy
+	if shards > 1 {
+		cl := workload.ClusterSpec{Shards: shards}
+		if base.Cluster != nil {
+			// Carry the scenario's routing parameters; only the width is
+			// the search variable.
+			cl.StealThreshold = base.Cluster.StealThreshold
+			cl.Replicas = base.Cluster.Replicas
+		}
+		sc.Cluster = &cl
+	} else {
+		sc.Cluster = nil
+	}
+	if f := sc.Faults; f != nil && f.Shard != nil && (sc.Cluster == nil || f.Shard.Shard >= shards) {
+		// The scenario's shard fault targets a shard this candidate does
+		// not provision; evaluate the candidate without it rather than
+		// failing the whole search.
+		ff := *f
+		ff.Shard = nil
+		sc.Faults = &ff
+	}
 	r, err := des.Simulate(&sc, des.Options{})
 	if err != nil {
-		return nil, fmt.Errorf("plan: simulating %s/%s hosts=%d: %w", kind, policy, hosts, err)
+		return nil, fmt.Errorf("plan: simulating %s/%s shards=%d hosts=%d: %w", kind, policy, shards, hosts, err)
 	}
 	c := &Candidate{
 		Kind:   kind,
+		Shards: shards,
 		Hosts:  hosts,
 		QPUs:   sc.System.QPUs(),
 		Policy: sched.Normalize(policy),
 		Result: r,
 	}
-	c.Cost = float64(c.Hosts)*costs.Host + float64(c.QPUs)*costs.QPU
+	c.Cost = float64(shards) * (float64(c.Hosts)*costs.Host + float64(c.QPUs)*costs.QPU)
 	c.Unmet = target.unmet(r)
 	c.Meets = len(c.Unmet) == 0
 	if a, err := des.AnalyticScenario(&sc); err == nil {
@@ -302,7 +337,7 @@ func evaluate(base *workload.Scenario, target Target, kind string, policy sched.
 	return c, nil
 }
 
-func normalizeSpace(sc *workload.Scenario, space Space) (hosts []int, kinds []string, policies []sched.Policy, err error) {
+func normalizeSpace(sc *workload.Scenario, space Space) (hosts []int, kinds []string, policies []sched.Policy, shards []int, err error) {
 	hosts = slices.Clone(space.Hosts)
 	if len(hosts) == 0 {
 		for h := 1; h <= 16; h++ {
@@ -312,10 +347,10 @@ func normalizeSpace(sc *workload.Scenario, space Space) (hosts []int, kinds []st
 	slices.Sort(hosts)
 	hosts = slices.Compact(hosts)
 	if hosts[0] < 1 {
-		return nil, nil, nil, fmt.Errorf("plan: host counts must be >= 1, got %d", hosts[0])
+		return nil, nil, nil, nil, fmt.Errorf("plan: host counts must be >= 1, got %d", hosts[0])
 	}
 	if hosts[len(hosts)-1] > 1<<20 {
-		return nil, nil, nil, fmt.Errorf("plan: host count %d unreasonably large", hosts[len(hosts)-1])
+		return nil, nil, nil, nil, fmt.Errorf("plan: host count %d unreasonably large", hosts[len(hosts)-1])
 	}
 
 	kinds = slices.Clone(space.Kinds)
@@ -327,10 +362,10 @@ func normalizeSpace(sc *workload.Scenario, space Space) (hosts []int, kinds []st
 		case "shared", "dedicated":
 		case "asymmetric":
 			if len(hosts) != 1 || hosts[0] != 1 {
-				return nil, nil, nil, fmt.Errorf("plan: kind %q admits only hosts=[1]", k)
+				return nil, nil, nil, nil, fmt.Errorf("plan: kind %q admits only hosts=[1]", k)
 			}
 		default:
-			return nil, nil, nil, fmt.Errorf("plan: unknown system kind %q", k)
+			return nil, nil, nil, nil, fmt.Errorf("plan: unknown system kind %q", k)
 		}
 	}
 
@@ -340,9 +375,22 @@ func normalizeSpace(sc *workload.Scenario, space Space) (hosts []int, kinds []st
 	}
 	for i, p := range policies {
 		if !sched.Valid(p) {
-			return nil, nil, nil, fmt.Errorf("plan: unknown policy %q (want %v)", p, sched.Policies())
+			return nil, nil, nil, nil, fmt.Errorf("plan: unknown policy %q (want %v)", p, sched.Policies())
 		}
 		policies[i] = sched.Normalize(p)
 	}
-	return hosts, kinds, policies, nil
+
+	shards = slices.Clone(space.Shards)
+	if len(shards) == 0 {
+		shards = []int{sc.ShardCount()}
+	}
+	slices.Sort(shards)
+	shards = slices.Compact(shards)
+	if shards[0] < 1 {
+		return nil, nil, nil, nil, fmt.Errorf("plan: shard counts must be >= 1, got %d", shards[0])
+	}
+	if shards[len(shards)-1] > workload.MaxShards {
+		return nil, nil, nil, nil, fmt.Errorf("plan: shard count %d exceeds limit %d", shards[len(shards)-1], workload.MaxShards)
+	}
+	return hosts, kinds, policies, shards, nil
 }

@@ -1,0 +1,125 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("shard-%d", i)
+	}
+	return out
+}
+
+func TestDeterministicOwnership(t *testing.T) {
+	a := New(members(5), 0)
+	b := New(members(5), 0)
+	for i := 0; i < 10_000; i++ {
+		key := fmt.Sprintf("class-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owners diverge between identical rings", key)
+		}
+	}
+}
+
+func TestOwnerInRange(t *testing.T) {
+	r := New(members(7), 0)
+	for i := 0; i < 10_000; i++ {
+		o := r.Owner(fmt.Sprintf("key-%d", i))
+		if o < 0 || o >= 7 {
+			t.Fatalf("owner %d out of range", o)
+		}
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := New(nil, 0)
+	if got := r.Owner("anything"); got != -1 {
+		t.Errorf("empty ring Owner = %d, want -1", got)
+	}
+	if got := r.Lookup("anything"); got != "" {
+		t.Errorf("empty ring Lookup = %q, want empty", got)
+	}
+}
+
+func TestDuplicateMemberPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate member did not panic")
+		}
+	}()
+	New([]string{"a", "b", "a"}, 4)
+}
+
+// TestBalancedOwnership checks the virtual nodes spread keys within a
+// sane imbalance: no shard owns more than ~2.2x its fair share at the
+// default replica count.
+func TestBalancedOwnership(t *testing.T) {
+	const shards, keys = 8, 50_000
+	r := New(members(shards), 0)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	fair := float64(keys) / shards
+	for s, c := range counts {
+		if ratio := float64(c) / fair; ratio > 2.2 || ratio < 0.3 {
+			t.Errorf("shard %d owns %d keys (%.2fx fair share)", s, c, ratio)
+		}
+	}
+}
+
+// TestBoundedKeyMovement is the consistent-hashing contract: removing one
+// of N members must move only the keys that member owned — every key owned
+// by a survivor keeps its owner (by name), and the moved fraction stays
+// near 1/N.
+func TestBoundedKeyMovement(t *testing.T) {
+	const shards, keys = 8, 20_000
+	full := New(members(shards), 0)
+	const removed = 3
+	reduced := full.Without(removed)
+	if reduced.Len() != shards-1 {
+		t.Fatalf("reduced ring has %d members, want %d", reduced.Len(), shards-1)
+	}
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := full.Lookup(key)
+		after := reduced.Lookup(key)
+		if before == fmt.Sprintf("shard-%d", removed) {
+			moved++
+			continue // this key had to move
+		}
+		if before != after {
+			t.Fatalf("key %q moved from surviving member %s to %s", key, before, after)
+		}
+	}
+	// The removed member owned roughly 1/8 of the space.
+	if frac := float64(moved) / keys; frac > 0.30 {
+		t.Errorf("removing one of %d members moved %.1f%% of keys", shards, 100*frac)
+	}
+}
+
+func TestWithoutOutOfRange(t *testing.T) {
+	r := New(members(3), 4)
+	if got := r.Without(-1); got != r {
+		t.Error("Without(-1) should return the ring unchanged")
+	}
+	if got := r.Without(3); got != r {
+		t.Error("Without(len) should return the ring unchanged")
+	}
+}
+
+func BenchmarkOwner(b *testing.B) {
+	r := New(members(8), 0)
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("class-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Owner(keys[i%len(keys)])
+	}
+}

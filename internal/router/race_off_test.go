@@ -1,0 +1,7 @@
+//go:build !race
+
+package router
+
+// raceEnabled reports whether this test binary was built with -race; the
+// wall-clock band gate skips under instrumentation.
+const raceEnabled = false

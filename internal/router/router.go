@@ -1,0 +1,687 @@
+// Package router is the front-end tier of the federated deployment: it
+// speaks the same length-prefixed wire protocol as `splitexec serve`, but
+// instead of running jobs it consistent-hash-shards them across N backing
+// service instances — QUBO jobs by their embedding-cache key
+// (graph.CanonicalHash of the problem graph), profile jobs by workload
+// class — so each shard's core.EmbeddingCache stays hot across the whole
+// key space. Per-shard bounded queues give backpressure; a backlog past the
+// steal threshold diverts jobs to the least-loaded shard; periodic pings
+// drop shards from the ring after consecutive failures and re-admit them
+// when they answer again; and a shard loss (detected or commanded via
+// RemoveShard/FailShard) re-dispatches queued and in-flight jobs to the
+// survivors against a bounded retry budget, with hash ownership moving only
+// the dead shard's arc of the ring.
+//
+// The routing computation — ring membership, shard keys, steal rule — is
+// shared with the discrete-event simulator (internal/des), which makes the
+// DES the predictive twin of the federated system: a cluster scenario's
+// predicted shard assignment is the one this router realizes.
+package router
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/graph"
+	"github.com/splitexec/splitexec/internal/qpuserver"
+	"github.com/splitexec/splitexec/internal/ring"
+	"github.com/splitexec/splitexec/internal/service"
+	"github.com/splitexec/splitexec/internal/workload"
+)
+
+// Defaults, applied when the corresponding Options field is zero.
+const (
+	DefaultClientsPerShard = 4
+	DefaultQueueDepth      = 256
+	DefaultPingEvery       = 250 * time.Millisecond
+	DefaultPingTimeout     = 2 * time.Second
+	DefaultPingFailLimit   = 3
+)
+
+// ErrNoShards reports a dispatch with every shard down or removed.
+var ErrNoShards = errors.New("router: no shards available")
+
+// errShardDown re-routes a job whose target died between pick and enqueue.
+var errShardDown = errors.New("router: shard down")
+
+// Options configure a router.
+type Options struct {
+	// Shards are the backing service addresses, index order fixed for the
+	// router's lifetime (membership changes flip shards up/down, they
+	// never renumber).
+	Shards []string
+	// ClientsPerShard sizes each shard's dispatch worker pool — and
+	// therefore its connection pool (one TCP client per worker).
+	ClientsPerShard int
+	// QueueDepth bounds each shard's dispatch queue; a full queue blocks
+	// the submitting connection (backpressure), exactly like the backing
+	// service's own intake.
+	QueueDepth int
+	// StealThreshold enables cross-shard work stealing: a job whose home
+	// shard's queue has reached this length goes to the shortest queue
+	// instead (ties on the lowest shard index). Zero disables stealing.
+	StealThreshold int
+	// MaxRetries is the re-dispatch budget a job may consume when shards
+	// fail under it (default workload.DefaultMaxRetries); Backoff is the
+	// pause before each re-dispatch (default workload.DefaultBackoff) —
+	// the same budget semantics workload.FaultSpec declares.
+	MaxRetries int
+	Backoff    time.Duration
+	// PingEvery is the health-check period (default 250ms; negative
+	// disables health checking). PingTimeout bounds each probe, and
+	// PingFailLimit consecutive failures mark a shard down.
+	PingEvery     time.Duration
+	PingTimeout   time.Duration
+	PingFailLimit int
+	// Replicas is the ring's virtual-node count per shard (0 selects
+	// ring.DefaultReplicas). Must match the scenario's ClusterSpec for
+	// DES-predicted assignments to hold.
+	Replicas int
+	// Timeout bounds each forwarded round trip (0 = none). It must cover
+	// the backing shard's queue wait plus service, not just service.
+	Timeout time.Duration
+}
+
+// Stats is a snapshot of the router's dispatch counters.
+type Stats struct {
+	// Dispatched counts jobs enqueued per shard (by original index).
+	Dispatched []int64 `json:"dispatched"`
+	// Stolen counts jobs diverted off their home shard by the steal rule.
+	Stolen int64 `json:"stolen"`
+	// Redispatched counts shard-loss re-dispatches (in-flight jobs that
+	// consumed retry budget).
+	Redispatched int64 `json:"redispatched"`
+	// Requeued counts queued jobs drained off a dying shard (free
+	// re-dispatch — they had not reached the shard yet).
+	Requeued int64 `json:"requeued"`
+	// Failed counts jobs that exhausted the re-dispatch budget.
+	Failed int64 `json:"failed"`
+}
+
+// pjob is one proxied request in flight through the router.
+type pjob struct {
+	req      service.SolveRequest
+	key      string
+	attempts int
+	resp     chan presult
+}
+
+type presult struct {
+	resp service.SolveResponse
+	err  error
+}
+
+func (p *pjob) done(resp service.SolveResponse, err error) {
+	p.resp <- presult{resp: resp, err: err}
+}
+
+// shard is one backing service endpoint.
+type shard struct {
+	idx  int
+	addr string
+
+	queue chan *pjob
+
+	mu      sync.Mutex
+	up      bool
+	removed bool
+	downCh  chan struct{} // closed when the shard goes down; replaced on revival
+	clients map[*service.Client]struct{}
+
+	fails      int // consecutive ping failures (health loop only)
+	dispatched atomic.Int64
+	inflight   sync.WaitGroup // jobs handed to workers, for graceful drain
+}
+
+// down returns the channel a blocked enqueue watches.
+func (sh *shard) down() <-chan struct{} {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.downCh
+}
+
+func (sh *shard) isUp() bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.up
+}
+
+// register tracks a worker's client so FailShard can interrupt its I/O.
+func (sh *shard) register(c *service.Client) {
+	sh.mu.Lock()
+	sh.clients[c] = struct{}{}
+	sh.mu.Unlock()
+}
+
+func (sh *shard) unregister(c *service.Client) {
+	sh.mu.Lock()
+	delete(sh.clients, c)
+	sh.mu.Unlock()
+	c.Close()
+}
+
+// Router is the federating front end.
+type Router struct {
+	opts   Options
+	shards []*shard
+
+	mu    sync.Mutex
+	rings map[string]*ring.Ring // membership bit-pattern → ring
+
+	ln       net.Listener
+	lnMu     sync.Mutex
+	conns    map[net.Conn]struct{}
+	connWG   sync.WaitGroup
+	workerWG sync.WaitGroup
+	healthWG sync.WaitGroup
+	stop     chan struct{}
+	closed   bool
+
+	stolen       atomic.Int64
+	redispatched atomic.Int64
+	requeued     atomic.Int64
+	failedJobs   atomic.Int64
+}
+
+// New builds a router over the given shard addresses and starts its
+// dispatch workers and health loop. Call Drain to shut it down.
+func New(opts Options) (*Router, error) {
+	if len(opts.Shards) == 0 {
+		return nil, errors.New("router: no shard addresses")
+	}
+	if opts.ClientsPerShard <= 0 {
+		opts.ClientsPerShard = DefaultClientsPerShard
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = DefaultQueueDepth
+	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = workload.DefaultMaxRetries
+	}
+	if opts.Backoff == 0 {
+		opts.Backoff = workload.DefaultBackoff
+	}
+	if opts.PingEvery == 0 {
+		opts.PingEvery = DefaultPingEvery
+	}
+	if opts.PingTimeout <= 0 {
+		opts.PingTimeout = DefaultPingTimeout
+	}
+	if opts.PingFailLimit <= 0 {
+		opts.PingFailLimit = DefaultPingFailLimit
+	}
+	r := &Router{
+		opts:  opts,
+		rings: map[string]*ring.Ring{},
+		conns: map[net.Conn]struct{}{},
+		stop:  make(chan struct{}),
+	}
+	for i, addr := range opts.Shards {
+		sh := &shard{
+			idx:     i,
+			addr:    addr,
+			queue:   make(chan *pjob, opts.QueueDepth),
+			up:      true,
+			downCh:  make(chan struct{}),
+			clients: map[*service.Client]struct{}{},
+		}
+		r.shards = append(r.shards, sh)
+		for w := 0; w < opts.ClientsPerShard; w++ {
+			r.workerWG.Add(1)
+			go r.worker(sh)
+		}
+	}
+	if opts.PingEvery > 0 {
+		r.healthWG.Add(1)
+		go r.healthLoop()
+	}
+	return r, nil
+}
+
+// ShardKey derives the routing key of a request: the embedding-cache key
+// (canonical graph hash) for QUBO jobs, the workload class key for profile
+// jobs. Malformed QUBO payloads report an error — the router refuses them
+// without bothering a shard.
+func ShardKey(req service.SolveRequest) (string, error) {
+	if req.Profile != nil {
+		return workload.ClassKey(req.Class), nil
+	}
+	q, err := service.DecodeQUBO(req)
+	if err != nil {
+		return "", err
+	}
+	return graph.CanonicalHash(q.Graph()), nil
+}
+
+// Listen binds addr and serves the wire protocol until Drain. It returns
+// once the listener is bound; serving continues in the background.
+func (r *Router) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	r.lnMu.Lock()
+	if r.ln != nil {
+		r.lnMu.Unlock()
+		ln.Close()
+		return nil, errors.New("router: already listening")
+	}
+	r.ln = ln
+	r.lnMu.Unlock()
+	r.connWG.Add(1)
+	go r.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (r *Router) acceptLoop(ln net.Listener) {
+	defer r.connWG.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		r.lnMu.Lock()
+		if r.ln != ln {
+			r.lnMu.Unlock()
+			conn.Close()
+			continue
+		}
+		r.conns[conn] = struct{}{}
+		r.lnMu.Unlock()
+		r.connWG.Add(1)
+		go func() {
+			defer r.connWG.Done()
+			defer func() {
+				r.lnMu.Lock()
+				delete(r.conns, conn)
+				r.lnMu.Unlock()
+				conn.Close()
+			}()
+			r.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn answers one connection's requests in order, forwarding each
+// through the dispatch fabric. Queue backpressure propagates to the
+// submitting connection exactly as it does on a single node.
+func (r *Router) serveConn(conn net.Conn) {
+	for {
+		var req service.SolveRequest
+		if err := qpuserver.ReadMessage(conn, &req); err != nil {
+			return // EOF or framing error: drop the connection
+		}
+		resp := r.handle(req)
+		if err := qpuserver.WriteMessage(conn, &resp); err != nil {
+			return
+		}
+	}
+}
+
+// handle routes one request and waits out its round trip.
+func (r *Router) handle(req service.SolveRequest) service.SolveResponse {
+	if req.Ping {
+		return service.SolveResponse{OK: true} // router liveness
+	}
+	key, err := ShardKey(req)
+	if err != nil {
+		return service.SolveResponse{Error: err.Error()}
+	}
+	pj := &pjob{req: req, key: key, resp: make(chan presult, 1)}
+	if err := r.dispatch(pj); err != nil {
+		return service.SolveResponse{Error: err.Error()}
+	}
+	res := <-pj.resp
+	if res.err != nil && res.resp.Error == "" {
+		return service.SolveResponse{Error: res.err.Error()}
+	}
+	return res.resp
+}
+
+// Submit routes one request through the fabric programmatically — the
+// in-process equivalent of a wire round trip, used by tests and benchmarks.
+func (r *Router) Submit(req service.SolveRequest) (service.SolveResponse, error) {
+	resp := r.handle(req)
+	if !resp.OK {
+		return resp, fmt.Errorf("router: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// dispatch picks a shard for pj and enqueues it, re-picking if the target
+// dies while the enqueue is blocked on a full queue.
+func (r *Router) dispatch(pj *pjob) error {
+	for {
+		sh := r.pick(pj.key)
+		if sh == nil {
+			return ErrNoShards
+		}
+		select {
+		case sh.queue <- pj:
+			sh.dispatched.Add(1)
+			return nil
+		case <-sh.down():
+			// The shard died while we were blocked; route again over
+			// the survivors.
+			continue
+		}
+	}
+}
+
+// pick resolves the dispatch shard for a key: hash ownership over the up
+// members, diverted by the steal rule — the identical computation
+// internal/des makes for cluster scenarios.
+func (r *Router) pick(key string) *shard {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mask := make([]byte, len(r.shards))
+	members := make([]string, 0, len(r.shards))
+	idxs := make([]int, 0, len(r.shards))
+	for i, sh := range r.shards {
+		if sh.isUp() {
+			mask[i] = '1'
+			members = append(members, workload.ShardName(i))
+			idxs = append(idxs, i)
+		} else {
+			mask[i] = '0'
+		}
+	}
+	if len(members) == 0 {
+		return nil
+	}
+	rg, ok := r.rings[string(mask)]
+	if !ok {
+		rg = ring.New(members, r.opts.Replicas)
+		r.rings[string(mask)] = rg
+	}
+	home := r.shards[idxs[rg.Owner(key)]]
+	if t := r.opts.StealThreshold; t > 0 && len(home.queue) >= t {
+		best := home
+		for _, i := range idxs {
+			if sh := r.shards[i]; len(sh.queue) < len(best.queue) {
+				best = sh
+			}
+		}
+		if best != home {
+			r.stolen.Add(1)
+			return best
+		}
+	}
+	return home
+}
+
+// worker drains one shard's queue through its own TCP client. A client that
+// a FailShard closed is replaced; transient I/O errors send the job back
+// through the re-dispatch budget and count against the shard's health.
+func (r *Router) worker(sh *shard) {
+	defer r.workerWG.Done()
+	var c *service.Client
+	defer func() {
+		if c != nil {
+			sh.unregister(c)
+		}
+	}()
+	for pj := range sh.queue {
+		if pj == nil {
+			return
+		}
+		if !sh.isUp() {
+			// The shard died with this job still queued: requeue it on
+			// the survivors for free — it never reached the shard.
+			r.requeue(pj)
+			continue
+		}
+		if c == nil {
+			nc, err := service.DialTimeout(sh.addr, r.opts.Timeout)
+			if err != nil {
+				r.retry(pj, err)
+				continue
+			}
+			if r.opts.Timeout > 0 {
+				nc.SetTimeout(r.opts.Timeout)
+			}
+			c = nc
+			sh.register(c)
+		}
+		sh.inflight.Add(1)
+		resp, err := c.Do(pj.req)
+		sh.inflight.Done()
+		if err == nil || resp.Error != "" {
+			// Success, or a server-side refusal — either way the shard
+			// answered; forward the response as-is.
+			pj.done(resp, err)
+			continue
+		}
+		// I/O failure: the round trip may have been interrupted by
+		// FailShard (client closed) or the shard may be gone. Re-dispatch
+		// against the retry budget.
+		if errors.Is(err, service.ErrClientClosed) {
+			c = nil // FailShard retired this client; dial fresh next job
+		}
+		r.retry(pj, err)
+	}
+}
+
+// retry re-dispatches a job whose attempt failed in flight, against the
+// MaxRetries/Backoff budget.
+func (r *Router) retry(pj *pjob, cause error) {
+	pj.attempts++
+	if pj.attempts > r.opts.MaxRetries {
+		r.failedJobs.Add(1)
+		pj.done(service.SolveResponse{}, fmt.Errorf("router: re-dispatch budget exhausted: %w", cause))
+		return
+	}
+	r.redispatched.Add(1)
+	backoff := r.opts.Backoff
+	go func() {
+		if backoff > 0 {
+			time.Sleep(backoff)
+		}
+		if err := r.dispatch(pj); err != nil {
+			r.failedJobs.Add(1)
+			pj.done(service.SolveResponse{}, err)
+		}
+	}()
+}
+
+// requeue re-dispatches a job drained off a dying shard's queue; it never
+// reached the shard, so no retry budget is consumed.
+func (r *Router) requeue(pj *pjob) {
+	r.requeued.Add(1)
+	go func() {
+		if err := r.dispatch(pj); err != nil {
+			r.failedJobs.Add(1)
+			pj.done(service.SolveResponse{}, err)
+		}
+	}()
+}
+
+// markDown takes a shard out of the ring: blocked enqueues re-pick, queued
+// jobs drain to the survivors, and in-flight clients are closed so blocked
+// round trips fail over immediately.
+func (r *Router) markDown(sh *shard) {
+	sh.mu.Lock()
+	if !sh.up {
+		sh.mu.Unlock()
+		return
+	}
+	sh.up = false
+	close(sh.downCh)
+	clients := make([]*service.Client, 0, len(sh.clients))
+	for c := range sh.clients {
+		clients = append(clients, c)
+	}
+	for c := range sh.clients {
+		delete(sh.clients, c)
+	}
+	sh.mu.Unlock()
+	// Interrupt in-flight round trips: the workers see ErrClientClosed and
+	// walk the re-dispatch path.
+	for _, c := range clients {
+		c.Close()
+	}
+	// Drain whatever is queued; the workers would requeue these one at a
+	// time, but draining here frees the queue for blocked producers at
+	// once.
+	for {
+		select {
+		case pj := <-sh.queue:
+			if pj != nil {
+				r.requeue(pj)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// markUp re-admits a revived shard: new down channel, fresh membership.
+func (r *Router) markUp(sh *shard) {
+	sh.mu.Lock()
+	if sh.up || sh.removed {
+		sh.mu.Unlock()
+		return
+	}
+	sh.up = true
+	sh.downCh = make(chan struct{})
+	sh.mu.Unlock()
+}
+
+// FailShard forces shard i down, exactly as a failed health check would —
+// the deterministic shard-kill hook the storm runner and the chaos tests
+// drive. In-flight jobs re-dispatch to the survivors.
+func (r *Router) FailShard(i int) error {
+	if i < 0 || i >= len(r.shards) {
+		return fmt.Errorf("router: shard %d out of range", i)
+	}
+	r.markDown(r.shards[i])
+	return nil
+}
+
+// RestoreShard re-admits a shard downed by FailShard or the health loop.
+func (r *Router) RestoreShard(i int) error {
+	if i < 0 || i >= len(r.shards) {
+		return fmt.Errorf("router: shard %d out of range", i)
+	}
+	r.markUp(r.shards[i])
+	return nil
+}
+
+// RemoveShard permanently drains shard i: it leaves the ring (ownership
+// rebalances with bounded key movement), queued and in-flight jobs
+// re-dispatch to the survivors, and the health loop will not re-admit it.
+func (r *Router) RemoveShard(i int) error {
+	if i < 0 || i >= len(r.shards) {
+		return fmt.Errorf("router: shard %d out of range", i)
+	}
+	sh := r.shards[i]
+	sh.mu.Lock()
+	sh.removed = true
+	sh.mu.Unlock()
+	r.markDown(sh)
+	return nil
+}
+
+// healthLoop pings every shard each period, dropping members after
+// PingFailLimit consecutive failures and re-admitting them on the first
+// successful probe.
+func (r *Router) healthLoop() {
+	defer r.healthWG.Done()
+	tick := time.NewTicker(r.opts.PingEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+		}
+		for _, sh := range r.shards {
+			sh.mu.Lock()
+			removed := sh.removed
+			sh.mu.Unlock()
+			if removed {
+				continue
+			}
+			if r.probe(sh) {
+				sh.fails = 0
+				r.markUp(sh)
+			} else {
+				sh.fails++
+				if sh.fails >= r.opts.PingFailLimit {
+					r.markDown(sh)
+				}
+			}
+		}
+	}
+}
+
+// probe health-checks one shard with a dedicated short-lived client.
+func (r *Router) probe(sh *shard) bool {
+	c, err := service.DialTimeout(sh.addr, r.opts.PingTimeout)
+	if err != nil {
+		return false
+	}
+	defer c.Close()
+	c.SetTimeout(r.opts.PingTimeout)
+	return c.Ping() == nil
+}
+
+// Stats snapshots the dispatch counters.
+func (r *Router) Stats() Stats {
+	s := Stats{
+		Dispatched:   make([]int64, len(r.shards)),
+		Stolen:       r.stolen.Load(),
+		Redispatched: r.redispatched.Load(),
+		Requeued:     r.requeued.Load(),
+		Failed:       r.failedJobs.Load(),
+	}
+	for i, sh := range r.shards {
+		s.Dispatched[i] = sh.dispatched.Load()
+	}
+	return s
+}
+
+// Up reports the current shard membership (true = in the ring).
+func (r *Router) Up() []bool {
+	out := make([]bool, len(r.shards))
+	for i, sh := range r.shards {
+		out[i] = sh.isUp()
+	}
+	return out
+}
+
+// Drain shuts the router down: the listener and its connections close, the
+// health loop stops, dispatch queues close, and the workers finish. Safe to
+// call more than once.
+func (r *Router) Drain() {
+	r.lnMu.Lock()
+	if r.closed {
+		r.lnMu.Unlock()
+		return
+	}
+	r.closed = true
+	ln := r.ln
+	r.ln = nil
+	conns := make([]net.Conn, 0, len(r.conns))
+	for c := range r.conns {
+		conns = append(conns, c)
+	}
+	r.lnMu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	r.connWG.Wait()
+	close(r.stop)
+	r.healthWG.Wait()
+	for _, sh := range r.shards {
+		close(sh.queue)
+	}
+	r.workerWG.Wait()
+}

@@ -224,6 +224,82 @@ func TestTrySubmitDrainRace(t *testing.T) {
 	}
 }
 
+// TestBlockedSubmitDrainRace extends TestTrySubmitDrainRace to the blocking
+// submit path: producers parked in push(block=true) on a full queue race
+// Drain closing intake. Every producer must resolve — either ErrClosed or an
+// accepted ticket that completes — and the accepted indices must stay
+// contiguous: a producer woken by close can never burn a seed index, and one
+// woken by space can never enqueue after close. Run under -race in CI.
+func TestBlockedSubmitDrainRace(t *testing.T) {
+	svc, err := New(Options{Workers: 2, QueueDepth: 2, Fleet: 1, Base: testBase()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := arch.JobProfile{PreProcess: 300 * time.Microsecond, QPUService: 100 * time.Microsecond}
+
+	const producers = 16
+	var (
+		mu       sync.Mutex
+		accepted []*Ticket
+		wg       sync.WaitGroup
+	)
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				tk, err := svc.SubmitProfile(p) // blocks on a full queue
+				switch {
+				case err == nil:
+					mu.Lock()
+					accepted = append(accepted, tk)
+					mu.Unlock()
+				case errors.Is(err, ErrClosed):
+					// close() woke us (or intake was already closed):
+					// closed stays closed.
+					if _, err := svc.SubmitProfile(p); !errors.Is(err, ErrClosed) {
+						t.Errorf("Submit after ErrClosed: %v, want ErrClosed", err)
+					}
+					return
+				default:
+					t.Errorf("Submit: unexpected error %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// With depth 2 and 16 producers most goroutines are parked in
+	// notFull.Wait when Drain closes intake under them.
+	time.Sleep(20 * time.Millisecond)
+	rep := svc.Drain()
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(accepted) == 0 {
+		t.Fatal("no submissions accepted before drain")
+	}
+	indices := make([]int, 0, len(accepted))
+	for _, tk := range accepted {
+		if _, err := tk.Wait(); err != nil {
+			t.Errorf("accepted job failed: %v", err)
+		}
+		indices = append(indices, tk.Metrics().Index)
+	}
+	sort.Ints(indices)
+	for i, idx := range indices {
+		if idx != i {
+			t.Fatalf("submission indices not contiguous: %v", indices)
+		}
+	}
+	if rep.Jobs != len(accepted) || rep.Failed != 0 {
+		t.Errorf("report %d jobs %d failed, want %d accepted jobs", rep.Jobs, rep.Failed, len(accepted))
+	}
+	if rep.Submitted != len(accepted) {
+		t.Errorf("ledger: Submitted = %d, want %d", rep.Submitted, len(accepted))
+	}
+}
+
 // TestPriorityPolicyLive: on a single-worker service under the priority
 // policy, a high-priority job submitted after a low-priority one overtakes
 // it in the backlog.

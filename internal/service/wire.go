@@ -44,12 +44,18 @@ type WireTerm struct {
 // SolveRequest is the client→service message: a QUBO instance, or — when
 // Profile is set — a synthetic profile job (the load generator's unit of
 // work: the service replays the phase costs through the real dispatch
-// machinery without solving anything).
+// machinery without solving anything), or — when Ping is set — a health
+// probe answered immediately without touching the job queue.
 type SolveRequest struct {
 	Dim   int        `json:"dim,omitempty"`
 	Terms []WireTerm `json:"terms,omitempty"`
 
 	Profile *WireProfile `json:"profile,omitempty"`
+
+	// Ping requests an immediate OK without enqueuing work — the router
+	// tier's health-check probe. A saturated queue still answers pings,
+	// so health reflects liveness, not backlog.
+	Ping bool `json:"ping,omitempty"`
 
 	// Scheduling attributes for profile jobs (JobClass on the wire): the
 	// workload-class index, the sched.Priority rank and the sched.FairShare
@@ -261,6 +267,9 @@ func (s *Service) serveConn(conn net.Conn) {
 }
 
 func (s *Service) handleSolve(req SolveRequest) SolveResponse {
+	if req.Ping {
+		return SolveResponse{OK: true}
+	}
 	if req.Profile != nil {
 		return s.handleProfile(req)
 	}
@@ -328,11 +337,36 @@ func (s *Service) handleProfile(req SolveRequest) SolveResponse {
 	}
 }
 
+// ErrClientClosed is returned by round trips on (or interrupted by) a
+// closed Client.
+var ErrClientClosed = errors.New("service: client closed")
+
 // Client is the remote handle to a serving solver service.
+//
+// Lifecycle and the round-trip path are deliberately decoupled: opMu
+// serializes round trips while mu guards only the connection state, so
+// Close from another goroutine closes the connection out from under an
+// in-flight solve and unblocks it immediately — even with no timeout set
+// against a hung or partitioned server.
+//
+// The length-prefixed stream is stateful: a deadline firing mid-frame (or
+// any other I/O error) can leave a partially written request or partially
+// read response on the wire, after which the next frame would decode
+// garbage. A Client therefore never reuses a connection that saw an I/O
+// error — the connection is torn down on the spot and the next round trip
+// transparently redials. Server-reported errors (a refused QUBO, an
+// oversized profile) arrive in complete frames and keep the connection.
 type Client struct {
-	mu      sync.Mutex
+	addr string
+
+	// opMu serializes round trips. It is never held by Close, and the
+	// network I/O under it never holds mu.
+	opMu sync.Mutex
+
+	mu      sync.Mutex // guards conn, timeout, closed
 	conn    net.Conn
 	timeout time.Duration
+	closed  bool
 }
 
 // Dial connects to a solver service front-end.
@@ -349,7 +383,7 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, timeout: timeout}, nil
+	return &Client{addr: addr, conn: conn, timeout: timeout}, nil
 }
 
 // SetTimeout bounds each Solve round trip (0 disables). Solves queue behind
@@ -384,21 +418,45 @@ func (c *Client) ProfileClass(p arch.JobProfile, class JobClass) (SolveResponse,
 	return c.roundTrip(req)
 }
 
+// Ping round-trips a health probe: an immediate OK from a live server,
+// skipping the job queue entirely.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(SolveRequest{Ping: true})
+	return err
+}
+
+// Do round-trips an arbitrary request — the router tier forwards client
+// frames through this without re-encoding them. A response with OK false
+// is returned alongside the server error, exactly like the typed methods.
+func (c *Client) Do(req SolveRequest) (SolveResponse, error) {
+	return c.roundTrip(req)
+}
+
 func (c *Client) roundTrip(req SolveRequest) (SolveResponse, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.timeout > 0 {
-		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-			return SolveResponse{}, err
-		}
-		defer c.conn.SetDeadline(time.Time{})
-	}
-	if err := qpuserver.WriteMessage(c.conn, req); err != nil {
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	conn, timeout, err := c.ensureConn()
+	if err != nil {
 		return SolveResponse{}, err
+	}
+	if timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return SolveResponse{}, c.ioError(conn, err)
+		}
+	}
+	if err := qpuserver.WriteMessage(conn, req); err != nil {
+		return SolveResponse{}, c.ioError(conn, err)
 	}
 	var resp SolveResponse
-	if err := qpuserver.ReadMessage(c.conn, &resp); err != nil {
-		return SolveResponse{}, err
+	if err := qpuserver.ReadMessage(conn, &resp); err != nil {
+		return SolveResponse{}, c.ioError(conn, err)
+	}
+	if timeout > 0 {
+		if err := conn.SetDeadline(time.Time{}); err != nil {
+			// The frame completed, but the connection state is suspect;
+			// retire it rather than risk a desynced reuse.
+			c.ioError(conn, err)
+		}
 	}
 	if !resp.OK {
 		return resp, fmt.Errorf("service: server error: %s", resp.Error)
@@ -406,9 +464,65 @@ func (c *Client) roundTrip(req SolveRequest) (SolveResponse, error) {
 	return resp, nil
 }
 
-// Close releases the connection.
-func (c *Client) Close() error {
+// ensureConn returns the live connection, redialing if the previous one was
+// retired by an I/O error. The dial happens outside mu so a concurrent
+// Close is never blocked behind an unresponsive network.
+func (c *Client) ensureConn() (net.Conn, time.Duration, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, 0, ErrClientClosed
+	}
+	if c.conn != nil {
+		conn, timeout := c.conn, c.timeout
+		c.mu.Unlock()
+		return conn, timeout, nil
+	}
+	timeout := c.timeout
+	c.mu.Unlock()
+
+	conn, err := net.DialTimeout("tcp", c.addr, timeout)
+	if err != nil {
+		return nil, 0, fmt.Errorf("service: redial %s: %w", c.addr, err)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.conn.Close()
+	if c.closed {
+		conn.Close()
+		return nil, 0, ErrClientClosed
+	}
+	c.conn = conn
+	return conn, c.timeout, nil
+}
+
+// ioError retires a connection after an I/O failure: the stream may hold a
+// partial frame, so it must never carry another request. When the failure
+// was induced by a concurrent Close, the close is the real story.
+func (c *Client) ioError(conn net.Conn, err error) error {
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+	}
+	closed := c.closed
+	c.mu.Unlock()
+	conn.Close()
+	if closed {
+		return ErrClientClosed
+	}
+	return err
+}
+
+// Close releases the connection. A round trip blocked on the network is
+// interrupted immediately (it fails with ErrClientClosed) — Close never
+// waits behind in-flight I/O.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	conn := c.conn
+	c.conn = nil
+	c.closed = true
+	c.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
 }

@@ -20,6 +20,7 @@ import (
 
 	"github.com/splitexec/splitexec/internal/des"
 	"github.com/splitexec/splitexec/internal/loadgen"
+	"github.com/splitexec/splitexec/internal/router"
 	"github.com/splitexec/splitexec/internal/service"
 	"github.com/splitexec/splitexec/internal/workload"
 )
@@ -37,6 +38,10 @@ type Options struct {
 	// Quick runs only the corpus's cheapest scenario (fewest horizon jobs,
 	// ties broken by name) — the CI smoke configuration.
 	Quick bool
+	// Scenario, when non-empty, restricts the run to corpus entries whose
+	// scenario name or file name (with or without .json) matches exactly.
+	// Applied before Quick, so -quick -scenario X smoke-tests X itself.
+	Scenario string
 	// Attempts is the per-scenario retry budget for the band check: tail
 	// latency under injected chaos is noisy, so a scenario passes if any
 	// attempt lands in band. Values <= 0 select 3.
@@ -86,6 +91,19 @@ func Run(opts Options) (*Report, error) {
 	scenarios, err := loadCorpus(opts.Dir)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Scenario != "" {
+		var keep []corpusEntry
+		for _, e := range scenarios {
+			if e.sc.Name == opts.Scenario || e.file == opts.Scenario ||
+				e.file == opts.Scenario+".json" {
+				keep = append(keep, e)
+			}
+		}
+		if len(keep) == 0 {
+			return nil, fmt.Errorf("storm: no corpus scenario matches %q", opts.Scenario)
+		}
+		scenarios = keep
 	}
 	if opts.Quick {
 		scenarios = scenarios[:1]
@@ -169,8 +187,14 @@ func runScenario(entry corpusEntry, opts Options) ScenarioResult {
 
 // replayLive brings up the scenario's deployment, serves it over loopback
 // TCP, replays the workload (faults included) through the load generator,
-// drains, and fills in the attempt's measurements and verdict.
+// drains, and fills in the attempt's measurements and verdict. Cluster
+// scenarios bring up the full federation: one service per shard behind a
+// router front end, with shard faults driven through the router's
+// membership hooks.
 func replayLive(sc *workload.Scenario, pred *des.Result, res *ScenarioResult) error {
+	if sc.ShardCount() > 1 {
+		return replayCluster(sc, pred, res)
+	}
 	depth := sc.Horizon.Jobs
 	if depth <= 0 {
 		depth = 1024
@@ -227,6 +251,136 @@ func replayLive(sc *workload.Scenario, pred *des.Result, res *ScenarioResult) er
 			drained.Jobs, drained.Failed, drained.Submitted)
 	}
 	return nil
+}
+
+// replayCluster realizes a federated scenario: one live service per shard
+// behind a router front end, the load generator driving the router over
+// TCP. A declared shard fault is applied through the router's membership
+// hooks — FailShard interrupts the victim's in-flight round trips exactly
+// as a crashed shard would, and RestoreShard re-admits it when the outage
+// window closes — so the re-dispatch machinery is exercised on the real
+// wire. The conservation check aggregates the per-shard ledgers.
+func replayCluster(sc *workload.Scenario, pred *des.Result, res *ScenarioResult) error {
+	shards := sc.ShardCount()
+	depth := sc.Horizon.Jobs
+	if depth <= 0 {
+		depth = 1024
+	}
+	svcOpts := service.Options{
+		Workers:    sc.System.Hosts,
+		Fleet:      sc.System.QPUs(),
+		QueueDepth: depth,
+		Policy:     sc.Policy,
+	}
+	if sc.Faults != nil {
+		svcOpts.MaxRetries = sc.RetryLimit()
+		svcOpts.RetryBackoff = sc.RetryBackoff()
+	}
+	svcs := make([]*service.Service, 0, shards)
+	drainAll := func() (jobs, failed, submitted int) {
+		for _, svc := range svcs {
+			d := svc.Drain()
+			jobs += d.Jobs
+			failed += d.Failed
+			submitted += d.Submitted
+		}
+		return
+	}
+	addrs := make([]string, 0, shards)
+	for i := 0; i < shards; i++ {
+		svc, err := service.New(svcOpts)
+		if err != nil {
+			drainAll()
+			return err
+		}
+		svcs = append(svcs, svc)
+		addr, err := svc.Listen("127.0.0.1:0")
+		if err != nil {
+			drainAll()
+			return err
+		}
+		addrs = append(addrs, addr.String())
+	}
+
+	rtOpts := router.Options{
+		Shards:         addrs,
+		QueueDepth:     depth,
+		StealThreshold: sc.StealThreshold(),
+		PingEvery:      -1, // membership is driven by the fault schedule
+	}
+	if sc.Cluster != nil {
+		rtOpts.Replicas = sc.Cluster.Replicas
+	}
+	if sc.Faults != nil {
+		rtOpts.MaxRetries = sc.RetryLimit()
+		rtOpts.Backoff = sc.RetryBackoff()
+	}
+	rt, err := router.New(rtOpts)
+	if err != nil {
+		drainAll()
+		return err
+	}
+	front, err := rt.Listen("127.0.0.1:0")
+	if err != nil {
+		rt.Drain()
+		drainAll()
+		return err
+	}
+
+	var timers []*time.Timer
+	if sc.HasShardFault() {
+		sf := sc.Faults.Shard
+		timers = append(timers, time.AfterFunc(sf.At.D(), func() { rt.FailShard(sf.Shard) }))
+		if sf.For > 0 {
+			timers = append(timers, time.AfterFunc((sf.At+sf.For).D(), func() { rt.RestoreShard(sf.Shard) }))
+		}
+	}
+
+	got, lerr := loadgen.Run(sc, loadgen.Options{
+		Addr:    front.String(),
+		Conns:   clusterConns(sc),
+		Timeout: 30 * time.Second,
+		// The per-shard fleets take the scenario's global device-fault
+		// streams, shard i owning devices [i×QPUs, (i+1)×QPUs).
+		Fleets: svcs,
+	})
+	for _, t := range timers {
+		t.Stop()
+	}
+	rt.Drain()
+	jobs, failed, submitted := drainAll()
+	if lerr != nil {
+		return lerr
+	}
+
+	res.Jobs = got.Jobs
+	res.Failed = got.Failed
+	res.Retries = got.Retries
+	res.Drops = got.Drops
+	res.Submitted = submitted
+	res.LiveP99 = got.Sojourn.P99
+	res.Ratio = 0
+	if pred.Sojourn.P99 > 0 {
+		res.Ratio = float64(got.Sojourn.P99) / float64(pred.Sojourn.P99)
+	}
+	// Every shard's own ledger must balance — a router re-dispatch shows up
+	// as a fresh submission on the survivor, so the aggregate balances too.
+	conserved := jobs+failed == submitted
+	res.Pass = conserved && res.Ratio >= res.Band.Lo && res.Ratio <= res.Band.Hi
+	if !conserved {
+		res.Error = fmt.Sprintf("cluster ledger leak: %d completed + %d failed != %d submitted",
+			jobs, failed, submitted)
+	}
+	return nil
+}
+
+// clusterConns scales the replay pool to the federation width.
+func clusterConns(sc *workload.Scenario) int {
+	n := conns(sc) * sc.ShardCount()
+	if n > 128 {
+		n = 128
+	}
+	return n
 }
 
 // band resolves the scenario's acceptance band.

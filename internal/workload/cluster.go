@@ -1,0 +1,96 @@
+// Cluster topology: the federated half of a scenario. A ClusterSpec scales
+// the per-shard deployment (SystemSpec) out to N shards behind a
+// consistent-hash router tier — the regime of the ROADMAP's
+// millions-of-users north star, where one node's worth of hosts and QPUs
+// (the paper's Fig. 1 unit) is the building block, not the system. The
+// shard-key derivation lives here so the discrete-event simulator and the
+// live router (internal/router) resolve byte-identical shard assignments
+// from the same ring.
+package workload
+
+import (
+	"fmt"
+
+	"github.com/splitexec/splitexec/internal/ring"
+)
+
+// MaxShards bounds the cluster fan-out a scenario may declare: hostile
+// specs must not be able to demand memory for millions of shards.
+const MaxShards = 256
+
+// ClusterSpec federates the scenario's System across Shards identical
+// shards behind a consistent-hash router. Nil (the default) is the
+// single-node deployment every pre-cluster scenario describes.
+type ClusterSpec struct {
+	// Shards is the shard count; each shard runs the full SystemSpec
+	// (Hosts workers, QPUs() devices).
+	Shards int `json:"shards"`
+	// StealThreshold enables cross-shard work stealing: a job whose home
+	// shard's backlog has reached this length is dispatched to the shard
+	// with the shortest backlog instead (ties break on the lowest shard
+	// index, keeping the decision deterministic). Zero disables stealing —
+	// jobs always follow hash ownership.
+	StealThreshold int `json:"stealThreshold,omitempty"`
+	// Replicas is the ring's virtual-node count per shard; zero selects
+	// ring.DefaultReplicas.
+	Replicas int `json:"replicas,omitempty"`
+}
+
+// validate checks the spec.
+func (c *ClusterSpec) validate() error {
+	if c.Shards < 1 || c.Shards > MaxShards {
+		return fmt.Errorf("workload: cluster shards %d outside [1, %d]", c.Shards, MaxShards)
+	}
+	if c.StealThreshold < 0 {
+		return fmt.Errorf("workload: negative stealThreshold %d", c.StealThreshold)
+	}
+	if c.Replicas < 0 {
+		return fmt.Errorf("workload: negative ring replicas %d", c.Replicas)
+	}
+	return nil
+}
+
+// ShardCount is the scenario's effective shard count (1 without a cluster).
+func (sc *Scenario) ShardCount() int {
+	if sc.Cluster == nil {
+		return 1
+	}
+	return sc.Cluster.Shards
+}
+
+// StealThreshold is the scenario's effective work-stealing threshold
+// (0 = stealing disabled).
+func (sc *Scenario) StealThreshold() int {
+	if sc.Cluster == nil {
+		return 0
+	}
+	return sc.Cluster.StealThreshold
+}
+
+// ShardName is the ring member name of shard i. The DES, the live router
+// and the capacity planner all derive membership from these names, so hash
+// ownership agrees everywhere by construction.
+func ShardName(i int) string { return fmt.Sprintf("shard-%d", i) }
+
+// ClassKey is the shard key of a profile job: jobs of one workload class
+// share a key, so a class's working set (and its embedding-cache locality,
+// for QUBO classes) stays pinned to one home shard.
+func ClassKey(class int) string { return fmt.Sprintf("class-%d", class) }
+
+// ClusterRing builds the scenario's full-membership hash ring, or nil for
+// single-node scenarios.
+func (sc *Scenario) ClusterRing() *ring.Ring {
+	if sc.Cluster == nil {
+		return nil
+	}
+	members := make([]string, sc.Cluster.Shards)
+	for i := range members {
+		members[i] = ShardName(i)
+	}
+	return ring.New(members, sc.Cluster.Replicas)
+}
+
+// HasShardFault reports whether the scenario kills a shard mid-run.
+func (sc *Scenario) HasShardFault() bool {
+	return sc.Faults != nil && sc.Faults.Shard != nil
+}

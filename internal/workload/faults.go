@@ -69,11 +69,28 @@ type FaultSpec struct {
 	// retried after Backoff. Zero disables drops.
 	DropProb float64 `json:"dropProb,omitempty"`
 
-	// MaxRetries is the per-job retry budget shared by lease revocations
-	// and connection drops (default 3). A job that exhausts it fails.
+	// MaxRetries is the per-job retry budget shared by lease revocations,
+	// connection drops and shard-loss re-dispatches (default 3). A job
+	// that exhausts it fails.
 	MaxRetries int `json:"maxRetries,omitempty"`
 	// Backoff is the pause before each retry (default 1ms).
 	Backoff Duration `json:"backoff,omitempty"`
+
+	// Shard, when non-nil, kills one whole shard of a cluster scenario
+	// mid-run — the router-tier fault the single-node fault classes above
+	// cannot express. Requires Scenario.Cluster with at least two shards.
+	Shard *ShardFault `json:"shard,omitempty"`
+}
+
+// ShardFault schedules the death of one cluster shard: at At the shard's
+// hosts and devices vanish — in-flight jobs are aborted and re-dispatched to
+// surviving shards against the shared MaxRetries/Backoff budget, and hash
+// ownership rebalances with bounded key movement. A zero For keeps the
+// shard dead for the rest of the run; otherwise it rejoins after For.
+type ShardFault struct {
+	Shard int      `json:"shard"`
+	At    Duration `json:"at"`
+	For   Duration `json:"for,omitempty"`
 }
 
 // validate checks the spec; comparisons are written so NaN never passes.
@@ -101,6 +118,14 @@ func (f *FaultSpec) validate() error {
 	}
 	if f.Backoff < 0 || f.Backoff.D() > time.Minute {
 		return fmt.Errorf("workload: backoff %v outside [0, 1m]", f.Backoff)
+	}
+	if s := f.Shard; s != nil {
+		if s.Shard < 0 {
+			return fmt.Errorf("workload: negative shard index %d in shard fault", s.Shard)
+		}
+		if s.At < 0 || s.For < 0 {
+			return fmt.Errorf("workload: negative shard fault times %v/%v", s.At, s.For)
+		}
 	}
 	return nil
 }

@@ -284,6 +284,11 @@ type Scenario struct {
 	// Band, when non-nil, declares the scenario's DES-vs-live acceptance
 	// band for the storm soak runner.
 	Band *Band `json:"band,omitempty"`
+	// Cluster, when non-nil, federates System across N shards behind a
+	// consistent-hash router tier (cluster.go). The DES and the live
+	// router realize the same ring, stealing rule and shard-loss
+	// re-dispatch, so a cluster scenario stays one reproducible experiment.
+	Cluster *ClusterSpec `json:"cluster,omitempty"`
 }
 
 // Validate checks structural consistency; it is called by Decode and by
@@ -367,9 +372,25 @@ func (sc *Scenario) Validate() error {
 		return fmt.Errorf("workload: horizon wants %d jobs but trace holds %d offsets",
 			sc.Horizon.Jobs, len(sc.Arrival.Trace))
 	}
+	if sc.Cluster != nil {
+		if err := sc.Cluster.validate(); err != nil {
+			return err
+		}
+	}
 	if sc.Faults != nil {
 		if err := sc.Faults.validate(); err != nil {
 			return err
+		}
+		if sf := sc.Faults.Shard; sf != nil {
+			// A shard fault needs somewhere for the re-dispatched jobs to
+			// go: a cluster of at least two shards, one of which is the
+			// victim.
+			if sc.Cluster == nil || sc.Cluster.Shards < 2 {
+				return fmt.Errorf("workload: shard fault needs a cluster with >= 2 shards")
+			}
+			if sf.Shard >= sc.Cluster.Shards {
+				return fmt.Errorf("workload: shard fault targets shard %d of %d", sf.Shard, sc.Cluster.Shards)
+			}
 		}
 	}
 	if b := sc.Band; b != nil {
