@@ -11,6 +11,7 @@ import (
 
 	"github.com/splitexec/splitexec/internal/des"
 	"github.com/splitexec/splitexec/internal/loadgen"
+	"github.com/splitexec/splitexec/internal/obs"
 	"github.com/splitexec/splitexec/internal/service"
 	"github.com/splitexec/splitexec/internal/stats"
 )
@@ -29,6 +30,7 @@ func runLoadgen(args []string) {
 		conns        = fs.Int("conns", 16, "TCP connection pool size (with -addr)")
 		timeout      = fs.Duration("timeout", 30*time.Second, "per-job round-trip bound (with -addr)")
 		asJSON       = fs.Bool("json", false, "emit the result as JSON instead of a table")
+		obsAddr      = fs.String("obs", "", "HTTP admin endpoint address for the generator's own telemetry (empty = off)")
 	)
 	fs.Parse(args)
 	sc := loadScenario(*scenarioPath, *seed)
@@ -39,6 +41,23 @@ func runLoadgen(args []string) {
 	}
 
 	opts := loadgen.Options{Addr: *addr, Conns: *conns, Timeout: *timeout}
+	var scope *obs.Scope
+	if *obsAddr != "" {
+		// The generator's own telemetry: client-observed counters and
+		// sojourns, with the drift alarm armed straight from the prediction
+		// it already computed for the comparison table.
+		scope = obs.NewScope()
+		if sc.Band != nil {
+			if alarm := obs.NewDriftAlarm(pred.SojournBands(*sc.Band), obs.DriftOptions{
+				Gauge: scope.Reg.Gauge("splitexec_drift_alarm"),
+			}); alarm != nil {
+				scope.SetDrift(alarm)
+			}
+		}
+		opts.Obs = scope
+	}
+	admin := startObs(*obsAddr, scope)
+	defer admin.Close()
 	if *addr == "" {
 		// No remote target: bring up the scenario's own deployment in
 		// process, sized for the offered load.
@@ -51,12 +70,13 @@ func runLoadgen(args []string) {
 			Fleet:      sc.System.QPUs(),
 			QueueDepth: depth,
 			Policy:     sc.Policy, // realize the scenario's discipline live
+			Obs:        scope,     // one scope for both halves of the run
 		})
 		if err != nil {
 			log.Fatalf("splitexec loadgen: %v", err)
 		}
 		defer svc.Drain()
-		opts = loadgen.Options{Service: svc}
+		opts = loadgen.Options{Service: svc, Obs: scope}
 	}
 
 	got, err := loadgen.Run(sc, opts)

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"encoding/json"
+	"log"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/des"
+	"github.com/splitexec/splitexec/internal/obs"
+	"github.com/splitexec/splitexec/internal/workload"
+)
+
+// startObs brings up the opt-in HTTP admin endpoint shared by the serving
+// subcommands: /metrics, /healthz, /jobz, /varz and /debug/pprof. An empty
+// addr (the default) means telemetry stays off. The returned server's Close
+// is nil-safe, so drain paths call it unconditionally.
+func startObs(addr string, scope *obs.Scope, health ...obs.HealthCheck) *obs.Server {
+	if addr == "" {
+		return nil
+	}
+	srv, err := obs.Serve(addr, obs.ServerOptions{Scope: scope, Health: health})
+	if err != nil {
+		log.Fatalf("splitexec: admin endpoint: %v", err)
+	}
+	log.Printf("splitexec: admin endpoint on http://%s (/metrics /healthz /jobz /varz /debug/pprof)", srv.Addr())
+	return srv
+}
+
+// armDrift closes the predicted→measured loop for a serving deployment: it
+// simulates the scenario's DES twin and arms the scope's drift alarm with
+// the per-class sojourn predictions wrapped in the scenario's declared
+// acceptance band. Scenarios without a band (or without usable predictions)
+// leave the alarm off — /healthz then reports liveness only.
+func armDrift(scope *obs.Scope, sc *workload.Scenario) {
+	if scope == nil || sc == nil || sc.Band == nil {
+		return
+	}
+	pred, err := des.Simulate(sc, des.Options{})
+	if err != nil {
+		log.Printf("splitexec: drift alarm disabled: DES prediction failed: %v", err)
+		return
+	}
+	alarm := obs.NewDriftAlarm(pred.SojournBands(*sc.Band), obs.DriftOptions{
+		Gauge: scope.Reg.Gauge("splitexec_drift_alarm"),
+	})
+	if alarm == nil {
+		log.Printf("splitexec: drift alarm disabled: no usable per-class predictions")
+		return
+	}
+	scope.SetDrift(alarm)
+	log.Printf("splitexec: drift alarm armed from scenario %q (%d classes, band [%.2f, %.2f])",
+		name(sc), len(sc.Mix), sc.Band.Lo, sc.Band.Hi)
+}
+
+// startPeriodicReport logs fn()'s JSON to stderr every interval until the
+// returned stop runs — the `-report` progress stream of the serving
+// subcommands. Stderr, not stdout: the final drain report owns stdout, and
+// interleaving snapshots there would corrupt piped JSON.
+func startPeriodicReport(every time.Duration, what string, fn func() any) (stop func()) {
+	if every <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				out, err := json.Marshal(fn())
+				if err != nil {
+					log.Printf("splitexec: %s snapshot: %v", what, err)
+					continue
+				}
+				log.Printf("splitexec: %s snapshot: %s", what, out)
+			}
+		}
+	}()
+	return func() { close(done) }
+}

@@ -11,6 +11,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/splitexec/splitexec/internal/obs"
 	"github.com/splitexec/splitexec/internal/router"
 )
 
@@ -34,6 +35,8 @@ func runRoute(args []string) {
 		pingFail = fs.Int("pingfail", 0, "consecutive ping failures before a shard is marked down (0 = default)")
 		replicas = fs.Int("replicas", 0, "virtual nodes per shard on the hash ring (0 = default)")
 		timeout  = fs.Duration("timeout", 0, "per-request shard I/O timeout (0 = none)")
+		obsAddr  = fs.String("obs", "", "HTTP admin endpoint address (/metrics /healthz /jobz /varz /debug/pprof; empty = off)")
+		report   = fs.Duration("report", 0, "log a JSON dispatch-ledger snapshot to stderr at this interval (0 = off)")
 	)
 	fs.Parse(args)
 
@@ -47,6 +50,10 @@ func runRoute(args []string) {
 		log.Fatalf("splitexec route: -shards requires at least one backing service address")
 	}
 
+	var scope *obs.Scope
+	if *obsAddr != "" {
+		scope = obs.NewScope()
+	}
 	rt, err := router.New(router.Options{
 		Shards:          members,
 		ClientsPerShard: *clients,
@@ -58,10 +65,21 @@ func runRoute(args []string) {
 		PingFailLimit:   *pingFail,
 		Replicas:        *replicas,
 		Timeout:         *timeout,
+		Obs:             scope,
 	})
 	if err != nil {
 		log.Fatalf("splitexec route: %v", err)
 	}
+	// /healthz on the router answers for the membership: all shards down is
+	// an outage even while the process itself is alive.
+	admin := startObs(*obsAddr, scope, obs.HealthCheck{Name: "shards", Check: func() error {
+		for _, up := range rt.Up() {
+			if up {
+				return nil
+			}
+		}
+		return fmt.Errorf("no shards up")
+	}})
 	bound, err := rt.Listen(*addr)
 	if err != nil {
 		log.Fatalf("splitexec route: %v", err)
@@ -70,6 +88,7 @@ func runRoute(args []string) {
 		len(members), bound, strings.Join(members, ", "))
 
 	// Route until interrupted, then drain and report the dispatch ledger.
+	stopReport := startPeriodicReport(*report, "route", func() any { return rt.Stats() })
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -90,7 +109,11 @@ func runRoute(args []string) {
 	}()
 	<-sig
 	log.Printf("splitexec: draining router")
+	stopReport()
 	rt.Drain()
+	if err := admin.Close(); err != nil {
+		log.Printf("splitexec route: closing admin endpoint: %v", err)
+	}
 	out, err := json.MarshalIndent(rt.Stats(), "", "  ")
 	if err != nil {
 		log.Fatalf("splitexec route: encoding stats: %v", err)

@@ -14,6 +14,7 @@ import (
 	"github.com/splitexec/splitexec/internal/embed"
 	"github.com/splitexec/splitexec/internal/graph"
 	"github.com/splitexec/splitexec/internal/machine"
+	"github.com/splitexec/splitexec/internal/obs"
 	"github.com/splitexec/splitexec/internal/sched"
 	"github.com/splitexec/splitexec/internal/service"
 )
@@ -36,6 +37,9 @@ func runServe(args []string) {
 		bitpar  = fs.Bool("bitparallel", false, "multi-spin-coded QPU kernel: 64 anneal replicas per machine word")
 		seed    = fs.Int64("seed", 1, "base seed for the per-job RNG streams")
 		cache   = fs.Bool("cache", true, "share an off-line embedding cache across workers")
+		obsAddr = fs.String("obs", "", "HTTP admin endpoint address (/metrics /healthz /jobz /varz /debug/pprof; empty = off)")
+		report  = fs.Duration("report", 0, "log a JSON progress snapshot to stderr at this interval (0 = off)")
+		driftSc = fs.String("scenario", "", "scenario JSON file whose DES prediction arms the sojourn drift alarm (needs -obs and a scenario band)")
 	)
 	fs.Parse(args)
 
@@ -56,10 +60,19 @@ func runServe(args []string) {
 	if *cache {
 		opts.Cache = core.NewEmbeddingCache()
 	}
+	var scope *obs.Scope
+	if *obsAddr != "" {
+		scope = obs.NewScope()
+		if *driftSc != "" {
+			armDrift(scope, loadScenario(*driftSc, 0))
+		}
+		opts.Obs = scope
+	}
 	svc, err := service.New(opts)
 	if err != nil {
 		log.Fatalf("splitexec serve: %v", err)
 	}
+	admin := startObs(*obsAddr, scope)
 	bound, err := svc.Listen(*addr)
 	if err != nil {
 		log.Fatalf("splitexec serve: %v", err)
@@ -68,11 +81,18 @@ func runServe(args []string) {
 		bound, svc.Workers(), svc.FleetSize(), svc.Policy(), *m, *ncols)
 
 	// Serve until interrupted, then drain and report the measured run.
+	stopReport := startPeriodicReport(*report, "serve", func() any { return svc.Snapshot() })
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("splitexec: draining")
+	stopReport()
 	rep := svc.Drain()
+	// The admin endpoint outlives intake so a final scrape can observe the
+	// drained counters, then shuts down gracefully.
+	if err := admin.Close(); err != nil {
+		log.Printf("splitexec serve: closing admin endpoint: %v", err)
+	}
 	// The drain report goes to stdout as JSON — machine-readable ops
 	// output that scripts can pipe straight into jq or a metrics store.
 	out, err := json.MarshalIndent(rep, "", "  ")

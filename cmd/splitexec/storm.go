@@ -22,10 +22,11 @@ func runStorm(args []string) {
 		attempts = fs.Int("attempts", 3, "per-scenario live-replay attempts before failing the band check")
 		asJSON   = fs.Bool("json", false, "emit the pass/fail report as JSON instead of a table")
 		quiet    = fs.Bool("quiet", false, "suppress per-attempt progress lines")
+		obsAddr  = fs.String("obs", "", "serve the admin endpoint on this address during replays and self-scrape /metrics + /healthz as part of the verdict (use 127.0.0.1:0; empty = off)")
 	)
 	fs.Parse(args)
 
-	opts := storm.Options{Dir: *dir, Quick: *quick, Scenario: *scenario, Attempts: *attempts}
+	opts := storm.Options{Dir: *dir, Quick: *quick, Scenario: *scenario, Attempts: *attempts, ObsAddr: *obsAddr}
 	if !*quiet && !*asJSON {
 		opts.Log = os.Stderr
 	}
@@ -46,9 +47,16 @@ func runStorm(args []string) {
 			if !s.Pass {
 				verdict = "FAIL"
 			}
-			fmt.Printf("%s %-24s p99 %v vs DES %v (%.2fx, band [%.2f, %.2f]) jobs=%d failed=%d retries=%d drops=%d attempts=%d\n",
+			extra := ""
+			if s.Stolen > 0 || s.Redispatched > 0 {
+				extra = fmt.Sprintf(" stolen=%d redispatched=%d", s.Stolen, s.Redispatched)
+			}
+			if s.Obs != "" {
+				extra += " obs=" + s.Obs
+			}
+			fmt.Printf("%s %-24s p99 %v vs DES %v (%.2fx, band [%.2f, %.2f]) jobs=%d failed=%d retries=%d drops=%d attempts=%d%s\n",
 				verdict, s.Name, s.LiveP99.Round(time.Microsecond), s.DESP99.Round(time.Microsecond),
-				s.Ratio, s.Band.Lo, s.Band.Hi, s.Jobs, s.Failed, s.Retries, s.Drops, s.Attempts)
+				s.Ratio, s.Band.Lo, s.Band.Hi, s.Jobs, s.Failed, s.Retries, s.Drops, s.Attempts, extra)
 			if s.Error != "" {
 				fmt.Printf("     %s: %s\n", s.Name, s.Error)
 			}

@@ -1,0 +1,117 @@
+package benchio
+
+import (
+	"testing"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/arch"
+	"github.com/splitexec/splitexec/internal/obs"
+	"github.com/splitexec/splitexec/internal/service"
+)
+
+// The telemetry overhead benchmarks pin the central promise of the obs
+// layer: a deployment that never passes -obs pays one nil-check branch per
+// instrumentation site on the Submit hot path — single-digit nanoseconds
+// and zero allocations — while an armed registry stays a lock-free atomic
+// add. They run in the CI bench smoke beside the kernel suite, so either
+// cost regressing (or starting to allocate) is visible on every push.
+
+// BenchmarkObsDisabled measures the nil-receiver fast path of each handle
+// kind the service tier touches per job. This is the disabled-registry
+// Submit-path delta: every sample must stay within a couple of nanoseconds.
+func BenchmarkObsDisabled(b *testing.B) {
+	b.Run("counter", func(b *testing.B) {
+		var c *obs.Counter
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		var h *obs.Histogram
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(time.Duration(i))
+		}
+	})
+	b.Run("span", func(b *testing.B) {
+		var tr *obs.Tracer
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := tr.Start("job", int64(i), 0)
+			sp.Event(obs.StageQueue)
+			sp.Finish("")
+		}
+	})
+	b.Run("drift", func(b *testing.B) {
+		var d *obs.DriftAlarm
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d.Observe(0, time.Duration(i))
+		}
+	})
+}
+
+// BenchmarkObsEnabled measures the armed counterparts: atomic counter
+// increments, the histogram's binary-search bucket add, and a full traced
+// span through the ring buffer.
+func BenchmarkObsEnabled(b *testing.B) {
+	b.Run("counter", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		c := reg.Counter("bench_jobs_total")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		h := reg.Histogram("bench_sojourn_seconds", nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(time.Duration(i%1000) * time.Microsecond)
+		}
+	})
+	b.Run("span", func(b *testing.B) {
+		tr := obs.NewTracer(obs.DefaultTraceCapacity)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := tr.Start("job", int64(i), 0)
+			sp.Event(obs.StageQueue)
+			sp.Finish("")
+		}
+	})
+}
+
+// BenchmarkServiceSubmitObs drives the real Submit path end to end —
+// profile jobs through a live worker pool — once without a scope and once
+// with the full scope armed, so the whole-stack overhead (counters, three
+// histograms, a traced span per job) is measured in context, not just in
+// microbenchmark isolation.
+func BenchmarkServiceSubmitObs(b *testing.B) {
+	profile := arch.JobProfile{
+		PreProcess:  10 * time.Microsecond,
+		QPUService:  10 * time.Microsecond,
+		PostProcess: 5 * time.Microsecond,
+	}
+	run := func(b *testing.B, scope *obs.Scope) {
+		svc, err := service.New(service.Options{Workers: 2, Fleet: 2, QueueDepth: 4096, Obs: scope})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Drain()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t, err := svc.SubmitProfile(profile)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := t.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, obs.NewScope()) })
+}

@@ -1,0 +1,45 @@
+package des
+
+import (
+	"github.com/splitexec/splitexec/internal/obs"
+	"github.com/splitexec/splitexec/internal/workload"
+)
+
+// SojournBands exports the result's per-class sojourn predictions in the
+// reusable form obs.DriftAlarm consumes: the DES mean (and p99 for context)
+// per class, wrapped in the scenario's declared acceptance ratios. Classes
+// the simulation never completed a job for are skipped — there is no
+// prediction to drift from. Single-class scenarios carry no per-class
+// breakdown (the simulator only splits ClassSojourn for mixes of two or
+// more), so the aggregate digest stands in as class 0 — for one class it
+// is the class digest. This is the bridge of the predicted→measured loop:
+// simulate the scenario once, arm the live deployment's alarm with the
+// bands, and /healthz flips when measured sojourns leave the envelope.
+func (r *Result) SojournBands(band workload.Band) []obs.SojournBand {
+	if len(r.ClassSojourn) == 0 {
+		if r.Sojourn.N == 0 {
+			return nil
+		}
+		return []obs.SojournBand{{
+			Class:     0,
+			Predicted: r.Sojourn.Mean,
+			P99:       r.Sojourn.P99,
+			Lo:        band.Lo,
+			Hi:        band.Hi,
+		}}
+	}
+	out := make([]obs.SojournBand, 0, len(r.ClassSojourn))
+	for c, s := range r.ClassSojourn {
+		if s.N == 0 {
+			continue
+		}
+		out = append(out, obs.SojournBand{
+			Class:     c,
+			Predicted: s.Mean,
+			P99:       s.P99,
+			Lo:        band.Lo,
+			Hi:        band.Hi,
+		})
+	}
+	return out
+}

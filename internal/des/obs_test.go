@@ -1,0 +1,79 @@
+package des
+
+import (
+	"testing"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/workload"
+)
+
+func bandScenario(t *testing.T, mix string) *workload.Scenario {
+	t.Helper()
+	sc, err := workload.Decode([]byte(`{
+	  "name": "bands", "seed": 7,
+	  "arrival": {"kind": "poisson", "rate": 200},
+	  "mix": [` + mix + `],
+	  "system": {"kind": "shared", "hosts": 2},
+	  "horizon": {"jobs": 200}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestSojournBandsSingleClass: a one-class scenario has no per-class
+// breakdown in the DES result, so the aggregate digest must stand in as
+// class 0 — otherwise the drift alarm would silently never arm for the
+// most common scenario shape.
+func TestSojournBandsSingleClass(t *testing.T) {
+	sc := bandScenario(t, `{"name": "only", "weight": 1,
+		"profile": {"preProcess": "300µs", "qpuService": "200µs"}}`)
+	r, err := Simulate(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bands := r.SojournBands(workload.Band{Lo: 0.5, Hi: 2})
+	if len(bands) != 1 {
+		t.Fatalf("got %d bands, want 1 (aggregate fallback)", len(bands))
+	}
+	b := bands[0]
+	if b.Class != 0 || b.Predicted != r.Sojourn.Mean || b.P99 != r.Sojourn.P99 {
+		t.Errorf("band %+v does not mirror the aggregate digest %v/%v", b, r.Sojourn.Mean, r.Sojourn.P99)
+	}
+	if b.Lo != 0.5 || b.Hi != 2 {
+		t.Errorf("band ratios %v/%v, want 0.5/2", b.Lo, b.Hi)
+	}
+	if b.Predicted <= 0 {
+		t.Errorf("degenerate predicted sojourn %v", b.Predicted)
+	}
+}
+
+// TestSojournBandsPerClass: a multi-class mix exports one band per class
+// that completed jobs, carrying that class's own digest.
+func TestSojournBandsPerClass(t *testing.T) {
+	sc := bandScenario(t, `{"name": "fast", "weight": 3,
+		"profile": {"preProcess": "200µs", "qpuService": "100µs"}},
+		{"name": "slow", "weight": 1,
+		"profile": {"preProcess": "2ms", "qpuService": "1ms"}}`)
+	r, err := Simulate(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bands := r.SojournBands(workload.Band{Lo: 0.25, Hi: 4})
+	if len(bands) != 2 {
+		t.Fatalf("got %d bands, want one per class", len(bands))
+	}
+	byClass := map[int]time.Duration{}
+	for _, b := range bands {
+		byClass[b.Class] = b.Predicted
+	}
+	if len(byClass) != 2 || byClass[0] <= 0 || byClass[1] <= 0 {
+		t.Fatalf("bands %+v do not cover both classes", bands)
+	}
+	// The slow class must predict a visibly larger sojourn than the fast
+	// one — the per-class split is the point of the breakdown.
+	if byClass[1] <= byClass[0] {
+		t.Errorf("slow class predicted %v <= fast class %v", byClass[1], byClass[0])
+	}
+}

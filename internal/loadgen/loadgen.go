@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/splitexec/splitexec/internal/arch"
+	"github.com/splitexec/splitexec/internal/obs"
 	"github.com/splitexec/splitexec/internal/service"
 	"github.com/splitexec/splitexec/internal/stats"
 	"github.com/splitexec/splitexec/internal/workload"
@@ -55,16 +56,34 @@ type Options struct {
 	// (shard, device) pairs in the same order. Takes precedence over
 	// Fleet.
 	Fleets []*service.Service
+	// Obs, when non-nil, is the telemetry scope the generator publishes
+	// into: offered/completed/failed/drop counters and the client-observed
+	// sojourn histogram into its registry, and completed sojourns into its
+	// drift alarm — the client-side feed of the DES-drift loop, useful when
+	// the serving side runs in another process.
+	Obs *obs.Scope
+}
+
+// measure is one submission's server-reported measurements: the per-job
+// waits, the server-side retry count, and — behind a router front end — the
+// routing metadata the router stamped on the response.
+type measure struct {
+	queueWait time.Duration
+	qpuWait   time.Duration
+	retries   int
+	routing   *service.WireRouting
 }
 
 // jobRecord is one measured job.
 type jobRecord struct {
-	queueWait time.Duration
-	qpuWait   time.Duration
-	sojourn   time.Duration
-	retries   int
-	drops     int
-	err       error
+	queueWait    time.Duration
+	qpuWait      time.Duration
+	sojourn      time.Duration
+	retries      int
+	drops        int
+	stolen       bool
+	redispatches int
+	err          error
 }
 
 // Result aggregates one load-generation run in the same shape as the DES
@@ -90,12 +109,21 @@ type Result struct {
 	// outside a fault regime, both mirroring the DES Result fields.
 	Retries int `json:"retries,omitempty"`
 	Drops   int `json:"drops,omitempty"`
+
+	// Router-tier routing metadata, aggregated from the WireRouting each
+	// routed response carries: jobs the steal rule diverted off their home
+	// shard, and shard-loss re-dispatches consumed. Both zero against a
+	// direct (un-routed) service, whose responses carry no routing. These
+	// reconcile with the router's own Stats and /jobz spans — the post-run
+	// report and the live endpoint cite the same per-job facts.
+	Stolen       int `json:"stolen,omitempty"`
+	Redispatched int `json:"redispatched,omitempty"`
 }
 
 // submitter abstracts the two transports behind one blocking call. The
 // class attributes let the service's scheduler realize the scenario's
 // policy on live jobs exactly as the DES does in virtual time.
-type submitter func(p arch.JobProfile, class service.JobClass) (queueWait, qpuWait time.Duration, retries int, err error)
+type submitter func(p arch.JobProfile, class service.JobClass) (measure, error)
 
 // classOf extracts the scheduling attributes of a sampled job from the
 // scenario mix.
@@ -145,6 +173,21 @@ func Run(sc *workload.Scenario, opts Options) (*Result, error) {
 	}
 	backoff := sc.RetryBackoff()
 
+	// Telemetry handles, resolved once; all nil (and free) without a scope.
+	reg := opts.Obs.Registry()
+	lgSubmitted := reg.Counter("splitexec_loadgen_submitted_total")
+	lgCompleted := reg.Counter("splitexec_loadgen_completed_total")
+	lgFailed := reg.Counter("splitexec_loadgen_failed_total")
+	lgDrops := reg.Counter("splitexec_loadgen_drops_total")
+	lgSojourn := reg.Histogram("splitexec_loadgen_sojourn_seconds", nil)
+	// The drift alarm takes the client-observed feed only against a remote
+	// target: in-process the service shares the scope and feeds the alarm
+	// itself, and a second feed would double-count every sojourn.
+	drift := opts.Obs.DriftAlarm()
+	if opts.Addr == "" {
+		drift = nil
+	}
+
 	var (
 		records []jobRecord
 		mu      sync.Mutex
@@ -166,23 +209,37 @@ func Run(sc *workload.Scenario, opts Options) (*Result, error) {
 	launch := func(idx int, plannedAt time.Time) {
 		defer wg.Done()
 		plan := sc.DropPlanFor(idx)
+		lgDrops.Add(int64(plan.Drops))
 		for d := 0; d < plan.Drops; d++ {
 			if opts.Addr != "" {
 				dropConnection(opts.Addr, opts.Timeout)
 			}
 			if plan.Fatal && d == plan.Drops-1 {
+				lgFailed.Inc()
 				record(jobRecord{drops: plan.Drops, err: errDropped})
 				return
 			}
 			sleepUntil(time.Now().Add(backoff))
 		}
 		job := sc.JobAt(idx)
-		qw, dw, retries, err := submit(job.Profile, classOf(sc, job))
+		lgSubmitted.Inc()
+		m, err := submit(job.Profile, classOf(sc, job))
 		if err != nil {
+			lgFailed.Inc()
 			record(jobRecord{drops: plan.Drops, err: err})
 			return
 		}
-		record(jobRecord{queueWait: qw, qpuWait: dw, sojourn: time.Since(plannedAt), retries: retries, drops: plan.Drops})
+		sojourn := time.Since(plannedAt)
+		lgCompleted.Inc()
+		lgSojourn.Observe(sojourn)
+		drift.Observe(job.Class, sojourn)
+		rec := jobRecord{queueWait: m.queueWait, qpuWait: m.qpuWait, sojourn: sojourn,
+			retries: m.retries, drops: plan.Drops}
+		if m.routing != nil {
+			rec.stolen = m.routing.Stolen
+			rec.redispatches = m.routing.Redispatches
+		}
+		record(rec)
 	}
 
 	if sc.Arrival.Kind == workload.ClosedLoop {
@@ -218,6 +275,10 @@ func Run(sc *workload.Scenario, opts Options) (*Result, error) {
 	for _, rec := range records {
 		r.Retries += rec.retries
 		r.Drops += rec.drops
+		r.Redispatched += rec.redispatches
+		if rec.stolen {
+			r.Stolen++
+		}
 		if rec.err != nil {
 			r.Failed++
 			continue
@@ -337,16 +398,16 @@ func outageHorizon(sc *workload.Scenario) time.Duration {
 }
 
 // inProcess submits one profile job through the service API.
-func (o Options) inProcess(p arch.JobProfile, class service.JobClass) (time.Duration, time.Duration, int, error) {
+func (o Options) inProcess(p arch.JobProfile, class service.JobClass) (measure, error) {
 	t, err := o.Service.SubmitProfileClass(p, class)
 	if err != nil {
-		return 0, 0, 0, err
+		return measure{}, err
 	}
 	if _, err := t.Wait(); err != nil {
-		return 0, 0, 0, err
+		return measure{}, err
 	}
 	m := t.Metrics()
-	return m.QueueWait, m.QPUWait, m.Retries, nil
+	return measure{queueWait: m.QueueWait, qpuWait: m.QPUWait, retries: m.Retries}, nil
 }
 
 // dialPool builds a pool of TCP clients and returns a submitter drawing
@@ -371,15 +432,19 @@ func dialPool(opts Options) (submitter, func(), error) {
 		}
 		pool <- c
 	}
-	submit := func(p arch.JobProfile, class service.JobClass) (time.Duration, time.Duration, int, error) {
+	submit := func(p arch.JobProfile, class service.JobClass) (measure, error) {
 		c := <-pool
 		defer func() { pool <- c }()
 		resp, err := c.ProfileClass(p, class)
 		if err != nil {
-			return 0, 0, 0, err
+			return measure{}, err
 		}
-		return time.Duration(resp.QueueWaitUS) * time.Microsecond,
-			time.Duration(resp.QPUWaitUS) * time.Microsecond, resp.Retries, nil
+		return measure{
+			queueWait: time.Duration(resp.QueueWaitUS) * time.Microsecond,
+			qpuWait:   time.Duration(resp.QPUWaitUS) * time.Microsecond,
+			retries:   resp.Retries,
+			routing:   resp.Routing,
+		}, nil
 	}
 	closer := func() {
 		for i := 0; i < conns; i++ {

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SojournBand is one class's predicted sojourn digest in the reusable form
+// the drift alarm consumes: the DES-predicted mean plus the scenario's
+// acceptance ratios. internal/des exports these from a simulated Result
+// (Result.SojournBands), closing the predicted→measured loop the paper's
+// comparison methodology implies.
+type SojournBand struct {
+	Class     int           `json:"class"`
+	Predicted time.Duration `json:"predicted"` // DES mean sojourn
+	P99       time.Duration `json:"p99"`       // DES p99 sojourn (context)
+	Lo        float64       `json:"lo"`        // measured/predicted lower bound
+	Hi        float64       `json:"hi"`        // measured/predicted upper bound
+}
+
+// DriftOptions tune a DriftAlarm.
+type DriftOptions struct {
+	// Window is the per-class sliding-window size in samples (0 selects
+	// 256): the alarm judges the mean of the last Window sojourns.
+	Window int
+	// MinSamples is the evidence floor: a class with fewer observations in
+	// its window never alarms (0 selects 32). Startup transients and
+	// near-idle classes stay quiet.
+	MinSamples int
+	// Gauge, when non-nil, is flipped 1/0 as the alarm trips/clears on
+	// each Check — typically Registry.Gauge("splitexec_drift_alarm").
+	Gauge *Gauge
+}
+
+// ClassDrift is one class's verdict at Check time.
+type ClassDrift struct {
+	Class     int           `json:"class"`
+	Samples   int           `json:"samples"`
+	Measured  time.Duration `json:"measured"`  // windowed mean sojourn
+	Predicted time.Duration `json:"predicted"` // DES mean
+	Ratio     float64       `json:"ratio"`     // measured / predicted
+	Lo        float64       `json:"lo"`
+	Hi        float64       `json:"hi"`
+	// Drifting is true when the ratio left [Lo, Hi] with enough evidence.
+	Drifting bool `json:"drifting"`
+}
+
+// DriftReport aggregates one Check.
+type DriftReport struct {
+	Drifting bool         `json:"drifting"`
+	Classes  []ClassDrift `json:"classes"`
+}
+
+// DriftAlarm folds live per-class sojourn observations into fixed-size
+// sliding windows and compares each window's mean against the class's
+// DES-predicted band. It is the operational alarm of the ROADMAP's
+// learning-augmented telemetry loop: measured behavior leaving the
+// predicted envelope flips /healthz (via Healthy) and the wired gauge.
+//
+// Observe is the hot-path half: one mutex-guarded ring write, no
+// allocation. Check — the scrape-time half — walks the windows. A nil
+// alarm no-ops everywhere.
+type DriftAlarm struct {
+	bands      []SojournBand
+	window     int
+	minSamples int
+	gauge      *Gauge
+
+	mu    sync.Mutex
+	rings [][]time.Duration // per band: ring of the last window sojourns
+	next  []uint64          // per band: total observations
+}
+
+// NewDriftAlarm builds an alarm over the given per-class bands. Bands with
+// non-positive Predicted or a degenerate ratio range are ignored (they can
+// never judge anything). Returns nil — the disabled alarm — when no usable
+// band remains, so callers can wire it unconditionally.
+func NewDriftAlarm(bands []SojournBand, opts DriftOptions) *DriftAlarm {
+	usable := make([]SojournBand, 0, len(bands))
+	for _, b := range bands {
+		if b.Predicted > 0 && b.Lo > 0 && b.Hi >= b.Lo {
+			usable = append(usable, b)
+		}
+	}
+	if len(usable) == 0 {
+		return nil
+	}
+	if opts.Window <= 0 {
+		opts.Window = 256
+	}
+	if opts.MinSamples <= 0 {
+		opts.MinSamples = 32
+	}
+	if opts.MinSamples > opts.Window {
+		opts.MinSamples = opts.Window
+	}
+	a := &DriftAlarm{
+		bands:      usable,
+		window:     opts.Window,
+		minSamples: opts.MinSamples,
+		gauge:      opts.Gauge,
+		rings:      make([][]time.Duration, len(usable)),
+		next:       make([]uint64, len(usable)),
+	}
+	for i := range a.rings {
+		a.rings[i] = make([]time.Duration, opts.Window)
+	}
+	return a
+}
+
+// Observe folds one completed job's sojourn into its class window. Classes
+// without a band are ignored.
+func (a *DriftAlarm) Observe(class int, sojourn time.Duration) {
+	if a == nil {
+		return
+	}
+	for i := range a.bands {
+		if a.bands[i].Class != class {
+			continue
+		}
+		a.mu.Lock()
+		a.rings[i][a.next[i]%uint64(a.window)] = sojourn
+		a.next[i]++
+		a.mu.Unlock()
+		return
+	}
+}
+
+// Check evaluates every class window against its band and flips the wired
+// gauge. It is cheap enough to run on every scrape.
+func (a *DriftAlarm) Check() DriftReport {
+	if a == nil {
+		return DriftReport{}
+	}
+	rep := DriftReport{Classes: make([]ClassDrift, 0, len(a.bands))}
+	a.mu.Lock()
+	for i, b := range a.bands {
+		n := int(a.next[i])
+		if n > a.window {
+			n = a.window
+		}
+		cd := ClassDrift{Class: b.Class, Samples: n, Predicted: b.Predicted, Lo: b.Lo, Hi: b.Hi}
+		if n > 0 {
+			var sum time.Duration
+			for _, d := range a.rings[i][:n] {
+				sum += d
+			}
+			cd.Measured = sum / time.Duration(n)
+			cd.Ratio = float64(cd.Measured) / float64(b.Predicted)
+			cd.Drifting = n >= a.minSamples && (cd.Ratio < b.Lo || cd.Ratio > b.Hi)
+		}
+		if cd.Drifting {
+			rep.Drifting = true
+		}
+		rep.Classes = append(rep.Classes, cd)
+	}
+	a.mu.Unlock()
+	if a.gauge != nil {
+		if rep.Drifting {
+			a.gauge.Set(1)
+		} else {
+			a.gauge.Set(0)
+		}
+	}
+	return rep
+}
+
+// Healthy is the /healthz hook: it runs a Check and reports the drifting
+// classes as an error, or nil while measured stays inside the predicted
+// envelope.
+func (a *DriftAlarm) Healthy() error {
+	if a == nil {
+		return nil
+	}
+	rep := a.Check()
+	if !rep.Drifting {
+		return nil
+	}
+	msg := "sojourn drift outside DES band:"
+	for _, cd := range rep.Classes {
+		if cd.Drifting {
+			msg += fmt.Sprintf(" class %d %.2fx (band [%.2f, %.2f], measured %v vs predicted %v, n=%d);",
+				cd.Class, cd.Ratio, cd.Lo, cd.Hi, cd.Measured, cd.Predicted, cd.Samples)
+		}
+	}
+	return fmt.Errorf("%s", msg)
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders the registry in the Prometheus text exposition format
+// (version 0.0.4): one `# TYPE` line per metric family, series sorted
+// lexicographically, histograms as cumulative `_bucket{le=...}` series plus
+// `_sum`/`_count`. Durations are exposed in seconds, the Prometheus base
+// unit. A nil registry writes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	series := r.snapshot()
+	// Group into families: the TYPE line names the base metric, and every
+	// labeled series of it follows.
+	type family struct {
+		base string
+		kind string
+		rows []snapshotSeries
+	}
+	fams := map[string]*family{}
+	order := []string{}
+	for _, s := range series {
+		base, _, _ := splitName(s.name)
+		f, ok := fams[base]
+		if !ok {
+			f = &family{base: base, kind: s.kind}
+			fams[base] = f
+			order = append(order, base)
+		}
+		f.rows = append(f.rows, s)
+	}
+	sort.Strings(order)
+	for _, base := range order {
+		f := fams[base]
+		fmt.Fprintf(bw, "# TYPE %s %s\n", base, f.kind)
+		for _, s := range f.rows {
+			if s.kind == "histogram" {
+				writeHistogram(bw, s.name, s.hist)
+				continue
+			}
+			fmt.Fprintf(bw, "%s %s\n", s.name, formatValue(s.val))
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram emits the cumulative bucket series of one histogram. The
+// le label merges into any label set the series name already carries.
+func writeHistogram(w io.Writer, name string, h *histSnapshot) {
+	base, labels, _ := splitName(name)
+	series := func(suffix, extra string) string {
+		l := labels
+		if extra != "" {
+			if l != "" {
+				l += ","
+			}
+			l += extra
+		}
+		if l == "" {
+			return base + suffix
+		}
+		return base + suffix + "{" + l + "}"
+	}
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s %d\n", series("_bucket", fmt.Sprintf("le=%q", formatValue(bound.Seconds()))), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s %d\n", series("_bucket", `le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s %s\n", series("_sum", ""), formatValue(h.sum.Seconds()))
+	fmt.Fprintf(w, "%s %d\n", series("_count", ""), h.n)
+}
+
+// formatValue renders a sample value the way Prometheus clients do:
+// shortest round-trip representation, no exponent for integral values in
+// int64 range.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ValidateExposition checks text for gross Prometheus exposition-format
+// violations: non-comment lines must be `name[{labels}] value`, every
+// series must follow a TYPE line declaring its family, and histogram
+// families must close with _sum and _count. It is the malformed-output gate
+// the storm runner applies to live /metrics scrapes.
+func ValidateExposition(text string) error {
+	typed := map[string]string{}
+	seen := false
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("obs: line %d: malformed TYPE comment %q", ln+1, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("obs: line %d: unknown metric type %q", ln+1, fields[3])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		seen = true
+		name, value, ok := splitSample(line)
+		if !ok {
+			return fmt.Errorf("obs: line %d: malformed sample %q", ln+1, line)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("obs: line %d: bad sample value %q", ln+1, value)
+		}
+		base, _, ok := splitName(name)
+		if !ok {
+			return fmt.Errorf("obs: line %d: malformed series name %q", ln+1, name)
+		}
+		fam := base
+		if t := familyOf(typed, base); t != "" {
+			fam = t
+		}
+		if _, ok := typed[fam]; !ok {
+			return fmt.Errorf("obs: line %d: series %q has no TYPE declaration", ln+1, name)
+		}
+	}
+	if !seen {
+		return fmt.Errorf("obs: exposition has no samples")
+	}
+	return nil
+}
+
+// familyOf resolves a histogram sub-series (_bucket/_sum/_count) to its
+// declared family name, or "" when base itself should be declared.
+func familyOf(typed map[string]string, base string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		fam, ok := strings.CutSuffix(base, suffix)
+		if ok && typed[fam] == "histogram" {
+			return fam
+		}
+	}
+	return ""
+}
+
+// splitSample separates `name[{labels}] value` — timestamps are not emitted
+// by this registry and are rejected.
+func splitSample(line string) (name, value string, ok bool) {
+	// The label body may contain spaces inside quoted values, so split on
+	// the last space outside braces.
+	end := strings.LastIndexByte(line, '}')
+	rest := line
+	if end >= 0 {
+		rest = line[end:]
+	}
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return "", "", false
+	}
+	if end >= 0 {
+		sp += end
+	}
+	name = strings.TrimSpace(line[:sp])
+	value = strings.TrimSpace(line[sp+1:])
+	if name == "" || value == "" || strings.ContainsAny(value, " \t") {
+		return "", "", false
+	}
+	return name, value, true
+}

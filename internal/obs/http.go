@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Scope bundles the telemetry destinations one deployment publishes into.
+// Components accept a *Scope and instrument against its (possibly nil)
+// members; a nil *Scope is fully-disabled telemetry at nil-check cost.
+type Scope struct {
+	Reg   *Registry
+	Trace *Tracer
+	Drift *DriftAlarm
+}
+
+// Registry returns the scope's registry (nil on a nil scope).
+func (s *Scope) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.Reg
+}
+
+// Tracer returns the scope's tracer (nil on a nil scope).
+func (s *Scope) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.Trace
+}
+
+// DriftAlarm returns the scope's drift alarm (nil on a nil scope).
+func (s *Scope) DriftAlarm() *DriftAlarm {
+	if s == nil {
+		return nil
+	}
+	return s.Drift
+}
+
+// NewScope builds a fully-armed scope: fresh registry and a default-size
+// tracer. The drift alarm stays nil until the caller has predictions to arm
+// it with (SetDrift).
+func NewScope() *Scope {
+	return &Scope{Reg: NewRegistry(), Trace: NewTracer(0)}
+}
+
+// SetDrift arms (or replaces) the scope's drift alarm. No-op on nil.
+func (s *Scope) SetDrift(a *DriftAlarm) {
+	if s == nil {
+		return
+	}
+	s.Drift = a
+}
+
+// HealthCheck is one named /healthz probe.
+type HealthCheck struct {
+	Name  string
+	Check func() error
+}
+
+// ServerOptions configure the admin endpoint.
+type ServerOptions struct {
+	Scope *Scope
+	// Health are additional probes beyond the scope's drift alarm.
+	Health []HealthCheck
+	// JobzLimit caps one /jobz response (0 selects 100 spans by default,
+	// ?n= up to the tracer's retained window).
+	JobzLimit int
+}
+
+// Server is the opt-in HTTP admin endpoint: /metrics (Prometheus text
+// format), /healthz, /jobz (recent trace spans as JSON), /varz (registry
+// snapshot as JSON) and the net/http/pprof handlers under /debug/pprof/.
+// It serves on its own mux — nothing leaks into http.DefaultServeMux.
+type Server struct {
+	opts ServerOptions
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// Serve binds addr and serves the admin endpoint in the background until
+// Close.
+func Serve(addr string, opts ServerOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{opts: opts, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/jobz", s.handleJobz)
+	mux.HandleFunc("/varz", s.handleVarz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr reports the bound listen address.
+func (s *Server) Addr() net.Addr {
+	if s == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close shuts the admin server down gracefully: in-flight scrapes finish
+// (bounded by a short deadline), then the listener closes. Nil-safe, so
+// drain paths can call it unconditionally.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// A Check refreshes the drift gauge before the registry renders, so
+	// the scraped series reflects this scrape's window, not the last one.
+	s.opts.Scope.DriftAlarm().Check()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.opts.Scope.Registry().WriteProm(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	type failure struct {
+		Name  string `json:"name"`
+		Error string `json:"error"`
+	}
+	var fails []failure
+	if err := s.opts.Scope.DriftAlarm().Healthy(); err != nil {
+		fails = append(fails, failure{Name: "drift", Error: err.Error()})
+	}
+	for _, hc := range s.opts.Health {
+		if err := hc.Check(); err != nil {
+			fails = append(fails, failure{Name: hc.Name, Error: err.Error()})
+		}
+	}
+	if len(fails) == 0 {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	json.NewEncoder(w).Encode(fails)
+}
+
+func (s *Server) handleJobz(w http.ResponseWriter, r *http.Request) {
+	n := s.opts.JobzLimit
+	if n <= 0 {
+		n = 100
+	}
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			n = v
+		}
+	}
+	tr := s.opts.Scope.Tracer()
+	out := struct {
+		Recorded uint64 `json:"recorded"`
+		Spans    []Span `json:"spans"`
+	}{Recorded: tr.Recorded(), Spans: tr.Recent(n)}
+	if out.Spans == nil {
+		out.Spans = []Span{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.opts.Scope.Registry().Varz())
+}
+
+// VarzHistogram is a histogram's /varz rendering.
+type VarzHistogram struct {
+	Count   int64         `json:"count"`
+	Sum     time.Duration `json:"sum"`
+	Buckets []VarzBucket  `json:"buckets"`
+}
+
+// VarzBucket is one cumulative histogram bucket.
+type VarzBucket struct {
+	LE    string `json:"le"` // upper bound in seconds ("+Inf" for overflow)
+	Count int64  `json:"count"`
+}
+
+// Varz snapshots the registry as a JSON-friendly map: scalar series to
+// numbers, histograms to VarzHistogram. A nil registry snapshots empty.
+func (r *Registry) Varz() map[string]interface{} {
+	out := map[string]interface{}{}
+	if r == nil {
+		return out
+	}
+	for _, s := range r.snapshot() {
+		if s.kind != "histogram" {
+			out[s.name] = s.val
+			continue
+		}
+		vh := VarzHistogram{Count: s.hist.n, Sum: s.hist.sum}
+		var cum int64
+		for i, b := range s.hist.bounds {
+			cum += s.hist.counts[i]
+			vh.Buckets = append(vh.Buckets, VarzBucket{LE: formatValue(b.Seconds()), Count: cum})
+		}
+		cum += s.hist.counts[len(s.hist.bounds)]
+		vh.Buckets = append(vh.Buckets, VarzBucket{LE: "+Inf", Count: cum})
+		out[s.name] = vh
+	}
+	return out
+}

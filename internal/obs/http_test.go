@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	sc := NewScope()
+	sc.Reg.Counter("splitexec_jobs_submitted_total").Add(5)
+	sc.Reg.Histogram("splitexec_sojourn_seconds", nil).Observe(3 * time.Millisecond)
+	b := sc.Trace.Start("job", 0, 1)
+	b.Event(StageQueue)
+	b.Finish("")
+
+	var degraded bool
+	srv, err := Serve("127.0.0.1:0", ServerOptions{
+		Scope: sc,
+		Health: []HealthCheck{{Name: "custom", Check: func() error {
+			if degraded {
+				return fmt.Errorf("custom check tripped")
+			}
+			return nil
+		}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr().String()
+
+	// /metrics: valid exposition carrying the registered series.
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.Contains(body, "splitexec_jobs_submitted_total 5") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if err := ValidateExposition(body); err != nil {
+		t.Fatalf("/metrics malformed: %v", err)
+	}
+
+	// /healthz: ok, then 503 once a check fails.
+	code, body = get(t, base+"/healthz")
+	if code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	degraded = true
+	code, body = get(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "custom check tripped") {
+		t.Fatalf("degraded /healthz = %d %q", code, body)
+	}
+	degraded = false
+
+	// /jobz: the recorded span, as JSON.
+	code, body = get(t, base+"/jobz?n=10")
+	if code != 200 {
+		t.Fatalf("/jobz = %d", code)
+	}
+	var jobz struct {
+		Recorded uint64 `json:"recorded"`
+		Spans    []Span `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &jobz); err != nil {
+		t.Fatalf("/jobz JSON: %v\n%s", err, body)
+	}
+	if jobz.Recorded != 1 || len(jobz.Spans) != 1 || jobz.Spans[0].Class != 1 {
+		t.Fatalf("/jobz = %+v", jobz)
+	}
+
+	// /varz: registry snapshot as JSON.
+	code, body = get(t, base+"/varz")
+	if code != 200 {
+		t.Fatalf("/varz = %d", code)
+	}
+	var varz map[string]interface{}
+	if err := json.Unmarshal([]byte(body), &varz); err != nil {
+		t.Fatalf("/varz JSON: %v", err)
+	}
+	if varz["splitexec_jobs_submitted_total"] != float64(5) {
+		t.Fatalf("/varz counter = %v", varz["splitexec_jobs_submitted_total"])
+	}
+
+	// pprof is wired.
+	code, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestHealthzDriftIntegration(t *testing.T) {
+	sc := NewScope()
+	gauge := sc.Reg.Gauge("splitexec_drift_alarm")
+	sc.SetDrift(NewDriftAlarm([]SojournBand{{Class: 0, Predicted: time.Millisecond, Lo: 0.5, Hi: 2}},
+		DriftOptions{Window: 8, MinSamples: 2, Gauge: gauge}))
+	srv, err := Serve("127.0.0.1:0", ServerOptions{Scope: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr().String()
+
+	for i := 0; i < 4; i++ {
+		sc.Drift.Observe(0, 50*time.Millisecond) // 50x the prediction
+	}
+	code, body := get(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "drift") {
+		t.Fatalf("drifted /healthz = %d %q", code, body)
+	}
+	// The /metrics scrape refreshes the gauge via Check.
+	_, body = get(t, base+"/metrics")
+	if !strings.Contains(body, "splitexec_drift_alarm 1") {
+		t.Fatalf("drift gauge not flipped in:\n%s", body)
+	}
+}
+
+func TestServerGracefulClose(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", ServerOptions{Scope: NewScope()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("closed server must refuse connections")
+	}
+	// Close is idempotent and nil-safe.
+	srv.Close()
+	var nilSrv *Server
+	if err := nilSrv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// The whole disabled-telemetry surface: nil registry, nil handles,
+	// nil tracer, nil builder, nil alarm, nil scope. None may panic.
+	var r *Registry
+	c := r.Counter("x_total")
+	g := r.Gauge("x")
+	h := r.Histogram("x_seconds", nil)
+	r.GaugeFunc("y", func() float64 { return 1 })
+	r.CounterFunc("y_total", func() float64 { return 1 })
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(time.Millisecond)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+	if err := r.WriteProm(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Varz()) != 0 {
+		t.Fatal("nil registry Varz must be empty")
+	}
+
+	var tr *Tracer
+	b := tr.Start("job", 1, 0)
+	b.Event(StageQueue)
+	b.AddRetry()
+	b.SetRouting(1, 0, true, 2)
+	b.Finish("")
+	if tr.Recorded() != 0 || tr.Recent(10) != nil {
+		t.Fatal("nil tracer must record nothing")
+	}
+
+	var a *DriftAlarm
+	a.Observe(0, time.Second)
+	if rep := a.Check(); rep.Drifting {
+		t.Fatal("nil alarm must not drift")
+	}
+	if err := a.Healthy(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sc *Scope
+	if sc.Registry() != nil || sc.Tracer() != nil || sc.DriftAlarm() != nil {
+		t.Fatal("nil scope accessors must return nil")
+	}
+	sc.SetDrift(nil)
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if r.Counter("jobs_total") != c {
+		t.Fatal("same name must return the same handle")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	h := r.Histogram("lat_seconds", []time.Duration{time.Millisecond, 10 * time.Millisecond})
+	h.Observe(500 * time.Microsecond) // bucket 0
+	h.Observe(time.Millisecond)       // bucket 0 (le is inclusive)
+	h.Observe(5 * time.Millisecond)   // bucket 1
+	h.Observe(time.Second)            // overflow
+	if h.Count() != 4 {
+		t.Fatalf("hist count = %d", h.Count())
+	}
+	if want := 500*time.Microsecond + time.Millisecond + 5*time.Millisecond + time.Second; h.Sum() != want {
+		t.Fatalf("hist sum = %v, want %v", h.Sum(), want)
+	}
+}
+
+func TestLabelFormatting(t *testing.T) {
+	if got := Label("busy", "device", "3"); got != `busy{device="3"}` {
+		t.Fatalf("Label = %q", got)
+	}
+	if got := Label("plain"); got != "plain" {
+		t.Fatalf("Label = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd kv list must panic")
+		}
+	}()
+	Label("x", "lonely")
+}
+
+func TestBadNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1leading_digit", "has space", "dash-ed", `unterminated{a="b"`} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q must panic", bad)
+				}
+			}()
+			r.Counter(bad)
+		}()
+	}
+}
+
+func TestPromExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("splitexec_jobs_total").Add(3)
+	r.Counter(Label("splitexec_device_busy_seconds_total", "device", "0")).Add(1)
+	r.Counter(Label("splitexec_device_busy_seconds_total", "device", "1")).Add(2)
+	r.Gauge("splitexec_queue_depth").Set(4)
+	r.GaugeFunc("splitexec_live", func() float64 { return 1.5 })
+	h := r.Histogram(Label("splitexec_sojourn_seconds", "tier", "svc"), []time.Duration{time.Millisecond, time.Second})
+	h.Observe(2 * time.Millisecond)
+	h.Observe(500 * time.Microsecond)
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE splitexec_jobs_total counter\n",
+		"splitexec_jobs_total 3\n",
+		`splitexec_device_busy_seconds_total{device="0"} 1` + "\n",
+		"# TYPE splitexec_queue_depth gauge\n",
+		"splitexec_queue_depth 4\n",
+		"splitexec_live 1.5\n",
+		"# TYPE splitexec_sojourn_seconds histogram\n",
+		`splitexec_sojourn_seconds_bucket{tier="svc",le="0.001"} 1` + "\n",
+		`splitexec_sojourn_seconds_bucket{tier="svc",le="1"} 2` + "\n",
+		`splitexec_sojourn_seconds_bucket{tier="svc",le="+Inf"} 2` + "\n",
+		`splitexec_sojourn_seconds_sum{tier="svc"} 0.0025` + "\n",
+		`splitexec_sojourn_seconds_count{tier="svc"} 2` + "\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	if err := ValidateExposition(text); err != nil {
+		t.Fatalf("own exposition must validate: %v\n%s", err, text)
+	}
+	// Deterministic: two renders are byte-identical.
+	var sb2 strings.Builder
+	r.WriteProm(&sb2)
+	if sb2.String() != text {
+		t.Fatal("exposition output must be deterministic")
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"no samples":     "# TYPE x counter\n",
+		"untyped series": "rogue_metric 1\n",
+		"bad value":      "# TYPE x counter\nx pear\n",
+		"no value":       "# TYPE x counter\nx\n",
+		"bad TYPE line":  "# TYPE x\nx 1\n",
+		"unknown type":   "# TYPE x flavor\nx 1\n",
+	}
+	for name, text := range cases {
+		if err := ValidateExposition(text); err == nil {
+			t.Errorf("%s: expected validation error for %q", name, text)
+		}
+	}
+	good := "# TYPE x counter\nx 1\n# TYPE lat histogram\nlat_bucket{le=\"+Inf\"} 1\nlat_sum 0.5\nlat_count 1\n"
+	if err := ValidateExposition(good); err != nil {
+		t.Errorf("valid exposition rejected: %v", err)
+	}
+}
+
+// TestRegistryRaceHammer is the concurrent-writers gate: many goroutines
+// pounding the same handles, new registrations, and scrapes, all under
+// -race in CI.
+func TestRegistryRaceHammer(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(64)
+	const goroutines = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			c := r.Counter("hammer_total")
+			g := r.Gauge("hammer_depth")
+			h := r.Histogram("hammer_seconds", nil)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(time.Duration(i) * time.Microsecond)
+				g.Add(-1)
+				if i%64 == 0 {
+					// Concurrent registration of fresh and existing names.
+					r.Counter(Label("hammer_shard_total", "shard", string(rune('0'+gi))))
+					sp := tr.Start("job", int64(i), gi)
+					sp.Event(StageQueue)
+					sp.Finish("")
+				}
+			}
+		}(gi)
+	}
+	// Concurrent scrapers.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				var sb strings.Builder
+				r.WriteProm(&sb)
+				r.Varz()
+				tr.Recent(16)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hammer_total").Value(); got != goroutines*iters {
+		t.Fatalf("hammer_total = %d, want %d", got, goroutines*iters)
+	}
+	if got := r.Gauge("hammer_depth").Value(); got != 0 {
+		t.Fatalf("hammer_depth = %d, want 0", got)
+	}
+	if got := r.Histogram("hammer_seconds", nil).Count(); got != goroutines*iters {
+		t.Fatalf("hammer_seconds count = %d", got)
+	}
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Lifecycle stage names, in the order a job moves through the serving
+// tiers: submit → queue → route/steal → lease → program → execute → read →
+// done/retry/fail. Components record the stages they own — the router
+// stamps route/steal, the service the device stages — so a /jobz span reads
+// as the job's whole path regardless of which tier traced it.
+const (
+	StageSubmit  = "submit"
+	StageQueue   = "queue"
+	StageRoute   = "route"
+	StageSteal   = "steal"
+	StageLease   = "lease"
+	StageProgram = "program"
+	StageExecute = "execute"
+	StageRead    = "read"
+	StageRetry   = "retry"
+	StageDone    = "done"
+	StageFail    = "fail"
+)
+
+// maxSpanEvents bounds one span's event list: a pathological retry storm
+// must not grow a span without bound. The terminal done/fail event always
+// lands; intermediate events past the cap are dropped and counted.
+const maxSpanEvents = 64
+
+// SpanEvent is one lifecycle transition, as an offset from the span start.
+type SpanEvent struct {
+	Stage string        `json:"stage"`
+	At    time.Duration `json:"at"`
+}
+
+// Span is one job's recorded lifecycle. Routing metadata (shard, steal,
+// re-dispatch) appears on router-tier spans; device metadata on service
+// spans.
+type Span struct {
+	// Seq is the tracer's monotone record number — /jobz pagination key.
+	Seq uint64 `json:"seq"`
+	// ID is the component's own job identifier: the submission index for
+	// service spans, the dispatch sequence for router spans.
+	ID    int64  `json:"id"`
+	Kind  string `json:"kind"`
+	Class int    `json:"class,omitempty"`
+
+	Start time.Time     `json:"start"`
+	Total time.Duration `json:"total"`
+	Err   string        `json:"err,omitempty"`
+
+	// Routing metadata (router-tier spans): the shard that served the job,
+	// its hash-home shard, whether the steal rule diverted it, and how many
+	// shard-loss re-dispatches it consumed.
+	Shard        int  `json:"shard,omitempty"`
+	Home         int  `json:"home,omitempty"`
+	Stolen       bool `json:"stolen,omitempty"`
+	Redispatches int  `json:"redispatches,omitempty"`
+	// Retries counts device-death lease revocations (service spans).
+	Retries int `json:"retries,omitempty"`
+
+	Events []SpanEvent `json:"events"`
+	// Dropped counts events past the per-span cap.
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// Tracer records finished spans into a fixed-capacity ring: memory is
+// bounded at capacity × (span + its events), and the newest spans win. A
+// nil Tracer is a disabled tracer — Start returns a nil builder whose
+// methods no-op.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Span
+	next uint64 // total spans recorded; ring index = next % len(ring)
+}
+
+// DefaultTraceCapacity is the ring size NewTracer(0) selects.
+const DefaultTraceCapacity = 512
+
+// NewTracer builds a tracer retaining the last capacity spans (0 selects
+// DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]Span, capacity)}
+}
+
+// Start opens a span; the submit stage is recorded implicitly at offset 0.
+// The returned builder is owned by one goroutine at a time (the job's
+// carrier), exactly like the job state it shadows.
+func (t *Tracer) Start(kind string, id int64, class int) *SpanBuilder {
+	if t == nil {
+		return nil
+	}
+	b := &SpanBuilder{t: t}
+	b.span.ID = id
+	b.span.Kind = kind
+	b.span.Class = class
+	b.span.Start = time.Now()
+	b.span.Events = append(b.span.Events, SpanEvent{Stage: StageSubmit})
+	return b
+}
+
+// Recorded reports how many spans have finished into the ring over its
+// lifetime (not just those still retained).
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Recent returns up to n finished spans, newest first. n <= 0 selects the
+// whole retained window.
+func (t *Tracer) Recent(n int) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	have := int(t.next)
+	if have > len(t.ring) {
+		have = len(t.ring)
+	}
+	if n <= 0 || n > have {
+		n = have
+	}
+	out := make([]Span, 0, n)
+	for i := 0; i < n; i++ {
+		// Newest first: next-1 is the most recently recorded slot.
+		idx := (t.next - 1 - uint64(i)) % uint64(len(t.ring))
+		out = append(out, t.ring[idx])
+	}
+	return out
+}
+
+// record stores a finished span (called by SpanBuilder.Finish).
+func (t *Tracer) record(sp Span) {
+	t.mu.Lock()
+	sp.Seq = t.next
+	t.ring[t.next%uint64(len(t.ring))] = sp
+	t.next++
+	t.mu.Unlock()
+}
+
+// SpanBuilder accumulates one job's lifecycle before it lands in the ring.
+// All methods are nil-safe; none lock or allocate beyond the event append.
+type SpanBuilder struct {
+	t    *Tracer
+	span Span
+	done bool
+}
+
+// Event records a lifecycle transition at the current time.
+func (b *SpanBuilder) Event(stage string) {
+	if b == nil {
+		return
+	}
+	if len(b.span.Events) >= maxSpanEvents {
+		b.span.Dropped++
+		return
+	}
+	b.span.Events = append(b.span.Events, SpanEvent{Stage: stage, At: time.Since(b.span.Start)})
+}
+
+// SetRouting stamps the router-tier metadata onto the span.
+func (b *SpanBuilder) SetRouting(shard, home int, stolen bool, redispatches int) {
+	if b == nil {
+		return
+	}
+	b.span.Shard = shard
+	b.span.Home = home
+	b.span.Stolen = stolen
+	b.span.Redispatches = redispatches
+}
+
+// AddRetry counts one device-death lease revocation.
+func (b *SpanBuilder) AddRetry() {
+	if b == nil {
+		return
+	}
+	b.span.Retries++
+}
+
+// Finish closes the span — with a terminal done (errmsg empty) or fail
+// event — and records it into the ring. Idempotent: only the first Finish
+// records.
+func (b *SpanBuilder) Finish(errmsg string) {
+	if b == nil || b.done {
+		return
+	}
+	b.done = true
+	b.span.Total = time.Since(b.span.Start)
+	stage := StageDone
+	if errmsg != "" {
+		stage = StageFail
+		b.span.Err = errmsg
+	}
+	if len(b.span.Events) >= maxSpanEvents {
+		// The terminal event always lands: overwrite the last slot so a
+		// capped span still says how it ended.
+		b.span.Events[len(b.span.Events)-1] = SpanEvent{Stage: stage, At: b.span.Total}
+	} else {
+		b.span.Events = append(b.span.Events, SpanEvent{Stage: stage, At: b.span.Total})
+	}
+	b.t.record(b.span)
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerLifecycle(t *testing.T) {
+	tr := NewTracer(4)
+	b := tr.Start("job", 7, 2)
+	b.Event(StageQueue)
+	b.Event(StageLease)
+	b.Event(StageExecute)
+	b.AddRetry()
+	b.Finish("")
+	if tr.Recorded() != 1 {
+		t.Fatalf("recorded = %d", tr.Recorded())
+	}
+	spans := tr.Recent(10)
+	if len(spans) != 1 {
+		t.Fatalf("recent = %d spans", len(spans))
+	}
+	sp := spans[0]
+	if sp.ID != 7 || sp.Kind != "job" || sp.Class != 2 || sp.Retries != 1 {
+		t.Fatalf("span = %+v", sp)
+	}
+	stages := make([]string, 0, len(sp.Events))
+	for _, e := range sp.Events {
+		stages = append(stages, e.Stage)
+	}
+	if got, want := strings.Join(stages, ","), "submit,queue,lease,execute,done"; got != want {
+		t.Fatalf("stages = %s, want %s", got, want)
+	}
+	for i := 1; i < len(sp.Events); i++ {
+		if sp.Events[i].At < sp.Events[i-1].At {
+			t.Fatalf("event offsets must be non-decreasing: %+v", sp.Events)
+		}
+	}
+	if sp.Total < sp.Events[len(sp.Events)-1].At {
+		t.Fatalf("total %v earlier than last event %v", sp.Total, sp.Events[len(sp.Events)-1].At)
+	}
+}
+
+func TestTracerFailSpan(t *testing.T) {
+	tr := NewTracer(4)
+	b := tr.Start("job", 1, 0)
+	b.Finish("boom")
+	sp := tr.Recent(1)[0]
+	if sp.Err != "boom" {
+		t.Fatalf("err = %q", sp.Err)
+	}
+	if last := sp.Events[len(sp.Events)-1]; last.Stage != StageFail {
+		t.Fatalf("terminal stage = %s", last.Stage)
+	}
+	// Double Finish must not record twice.
+	b.Finish("again")
+	if tr.Recorded() != 1 {
+		t.Fatalf("double finish recorded %d spans", tr.Recorded())
+	}
+}
+
+func TestTracerRingBounds(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 10; i++ {
+		b := tr.Start("job", int64(i), 0)
+		b.Finish("")
+	}
+	if tr.Recorded() != 10 {
+		t.Fatalf("recorded = %d", tr.Recorded())
+	}
+	spans := tr.Recent(0)
+	if len(spans) != 3 {
+		t.Fatalf("retained = %d, want ring capacity 3", len(spans))
+	}
+	// Newest first: 9, 8, 7.
+	for i, want := range []int64{9, 8, 7} {
+		if spans[i].ID != want {
+			t.Fatalf("spans[%d].ID = %d, want %d", i, spans[i].ID, want)
+		}
+	}
+	if spans[0].Seq != 9 {
+		t.Fatalf("seq = %d", spans[0].Seq)
+	}
+}
+
+func TestSpanEventCap(t *testing.T) {
+	tr := NewTracer(2)
+	b := tr.Start("job", 1, 0)
+	for i := 0; i < maxSpanEvents+50; i++ {
+		b.Event(StageRetry)
+	}
+	b.Finish("")
+	sp := tr.Recent(1)[0]
+	if len(sp.Events) != maxSpanEvents {
+		t.Fatalf("events = %d, want cap %d", len(sp.Events), maxSpanEvents)
+	}
+	if sp.Dropped == 0 {
+		t.Fatal("dropped counter must record capped events")
+	}
+	if sp.Events[len(sp.Events)-1].Stage != StageDone {
+		t.Fatal("terminal event must survive the cap")
+	}
+}
+
+func TestRoutingMetadata(t *testing.T) {
+	tr := NewTracer(2)
+	b := tr.Start("route", 3, 1)
+	b.Event(StageRoute)
+	b.Event(StageSteal)
+	b.SetRouting(2, 0, true, 1)
+	b.Finish("")
+	sp := tr.Recent(1)[0]
+	if sp.Shard != 2 || sp.Home != 0 || !sp.Stolen || sp.Redispatches != 1 {
+		t.Fatalf("routing metadata = %+v", sp)
+	}
+}
+
+func TestDriftAlarm(t *testing.T) {
+	g := &Gauge{}
+	a := NewDriftAlarm([]SojournBand{
+		{Class: 0, Predicted: 10 * time.Millisecond, Lo: 0.5, Hi: 2.0},
+		{Class: 1, Predicted: 20 * time.Millisecond, Lo: 0.5, Hi: 2.0},
+	}, DriftOptions{Window: 16, MinSamples: 4, Gauge: g})
+	if a == nil {
+		t.Fatal("usable bands must arm the alarm")
+	}
+
+	// In-band observations: healthy.
+	for i := 0; i < 8; i++ {
+		a.Observe(0, 11*time.Millisecond)
+		a.Observe(1, 19*time.Millisecond)
+	}
+	rep := a.Check()
+	if rep.Drifting || g.Value() != 0 {
+		t.Fatalf("in-band must not drift: %+v", rep)
+	}
+	if err := a.Healthy(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Class 1 blows past the band; class 0 stays put.
+	for i := 0; i < 16; i++ {
+		a.Observe(1, 100*time.Millisecond)
+	}
+	rep = a.Check()
+	if !rep.Drifting || g.Value() != 1 {
+		t.Fatalf("out-of-band must drift: %+v gauge=%d", rep, g.Value())
+	}
+	var c1 *ClassDrift
+	for i := range rep.Classes {
+		if rep.Classes[i].Class == 1 {
+			c1 = &rep.Classes[i]
+		}
+	}
+	if c1 == nil || !c1.Drifting || c1.Ratio < 4 {
+		t.Fatalf("class 1 drift = %+v", c1)
+	}
+	err := a.Healthy()
+	if err == nil || !strings.Contains(err.Error(), "class 1") {
+		t.Fatalf("Healthy = %v", err)
+	}
+
+	// Recovery: the window slides back into band and the alarm clears.
+	for i := 0; i < 16; i++ {
+		a.Observe(1, 20*time.Millisecond)
+	}
+	if rep := a.Check(); rep.Drifting || g.Value() != 0 {
+		t.Fatalf("recovered window must clear the alarm: %+v", rep)
+	}
+}
+
+func TestDriftAlarmEvidenceFloor(t *testing.T) {
+	a := NewDriftAlarm([]SojournBand{{Class: 0, Predicted: time.Millisecond, Lo: 0.5, Hi: 2}},
+		DriftOptions{Window: 64, MinSamples: 8})
+	for i := 0; i < 7; i++ {
+		a.Observe(0, time.Second) // wildly out of band, but below the floor
+	}
+	if rep := a.Check(); rep.Drifting {
+		t.Fatalf("below-floor evidence must not alarm: %+v", rep)
+	}
+	a.Observe(0, time.Second)
+	if rep := a.Check(); !rep.Drifting {
+		t.Fatal("at-floor evidence must alarm")
+	}
+}
+
+func TestDriftAlarmUnusableBands(t *testing.T) {
+	if a := NewDriftAlarm(nil, DriftOptions{}); a != nil {
+		t.Fatal("no bands must disarm")
+	}
+	if a := NewDriftAlarm([]SojournBand{{Class: 0, Predicted: 0, Lo: 0.5, Hi: 2}}, DriftOptions{}); a != nil {
+		t.Fatal("zero prediction must disarm")
+	}
+	if a := NewDriftAlarm([]SojournBand{{Class: 0, Predicted: time.Second, Lo: 2, Hi: 0.5}}, DriftOptions{}); a != nil {
+		t.Fatal("inverted band must disarm")
+	}
+}

@@ -1,0 +1,43 @@
+package router
+
+import (
+	"strconv"
+
+	"github.com/splitexec/splitexec/internal/obs"
+)
+
+// initObs registers the router's telemetry against the configured scope.
+// Every series samples a ledger the router already maintains (the Stats
+// atomics, queue lengths, ring membership) at scrape time, so dispatch hot
+// paths pay nothing and /metrics can never disagree with Stats().
+func (r *Router) initObs() {
+	reg := r.opts.Obs.Registry()
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("splitexec_router_steals_total",
+		func() float64 { return float64(r.stolen.Load()) })
+	reg.CounterFunc("splitexec_router_redispatch_total",
+		func() float64 { return float64(r.redispatched.Load()) })
+	reg.CounterFunc("splitexec_router_requeue_total",
+		func() float64 { return float64(r.requeued.Load()) })
+	reg.CounterFunc("splitexec_router_failed_total",
+		func() float64 { return float64(r.failedJobs.Load()) })
+	reg.CounterFunc("splitexec_router_evictions_total",
+		func() float64 { return float64(r.evicted.Load()) })
+	for _, sh := range r.shards {
+		sh := sh
+		lbl := strconv.Itoa(sh.idx)
+		reg.CounterFunc(obs.Label("splitexec_router_dispatched_total", "shard", lbl),
+			func() float64 { return float64(sh.dispatched.Load()) })
+		reg.GaugeFunc(obs.Label("splitexec_router_backlog", "shard", lbl),
+			func() float64 { return float64(len(sh.queue)) })
+		reg.GaugeFunc(obs.Label("splitexec_router_shard_up", "shard", lbl),
+			func() float64 {
+				if sh.isUp() {
+					return 1
+				}
+				return 0
+			})
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"github.com/splitexec/splitexec/internal/graph"
+	"github.com/splitexec/splitexec/internal/obs"
 	"github.com/splitexec/splitexec/internal/qpuserver"
 	"github.com/splitexec/splitexec/internal/ring"
 	"github.com/splitexec/splitexec/internal/service"
@@ -84,6 +85,12 @@ type Options struct {
 	// Timeout bounds each forwarded round trip (0 = none). It must cover
 	// the backing shard's queue wait plus service, not just service.
 	Timeout time.Duration
+	// Obs, when non-nil, is the telemetry scope the router publishes into:
+	// per-shard backlog/dispatch/membership series and steal/eviction/
+	// re-dispatch counters into its registry (all sampled at scrape time
+	// from the ledgers the router already keeps), and per-job routing spans
+	// into its tracer. A nil scope disables telemetry.
+	Obs *obs.Scope
 }
 
 // Stats is a snapshot of the router's dispatch counters.
@@ -100,14 +107,25 @@ type Stats struct {
 	Requeued int64 `json:"requeued"`
 	// Failed counts jobs that exhausted the re-dispatch budget.
 	Failed int64 `json:"failed"`
+	// Evicted counts shard down-transitions (health-check drops, FailShard,
+	// RemoveShard) over the router's lifetime.
+	Evicted int64 `json:"evicted,omitempty"`
 }
 
-// pjob is one proxied request in flight through the router.
+// pjob is one proxied request in flight through the router. The routing
+// metadata fields (home, stolen, served) and the span are touched only by
+// the job's current carrier — submitting goroutine, shard worker, retry
+// goroutine — whose handoffs are channel-ordered, so they need no lock.
 type pjob struct {
 	req      service.SolveRequest
 	key      string
 	attempts int
 	resp     chan presult
+
+	home   int // latest hash-home shard (-1 until first pick)
+	stolen bool
+	served int // shard that answered (-1 until a shard does)
+	span   *obs.SpanBuilder
 }
 
 type presult struct {
@@ -185,6 +203,8 @@ type Router struct {
 	redispatched atomic.Int64
 	requeued     atomic.Int64
 	failedJobs   atomic.Int64
+	evicted      atomic.Int64
+	seq          atomic.Int64 // dispatch sequence; router span IDs
 }
 
 // New builds a router over the given shard addresses and starts its
@@ -235,6 +255,7 @@ func New(opts Options) (*Router, error) {
 			go r.worker(sh)
 		}
 	}
+	r.initObs()
 	if opts.PingEvery > 0 {
 		r.healthWG.Add(1)
 		go r.healthLoop()
@@ -331,13 +352,22 @@ func (r *Router) handle(req service.SolveRequest) service.SolveResponse {
 	if err != nil {
 		return service.SolveResponse{Error: err.Error()}
 	}
-	pj := &pjob{req: req, key: key, resp: make(chan presult, 1)}
+	pj := &pjob{req: req, key: key, resp: make(chan presult, 1), home: -1, served: -1}
+	pj.span = r.opts.Obs.Tracer().Start("route", r.seq.Add(1)-1, req.Class)
 	if err := r.dispatch(pj); err != nil {
+		pj.span.Finish(err.Error())
 		return service.SolveResponse{Error: err.Error()}
 	}
 	res := <-pj.resp
+	pj.span.SetRouting(pj.served, pj.home, pj.stolen, pj.attempts)
 	if res.err != nil && res.resp.Error == "" {
+		pj.span.Finish(res.err.Error())
 		return service.SolveResponse{Error: res.err.Error()}
+	}
+	if res.resp.Error != "" {
+		pj.span.Finish(res.resp.Error)
+	} else {
+		pj.span.Finish("")
 	}
 	return res.resp
 }
@@ -356,13 +386,14 @@ func (r *Router) Submit(req service.SolveRequest) (service.SolveResponse, error)
 // dies while the enqueue is blocked on a full queue.
 func (r *Router) dispatch(pj *pjob) error {
 	for {
-		sh := r.pick(pj.key)
+		sh := r.pick(pj)
 		if sh == nil {
 			return ErrNoShards
 		}
 		select {
 		case sh.queue <- pj:
 			sh.dispatched.Add(1)
+			pj.span.Event(obs.StageRoute)
 			return nil
 		case <-sh.down():
 			// The shard died while we were blocked; route again over
@@ -372,10 +403,13 @@ func (r *Router) dispatch(pj *pjob) error {
 	}
 }
 
-// pick resolves the dispatch shard for a key: hash ownership over the up
-// members, diverted by the steal rule — the identical computation
-// internal/des makes for cluster scenarios.
-func (r *Router) pick(key string) *shard {
+// pick resolves the dispatch shard for a job's key: hash ownership over the
+// up members, diverted by the steal rule — the identical computation
+// internal/des makes for cluster scenarios. It records the job's routing
+// metadata (hash home, steal diversion) as a side effect, so the span and
+// the wire response cite the same decision the counters aggregate.
+func (r *Router) pick(pj *pjob) *shard {
+	key := pj.key
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	mask := make([]byte, len(r.shards))
@@ -399,6 +433,7 @@ func (r *Router) pick(key string) *shard {
 		r.rings[string(mask)] = rg
 	}
 	home := r.shards[idxs[rg.Owner(key)]]
+	pj.home = home.idx
 	if t := r.opts.StealThreshold; t > 0 && len(home.queue) >= t {
 		best := home
 		for _, i := range idxs {
@@ -408,6 +443,8 @@ func (r *Router) pick(key string) *shard {
 		}
 		if best != home {
 			r.stolen.Add(1)
+			pj.stolen = true
+			pj.span.Event(obs.StageSteal)
 			return best
 		}
 	}
@@ -452,7 +489,17 @@ func (r *Router) worker(sh *shard) {
 		sh.inflight.Done()
 		if err == nil || resp.Error != "" {
 			// Success, or a server-side refusal — either way the shard
-			// answered; forward the response as-is.
+			// answered; forward the response with the routing decision
+			// stamped on, so clients and drain reports can reconcile
+			// against the router's own spans and counters.
+			pj.served = sh.idx
+			pj.span.Event(obs.StageExecute)
+			resp.Routing = &service.WireRouting{
+				Shard:        sh.idx,
+				Home:         pj.home,
+				Stolen:       pj.stolen,
+				Redispatches: pj.attempts,
+			}
 			pj.done(resp, err)
 			continue
 		}
@@ -476,6 +523,7 @@ func (r *Router) retry(pj *pjob, cause error) {
 		return
 	}
 	r.redispatched.Add(1)
+	pj.span.Event(obs.StageRetry)
 	backoff := r.opts.Backoff
 	go func() {
 		if backoff > 0 {
@@ -510,6 +558,7 @@ func (r *Router) markDown(sh *shard) {
 		return
 	}
 	sh.up = false
+	r.evicted.Add(1)
 	close(sh.downCh)
 	clients := make([]*service.Client, 0, len(sh.clients))
 	for c := range sh.clients {
@@ -638,6 +687,7 @@ func (r *Router) Stats() Stats {
 		Redispatched: r.redispatched.Load(),
 		Requeued:     r.requeued.Load(),
 		Failed:       r.failedJobs.Load(),
+		Evicted:      r.evicted.Load(),
 	}
 	for i, sh := range r.shards {
 		s.Dispatched[i] = sh.dispatched.Load()

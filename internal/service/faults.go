@@ -51,6 +51,7 @@ func (s *Service) addRetry() {
 	s.mu.Lock()
 	s.retries++
 	s.mu.Unlock()
+	s.om.retries.Inc()
 }
 
 // acquire leases the next live device from the idle pool, parking any dead

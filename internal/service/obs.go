@@ -1,0 +1,48 @@
+package service
+
+import (
+	"strconv"
+
+	"github.com/splitexec/splitexec/internal/obs"
+)
+
+// svcMetrics holds the service's telemetry handles, resolved once at New so
+// the hot path never touches the registry map. With telemetry disabled every
+// handle is nil and each operation costs one nil-check branch — the ≤2 ns
+// Submit-path budget internal/benchio pins.
+type svcMetrics struct {
+	submitted *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	retries   *obs.Counter
+	queueWait *obs.Histogram
+	qpuWait   *obs.Histogram
+	sojourn   *obs.Histogram
+}
+
+// initObs resolves the metric handles and registers the scrape-time sampled
+// series against the configured scope. Levels the service already maintains —
+// queue backlog, per-device busy ledgers — are exposed as func metrics read
+// at scrape time, so the drain report and /metrics share one source of truth
+// and the hot path pays nothing for them.
+func (s *Service) initObs() {
+	reg := s.opts.Obs.Registry()
+	s.om = svcMetrics{
+		submitted: reg.Counter("splitexec_jobs_submitted_total"),
+		completed: reg.Counter("splitexec_jobs_completed_total"),
+		failed:    reg.Counter("splitexec_jobs_failed_total"),
+		retries:   reg.Counter("splitexec_job_retries_total"),
+		queueWait: reg.Histogram("splitexec_queue_wait_seconds", nil),
+		qpuWait:   reg.Histogram("splitexec_qpu_wait_seconds", nil),
+		sojourn:   reg.Histogram("splitexec_sojourn_seconds", nil),
+	}
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("splitexec_queue_depth", func() float64 { return float64(s.queue.len()) })
+	for _, fd := range s.fleet {
+		fd := fd
+		reg.CounterFunc(obs.Label("splitexec_device_busy_seconds_total", "device", strconv.Itoa(fd.id)),
+			func() float64 { return fd.busyTime().Seconds() })
+	}
+}

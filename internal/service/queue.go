@@ -76,6 +76,14 @@ func (tq *jobQueue) pop() (*Ticket, bool) {
 	return t, ok
 }
 
+// len reports the current backlog — the scrape-time queue-depth gauge reads
+// it, so telemetry never shadows the queue with its own counter.
+func (tq *jobQueue) len() int {
+	tq.mu.Lock()
+	defer tq.mu.Unlock()
+	return tq.q.Len()
+}
+
 // close closes intake; it is safe to call any number of times.
 func (tq *jobQueue) close() {
 	tq.mu.Lock()

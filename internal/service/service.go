@@ -40,6 +40,7 @@ import (
 	"github.com/splitexec/splitexec/internal/arch"
 	"github.com/splitexec/splitexec/internal/core"
 	"github.com/splitexec/splitexec/internal/machine"
+	"github.com/splitexec/splitexec/internal/obs"
 	"github.com/splitexec/splitexec/internal/parallel"
 	"github.com/splitexec/splitexec/internal/qubo"
 	"github.com/splitexec/splitexec/internal/sched"
@@ -102,6 +103,12 @@ type Options struct {
 	MaxRetries int
 	// RetryBackoff is the pause before each retry; <= 0 selects 1ms.
 	RetryBackoff time.Duration
+	// Obs, when non-nil, is the telemetry scope the service publishes into:
+	// job counters and latency histograms into its registry, per-job
+	// lifecycle spans into its tracer, and completed-job sojourns into its
+	// drift alarm (arm the alarm before traffic starts). A nil scope — the
+	// default — disables telemetry at one nil-check per operation.
+	Obs *obs.Scope
 	// Cache, when non-nil, is shared by all workers for off-line
 	// embedding lookup. core.EmbeddingCache is safe for concurrent use.
 	// Note that with isomorphic problems in flight concurrently, which
@@ -172,6 +179,7 @@ type Ticket struct {
 	sol     *core.Solution
 	err     error
 	metrics JobMetrics
+	span    *obs.SpanBuilder
 }
 
 // Wait blocks until the job completes and returns its solution (nil for
@@ -220,6 +228,7 @@ type Service struct {
 	queue *jobQueue
 	idle  chan *fleetDevice // free-device pool; len(fleet) tokens
 	fleet []*fleetDevice
+	om    svcMetrics // telemetry handles (obs.go); nil handles when disabled
 	wg    sync.WaitGroup
 
 	// TCP front-end state (wire.go); ln and conns are guarded by mu.
@@ -268,6 +277,7 @@ func New(opts Options) (*Service, error) {
 		s.fleet = append(s.fleet, fd)
 		s.idle <- fd
 	}
+	s.initObs()
 	for w := 0; w < o.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -295,8 +305,12 @@ func (s *Service) worker() {
 			return
 		}
 		t.metrics.QueueWait = time.Since(t.enqueued)
+		t.span.Event(obs.StageQueue)
 		t.run(s, t)
 		t.metrics.Total = time.Since(t.enqueued)
+		s.om.queueWait.Observe(t.metrics.QueueWait)
+		s.om.qpuWait.Observe(t.metrics.QPUWait)
+		s.om.sojourn.Observe(t.metrics.Total)
 		s.mu.Lock()
 		now := time.Now()
 		if now.After(s.lastDone) {
@@ -308,6 +322,17 @@ func (s *Service) worker() {
 			s.completed = append(s.completed, t.metrics)
 		}
 		s.mu.Unlock()
+		if t.err != nil {
+			s.om.failed.Inc()
+			t.span.Finish(t.err.Error())
+		} else {
+			s.om.completed.Inc()
+			// Completed sojourns feed the predicted-vs-measured loop; failed
+			// jobs never do — a fault storm is an availability problem, not
+			// evidence the latency model drifted.
+			s.opts.Obs.DriftAlarm().Observe(t.metrics.Class, t.metrics.Total)
+			t.span.Finish("")
+		}
 		close(t.done)
 	}
 }
@@ -334,6 +359,10 @@ func (s *Service) submit(run func(*Service, *Ticket), class sched.Job, block boo
 		s.mu.Unlock()
 		t.metrics.Index = t.index
 		t.metrics.Class = class.Class
+		s.om.submitted.Inc()
+		// The span attaches inside the push critical section: push's mutex
+		// happens-before the worker's pop, so the worker always sees it.
+		t.span = s.opts.Obs.Tracer().Start("job", int64(t.index), class.Class)
 		return t
 	}, class, block)
 }
@@ -457,6 +486,7 @@ func profileRun(p arch.JobProfile) func(*Service, *Ticket) {
 			waitStart := time.Now()
 			fd, lease := s.acquire()
 			t.metrics.QPUWait += time.Since(waitStart)
+			t.span.Event(obs.StageLease)
 			held := time.Now()
 			revoked := sleepLease(p.QPUService, lease)
 			occupancy := time.Since(held)
@@ -464,6 +494,7 @@ func profileRun(p arch.JobProfile) func(*Service, *Ticket) {
 			t.metrics.QPUHeld += occupancy
 			s.releaseDevice(fd)
 			if !revoked {
+				t.span.Event(obs.StageExecute)
 				break
 			}
 			if attempt >= s.maxRetries() {
@@ -472,6 +503,8 @@ func profileRun(p arch.JobProfile) func(*Service, *Ticket) {
 			}
 			t.metrics.Retries++
 			s.addRetry()
+			t.span.Event(obs.StageRetry)
+			t.span.AddRetry()
 			sleep(s.retryBackoff())
 		}
 		sleep(p.Network)
@@ -557,11 +590,13 @@ func (l *leasedDevice) Program(m *qubo.Ising) error {
 		l.fd, _ = l.svc.acquire()
 		l.t.metrics.QPUWait += time.Since(waitStart)
 		l.acquired = time.Now()
+		l.t.span.Event(obs.StageLease)
 	}
 	p0, _ := l.fd.dev.QPUTime()
 	err := l.fd.dev.Program(m)
 	p1, _ := l.fd.dev.QPUTime()
 	l.prog += p1 - p0
+	l.t.span.Event(obs.StageProgram)
 	if err != nil {
 		l.release()
 	}
@@ -577,6 +612,10 @@ func (l *leasedDevice) Execute(reads int, rng *rand.Rand) (*anneal.SampleSet, er
 	set, err := l.fd.dev.Execute(reads, rng)
 	_, e1 := l.fd.dev.QPUTime()
 	l.exec += e1 - e0
+	l.t.span.Event(obs.StageExecute)
+	if err == nil {
+		l.t.span.Event(obs.StageRead)
+	}
 	l.release()
 	return set, err
 }
@@ -661,6 +700,15 @@ func (s *Service) Drain() Report {
 	s.restoreFleet()
 	s.queue.close()
 	s.wg.Wait()
+	return s.report()
+}
+
+// Snapshot reports the run so far without draining: the same aggregate shape
+// as Drain's report, computed over the jobs finished at call time. It is the
+// periodic-progress hook behind `-report every` — safe to call concurrently
+// with submissions and workers, at the cost of one ledger lock and a digest
+// pass over the completed jobs.
+func (s *Service) Snapshot() Report {
 	return s.report()
 }
 

@@ -132,6 +132,25 @@ type SolveResponse struct {
 	// Retries counts device-death lease revocations the job survived —
 	// how much of the fault regime this request absorbed server-side.
 	Retries int `json:"retries,omitempty"`
+
+	// Routing is stamped by the router tier on forwarded responses: which
+	// shard served the job and how it got there. A direct (un-routed)
+	// service response leaves it nil, so consumers can tell the tiers
+	// apart. A pointer, not a value: shard 0 is a legitimate answer, and
+	// omitempty on a struct value would erase it.
+	Routing *WireRouting `json:"routing,omitempty"`
+}
+
+// WireRouting is the router tier's per-job routing metadata: the shard that
+// served the job, its consistent-hash home, whether the steal rule diverted
+// it, and how many budget-consuming re-dispatches it survived. It rides the
+// wire response so load generators and drain reports can reconcile against
+// the router's /jobz spans and aggregate Stats.
+type WireRouting struct {
+	Shard        int  `json:"shard"`
+	Home         int  `json:"home"`
+	Stolen       bool `json:"stolen,omitempty"`
+	Redispatches int  `json:"redispatches,omitempty"`
 }
 
 // EncodeQUBO builds the wire form of a QUBO.

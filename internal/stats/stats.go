@@ -99,10 +99,19 @@ func Summarize(xs []float64) Summary {
 }
 
 // Quantile returns the q-quantile (0<=q<=1) of a sorted sample using linear
-// interpolation. It panics on empty input.
+// interpolation. It panics on empty input, on a NaN q, and on a sample
+// containing NaN: sort.Float64s places NaNs first, so every quantile of such
+// a sample would silently be garbage — loud rejection beats a poisoned
+// latency digest.
 func Quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		panic("stats: quantile of empty sample")
+	}
+	if math.IsNaN(q) {
+		panic("stats: NaN quantile requested")
+	}
+	if math.IsNaN(sorted[0]) {
+		panic("stats: quantile of sample containing NaN")
 	}
 	if q <= 0 {
 		return sorted[0]

@@ -93,6 +93,52 @@ func TestQuantile(t *testing.T) {
 	Quantile(nil, 0.5)
 }
 
+// TestQuantileEdgeCases pins the boundary contract: q=0 and q=1 are exact
+// order statistics (min and max, no interpolation error), a single-element
+// sample answers that element for every q, and out-of-range q clamps.
+func TestQuantileEdgeCases(t *testing.T) {
+	// Values chosen so any accidental interpolation is visible: 0.1+0.3
+	// style float error cannot produce these exactly.
+	sorted := []float64{-7.25, 1.5, 2.75, 100.125, 1e9}
+	if q := Quantile(sorted, 0); q != -7.25 {
+		t.Errorf("q=0 = %v, want the minimum exactly", q)
+	}
+	if q := Quantile(sorted, 1); q != 1e9 {
+		t.Errorf("q=1 = %v, want the maximum exactly", q)
+	}
+	if q := Quantile(sorted, -0.5); q != -7.25 {
+		t.Errorf("q<0 = %v, want clamp to minimum", q)
+	}
+	if q := Quantile(sorted, 1.5); q != 1e9 {
+		t.Errorf("q>1 = %v, want clamp to maximum", q)
+	}
+	single := []float64{42.5}
+	for _, q := range []float64{0, 0.001, 0.5, 0.999, 1} {
+		if v := Quantile(single, q); v != 42.5 {
+			t.Errorf("single-element q=%v = %v, want 42.5", q, v)
+		}
+	}
+}
+
+// TestQuantileRejectsNaN: a NaN q and a NaN-bearing sample must both panic
+// rather than silently poison a latency digest (sort.Float64s places NaNs
+// first, so every quantile of such a sample would be garbage).
+func TestQuantileRejectsNaN(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("NaN q", func() { Quantile([]float64{1, 2}, math.NaN()) })
+	nanSample := []float64{math.NaN(), 1, 2}
+	sort.Float64s(nanSample)
+	mustPanic("NaN sample", func() { Quantile(nanSample, 0.5) })
+}
+
 func TestHistogram(t *testing.T) {
 	h := NewHistogram([]float64{0, 1, 1, 1, 2}, 2)
 	if h.Total != 5 {

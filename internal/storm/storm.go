@@ -13,13 +13,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/splitexec/splitexec/internal/des"
 	"github.com/splitexec/splitexec/internal/loadgen"
+	"github.com/splitexec/splitexec/internal/obs"
 	"github.com/splitexec/splitexec/internal/router"
 	"github.com/splitexec/splitexec/internal/service"
 	"github.com/splitexec/splitexec/internal/workload"
@@ -48,6 +51,13 @@ type Options struct {
 	Attempts int
 	// Log, when non-nil, receives one progress line per attempt.
 	Log io.Writer
+	// ObsAddr, when non-empty, serves the telemetry admin endpoint on that
+	// address during every live replay attempt and turns the storm run into
+	// its own observability gate: after each replay drains, the runner
+	// scrapes its own /metrics and /healthz and fails the scenario if the
+	// exposition is malformed or the health document undecodable. Use
+	// "127.0.0.1:0" so successive attempts never collide on a port.
+	ObsAddr string
 }
 
 // ScenarioResult is the verdict for one corpus scenario.
@@ -66,12 +76,22 @@ type ScenarioResult struct {
 	Band    workload.Band `json:"band"`
 	// Ledger of the deciding attempt: jobs completed and failed against
 	// indices consumed, plus the fault counters the run realized.
-	Jobs      int    `json:"jobs"`
-	Failed    int    `json:"failed"`
-	Submitted int    `json:"submitted"`
-	Retries   int    `json:"retries,omitempty"`
-	Drops     int    `json:"drops,omitempty"`
-	Error     string `json:"error,omitempty"`
+	Jobs      int `json:"jobs"`
+	Failed    int `json:"failed"`
+	Submitted int `json:"submitted"`
+	Retries   int `json:"retries,omitempty"`
+	Drops     int `json:"drops,omitempty"`
+	// Stolen and Redispatched cite the router-tier routing metadata of the
+	// deciding attempt — jobs answered off a non-home shard, and re-dispatch
+	// hops consumed recovering from shard loss. Single-shard scenarios have
+	// neither. They come from the per-response wire routing stamps, so the
+	// storm verdict and a live /jobz scrape describe the same decisions.
+	Stolen       int `json:"stolen,omitempty"`
+	Redispatched int `json:"redispatched,omitempty"`
+	// Obs is the admin-endpoint self-scrape verdict when the run was started
+	// with ObsAddr: "ok", or the malformation that failed the scenario.
+	Obs   string `json:"obs,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 // Report is the aggregate pass/fail verdict of a storm run; it marshals to
@@ -171,13 +191,13 @@ func runScenario(entry corpusEntry, opts Options) ScenarioResult {
 	res.DESP99 = pred.Sojourn.P99
 	for attempt := 1; attempt <= opts.Attempts; attempt++ {
 		res.Attempts = attempt
-		if err := replayLive(sc, pred, &res); err != nil {
+		if err := replayLive(sc, pred, &res, opts); err != nil {
 			res.Error = err.Error()
 			return res
 		}
-		logf(opts.Log, "storm: %s attempt %d/%d: p99 %v vs DES %v (%.2fx, band [%.2f, %.2f]) jobs=%d failed=%d pass=%v",
+		logf(opts.Log, "storm: %s attempt %d/%d: p99 %v vs DES %v (%.2fx, band [%.2f, %.2f]) jobs=%d failed=%d stolen=%d redispatched=%d pass=%v",
 			res.Name, attempt, opts.Attempts, res.LiveP99, res.DESP99, res.Ratio, res.Band.Lo, res.Band.Hi,
-			res.Jobs, res.Failed, res.Pass)
+			res.Jobs, res.Failed, res.Stolen, res.Redispatched, res.Pass)
 		if res.Pass {
 			return res
 		}
@@ -191,19 +211,24 @@ func runScenario(entry corpusEntry, opts Options) ScenarioResult {
 // scenarios bring up the full federation: one service per shard behind a
 // router front end, with shard faults driven through the router's
 // membership hooks.
-func replayLive(sc *workload.Scenario, pred *des.Result, res *ScenarioResult) error {
+func replayLive(sc *workload.Scenario, pred *des.Result, res *ScenarioResult, opts Options) error {
 	if sc.ShardCount() > 1 {
-		return replayCluster(sc, pred, res)
+		return replayCluster(sc, pred, res, opts)
 	}
 	depth := sc.Horizon.Jobs
 	if depth <= 0 {
 		depth = 1024
 	}
+	// One telemetry scope per attempt, handed to the serving side only: the
+	// in-process service feeds the drift alarm with its authoritative
+	// sojourns, so the generator must not observe the same jobs again.
+	scope := replayScope(opts, sc, pred)
 	svcOpts := service.Options{
 		Workers:    sc.System.Hosts,
 		Fleet:      sc.System.QPUs(),
 		QueueDepth: depth,
 		Policy:     sc.Policy,
+		Obs:        scope,
 	}
 	if sc.Faults != nil {
 		svcOpts.MaxRetries = sc.RetryLimit()
@@ -213,9 +238,15 @@ func replayLive(sc *workload.Scenario, pred *des.Result, res *ScenarioResult) er
 	if err != nil {
 		return err
 	}
+	admin, err := serveObs(opts.ObsAddr, scope)
+	if err != nil {
+		svc.Drain()
+		return err
+	}
 	addr, err := svc.Listen("127.0.0.1:0")
 	if err != nil {
 		svc.Drain()
+		admin.Close()
 		return err
 	}
 	got, err := loadgen.Run(sc, loadgen.Options{
@@ -227,6 +258,10 @@ func replayLive(sc *workload.Scenario, pred *des.Result, res *ScenarioResult) er
 		Fleet: svc,
 	})
 	drained := svc.Drain()
+	// Scrape after the drain so the exposition the gate validates carries
+	// the settled counters, then release the admin port for the next attempt.
+	scrapeErr := selfScrape(admin)
+	admin.Close()
 	if err != nil {
 		return err
 	}
@@ -234,6 +269,8 @@ func replayLive(sc *workload.Scenario, pred *des.Result, res *ScenarioResult) er
 	res.Failed = got.Failed
 	res.Retries = got.Retries
 	res.Drops = got.Drops
+	res.Stolen = got.Stolen
+	res.Redispatched = got.Redispatched
 	res.Submitted = drained.Submitted
 	res.LiveP99 = got.Sojourn.P99
 	res.Ratio = 0
@@ -250,6 +287,113 @@ func replayLive(sc *workload.Scenario, pred *des.Result, res *ScenarioResult) er
 		res.Error = fmt.Sprintf("ledger leak: %d completed + %d failed != %d submitted",
 			drained.Jobs, drained.Failed, drained.Submitted)
 	}
+	return judgeScrape(res, admin, scrapeErr)
+}
+
+// replayScope builds the per-attempt telemetry scope when the run asked for
+// one, drift alarm armed from the attempt's own DES prediction wrapped in
+// the scenario's acceptance band — the same numbers the band verdict uses.
+func replayScope(opts Options, sc *workload.Scenario, pred *des.Result) *obs.Scope {
+	if opts.ObsAddr == "" {
+		return nil
+	}
+	scope := obs.NewScope()
+	if alarm := obs.NewDriftAlarm(pred.SojournBands(band(sc)), obs.DriftOptions{
+		Gauge: scope.Reg.Gauge("splitexec_drift_alarm"),
+	}); alarm != nil {
+		scope.SetDrift(alarm)
+	}
+	return scope
+}
+
+// serveObs brings up the admin endpoint for one replay attempt; an empty
+// addr keeps telemetry off and returns a nil (close-safe) server.
+func serveObs(addr string, scope *obs.Scope) (*obs.Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	srv, err := obs.Serve(addr, obs.ServerOptions{Scope: scope})
+	if err != nil {
+		return nil, fmt.Errorf("storm: admin endpoint: %w", err)
+	}
+	return srv, nil
+}
+
+// selfScrape is the observability half of the storm gate: it pulls the live
+// admin endpoint's /metrics through the exposition validator and requires
+// /healthz to answer with a decodable JSON document. A 503 is acceptable —
+// a drift alarm legitimately tripped by an adversarial scenario is the
+// endpoint working, not malfunctioning — but junk output is a failure.
+func selfScrape(srv *obs.Server) error {
+	if srv == nil {
+		return nil
+	}
+	base := "http://" + srv.Addr().String()
+	client := &http.Client{Timeout: 5 * time.Second} // a wedged endpoint must fail, not hang CI
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("scraping /metrics: %w", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("reading /metrics: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics returned %s", resp.Status)
+	}
+	if err := obs.ValidateExposition(string(body)); err != nil {
+		return fmt.Errorf("malformed /metrics exposition: %w", err)
+	}
+	hres, err := client.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("scraping /healthz: %w", err)
+	}
+	hbody, herr := io.ReadAll(hres.Body)
+	hres.Body.Close()
+	if herr != nil {
+		return fmt.Errorf("reading /healthz: %w", herr)
+	}
+	switch hres.StatusCode {
+	case http.StatusOK:
+		// Healthy is the plain-text liveness answer.
+		if strings.TrimSpace(string(hbody)) != "ok" {
+			return fmt.Errorf("/healthz answered 200 with body %q, want ok", hbody)
+		}
+	case http.StatusServiceUnavailable:
+		// Unhealthy must name its failures as a JSON document — a tripped
+		// drift alarm under chaos is a valid answer, garbage is not.
+		var fails []struct {
+			Name  string `json:"name"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(hbody, &fails); err != nil {
+			return fmt.Errorf("undecodable /healthz failure document: %w", err)
+		}
+		if len(fails) == 0 {
+			return fmt.Errorf("/healthz answered 503 without naming a failure")
+		}
+	default:
+		return fmt.Errorf("/healthz returned %s", hres.Status)
+	}
+	return nil
+}
+
+// judgeScrape folds the self-scrape verdict into the scenario result: a
+// malformed endpoint fails the scenario even when the latency band passed.
+func judgeScrape(res *ScenarioResult, admin *obs.Server, scrapeErr error) error {
+	if admin == nil {
+		return nil
+	}
+	if scrapeErr != nil {
+		res.Obs = scrapeErr.Error()
+		res.Pass = false
+		if res.Error == "" {
+			res.Error = "obs self-scrape: " + scrapeErr.Error()
+		}
+		return nil
+	}
+	res.Obs = "ok"
 	return nil
 }
 
@@ -260,12 +404,17 @@ func replayLive(sc *workload.Scenario, pred *des.Result, res *ScenarioResult) er
 // as a crashed shard would, and RestoreShard re-admits it when the outage
 // window closes — so the re-dispatch machinery is exercised on the real
 // wire. The conservation check aggregates the per-shard ledgers.
-func replayCluster(sc *workload.Scenario, pred *des.Result, res *ScenarioResult) error {
+func replayCluster(sc *workload.Scenario, pred *des.Result, res *ScenarioResult, opts Options) error {
 	shards := sc.ShardCount()
 	depth := sc.Horizon.Jobs
 	if depth <= 0 {
 		depth = 1024
 	}
+	// In the federation the scope instruments the router and the generator;
+	// the per-shard services stay unscoped (their gauges are unlabelled, so
+	// N shards on one registry would collide), and the generator — driving a
+	// remote target — owns the drift-alarm feed.
+	scope := replayScope(opts, sc, pred)
 	svcOpts := service.Options{
 		Workers:    sc.System.Hosts,
 		Fleet:      sc.System.QPUs(),
@@ -307,6 +456,7 @@ func replayCluster(sc *workload.Scenario, pred *des.Result, res *ScenarioResult)
 		QueueDepth:     depth,
 		StealThreshold: sc.StealThreshold(),
 		PingEvery:      -1, // membership is driven by the fault schedule
+		Obs:            scope,
 	}
 	if sc.Cluster != nil {
 		rtOpts.Replicas = sc.Cluster.Replicas
@@ -326,6 +476,12 @@ func replayCluster(sc *workload.Scenario, pred *des.Result, res *ScenarioResult)
 		drainAll()
 		return err
 	}
+	admin, err := serveObs(opts.ObsAddr, scope)
+	if err != nil {
+		rt.Drain()
+		drainAll()
+		return err
+	}
 
 	var timers []*time.Timer
 	if sc.HasShardFault() {
@@ -340,6 +496,7 @@ func replayCluster(sc *workload.Scenario, pred *des.Result, res *ScenarioResult)
 		Addr:    front.String(),
 		Conns:   clusterConns(sc),
 		Timeout: 30 * time.Second,
+		Obs:     scope,
 		// The per-shard fleets take the scenario's global device-fault
 		// streams, shard i owning devices [i×QPUs, (i+1)×QPUs).
 		Fleets: svcs,
@@ -349,6 +506,8 @@ func replayCluster(sc *workload.Scenario, pred *des.Result, res *ScenarioResult)
 	}
 	rt.Drain()
 	jobs, failed, submitted := drainAll()
+	scrapeErr := selfScrape(admin)
+	admin.Close()
 	if lerr != nil {
 		return lerr
 	}
@@ -357,6 +516,8 @@ func replayCluster(sc *workload.Scenario, pred *des.Result, res *ScenarioResult)
 	res.Failed = got.Failed
 	res.Retries = got.Retries
 	res.Drops = got.Drops
+	res.Stolen = got.Stolen
+	res.Redispatched = got.Redispatched
 	res.Submitted = submitted
 	res.LiveP99 = got.Sojourn.P99
 	res.Ratio = 0
@@ -371,7 +532,7 @@ func replayCluster(sc *workload.Scenario, pred *des.Result, res *ScenarioResult)
 		res.Error = fmt.Sprintf("cluster ledger leak: %d completed + %d failed != %d submitted",
 			jobs, failed, submitted)
 	}
-	return nil
+	return judgeScrape(res, admin, scrapeErr)
 }
 
 // clusterConns scales the replay pool to the federation width.

@@ -5,10 +5,15 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
 	"github.com/splitexec/splitexec/internal/des"
+	"github.com/splitexec/splitexec/internal/loadgen"
+	"github.com/splitexec/splitexec/internal/obs"
+	"github.com/splitexec/splitexec/internal/service"
 	"github.com/splitexec/splitexec/internal/workload"
 )
 
@@ -132,6 +137,96 @@ func TestStormImpossibleBandFails(t *testing.T) {
 	}
 	if rep.Scenarios[0].Attempts != 2 {
 		t.Errorf("consumed %d attempts, want the full budget of 2", rep.Scenarios[0].Attempts)
+	}
+}
+
+// TestStormObsSelfScrape: with ObsAddr set the runner serves its own admin
+// endpoint during the replay, scrapes /metrics + /healthz afterwards, and
+// records the verdict — the CI configuration of the storm smoke.
+func TestStormObsSelfScrape(t *testing.T) {
+	dir := writeCorpus(t, map[string]string{"tiny.json": tinyScenario})
+	rep, err := Run(Options{Dir: dir, ObsAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Scenarios[0]
+	if !res.Pass {
+		t.Fatalf("tiny scenario failed under -obs: %+v", res)
+	}
+	if res.Obs != "ok" {
+		t.Fatalf("self-scrape verdict %q, want ok", res.Obs)
+	}
+}
+
+// TestObsReconciliation is the acceptance check for the telemetry layer: a
+// live replay's final /metrics counters must reconcile exactly with the
+// service's own drain-report ledger — same events, two exports, one story.
+func TestObsReconciliation(t *testing.T) {
+	sc, err := workload.Decode([]byte(tinyScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scope := obs.NewScope()
+	svc, err := service.New(service.Options{
+		Workers:    sc.System.Hosts,
+		Fleet:      sc.System.QPUs(),
+		QueueDepth: sc.Horizon.Jobs,
+		Obs:        scope,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		svc.Drain()
+		t.Fatal(err)
+	}
+	if _, err := loadgen.Run(sc, loadgen.Options{Addr: addr.String(), Conns: 8, Timeout: 30 * time.Second}); err != nil {
+		svc.Drain()
+		t.Fatal(err)
+	}
+	drained := svc.Drain()
+
+	var buf bytes.Buffer
+	if err := scope.Reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if err := obs.ValidateExposition(text); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, text)
+	}
+	sample := func(name string) int64 {
+		for _, line := range strings.Split(text, "\n") {
+			if rest, ok := strings.CutPrefix(line, name+" "); ok {
+				v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+				if err != nil {
+					t.Fatalf("unparsable sample %q: %v", line, err)
+				}
+				return int64(v)
+			}
+		}
+		t.Fatalf("series %s missing from exposition:\n%s", name, text)
+		return 0
+	}
+	if got := sample("splitexec_jobs_submitted_total"); got != int64(drained.Submitted) {
+		t.Errorf("submitted counter %d != drain report %d", got, drained.Submitted)
+	}
+	if got := sample("splitexec_jobs_completed_total"); got != int64(drained.Jobs) {
+		t.Errorf("completed counter %d != drain report %d", got, drained.Jobs)
+	}
+	if got := sample("splitexec_jobs_failed_total"); got != int64(drained.Failed) {
+		t.Errorf("failed counter %d != drain report %d", got, drained.Failed)
+	}
+	// Submitted = Jobs + Failed: the counters must conserve the ledger too.
+	if s, c, f := sample("splitexec_jobs_submitted_total"), sample("splitexec_jobs_completed_total"),
+		sample("splitexec_jobs_failed_total"); s != c+f {
+		t.Errorf("counter ledger leak: %d submitted != %d completed + %d failed", s, c, f)
+	}
+	if got := sample("splitexec_sojourn_seconds_count"); got != int64(drained.Jobs) {
+		t.Errorf("sojourn histogram count %d != %d completed", got, drained.Jobs)
+	}
+	if got := sample("splitexec_queue_depth"); got != 0 {
+		t.Errorf("queue depth %d after drain, want 0", got)
 	}
 }
 

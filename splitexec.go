@@ -40,6 +40,7 @@ import (
 	"github.com/splitexec/splitexec/internal/graph"
 	"github.com/splitexec/splitexec/internal/loadgen"
 	"github.com/splitexec/splitexec/internal/machine"
+	"github.com/splitexec/splitexec/internal/obs"
 	"github.com/splitexec/splitexec/internal/parallel"
 	"github.com/splitexec/splitexec/internal/plan"
 	"github.com/splitexec/splitexec/internal/qpuserver"
@@ -454,6 +455,35 @@ type StormScenarioResult = storm.ScenarioResult
 // a live TCP dispatch service, judging each scenario's live p99 against
 // its acceptance band — the `splitexec storm` subcommand's engine.
 var RunStorm = storm.Run
+
+// ObsScope bundles one deployment's telemetry — metrics registry, job
+// lifecycle trace ring and optional DES-drift alarm. Hand it to
+// ServiceOptions.Obs, RouterOptions.Obs or LoadgenOptions.Obs and serve it
+// with ServeObs (docs/observability.md).
+type ObsScope = obs.Scope
+
+// ObsRegistry is the atomic metrics registry behind an ObsScope.
+type ObsRegistry = obs.Registry
+
+// ObsServer is the HTTP admin endpoint (/metrics /healthz /jobz /varz
+// /debug/pprof) over an ObsScope.
+type ObsServer = obs.Server
+
+// ObsServerOptions configure ServeObs (scope, health checks, jobz bound).
+type ObsServerOptions = obs.ServerOptions
+
+// DriftAlarm watches live per-class sojourns against DES-predicted bands.
+type DriftAlarm = obs.DriftAlarm
+
+// NewObsScope builds an armed telemetry scope (registry + trace ring).
+var NewObsScope = obs.NewScope
+
+// ServeObs starts the HTTP admin endpoint for a telemetry scope.
+var ServeObs = obs.Serve
+
+// NewDriftAlarm arms a sojourn drift alarm from per-class predicted bands;
+// WorkloadResult.SojournBands bridges a DES prediction into that shape.
+var NewDriftAlarm = obs.NewDriftAlarm
 
 // DurationSummary is the shared latency digest (mean/p50/p90/p99/p999/max).
 type DurationSummary = stats.DurationSummary
