@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"text/tabwriter"
+
+	"github.com/splitexec/splitexec/internal/service"
+)
+
+// runAdmin is the `splitexec admin` subcommand: remote membership control
+// for a running route tier. It speaks the same length-prefixed wire
+// protocol as every other client — an admin frame is just a SolveRequest
+// carrying a control verb — so the elastic-membership API (docs/cluster.md)
+// works across the wire exactly as it does in-process:
+//
+//	splitexec admin -addr 127.0.0.1:7465 status
+//	splitexec admin -addr 127.0.0.1:7465 add 127.0.0.1:7468
+//	splitexec admin -addr 127.0.0.1:7465 drain 2
+//	splitexec admin -addr 127.0.0.1:7465 remove 2
+//
+// add boots a new shard into the ring (warming its embedding cache from the
+// hot keys the ring diff re-homes before ownership flips); drain retires a
+// shard gracefully (queued work re-routes free, in-flight work completes);
+// remove evicts it crash-style (in-flight work re-dispatches on the retry
+// budget); status prints the membership table and epoch.
+func runAdmin(args []string) {
+	fs := flag.NewFlagSet("splitexec admin", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:7465", "router front-end address")
+		jsonOut = fs.Bool("json", false, "print the raw admin reply as JSON")
+	)
+	fs.Parse(args)
+	verb := fs.Arg(0)
+	if verb == "" {
+		log.Fatalf("splitexec admin: a verb is required: add <addr> | drain <shard> | remove <shard> | status")
+	}
+
+	a := service.WireAdmin{Verb: verb}
+	switch verb {
+	case service.AdminAdd:
+		if a.Addr = fs.Arg(1); a.Addr == "" {
+			log.Fatalf("splitexec admin: add requires a backing service address")
+		}
+	case service.AdminDrain, service.AdminRemove:
+		n, err := strconv.Atoi(fs.Arg(1))
+		if err != nil {
+			log.Fatalf("splitexec admin: %s requires a shard index: %v", verb, err)
+		}
+		a.Shard = n
+	case service.AdminStatus:
+	default:
+		log.Fatalf("splitexec admin: unknown verb %q (want add, drain, remove or status)", verb)
+	}
+
+	c, err := service.Dial(*addr)
+	if err != nil {
+		log.Fatalf("splitexec admin: %v", err)
+	}
+	defer c.Close()
+	reply, err := c.Admin(a)
+	if err != nil {
+		log.Fatalf("splitexec admin: %v", err)
+	}
+
+	if *jsonOut {
+		out, err := json.MarshalIndent(reply, "", "  ")
+		if err != nil {
+			log.Fatalf("splitexec admin: encoding reply: %v", err)
+		}
+		fmt.Printf("%s\n", out)
+		return
+	}
+	switch verb {
+	case service.AdminAdd:
+		fmt.Printf("joined %s as shard %d (epoch %d, warmed %d hot keys)\n",
+			a.Addr, reply.Index, reply.Epoch, reply.Warmed)
+	case service.AdminDrain:
+		fmt.Printf("shard %d drained (epoch %d)\n", reply.Index, reply.Epoch)
+	case service.AdminRemove:
+		fmt.Printf("shard %d removed (epoch %d)\n", reply.Index, reply.Epoch)
+	case service.AdminStatus:
+		fmt.Printf("epoch %d, %d shard(s)\n", reply.Epoch, len(reply.Shards))
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "  SHARD\tADDR\tUP\tRING\tDISPATCHED\tBACKLOG")
+		for _, sh := range reply.Shards {
+			state := "in"
+			if !sh.InRing {
+				state = "out"
+			}
+			fmt.Fprintf(w, "  %d\t%s\t%v\t%s\t%d\t%d\n",
+				sh.Index, sh.Addr, sh.Up, state, sh.Dispatched, sh.Backlog)
+		}
+		w.Flush()
+	}
+}

@@ -21,6 +21,15 @@
 //
 //	splitexec route -addr :7465 -shards 127.0.0.1:7464,127.0.0.1:7466
 //
+// The admin subcommand drives a running route tier's elastic membership
+// remotely over the same wire protocol: add joins a new shard (warming its
+// embedding cache before ownership flips), drain retires one gracefully,
+// remove evicts it crash-style, and status prints the membership table and
+// epoch (docs/cluster.md):
+//
+//	splitexec admin -addr 127.0.0.1:7465 add 127.0.0.1:7468
+//	splitexec admin -addr 127.0.0.1:7465 status
+//
 // The simulate, loadgen and plan subcommands drive the open-system
 // workload engine from a declarative scenario file (docs/workloads.md):
 // simulate runs the discrete-event simulator in virtual time, loadgen
@@ -73,6 +82,9 @@ func main() {
 			return
 		case "route":
 			runRoute(os.Args[2:])
+			return
+		case "admin":
+			runAdmin(os.Args[2:])
 			return
 		case "simulate":
 			runSimulate(os.Args[2:])

@@ -36,6 +36,7 @@ func runPlan(args []string) {
 		jobs         = fs.Int("jobs", 0, "override the job horizon for the planning simulations (p99 needs >= ~1e4)")
 		hostCost     = fs.Float64("hostcost", 1, "relative cost of one host")
 		qpuCost      = fs.Float64("qpucost", 3, "relative cost of one QPU")
+		rebalance    = fs.Bool("rebalance", false, "emit the ordered add/warm/drain membership transition from the scenario's topology to the cheapest satisfying one")
 		asJSON       = fs.Bool("json", false, "emit the plan as JSON instead of a table")
 	)
 	fs.Parse(args)
@@ -75,6 +76,14 @@ func runPlan(args []string) {
 		HorizonJobs: *jobs,
 	}
 	start := time.Now()
+	if *rebalance {
+		rb, err := plan.Rebalance(sc, target, space, opts)
+		if err != nil {
+			log.Fatalf("splitexec plan: %v", err)
+		}
+		printRebalance(rb, *asJSON, time.Since(start))
+		return
+	}
 	p, err := plan.Capacity(sc, target, space, opts)
 	if err != nil {
 		log.Fatalf("splitexec plan: %v", err)
@@ -118,6 +127,48 @@ func runPlan(args []string) {
 		fmt.Printf("  next-cheaper neighbor fails: %s/%s shards=%d hosts=%d (cost %.1f) — %s\n",
 			p.NextCheaper.Kind, p.NextCheaper.Policy, p.NextCheaper.Shards, p.NextCheaper.Hosts,
 			p.NextCheaper.Cost, strings.Join(p.NextCheaper.Unmet, "; "))
+	}
+}
+
+// printRebalance renders the ordered membership transition.
+func printRebalance(rb *plan.RebalanceResult, asJSON bool, wall time.Duration) {
+	if asJSON {
+		printJSON(rb)
+		return
+	}
+	fmt.Printf("scenario: %s — rebalance %d -> %d shard(s), planned in %v\n\n",
+		rb.Scenario, rb.From, rb.To, wall.Round(time.Millisecond))
+	if len(rb.Steps) == 0 {
+		fmt.Println("already at the cheapest satisfying topology — nothing to do")
+	} else {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "  step\taction\tshard\tserving\tkeys moved\tp99 sojourn\tmean sojourn\tverdict\n")
+		for i, s := range rb.Steps {
+			moved, p99, mean, verdict := "-", "-", "-", "-"
+			if s.MovedFrac > 0 {
+				moved = fmt.Sprintf("%.1f%%", 100*s.MovedFrac)
+			}
+			if s.Result != nil {
+				p99 = s.Result.Sojourn.P99.Round(time.Microsecond).String()
+				mean = s.Result.Sojourn.Mean.Round(time.Microsecond).String()
+				verdict = "meets SLO"
+				if !s.Meets {
+					verdict = strings.Join(s.Unmet, "; ")
+				}
+			}
+			fmt.Fprintf(w, "  %d\t%s\tshard-%d\t%d\t%s\t%s\t%s\t%s\n",
+				i+1, s.Action, s.Shard, s.Shards, moved, p99, mean, verdict)
+		}
+		w.Flush()
+		fmt.Println()
+	}
+	fmt.Printf("destination: %s/%s shards=%d hosts=%d qpus=%d (cost %.1f, p99 %v)\n",
+		rb.Final.Kind, rb.Final.Policy, rb.Final.Shards, rb.Final.Hosts, rb.Final.QPUs,
+		rb.Final.Cost, rb.Final.Result.Sojourn.P99.Round(time.Microsecond))
+	if rb.NextCheaper != nil {
+		fmt.Printf("  next-cheaper neighbor fails: shards=%d hosts=%d (cost %.1f) — %s\n",
+			rb.NextCheaper.Shards, rb.NextCheaper.Hosts, rb.NextCheaper.Cost,
+			strings.Join(rb.NextCheaper.Unmet, "; "))
 	}
 }
 

@@ -33,6 +33,7 @@ func runRoute(args []string) {
 		backoff  = fs.Duration("backoff", 0, "base backoff between re-dispatch attempts (0 = default)")
 		ping     = fs.Duration("ping", 0, "health-check interval (0 = default, negative disables)")
 		pingFail = fs.Int("pingfail", 0, "consecutive ping failures before a shard is marked down (0 = default)")
+		pingSucc = fs.Int("pingsucc", 0, "consecutive ping successes before a down shard is re-admitted (0 = default)")
 		replicas = fs.Int("replicas", 0, "virtual nodes per shard on the hash ring (0 = default)")
 		timeout  = fs.Duration("timeout", 0, "per-request shard I/O timeout (0 = none)")
 		obsAddr  = fs.String("obs", "", "HTTP admin endpoint address (/metrics /healthz /jobz /varz /debug/pprof; empty = off)")
@@ -63,6 +64,7 @@ func runRoute(args []string) {
 		Backoff:         *backoff,
 		PingEvery:       *ping,
 		PingFailLimit:   *pingFail,
+		PingSuccLimit:   *pingSucc,
 		Replicas:        *replicas,
 		Timeout:         *timeout,
 		Obs:             scope,

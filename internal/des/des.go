@@ -21,7 +21,13 @@
 // past the steal threshold diverts it to the least-loaded shard, and a
 // shard fault aborts the shard's in-flight jobs and re-dispatches them to
 // survivors against the scenario's retry budget — the simulator remains
-// the predictive twin of the federated system.
+// the predictive twin of the federated system. Scheduled membership events
+// (ClusterSpec.Events) make the membership elastic: a join brings a fresh
+// shard's hosts and devices into the ring at a virtual time, a planned
+// drain removes a shard gracefully — queued work re-routes for free,
+// in-flight work completes — and hash ownership tracks the evolving member
+// set with bounded key movement (internal/ring's Moved diff predicts
+// exactly which keys change owner).
 //
 // Costs are O(events · log events) on a binary heap keyed by (time, push
 // sequence), so identical scenarios replay byte-identical event logs at any
@@ -128,9 +134,11 @@ const (
 	evRoute            // a shard-loss re-dispatch lands after its backoff
 	evShardDown        // a whole shard dies (cluster fault)
 	evShardUp          // a dead shard rejoins
+	evJoin             // a scheduled membership join: a fresh shard enters the ring
+	evDrain            // a scheduled planned drain: a shard leaves the ring gracefully
 )
 
-var evName = [...]string{"arrive", "start", "qpu+", "qpu-", "done", "down", "up", "drop", "abort", "fail", "route", "sdown", "sup"}
+var evName = [...]string{"arrive", "start", "qpu+", "qpu-", "done", "down", "up", "drop", "abort", "fail", "route", "sdown", "sup", "join", "drain"}
 
 // event is one heap entry. Ties on time break on push sequence, so the
 // replay order — and therefore the event log — is fully deterministic.
@@ -194,7 +202,13 @@ type job struct {
 // simShard is one shard's mutable state: a full copy of the single-node
 // deployment — hosts, policy backlog, device pool, outage schedule.
 type simShard struct {
-	idx       int
+	idx int
+	// present is ring membership (scheduled joins and planned drains flip
+	// it); up is fault state (shard crashes flip it). A shard is routable
+	// only when both hold — a joiner's slot exists from t=0 (its devices
+	// live and may even realize outages, matching the idle live service)
+	// but takes no traffic until its join event.
+	present   bool
 	up        bool
 	freeHosts int
 	// backlog holds jobs waiting for a host, ordered by the scenario's
@@ -221,6 +235,10 @@ type simShard struct {
 	devDownAt []time.Duration
 }
 
+// avail reports whether the shard can take traffic: in the ring and not
+// crashed.
+func (sh *simShard) avail() bool { return sh.present && sh.up }
+
 // sim is the mutable simulation state.
 type sim struct {
 	sc   *workload.Scenario
@@ -235,8 +253,10 @@ type sim struct {
 	shards  []*simShard
 	cluster bool
 	steal   int
-	// rings caches the hash ring per shard-membership set (keyed by the
-	// up/down bit pattern) — membership changes at most twice per run.
+	// rings caches the hash ring per shard-membership set, keyed by a
+	// 3-state pattern per slot — '1' present and up, '0' present but down,
+	// '.' absent — so arbitrary member sets (joins, drains, faults) each
+	// build their ring once.
 	rings map[string]*ring.Ring
 	// pending parks jobs that arrive while every shard is down; they
 	// re-route when one rejoins.
@@ -279,11 +299,12 @@ func Simulate(sc *workload.Scenario, opts Options) (*Result, error) {
 		return nil, err
 	}
 	shardCount := sc.ShardCount()
+	total := sc.TotalShards()
 	s := &sim{
 		sc:         sc,
 		sys:        sys,
 		opts:       opts,
-		cluster:    shardCount > 1,
+		cluster:    total > 1,
 		steal:      sc.StealThreshold(),
 		rings:      map[string]*ring.Ring{},
 		jobLimit:   sc.Horizon.Jobs,
@@ -292,19 +313,29 @@ func Simulate(sc *workload.Scenario, opts Options) (*Result, error) {
 		backoff:    sc.RetryBackoff(),
 	}
 	devs := sc.System.QPUs()
-	for x := 0; x < shardCount; x++ {
+	for x := 0; x < total; x++ {
+		// Slots beyond the initial membership are scheduled joiners: they
+		// exist from t=0 (devices live, outage streams running — the idle
+		// provisioned service) but hold no hosts or free devices and take
+		// no traffic until their join event.
+		present := x < shardCount
 		sh := &simShard{
 			idx:       x,
+			present:   present,
 			up:        true,
-			freeHosts: sys.Hosts,
 			backlog:   sched.New[*job](sc.Policy),
 			devUp:     make([]bool, devs),
 			devHolder: make([]*job, devs),
 			devFree:   make([]int, 0, devs),
 		}
+		if present {
+			sh.freeHosts = sys.Hosts
+		}
 		for d := 0; d < devs; d++ {
 			sh.devUp[d] = true
-			sh.devFree = append(sh.devFree, d)
+			if present {
+				sh.devFree = append(sh.devFree, d)
+			}
 		}
 		if sc.HasDeviceFaults() {
 			sh.devGen = make([]*workload.OutageGen, devs)
@@ -329,6 +360,13 @@ func Simulate(sc *workload.Scenario, opts Options) (*Result, error) {
 		if sf.For > 0 {
 			s.pushDev(sf.At.D()+sf.For.D(), evShardUp, sf.Shard, 0)
 		}
+	}
+	for _, me := range sc.MemberEvents() {
+		kind := evJoin
+		if me.Kind == workload.DrainEvent {
+			kind = evDrain
+		}
+		s.pushDev(me.At.D(), kind, me.Shard, 0)
 	}
 	if err := s.prime(); err != nil {
 		return nil, err
@@ -575,7 +613,7 @@ func (s *sim) dispatch(e *event) {
 		sh.devUp[dev] = true
 		s.deviceDown += s.now - sh.devDownAt[dev]
 		s.logDev(evUp, e.shard, dev)
-		if sh.up {
+		if sh.avail() {
 			s.serveOrFree(sh, dev)
 		}
 		if o, ok := sh.devGen[dev].Next(); ok {
@@ -588,6 +626,12 @@ func (s *sim) dispatch(e *event) {
 
 	case evShardUp:
 		s.shardUp(s.shards[e.shard])
+
+	case evJoin:
+		s.join(s.shards[e.shard])
+
+	case evDrain:
+		s.drainShard(s.shards[e.shard])
 	}
 }
 
@@ -627,20 +671,23 @@ func (s *sim) route(j *job) *simShard {
 	return home
 }
 
-// owner resolves a shard key over the current up membership through the
-// cached consistent-hash ring — the identical computation the live router
-// makes, so both sides agree on every assignment.
+// owner resolves a shard key over the current available membership through
+// the cached consistent-hash ring — the identical computation the live
+// router makes, so both sides agree on every assignment.
 func (s *sim) owner(key string) *simShard {
 	mask := make([]byte, len(s.shards))
 	members := make([]string, 0, len(s.shards))
 	idxs := make([]int, 0, len(s.shards))
 	for i, sh := range s.shards {
-		if sh.up {
+		switch {
+		case sh.avail():
 			mask[i] = '1'
 			members = append(members, workload.ShardName(i))
 			idxs = append(idxs, i)
-		} else {
+		case sh.present:
 			mask[i] = '0'
+		default:
+			mask[i] = '.'
 		}
 	}
 	if len(members) == 0 {
@@ -658,12 +705,12 @@ func (s *sim) owner(key string) *simShard {
 	return s.shards[idxs[r.Owner(key)]]
 }
 
-// minBacklog is the steal target: the up shard with the shortest backlog,
-// ties broken on the lowest index.
+// minBacklog is the steal target: the available shard with the shortest
+// backlog, ties broken on the lowest index.
 func (s *sim) minBacklog() *simShard {
 	var best *simShard
 	for _, sh := range s.shards {
-		if !sh.up {
+		if !sh.avail() {
 			continue
 		}
 		if best == nil || sh.backlog.Len() < best.backlog.Len() {
@@ -718,13 +765,18 @@ func (s *sim) shardDown(sh *simShard) {
 }
 
 // shardUp rejoins a dead shard: full host capacity, every up device free,
-// and any jobs parked while the whole cluster was down re-route.
+// and any jobs parked while the whole cluster was down re-route. A shard
+// drained while it was dead stays out of the ring — revival restores fault
+// state, not membership.
 func (s *sim) shardUp(sh *simShard) {
 	if sh.up {
 		return
 	}
 	sh.up = true
 	s.logShard(evShardUp, sh.idx)
+	if !sh.present {
+		return
+	}
 	sh.freeHosts = s.sys.Hosts
 	sh.devFree = sh.devFree[:0]
 	for d, up := range sh.devUp {
@@ -735,6 +787,52 @@ func (s *sim) shardUp(sh *simShard) {
 	pending := s.pending
 	s.pending = nil
 	for _, jb := range pending {
+		s.routeJob(jb)
+	}
+}
+
+// join realizes a scheduled membership join: the slot's hosts come online,
+// its live devices enter the free pool, and hash ownership expands to the
+// new member set — only the ring-diff key ranges change owner, everything
+// else stays put.
+func (s *sim) join(sh *simShard) {
+	if sh.present {
+		return
+	}
+	sh.present = true
+	s.logShard(evJoin, sh.idx)
+	if !sh.up {
+		return
+	}
+	sh.freeHosts = s.sys.Hosts
+	sh.devFree = sh.devFree[:0]
+	for d, up := range sh.devUp {
+		if up {
+			sh.devFree = append(sh.devFree, d)
+		}
+	}
+	pending := s.pending
+	s.pending = nil
+	for _, jb := range pending {
+		s.routeJob(jb)
+	}
+}
+
+// drainShard realizes a planned drain: the shard leaves the ring, its
+// queued backlog re-routes to the survivors for free (those jobs never left
+// the router tier), and hosted jobs complete in place — the graceful
+// counterpart to shardDown's crash semantics.
+func (s *sim) drainShard(sh *simShard) {
+	if !sh.present {
+		return
+	}
+	sh.present = false
+	s.logShard(evDrain, sh.idx)
+	for {
+		jb, ok := sh.backlog.Pop()
+		if !ok {
+			break
+		}
 		s.routeJob(jb)
 	}
 }

@@ -1,0 +1,141 @@
+package plan
+
+import (
+	"fmt"
+
+	"github.com/splitexec/splitexec/internal/des"
+	"github.com/splitexec/splitexec/internal/ring"
+	"github.com/splitexec/splitexec/internal/workload"
+)
+
+// Rebalance-step actions, in the order a transition executes them. An add
+// provisions a backend and registers it with the routing tier without
+// changing ownership; the warm that follows replays the hot keys the ring
+// diff re-homes into the joiner's embedding cache and then flips ownership
+// (the epoch bump); a drain retires a member gracefully, re-homing its keys
+// to the survivors. Ownership changes — warm and drain — are the steps that
+// alter the served topology, so they carry the DES validation.
+const (
+	StepAdd   = "add"
+	StepWarm  = "warm"
+	StepDrain = "drain"
+)
+
+// RebalanceStep is one ordered action of a membership transition.
+type RebalanceStep struct {
+	Action string `json:"action"`
+	// Shard is the member the action targets.
+	Shard int `json:"shard"`
+	// Shards is the serving membership width once the step completes.
+	Shards int `json:"shards"`
+	// MovedFrac is the fraction of the hash-ring key space changing owner
+	// at this step's ownership flip (ring.Frac over ring.Moved) — for a
+	// warm step, equivalently the fraction of hot keys to replay first.
+	MovedFrac float64 `json:"movedFrac,omitempty"`
+	// Result is the DES evaluation of the post-step topology; set on the
+	// steps that change ownership (warm, drain), nil on a bare add.
+	Result *des.Result `json:"result,omitempty"`
+	// Meets and Unmet report the post-step topology against the target.
+	// Intermediate steps of a scale-out may legitimately fail the SLO —
+	// that is why the transition continues — but the final step must meet.
+	Meets bool     `json:"meets"`
+	Unmet []string `json:"unmet,omitempty"`
+}
+
+// RebalanceResult is an ordered, DES-validated path from the scenario's
+// current topology to the cheapest SLO-satisfying one.
+type RebalanceResult struct {
+	Scenario string `json:"scenario,omitempty"`
+	Target   Target `json:"target"`
+	// From and To are the current and destination shard counts. Equal
+	// values mean the scenario already runs the cheapest satisfying width
+	// and Steps is empty.
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Final is the static planner's answer (Capacity's Best): the
+	// destination configuration. The last step's topology is exactly this.
+	Final *Candidate `json:"final"`
+	// NextCheaper is Capacity's evidence that Final is tight.
+	NextCheaper *Candidate      `json:"nextCheaper,omitempty"`
+	Steps       []RebalanceStep `json:"steps"`
+}
+
+// Rebalance plans the membership transition: it first runs Capacity over
+// the space to find the cheapest SLO-satisfying configuration, then walks
+// the ring from the scenario's current shard count to that answer one
+// member at a time — add+warm per joiner on a scale-out, drain per victim
+// (highest index first) on a scale-in — validating every ownership flip
+// with the discrete-event simulator. Host count, kind and policy changes
+// are taken from the destination configuration and applied to every
+// validated intermediate, so the step list isolates the membership walk.
+func Rebalance(sc *workload.Scenario, target Target, space Space, opts Options) (*RebalanceResult, error) {
+	p, err := Capacity(sc, target, space, opts)
+	if err != nil {
+		return nil, err
+	}
+	if p.Best == nil {
+		return nil, fmt.Errorf("plan: no configuration in the search space meets the target — nothing to rebalance toward")
+	}
+
+	base := *sc // evaluation copy, horizon-overridden exactly as Capacity's
+	if opts.HorizonJobs > 0 {
+		base.Horizon = workload.Horizon{Jobs: opts.HorizonJobs}
+	}
+	if base.Arrival.Kind == workload.Trace && base.Horizon.Jobs > len(base.Arrival.Trace) {
+		base.Horizon.Jobs = len(base.Arrival.Trace)
+	}
+	costs := opts.Costs.withDefaults()
+	replicas := 0
+	if sc.Cluster != nil {
+		replicas = sc.Cluster.Replicas
+	}
+
+	rb := &RebalanceResult{
+		Scenario:    sc.Name,
+		Target:      target,
+		From:        sc.ShardCount(),
+		To:          p.Best.Shards,
+		Final:       p.Best,
+		NextCheaper: p.NextCheaper,
+	}
+	validate := func(step *RebalanceStep) error {
+		c, err := evaluate(&base, target, p.Best.Kind, p.Best.Policy, step.Shards, p.Best.Hosts, costs)
+		if err != nil {
+			return err
+		}
+		step.Result = c.Result
+		step.Meets = c.Meets
+		step.Unmet = c.Unmet
+		return nil
+	}
+
+	members := make([]string, rb.From)
+	for i := range members {
+		members[i] = workload.ShardName(i)
+	}
+	r := ring.New(members, replicas)
+	for n := rb.From; n < rb.To; n++ { // scale-out: add + warm per joiner
+		grown := r.With(workload.ShardName(n))
+		frac := ring.Frac(ring.Moved(r, grown))
+		rb.Steps = append(rb.Steps, RebalanceStep{
+			Action: StepAdd, Shard: n, Shards: n, // registered, not yet an owner
+		})
+		warm := RebalanceStep{Action: StepWarm, Shard: n, Shards: n + 1, MovedFrac: frac}
+		if err := validate(&warm); err != nil {
+			return nil, err
+		}
+		rb.Steps = append(rb.Steps, warm)
+		r = grown
+	}
+	for n := rb.From; n > rb.To; n-- { // scale-in: drain from the top
+		shrunk := r.Without(n - 1)
+		frac := ring.Frac(ring.Moved(r, shrunk))
+		drain := RebalanceStep{Action: StepDrain, Shard: n - 1, Shards: n - 1, MovedFrac: frac}
+		if err := validate(&drain); err != nil {
+			return nil, err
+		}
+		rb.Steps = append(rb.Steps, drain)
+		r = shrunk
+	}
+	return rb, nil
+}

@@ -1,0 +1,158 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/splitexec/splitexec/internal/workload"
+)
+
+// rebalanceScenario is a 12-class Poisson workload behind a routing tier
+// with work stealing — enough distinct class keys that the ring spreads
+// ownership, and stealing pools the leftover imbalance, so shard count is a
+// real capacity axis. rate 3000 jobs/s against 1 ms jobs saturates a
+// 2-host single shard (rho 1.5) while two shards run at 0.75 pooled.
+func rebalanceScenario(shards, jobs int) *workload.Scenario {
+	mix := make([]workload.JobClass, 12)
+	for i := range mix {
+		mix[i] = workload.JobClass{
+			Name: fmt.Sprintf("c%d", i), Weight: 1, Dist: workload.Exponential,
+			Profile: workload.Profile{
+				PreProcess:  workload.Duration(500 * time.Microsecond),
+				QPUService:  workload.Duration(300 * time.Microsecond),
+				PostProcess: workload.Duration(200 * time.Microsecond),
+			},
+		}
+	}
+	return &workload.Scenario{
+		Name:    "rebalance-test",
+		Seed:    11,
+		Arrival: workload.Arrival{Kind: workload.Poisson, Rate: 3000},
+		Mix:     mix,
+		System:  workload.SystemSpec{Kind: "dedicated", Hosts: 2},
+		Cluster: &workload.ClusterSpec{Shards: shards, StealThreshold: 4},
+		Horizon: workload.Horizon{Jobs: jobs},
+	}
+}
+
+// TestRebalanceScaleOut is the acceptance gate: from a saturated single
+// shard, Rebalance must emit an ordered add+warm step list (>= 2 steps)
+// whose final step lands exactly on the static planner's answer.
+func TestRebalanceScaleOut(t *testing.T) {
+	sc := rebalanceScenario(1, 8000)
+	target := Target{MeanSojourn: 10 * time.Millisecond}
+	space := Space{Hosts: []int{2}, Shards: []int{1, 2, 4}}
+	rb, err := Rebalance(sc, target, space, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.From != 1 || rb.To <= 1 {
+		t.Fatalf("rebalance %d -> %d, want a scale-out from 1", rb.From, rb.To)
+	}
+	if len(rb.Steps) < 2 {
+		t.Fatalf("%d steps, want >= 2 (add + warm per joiner)", len(rb.Steps))
+	}
+	if len(rb.Steps) != 2*(rb.To-rb.From) {
+		t.Fatalf("%d steps for %d joiners, want add+warm per joiner", len(rb.Steps), rb.To-rb.From)
+	}
+	for i := 0; i < len(rb.Steps); i += 2 {
+		add, warm := rb.Steps[i], rb.Steps[i+1]
+		shard := rb.From + i/2
+		if add.Action != StepAdd || add.Shard != shard || add.Shards != shard {
+			t.Errorf("step %d = %+v, want add of shard %d before its ownership flip", i, add, shard)
+		}
+		if add.Result != nil {
+			t.Errorf("bare add carries a DES result: %+v", add)
+		}
+		if warm.Action != StepWarm || warm.Shard != shard || warm.Shards != shard+1 {
+			t.Errorf("step %d = %+v, want warm flipping shard %d in", i+1, warm, shard)
+		}
+		if warm.MovedFrac <= 0 || warm.MovedFrac >= 1 {
+			t.Errorf("warm step moves fraction %v of the key space, want (0, 1)", warm.MovedFrac)
+		}
+		if warm.Result == nil {
+			t.Errorf("ownership flip at step %d not DES-validated", i+1)
+		}
+	}
+	final := rb.Steps[len(rb.Steps)-1]
+	if final.Shards != rb.Final.Shards {
+		t.Errorf("final step reaches %d shards, static planner says %d", final.Shards, rb.Final.Shards)
+	}
+	if !final.Meets {
+		t.Errorf("final step misses the target: %v", final.Unmet)
+	}
+	if final.Result.String() != rb.Final.Result.String() {
+		t.Errorf("final step's DES result diverges from the static planner's:\n%s\nvs\n%s",
+			final.Result, rb.Final.Result)
+	}
+	if !rb.Final.Meets {
+		t.Errorf("destination configuration fails its own target: %v", rb.Final.Unmet)
+	}
+}
+
+// TestRebalanceScaleIn: an over-provisioned cluster drains from the top
+// down to the cheapest satisfying width, every drain DES-validated.
+func TestRebalanceScaleIn(t *testing.T) {
+	sc := rebalanceScenario(4, 6000)
+	sc.Arrival.Rate = 900 // rho 0.45 on a single 2-host shard
+	target := Target{MeanSojourn: 20 * time.Millisecond}
+	rb, err := Rebalance(sc, target, Space{Hosts: []int{2}, Shards: []int{1, 2, 4}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.From != 4 || rb.To != 1 {
+		t.Fatalf("rebalance %d -> %d, want 4 -> 1", rb.From, rb.To)
+	}
+	if len(rb.Steps) != 3 {
+		t.Fatalf("%d steps, want one drain per retired shard", len(rb.Steps))
+	}
+	for i, step := range rb.Steps {
+		wantShard := rb.From - 1 - i
+		if step.Action != StepDrain || step.Shard != wantShard || step.Shards != wantShard {
+			t.Errorf("step %d = %+v, want drain of shard %d", i, step, wantShard)
+		}
+		if step.Result == nil {
+			t.Errorf("drain step %d not DES-validated", i)
+		}
+		if step.MovedFrac <= 0 || step.MovedFrac >= 1 {
+			t.Errorf("drain step %d moves fraction %v, want (0, 1)", i, step.MovedFrac)
+		}
+	}
+	final := rb.Steps[len(rb.Steps)-1]
+	if final.Shards != rb.Final.Shards || !final.Meets {
+		t.Errorf("final step %+v does not land on the planner's answer (%d shards)", final, rb.Final.Shards)
+	}
+}
+
+// TestRebalanceAlreadyThere: a scenario already running the cheapest
+// satisfying width plans an empty transition.
+func TestRebalanceAlreadyThere(t *testing.T) {
+	sc := rebalanceScenario(2, 6000)
+	rb, err := Rebalance(sc, Target{MeanSojourn: 10 * time.Millisecond},
+		Space{Hosts: []int{2}, Shards: []int{2, 4}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.From != rb.To || rb.From != 2 {
+		t.Errorf("rebalance %d -> %d, want 2 -> 2", rb.From, rb.To)
+	}
+	if len(rb.Steps) != 0 {
+		t.Errorf("steady topology planned %d steps: %+v", len(rb.Steps), rb.Steps)
+	}
+	if rb.Final == nil || rb.Final.Shards != 2 {
+		t.Errorf("final = %+v, want the 2-shard answer", rb.Final)
+	}
+}
+
+// TestRebalanceUnsatisfiable: with no satisfying destination there is
+// nothing to rebalance toward — an explicit error, not a guess.
+func TestRebalanceUnsatisfiable(t *testing.T) {
+	sc := rebalanceScenario(1, 3000)
+	_, err := Rebalance(sc, Target{P99Sojourn: 100 * time.Microsecond},
+		Space{Hosts: []int{2}, Shards: []int{1, 2}}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "nothing to rebalance toward") {
+		t.Errorf("unsatisfiable target: got %v", err)
+	}
+}

@@ -1,0 +1,128 @@
+// Membership-diff API: the arcs of the hash circle whose owner changes
+// between two rings. This is what makes elastic membership cheap — a join
+// or drain re-homes exactly the arcs the diff names, so the router can warm
+// the new owner's cache from precisely the keys that are about to move and
+// leave every other key untouched.
+package ring
+
+import "sort"
+
+// Range is one arc (Lo, Hi] of the hash circle whose owner changes between
+// two rings: keys hashing into the arc move from member From to member To.
+// Arcs are half-open at the bottom because ownership is "first virtual node
+// at or clockwise after the hash" — the point at Lo owns hashes up to and
+// including Lo, the arc above it belongs to the next point. When Lo >= Hi
+// the arc wraps through zero (the circle's top).
+type Range struct {
+	Lo   uint64 `json:"lo"`
+	Hi   uint64 `json:"hi"`
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// Contains reports whether hash h falls inside the arc.
+func (g Range) Contains(h uint64) bool {
+	if g.Lo < g.Hi {
+		return h > g.Lo && h <= g.Hi
+	}
+	return h > g.Lo || h <= g.Hi // wraps through zero
+}
+
+// span is the arc's length on the 2^64 circle (the full circle when the
+// range degenerates to a single boundary).
+func (g Range) span() uint64 { return g.Hi - g.Lo }
+
+// With builds the ring that results when member joins — the same replica
+// count, one more member. Keys owned by existing members either keep their
+// owner or move to the joiner; no key moves between survivors (the bounded-
+// movement property the diff below makes exact).
+func (r *Ring) With(member string) *Ring {
+	members := append(r.Members(), member)
+	replicas := 0
+	if len(r.members) > 0 {
+		replicas = len(r.points) / len(r.members)
+	}
+	return New(members, replicas)
+}
+
+// Moved returns exactly the key ranges that change owner between two rings,
+// merged into maximal contiguous arcs, ordered by Lo. Ownership is compared
+// by member name, so the two rings may index their members differently (a
+// join appends, a drain splices). Either ring empty yields nil — there is
+// no meaningful diff against a ring that owns nothing.
+func Moved(old, new *Ring) []Range {
+	if old == nil || new == nil || len(old.points) == 0 || len(new.points) == 0 {
+		return nil
+	}
+	// Every virtual-node hash of either ring bounds an arc of constant
+	// ownership in both: within (b[i], b[i+1]] no ring has a point, so
+	// "first point at or after h" cannot change.
+	bounds := make([]uint64, 0, len(old.points)+len(new.points))
+	for _, p := range old.points {
+		bounds = append(bounds, p.hash)
+	}
+	for _, p := range new.points {
+		bounds = append(bounds, p.hash)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	n := 0
+	for i, b := range bounds {
+		if i == 0 || b != bounds[n-1] {
+			bounds[n] = b
+			n++
+		}
+	}
+	bounds = bounds[:n]
+
+	var out []Range
+	for i := range bounds {
+		lo, hi := bounds[i], bounds[(i+1)%n]
+		// hi itself lies inside the arc (lo, hi], so it resolves the arc's
+		// owner in both rings.
+		from, to := old.ownerAt(hi), new.ownerAt(hi)
+		if from == to {
+			continue
+		}
+		if k := len(out); k > 0 && out[k-1].Hi == lo && out[k-1].From == from && out[k-1].To == to {
+			out[k-1].Hi = hi // extend the previous arc: same movement, contiguous
+			continue
+		}
+		out = append(out, Range{Lo: lo, Hi: hi, From: from, To: to})
+	}
+	return out
+}
+
+// ownerAt resolves the member name owning hash h: the first virtual node at
+// or clockwise after h, wrapping to the circle's first point.
+func (r *Ring) ownerAt(h uint64) string {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.members[r.points[i].idx]
+}
+
+// Covers reports whether hash h falls inside any of the ranges — the test
+// the router applies to each hot key to decide whether it moves.
+func Covers(ranges []Range, h uint64) bool {
+	for _, g := range ranges {
+		if g.Contains(h) {
+			return true
+		}
+	}
+	return false
+}
+
+// Frac is the fraction of the hash circle the ranges cover — the predicted
+// moved-key fraction the rebalance planner reports per step.
+func Frac(ranges []Range) float64 {
+	var total float64
+	for _, g := range ranges {
+		if span := g.span(); span == 0 {
+			total += 1 // a single-boundary diff covers the whole circle
+		} else {
+			total += float64(span) / (1 << 63) / 2
+		}
+	}
+	return total
+}

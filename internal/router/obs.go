@@ -25,19 +25,42 @@ func (r *Router) initObs() {
 		func() float64 { return float64(r.failedJobs.Load()) })
 	reg.CounterFunc("splitexec_router_evictions_total",
 		func() float64 { return float64(r.evicted.Load()) })
+	reg.GaugeFunc("splitexec_router_epoch",
+		func() float64 { return float64(r.epoch.Load()) })
+	reg.CounterFunc("splitexec_router_keys_moved_total",
+		func() float64 { return float64(r.keysMoved.Load()) })
+	reg.CounterFunc("splitexec_router_warmed_total",
+		func() float64 { return float64(r.warmed.Load()) })
 	for _, sh := range r.shards {
-		sh := sh
-		lbl := strconv.Itoa(sh.idx)
-		reg.CounterFunc(obs.Label("splitexec_router_dispatched_total", "shard", lbl),
-			func() float64 { return float64(sh.dispatched.Load()) })
-		reg.GaugeFunc(obs.Label("splitexec_router_backlog", "shard", lbl),
-			func() float64 { return float64(len(sh.queue)) })
-		reg.GaugeFunc(obs.Label("splitexec_router_shard_up", "shard", lbl),
-			func() float64 {
-				if sh.isUp() {
-					return 1
-				}
-				return 0
-			})
+		r.registerShardObs(sh)
 	}
+}
+
+// registerShardObs publishes one shard's series; AddShard calls it for
+// shards provisioned after boot, so elastic members appear in /metrics the
+// moment they exist.
+func (r *Router) registerShardObs(sh *shard) {
+	reg := r.opts.Obs.Registry()
+	if reg == nil {
+		return
+	}
+	lbl := strconv.Itoa(sh.idx)
+	reg.CounterFunc(obs.Label("splitexec_router_dispatched_total", "shard", lbl),
+		func() float64 { return float64(sh.dispatched.Load()) })
+	reg.GaugeFunc(obs.Label("splitexec_router_backlog", "shard", lbl),
+		func() float64 { return float64(len(sh.queue)) })
+	reg.GaugeFunc(obs.Label("splitexec_router_shard_up", "shard", lbl),
+		func() float64 {
+			if sh.isUp() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc(obs.Label("splitexec_router_shard_in_ring", "shard", lbl),
+		func() float64 {
+			if sh.ringState() != '.' {
+				return 1
+			}
+			return 0
+		})
 }

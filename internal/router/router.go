@@ -7,15 +7,26 @@
 // key space. Per-shard bounded queues give backpressure; a backlog past the
 // steal threshold diverts jobs to the least-loaded shard; periodic pings
 // drop shards from the ring after consecutive failures and re-admit them
-// when they answer again; and a shard loss (detected or commanded via
-// RemoveShard/FailShard) re-dispatches queued and in-flight jobs to the
-// survivors against a bounded retry budget, with hash ownership moving only
-// the dead shard's arc of the ring.
+// after a probation window of consecutive successes; and a shard loss
+// (detected or commanded via RemoveShard/FailShard) re-dispatches queued
+// and in-flight jobs to the survivors against a bounded retry budget, with
+// hash ownership moving only the dead shard's arc of the ring.
+//
+// Membership is elastic: AddShard brings a fresh backend into the ring at
+// runtime — its embedding cache warmed from the old owners' hot keys before
+// ownership flips — and DrainShard retires one gracefully, re-routing its
+// queue while in-flight work completes. Each transition bumps a membership
+// epoch; every dispatch is tagged with the epoch it routed under, so jobs
+// from epoch N complete under N's routing while epoch N+1's rebalance is in
+// flight. The admin wire verbs (service.WireAdmin: add/remove/drain/status)
+// drive all of this remotely via `splitexec admin`.
 //
 // The routing computation — ring membership, shard keys, steal rule — is
 // shared with the discrete-event simulator (internal/des), which makes the
 // DES the predictive twin of the federated system: a cluster scenario's
-// predicted shard assignment is the one this router realizes.
+// predicted shard assignment is the one this router realizes, and
+// internal/ring's Moved diff predicts exactly the keys a membership change
+// re-homes.
 package router
 
 import (
@@ -41,7 +52,17 @@ const (
 	DefaultPingEvery       = 250 * time.Millisecond
 	DefaultPingTimeout     = 2 * time.Second
 	DefaultPingFailLimit   = 3
+	DefaultPingSuccLimit   = 2
 )
+
+// probationCap bounds the exponential probe backoff a flapping shard earns:
+// each eviction doubles its probation window, up to this many ping periods.
+const probationCap = 16
+
+// hotKeyCap bounds the router's hot-key memory: the most recent distinct
+// QUBO routing keys (and their requests) kept for warming a joining shard's
+// embedding cache.
+const hotKeyCap = 512
 
 // ErrNoShards reports a dispatch with every shard down or removed.
 var ErrNoShards = errors.New("router: no shards available")
@@ -74,10 +95,16 @@ type Options struct {
 	Backoff    time.Duration
 	// PingEvery is the health-check period (default 250ms; negative
 	// disables health checking). PingTimeout bounds each probe, and
-	// PingFailLimit consecutive failures mark a shard down.
+	// PingFailLimit consecutive failures mark a shard down. A downed shard
+	// then sits out a probation window — one ping period, doubling with
+	// each subsequent eviction up to probationCap periods — and re-admits
+	// only after PingSuccLimit consecutive successful probes, so a flapping
+	// backend (alternating good and bad probes) stays out of the ring
+	// instead of oscillating through it.
 	PingEvery     time.Duration
 	PingTimeout   time.Duration
 	PingFailLimit int
+	PingSuccLimit int
 	// Replicas is the ring's virtual-node count per shard (0 selects
 	// ring.DefaultReplicas). Must match the scenario's ClusterSpec for
 	// DES-predicted assignments to hold.
@@ -110,6 +137,14 @@ type Stats struct {
 	// Evicted counts shard down-transitions (health-check drops, FailShard,
 	// RemoveShard) over the router's lifetime.
 	Evicted int64 `json:"evicted,omitempty"`
+	// Epoch is the membership epoch: it bumps on every administrative
+	// membership change (AddShard, DrainShard, RemoveShard).
+	Epoch int64 `json:"epoch,omitempty"`
+	// KeysMoved counts tracked hot keys whose ring owner changed across
+	// membership transitions; Warmed counts those successfully replayed
+	// into a joining shard's embedding cache before its ownership flip.
+	KeysMoved int64 `json:"keysMoved,omitempty"`
+	Warmed    int64 `json:"warmed,omitempty"`
 }
 
 // pjob is one proxied request in flight through the router. The routing
@@ -122,7 +157,8 @@ type pjob struct {
 	attempts int
 	resp     chan presult
 
-	home   int // latest hash-home shard (-1 until first pick)
+	home   int   // latest hash-home shard (-1 until first pick)
+	epoch  int64 // membership epoch of the latest pick
 	stolen bool
 	served int // shard that answered (-1 until a shard does)
 	span   *obs.SpanBuilder
@@ -144,13 +180,25 @@ type shard struct {
 
 	queue chan *pjob
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// up is fault state (health probes, FailShard); inRing is membership
+	// (AddShard flips it on after warm-up, DrainShard/RemoveShard off). The
+	// shard takes traffic only when both hold.
 	up      bool
+	inRing  bool
 	removed bool
 	downCh  chan struct{} // closed when the shard goes down; replaced on revival
 	clients map[*service.Client]struct{}
 
-	fails      int // consecutive ping failures (health loop only)
+	// Probation state, touched only by the health loop goroutine: fails and
+	// succ count consecutive probe outcomes, penalty is the current backoff
+	// window (doubling per eviction), and probeAfter gates the next probe of
+	// a downed shard.
+	fails      int
+	succ       int
+	penalty    time.Duration
+	probeAfter time.Time
+
 	dispatched atomic.Int64
 	inflight   sync.WaitGroup // jobs handed to workers, for graceful drain
 }
@@ -166,6 +214,22 @@ func (sh *shard) isUp() bool {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	return sh.up
+}
+
+// ringState is the shard's membership mask byte: '1' routable, '0' in the
+// ring but down (a fault, expected back), '.' absent (never joined, drained
+// or removed) — the same 3-state key the DES's ring cache uses.
+func (sh *shard) ringState() byte {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	switch {
+	case sh.inRing && sh.up:
+		return '1'
+	case sh.inRing:
+		return '0'
+	default:
+		return '.'
+	}
 }
 
 // register tracks a worker's client so FailShard can interrupt its I/O.
@@ -184,11 +248,19 @@ func (sh *shard) unregister(c *service.Client) {
 
 // Router is the federating front end.
 type Router struct {
-	opts   Options
-	shards []*shard
+	opts Options
 
-	mu    sync.Mutex
-	rings map[string]*ring.Ring // membership bit-pattern → ring
+	// mu guards shards (append-only; AddShard copies the backing array so
+	// snapshots stay iterable without the lock) and rings.
+	mu     sync.Mutex
+	shards []*shard
+	rings  map[string]*ring.Ring // 3-state membership pattern → ring
+
+	// Hot-key memory for warm-up: the most recent distinct QUBO routing
+	// keys and their requests, FIFO-evicted at hotKeyCap.
+	hotMu    sync.Mutex
+	hotKeys  map[string]service.SolveRequest
+	hotOrder []string
 
 	ln       net.Listener
 	lnMu     sync.Mutex
@@ -199,12 +271,24 @@ type Router struct {
 	stop     chan struct{}
 	closed   bool
 
+	epoch        atomic.Int64 // membership epoch; bumps per add/drain/remove
+	keysMoved    atomic.Int64
+	warmed       atomic.Int64
 	stolen       atomic.Int64
 	redispatched atomic.Int64
 	requeued     atomic.Int64
 	failedJobs   atomic.Int64
 	evicted      atomic.Int64
 	seq          atomic.Int64 // dispatch sequence; router span IDs
+}
+
+// snapshot returns the current shard table for lock-free iteration: the
+// slice is never mutated in place (AddShard appends onto a fresh backing
+// array), and shard pointers are stable for the router's lifetime.
+func (r *Router) snapshot() []*shard {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.shards
 }
 
 // New builds a router over the given shard addresses and starts its
@@ -234,26 +318,21 @@ func New(opts Options) (*Router, error) {
 	if opts.PingFailLimit <= 0 {
 		opts.PingFailLimit = DefaultPingFailLimit
 	}
+	if opts.PingSuccLimit <= 0 {
+		opts.PingSuccLimit = DefaultPingSuccLimit
+	}
 	r := &Router{
-		opts:  opts,
-		rings: map[string]*ring.Ring{},
-		conns: map[net.Conn]struct{}{},
-		stop:  make(chan struct{}),
+		opts:    opts,
+		rings:   map[string]*ring.Ring{},
+		hotKeys: map[string]service.SolveRequest{},
+		conns:   map[net.Conn]struct{}{},
+		stop:    make(chan struct{}),
 	}
 	for i, addr := range opts.Shards {
-		sh := &shard{
-			idx:     i,
-			addr:    addr,
-			queue:   make(chan *pjob, opts.QueueDepth),
-			up:      true,
-			downCh:  make(chan struct{}),
-			clients: map[*service.Client]struct{}{},
-		}
+		sh := r.newShard(i, addr)
+		sh.inRing = true
 		r.shards = append(r.shards, sh)
-		for w := 0; w < opts.ClientsPerShard; w++ {
-			r.workerWG.Add(1)
-			go r.worker(sh)
-		}
+		r.startShard(sh)
 	}
 	r.initObs()
 	if opts.PingEvery > 0 {
@@ -261,6 +340,27 @@ func New(opts Options) (*Router, error) {
 		go r.healthLoop()
 	}
 	return r, nil
+}
+
+// newShard builds a shard record outside the ring (AddShard flips inRing
+// after warm-up; New flips it at boot).
+func (r *Router) newShard(idx int, addr string) *shard {
+	return &shard{
+		idx:     idx,
+		addr:    addr,
+		queue:   make(chan *pjob, r.opts.QueueDepth),
+		up:      true,
+		downCh:  make(chan struct{}),
+		clients: map[*service.Client]struct{}{},
+	}
+}
+
+// startShard launches the shard's dispatch worker pool.
+func (r *Router) startShard(sh *shard) {
+	for w := 0; w < r.opts.ClientsPerShard; w++ {
+		r.workerWG.Add(1)
+		go r.worker(sh)
+	}
 }
 
 // ShardKey derives the routing key of a request: the embedding-cache key
@@ -345,6 +445,9 @@ func (r *Router) serveConn(conn net.Conn) {
 
 // handle routes one request and waits out its round trip.
 func (r *Router) handle(req service.SolveRequest) service.SolveResponse {
+	if req.Admin != nil {
+		return r.handleAdmin(*req.Admin)
+	}
 	if req.Ping {
 		return service.SolveResponse{OK: true} // router liveness
 	}
@@ -352,6 +455,7 @@ func (r *Router) handle(req service.SolveRequest) service.SolveResponse {
 	if err != nil {
 		return service.SolveResponse{Error: err.Error()}
 	}
+	r.recordHot(key, req)
 	pj := &pjob{req: req, key: key, resp: make(chan presult, 1), home: -1, served: -1}
 	pj.span = r.opts.Obs.Tracer().Start("route", r.seq.Add(1)-1, req.Class)
 	if err := r.dispatch(pj); err != nil {
@@ -416,12 +520,10 @@ func (r *Router) pick(pj *pjob) *shard {
 	members := make([]string, 0, len(r.shards))
 	idxs := make([]int, 0, len(r.shards))
 	for i, sh := range r.shards {
-		if sh.isUp() {
-			mask[i] = '1'
+		mask[i] = sh.ringState()
+		if mask[i] == '1' {
 			members = append(members, workload.ShardName(i))
 			idxs = append(idxs, i)
-		} else {
-			mask[i] = '0'
 		}
 	}
 	if len(members) == 0 {
@@ -434,6 +536,7 @@ func (r *Router) pick(pj *pjob) *shard {
 	}
 	home := r.shards[idxs[rg.Owner(key)]]
 	pj.home = home.idx
+	pj.epoch = r.epoch.Load()
 	if t := r.opts.StealThreshold; t > 0 && len(home.queue) >= t {
 		best := home
 		for _, i := range idxs {
@@ -499,6 +602,7 @@ func (r *Router) worker(sh *shard) {
 				Home:         pj.home,
 				Stolen:       pj.stolen,
 				Redispatches: pj.attempts,
+				Epoch:        pj.epoch,
 			}
 			pj.done(resp, err)
 			continue
@@ -604,40 +708,229 @@ func (r *Router) markUp(sh *shard) {
 // the deterministic shard-kill hook the storm runner and the chaos tests
 // drive. In-flight jobs re-dispatch to the survivors.
 func (r *Router) FailShard(i int) error {
-	if i < 0 || i >= len(r.shards) {
+	shards := r.snapshot()
+	if i < 0 || i >= len(shards) {
 		return fmt.Errorf("router: shard %d out of range", i)
 	}
-	r.markDown(r.shards[i])
+	r.markDown(shards[i])
 	return nil
 }
 
 // RestoreShard re-admits a shard downed by FailShard or the health loop.
 func (r *Router) RestoreShard(i int) error {
-	if i < 0 || i >= len(r.shards) {
+	shards := r.snapshot()
+	if i < 0 || i >= len(shards) {
 		return fmt.Errorf("router: shard %d out of range", i)
 	}
-	r.markUp(r.shards[i])
+	r.markUp(shards[i])
 	return nil
 }
 
-// RemoveShard permanently drains shard i: it leaves the ring (ownership
-// rebalances with bounded key movement), queued and in-flight jobs
-// re-dispatch to the survivors, and the health loop will not re-admit it.
+// RemoveShard hard-removes shard i: it leaves the ring immediately
+// (ownership rebalances with bounded key movement), queued AND in-flight
+// jobs re-dispatch to the survivors against the retry budget, and the
+// health loop will not re-admit it. DrainShard is the graceful variant.
 func (r *Router) RemoveShard(i int) error {
-	if i < 0 || i >= len(r.shards) {
+	shards := r.snapshot()
+	if i < 0 || i >= len(shards) {
 		return fmt.Errorf("router: shard %d out of range", i)
 	}
-	sh := r.shards[i]
+	sh := shards[i]
+	r.mu.Lock()
 	sh.mu.Lock()
+	wasInRing := sh.inRing
 	sh.removed = true
+	sh.inRing = false
 	sh.mu.Unlock()
+	if wasInRing {
+		r.epoch.Add(1)
+	}
+	r.mu.Unlock()
 	r.markDown(sh)
 	return nil
 }
 
-// healthLoop pings every shard each period, dropping members after
-// PingFailLimit consecutive failures and re-admitting them on the first
-// successful probe.
+// AddShard brings a fresh backend into the ring at runtime. The sequence
+// keeps the transition invisible to in-flight work: probe the backend,
+// provision the shard outside the ring, start its workers, warm its
+// embedding cache with the hot keys the ring diff says it will own, and
+// only then flip membership and bump the epoch — jobs picked before the
+// flip complete under the old epoch's routing. Returns the assigned index
+// and the count of hot keys warmed.
+func (r *Router) AddShard(addr string) (idx, warmed int, err error) {
+	c, err := service.DialTimeout(addr, r.opts.PingTimeout)
+	if err != nil {
+		return -1, 0, fmt.Errorf("router: add shard: %w", err)
+	}
+	err = c.Ping()
+	c.Close()
+	if err != nil {
+		return -1, 0, fmt.Errorf("router: add shard %s: backend refused ping: %w", addr, err)
+	}
+	r.lnMu.Lock()
+	draining := r.closed
+	r.lnMu.Unlock()
+	if draining {
+		return -1, 0, errors.New("router: draining")
+	}
+
+	r.mu.Lock()
+	idx = len(r.shards)
+	sh := r.newShard(idx, addr)
+	// Full-capacity reslice forces append onto a fresh backing array, so
+	// snapshots taken before this point stay safely iterable.
+	r.shards = append(r.shards[:idx:idx], sh)
+	old := r.availRingLocked()
+	r.mu.Unlock()
+
+	r.registerShardObs(sh)
+	r.startShard(sh)
+	if old != nil {
+		moved := ring.Moved(old, old.With(workload.ShardName(idx)))
+		warmed = r.warm(sh, moved)
+	}
+
+	r.mu.Lock()
+	sh.mu.Lock()
+	sh.inRing = true
+	sh.mu.Unlock()
+	r.epoch.Add(1)
+	r.mu.Unlock()
+	return idx, warmed, nil
+}
+
+// DrainShard gracefully retires shard i: it leaves the ring and the epoch
+// bumps (new picks route to the survivors), its queued jobs re-dispatch for
+// free, and in-flight round trips complete on the shard — zero aborts, the
+// planned counterpart to RemoveShard's crash semantics. The backend itself
+// is left running; stop it after DrainShard returns.
+func (r *Router) DrainShard(i int) error {
+	shards := r.snapshot()
+	if i < 0 || i >= len(shards) {
+		return fmt.Errorf("router: shard %d out of range", i)
+	}
+	sh := shards[i]
+	r.mu.Lock()
+	inRing := 0
+	for _, s := range shards {
+		if s.ringState() != '.' {
+			inRing++
+		}
+	}
+	sh.mu.Lock()
+	if !sh.inRing {
+		sh.mu.Unlock()
+		r.mu.Unlock()
+		return fmt.Errorf("router: shard %d already drained or removed", i)
+	}
+	if inRing <= 1 {
+		sh.mu.Unlock()
+		r.mu.Unlock()
+		return fmt.Errorf("router: cannot drain the last shard")
+	}
+	sh.inRing = false
+	sh.removed = true // the health loop must not resurrect it
+	sh.mu.Unlock()
+	r.epoch.Add(1)
+	r.mu.Unlock()
+
+	// Re-dispatch the queue: these jobs never reached the shard, so no
+	// retry budget is consumed. Workers keep serving anything a pre-flip
+	// pick still enqueues — those jobs complete under their old epoch.
+	drainQueue := func() {
+		for {
+			select {
+			case pj := <-sh.queue:
+				if pj != nil {
+					r.requeue(pj)
+				}
+			default:
+				return
+			}
+		}
+	}
+	drainQueue()
+	sh.inflight.Wait()
+	drainQueue() // sweep stragglers enqueued during the in-flight wait
+	return nil
+}
+
+// availRingLocked builds the hash ring over the currently routable members,
+// or nil when none are. Caller holds r.mu.
+func (r *Router) availRingLocked() *ring.Ring {
+	members := make([]string, 0, len(r.shards))
+	for i, sh := range r.shards {
+		if sh.ringState() == '1' {
+			members = append(members, workload.ShardName(i))
+		}
+	}
+	if len(members) == 0 {
+		return nil
+	}
+	return ring.New(members, r.opts.Replicas)
+}
+
+// recordHot remembers the latest request per QUBO routing key, the working
+// set a joining shard is warmed from. Profile jobs carry no embedding, so
+// they are not tracked.
+func (r *Router) recordHot(key string, req service.SolveRequest) {
+	if req.Profile != nil {
+		return
+	}
+	r.hotMu.Lock()
+	defer r.hotMu.Unlock()
+	if _, ok := r.hotKeys[key]; !ok {
+		if len(r.hotOrder) >= hotKeyCap {
+			delete(r.hotKeys, r.hotOrder[0])
+			r.hotOrder = r.hotOrder[1:]
+		}
+		r.hotOrder = append(r.hotOrder, key)
+	}
+	r.hotKeys[key] = req
+}
+
+// warm replays the hot-key requests the membership diff re-homes into the
+// joining shard, so its embedding cache is populated before the first
+// routed job arrives. Best-effort: a failed warm-up costs only cold-cache
+// latency, never correctness.
+func (r *Router) warm(sh *shard, moved []ring.Range) int {
+	r.hotMu.Lock()
+	reqs := make([]service.SolveRequest, 0)
+	for _, key := range r.hotOrder {
+		if ring.Covers(moved, ring.Hash(key)) {
+			reqs = append(reqs, r.hotKeys[key])
+		}
+	}
+	r.hotMu.Unlock()
+	r.keysMoved.Add(int64(len(reqs)))
+	if len(reqs) == 0 {
+		return 0
+	}
+	c, err := service.DialTimeout(sh.addr, r.opts.PingTimeout)
+	if err != nil {
+		return 0
+	}
+	defer c.Close()
+	if r.opts.Timeout > 0 {
+		c.SetTimeout(r.opts.Timeout)
+	}
+	warmed := 0
+	for _, req := range reqs {
+		if _, err := c.Do(req); err == nil {
+			warmed++
+		}
+	}
+	r.warmed.Add(int64(warmed))
+	return warmed
+}
+
+// healthLoop pings every shard each period. PingFailLimit consecutive
+// failures evict a member; an evicted shard serves a probation window —
+// one ping period, doubled per eviction up to probationCap — before it is
+// probed again, and re-admits only after PingSuccLimit consecutive
+// successes. A half-failing backend therefore converges to "out" instead of
+// flapping through the ring, while a genuinely recovered one returns within
+// a few periods.
 func (r *Router) healthLoop() {
 	defer r.healthWG.Done()
 	tick := time.NewTicker(r.opts.PingEvery)
@@ -648,24 +941,53 @@ func (r *Router) healthLoop() {
 			return
 		case <-tick.C:
 		}
-		for _, sh := range r.shards {
+		for _, sh := range r.snapshot() {
 			sh.mu.Lock()
-			removed := sh.removed
+			removed, up := sh.removed, sh.up
 			sh.mu.Unlock()
 			if removed {
 				continue
 			}
-			if r.probe(sh) {
+			if !up && time.Now().Before(sh.probeAfter) {
+				continue // probation: back off before probing again
+			}
+			switch {
+			case r.probe(sh):
 				sh.fails = 0
-				r.markUp(sh)
-			} else {
+				if up {
+					continue
+				}
+				sh.succ++
+				if sh.succ >= r.opts.PingSuccLimit {
+					sh.succ = 0
+					r.markUp(sh)
+				}
+			case up:
 				sh.fails++
 				if sh.fails >= r.opts.PingFailLimit {
-					r.markDown(sh)
+					r.evict(sh)
 				}
+			default:
+				// Still down: a failure during probation restarts the
+				// window at the current penalty.
+				sh.succ = 0
+				sh.probeAfter = time.Now().Add(sh.penalty)
 			}
 		}
 	}
+}
+
+// evict marks a shard down and charges its probation penalty, doubling it
+// per eviction up to probationCap ping periods.
+func (r *Router) evict(sh *shard) {
+	if sh.penalty < r.opts.PingEvery {
+		sh.penalty = r.opts.PingEvery
+	} else if sh.penalty < probationCap*r.opts.PingEvery {
+		sh.penalty *= 2
+	}
+	sh.succ = 0
+	sh.probeAfter = time.Now().Add(sh.penalty)
+	r.markDown(sh)
 }
 
 // probe health-checks one shard with a dedicated short-lived client.
@@ -681,25 +1003,43 @@ func (r *Router) probe(sh *shard) bool {
 
 // Stats snapshots the dispatch counters.
 func (r *Router) Stats() Stats {
+	shards := r.snapshot()
 	s := Stats{
-		Dispatched:   make([]int64, len(r.shards)),
+		Dispatched:   make([]int64, len(shards)),
 		Stolen:       r.stolen.Load(),
 		Redispatched: r.redispatched.Load(),
 		Requeued:     r.requeued.Load(),
 		Failed:       r.failedJobs.Load(),
 		Evicted:      r.evicted.Load(),
+		Epoch:        r.epoch.Load(),
+		KeysMoved:    r.keysMoved.Load(),
+		Warmed:       r.warmed.Load(),
 	}
-	for i, sh := range r.shards {
+	for i, sh := range shards {
 		s.Dispatched[i] = sh.dispatched.Load()
 	}
 	return s
 }
 
-// Up reports the current shard membership (true = in the ring).
+// Epoch is the current membership epoch.
+func (r *Router) Epoch() int64 { return r.epoch.Load() }
+
+// Up reports per-shard fault state (true = answering probes / not failed).
 func (r *Router) Up() []bool {
-	out := make([]bool, len(r.shards))
-	for i, sh := range r.shards {
+	shards := r.snapshot()
+	out := make([]bool, len(shards))
+	for i, sh := range shards {
 		out[i] = sh.isUp()
+	}
+	return out
+}
+
+// InRing reports per-shard membership (true = owns ring keys when up).
+func (r *Router) InRing() []bool {
+	shards := r.snapshot()
+	out := make([]bool, len(shards))
+	for i, sh := range shards {
+		out[i] = sh.ringState() != '.'
 	}
 	return out
 }
@@ -730,7 +1070,7 @@ func (r *Router) Drain() {
 	r.connWG.Wait()
 	close(r.stop)
 	r.healthWG.Wait()
-	for _, sh := range r.shards {
+	for _, sh := range r.snapshot() {
 		close(sh.queue)
 	}
 	r.workerWG.Wait()

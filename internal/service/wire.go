@@ -57,6 +57,12 @@ type SolveRequest struct {
 	// so health reflects liveness, not backlog.
 	Ping bool `json:"ping,omitempty"`
 
+	// Admin carries a router control verb (add/remove/drain/status) instead
+	// of work. Only the router tier answers these; a plain service refuses
+	// the frame, so a misdirected control plane fails loudly instead of
+	// mutating nothing.
+	Admin *WireAdmin `json:"admin,omitempty"`
+
 	// Scheduling attributes for profile jobs (JobClass on the wire): the
 	// workload-class index, the sched.Priority rank and the sched.FairShare
 	// weight. Ignored unless Profile is set.
@@ -139,6 +145,9 @@ type SolveResponse struct {
 	// apart. A pointer, not a value: shard 0 is a legitimate answer, and
 	// omitempty on a struct value would erase it.
 	Routing *WireRouting `json:"routing,omitempty"`
+
+	// Admin is the router's reply to a control verb (request.Admin set).
+	Admin *WireAdminReply `json:"admin,omitempty"`
 }
 
 // WireRouting is the router tier's per-job routing metadata: the shard that
@@ -151,6 +160,56 @@ type WireRouting struct {
 	Home         int  `json:"home"`
 	Stolen       bool `json:"stolen,omitempty"`
 	Redispatches int  `json:"redispatches,omitempty"`
+	// Epoch is the router's membership epoch at the job's final routing
+	// decision: jobs dispatched under epoch N complete under N's routing
+	// even while a later epoch's rebalance is in flight.
+	Epoch int64 `json:"epoch,omitempty"`
+}
+
+// Admin verbs a router answers over the wire (WireAdmin.Verb).
+const (
+	AdminAdd    = "add"    // add a shard backend (Addr) to the ring
+	AdminRemove = "remove" // hard-remove shard Shard: in-flight work re-dispatches
+	AdminDrain  = "drain"  // gracefully drain shard Shard: in-flight work completes
+	AdminStatus = "status" // report membership, epoch, per-shard ledgers
+)
+
+// WireAdmin is a router control verb on the wire: elastic membership
+// (add/remove/drain) and status, driven remotely by `splitexec admin`.
+type WireAdmin struct {
+	Verb string `json:"verb"`
+	// Addr is the backend address an "add" brings into the ring.
+	Addr string `json:"addr,omitempty"`
+	// Shard is the target index of "remove" and "drain".
+	Shard int `json:"shard,omitempty"`
+}
+
+// WireShardStatus is one shard's row in a status reply.
+type WireShardStatus struct {
+	Index int    `json:"index"`
+	Addr  string `json:"addr"`
+	// Up is fault state (health probes, FailShard); InRing is membership
+	// (joins and drains). A shard takes traffic only when both hold.
+	Up      bool `json:"up"`
+	InRing  bool `json:"inRing"`
+	Removed bool `json:"removed,omitempty"`
+	// Dispatched and Backlog are the shard's dispatch ledger and current
+	// queue depth.
+	Dispatched int64 `json:"dispatched"`
+	Backlog    int   `json:"backlog"`
+}
+
+// WireAdminReply is the router's answer to a control verb.
+type WireAdminReply struct {
+	// Epoch is the membership epoch after the verb applied.
+	Epoch int64 `json:"epoch"`
+	// Index is the shard the verb acted on (the assigned index for "add").
+	Index int `json:"index,omitempty"`
+	// Warmed counts hot keys replayed into the new shard's embedding cache
+	// before an "add" flipped ownership.
+	Warmed int `json:"warmed,omitempty"`
+	// Shards is the per-shard membership table ("status" only).
+	Shards []WireShardStatus `json:"shards,omitempty"`
 }
 
 // EncodeQUBO builds the wire form of a QUBO.
@@ -286,6 +345,9 @@ func (s *Service) serveConn(conn net.Conn) {
 }
 
 func (s *Service) handleSolve(req SolveRequest) SolveResponse {
+	if req.Admin != nil {
+		return SolveResponse{Error: "service: admin verbs are answered by the router tier, not a shard"}
+	}
 	if req.Ping {
 		return SolveResponse{OK: true}
 	}
@@ -442,6 +504,20 @@ func (c *Client) ProfileClass(p arch.JobProfile, class JobClass) (SolveResponse,
 func (c *Client) Ping() error {
 	_, err := c.roundTrip(SolveRequest{Ping: true})
 	return err
+}
+
+// Admin round-trips a router control verb. The reply is non-nil exactly
+// when the verb applied; a plain service (or an older router) refuses the
+// frame with a server error.
+func (c *Client) Admin(a WireAdmin) (*WireAdminReply, error) {
+	resp, err := c.roundTrip(SolveRequest{Admin: &a})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Admin == nil {
+		return nil, errors.New("service: admin reply missing from response")
+	}
+	return resp.Admin, nil
 }
 
 // Do round-trips an arbitrary request — the router tier forwards client

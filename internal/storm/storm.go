@@ -212,7 +212,9 @@ func runScenario(entry corpusEntry, opts Options) ScenarioResult {
 // router front end, with shard faults driven through the router's
 // membership hooks.
 func replayLive(sc *workload.Scenario, pred *des.Result, res *ScenarioResult, opts Options) error {
-	if sc.ShardCount() > 1 {
+	if sc.TotalShards() > 1 {
+		// Federated now or later: a single-shard scenario that schedules a
+		// join is still a cluster replay.
 		return replayCluster(sc, pred, res, opts)
 	}
 	depth := sc.Horizon.Jobs
@@ -403,9 +405,16 @@ func judgeScrape(res *ScenarioResult, admin *obs.Server, scrapeErr error) error 
 // hooks — FailShard interrupts the victim's in-flight round trips exactly
 // as a crashed shard would, and RestoreShard re-admits it when the outage
 // window closes — so the re-dispatch machinery is exercised on the real
-// wire. The conservation check aggregates the per-shard ledgers.
+// wire. A membership schedule replays the same way: every slot a join will
+// ever claim is provisioned up front (mirroring the DES's shard table), the
+// router starts over the initial members only, and each event fires the
+// elastic hooks — AddShard warms and admits the joiner's backend,
+// DrainShard retires a member gracefully — at its scheduled wall-clock
+// offset. The conservation check aggregates the per-shard ledgers, so a
+// job lost (or double-completed) across an epoch flip fails the scenario
+// even when the latency band passes.
 func replayCluster(sc *workload.Scenario, pred *des.Result, res *ScenarioResult, opts Options) error {
-	shards := sc.ShardCount()
+	shards := sc.TotalShards()
 	depth := sc.Horizon.Jobs
 	if depth <= 0 {
 		depth = 1024
@@ -452,7 +461,7 @@ func replayCluster(sc *workload.Scenario, pred *des.Result, res *ScenarioResult,
 	}
 
 	rtOpts := router.Options{
-		Shards:         addrs,
+		Shards:         addrs[:sc.ShardCount()], // joiners enter via AddShard
 		QueueDepth:     depth,
 		StealThreshold: sc.StealThreshold(),
 		PingEvery:      -1, // membership is driven by the fault schedule
@@ -490,6 +499,23 @@ func replayCluster(sc *workload.Scenario, pred *des.Result, res *ScenarioResult,
 		if sf.For > 0 {
 			timers = append(timers, time.AfterFunc((sf.At+sf.For).D(), func() { rt.RestoreShard(sf.Shard) }))
 		}
+	}
+	// The membership schedule drives the same elastic hooks `splitexec
+	// admin` does. Joins are validated to claim fresh slots in order, so
+	// AddShard assigns exactly the slot index the scenario names. Errors are
+	// deliberately not fatal here — a drain refused because a crash-fault
+	// already emptied the ring shows up in the band/ledger verdict instead.
+	for _, me := range sc.MemberEvents() {
+		me := me
+		timers = append(timers, time.AfterFunc(me.At.D(), func() {
+			if me.Kind == workload.JoinEvent {
+				if _, _, err := rt.AddShard(addrs[me.Shard]); err != nil {
+					logf(opts.Log, "storm: join shard=%d: %v", me.Shard, err)
+				}
+			} else if err := rt.DrainShard(me.Shard); err != nil {
+				logf(opts.Log, "storm: drain shard=%d: %v", me.Shard, err)
+			}
+		}))
 	}
 
 	got, lerr := loadgen.Run(sc, loadgen.Options{

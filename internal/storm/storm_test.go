@@ -158,6 +158,52 @@ func TestStormObsSelfScrape(t *testing.T) {
 	}
 }
 
+// TestStormMembershipReplay is the live elastic-membership acceptance at
+// the storm layer: a scenario that joins a third shard mid-run and then
+// drains shard 0 replays against a real router over loopback TCP, fires
+// the AddShard/DrainShard hooks from the schedule, and must conserve the
+// job ledger across both epoch flips while the live p99 stays inside the
+// DES band.
+func TestStormMembershipReplay(t *testing.T) {
+	elastic := `{
+  "name": "elastic", "seed": 29,
+  "arrival": {"kind": "poisson", "rate": 120},
+  "mix": [
+    {"name": "alpha", "weight": 1, "profile": {"preProcess": "400µs", "qpuService": "3ms", "postProcess": "200µs"}},
+    {"name": "beta",  "weight": 1, "profile": {"preProcess": "400µs", "qpuService": "3ms", "postProcess": "200µs"}},
+    {"name": "gamma", "weight": 1, "profile": {"preProcess": "400µs", "qpuService": "3ms", "postProcess": "200µs"}},
+    {"name": "delta", "weight": 1, "profile": {"preProcess": "400µs", "qpuService": "3ms", "postProcess": "200µs"}}
+  ],
+  "system": {"kind": "dedicated", "hosts": 2},
+  "horizon": {"jobs": 80},
+  "cluster": {"shards": 2, "stealThreshold": 4,
+    "events": [
+      {"kind": "join", "shard": 2, "at": "150ms"},
+      {"kind": "drain", "shard": 0, "at": "400ms"}
+    ]},
+  "band": {"lo": 0.1, "hi": 50}
+}`
+	dir := writeCorpus(t, map[string]string{"elastic.json": elastic})
+	var log bytes.Buffer
+	rep, err := Run(Options{Dir: dir, Log: &log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Scenarios[0]
+	if !res.Pass {
+		t.Fatalf("elastic scenario failed: %+v\nlog:\n%s", res, log.String())
+	}
+	if res.Jobs+res.Failed != 80 {
+		t.Errorf("client ledger %d + %d != 80 admitted across the epoch flips", res.Jobs, res.Failed)
+	}
+	if res.Failed != 0 {
+		t.Errorf("%d jobs failed during graceful membership transitions", res.Failed)
+	}
+	if strings.Contains(log.String(), "storm: join shard=") || strings.Contains(log.String(), "storm: drain shard=") {
+		t.Errorf("membership hooks errored:\n%s", log.String())
+	}
+}
+
 // TestObsReconciliation is the acceptance check for the telemetry layer: a
 // live replay's final /metrics counters must reconcile exactly with the
 // service's own drain-report ledger — same events, two exports, one story.

@@ -18,12 +18,31 @@ import (
 // specs must not be able to demand memory for millions of shards.
 const MaxShards = 256
 
+// Membership event kinds: a shard joining the ring, or a planned drain
+// (the shard leaves the ring gracefully — queued work re-routes, in-flight
+// work completes — as opposed to the crash semantics of FaultSpec.Shard).
+const (
+	JoinEvent  = "join"
+	DrainEvent = "drain"
+)
+
+// MemberEvent schedules a membership change at virtual time At. Joins must
+// target fresh slots in order (the first join is shard Shards, the next
+// Shards+1, …) — the same indices the live router assigns to dynamically
+// added shards, which is what keeps the DES's ring member names and the
+// router's in agreement. Drains may target any currently-present shard.
+type MemberEvent struct {
+	Kind  string   `json:"kind"`
+	Shard int      `json:"shard"`
+	At    Duration `json:"at"`
+}
+
 // ClusterSpec federates the scenario's System across Shards identical
 // shards behind a consistent-hash router. Nil (the default) is the
 // single-node deployment every pre-cluster scenario describes.
 type ClusterSpec struct {
-	// Shards is the shard count; each shard runs the full SystemSpec
-	// (Hosts workers, QPUs() devices).
+	// Shards is the initial shard count; each shard runs the full
+	// SystemSpec (Hosts workers, QPUs() devices).
 	Shards int `json:"shards"`
 	// StealThreshold enables cross-shard work stealing: a job whose home
 	// shard's backlog has reached this length is dispatched to the shard
@@ -34,6 +53,11 @@ type ClusterSpec struct {
 	// Replicas is the ring's virtual-node count per shard; zero selects
 	// ring.DefaultReplicas.
 	Replicas int `json:"replicas,omitempty"`
+	// Events schedules elastic membership changes — shard joins and
+	// planned drains at virtual times — strictly ordered by time. The DES
+	// realizes them deterministically and the storm runner drives the same
+	// schedule through the live router's AddShard/DrainShard hooks.
+	Events []MemberEvent `json:"events,omitempty"`
 }
 
 // validate checks the spec.
@@ -46,6 +70,59 @@ func (c *ClusterSpec) validate() error {
 	}
 	if c.Replicas < 0 {
 		return fmt.Errorf("workload: negative ring replicas %d", c.Replicas)
+	}
+	return c.validateEvents()
+}
+
+// validateEvents replays the membership schedule against the evolving
+// member set, rejecting anything the router could not realize: negative or
+// overlapping times, a join of a slot that is (or ever was) provisioned, a
+// drain of an absent shard, or a schedule that empties the ring.
+func (c *ClusterSpec) validateEvents() error {
+	if len(c.Events) == 0 {
+		return nil
+	}
+	present := make(map[int]bool, c.Shards)
+	for i := 0; i < c.Shards; i++ {
+		present[i] = true
+	}
+	provisioned := c.Shards // next fresh slot a join may claim
+	live := c.Shards
+	last := Duration(-1)
+	for i, e := range c.Events {
+		if e.At < 0 {
+			return fmt.Errorf("workload: membership event %d has negative time %v", i, e.At)
+		}
+		if e.At <= last {
+			return fmt.Errorf("workload: membership events must be strictly ordered in time (event %d at %v overlaps %v)", i, e.At, last)
+		}
+		last = e.At
+		switch e.Kind {
+		case JoinEvent:
+			if present[e.Shard] {
+				return fmt.Errorf("workload: membership event %d joins already-present shard %d", i, e.Shard)
+			}
+			if e.Shard != provisioned {
+				return fmt.Errorf("workload: membership event %d joins shard %d; joins must claim fresh slots in order (next is %d)", i, e.Shard, provisioned)
+			}
+			if provisioned+1 > MaxShards {
+				return fmt.Errorf("workload: membership events provision more than %d shards", MaxShards)
+			}
+			present[e.Shard] = true
+			provisioned++
+			live++
+		case DrainEvent:
+			if !present[e.Shard] {
+				return fmt.Errorf("workload: membership event %d drains unknown shard %d", i, e.Shard)
+			}
+			if live == 1 {
+				return fmt.Errorf("workload: membership event %d would drain the last shard", i)
+			}
+			present[e.Shard] = false
+			live--
+		default:
+			return fmt.Errorf("workload: membership event %d has unknown kind %q (want %q or %q)", i, e.Kind, JoinEvent, DrainEvent)
+		}
 	}
 	return nil
 }
@@ -93,4 +170,26 @@ func (sc *Scenario) ClusterRing() *ring.Ring {
 // HasShardFault reports whether the scenario kills a shard mid-run.
 func (sc *Scenario) HasShardFault() bool {
 	return sc.Faults != nil && sc.Faults.Shard != nil
+}
+
+// MemberEvents returns the scenario's membership schedule (nil-safe).
+func (sc *Scenario) MemberEvents() []MemberEvent {
+	if sc.Cluster == nil {
+		return nil
+	}
+	return sc.Cluster.Events
+}
+
+// TotalShards is the number of shard slots the scenario ever provisions:
+// the initial membership plus every scheduled join. The DES sizes its shard
+// table — and the storm runner its service fleet — from this, so joined
+// shards exist (devices, outage streams) before they enter the ring.
+func (sc *Scenario) TotalShards() int {
+	n := sc.ShardCount()
+	for _, e := range sc.MemberEvents() {
+		if e.Kind == JoinEvent && e.Shard+1 > n {
+			n = e.Shard + 1
+		}
+	}
+	return n
 }

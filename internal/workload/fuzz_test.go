@@ -67,6 +67,41 @@ func FuzzDecodeScenario(f *testing.F) {
 		`"mix":[{"name":"a","weight":1,"profile":{"qpuService":"1ms"}}],` +
 		`"system":{"kind":"shared","hosts":1},"horizon":{"jobs":1},` +
 		`"faults":{"deviceMTBF":"1s","stragglerCap":0.01,"backoff":"2h"}}`))
+	// Elastic membership schedules: a valid 2→4 scale-out, a drain, then
+	// hostile schedules — negative times, a join of an already-present
+	// shard, a drain of an unknown shard, overlapping event times, and a
+	// schedule that would drain the last shard.
+	f.Add([]byte(`{"seed":5,"arrival":{"kind":"poisson","rate":100},` +
+		`"mix":[{"name":"a","weight":1,"profile":{"qpuService":"1ms"}}],` +
+		`"system":{"kind":"dedicated","hosts":2},"horizon":{"jobs":50},` +
+		`"cluster":{"shards":2,"stealThreshold":4,"events":[` +
+		`{"kind":"join","shard":2,"at":"100ms"},{"kind":"join","shard":3,"at":"200ms"}]}}`))
+	f.Add([]byte(`{"seed":5,"arrival":{"kind":"poisson","rate":100},` +
+		`"mix":[{"name":"a","weight":1,"profile":{"qpuService":"1ms"}}],` +
+		`"system":{"kind":"dedicated","hosts":2},"horizon":{"jobs":50},` +
+		`"cluster":{"shards":3,"events":[{"kind":"drain","shard":1,"at":"150ms"}]}}`))
+	f.Add([]byte(`{"arrival":{"kind":"poisson","rate":1},` +
+		`"mix":[{"name":"a","weight":1,"profile":{"qpuService":"1ms"}}],` +
+		`"system":{"kind":"shared","hosts":1},"horizon":{"jobs":1},` +
+		`"cluster":{"shards":2,"events":[{"kind":"join","shard":2,"at":"-1ms"}]}}`))
+	f.Add([]byte(`{"arrival":{"kind":"poisson","rate":1},` +
+		`"mix":[{"name":"a","weight":1,"profile":{"qpuService":"1ms"}}],` +
+		`"system":{"kind":"shared","hosts":1},"horizon":{"jobs":1},` +
+		`"cluster":{"shards":2,"events":[{"kind":"join","shard":1,"at":"1ms"}]}}`))
+	f.Add([]byte(`{"arrival":{"kind":"poisson","rate":1},` +
+		`"mix":[{"name":"a","weight":1,"profile":{"qpuService":"1ms"}}],` +
+		`"system":{"kind":"shared","hosts":1},"horizon":{"jobs":1},` +
+		`"cluster":{"shards":2,"events":[{"kind":"drain","shard":7,"at":"1ms"}]}}`))
+	f.Add([]byte(`{"arrival":{"kind":"poisson","rate":1},` +
+		`"mix":[{"name":"a","weight":1,"profile":{"qpuService":"1ms"}}],` +
+		`"system":{"kind":"shared","hosts":1},"horizon":{"jobs":1},` +
+		`"cluster":{"shards":2,"events":[` +
+		`{"kind":"join","shard":2,"at":"5ms"},{"kind":"drain","shard":0,"at":"5ms"}]}}`))
+	f.Add([]byte(`{"arrival":{"kind":"poisson","rate":1},` +
+		`"mix":[{"name":"a","weight":1,"profile":{"qpuService":"1ms"}}],` +
+		`"system":{"kind":"shared","hosts":1},"horizon":{"jobs":1},` +
+		`"cluster":{"shards":2,"events":[` +
+		`{"kind":"drain","shard":0,"at":"1ms"},{"kind":"drain","shard":1,"at":"2ms"}]}}`))
 	// Hostile bands: inverted, zero, infinite.
 	f.Add([]byte(`{"arrival":{"kind":"poisson","rate":1},` +
 		`"mix":[{"name":"a","weight":1,"profile":{"qpuService":"1ms"}}],` +
@@ -103,6 +138,19 @@ func FuzzDecodeScenario(f *testing.F) {
 				t.Fatalf("malformed outage schedule: %+v", o)
 			}
 			prevEnd = o.At + o.For
+		}
+		// Membership schedules that validated are strictly time-ordered and
+		// stay within the shard cap — the invariants the DES and the live
+		// replay rely on without re-checking.
+		if n := sc.TotalShards(); n < 1 || n > MaxShards {
+			t.Fatalf("TotalShards %d outside [1, %d] on a validated scenario", n, MaxShards)
+		}
+		lastAt := Duration(-1)
+		for _, e := range sc.MemberEvents() {
+			if e.At <= lastAt {
+				t.Fatalf("validated membership events not strictly ordered: %+v", sc.MemberEvents())
+			}
+			lastAt = e.At
 		}
 	})
 }

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// elasticScenario is a minimal valid cluster scenario the membership tests
+// mutate.
+func elasticScenario(events ...MemberEvent) *Scenario {
+	return &Scenario{
+		Seed:    1,
+		Arrival: Arrival{Kind: Poisson, Rate: 100},
+		Mix: []JobClass{
+			{Name: "a", Weight: 1, Profile: Profile{QPUService: Duration(1e6)}},
+		},
+		System:  SystemSpec{Kind: "dedicated", Hosts: 2},
+		Horizon: Horizon{Jobs: 50},
+		Cluster: &ClusterSpec{Shards: 2, Events: events},
+	}
+}
+
+func TestMemberEventValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		events  []MemberEvent
+		wantErr string // empty = valid
+	}{
+		{"no events", nil, ""},
+		{"scale out 2 to 4", []MemberEvent{
+			{Kind: JoinEvent, Shard: 2, At: 1e6},
+			{Kind: JoinEvent, Shard: 3, At: 2e6},
+		}, ""},
+		{"join then drain joined", []MemberEvent{
+			{Kind: JoinEvent, Shard: 2, At: 1e6},
+			{Kind: DrainEvent, Shard: 2, At: 5e6},
+		}, ""},
+		{"drain initial shard", []MemberEvent{
+			{Kind: DrainEvent, Shard: 1, At: 3e6},
+		}, ""},
+		{"negative time", []MemberEvent{
+			{Kind: JoinEvent, Shard: 2, At: -1},
+		}, "negative time"},
+		{"join already present", []MemberEvent{
+			{Kind: JoinEvent, Shard: 1, At: 1e6},
+		}, "already-present"},
+		{"join skips a slot", []MemberEvent{
+			{Kind: JoinEvent, Shard: 5, At: 1e6},
+		}, "fresh slots in order"},
+		{"rejoin drained slot", []MemberEvent{
+			{Kind: DrainEvent, Shard: 1, At: 1e6},
+			{Kind: JoinEvent, Shard: 1, At: 2e6},
+		}, "fresh slots in order"},
+		{"drain unknown shard", []MemberEvent{
+			{Kind: DrainEvent, Shard: 7, At: 1e6},
+		}, "unknown shard"},
+		{"drain twice", []MemberEvent{
+			{Kind: DrainEvent, Shard: 1, At: 1e6},
+			{Kind: DrainEvent, Shard: 1, At: 2e6},
+		}, "unknown shard"},
+		{"overlapping times", []MemberEvent{
+			{Kind: JoinEvent, Shard: 2, At: 1e6},
+			{Kind: DrainEvent, Shard: 0, At: 1e6},
+		}, "strictly ordered"},
+		{"out of order", []MemberEvent{
+			{Kind: JoinEvent, Shard: 2, At: 2e6},
+			{Kind: JoinEvent, Shard: 3, At: 1e6},
+		}, "strictly ordered"},
+		{"drain the last shard", []MemberEvent{
+			{Kind: DrainEvent, Shard: 0, At: 1e6},
+			{Kind: DrainEvent, Shard: 1, At: 2e6},
+		}, "last shard"},
+		{"unknown kind", []MemberEvent{
+			{Kind: "split", Shard: 2, At: 1e6},
+		}, "unknown kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := elasticScenario(tc.events...).Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("want valid, got %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+			}
+		})
+	}
+}
+
+func TestTotalShards(t *testing.T) {
+	sc := elasticScenario(
+		MemberEvent{Kind: JoinEvent, Shard: 2, At: 1e6},
+		MemberEvent{Kind: JoinEvent, Shard: 3, At: 2e6},
+		MemberEvent{Kind: DrainEvent, Shard: 0, At: 3e6},
+	)
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.TotalShards(); got != 4 {
+		t.Fatalf("TotalShards = %d, want 4 (2 initial + 2 joins)", got)
+	}
+	if got := elasticScenario().TotalShards(); got != 2 {
+		t.Fatalf("TotalShards without events = %d, want 2", got)
+	}
+	single := elasticScenario()
+	single.Cluster = nil
+	if got := single.TotalShards(); got != 1 {
+		t.Fatalf("TotalShards single-node = %d, want 1", got)
+	}
+}
+
+// TestMemberEventRoundTrip pins the JSON shape of the schedule.
+func TestMemberEventRoundTrip(t *testing.T) {
+	sc := elasticScenario(
+		MemberEvent{Kind: JoinEvent, Shard: 2, At: 1e6},
+		MemberEvent{Kind: DrainEvent, Shard: 0, At: 2e6},
+	)
+	data, err := sc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.MemberEvents()
+	if len(got) != 2 || got[0] != sc.Cluster.Events[0] || got[1] != sc.Cluster.Events[1] {
+		t.Fatalf("round trip mangled events: %+v", got)
+	}
+}
